@@ -1,0 +1,237 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **A1** — split-tree vs. naive `b(2n+1)` MHIST storage (the paper's
+//!   §3.3.2 claim), reported as bytes and benchmarked as codec time;
+//! * **A2** — IncrementalGains vs. the optimal DP allocator: solution
+//!   quality and running time;
+//! * **A3** — `k_max` = 2 vs. 3 (the paper found 3-dimensional clique
+//!   histograms counterproductive at tight budgets).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dbhist_bench::experiments::Scale;
+use dbhist_core::alloc::{error_curve, incremental_gains, optimal_dp};
+use dbhist_core::build::MhistCliqueBuilder;
+use dbhist_core::synopsis::{DbConfig, DbHistogram};
+use dbhist_core::SelectivityEstimator;
+use dbhist_data::metrics::ErrorSummary;
+use dbhist_data::workload::{Workload, WorkloadConfig};
+use dbhist_distribution::AttrSet;
+use dbhist_histogram::codec::{encode_split_tree, naive_mhist_bytes, split_tree_bytes};
+use dbhist_histogram::mhist::MhistBuilder;
+use dbhist_histogram::SplitCriterion;
+
+fn ablation_split_tree(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let pair = rel.marginal(&AttrSet::from_ids([1, 2])).unwrap();
+    for buckets in [64usize, 256] {
+        let tree = MhistBuilder::build(&pair, buckets, SplitCriterion::MaxDiff).unwrap();
+        eprintln!(
+            "A1 split-tree storage at b={}: {} bytes vs naive {} bytes ({}x smaller)",
+            tree.bucket_count(),
+            split_tree_bytes(tree.bucket_count()),
+            naive_mhist_bytes(tree.bucket_count(), tree.attrs().len()),
+            naive_mhist_bytes(tree.bucket_count(), tree.attrs().len()) as f64
+                / split_tree_bytes(tree.bucket_count()) as f64
+        );
+    }
+    let tree = MhistBuilder::build(&pair, 256, SplitCriterion::MaxDiff).unwrap();
+    let mut group = c.benchmark_group("a1_codec");
+    group.sample_size(20);
+    group.bench_function("encode_256_buckets", |b| b.iter(|| encode_split_tree(&tree)));
+    group.finish();
+}
+
+fn ablation_allocation(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let cliques = [
+        AttrSet::from_ids([1, 2]),
+        AttrSet::from_ids([2, 3]),
+        AttrSet::from_ids([1, 4]),
+        AttrSet::from_ids([5]),
+    ];
+    let marginals: Vec<_> = cliques.iter().map(|c| rel.marginal(c).unwrap()).collect();
+    let budget = 2 * 1024;
+
+    let mut group = c.benchmark_group("a2_allocation");
+    group.sample_size(10);
+    group.bench_function("incremental_gains", |b| {
+        b.iter(|| {
+            let mut builders: Vec<_> = marginals
+                .iter()
+                .map(|m| MhistCliqueBuilder::start(m, SplitCriterion::MaxDiff).unwrap())
+                .collect();
+            incremental_gains(&mut builders, budget).unwrap()
+        })
+    });
+    group.bench_function("optimal_dp", |b| {
+        b.iter(|| {
+            let curves: Vec<_> = marginals
+                .iter()
+                .map(|m| {
+                    let mut builder =
+                        MhistCliqueBuilder::start(m, SplitCriterion::MaxDiff).unwrap();
+                    error_curve(&mut builder, budget)
+                })
+                .collect();
+            optimal_dp(&curves, budget).unwrap()
+        })
+    });
+    group.finish();
+
+    // Quality comparison, reported once.
+    let mut builders: Vec<_> = marginals
+        .iter()
+        .map(|m| MhistCliqueBuilder::start(m, SplitCriterion::MaxDiff).unwrap())
+        .collect();
+    let greedy = incremental_gains(&mut builders, budget).unwrap();
+    let curves: Vec<_> = marginals
+        .iter()
+        .map(|m| {
+            let mut builder = MhistCliqueBuilder::start(m, SplitCriterion::MaxDiff).unwrap();
+            error_curve(&mut builder, budget)
+        })
+        .collect();
+    let picks = optimal_dp(&curves, budget).unwrap();
+    let dp_error: f64 = picks.iter().map(|p| p.error).sum();
+    eprintln!(
+        "A2 at {budget}B: greedy error {:.1} vs optimal DP {:.1} (gap {:.2}%)",
+        greedy.total_error,
+        dp_error,
+        100.0 * (greedy.total_error - dp_error) / dp_error.max(1e-9)
+    );
+}
+
+fn ablation_kmax(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let workload = Workload::generate(
+        &rel,
+        WorkloadConfig { dimensionality: 3, queries: 20, min_count: 50, seed: 31 },
+    );
+    let mut group = c.benchmark_group("a3_kmax");
+    group.sample_size(10);
+    for k_max in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k_max), &k_max, |b, &k_max| {
+            b.iter(|| {
+                let mut config = DbConfig::new(3 * 1024);
+                config.selection.k_max = k_max;
+                DbHistogram::build_mhist(&rel, config).unwrap()
+            })
+        });
+        let mut config = DbConfig::new(3 * 1024);
+        config.selection.k_max = k_max;
+        let db = DbHistogram::build_mhist(&rel, config).unwrap();
+        let summary = ErrorSummary::evaluate(&workload, |r| db.estimate(r));
+        eprintln!(
+            "A3 k_max={k_max}: model {} | rel err {:.3}, mult err {:.2}",
+            db.model().notation(),
+            summary.mean_relative,
+            summary.mean_multiplicative
+        );
+    }
+    group.finish();
+}
+
+fn ablation_selection_direction(c: &mut Criterion) {
+    // Forward selection vs. backward elimination (paper §3.1's argument):
+    // same model on clear structure, radically different entropy work.
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let mut group = c.benchmark_group("a4_selection_direction");
+    group.sample_size(10);
+    group.bench_function("forward", |b| {
+        b.iter(|| {
+            dbhist_model::selection::ForwardSelector::new(
+                &rel,
+                dbhist_model::selection::SelectionConfig::default(),
+            )
+            .run()
+        })
+    });
+    group.bench_function("backward", |b| {
+        b.iter(|| {
+            dbhist_model::backward::backward_eliminate(
+                &rel,
+                dbhist_model::selection::SelectionConfig::default(),
+            )
+        })
+    });
+    group.finish();
+    let fwd = dbhist_model::selection::ForwardSelector::new(
+        &rel,
+        dbhist_model::selection::SelectionConfig::default(),
+    )
+    .run();
+    let bwd = dbhist_model::backward::backward_eliminate(
+        &rel,
+        dbhist_model::selection::SelectionConfig::default(),
+    );
+    eprintln!(
+        "A4 entropy computations: forward {} vs backward {} (models: fwd {} | bwd {})",
+        fwd.entropy_computations,
+        bwd.entropy_computations,
+        fwd.model.notation(),
+        bwd.model.notation()
+    );
+}
+
+fn ablation_clique_synopsis_family(c: &mut Criterion) {
+    // MHIST vs grid vs wavelet clique synopses at the same byte budget
+    // (the paper's §5 wavelet-extension claim, quantified).
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let workload = Workload::generate(
+        &rel,
+        WorkloadConfig { dimensionality: 3, queries: 20, min_count: 50, seed: 77 },
+    );
+    let budget = 3 * 1024;
+    let mut group = c.benchmark_group("a5_clique_family");
+    group.sample_size(10);
+    group.bench_function("build_mhist", |b| {
+        b.iter(|| DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap())
+    });
+    group.bench_function("build_grid", |b| {
+        b.iter(|| DbHistogram::build_grid(&rel, DbConfig::new(budget)).unwrap())
+    });
+    group.bench_function("build_wavelet", |b| {
+        b.iter(|| DbHistogram::build_wavelet(&rel, DbConfig::new(budget)).unwrap())
+    });
+    group.finish();
+
+    let mh = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();
+    let gr = DbHistogram::build_grid(&rel, DbConfig::new(budget)).unwrap();
+    let wv = DbHistogram::build_wavelet(&rel, DbConfig::new(budget)).unwrap();
+    let report = |name: &str, s: &dyn SelectivityEstimator| {
+        let e = ErrorSummary::evaluate(&workload, |r| s.estimate(r));
+        eprintln!(
+            "A5 {name}: rel {:.3} mult {:.2} ({} bytes)",
+            e.mean_relative,
+            e.mean_multiplicative,
+            s.storage_bytes()
+        );
+    };
+    report("DB-mhist", &mh);
+    report("DB-grid", &gr);
+    report("DB-wavelet", &wv);
+}
+
+criterion_group!(
+    benches,
+    ablation_split_tree,
+    ablation_allocation,
+    ablation_kmax,
+    ablation_selection_direction,
+    ablation_clique_synopsis_family
+);
+fn main() {
+    // Debug builds (`cargo test --workspace`) skip the heavy pipelines;
+    // run `cargo bench` for real measurements.
+    if cfg!(debug_assertions) {
+        eprintln!("skipping benches in debug build; use `cargo bench`");
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,87 @@
+//! Construction-cost benchmarks (paper defers these to the full version).
+//!
+//! * forward model selection: naive vs. the efficient separator-based
+//!   algorithm (the paper's novel contribution), including the number of
+//!   marginal-entropy computations each needs;
+//! * clique-histogram construction (MHIST builder) at several budgets;
+//! * end-to-end DB-histogram construction.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dbhist_bench::experiments::Scale;
+use dbhist_core::synopsis::{DbConfig, DbHistogram};
+use dbhist_distribution::AttrSet;
+use dbhist_histogram::mhist::MhistBuilder;
+use dbhist_histogram::SplitCriterion;
+use dbhist_model::selection::{ForwardSelector, SelectionAlgorithm, SelectionConfig};
+
+fn bench_selection(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let mut group = c.benchmark_group("model_selection");
+    group.sample_size(10);
+    for algorithm in [SelectionAlgorithm::Naive, SelectionAlgorithm::Efficient] {
+        group.bench_with_input(
+            BenchmarkId::new("census1", format!("{algorithm:?}")),
+            &algorithm,
+            |b, &algorithm| {
+                b.iter(|| {
+                    let config = SelectionConfig { algorithm, ..Default::default() };
+                    ForwardSelector::new(&rel, config).run()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Report the entropy-computation counts once (the paper's cost metric).
+    for algorithm in [SelectionAlgorithm::Naive, SelectionAlgorithm::Efficient] {
+        let config = SelectionConfig { algorithm, ..Default::default() };
+        let result = ForwardSelector::new(&rel, config).run();
+        eprintln!(
+            "selection {algorithm:?}: {} edges, {} marginal-entropy computations",
+            result.model.edge_count(),
+            result.entropy_computations
+        );
+    }
+}
+
+fn bench_mhist_build(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let pair = rel
+        .marginal(&AttrSet::from_ids([1, 2]))
+        .expect("country/mother marginal");
+    let mut group = c.benchmark_group("mhist_build");
+    group.sample_size(10);
+    for buckets in [32usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &n| {
+            b.iter(|| MhistBuilder::build(&pair, n, SplitCriterion::MaxDiff).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_db_build(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let mut group = c.benchmark_group("db_build");
+    group.sample_size(10);
+    for kb in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, &kb| {
+            b.iter(|| DbHistogram::build_mhist(&rel, DbConfig::new(kb * 1024)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_mhist_build, bench_db_build);
+fn main() {
+    // Debug builds (`cargo test --workspace`) skip the heavy pipelines;
+    // run `cargo bench` for real measurements.
+    if cfg!(debug_assertions) {
+        eprintln!("skipping benches in debug build; use `cargo bench`");
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

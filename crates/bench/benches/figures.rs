@@ -1,0 +1,35 @@
+//! Criterion timing of each figure-regeneration pipeline (quick scale).
+//!
+//! The actual paper-scale series are produced by the `repro` binary; these
+//! benches track how long each experiment pipeline takes end-to-end so
+//! regressions in construction or estimation show up.
+
+use criterion::{criterion_group, Criterion};
+use dbhist_bench::experiments::{fig6, fig7, fig8, fig9, housing_experiment, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(15));
+    group.bench_function("fig6_2d", |b| b.iter(|| fig6(&scale, 2, 4)));
+    group.bench_function("fig7", |b| b.iter(|| fig7(&scale)));
+    group.bench_function("fig8_two_budgets", |b| {
+        b.iter(|| fig8(&scale, &[1024, 2048]))
+    });
+    group.bench_function("fig9", |b| b.iter(|| fig9(&scale)));
+    group.bench_function("housing", |b| b.iter(|| housing_experiment(&scale)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+fn main() {
+    // Debug builds (`cargo test --workspace`) skip the heavy pipelines;
+    // run `cargo bench` for real measurements.
+    if cfg!(debug_assertions) {
+        eprintln!("skipping benches in debug build; use `cargo bench`");
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,84 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! repro [--quick] [--experiment fig6|fig7|fig8|fig9|housing|sampling|all]
+//! ```
+//!
+//! With no arguments, runs every experiment at the paper's full scale and
+//! prints one table per figure (the series `EXPERIMENTS.md` records).
+
+use std::time::Instant;
+
+use dbhist_bench::experiments::{
+    self, fig6, fig7, fig8, fig9, housing_experiment, sampling_zero_fraction, Scale,
+};
+use dbhist_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .position(|a| a == "--experiment")
+        .and_then(|i| args.get(i + 1))
+        .map_or("all", String::as_str)
+        .to_string();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: repro [--quick] [--experiment fig6|fig7|fig8|fig9|housing|sampling|all]"
+        );
+        return;
+    }
+    const KNOWN: [&str; 7] = ["fig6", "fig7", "fig8", "fig9", "housing", "sampling", "all"];
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!(
+            "unknown experiment {which:?}; expected one of {}",
+            KNOWN.join("|")
+        );
+        std::process::exit(2);
+    }
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    println!(
+        "# dbhist repro — scale: {} (DS1 {} rows, DS2 {} rows, {} queries/workload)",
+        if quick { "quick" } else { "paper" },
+        scale.rows_1,
+        scale.rows_2,
+        scale.queries
+    );
+
+    let run = |name: &str, f: &dyn Fn() -> experiments::Figure| {
+        let start = Instant::now();
+        let fig = f();
+        println!("{}", report::render(&fig));
+        println!("({name} took {:.1?})\n", start.elapsed());
+    };
+
+    if which == "fig6" || which == "all" {
+        for k in [2usize, 3, 4] {
+            run("fig6", &|| fig6(&scale, k, 6));
+        }
+    }
+    if which == "fig7" || which == "all" {
+        run("fig7", &|| fig7(&scale));
+    }
+    if which == "fig8" || which == "all" {
+        let budgets: Vec<usize> =
+            [1usize, 2, 3, 4, 5, 6, 8].iter().map(|kb| kb * 1024).collect();
+        run("fig8", &|| fig8(&scale, &budgets));
+    }
+    if which == "fig9" || which == "all" {
+        run("fig9", &|| fig9(&scale));
+    }
+    if which == "housing" || which == "all" {
+        run("housing", &|| housing_experiment(&scale));
+    }
+    if which == "sampling" || which == "all" {
+        let start = Instant::now();
+        let frac = sampling_zero_fraction(&scale, 3 * 1024);
+        println!(
+            "== Sampling baseline (3KB, 3-D workload) ==\nzero-answer fraction: {:.2}\n({:.1?})\n",
+            frac,
+            start.elapsed()
+        );
+    }
+}

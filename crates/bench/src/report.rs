@@ -1,0 +1,74 @@
+//! Plain-text rendering of regenerated figures.
+
+use std::fmt::Write as _;
+
+use crate::experiments::Figure;
+
+/// Renders a figure as an aligned text table: one row per x value, one
+/// pair of columns (relative, multiplicative) per series.
+#[must_use]
+pub fn render(figure: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", figure.title);
+    // Header.
+    let _ = write!(out, "{:>12}", figure.x_label);
+    for s in &figure.series {
+        let _ = write!(out, " | {:>10} rel {:>10} mult", s.label, "");
+    }
+    let _ = writeln!(out);
+    // Collect the x values from the longest series.
+    let xs: Vec<f64> = figure
+        .series
+        .iter()
+        .max_by_key(|s| s.points.len())
+        .map(|s| s.points.iter().map(|p| p.x).collect())
+        .unwrap_or_default();
+    for &x in &xs {
+        let _ = write!(out, "{x:>12.0}");
+        for s in &figure.series {
+            match s.points.iter().find(|p| (p.x - x).abs() < 1e-9) {
+                Some(p) => {
+                    let _ = write!(out, " | {:>14.4} {:>15.3}", p.relative, p.multiplicative);
+                }
+                None => {
+                    let _ = write!(out, " | {:>14} {:>15}", "-", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Series, SeriesPoint};
+
+    #[test]
+    fn renders_all_points() {
+        let fig = Figure {
+            title: "T".into(),
+            x_label: "x".into(),
+            series: vec![
+                Series {
+                    label: "A".into(),
+                    points: vec![
+                        SeriesPoint { x: 1.0, relative: 0.5, multiplicative: 2.0 },
+                        SeriesPoint { x: 2.0, relative: 0.25, multiplicative: 1.5 },
+                    ],
+                },
+                Series {
+                    label: "B".into(),
+                    points: vec![SeriesPoint { x: 1.0, relative: 0.9, multiplicative: 9.0 }],
+                },
+            ],
+        };
+        let text = render(&fig);
+        assert!(text.contains("== T =="));
+        assert!(text.contains("0.5000"));
+        assert!(text.contains("9.000"));
+        // Missing B point at x=2 renders as a dash.
+        assert!(text.lines().last().unwrap().contains('-'));
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for synopsis construction and usage.
+
+use std::fmt;
+
+use dbhist_distribution::DistributionError;
+use dbhist_histogram::HistogramError;
+use dbhist_model::ModelError;
+
+/// Errors produced while building or querying synopses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynopsisError {
+    /// A distribution-layer failure.
+    Distribution(DistributionError),
+    /// A model-layer failure.
+    Model(ModelError),
+    /// A histogram-layer failure.
+    Histogram(HistogramError),
+    /// The storage budget is too small to hold even one bucket per clique
+    /// histogram, or otherwise invalid.
+    Budget {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SynopsisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Distribution(e) => write!(f, "distribution error: {e}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::Histogram(e) => write!(f, "histogram error: {e}"),
+            Self::Budget { reason } => write!(f, "storage budget error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SynopsisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Distribution(e) => Some(e),
+            Self::Model(e) => Some(e),
+            Self::Histogram(e) => Some(e),
+            Self::Budget { .. } => None,
+        }
+    }
+}
+
+impl From<DistributionError> for SynopsisError {
+    fn from(e: DistributionError) -> Self {
+        Self::Distribution(e)
+    }
+}
+
+impl From<ModelError> for SynopsisError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<HistogramError> for SynopsisError {
+    fn from(e: HistogramError) -> Self {
+        Self::Histogram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SynopsisError = ModelError::NotChordal.into();
+        assert!(e.to_string().contains("model"));
+        let e: SynopsisError = DistributionError::UnknownAttr { attr: 1 }.into();
+        assert!(e.to_string().contains("distribution"));
+        let e: SynopsisError =
+            HistogramError::InvalidRequest { reason: "x".into() }.into();
+        assert!(e.to_string().contains("histogram"));
+        let e = SynopsisError::Budget { reason: "too small".into() };
+        assert!(e.to_string().contains("too small"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: SynopsisError = ModelError::NotChordal.into();
+        assert!(e.source().is_some());
+        assert!(SynopsisError::Budget { reason: "x".into() }.source().is_none());
+    }
+}

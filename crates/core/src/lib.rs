@@ -1,0 +1,68 @@
+//! DEPENDENCY-BASED (DB) histogram synopses — the paper's contribution.
+//!
+//! A DB histogram `H = <M, C>` (Definition 2.1) pairs a decomposable
+//! interaction model `M` with a collection `C` of low-dimensional
+//! histograms on the marginals of `M`'s generators. This crate assembles
+//! the pieces built by `dbhist-model` and `dbhist-histogram` into the full
+//! synopsis, and implements everything around it:
+//!
+//! * [`factor::Factor`] — the abstraction `ComputeMarginal` runs over:
+//!   anything supporting `project`, `product` (separation formula), and
+//!   box-mass estimation. Implemented by MHIST split trees, grid
+//!   histograms, and exact sparse distributions (the paper's "clique
+//!   histograms with an unlimited number of buckets" used in Fig. 6).
+//! * [`marginal::compute_marginal`] — the paper's `ComputeMarginal`
+//!   algorithm (Fig. 3) over the junction tree, minimizing histogram
+//!   multiplications/projections.
+//! * [`alloc`] — storage allocation across clique histograms: the optimal
+//!   pseudo-polynomial dynamic program and the `IncrementalGains` greedy
+//!   (Fig. 2).
+//! * [`synopsis::DbHistogram`] — construction (`model selection →
+//!   clique-histogram building under a byte budget`) and range-selectivity
+//!   estimation.
+//! * [`baselines`] — the estimators the paper compares against: `IND`
+//!   (one-dimensional histograms + full independence), full-dimensional
+//!   `MHIST`, and random sampling.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dbhist_core::synopsis::{DbConfig, DbHistogram};
+//! use dbhist_core::estimator::SelectivityEstimator;
+//! use dbhist_distribution::{Relation, Schema};
+//!
+//! // A toy relation where a == b and c is independent.
+//! let schema = Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
+//! let rows: Vec<Vec<u32>> = (0..4096)
+//!     .map(|i| vec![i % 8, i % 8, (i / 8) % 4])
+//!     .collect();
+//! let rel = Relation::from_rows(schema, rows).unwrap();
+//!
+//! // Build a DB histogram within a 256-byte budget.
+//! let db = DbHistogram::build_mhist(&rel, DbConfig::new(256)).unwrap();
+//! assert!(db.storage_bytes() <= 256);
+//!
+//! // Estimate the selectivity of the predicate a ∈ [0,3] ∧ c = 1.
+//! let est = db.estimate(&[(0, 0, 3), (2, 1, 1)]);
+//! let exact = rel.count_range(&[(0, 0, 3), (2, 1, 1)]) as f64;
+//! assert!((est - exact).abs() / exact < 0.25);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod alloc;
+pub mod baselines;
+pub mod build;
+pub mod error;
+pub mod estimator;
+pub mod factor;
+pub mod maintenance;
+pub mod marginal;
+pub mod synopsis;
+pub mod wavelet_factor;
+
+pub use error::SynopsisError;
+pub use estimator::SelectivityEstimator;
+pub use factor::{ExactFactor, Factor};
+pub use synopsis::{DbConfig, DbHistogram};

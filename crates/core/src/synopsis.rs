@@ -1,0 +1,462 @@
+//! The DEPENDENCY-BASED histogram synopsis (paper Definition 2.1).
+//!
+//! [`DbHistogram`] couples a decomposable model `M` (discovered by forward
+//! selection) with one clique factor per generator of `M`. Construction
+//! (paper §3.1–3.2) proceeds in three phases:
+//!
+//! 1. **Model selection** — [`dbhist_model::selection::ForwardSelector`]
+//!    with the configured heuristic (`DB₁`/`DB₂`), `k_max`, and `θ`.
+//! 2. **Clique-histogram construction under a byte budget** — incremental
+//!    builders over each generator marginal, funded by
+//!    [`crate::alloc::incremental_gains`] or the optimal DP.
+//! 3. **Assembly** — the junction tree plus finished histograms.
+//!
+//! Estimation (paper §3.3) runs [`crate::marginal::compute_marginal`] over
+//! the junction tree to obtain the marginal on the query's attributes,
+//! then reads the range mass off it.
+
+use dbhist_distribution::{AttrId, AttrSet, Relation};
+use dbhist_histogram::{GridHistogram, SplitCriterion, SplitTree};
+use dbhist_model::selection::{ForwardSelector, SelectionConfig, SelectionResult};
+use dbhist_model::DecomposableModel;
+
+use crate::alloc::{apply_allocation, error_curve, incremental_gains, optimal_dp};
+use crate::build::{GridCliqueBuilder, IncrementalBuilder, MhistCliqueBuilder};
+use crate::error::SynopsisError;
+use crate::estimator::SelectivityEstimator;
+use crate::factor::{ExactFactor, Factor};
+use crate::marginal::{compute_marginal, estimate_mass};
+
+/// How the storage budget is distributed across clique histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocationStrategy {
+    /// The paper's Fig. 2 greedy (default; optimal under diminishing
+    /// returns and what the experiments use).
+    #[default]
+    IncrementalGains,
+    /// The exact pseudo-polynomial dynamic program.
+    OptimalDp,
+}
+
+/// Configuration for building a [`DbHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbConfig {
+    /// Total storage budget in bytes for the clique-histogram collection.
+    pub budget_bytes: usize,
+    /// Forward-selection configuration (heuristic, `k_max`, `θ`).
+    pub selection: SelectionConfig,
+    /// Histogram partitioning constraint.
+    pub criterion: SplitCriterion,
+    /// Budget distribution strategy.
+    pub allocation: AllocationStrategy,
+}
+
+impl DbConfig {
+    /// A configuration with the paper's defaults (`DB₂`, `k_max = 2`,
+    /// `θ = 0.90`, MaxDiff, IncrementalGains) and the given byte budget.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            selection: SelectionConfig::default(),
+            criterion: SplitCriterion::default(),
+            allocation: AllocationStrategy::default(),
+        }
+    }
+}
+
+/// A DEPENDENCY-BASED histogram synopsis `H = <M, C>`.
+#[derive(Debug, Clone)]
+pub struct DbHistogram<F: Factor> {
+    model: DecomposableModel,
+    factors: Vec<F>,
+    bytes: usize,
+    name: String,
+}
+
+impl<F: Factor> DbHistogram<F> {
+    /// The interaction model `M`.
+    #[must_use]
+    pub fn model(&self) -> &DecomposableModel {
+        &self.model
+    }
+
+    /// The clique factors `C`, aligned with `model().cliques()`.
+    #[must_use]
+    pub fn factors(&self) -> &[F] {
+        &self.factors
+    }
+
+    /// Mutable access for incremental maintenance (crate-internal: bucket
+    /// counts may move, but the factor set must stay aligned with the
+    /// model's cliques).
+    pub(crate) fn factors_mut(&mut self) -> &mut [F] {
+        &mut self.factors
+    }
+
+    /// Estimates the marginal factor over an arbitrary attribute subset
+    /// (paper §3.3.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-operation failures and rejects attributes the
+    /// model does not cover.
+    pub fn marginal(&self, attrs: &AttrSet) -> Result<F, SynopsisError> {
+        compute_marginal(self.model.junction_tree(), &self.factors, attrs)
+    }
+
+    /// Estimates the selectivity of a conjunctive range predicate,
+    /// returning an error instead of panicking on structural failures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-operation failures.
+    pub fn try_estimate(&self, ranges: &[(AttrId, u32, u32)]) -> Result<f64, SynopsisError> {
+        let attrs = AttrSet::from_ids(
+            ranges
+                .iter()
+                .map(|&(a, _, _)| a)
+                .filter(|&a| usize::from(a) < self.model.schema().arity()),
+        );
+        if attrs.is_empty() {
+            // No constrained attribute: the estimate is the table size.
+            return Ok(self.factors.first().map_or(0.0, Factor::total));
+        }
+        estimate_mass(self.model.junction_tree(), &self.factors, &attrs, ranges)
+    }
+
+    fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+}
+
+impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
+    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
+        self.try_estimate(ranges)
+            .expect("DB-histogram estimation failed on a structurally valid synopsis")
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Shared construction pipeline: select a model, then build the clique
+/// histograms within the budget using `start` to create each builder and
+/// `finish` to materialize it.
+fn build_generic<B, F>(
+    relation: &Relation,
+    config: &DbConfig,
+    start: impl Fn(&dbhist_distribution::Distribution) -> Result<B, SynopsisError>,
+) -> Result<(DbHistogram<F>, SelectionResult), SynopsisError>
+where
+    B: IncrementalBuilder<Histogram = F>,
+    F: Factor,
+{
+    config.selection.validate()?;
+    let selection = ForwardSelector::new(relation, config.selection).run();
+    let synopsis =
+        build_for_model(relation, selection.model.clone(), config, start)?;
+    Ok((synopsis, selection))
+}
+
+/// Builds the clique-histogram collection for an already-selected model.
+fn build_for_model<B, F>(
+    relation: &Relation,
+    model: DecomposableModel,
+    config: &DbConfig,
+    start: impl Fn(&dbhist_distribution::Distribution) -> Result<B, SynopsisError>,
+) -> Result<DbHistogram<F>, SynopsisError>
+where
+    B: IncrementalBuilder<Histogram = F>,
+    F: Factor,
+{
+    let mut builders: Vec<B> = model
+        .cliques()
+        .iter()
+        .map(|c| {
+            let marginal = relation.marginal(c)?;
+            start(&marginal)
+        })
+        .collect::<Result<_, _>>()?;
+    match config.allocation {
+        AllocationStrategy::IncrementalGains => {
+            incremental_gains(&mut builders, config.budget_bytes)?;
+        }
+        AllocationStrategy::OptimalDp => {
+            // Measuring the error curves drives the builders to
+            // saturation; fresh builders are created below for the
+            // actual allocation.
+            let curves: Vec<_> = builders
+                .iter_mut()
+                .map(|b| error_curve(b, config.budget_bytes))
+                .collect();
+            builders = model
+                .cliques()
+                .iter()
+                .map(|c| {
+                    let marginal = relation.marginal(c)?;
+                    start(&marginal)
+                })
+                .collect::<Result<_, _>>()?;
+            let picks = optimal_dp(&curves, config.budget_bytes)?;
+            apply_allocation(&mut builders, &picks);
+        }
+    }
+    let bytes = builders.iter().map(IncrementalBuilder::storage_bytes).sum();
+    let factors: Vec<F> = builders.iter().map(IncrementalBuilder::finish).collect();
+    Ok(DbHistogram { model, factors, bytes, name: "DB".into() })
+}
+
+impl DbHistogram<SplitTree> {
+    /// Builds a DB histogram with MHIST split-tree clique histograms —
+    /// the paper's flagship configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid configuration, impossible budgets, or degenerate
+    /// inputs (empty relation).
+    pub fn build_mhist(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
+        let (mut synopsis, selection) = build_generic(relation, &config, |marginal| {
+            MhistCliqueBuilder::start(marginal, config.criterion)
+        })?;
+        synopsis.set_name(match config.selection.heuristic {
+            dbhist_model::selection::EdgeHeuristic::Db1 => "DB1",
+            dbhist_model::selection::EdgeHeuristic::Db2 => "DB2",
+        });
+        let _ = selection;
+        Ok(synopsis)
+    }
+
+    /// Builds MHIST clique histograms for an externally selected model
+    /// (used by experiments that sweep model complexity).
+    ///
+    /// # Errors
+    ///
+    /// Fails on impossible budgets or degenerate inputs.
+    pub fn for_model(
+        relation: &Relation,
+        model: DecomposableModel,
+        config: DbConfig,
+    ) -> Result<Self, SynopsisError> {
+        build_for_model(relation, model, &config, |marginal| {
+            MhistCliqueBuilder::start(marginal, config.criterion)
+        })
+    }
+}
+
+impl DbHistogram<crate::wavelet_factor::WaveletFactor> {
+    /// Builds a DEPENDENCY-BASED **wavelet** synopsis: clique marginals
+    /// are compressed with truncated Haar decompositions instead of
+    /// histograms — the extension the paper's conclusions propose.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid configuration, impossible budgets, or clique
+    /// state spaces beyond the wavelet cell cap.
+    pub fn build_wavelet(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
+        let (mut synopsis, _) = build_generic(relation, &config, |marginal| {
+            crate::wavelet_factor::WaveletCliqueBuilder::start(marginal)
+        })?;
+        synopsis.set_name("DB-wavelet");
+        Ok(synopsis)
+    }
+}
+
+impl DbHistogram<GridHistogram> {
+    /// Builds a DB histogram with grid clique histograms.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid configuration, impossible budgets, or degenerate
+    /// inputs.
+    pub fn build_grid(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
+        let (mut synopsis, _) = build_generic(relation, &config, |marginal| {
+            GridCliqueBuilder::start(marginal, config.criterion)
+        })?;
+        synopsis.set_name("DB-grid");
+        Ok(synopsis)
+    }
+}
+
+impl DbHistogram<ExactFactor> {
+    /// Pairs an externally selected model with *exact* clique marginals —
+    /// "clique histograms with an unlimited number of buckets" — so that
+    /// query error reflects the model alone (the paper's Fig. 6 setup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates marginal-computation failures.
+    pub fn exact_for_model(
+        relation: &Relation,
+        model: DecomposableModel,
+    ) -> Result<Self, SynopsisError> {
+        let factors: Vec<ExactFactor> = model
+            .cliques()
+            .iter()
+            .map(|c| relation.marginal(c).map(ExactFactor))
+            .collect::<Result<_, _>>()?;
+        // Storage accounting for exact marginals: 4 bytes per stored value
+        // plus 4 per frequency (informational only; Fig. 6 ignores space).
+        let bytes = factors
+            .iter()
+            .map(|f| f.0.support_size() * 4 * (f.0.attrs().len() + 1))
+            .sum();
+        Ok(DbHistogram { model, factors, bytes, name: "DB-exact".into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_model::selection::EdgeHeuristic;
+
+    /// a == b (8 values), c independent; N = 4096.
+    fn relation() -> Relation {
+        let schema =
+            dbhist_distribution::Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..4096u32)
+            .map(|i| vec![i % 8, i % 8, (i / 8) % 4])
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn build_discovers_model_and_respects_budget() {
+        let rel = relation();
+        let db = DbHistogram::build_mhist(&rel, DbConfig::new(300)).unwrap();
+        assert!(db.storage_bytes() <= 300);
+        assert!(db.model().graph().has_edge(0, 1));
+        assert_eq!(db.model().edge_count(), 1);
+        assert_eq!(db.factors().len(), db.model().cliques().len());
+        assert_eq!(db.name(), "DB2");
+    }
+
+    #[test]
+    fn estimates_correlated_pair_well() {
+        let rel = relation();
+        let db = DbHistogram::build_mhist(&rel, DbConfig::new(400)).unwrap();
+        // The model captures a == b. Point queries on a perfectly uniform
+        // diagonal are MHIST's worst case (intra-bucket uniformity spreads
+        // mass over the box), so — like the paper — we evaluate range
+        // queries, where the spreading averages out.
+        let est = db.estimate(&[(0, 0, 3), (1, 0, 3)]);
+        let exact = rel.count_range(&[(0, 0, 3), (1, 0, 3)]) as f64;
+        assert!(exact > 0.0);
+        assert!(
+            (est - exact).abs() / exact < 0.6,
+            "est {est} vs exact {exact}"
+        );
+        // Cross-clique query (a with c) goes through the junction tree.
+        let est = db.estimate(&[(0, 0, 3), (2, 1, 1)]);
+        let exact = rel.count_range(&[(0, 0, 3), (2, 1, 1)]) as f64;
+        assert!((est - exact).abs() / exact < 0.5, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn empty_predicate_estimates_table_size() {
+        let rel = relation();
+        let db = DbHistogram::build_mhist(&rel, DbConfig::new(300)).unwrap();
+        assert!((db.estimate(&[]) - 4096.0).abs() < 1e-6);
+        // Unknown attributes are ignored, falling back to N.
+        assert!((db.estimate(&[(99, 0, 1)]) - 4096.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn db1_heuristic_and_dp_allocation() {
+        let rel = relation();
+        let mut config = DbConfig::new(300);
+        config.selection.heuristic = EdgeHeuristic::Db1;
+        config.allocation = AllocationStrategy::OptimalDp;
+        let db = DbHistogram::build_mhist(&rel, config).unwrap();
+        assert_eq!(db.name(), "DB1");
+        assert!(db.storage_bytes() <= 300);
+        assert!(db.model().graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn grid_variant_builds_and_estimates() {
+        let rel = relation();
+        let db = DbHistogram::build_grid(&rel, DbConfig::new(300)).unwrap();
+        assert!(db.storage_bytes() <= 300);
+        let est = db.estimate(&[(2, 0, 1)]);
+        let exact = rel.count_range(&[(2, 0, 1)]) as f64;
+        assert!((est - exact).abs() / exact < 0.3);
+    }
+
+    #[test]
+    fn exact_factors_reproduce_model_estimates() {
+        let rel = relation();
+        let model = {
+            let g = dbhist_model::MarkovGraph::from_edges(3, [(0, 1)]).unwrap();
+            DecomposableModel::new(rel.schema().clone(), g).unwrap()
+        };
+        let db = DbHistogram::exact_for_model(&rel, model).unwrap();
+        // The model [ab][c] is the true structure, so every query is exact.
+        for ranges in [
+            vec![(0u16, 1u32, 3u32)],
+            vec![(0, 2, 2), (1, 2, 2)],
+            vec![(0, 0, 3), (2, 1, 1)],
+            vec![(1, 4, 7), (2, 0, 2)],
+        ] {
+            let est = db.estimate(&ranges);
+            let exact = rel.count_range(&ranges) as f64;
+            assert!(
+                (est - exact).abs() < 1e-6 * (1.0 + exact),
+                "{ranges:?}: {est} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn wavelet_variant_builds_and_estimates() {
+        let rel = relation();
+        let db = DbHistogram::build_wavelet(&rel, DbConfig::new(400)).unwrap();
+        assert!(db.storage_bytes() <= 400);
+        assert_eq!(db.name(), "DB-wavelet");
+        assert!(db.model().graph().has_edge(0, 1));
+        let est = db.estimate(&[(0, 0, 3), (2, 1, 1)]);
+        let exact = rel.count_range(&[(0, 0, 3), (2, 1, 1)]) as f64;
+        assert!((est - exact).abs() / exact < 0.5, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn budget_too_small_is_an_error() {
+        let rel = relation();
+        assert!(matches!(
+            DbHistogram::build_mhist(&rel, DbConfig::new(8)),
+            Err(SynopsisError::Budget { .. })
+        ));
+    }
+
+    #[test]
+    fn bigger_budget_no_worse_on_average() {
+        let rel = relation();
+        let queries: Vec<Vec<(u16, u32, u32)>> = (0..16)
+            .map(|i| vec![(0u16, i % 8, i % 8), (2, i % 4, i % 4)])
+            .collect();
+        let mut errors = Vec::new();
+        for budget in [200usize, 800] {
+            let db = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();
+            let mean: f64 = queries
+                .iter()
+                .map(|q| {
+                    let exact = rel.count_range(q) as f64;
+                    let est = db.estimate(q);
+                    if exact > 0.0 {
+                        (est - exact).abs() / exact
+                    } else {
+                        est
+                    }
+                })
+                .sum::<f64>()
+                / queries.len() as f64;
+            errors.push(mean);
+        }
+        assert!(errors[1] <= errors[0] + 0.05, "{errors:?}");
+    }
+}

@@ -1,0 +1,376 @@
+//! Synthetic Census CPS-like data sets (paper §4.1).
+//!
+//! The generators reproduce the *attribute domains* and the *correlation
+//! structure* the paper describes for the Current Population Survey person
+//! files, without access to the original extracts:
+//!
+//! * `native-country`, `mother-country`, and `father-country` are strongly
+//!   mutually correlated (family members usually share an origin);
+//! * `citizenship` is nearly a function of `native-country`;
+//! * `race` correlates with origin region;
+//! * `age` is drawn independently of everything else;
+//! * (data set 2) `county` depends on `state`; `education` on `age`;
+//!   `industry` on `education`; `hours` on `industry`.
+//!
+//! The distributions are heavily skewed (a dominant home country, Zipfian
+//! tails) so that histograms face realistic frequency variation, and the
+//! generation is fully deterministic given the seed.
+
+use dbhist_distribution::{Relation, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuple count of the paper's Census data set 1.
+pub const DATA_SET_1_ROWS: usize = 125_705;
+/// Tuple count of the paper's Census data set 2.
+pub const DATA_SET_2_ROWS: usize = 83_566;
+
+/// Attribute indices of data set 1 (and the first six of data set 2).
+pub mod attrs {
+    /// `race` (domain 4).
+    pub const RACE: u16 = 0;
+    /// `native-country` of the sample person (domain 113).
+    pub const COUNTRY: u16 = 1;
+    /// `native-country` of the person's mother (domain 113).
+    pub const MOTHER_COUNTRY: u16 = 2;
+    /// `native-country` of the person's father (domain 113).
+    pub const FATHER_COUNTRY: u16 = 3;
+    /// `citizenship` (domain 5).
+    pub const CITIZENSHIP: u16 = 4;
+    /// `age` (domain 91).
+    pub const AGE: u16 = 5;
+    /// `industry` code (domain 237, data set 2 only).
+    pub const INDUSTRY: u16 = 6;
+    /// usual weekly `hours` at the main job (domain 88, data set 2 only).
+    pub const HOURS: u16 = 7;
+    /// `education` attainment (domain 17, data set 2 only).
+    pub const EDUCATION: u16 = 8;
+    /// census `state` code (domain 51, data set 2 only).
+    pub const STATE: u16 = 9;
+    /// `county` code (domain 91, data set 2 only).
+    pub const COUNTY: u16 = 10;
+    /// a second independent survey weight digit (domain 10, data set 2
+    /// only) — keeps the arity at 12 as in the paper.
+    pub const WEIGHT_DIGIT: u16 = 11;
+}
+
+/// Schema of Census data set 1 (6 attributes, as in the paper).
+#[must_use]
+pub fn schema_1() -> Schema {
+    Schema::new(vec![
+        ("race", 4),
+        ("country", 113),
+        ("mother-country", 113),
+        ("father-country", 113),
+        ("citizenship", 5),
+        ("age", 91),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Schema of Census data set 2 (12 attributes, as in the paper).
+#[must_use]
+pub fn schema_2() -> Schema {
+    Schema::new(vec![
+        ("race", 4),
+        ("country", 113),
+        ("mother-country", 113),
+        ("father-country", 113),
+        ("citizenship", 5),
+        ("age", 91),
+        ("industry", 237),
+        ("hours", 88),
+        ("education", 17),
+        ("state", 51),
+        ("county", 91),
+        ("weight-digit", 10),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Draws a country: 0 is the dominant home country (~72%); the remaining
+/// mass decays Zipf-like over 1..113.
+fn draw_country(rng: &mut StdRng) -> u32 {
+    if rng.gen_bool(0.72) {
+        return 0;
+    }
+    // Zipf-ish over the 112 foreign codes via inverse-power transform.
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    let v = (112.0f64.powf(u) - 1.0) / 111.0 * 112.0;
+    1 + (v as u32).min(111)
+}
+
+/// Draws a parent's country given the person's.
+fn draw_parent_country(rng: &mut StdRng, person: u32) -> u32 {
+    if person == 0 {
+        // Home-born: parents mostly home-born, sometimes immigrants.
+        if rng.gen_bool(0.88) {
+            0
+        } else {
+            draw_country(rng)
+        }
+    } else if rng.gen_bool(0.90) {
+        person
+    } else {
+        draw_country(rng)
+    }
+}
+
+/// Citizenship as a noisy function of the native country.
+fn draw_citizenship(rng: &mut StdRng, country: u32) -> u32 {
+    if country == 0 {
+        if rng.gen_bool(0.97) {
+            0 // born in the home country
+        } else {
+            1 // born in an outlying territory
+        }
+    } else if rng.gen_bool(0.12) {
+        2 // born abroad of citizen parents
+    } else if rng.gen_bool(0.45) {
+        3 // naturalized
+    } else {
+        4 // not a citizen
+    }
+}
+
+/// Race correlates with origin region.
+fn draw_race(rng: &mut StdRng, country: u32) -> u32 {
+    let region = match country {
+        0 => 0,
+        1..=40 => 1,
+        41..=80 => 2,
+        _ => 3,
+    };
+    if rng.gen_bool(0.75) {
+        region
+    } else {
+        rng.gen_range(0..4)
+    }
+}
+
+/// Age: independent, roughly census-shaped (triangular with a working-age
+/// plateau), clamped to 0..91.
+fn draw_age(rng: &mut StdRng) -> u32 {
+    let a: u32 = rng.gen_range(0..91);
+    let b: u32 = rng.gen_range(0..91);
+    // Averaging two uniforms gives a triangular distribution peaked at 45.
+    (a + b) / 2
+}
+
+fn draw_person(rng: &mut StdRng) -> [u32; 6] {
+    let country = draw_country(rng);
+    let mother = draw_parent_country(rng, country);
+    let father = if rng.gen_bool(0.85) {
+        // Couples usually share an origin.
+        if mother == 0 || rng.gen_bool(0.9) {
+            mother
+        } else {
+            draw_parent_country(rng, country)
+        }
+    } else {
+        draw_parent_country(rng, country)
+    };
+    [
+        draw_race(rng, country),
+        country,
+        mother,
+        father,
+        draw_citizenship(rng, country),
+        draw_age(rng),
+    ]
+}
+
+/// Generates Census data set 1 (6 attributes, `rows` tuples).
+#[must_use]
+pub fn census_data_set_1_with(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<u32>> = (0..rows).map(|_| draw_person(&mut rng).to_vec()).collect();
+    Relation::from_rows(schema_1(), rows).expect("generator respects the schema")
+}
+
+/// Generates Census data set 1 at the paper's size (125,705 tuples).
+#[must_use]
+pub fn census_data_set_1() -> Relation {
+    census_data_set_1_with(DATA_SET_1_ROWS, 0x2001_5161)
+}
+
+/// State populations are skewed; county depends on the state; education
+/// depends on age; industry on education; hours on industry.
+fn draw_extension(rng: &mut StdRng, age: u32) -> [u32; 6] {
+    // State: a few large states hold most of the mass.
+    let state: u32 = if rng.gen_bool(0.5) {
+        rng.gen_range(0..8) // the big states
+    } else {
+        rng.gen_range(0..51)
+    };
+    // County: tightly concentrated around a state-specific base.
+    let county = if rng.gen_bool(0.92) {
+        (state * 7 + rng.gen_range(0..5)) % 91
+    } else {
+        rng.gen_range(0..91)
+    };
+    // Education rises with age up to a plateau.
+    let edu_cap = ((age / 6) + 4).min(16);
+    let education = if rng.gen_bool(0.8) {
+        rng.gen_range((edu_cap.saturating_sub(3))..=edu_cap)
+    } else {
+        rng.gen_range(0..17)
+    };
+    // Industry clusters tightly by education band.
+    let industry = if rng.gen_bool(0.88) {
+        (education * 14 + rng.gen_range(0..10)) % 237
+    } else {
+        rng.gen_range(0..237)
+    };
+    // Hours: full-time dominates, with an industry-dependent second mode.
+    let hours = if rng.gen_bool(0.65) {
+        40
+    } else if industry % 2 == 0 {
+        rng.gen_range(10..25)
+    } else {
+        rng.gen_range(45..70)
+    };
+    let weight_digit = rng.gen_range(0..10);
+    [industry, hours, education, state, county, weight_digit]
+}
+
+/// Generates Census data set 2 (12 attributes, `rows` tuples).
+#[must_use]
+pub fn census_data_set_2_with(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<u32>> = (0..rows)
+        .map(|_| {
+            let person = draw_person(&mut rng);
+            let ext = draw_extension(&mut rng, person[5]);
+            person.iter().chain(ext.iter()).copied().collect()
+        })
+        .collect();
+    Relation::from_rows(schema_2(), rows).expect("generator respects the schema")
+}
+
+/// Generates Census data set 2 at the paper's size (83,566 tuples).
+#[must_use]
+pub fn census_data_set_2() -> Relation {
+    census_data_set_2_with(DATA_SET_2_ROWS, 0x2001_5162)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::{AttrSet, EntropyCache};
+
+    #[test]
+    fn schemas_match_paper_domains() {
+        let s1 = schema_1();
+        assert_eq!(s1.arity(), 6);
+        assert_eq!(s1.domain_size(attrs::RACE), 4);
+        assert_eq!(s1.domain_size(attrs::COUNTRY), 113);
+        assert_eq!(s1.domain_size(attrs::CITIZENSHIP), 5);
+        assert_eq!(s1.domain_size(attrs::AGE), 91);
+        let s2 = schema_2();
+        assert_eq!(s2.arity(), 12);
+        assert_eq!(s2.domain_size(attrs::INDUSTRY), 237);
+        assert_eq!(s2.domain_size(attrs::HOURS), 88);
+        assert_eq!(s2.domain_size(attrs::EDUCATION), 17);
+        assert_eq!(s2.domain_size(attrs::STATE), 51);
+        assert_eq!(s2.domain_size(attrs::COUNTY), 91);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = census_data_set_1_with(500, 7);
+        let b = census_data_set_1_with(500, 7);
+        assert_eq!(a.rows().collect::<Vec<_>>(), b.rows().collect::<Vec<_>>());
+        let c = census_data_set_1_with(500, 8);
+        assert_ne!(a.rows().collect::<Vec<_>>(), c.rows().collect::<Vec<_>>());
+    }
+
+    /// Mutual information I(X;Y) from a relation, in nats.
+    fn mi(rel: &Relation, x: u16, y: u16) -> f64 {
+        let mut cache = EntropyCache::new(rel);
+        cache.entropy(&AttrSet::singleton(x)) + cache.entropy(&AttrSet::singleton(y))
+            - cache.entropy(&AttrSet::from_ids([x, y]))
+    }
+
+    /// Upward bias of the plug-in MI estimate for independent variables:
+    /// ≈ (|Dx|−1)(|Dy|−1)/(2N) nats (the Miller–Madow correction). Tests
+    /// for independence must allow for it on wide domains.
+    fn mi_bias(rel: &Relation, x: u16, y: u16) -> f64 {
+        let dx = f64::from(rel.schema().domain_size(x)) - 1.0;
+        let dy = f64::from(rel.schema().domain_size(y)) - 1.0;
+        dx * dy / (2.0 * rel.row_count() as f64)
+    }
+
+    #[test]
+    fn correlation_structure_data_set_1() {
+        let rel = census_data_set_1_with(20_000, 42);
+        // The origin cluster is strongly correlated.
+        let strong = [
+            (attrs::COUNTRY, attrs::MOTHER_COUNTRY),
+            (attrs::MOTHER_COUNTRY, attrs::FATHER_COUNTRY),
+            (attrs::COUNTRY, attrs::CITIZENSHIP),
+        ];
+        for (x, y) in strong {
+            assert!(mi(&rel, x, y) > 0.3, "I({x};{y}) = {}", mi(&rel, x, y));
+        }
+        // Age is (nearly) independent of everything: the measured MI must
+        // be explained by estimator bias alone.
+        for other in [attrs::RACE, attrs::COUNTRY, attrs::CITIZENSHIP] {
+            let i = mi(&rel, attrs::AGE, other);
+            let bias = mi_bias(&rel, attrs::AGE, other);
+            assert!(i < bias + 0.05, "I(age;{other}) = {i} (bias {bias})");
+        }
+        // And the strong correlations dwarf the bias-corrected age ones.
+        let age_excess = (mi(&rel, attrs::AGE, attrs::COUNTRY)
+            - mi_bias(&rel, attrs::AGE, attrs::COUNTRY))
+        .max(0.01);
+        assert!(mi(&rel, attrs::COUNTRY, attrs::MOTHER_COUNTRY) > 10.0 * age_excess);
+    }
+
+    #[test]
+    fn correlation_structure_data_set_2() {
+        let rel = census_data_set_2_with(20_000, 42);
+        assert!(mi(&rel, attrs::STATE, attrs::COUNTY) > 0.5);
+        assert!(mi(&rel, attrs::EDUCATION, attrs::INDUSTRY) > 0.3);
+        assert!(mi(&rel, attrs::AGE, attrs::EDUCATION) > 0.1);
+        // The weight digit is independent of everything (up to plug-in
+        // estimator bias).
+        for other in [attrs::STATE, attrs::AGE, attrs::INDUSTRY] {
+            let i = mi(&rel, attrs::WEIGHT_DIGIT, other);
+            let bias = mi_bias(&rel, attrs::WEIGHT_DIGIT, other);
+            assert!(i < bias + 0.02, "I(weight;{other}) = {i} (bias {bias})");
+        }
+    }
+
+    #[test]
+    fn skew_present() {
+        // The dominant home country holds most of the mass.
+        let rel = census_data_set_1_with(10_000, 3);
+        let c = rel.marginal(&AttrSet::singleton(attrs::COUNTRY)).unwrap();
+        let home = c.frequency(&[0]);
+        assert!(home > 6_000.0 && home < 8_500.0, "home mass {home}");
+        // Many distinct foreign codes appear.
+        assert!(c.support_size() > 60);
+    }
+
+    #[test]
+    fn duplicate_ratio_flavors() {
+        // Data set 1 has few distinct tuples relative to rows (paper:
+        // 13,449 of 125,705); data set 2 is mostly distinct (63,090 of
+        // 83,566). Check the same flavor at smaller scale.
+        let r1 = census_data_set_1_with(20_000, 5);
+        let d1 = r1.distribution().support_size() as f64 / 20_000.0;
+        let r2 = census_data_set_2_with(20_000, 5);
+        let d2 = r2.distribution().support_size() as f64 / 20_000.0;
+        assert!(d1 < 0.65, "data set 1 distinct ratio {d1}");
+        assert!(d2 > 0.85, "data set 2 distinct ratio {d2}");
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn full_sizes_match_paper() {
+        // Only row counts (cheap to verify without generating twice).
+        assert_eq!(DATA_SET_1_ROWS, 125_705);
+        assert_eq!(DATA_SET_2_ROWS, 83_566);
+    }
+}

@@ -1,0 +1,181 @@
+//! Synthetic California-housing-like data set.
+//!
+//! The paper's full version additionally evaluates on the 1990 California
+//! housing survey (`lib.stat.cmu.edu`). This generator reproduces that
+//! set's shape: 20,640 districts over 9 attributes, with geographic
+//! clustering (districts concentrate around a handful of metro areas),
+//! size attributes (`rooms`, `bedrooms`, `population`, `households`) that
+//! are strongly mutually correlated through district size, and
+//! `median-income` driving `median-house-value`. Attributes are
+//! discretized to integer domains as §2.1 prescribes for non-categorical
+//! data.
+
+use dbhist_distribution::{Relation, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// District count of the original survey.
+pub const HOUSING_ROWS: usize = 20_640;
+
+/// Attribute indices of the housing data set.
+pub mod attrs {
+    /// Discretized longitude (domain 50).
+    pub const LONGITUDE: u16 = 0;
+    /// Discretized latitude (domain 50).
+    pub const LATITUDE: u16 = 1;
+    /// Housing median age (domain 52).
+    pub const AGE: u16 = 2;
+    /// Total rooms, bucketized (domain 64).
+    pub const ROOMS: u16 = 3;
+    /// Total bedrooms, bucketized (domain 64).
+    pub const BEDROOMS: u16 = 4;
+    /// Population, bucketized (domain 64).
+    pub const POPULATION: u16 = 5;
+    /// Households, bucketized (domain 64).
+    pub const HOUSEHOLDS: u16 = 6;
+    /// Median income, bucketized (domain 64).
+    pub const INCOME: u16 = 7;
+    /// Median house value, bucketized (domain 64).
+    pub const VALUE: u16 = 8;
+}
+
+/// Schema of the housing data set.
+#[must_use]
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        ("longitude", 50),
+        ("latitude", 50),
+        ("age", 52),
+        ("rooms", 64),
+        ("bedrooms", 64),
+        ("population", 64),
+        ("households", 64),
+        ("income", 64),
+        ("value", 64),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Metro-area cluster centers as (longitude, latitude, affluence) with
+/// affluence in 0..1 steering incomes.
+const METROS: [(u32, u32, f64); 5] = [
+    (8, 38, 0.85),  // SF bay
+    (20, 12, 0.70), // LA basin
+    (26, 8, 0.55),  // San Diego
+    (18, 30, 0.45), // Central Valley
+    (12, 22, 0.40), // Central Coast
+];
+
+fn clamp(v: i64, hi: u32) -> u32 {
+    v.clamp(0, i64::from(hi - 1)) as u32
+}
+
+/// Generates the housing data set with `rows` districts.
+#[must_use]
+pub fn california_housing_with(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = schema();
+    let data: Vec<Vec<u32>> = (0..rows)
+        .map(|_| {
+            // Pick a metro (skewed) or a rural spot.
+            let (lon, lat, affluence) = if rng.gen_bool(0.8) {
+                let weights = [0.3f64, 0.35, 0.12, 0.13, 0.10];
+                let mut pick: f64 = rng.gen_range(0.0f64..1.0);
+                let mut metro = METROS[0];
+                for (m, &w) in METROS.iter().zip(&weights) {
+                    if pick < w {
+                        metro = *m;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let (mx, my, aff) = metro;
+                let lon = clamp(i64::from(mx) + rng.gen_range(-4i64..=4), 50);
+                let lat = clamp(i64::from(my) + rng.gen_range(-4i64..=4), 50);
+                (lon, lat, aff)
+            } else {
+                (rng.gen_range(0..50), rng.gen_range(0..50), 0.3)
+            };
+
+            // District size drives rooms/bedrooms/population/households.
+            let size: f64 = rng.gen_range(0.2f64..1.0);
+            let noise = |rng: &mut StdRng, scale: f64| rng.gen_range(-scale..scale);
+            let rooms = clamp((size * 56.0 + noise(&mut rng, 6.0)) as i64, 64);
+            let bedrooms = clamp((f64::from(rooms) * 0.85 + noise(&mut rng, 5.0)) as i64, 64);
+            let households = clamp((size * 52.0 + noise(&mut rng, 7.0)) as i64, 64);
+            let population =
+                clamp((f64::from(households) * 1.05 + noise(&mut rng, 6.0)) as i64, 64);
+
+            // Income around the metro's affluence; value follows income.
+            let income = clamp((affluence * 52.0 + noise(&mut rng, 12.0)) as i64, 64);
+            let value = clamp((f64::from(income) * 0.9 + noise(&mut rng, 9.0)) as i64, 64);
+
+            // Older housing stock in the urban cores.
+            let urban = f64::from(50 - lon.abs_diff(20).min(30)) / 50.0;
+            let age = clamp((urban * 40.0 + rng.gen_range(0.0f64..20.0)) as i64, 52);
+
+            vec![
+                lon, lat, age, rooms, bedrooms, population, households, income, value,
+            ]
+        })
+        .collect();
+    Relation::from_rows(schema, data).expect("generator respects the schema")
+}
+
+/// Generates the housing data set at its original size (20,640 rows).
+#[must_use]
+pub fn california_housing() -> Relation {
+    california_housing_with(HOUSING_ROWS, 0x1990_CA11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::{AttrSet, EntropyCache};
+
+    fn mi(rel: &Relation, x: u16, y: u16) -> f64 {
+        let mut cache = EntropyCache::new(rel);
+        cache.entropy(&AttrSet::singleton(x)) + cache.entropy(&AttrSet::singleton(y))
+            - cache.entropy(&AttrSet::from_ids([x, y]))
+    }
+
+    #[test]
+    fn schema_shape() {
+        let s = schema();
+        assert_eq!(s.arity(), 9);
+        assert_eq!(s.domain_size(attrs::LONGITUDE), 50);
+        assert_eq!(s.domain_size(attrs::VALUE), 64);
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = california_housing_with(1000, 1);
+        let b = california_housing_with(1000, 1);
+        assert_eq!(a.rows().collect::<Vec<_>>(), b.rows().collect::<Vec<_>>());
+        assert_eq!(a.row_count(), 1000);
+        assert_eq!(HOUSING_ROWS, 20_640);
+    }
+
+    #[test]
+    fn correlations_present() {
+        let rel = california_housing_with(15_000, 9);
+        // The size cluster is strongly mutually correlated.
+        assert!(mi(&rel, attrs::ROOMS, attrs::BEDROOMS) > 0.5);
+        assert!(mi(&rel, attrs::POPULATION, attrs::HOUSEHOLDS) > 0.5);
+        assert!(mi(&rel, attrs::ROOMS, attrs::HOUSEHOLDS) > 0.3);
+        // Income drives value; geography drives income.
+        assert!(mi(&rel, attrs::INCOME, attrs::VALUE) > 0.5);
+        assert!(mi(&rel, attrs::LONGITUDE, attrs::LATITUDE) > 0.3);
+        // Size is (nearly) independent of income.
+        assert!(mi(&rel, attrs::ROOMS, attrs::INCOME) < 0.12);
+    }
+
+    #[test]
+    fn geographic_clustering() {
+        let rel = california_housing_with(10_000, 9);
+        let lon = rel.marginal(&AttrSet::singleton(attrs::LONGITUDE)).unwrap();
+        // Mass concentrates near the metro longitudes (8, 20, 26, ...).
+        let metro_mass = lon.range_mass(&[(attrs::LONGITUDE, 4, 30)]);
+        assert!(metro_mass > 7_000.0, "metro mass {metro_mass}");
+    }
+}

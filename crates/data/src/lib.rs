@@ -1,0 +1,36 @@
+//! Data sets, query workloads, and answer-quality metrics (paper §4.1).
+//!
+//! The paper evaluates on extracts of the US Census Bureau's Current
+//! Population Survey (March Questionnaire Supplement) and a California
+//! housing survey. Those exact 2001 extracts are not redistributable, so
+//! this crate provides **synthetic generators that reproduce the paper's
+//! schemas and correlation structure**:
+//!
+//! * [`census::census_data_set_1`] — the 6-attribute set: `race(4)`,
+//!   `native-country(113)`, `mother-country(113)`, `father-country(113)`,
+//!   `citizenship(5)`, `age(91)`; ~125,705 tuples. The first five
+//!   attributes are strongly correlated, `age` is essentially independent
+//!   — exactly the structure the paper expects model selection to
+//!   discover.
+//! * [`census::census_data_set_2`] — the 12-attribute set adding
+//!   `industry(237)`, `hours(88)`, `education(17)`, `state(51)`,
+//!   `county(91)`; ~83,566 tuples with a high distinct-tuple ratio.
+//! * [`housing::california_housing`] — the classic 9-attribute housing
+//!   schema with geographic clusters and income/value correlations.
+//!
+//! [`workload`] generates the paper's random `k`-D range-query workloads
+//! (100 queries per `k`, discarding queries matching fewer than 100 base
+//! tuples), and [`metrics`] implements the two answer-quality measures:
+//! absolute relative error and multiplicative error.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod census;
+pub mod housing;
+pub mod metrics;
+pub mod synthetic;
+pub mod workload;
+
+pub use metrics::{multiplicative_error, relative_error, ErrorSummary};
+pub use workload::{Query, Workload, WorkloadConfig};

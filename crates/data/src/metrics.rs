@@ -1,0 +1,139 @@
+//! Answer-quality metrics (paper §4.1).
+//!
+//! * **Absolute relative error** `|a_s − a| / a` — standard, but flattering
+//!   to estimators that return tiny answers: even `a_s = 0` caps at 1.
+//! * **Multiplicative error** `max(a_s, a) / min(a_s, a)` — the paper's
+//!   corrective metric, penalizing gross *under*-estimates symmetrically
+//!   with over-estimates. Following the workload's `min_count ≥ 100`
+//!   filter, the exact answer is never 0; estimates below 1 are clamped to
+//!   1 so the ratio stays finite (an estimate of 0 for a 100-tuple answer
+//!   scores 100×).
+
+use crate::workload::Workload;
+use dbhist_distribution::AttrId;
+
+/// Absolute relative error `|estimate − exact| / exact`.
+///
+/// # Panics
+///
+/// Panics if `exact` is not positive (workloads filter those out).
+#[must_use]
+pub fn relative_error(estimate: f64, exact: f64) -> f64 {
+    assert!(exact > 0.0, "relative error needs a positive exact answer");
+    (estimate - exact).abs() / exact
+}
+
+/// Multiplicative error `max(a_s, a) / min(a_s, a)`, with estimates
+/// clamped below at 1 to keep the ratio finite. Always ≥ 1.
+///
+/// # Panics
+///
+/// Panics if `exact` is not positive.
+#[must_use]
+pub fn multiplicative_error(estimate: f64, exact: f64) -> f64 {
+    assert!(exact > 0.0, "multiplicative error needs a positive exact answer");
+    let e = estimate.max(1.0);
+    if e >= exact {
+        e / exact
+    } else {
+        exact / e
+    }
+}
+
+/// Aggregated workload errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Mean absolute relative error over the workload.
+    pub mean_relative: f64,
+    /// Mean multiplicative error over the workload.
+    pub mean_multiplicative: f64,
+    /// Number of queries evaluated.
+    pub queries: usize,
+}
+
+impl ErrorSummary {
+    /// Evaluates an estimator (any closure mapping ranges to an estimated
+    /// count) over a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty workload.
+    #[must_use]
+    pub fn evaluate(
+        workload: &Workload,
+        mut estimator: impl FnMut(&[(AttrId, u32, u32)]) -> f64,
+    ) -> Self {
+        assert!(!workload.is_empty(), "cannot evaluate an empty workload");
+        let mut rel_sum = 0.0;
+        let mut mult_sum = 0.0;
+        for q in &workload.queries {
+            let est = estimator(&q.ranges);
+            let exact = q.exact as f64;
+            rel_sum += relative_error(est, exact);
+            mult_sum += multiplicative_error(est, exact);
+        }
+        let n = workload.len() as f64;
+        Self {
+            mean_relative: rel_sum / n,
+            mean_multiplicative: mult_sum / n,
+            queries: workload.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Query, WorkloadConfig};
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+        assert_eq!(relative_error(150.0, 100.0), 0.5);
+        assert_eq!(relative_error(0.0, 100.0), 1.0);
+        assert_eq!(relative_error(200.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn multiplicative_error_cases() {
+        assert_eq!(multiplicative_error(100.0, 100.0), 1.0);
+        assert_eq!(multiplicative_error(200.0, 100.0), 2.0);
+        assert_eq!(multiplicative_error(50.0, 100.0), 2.0);
+        // Tiny/zero estimates are clamped to 1, not infinity.
+        assert_eq!(multiplicative_error(0.0, 100.0), 100.0);
+        assert_eq!(multiplicative_error(0.5, 100.0), 100.0);
+    }
+
+    #[test]
+    fn multiplicative_penalizes_underestimates_relative_does_not() {
+        // The paper's motivation for the metric: IND returning ~0 looks
+        // fine on relative error (≤ 1) but terrible multiplicatively.
+        let (rel0, mult0) = (relative_error(0.0, 1000.0), multiplicative_error(0.0, 1000.0));
+        let (rel3x, mult3x) =
+            (relative_error(3000.0, 1000.0), multiplicative_error(3000.0, 1000.0));
+        assert!(rel0 < rel3x, "relative error prefers the zero answer");
+        assert!(mult0 > mult3x, "multiplicative error does not");
+    }
+
+    #[test]
+    fn summary_averages() {
+        let workload = crate::workload::Workload {
+            config: WorkloadConfig { dimensionality: 1, queries: 2, min_count: 1, seed: 0 },
+            queries: vec![
+                Query { ranges: vec![(0, 0, 1)], exact: 100 },
+                Query { ranges: vec![(0, 2, 3)], exact: 200 },
+            ],
+        };
+        // Estimator always answers 200.
+        let s = ErrorSummary::evaluate(&workload, |_| 200.0);
+        assert_eq!(s.queries, 2);
+        assert!((s.mean_relative - 0.5).abs() < 1e-12); // (1.0 + 0.0)/2
+        assert!((s.mean_multiplicative - 1.5).abs() < 1e-12); // (2 + 1)/2
+    }
+
+    #[test]
+    #[should_panic(expected = "positive exact")]
+    fn rejects_zero_exact() {
+        let _ = relative_error(1.0, 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Random range-selectivity query workloads (paper §4.1).
+//!
+//! A `k`-D query specifies inclusive ranges on `k` randomly chosen
+//! attributes and leaves the rest unconstrained. Workloads consist of 100
+//! random `k`-D queries; queries matching fewer than 100 base tuples are
+//! discarded (the paper's truncation rule), so error metrics are never
+//! dominated by near-empty answers.
+
+use dbhist_distribution::{AttrId, Relation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One range-selectivity query with its exact answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The conjunctive ranges `(attr, lo, hi)`, one per constrained
+    /// attribute.
+    pub ranges: Vec<(AttrId, u32, u32)>,
+    /// Exact number of matching tuples in the base relation.
+    pub exact: u64,
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of constrained attributes per query (the paper's `k`).
+    pub dimensionality: usize,
+    /// Number of accepted queries (the paper uses 100).
+    pub queries: usize,
+    /// Minimum exact answer for a query to be kept (the paper uses 100).
+    pub min_count: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's configuration for a `k`-D workload: 100 queries, ≥100
+    /// matching tuples.
+    #[must_use]
+    pub fn paper(dimensionality: usize, seed: u64) -> Self {
+        Self { dimensionality, queries: 100, min_count: 100, seed }
+    }
+}
+
+/// A generated workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The configuration it was generated with.
+    pub config: WorkloadConfig,
+    /// The accepted queries.
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Generates a workload against `relation`.
+    ///
+    /// Random queries are drawn until `config.queries` pass the
+    /// `min_count` filter (bounded by a generous attempt cap, so
+    /// pathological configurations terminate with fewer queries rather
+    /// than hanging).
+    #[must_use]
+    pub fn generate(relation: &Relation, config: WorkloadConfig) -> Self {
+        assert!(
+            config.dimensionality >= 1 && config.dimensionality <= relation.schema().arity(),
+            "workload dimensionality must be within the schema arity"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = relation.schema().arity();
+        let attrs: Vec<AttrId> = (0..n as AttrId).collect();
+        let mut queries = Vec::with_capacity(config.queries);
+        let max_attempts = config.queries * 500;
+        let mut attempts = 0;
+        // Candidate filtering counts against the sparse joint distribution
+        // (its support is typically 10x smaller than the row count), not
+        // the raw rows — same exact integers, far cheaper rejection.
+        let joint = relation.distribution();
+        while queries.len() < config.queries && attempts < max_attempts {
+            attempts += 1;
+            // Choose k distinct attributes and a random range per attribute.
+            let chosen: Vec<AttrId> = attrs
+                .choose_multiple(&mut rng, config.dimensionality)
+                .copied()
+                .collect();
+            let ranges: Vec<(AttrId, u32, u32)> = chosen
+                .iter()
+                .map(|&a| {
+                    let d = relation.schema().domain_size(a);
+                    let x = rng.gen_range(0..d);
+                    let y = rng.gen_range(0..d);
+                    (a, x.min(y), x.max(y))
+                })
+                .collect();
+            let exact = joint.range_mass(&ranges).round() as u64;
+            if exact >= config.min_count {
+                queries.push(Query { ranges, exact });
+            }
+        }
+        Self { config, queries }
+    }
+
+    /// Number of accepted queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` if generation accepted no queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::Schema;
+
+    fn relation() -> Relation {
+        let schema = Schema::new(vec![("a", 16), ("b", 16), ("c", 8)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..20_000u32)
+            .map(|i| vec![(i * 7) % 16, (i * 3) % 16, i % 8])
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let rel = relation();
+        let w = Workload::generate(&rel, WorkloadConfig::paper(2, 11));
+        assert_eq!(w.len(), 100);
+        for q in &w.queries {
+            assert_eq!(q.ranges.len(), 2);
+            assert!(q.exact >= 100);
+            assert_eq!(q.exact, rel.count_range(&q.ranges));
+            // Distinct attributes, valid ranges.
+            assert_ne!(q.ranges[0].0, q.ranges[1].0);
+            for &(a, lo, hi) in &q.ranges {
+                assert!(lo <= hi);
+                assert!(hi < rel.schema().domain_size(a));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let rel = relation();
+        let a = Workload::generate(&rel, WorkloadConfig::paper(3, 5));
+        let b = Workload::generate(&rel, WorkloadConfig::paper(3, 5));
+        assert_eq!(a.queries, b.queries);
+        let c = Workload::generate(&rel, WorkloadConfig::paper(3, 6));
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn min_count_filter_applies() {
+        let rel = relation();
+        let cfg = WorkloadConfig { dimensionality: 3, queries: 50, min_count: 5000, seed: 2 };
+        let w = Workload::generate(&rel, cfg);
+        assert!(w.queries.iter().all(|q| q.exact >= 5000));
+    }
+
+    #[test]
+    fn impossible_filter_terminates() {
+        let rel = relation();
+        let cfg = WorkloadConfig {
+            dimensionality: 3,
+            queries: 10,
+            min_count: 10_000_000,
+            seed: 2,
+        };
+        let w = Workload::generate(&rel, cfg);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn rejects_bad_dimensionality() {
+        let rel = relation();
+        let _ = Workload::generate(&rel, WorkloadConfig::paper(9, 1));
+    }
+}

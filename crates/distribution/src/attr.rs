@@ -1,0 +1,425 @@
+//! Attribute metadata and ordered attribute-id sets.
+//!
+//! The paper indexes a relation's attributes `X_1, ..., X_n` and constantly
+//! manipulates *subsets* of them: model generators (cliques), junction-tree
+//! separators, query attribute sets, projection targets. [`AttrSet`] is the
+//! workspace-wide representation of such subsets — a sorted, deduplicated
+//! vector of [`AttrId`]s with the usual set algebra. Attribute dimensional
+//! metadata (name, domain size) lives in [`Schema`].
+
+use std::fmt;
+
+use crate::error::DistributionError;
+
+/// Index of an attribute within a [`Schema`] (the paper's `X_{id+1}`).
+pub type AttrId = u16;
+
+/// Metadata for a single attribute: a display name and the size of its
+/// integer-coded value domain `0..domain_size` (paper §2.1 maps every domain
+/// onto `{1, ..., |D_j|}`; we use zero-based coding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Attr {
+    /// Human-readable attribute name (e.g. `"age"`).
+    pub name: String,
+    /// Number of distinct values in the attribute's domain.
+    pub domain_size: u32,
+}
+
+/// An ordered collection of attributes describing a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schema {
+    attrs: Vec<Attr>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, domain_size)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::InvalidSchema`] if no attributes are
+    /// given, any domain is empty, or more than `u16::MAX` attributes are
+    /// declared.
+    pub fn new<S: Into<String>>(
+        attrs: impl IntoIterator<Item = (S, u32)>,
+    ) -> Result<Self, DistributionError> {
+        let attrs: Vec<Attr> = attrs
+            .into_iter()
+            .map(|(name, domain_size)| Attr { name: name.into(), domain_size })
+            .collect();
+        if attrs.is_empty() {
+            return Err(DistributionError::InvalidSchema {
+                reason: "schema must declare at least one attribute".into(),
+            });
+        }
+        if attrs.len() > usize::from(u16::MAX) {
+            return Err(DistributionError::InvalidSchema {
+                reason: format!("too many attributes ({})", attrs.len()),
+            });
+        }
+        if let Some(bad) = attrs.iter().position(|a| a.domain_size == 0) {
+            return Err(DistributionError::InvalidSchema {
+                reason: format!("attribute {} ({:?}) has an empty domain", bad, attrs[bad].name),
+            });
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Number of attributes `n`.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Metadata for attribute `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::UnknownAttr`] for out-of-range ids.
+    pub fn attr(&self, id: AttrId) -> Result<&Attr, DistributionError> {
+        self.attrs
+            .get(usize::from(id))
+            .ok_or(DistributionError::UnknownAttr { attr: id })
+    }
+
+    /// Domain size of attribute `id`, panicking on out-of-range ids.
+    ///
+    /// Internal call sites validate ids at construction; public callers
+    /// should prefer [`Schema::attr`].
+    #[must_use]
+    pub fn domain_size(&self, id: AttrId) -> u32 {
+        self.attrs[usize::from(id)].domain_size
+    }
+
+    /// Iterates over `(id, attr)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attr)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i as AttrId, a))
+    }
+
+    /// The set of all attribute ids `{0, ..., n-1}`.
+    #[must_use]
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::from_ids(0..self.attrs.len() as AttrId)
+    }
+
+    /// Looks up an attribute id by name.
+    #[must_use]
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a.name == name).map(|i| i as AttrId)
+    }
+
+    /// Product of the domain sizes over `attrs` — the number of cells in the
+    /// dense contingency table over that subset. Saturates at `u64::MAX`.
+    #[must_use]
+    pub fn state_space(&self, attrs: &AttrSet) -> u64 {
+        attrs
+            .iter()
+            .map(|a| u64::from(self.domain_size(a)))
+            .fold(1u64, u64::saturating_mul)
+    }
+}
+
+/// A sorted, duplicate-free set of attribute ids.
+///
+/// All workspace code that names "a subset of the attributes" — model
+/// cliques, separators, projection targets, query attribute lists — uses
+/// this type. Ordering is ascending by id, which gives every set a canonical
+/// form usable as a hash-map key (e.g. in [`crate::EntropyCache`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttrSet {
+    ids: Vec<AttrId>,
+}
+
+impl AttrSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from arbitrary ids (sorted and deduplicated).
+    #[must_use]
+    pub fn from_ids(ids: impl IntoIterator<Item = AttrId>) -> Self {
+        let mut ids: Vec<AttrId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// A singleton set.
+    #[must_use]
+    pub fn singleton(id: AttrId) -> Self {
+        Self { ids: vec![id] }
+    }
+
+    /// Number of attributes in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the set contains no attributes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test (binary search).
+    #[must_use]
+    pub fn contains(&self, id: AttrId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Position of `id` within the sorted set, if present.
+    #[must_use]
+    pub fn position(&self, id: AttrId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Iterates over the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// The ids as a sorted slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[AttrId] {
+        &self.ids
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        Self { ids: out }
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Self { ids: out }
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() {
+            if j >= other.ids.len() || self.ids[i] < other.ids[j] {
+                out.push(self.ids[i]);
+                i += 1;
+            } else if self.ids[i] > other.ids[j] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        Self { ids: out }
+    }
+
+    /// `true` if `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        i == self.ids.len()
+    }
+
+    /// `true` if the two sets share no attribute.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.intersection(other).is_empty()
+    }
+
+    /// Returns a copy with `id` inserted.
+    #[must_use]
+    pub fn with(&self, id: AttrId) -> Self {
+        match self.ids.binary_search(&id) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut ids = self.ids.clone();
+                ids.insert(pos, id);
+                Self { ids }
+            }
+        }
+    }
+
+    /// Returns a copy with `id` removed (no-op if absent).
+    #[must_use]
+    pub fn without(&self, id: AttrId) -> Self {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                let mut ids = self.ids.clone();
+                ids.remove(pos);
+                Self { ids }
+            }
+            Err(_) => self.clone(),
+        }
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        Self::from_ids(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = AttrId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, AttrId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[AttrId]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn schema_rejects_empty() {
+        assert!(Schema::new(Vec::<(&str, u32)>::new()).is_err());
+        assert!(Schema::new(vec![("a", 0)]).is_err());
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![("a", 4), ("b", 7)]).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr(1).unwrap().name, "b");
+        assert_eq!(s.domain_size(0), 4);
+        assert_eq!(s.attr_by_name("b"), Some(1));
+        assert_eq!(s.attr_by_name("zzz"), None);
+        assert!(s.attr(5).is_err());
+        assert_eq!(s.all_attrs(), set(&[0, 1]));
+    }
+
+    #[test]
+    fn state_space_products() {
+        let s = Schema::new(vec![("a", 4), ("b", 7), ("c", 10)]).unwrap();
+        assert_eq!(s.state_space(&set(&[0, 1])), 28);
+        assert_eq!(s.state_space(&set(&[0, 1, 2])), 280);
+        assert_eq!(s.state_space(&AttrSet::empty()), 1);
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let s = AttrSet::from_ids([3, 1, 3, 2, 1]);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = set(&[1, 3, 5]);
+        let b = set(&[2, 3, 4, 5]);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4, 5]));
+        assert_eq!(a.intersection(&b), set(&[3, 5]));
+        assert_eq!(a.difference(&b), set(&[1]));
+        assert_eq!(b.difference(&a), set(&[2, 4]));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = set(&[1, 3]);
+        let b = set(&[1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(AttrSet::empty().is_subset(&a));
+        assert!(set(&[7, 9]).is_disjoint(&a));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn with_without() {
+        let a = set(&[1, 3]);
+        assert_eq!(a.with(2), set(&[1, 2, 3]));
+        assert_eq!(a.with(3), a);
+        assert_eq!(a.without(1), set(&[3]));
+        assert_eq!(a.without(9), a);
+    }
+
+    #[test]
+    fn display_and_membership() {
+        let a = set(&[1, 3]);
+        assert_eq!(a.to_string(), "{1,3}");
+        assert!(a.contains(3));
+        assert!(!a.contains(2));
+        assert_eq!(a.position(3), Some(1));
+        assert_eq!(a.position(2), None);
+    }
+
+    #[test]
+    fn canonical_ordering_as_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(AttrSet::from_ids([2, 1]), "x");
+        assert_eq!(m.get(&AttrSet::from_ids([1, 2])), Some(&"x"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Memoized marginal entropies.
+//!
+//! Forward model selection (paper §3.1) scores every candidate interaction
+//! edge `(u, v)` with separator `S` from four marginal entropies —
+//! `E(S∪{u})`, `E(S∪{v})`, `E(S)`, `E(S∪{u,v})` — and the same subsets
+//! recur across steps. [`EntropyCache`] computes each marginal entropy once
+//! from the base relation and memoizes it by canonical [`AttrSet`] key. The
+//! paper's full version highlights minimizing the *number of entropy
+//! calculations* as the key cost lever of selection; the cache exposes a
+//! counter so tests and benches can verify that optimization.
+
+use crate::attr::AttrSet;
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+
+/// Memoizes `E(f_S)` for attribute subsets `S` of a fixed relation.
+#[derive(Debug)]
+pub struct EntropyCache<'a> {
+    relation: &'a Relation,
+    entropies: FxHashMap<AttrSet, f64>,
+    computed: usize,
+}
+
+impl<'a> EntropyCache<'a> {
+    /// Creates an empty cache over `relation`.
+    #[must_use]
+    pub fn new(relation: &'a Relation) -> Self {
+        Self { relation, entropies: FxHashMap::default(), computed: 0 }
+    }
+
+    /// The relation the cache computes entropies from.
+    #[must_use]
+    pub fn relation(&self) -> &'a Relation {
+        self.relation
+    }
+
+    /// Entropy `E(f_S)` of the marginal over `attrs`, computing and caching
+    /// it on first access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attrs` references attributes outside the relation's
+    /// schema (callers derive subsets from the same schema).
+    pub fn entropy(&mut self, attrs: &AttrSet) -> f64 {
+        if let Some(&h) = self.entropies.get(attrs) {
+            return h;
+        }
+        let h = if attrs.is_empty() {
+            0.0
+        } else {
+            self.relation
+                .marginal(attrs)
+                .expect("entropy cache attrs must come from the relation schema")
+                .entropy()
+        };
+        self.computed += 1;
+        self.entropies.insert(attrs.clone(), h);
+        h
+    }
+
+    /// Number of marginal entropies actually computed (cache misses).
+    #[must_use]
+    pub fn computations(&self) -> usize {
+        self.computed
+    }
+
+    /// Number of cached subsets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entropies.len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entropies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Schema;
+
+    fn relation() -> Relation {
+        let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 2)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..64u32).map(|i| vec![i % 4, (i / 4) % 4, i % 2]).collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn caches_and_counts() {
+        let rel = relation();
+        let mut cache = EntropyCache::new(&rel);
+        let s = AttrSet::from_ids([0, 1]);
+        let h1 = cache.entropy(&s);
+        let h2 = cache.entropy(&s);
+        assert_eq!(h1, h2);
+        assert_eq!(cache.computations(), 1);
+        assert_eq!(cache.len(), 1);
+        cache.entropy(&AttrSet::singleton(2));
+        assert_eq!(cache.computations(), 2);
+    }
+
+    #[test]
+    fn matches_direct_computation() {
+        let rel = relation();
+        let mut cache = EntropyCache::new(&rel);
+        for attrs in [
+            AttrSet::singleton(0),
+            AttrSet::from_ids([0, 2]),
+            AttrSet::from_ids([0, 1, 2]),
+        ] {
+            let direct = rel.marginal(&attrs).unwrap().entropy();
+            assert!((cache.entropy(&attrs) - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_set_entropy_zero() {
+        let rel = relation();
+        let mut cache = EntropyCache::new(&rel);
+        assert_eq!(cache.entropy(&AttrSet::empty()), 0.0);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! Sparse frequency distributions over attribute subsets.
+//!
+//! A [`Distribution`] is a sparse contingency table: a map from value tuples
+//! (over a fixed, sorted [`AttrSet`]) to non-negative frequencies. The joint
+//! distribution of a relation and every marginal of it are all instances of
+//! this one type, which keeps projection ([`Distribution::marginal`]) and
+//! information measures ([`Distribution::entropy`]) uniform.
+
+use crate::attr::{AttrId, AttrSet, Schema};
+use crate::error::DistributionError;
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+
+/// A sparse frequency distribution over a subset of a schema's attributes.
+///
+/// Cell keys are value tuples ordered consistently with the ascending order
+/// of [`Distribution::attrs`]. Frequencies are `f64` so the same type serves
+/// exact counts and model-estimated (fractional) frequencies.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    schema: Schema,
+    attrs: AttrSet,
+    cells: FxHashMap<Box<[u32]>, f64>,
+    total: f64,
+}
+
+impl Distribution {
+    /// Creates an empty distribution over `attrs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::UnknownAttr`] if `attrs` references an
+    /// attribute outside the schema.
+    pub fn empty(schema: Schema, attrs: AttrSet) -> Result<Self, DistributionError> {
+        for a in attrs.iter() {
+            schema.attr(a)?;
+        }
+        Ok(Self { schema, attrs, cells: FxHashMap::default(), total: 0.0 })
+    }
+
+    /// Builds the marginal distribution over `attrs` by a single pass over
+    /// a relation's rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::UnknownAttr`] if `attrs` references an
+    /// attribute outside the relation's schema.
+    pub fn from_relation(rel: &Relation, attrs: &AttrSet) -> Result<Self, DistributionError> {
+        let mut dist = Self::empty(rel.schema().clone(), attrs.clone())?;
+        let cols: Vec<usize> = attrs.iter().map(usize::from).collect();
+        let mut key: Vec<u32> = vec![0; cols.len()];
+        for row in rel.rows() {
+            for (k, &c) in key.iter_mut().zip(&cols) {
+                *k = row[c];
+            }
+            dist.add(&key, 1.0);
+        }
+        Ok(dist)
+    }
+
+    /// Adds `weight` to the cell at `key` (which must follow the ascending
+    /// attribute order of [`Distribution::attrs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the key arity mismatches the attribute set.
+    pub fn add(&mut self, key: &[u32], weight: f64) {
+        debug_assert_eq!(key.len(), self.attrs.len());
+        self.total += weight;
+        if let Some(cell) = self.cells.get_mut(key) {
+            *cell += weight;
+        } else {
+            self.cells.insert(key.into(), weight);
+        }
+    }
+
+    /// The schema this distribution's attributes belong to.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The attribute subset the distribution ranges over.
+    #[must_use]
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// Total mass `N = Σ f` (the paper's tuple count for exact counts).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of non-zero cells.
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Frequency of a specific value combination (0 for absent cells).
+    #[must_use]
+    pub fn frequency(&self, key: &[u32]) -> f64 {
+        self.cells.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(key, frequency)` pairs for non-zero cells in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], f64)> {
+        self.cells.iter().map(|(k, &v)| (k.as_ref(), v))
+    }
+
+    /// Projects the distribution onto `attrs ⊆ self.attrs()` by summing
+    /// frequencies over the projected-away attributes (paper §2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::NotASubset`] if `attrs` is not a subset
+    /// of this distribution's attributes.
+    pub fn marginal(&self, attrs: &AttrSet) -> Result<Distribution, DistributionError> {
+        if !attrs.is_subset(&self.attrs) {
+            let missing = attrs
+                .iter()
+                .find(|&a| !self.attrs.contains(a))
+                .expect("non-subset has a missing attribute");
+            return Err(DistributionError::NotASubset { missing });
+        }
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| self.attrs.position(a).expect("subset attr present"))
+            .collect();
+        let mut out = Self::empty(self.schema.clone(), attrs.clone())?;
+        let mut key: Vec<u32> = vec![0; positions.len()];
+        for (cell, &f) in &self.cells {
+            for (k, &p) in key.iter_mut().zip(&positions) {
+                *k = cell[p];
+            }
+            out.add(&key, f);
+        }
+        Ok(out)
+    }
+
+    /// Shannon entropy of the frequency distribution, in nats
+    /// (paper §2.1): `E(f_S) = log N − (1/N) Σ f log f`.
+    ///
+    /// Returns `0` for an empty distribution.
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let n = self.total;
+        let mut sum = 0.0;
+        for &f in self.cells.values() {
+            if f > 0.0 {
+                sum += f * f.ln();
+            }
+        }
+        n.ln() - sum / n
+    }
+
+    /// Restricts the distribution to cells matching a conjunction of
+    /// inclusive ranges and sums their mass — the exact range-count over
+    /// this marginal. Attributes absent from the distribution are ignored.
+    #[must_use]
+    pub fn range_mass(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
+        let constraints: Vec<(usize, u32, u32)> = ranges
+            .iter()
+            .filter_map(|&(a, lo, hi)| self.attrs.position(a).map(|p| (p, lo, hi)))
+            .collect();
+        self.cells
+            .iter()
+            .filter(|(k, _)| constraints.iter().all(|&(p, lo, hi)| k[p] >= lo && k[p] <= hi))
+            .map(|(_, &f)| f)
+            .sum()
+    }
+
+    /// Sorted distinct `(value, aggregated frequency)` pairs along one of
+    /// the distribution's attributes — the view histogram construction
+    /// needs to find split points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is not in [`Distribution::attrs`].
+    #[must_use]
+    pub fn values_along(&self, attr: AttrId) -> Vec<(u32, f64)> {
+        let p = self
+            .attrs
+            .position(attr)
+            .expect("values_along: attribute must belong to the distribution");
+        let mut agg: FxHashMap<u32, f64> = FxHashMap::default();
+        for (k, &f) in &self.cells {
+            *agg.entry(k[p]).or_insert(0.0) += f;
+        }
+        let mut out: Vec<(u32, f64)> = agg.into_iter().collect();
+        out.sort_unstable_by_key(|&(v, _)| v);
+        out
+    }
+
+    /// Multiplies every frequency by `scale` (used to normalize samples up
+    /// to population size).
+    pub fn scale(&mut self, scale: f64) {
+        for f in self.cells.values_mut() {
+            *f *= scale;
+        }
+        self.total *= scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagonal_relation() -> Relation {
+        // a == b always; c cycles independently.
+        let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 2)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..64u32).map(|i| vec![i % 4, i % 4, (i / 4) % 2]).collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn joint_from_relation() {
+        let rel = diagonal_relation();
+        let d = rel.distribution();
+        assert_eq!(d.total(), 64.0);
+        assert_eq!(d.support_size(), 8); // 4 diagonal (a,b) x 2 values of c
+        assert_eq!(d.frequency(&[1, 1, 0]), 8.0);
+        assert_eq!(d.frequency(&[1, 2, 0]), 0.0);
+    }
+
+    #[test]
+    fn marginal_sums_out() {
+        let rel = diagonal_relation();
+        let d = rel.distribution();
+        let ab = d.marginal(&AttrSet::from_ids([0, 1])).unwrap();
+        assert_eq!(ab.total(), 64.0);
+        assert_eq!(ab.support_size(), 4);
+        assert_eq!(ab.frequency(&[2, 2]), 16.0);
+        let c = d.marginal(&AttrSet::from_ids([2])).unwrap();
+        assert_eq!(c.frequency(&[0]), 32.0);
+        assert_eq!(c.frequency(&[1]), 32.0);
+    }
+
+    #[test]
+    fn marginal_requires_subset() {
+        let rel = diagonal_relation();
+        let ab = rel.marginal(&AttrSet::from_ids([0, 1])).unwrap();
+        let err = ab.marginal(&AttrSet::from_ids([0, 2])).unwrap_err();
+        assert_eq!(err, DistributionError::NotASubset { missing: 2 });
+    }
+
+    #[test]
+    fn marginal_consistency_direct_vs_projected() {
+        let rel = diagonal_relation();
+        let via_joint = rel
+            .distribution()
+            .marginal(&AttrSet::from_ids([0, 2]))
+            .unwrap();
+        let direct = rel.marginal(&AttrSet::from_ids([0, 2])).unwrap();
+        assert_eq!(via_joint.support_size(), direct.support_size());
+        for (k, f) in direct.iter() {
+            assert_eq!(via_joint.frequency(k), f);
+        }
+    }
+
+    #[test]
+    fn entropy_uniform_and_degenerate() {
+        let schema = Schema::new(vec![("x", 8)]).unwrap();
+        // Uniform over 8 values: entropy = ln 8.
+        let rows: Vec<Vec<u32>> = (0..8u32).map(|i| vec![i]).collect();
+        let rel = Relation::from_rows(schema.clone(), rows).unwrap();
+        let d = rel.distribution();
+        assert!((d.entropy() - (8.0f64).ln()).abs() < 1e-12);
+
+        // Point mass: entropy = 0.
+        let rel = Relation::from_rows(schema, vec![vec![3]; 10]).unwrap();
+        assert!(rel.distribution().entropy().abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_empty_is_zero() {
+        let schema = Schema::new(vec![("x", 8)]).unwrap();
+        let d = Distribution::empty(schema, AttrSet::singleton(0)).unwrap();
+        assert_eq!(d.entropy(), 0.0);
+    }
+
+    #[test]
+    fn entropy_chain_rule_independent() {
+        // For independent attributes H(X,Y) = H(X) + H(Y).
+        let schema = Schema::new(vec![("x", 4), ("y", 3)]).unwrap();
+        let mut rows = Vec::new();
+        for x in 0..4u32 {
+            for y in 0..3u32 {
+                for _ in 0..(x + 1) {
+                    rows.push(vec![x, y]);
+                }
+            }
+        }
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let joint = rel.distribution();
+        let hx = joint.marginal(&AttrSet::singleton(0)).unwrap().entropy();
+        let hy = joint.marginal(&AttrSet::singleton(1)).unwrap().entropy();
+        assert!((joint.entropy() - hx - hy).abs() < 1e-10);
+    }
+
+    #[test]
+    fn range_mass_matches_relation_count() {
+        let rel = diagonal_relation();
+        let d = rel.distribution();
+        let ranges = vec![(0u16, 1u32, 2u32), (2u16, 0u32, 0u32)];
+        assert_eq!(d.range_mass(&ranges), rel.count_range(&ranges) as f64);
+        // Constraints on attributes absent from a marginal are ignored.
+        let ab = d.marginal(&AttrSet::from_ids([0, 1])).unwrap();
+        assert_eq!(ab.range_mass(&[(2, 0, 0)]), 64.0);
+    }
+
+    #[test]
+    fn values_along_sorted() {
+        let rel = diagonal_relation();
+        let d = rel.distribution();
+        let vals = d.values_along(0);
+        assert_eq!(vals.len(), 4);
+        assert!(vals.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(vals.iter().all(|&(_, f)| (f - 16.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn scale_rescales_total() {
+        let rel = diagonal_relation();
+        let mut d = rel.distribution();
+        d.scale(0.5);
+        assert_eq!(d.total(), 32.0);
+        assert_eq!(d.frequency(&[1, 1, 0]), 4.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let schema = Schema::new(vec![("x", 4)]).unwrap();
+        let mut d = Distribution::empty(schema, AttrSet::singleton(0)).unwrap();
+        d.add(&[1], 2.0);
+        d.add(&[1], 3.0);
+        d.add(&[2], 1.0);
+        assert_eq!(d.frequency(&[1]), 5.0);
+        assert_eq!(d.total(), 6.0);
+        assert_eq!(d.support_size(), 2);
+    }
+}

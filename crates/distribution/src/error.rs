@@ -1,0 +1,91 @@
+//! Error types for distribution construction and manipulation.
+
+use std::fmt;
+
+use crate::attr::AttrId;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DistributionError {
+    /// A schema was declared with no attributes or an attribute with an
+    /// empty domain.
+    InvalidSchema {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values the offending row supplied.
+        actual: usize,
+    },
+    /// A value lies outside its attribute's declared domain `0..domain_size`.
+    ValueOutOfDomain {
+        /// Attribute whose domain was violated.
+        attr: AttrId,
+        /// The offending value.
+        value: u32,
+        /// The attribute's domain size.
+        domain_size: u32,
+    },
+    /// An operation referenced an attribute id not present in the schema.
+    UnknownAttr {
+        /// The unknown attribute id.
+        attr: AttrId,
+    },
+    /// A projection requested attributes that are not a subset of the
+    /// distribution's attributes.
+    NotASubset {
+        /// The first requested attribute that is missing.
+        missing: AttrId,
+    },
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSchema { reason } => write!(f, "invalid schema: {reason}"),
+            Self::ArityMismatch { expected, actual } => {
+                write!(f, "row arity {actual} does not match schema arity {expected}")
+            }
+            Self::ValueOutOfDomain { attr, value, domain_size } => write!(
+                f,
+                "value {value} of attribute {attr} outside domain 0..{domain_size}"
+            ),
+            Self::UnknownAttr { attr } => write!(f, "attribute {attr} not in schema"),
+            Self::NotASubset { missing } => write!(
+                f,
+                "projection attributes are not a subset (attribute {missing} missing)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DistributionError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("arity 2"));
+        let e = DistributionError::ValueOutOfDomain { attr: 1, value: 9, domain_size: 4 };
+        assert!(e.to_string().contains("0..4"));
+        let e = DistributionError::InvalidSchema { reason: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+        let e = DistributionError::UnknownAttr { attr: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = DistributionError::NotASubset { missing: 2 };
+        assert!(e.to_string().contains("subset"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<DistributionError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! A small, fast, non-cryptographic hasher for integer-heavy keys.
+//!
+//! The workspace hashes millions of short `u32` tuples (distribution cells)
+//! while building marginals and scoring candidate model edges. The standard
+//! library's SipHash is collision-resistant but slow for such keys; the
+//! Fx algorithm (popularized by rustc's `FxHasher`) is the usual remedy.
+//! We implement it here rather than adding a dependency — it is ~30 lines
+//! and HashDoS resistance is irrelevant for in-memory synopsis construction.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx word-mixing step (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation applied before each multiply; spreads low-entropy input bits.
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic [`Hasher`] in the style of rustc's `FxHasher`.
+///
+/// Suitable for hash maps keyed by small integers or short integer tuples.
+/// Not suitable for hashing untrusted input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`] instances.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`std::collections::HashMap`] using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A [`std::collections::HashSet`] using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        let key: Vec<u32> = vec![1, 2, 3, 4];
+        assert_eq!(hash_one(&key), hash_one(&key));
+    }
+
+    #[test]
+    fn distinct_tuples_hash_differently() {
+        // Not a guarantee of the algorithm, but these specific nearby keys
+        // must not collide for the maps to perform sanely.
+        let a = hash_one(&[1u32, 2, 3]);
+        let b = hash_one(&[1u32, 2, 4]);
+        let c = hash_one(&[1u32, 3, 2]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(hash_one(&[1u32, 2]), hash_one(&[2u32, 1]));
+    }
+
+    #[test]
+    fn byte_stream_tail_handled() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn build_hasher_default_usable() {
+        let map: FxHashMap<u32, u32> = FxHashMap::default();
+        assert!(map.is_empty());
+        let built = FxBuildHasher::default().build_hasher();
+        assert_eq!(built.finish(), 0);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FxHashMap<Vec<u32>, f64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert(vec![i, i * 2, i * 3], f64::from(i));
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(map[&vec![i, i * 2, i * 3]], f64::from(i));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Information-theoretic distance measures (paper §2.3).
+//!
+//! Model accuracy is quantified by the Kullback–Leibler information
+//! divergence `D(f, f̂_M)` between the true joint frequency distribution and
+//! the model estimate. For *decomposable* models the divergence collapses to
+//! a combination of marginal entropies — no estimate materialization is
+//! needed — which is what makes forward selection tractable:
+//!
+//! ```text
+//! D(f, f̂_M) = Σ_cliques E(f_C) − Σ_separators E(f_S) − E(f)
+//! ```
+//!
+//! and the *improvement* of adding edge `(u, v)` over separator `S` is the
+//! conditional mutual information `I(u; v | S)`.
+
+use crate::distribution::Distribution;
+
+/// Kullback–Leibler divergence `D(f, f̂)` in nats (paper §2.3), computed
+/// over the support of `f` with `estimate` supplying the model frequency
+/// `f̂(key)` for each populated cell.
+///
+/// Both `f` and the estimates are interpreted as *frequencies* summing to
+/// the same total `N`; the divergence is between the normalized
+/// distributions, exactly the paper's definition
+/// `D = (1/N) Σ f · log(f / f̂)`.
+///
+/// Returns `f64::INFINITY` when the model assigns zero (or negative)
+/// frequency to a populated cell.
+pub fn kl_divergence(f: &Distribution, mut estimate: impl FnMut(&[u32]) -> f64) -> f64 {
+    let n = f.total();
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (key, freq) in f.iter() {
+        if freq <= 0.0 {
+            continue;
+        }
+        let e = estimate(key);
+        if e <= 0.0 {
+            return f64::INFINITY;
+        }
+        sum += freq * (freq / e).ln();
+    }
+    sum / n
+}
+
+/// Divergence of a decomposable model from marginal entropies:
+/// `D = Σ E(C_i) − Σ E(S_ij) − E(f)` where `C_i` ranges over the model's
+/// cliques and `S_ij` over the junction-tree separators.
+///
+/// Always ≥ 0 up to floating-point error for entropies of consistent
+/// marginals of one distribution.
+#[must_use]
+pub fn decomposable_divergence(
+    joint_entropy: f64,
+    clique_entropies: &[f64],
+    separator_entropies: &[f64],
+) -> f64 {
+    clique_entropies.iter().sum::<f64>() - separator_entropies.iter().sum::<f64>() - joint_entropy
+}
+
+/// Conditional mutual information `I(u; v | S)` from marginal entropies:
+/// `E(S∪{u}) + E(S∪{v}) − E(S) − E(S∪{u,v})`.
+///
+/// This is exactly the decrease in model divergence achieved by merging the
+/// cliques `S∪{u}` and `S∪{v}` into `S∪{u,v}` during forward selection.
+#[must_use]
+pub fn conditional_mutual_information(h_su: f64, h_sv: f64, h_s: f64, h_suv: f64) -> f64 {
+    h_su + h_sv - h_s - h_suv
+}
+
+/// The chi-square distance approximation `χ²(f, f̂) ≈ 2 · D(f, f̂)`
+/// (paper §2.3: `D ≈ ½ χ²`).
+#[must_use]
+pub fn chi_square_from_divergence(divergence: f64) -> f64 {
+    2.0 * divergence
+}
+
+/// The likelihood-ratio (`G²`) statistic for testing a model against data:
+/// `G² = 2 · N · D(f, f̂_M)` in natural-log units. Under the null hypothesis
+/// that the simpler model generated the data, `G²` is asymptotically
+/// chi-square distributed with the appropriate degrees of freedom.
+#[must_use]
+pub fn g_squared(total: f64, divergence: f64) -> f64 {
+    2.0 * total * divergence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{AttrSet, Schema};
+    use crate::relation::Relation;
+
+    fn xy_relation(correlated: bool) -> Relation {
+        let schema = Schema::new(vec![("x", 4), ("y", 4)]).unwrap();
+        let rows: Vec<Vec<u32>> = if correlated {
+            (0..64u32).map(|i| vec![i % 4, i % 4]).collect()
+        } else {
+            (0..64u32).map(|i| vec![i % 4, (i / 4) % 4]).collect()
+        };
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    fn independence_divergence(rel: &Relation) -> f64 {
+        let joint = rel.distribution();
+        let fx = joint.marginal(&AttrSet::singleton(0)).unwrap();
+        let fy = joint.marginal(&AttrSet::singleton(1)).unwrap();
+        let n = joint.total();
+        kl_divergence(&joint, |key| fx.frequency(&[key[0]]) * fy.frequency(&[key[1]]) / n)
+    }
+
+    #[test]
+    fn kl_zero_for_true_independence() {
+        let rel = xy_relation(false);
+        assert!(independence_divergence(&rel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_for_correlation() {
+        let rel = xy_relation(true);
+        let d = independence_divergence(&rel);
+        // Perfect dependence of two uniform 4-ary variables: D = I(X;Y) = ln 4.
+        assert!((d - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_when_model_misses_support() {
+        let rel = xy_relation(true);
+        let joint = rel.distribution();
+        let d = kl_divergence(&joint, |_| 0.0);
+        assert!(d.is_infinite());
+    }
+
+    #[test]
+    fn kl_empty_distribution_is_zero() {
+        let schema = Schema::new(vec![("x", 2)]).unwrap();
+        let d = Distribution::empty(schema, AttrSet::singleton(0)).unwrap();
+        assert_eq!(kl_divergence(&d, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn entropy_decomposition_matches_direct_kl() {
+        // Model [XY] with singleton clique {X},{Y}: full independence.
+        let rel = xy_relation(true);
+        let joint = rel.distribution();
+        let hx = joint.marginal(&AttrSet::singleton(0)).unwrap().entropy();
+        let hy = joint.marginal(&AttrSet::singleton(1)).unwrap().entropy();
+        let via_entropies = decomposable_divergence(joint.entropy(), &[hx, hy], &[]);
+        let direct = independence_divergence(&rel);
+        assert!((via_entropies - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cmi_equals_divergence_drop() {
+        // Adding edge (x, y) with empty separator: improvement = I(x;y).
+        let rel = xy_relation(true);
+        let joint = rel.distribution();
+        let hx = joint.marginal(&AttrSet::singleton(0)).unwrap().entropy();
+        let hy = joint.marginal(&AttrSet::singleton(1)).unwrap().entropy();
+        let hxy = joint.entropy();
+        let i = conditional_mutual_information(hx, hy, 0.0, hxy);
+        assert!((i - independence_divergence(&rel)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn g_squared_and_chi_square_scale() {
+        assert_eq!(g_squared(100.0, 0.5), 100.0);
+        assert_eq!(chi_square_from_divergence(0.5), 1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for histogram construction and operators.
+
+use std::fmt;
+
+use dbhist_distribution::AttrId;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HistogramError {
+    /// A histogram was requested over an empty attribute set or with a
+    /// zero bucket budget.
+    InvalidRequest {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A projection requested attributes not covered by the histogram.
+    NotASubset {
+        /// The first requested attribute that is missing.
+        missing: AttrId,
+    },
+    /// Two histograms passed to `product` disagree on a shared attribute's
+    /// domain bounds, or belong to different schemas.
+    IncompatibleOperands {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// A decode failed: the byte stream is truncated or malformed.
+    Codec {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRequest { reason } => write!(f, "invalid histogram request: {reason}"),
+            Self::NotASubset { missing } => {
+                write!(f, "projection attribute {missing} not covered by the histogram")
+            }
+            Self::IncompatibleOperands { reason } => {
+                write!(f, "incompatible histogram operands: {reason}")
+            }
+            Self::Codec { reason } => write!(f, "histogram codec error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HistogramError::NotASubset { missing: 3 }.to_string().contains('3'));
+        assert!(HistogramError::InvalidRequest { reason: "zero buckets".into() }
+            .to_string()
+            .contains("zero buckets"));
+        assert!(HistogramError::IncompatibleOperands { reason: "domains".into() }
+            .to_string()
+            .contains("domains"));
+        assert!(HistogramError::Codec { reason: "truncated".into() }
+            .to_string()
+            .contains("truncated"));
+    }
+}

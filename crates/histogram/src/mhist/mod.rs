@@ -1,0 +1,428 @@
+//! MHIST histograms in the paper's split-tree representation (§3.3.2).
+//!
+//! An MHIST histogram is a hierarchical binary partitioning of the data
+//! space. Poosala & Ioannidis stored each `n`-dimensional bucket
+//! explicitly (`2n + 1` numbers per bucket); the paper's key observation
+//! is that the partitioning itself is a binary tree, so it suffices to
+//! store, per internal node, the split dimension and split value, and per
+//! leaf the bucket frequency — `3b − 2` numbers for `b` buckets.
+//!
+//! [`SplitTree`] is that representation. Its workhorse query is
+//! [`SplitTree::mass_in_box`]: the estimated frequency mass inside a
+//! conjunctive range box under intra-bucket uniformity, which serves
+//! range-selectivity estimation directly and supplies the weights `w` of
+//! the paper's `project` (Fig. 4) and `product` (Fig. 5) operators.
+
+mod build;
+mod ops;
+
+pub use build::MhistBuilder;
+
+use dbhist_distribution::{AttrId, AttrSet};
+
+use crate::bbox::BoundingBox;
+
+/// Index of a node within a [`SplitTree`] arena.
+pub type NodeId = u32;
+
+/// A node of a split tree.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Node {
+    /// An internal split: values `< split` of `attr` go left, values
+    /// `≥ split` go right.
+    Internal {
+        /// The split dimension.
+        attr: AttrId,
+        /// The split value.
+        split: u32,
+        /// Left child (values `< split`).
+        left: NodeId,
+        /// Right child (values `≥ split`).
+        right: NodeId,
+    },
+    /// A bucket holding a frequency.
+    Leaf {
+        /// Total frequency of the bucket.
+        freq: f64,
+    },
+}
+
+/// An MHIST histogram stored as a split tree (paper §3.3.2).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SplitTree {
+    attrs: AttrSet,
+    /// The root bounding box (full attribute domains).
+    domain: BoundingBox,
+    /// Node arena; index 0 is the root.
+    nodes: Vec<Node>,
+    total: f64,
+}
+
+impl SplitTree {
+    /// Assembles a split tree from raw parts, recomputing the cached
+    /// total. Internal constructor used by the builder and operators,
+    /// whose outputs are structurally valid by construction (checked in
+    /// debug builds).
+    pub(crate) fn from_parts(attrs: AttrSet, domain: BoundingBox, nodes: Vec<Node>) -> Self {
+        let tree = Self::from_parts_unvalidated(attrs, domain, nodes);
+        debug_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        tree
+    }
+
+    /// Like [`SplitTree::from_parts`] but defers validation to the caller
+    /// — for inputs of unknown provenance (the codec), which must reject
+    /// malformed trees with an error rather than an assertion.
+    pub(crate) fn from_parts_unvalidated(
+        attrs: AttrSet,
+        domain: BoundingBox,
+        nodes: Vec<Node>,
+    ) -> Self {
+        let total = nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { freq } => *freq,
+                Node::Internal { .. } => 0.0,
+            })
+            .sum();
+        Self { attrs, domain, nodes, total }
+    }
+
+    /// The attributes the histogram covers.
+    #[must_use]
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// The root bounding box (the full domain of each covered attribute).
+    #[must_use]
+    pub fn domain(&self) -> &BoundingBox {
+        &self.domain
+    }
+
+    /// Total frequency mass.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of buckets (leaves) `b`.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Number of stored numeric values in the split-tree representation:
+    /// `3b − 2` (one frequency per leaf, a dimension and a value per
+    /// internal node).
+    #[must_use]
+    pub fn stored_numbers(&self) -> usize {
+        3 * self.bucket_count() - 2
+    }
+
+    /// The node arena (root at index 0).
+    #[must_use]
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Every bucket as `(bounding box, frequency)`.
+    #[must_use]
+    pub fn leaves(&self) -> Vec<(BoundingBox, f64)> {
+        let mut out = Vec::with_capacity(self.bucket_count());
+        self.walk_leaves(0, self.domain.clone(), &mut out);
+        out
+    }
+
+    fn walk_leaves(&self, node: NodeId, bbox: BoundingBox, out: &mut Vec<(BoundingBox, f64)>) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { freq } => out.push((bbox, *freq)),
+            Node::Internal { attr, split, left, right } => {
+                let (lo, hi) = bbox.range(*attr).expect("split attr within box");
+                debug_assert!(*split > lo && *split <= hi, "split inside box");
+                let mut lbox = bbox.clone();
+                lbox.clamp(*attr, lo, split - 1);
+                self.walk_leaves(*left, lbox, out);
+                let mut rbox = bbox;
+                rbox.clamp(*attr, *split, hi);
+                self.walk_leaves(*right, rbox, out);
+            }
+        }
+    }
+
+    /// Estimated frequency mass inside the conjunction of inclusive ranges
+    /// (attributes not covered by the histogram are ignored; repeated
+    /// attributes intersect), under intra-bucket uniformity.
+    ///
+    /// This is exactly the paper's estimator: each bucket contributes its
+    /// frequency scaled by the fraction of its volume inside the box.
+    #[must_use]
+    pub fn mass_in_box(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
+        // Per-attribute constraint: the query ranges intersected with the
+        // domain. Empty intersection anywhere means zero mass.
+        let mut constraint: Vec<(u32, u32)> = self.domain.ranges().to_vec();
+        for &(a, lo, hi) in ranges {
+            if let Some(p) = self.attrs.position(a) {
+                let c = &mut constraint[p];
+                *c = (c.0.max(lo), c.1.min(hi));
+                if c.0 > c.1 {
+                    return 0.0;
+                }
+            }
+        }
+        let mut bounds: Vec<(u32, u32)> = self.domain.ranges().to_vec();
+        self.mass_rec(0, &mut bounds, &constraint)
+    }
+
+    /// Estimated frequency mass inside a bounding box over (a subset of)
+    /// the histogram's attributes — the allocation-light form used by the
+    /// `product` operator's separator lookups.
+    #[must_use]
+    pub fn mass_in_bounding_box(&self, bbox: &BoundingBox) -> f64 {
+        let mut constraint: Vec<(u32, u32)> = self.domain.ranges().to_vec();
+        for (p, a) in self.attrs.iter().enumerate() {
+            if let Some((lo, hi)) = bbox.range(a) {
+                let c = &mut constraint[p];
+                *c = (c.0.max(lo), c.1.min(hi));
+                if c.0 > c.1 {
+                    return 0.0;
+                }
+            }
+        }
+        let mut bounds: Vec<(u32, u32)> = self.domain.ranges().to_vec();
+        self.mass_rec(0, &mut bounds, &constraint)
+    }
+
+    /// Allocation-free walk: `bounds` tracks the current node's box
+    /// (mutated in place and restored), `constraint` the query box.
+    fn mass_rec(&self, node: NodeId, bounds: &mut [(u32, u32)], constraint: &[(u32, u32)]) -> f64 {
+        match &self.nodes[node as usize] {
+            Node::Leaf { freq } => {
+                if *freq == 0.0 {
+                    return 0.0;
+                }
+                let mut fraction = 1.0;
+                for (&(lo, hi), &(clo, chi)) in bounds.iter().zip(constraint) {
+                    let olo = lo.max(clo);
+                    let ohi = hi.min(chi);
+                    if olo > ohi {
+                        return 0.0;
+                    }
+                    fraction *= (f64::from(ohi - olo) + 1.0) / (f64::from(hi - lo) + 1.0);
+                }
+                freq * fraction
+            }
+            Node::Internal { attr, split, left, right } => {
+                let p = self.attrs.position(*attr).expect("split attr covered");
+                let (lo, hi) = bounds[p];
+                let (clo, chi) = constraint[p];
+                let mut mass = 0.0;
+                if clo < *split && lo < *split {
+                    bounds[p] = (lo, *split - 1);
+                    mass += self.mass_rec(*left, bounds, constraint);
+                }
+                if chi >= *split && hi >= *split {
+                    bounds[p] = (*split, hi);
+                    mass += self.mass_rec(*right, bounds, constraint);
+                }
+                bounds[p] = (lo, hi);
+                mass
+            }
+        }
+    }
+
+    /// Applies a point update: adds `delta` to the frequency of the bucket
+    /// containing `key` (aligned with [`SplitTree::attrs`] in ascending
+    /// order). Negative deltas are clamped so the bucket never goes below
+    /// zero; the applied amount is returned.
+    ///
+    /// This is the primitive behind incremental synopsis maintenance
+    /// (inserts/deletes on the base table): the bucketization is left
+    /// unchanged, only counts move, so accuracy degrades gracefully until
+    /// a rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not match the histogram's arity or lies
+    /// outside its domain box.
+    pub fn update(&mut self, key: &[u32], delta: f64) -> f64 {
+        assert_eq!(key.len(), self.attrs.len(), "key arity mismatch");
+        assert!(
+            self.domain.contains_point(key),
+            "key {key:?} outside histogram domain"
+        );
+        let mut node = 0u32;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { attr, split, left, right } => {
+                    let p = self.attrs.position(*attr).expect("split attr covered");
+                    node = if key[p] < *split { *left } else { *right };
+                }
+                Node::Leaf { freq } => {
+                    let applied = delta.max(-*freq);
+                    let new = freq + applied;
+                    self.nodes[node as usize] = Node::Leaf { freq: new };
+                    self.total += applied;
+                    return applied;
+                }
+            }
+        }
+    }
+
+    /// Structural validation: every split lies strictly inside its node's
+    /// box (both children non-empty), every leaf frequency is finite and
+    /// non-negative, and child indices are in range. Returns a description
+    /// of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty node arena".into());
+        }
+        self.validate_rec(0, self.domain.clone())
+    }
+
+    fn validate_rec(&self, node: NodeId, bbox: BoundingBox) -> Result<(), String> {
+        match self.nodes.get(node as usize) {
+            None => Err(format!("node id {node} out of range")),
+            Some(Node::Leaf { freq }) => {
+                if freq.is_finite() && *freq >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("leaf {node} has invalid frequency {freq}"))
+                }
+            }
+            Some(Node::Internal { attr, split, left, right }) => {
+                let Some((lo, hi)) = bbox.range(*attr) else {
+                    return Err(format!("node {node} splits uncovered attribute {attr}"));
+                };
+                if *split <= lo || *split > hi {
+                    return Err(format!(
+                        "node {node} split {split} outside ({lo}, {hi}]"
+                    ));
+                }
+                let mut lbox = bbox.clone();
+                lbox.clamp(*attr, lo, split - 1);
+                self.validate_rec(*left, lbox)?;
+                let mut rbox = bbox;
+                rbox.clamp(*attr, *split, hi);
+                self.validate_rec(*right, rbox)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::{Relation, Schema};
+
+    pub(crate) fn grid_relation() -> Relation {
+        // 8x8 grid; frequency of (x, y) = x + 2y + 1.
+        let schema = Schema::new(vec![("x", 8), ("y", 8)]).unwrap();
+        let mut rows = Vec::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for _ in 0..(x + 2 * y + 1) {
+                    rows.push(vec![x, y]);
+                }
+            }
+        }
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    fn manual_tree() -> SplitTree {
+        // Domain [0,7]x[0,7]; split x at 4, left split y at 2.
+        let attrs = AttrSet::from_ids([0, 1]);
+        let domain = BoundingBox::new(attrs.clone(), vec![(0, 7), (0, 7)]);
+        let nodes = vec![
+            Node::Internal { attr: 0, split: 4, left: 1, right: 2 },
+            Node::Internal { attr: 1, split: 2, left: 3, right: 4 },
+            Node::Leaf { freq: 40.0 },
+            Node::Leaf { freq: 8.0 },
+            Node::Leaf { freq: 24.0 },
+        ];
+        SplitTree::from_parts(attrs, domain, nodes)
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let t = manual_tree();
+        assert_eq!(t.total(), 72.0);
+        assert_eq!(t.bucket_count(), 3);
+        assert_eq!(t.stored_numbers(), 7);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn leaves_partition_domain() {
+        let t = manual_tree();
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 3);
+        let total_volume: u64 = leaves.iter().map(|(b, _)| b.volume()).sum();
+        assert_eq!(total_volume, 64, "leaves tile the domain");
+        // Specific boxes.
+        assert_eq!(leaves[0].0.ranges(), &[(0, 3), (0, 1)]);
+        assert_eq!(leaves[0].1, 8.0);
+        assert_eq!(leaves[1].0.ranges(), &[(0, 3), (2, 7)]);
+        assert_eq!(leaves[2].0.ranges(), &[(4, 7), (0, 7)]);
+    }
+
+    #[test]
+    fn mass_full_box_is_total() {
+        let t = manual_tree();
+        assert!((t.mass_in_box(&[]) - 72.0).abs() < 1e-12);
+        assert!((t.mass_in_box(&[(0, 0, 7), (1, 0, 7)]) - 72.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_respects_buckets_and_uniformity() {
+        let t = manual_tree();
+        // Exactly the right bucket.
+        assert!((t.mass_in_box(&[(0, 4, 7)]) - 40.0).abs() < 1e-12);
+        // Half of the right bucket along x.
+        assert!((t.mass_in_box(&[(0, 6, 7)]) - 20.0).abs() < 1e-12);
+        // Quarter of leaf (0..3, 0..1): one column of four.
+        assert!((t.mass_in_box(&[(0, 0, 0), (1, 0, 1)]) - 2.0).abs() < 1e-12);
+        // Constraint on an attribute the tree does not cover is ignored.
+        assert!((t.mass_in_box(&[(9, 0, 0)]) - 72.0).abs() < 1e-12);
+        // Empty constraint.
+        assert_eq!(t.mass_in_box(&[(0, 4, 7), (0, 0, 3)]), 0.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_trees() {
+        let attrs = AttrSet::from_ids([0]);
+        let domain = BoundingBox::new(attrs.clone(), vec![(0, 3)]);
+        // Split value outside the box.
+        let t = SplitTree {
+            attrs: attrs.clone(),
+            domain: domain.clone(),
+            nodes: vec![
+                Node::Internal { attr: 0, split: 9, left: 1, right: 2 },
+                Node::Leaf { freq: 1.0 },
+                Node::Leaf { freq: 1.0 },
+            ],
+            total: 2.0,
+        };
+        assert!(t.validate().is_err());
+        // Negative frequency.
+        let t = SplitTree {
+            attrs: attrs.clone(),
+            domain: domain.clone(),
+            nodes: vec![Node::Leaf { freq: -1.0 }],
+            total: -1.0,
+        };
+        assert!(t.validate().is_err());
+        // Dangling child id.
+        let t = SplitTree {
+            attrs,
+            domain,
+            nodes: vec![Node::Internal { attr: 0, split: 2, left: 5, right: 6 }],
+            total: 0.0,
+        };
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,653 @@
+//! MHIST operators on split trees (paper §3.3.2, Figs. 4 & 5).
+//!
+//! Both `project` and `product` work *solely on the split-tree
+//! representation* of their inputs and output — the paper's headline
+//! implementation contribution. The shared workhorse is `restrict_node`
+//! (the paper's `restrictNode(N, R)`): pruning a subtree to the splits and
+//! leaves pertaining to a range restriction `R`.
+//!
+//! Structure generation follows the paper exactly. Frequencies:
+//!
+//! * `project` (Fig. 4 step 3) computes each output bucket's frequency as
+//!   the uniformity-weighted sum `Σ w_l'·frequency(l')` via
+//!   [`SplitTree::mass_in_box`];
+//! * `product` (Fig. 5 step 10) evaluates the separation formula
+//!   `(w_i f_i)(w_j f_j)/(w_ij f_ij)`. The input-bucket terms are O(1)
+//!   per output bucket — every output bucket lies inside exactly one
+//!   bucket of each operand, whose frequency and volume are threaded
+//!   through the structural generation — while the separator term uses a
+//!   (pruned) mass query on `H(S_ij)`, generalizing the paper's formula
+//!   to output buckets that straddle several separator buckets.
+
+use dbhist_distribution::{AttrId, AttrSet};
+
+use crate::bbox::BoundingBox;
+use crate::error::HistogramError;
+
+use super::{Node, NodeId, SplitTree};
+
+/// Temporary structural tree with a payload on each leaf.
+#[derive(Debug, Clone)]
+enum TempNode<L> {
+    Internal { attr: AttrId, split: u32, left: Box<TempNode<L>>, right: Box<TempNode<L>> },
+    Leaf(L),
+}
+
+/// Frequency and own-box volume of a source bucket.
+#[derive(Debug, Clone, Copy)]
+struct SourceLeaf {
+    freq: f64,
+    volume: f64,
+}
+
+/// Payload of a product bucket.
+#[derive(Debug, Clone, Copy)]
+enum ProductLeaf {
+    /// The bucket lies inside exactly one bucket of each operand, whose
+    /// frequency/volume are threaded through for O(1) evaluation.
+    Pair { left: SourceLeaf, right: SourceLeaf },
+    /// The structural budget ran out: the bucket may span several operand
+    /// buckets; its frequency is computed by mass queries instead.
+    Coarse,
+}
+
+/// Upper bound on the number of structural nodes a single `product` may
+/// materialize. Chained products over many cliques grow multiplicatively;
+/// past this budget the remaining regions collapse into coarse buckets
+/// (estimates stay uniformity-consistent, resolution degrades gracefully,
+/// and memory stays bounded).
+const PRODUCT_NODE_BUDGET: usize = 1 << 18;
+
+impl SplitTree {
+    /// Projects the histogram onto `attrs ⊂ self.attrs()` (paper Fig. 4):
+    /// the output split tree reflects every split along the kept
+    /// dimensions, and each output bucket's frequency is the
+    /// uniformity-weighted mass of the input inside it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError::NotASubset`] if `attrs` is not a subset of
+    /// the histogram's attributes, or [`HistogramError::InvalidRequest`]
+    /// for an empty target set.
+    pub fn project(&self, attrs: &AttrSet) -> Result<SplitTree, HistogramError> {
+        if attrs.is_empty() {
+            return Err(HistogramError::InvalidRequest {
+                reason: "cannot project onto the empty attribute set".into(),
+            });
+        }
+        if let Some(missing) = attrs.iter().find(|&a| !self.attrs().contains(a)) {
+            return Err(HistogramError::NotASubset { missing });
+        }
+        if attrs == self.attrs() {
+            return Ok(self.clone());
+        }
+        // Step 1 (genSplits): structure of the projected tree.
+        let domain = sub_box(self.domain(), attrs);
+        let structure = gen_splits(self, 0, attrs, &domain);
+        // Steps 2–4: frequencies from uniformity-weighted sums.
+        let tree = materialize(attrs.clone(), domain, &structure, |leaf_box, ()| {
+            self.mass_in_box(&box_to_ranges(leaf_box))
+        });
+        Ok(tree)
+    }
+
+    /// Multiplies two clique histograms into a histogram over the union of
+    /// their attributes (paper Fig. 5), using the separation formula
+    /// `f_{Ci ∪ Cj} = f_{Ci} · f_{Cj} / f_{Ci ∩ Cj}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError::IncompatibleOperands`] if the operands
+    /// disagree on a shared attribute's domain.
+    pub fn product(&self, other: &SplitTree) -> Result<SplitTree, HistogramError> {
+        let shared = self.attrs().intersection(other.attrs());
+        for a in shared.iter() {
+            if self.domain().range(a) != other.domain().range(a) {
+                return Err(HistogramError::IncompatibleOperands {
+                    reason: format!("attribute {a} has different domains in the operands"),
+                });
+            }
+        }
+        let union = self.attrs().union(other.attrs());
+        // Union domain box.
+        let ranges: Vec<(u32, u32)> = union
+            .iter()
+            .map(|a| {
+                self.domain()
+                    .range(a)
+                    .or_else(|| other.domain().range(a))
+                    .expect("attr from union")
+            })
+            .collect();
+        let domain = BoundingBox::new(union.clone(), ranges);
+
+        // Step 1: initialize with the split tree of `self`.
+        // Steps 2–5: replace each of its leaves with `other` restricted to
+        // the leaf's ranges along the shared attributes.
+        let other_temp = to_source_temp(other, 0, other.domain().clone());
+        let mut budget = PRODUCT_NODE_BUDGET as isize;
+        let structure = graft(self, 0, self.domain().clone(), &other_temp, &mut budget);
+
+        // Step 6: the separator histogram H(S_ij) = project(H(C_i), S_ij).
+        let separator = if shared.is_empty() {
+            None
+        } else {
+            Some(self.project(&shared)?)
+        };
+
+        // Steps 7–11: separation-formula frequencies. The operand terms
+        // come from the threaded source buckets; the separator term from a
+        // mass query (exactly `w_ij · f_ij` when the output bucket sits in
+        // one separator bucket, the consistent generalization otherwise).
+        let self_attrs = self.attrs().clone();
+        let other_attrs = other.attrs().clone();
+        let self_total = self.total();
+        let tree = materialize(union, domain, &structure, |leaf_box, payload: ProductLeaf| {
+            let (wi_fi, wj_fj) = match payload {
+                ProductLeaf::Pair { left, right } => (
+                    left.freq * leaf_box.volume_over(&self_attrs) as f64 / left.volume,
+                    right.freq * leaf_box.volume_over(&other_attrs) as f64 / right.volume,
+                ),
+                ProductLeaf::Coarse => (
+                    self.mass_in_bounding_box(leaf_box),
+                    other.mass_in_bounding_box(leaf_box),
+                ),
+            };
+            if wi_fi == 0.0 || wj_fj == 0.0 {
+                return 0.0;
+            }
+            let fsep = match &separator {
+                Some(sep) => sep.mass_in_bounding_box(leaf_box),
+                None => self_total,
+            };
+            if fsep <= 0.0 {
+                0.0
+            } else {
+                wi_fi * wj_fj / fsep
+            }
+        });
+        Ok(tree)
+    }
+}
+
+/// Restricts `domain` to the attributes in `attrs`.
+fn sub_box(domain: &BoundingBox, attrs: &AttrSet) -> BoundingBox {
+    let ranges: Vec<(u32, u32)> = attrs
+        .iter()
+        .map(|a| domain.range(a).expect("attrs ⊆ domain attrs"))
+        .collect();
+    BoundingBox::new(attrs.clone(), ranges)
+}
+
+/// `(attr, lo, hi)` constraints of a box.
+fn box_to_ranges(bbox: &BoundingBox) -> Vec<(AttrId, u32, u32)> {
+    bbox.attrs()
+        .iter()
+        .zip(bbox.ranges())
+        .map(|(a, &(lo, hi))| (a, lo, hi))
+        .collect()
+}
+
+/// The paper's `genSplits(N, S)` (Fig. 4): the structure of the projection
+/// of the subtree at `node` onto `keep`, expressed over `keep`'s domain
+/// box `keep_box`.
+fn gen_splits(
+    tree: &SplitTree,
+    node: NodeId,
+    keep: &AttrSet,
+    keep_box: &BoundingBox,
+) -> TempNode<()> {
+    match &tree.nodes()[node as usize] {
+        Node::Leaf { .. } => TempNode::Leaf(()),
+        Node::Internal { attr, split, left, right } => {
+            let l = gen_splits(tree, *left, keep, keep_box);
+            let r = gen_splits(tree, *right, keep, keep_box);
+            if keep.contains(*attr) {
+                TempNode::Internal {
+                    attr: *attr,
+                    split: *split,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            } else {
+                // Fig. 4 steps 8–12: overlay the right structure onto every
+                // leaf of the left structure, so that all splits along the
+                // kept dimensions survive.
+                overlay(l, &r, keep_box.clone())
+            }
+        }
+    }
+}
+
+/// Replaces every leaf of `base` (whose box is tracked in `bbox`) with
+/// `other` restricted to that leaf's ranges.
+fn overlay(base: TempNode<()>, other: &TempNode<()>, bbox: BoundingBox) -> TempNode<()> {
+    match base {
+        TempNode::Leaf(()) => restrict_node(other, &bbox, &|()| ()),
+        TempNode::Internal { attr, split, left, right } => {
+            let (lo, hi) = bbox.range(attr).expect("split attr in box");
+            let mut lbox = bbox.clone();
+            lbox.clamp(attr, lo, split - 1);
+            let mut rbox = bbox;
+            rbox.clamp(attr, split, hi);
+            TempNode::Internal {
+                attr,
+                split,
+                left: Box::new(overlay(*left, other, lbox)),
+                right: Box::new(overlay(*right, other, rbox)),
+            }
+        }
+    }
+}
+
+/// The paper's `restrictNode(N, R)`: the subtree of `node` containing only
+/// the splits and leaves pertaining to the range restriction `restriction`.
+/// Attributes not constrained by the restriction pass through untouched.
+/// Leaf payloads are rebuilt through `map`.
+fn restrict_node<L: Copy, M>(
+    node: &TempNode<L>,
+    restriction: &BoundingBox,
+    map: &impl Fn(L) -> M,
+) -> TempNode<M> {
+    match node {
+        TempNode::Leaf(payload) => TempNode::Leaf(map(*payload)),
+        TempNode::Internal { attr, split, left, right } => match restriction.range(*attr) {
+            Some((_, hi)) if hi < *split => restrict_node(left, restriction, map),
+            Some((lo, _)) if lo >= *split => restrict_node(right, restriction, map),
+            _ => TempNode::Internal {
+                attr: *attr,
+                split: *split,
+                left: Box::new(restrict_node(left, restriction, map)),
+                right: Box::new(restrict_node(right, restriction, map)),
+            },
+        },
+    }
+}
+
+/// Copies a split tree's structure into a [`TempNode`] whose leaves carry
+/// the source bucket's frequency and volume.
+fn to_source_temp(tree: &SplitTree, node: NodeId, bbox: BoundingBox) -> TempNode<SourceLeaf> {
+    match &tree.nodes()[node as usize] {
+        Node::Leaf { freq } => TempNode::Leaf(SourceLeaf {
+            freq: *freq,
+            volume: bbox.volume() as f64,
+        }),
+        Node::Internal { attr, split, left, right } => {
+            let (lo, hi) = bbox.range(*attr).expect("split attr within box");
+            let mut lbox = bbox.clone();
+            lbox.clamp(*attr, lo, split - 1);
+            let mut rbox = bbox;
+            rbox.clamp(*attr, *split, hi);
+            TempNode::Internal {
+                attr: *attr,
+                split: *split,
+                left: Box::new(to_source_temp(tree, *left, lbox)),
+                right: Box::new(to_source_temp(tree, *right, rbox)),
+            }
+        }
+    }
+}
+
+/// Grafts `other`'s restricted structure onto every leaf of `tree`
+/// (product steps 1–5), walking `tree`'s structure over its own box to
+/// identify the enclosing source bucket of each output region. `budget`
+/// bounds the structural nodes created; exhausted regions collapse to
+/// [`ProductLeaf::Coarse`].
+fn graft(
+    tree: &SplitTree,
+    node: NodeId,
+    own_box: BoundingBox,
+    other: &TempNode<SourceLeaf>,
+    budget: &mut isize,
+) -> TempNode<ProductLeaf> {
+    *budget -= 1;
+    match &tree.nodes()[node as usize] {
+        Node::Leaf { freq } => {
+            if *budget <= 0 {
+                return TempNode::Leaf(ProductLeaf::Coarse);
+            }
+            if *freq == 0.0 {
+                // A zero operand bucket zeroes the whole region; no need
+                // to overlay the other operand's structure.
+                return TempNode::Leaf(ProductLeaf::Pair {
+                    left: SourceLeaf { freq: 0.0, volume: 1.0 },
+                    right: SourceLeaf { freq: 0.0, volume: 1.0 },
+                });
+            }
+            let left = SourceLeaf { freq: *freq, volume: own_box.volume() as f64 };
+            // Restrict `other` to this bucket's ranges along the shared
+            // attributes (constraints on other attributes are ignored by
+            // `restrict_node` since they are absent from `own_box`).
+            restrict_node_budgeted(other, &own_box, budget, &move |right| ProductLeaf::Pair {
+                left,
+                right,
+            })
+        }
+        Node::Internal { attr, split, left, right } => {
+            if *budget <= 0 {
+                return TempNode::Leaf(ProductLeaf::Coarse);
+            }
+            let (lo, hi) = own_box.range(*attr).expect("split attr in own box");
+            let mut lbox = own_box.clone();
+            lbox.clamp(*attr, lo, split - 1);
+            let mut rbox = own_box;
+            rbox.clamp(*attr, *split, hi);
+            TempNode::Internal {
+                attr: *attr,
+                split: *split,
+                left: Box::new(graft(tree, *left, lbox, other, budget)),
+                right: Box::new(graft(tree, *right, rbox, other, budget)),
+            }
+        }
+    }
+}
+
+/// [`restrict_node`] with a node budget; exhausted regions collapse into
+/// coarse product leaves.
+fn restrict_node_budgeted(
+    node: &TempNode<SourceLeaf>,
+    restriction: &BoundingBox,
+    budget: &mut isize,
+    map: &impl Fn(SourceLeaf) -> ProductLeaf,
+) -> TempNode<ProductLeaf> {
+    *budget -= 1;
+    if *budget <= 0 {
+        return TempNode::Leaf(ProductLeaf::Coarse);
+    }
+    match node {
+        TempNode::Leaf(payload) => TempNode::Leaf(map(*payload)),
+        TempNode::Internal { attr, split, left, right } => match restriction.range(*attr) {
+            Some((_, hi)) if hi < *split => restrict_node_budgeted(left, restriction, budget, map),
+            Some((lo, _)) if lo >= *split => {
+                restrict_node_budgeted(right, restriction, budget, map)
+            }
+            _ => TempNode::Internal {
+                attr: *attr,
+                split: *split,
+                left: Box::new(restrict_node_budgeted(left, restriction, budget, map)),
+                right: Box::new(restrict_node_budgeted(right, restriction, budget, map)),
+            },
+        },
+    }
+}
+
+/// Converts a structural tree into a [`SplitTree`], computing each leaf's
+/// frequency from its bounding box and payload.
+fn materialize<L: Copy>(
+    attrs: AttrSet,
+    domain: BoundingBox,
+    structure: &TempNode<L>,
+    mut leaf_freq: impl FnMut(&BoundingBox, L) -> f64,
+) -> SplitTree {
+    let mut nodes: Vec<Node> = Vec::new();
+    build_arena(structure, &domain, &mut nodes, &mut leaf_freq);
+    SplitTree::from_parts(attrs, domain, nodes)
+}
+
+/// Appends `structure` to the arena, returning its node id.
+///
+/// All-zero subtrees are collapsed into single zero leaves as they are
+/// built: a zero bucket estimates zero over every sub-box regardless of
+/// its internal splits, so the collapse is estimate-preserving, and it
+/// shrinks the products of sparse operands (whose trimmed empty regions
+/// multiply into large zero forests) dramatically.
+fn build_arena<L: Copy>(
+    structure: &TempNode<L>,
+    bbox: &BoundingBox,
+    nodes: &mut Vec<Node>,
+    leaf_freq: &mut impl FnMut(&BoundingBox, L) -> f64,
+) -> NodeId {
+    match structure {
+        TempNode::Leaf(payload) => {
+            let id = nodes.len() as NodeId;
+            nodes.push(Node::Leaf { freq: leaf_freq(bbox, *payload) });
+            id
+        }
+        TempNode::Internal { attr, split, left, right } => {
+            let id = nodes.len() as NodeId;
+            nodes.push(Node::Leaf { freq: 0.0 }); // placeholder
+            let (lo, hi) = bbox.range(*attr).expect("split attr in box");
+            let mut lbox = bbox.clone();
+            lbox.clamp(*attr, lo, split - 1);
+            let left_id = build_arena(left, &lbox, nodes, leaf_freq);
+            let mut rbox = bbox.clone();
+            rbox.clamp(*attr, *split, hi);
+            let right_id = build_arena(right, &rbox, nodes, leaf_freq);
+            // Zero-collapse: if both children ended up as zero leaves
+            // (they are the only arena entries past `id`), drop them.
+            let both_zero = left_id == id + 1
+                && matches!(nodes[left_id as usize], Node::Leaf { freq } if freq == 0.0)
+                && right_id as usize == nodes.len() - 1
+                && matches!(nodes[right_id as usize], Node::Leaf { freq } if freq == 0.0);
+            if both_zero {
+                nodes.truncate(id as usize + 1);
+                // `id` already holds the zero-leaf placeholder.
+            } else {
+                nodes[id as usize] =
+                    Node::Internal { attr: *attr, split: *split, left: left_id, right: right_id };
+            }
+            id
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::SplitCriterion;
+    use crate::mhist::tests::grid_relation;
+    use crate::mhist::MhistBuilder;
+    use dbhist_distribution::{Relation, Schema};
+
+    #[test]
+    fn project_conserves_mass() {
+        let dist = grid_relation().distribution();
+        let tree = MhistBuilder::build(&dist, 12, SplitCriterion::MaxDiff).unwrap();
+        for target in [AttrSet::singleton(0), AttrSet::singleton(1)] {
+            let p = tree.project(&target).unwrap();
+            assert_eq!(p.attrs(), &target);
+            assert!((p.total() - tree.total()).abs() < 1e-6, "mass conserved");
+            assert!(p.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn project_identity_and_errors() {
+        let dist = grid_relation().distribution();
+        let tree = MhistBuilder::build(&dist, 6, SplitCriterion::MaxDiff).unwrap();
+        let same = tree.project(&AttrSet::from_ids([0, 1])).unwrap();
+        assert_eq!(same.bucket_count(), tree.bucket_count());
+        assert!(tree.project(&AttrSet::empty()).is_err());
+        assert!(matches!(
+            tree.project(&AttrSet::singleton(9)),
+            Err(HistogramError::NotASubset { missing: 9 })
+        ));
+    }
+
+    #[test]
+    fn project_reflects_all_kept_splits() {
+        // The paper's motivating example: splits on X at different values in
+        // different buckets must all appear in the projection onto X.
+        let dist = grid_relation().distribution();
+        let tree = MhistBuilder::build(&dist, 16, SplitCriterion::MaxDiff).unwrap();
+        let p = tree.project(&AttrSet::singleton(0)).unwrap();
+        // Collect distinct split boundaries of the source along attr 0.
+        let mut source_bounds: Vec<u32> = tree
+            .leaves()
+            .iter()
+            .map(|(b, _)| b.range(0).unwrap().0)
+            .filter(|&lo| lo > 0)
+            .collect();
+        source_bounds.sort_unstable();
+        source_bounds.dedup();
+        let mut proj_bounds: Vec<u32> = p
+            .leaves()
+            .iter()
+            .map(|(b, _)| b.range(0).unwrap().0)
+            .filter(|&lo| lo > 0)
+            .collect();
+        proj_bounds.sort_unstable();
+        proj_bounds.dedup();
+        assert_eq!(source_bounds, proj_bounds);
+    }
+
+    #[test]
+    fn project_matches_direct_estimate() {
+        // Projection then estimation must agree with estimating on the
+        // source with the same (marginal) ranges.
+        let dist = grid_relation().distribution();
+        let tree = MhistBuilder::build(&dist, 20, SplitCriterion::MaxDiff).unwrap();
+        let p = tree.project(&AttrSet::singleton(1)).unwrap();
+        for lo in 0..8u32 {
+            for hi in lo..8u32 {
+                let direct = tree.mass_in_box(&[(1, lo, hi)]);
+                let projected = p.mass_in_box(&[(1, lo, hi)]);
+                assert!(
+                    (direct - projected).abs() < 1e-6,
+                    "range [{lo},{hi}]: {direct} vs {projected}"
+                );
+            }
+        }
+    }
+
+    /// Builds split trees over two overlapping marginals of a 3-attribute
+    /// relation where (a ⊥ c | b) holds by construction.
+    fn conditional_pair() -> (SplitTree, SplitTree, Relation) {
+        let schema = Schema::new(vec![("a", 6), ("b", 4), ("c", 6)]).unwrap();
+        let mut rows = Vec::new();
+        // a depends on b, c depends on b, a ⊥ c given b.
+        for b in 0..4u32 {
+            for a in 0..6u32 {
+                for c in 0..6u32 {
+                    let fa = if a % 4 == b { 3 } else { 1 };
+                    let fc = if c % 4 == b { 2 } else { 1 };
+                    for _ in 0..fa * fc {
+                        rows.push(vec![a, b, c]);
+                    }
+                }
+            }
+        }
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let ab = rel.marginal(&AttrSet::from_ids([0, 1])).unwrap();
+        let bc = rel.marginal(&AttrSet::from_ids([1, 2])).unwrap();
+        let hab = MhistBuilder::build(&ab, 24, SplitCriterion::MaxDiff).unwrap();
+        let hbc = MhistBuilder::build(&bc, 24, SplitCriterion::MaxDiff).unwrap();
+        (hab, hbc, rel)
+    }
+
+    #[test]
+    fn product_covers_union_and_conserves_mass() {
+        let (hab, hbc, rel) = conditional_pair();
+        let prod = hab.product(&hbc).unwrap();
+        assert_eq!(prod.attrs(), &AttrSet::from_ids([0, 1, 2]));
+        assert!(prod.validate().is_ok());
+        let n = rel.row_count() as f64;
+        assert!(
+            (prod.total() - n).abs() / n < 0.02,
+            "product total {} vs N {n}",
+            prod.total()
+        );
+    }
+
+    #[test]
+    fn product_with_saturated_histograms_is_exact() {
+        // With enough buckets both marginals are exact, so the product must
+        // reproduce the conditional-independence estimate exactly.
+        let (_, _, rel) = conditional_pair();
+        let ab = rel.marginal(&AttrSet::from_ids([0, 1])).unwrap();
+        let bc = rel.marginal(&AttrSet::from_ids([1, 2])).unwrap();
+        let hab = MhistBuilder::build(&ab, 10_000, SplitCriterion::MaxDiff).unwrap();
+        let hbc = MhistBuilder::build(&bc, 10_000, SplitCriterion::MaxDiff).unwrap();
+        let prod = hab.product(&hbc).unwrap();
+        let b_marg = rel.marginal(&AttrSet::singleton(1)).unwrap();
+        for a in 0..6u32 {
+            for b in 0..4u32 {
+                for c in 0..6u32 {
+                    let expect = ab.frequency(&[a, b]) * bc.frequency(&[b, c])
+                        / b_marg.frequency(&[b]);
+                    let got = prod.mass_in_box(&[(0, a, a), (1, b, b), (2, c, c)]);
+                    assert!(
+                        (got - expect).abs() < 1e-6,
+                        "cell ({a},{b},{c}): {got} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_disjoint_attrs_is_independence() {
+        // Disjoint attribute sets: empty separator, f = f1 · f2 / N.
+        let schema = Schema::new(vec![("x", 4), ("y", 4)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..160u32).map(|i| vec![i % 4, (i * 3) % 4]).collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let hx = MhistBuilder::build(
+            &rel.marginal(&AttrSet::singleton(0)).unwrap(),
+            4,
+            SplitCriterion::MaxDiff,
+        )
+        .unwrap();
+        let hy = MhistBuilder::build(
+            &rel.marginal(&AttrSet::singleton(1)).unwrap(),
+            4,
+            SplitCriterion::MaxDiff,
+        )
+        .unwrap();
+        let prod = hx.product(&hy).unwrap();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                let expect = 40.0 * 40.0 / 160.0;
+                let got = prod.mass_in_box(&[(0, x, x), (1, y, y)]);
+                assert!((got - expect).abs() < 1e-9);
+            }
+        }
+        assert!((prod.total() - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_rejects_incompatible_domains() {
+        let s1 = Schema::new(vec![("x", 4)]).unwrap();
+        let s2 = Schema::new(vec![("x", 8)]).unwrap();
+        let r1 = Relation::from_rows(s1, (0..16u32).map(|i| vec![i % 4]).collect::<Vec<_>>())
+            .unwrap();
+        let r2 = Relation::from_rows(s2, (0..16u32).map(|i| vec![i % 8]).collect::<Vec<_>>())
+            .unwrap();
+        let h1 = MhistBuilder::build(&r1.distribution(), 2, SplitCriterion::MaxDiff).unwrap();
+        let h2 = MhistBuilder::build(&r2.distribution(), 2, SplitCriterion::MaxDiff).unwrap();
+        assert!(matches!(
+            h1.product(&h2),
+            Err(HistogramError::IncompatibleOperands { .. })
+        ));
+    }
+
+    #[test]
+    fn product_then_project_roundtrip() {
+        // Projecting a product back onto one operand's attrs approximates
+        // that operand (exactly, for consistent marginals of the same data).
+        let (hab, hbc, _) = conditional_pair();
+        let prod = hab.product(&hbc).unwrap();
+        let back = prod.project(&AttrSet::from_ids([0, 1])).unwrap();
+        // Totals agree with the original marginal histogram's.
+        assert!((back.total() - hab.total()).abs() / hab.total() < 0.02);
+    }
+
+    #[test]
+    fn product_matches_slow_mass_formula() {
+        // The O(1)-per-leaf fast path must agree with evaluating the
+        // separation formula through mass queries on the operands.
+        let (hab, hbc, _) = conditional_pair();
+        let sep = hab.project(&AttrSet::singleton(1)).unwrap();
+        let prod = hab.product(&hbc).unwrap();
+        for (bbox, freq) in prod.leaves() {
+            let ranges = box_to_ranges(&bbox);
+            let fi = hab.mass_in_box(&ranges);
+            let fj = hbc.mass_in_box(&ranges);
+            let fs = sep.mass_in_box(&ranges);
+            let expect = if fs <= 0.0 { 0.0 } else { fi * fj / fs };
+            assert!(
+                (freq - expect).abs() < 1e-6 * (1.0 + expect),
+                "box {bbox:?}: {freq} vs {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Backward elimination of decomposable models (paper §3.1).
+//!
+//! Backward elimination is the classic, "well established" search
+//! direction in the statistical literature: start from the saturated
+//! model (complete Markov graph) and repeatedly delete the interaction
+//! edge whose removal *least* degrades the fit, while preserving
+//! decomposability. The paper argues this direction is a poor match for
+//! synopsis construction — most of the complete graph's edges must be
+//! checked and removed before the model becomes low-dimensional enough to
+//! histogram — and this module exists to make that comparison measurable
+//! (see the `selection_direction` ablation bench).
+//!
+//! The decomposability-preserving deletion rule is the classical dual of
+//! edge addition: removing `(u, v)` from a chordal graph leaves it chordal
+//! **iff** the edge belongs to exactly one maximal clique. The divergence
+//! *increase* is then the local term `I(u; v | C \ {u,v})` where `C` is
+//! that unique clique — the mirror image of forward selection's
+//! improvement.
+
+use dbhist_distribution::{measures, AttrId, AttrSet, EntropyCache, Relation};
+
+use crate::chordal::maximal_cliques;
+use crate::decomposable::DecomposableModel;
+use crate::graph::MarkovGraph;
+use crate::selection::{SelectionConfig, SelectionResult, SelectionStep};
+use crate::stats::SignificanceTest;
+
+/// Decides whether removing `(u, v)` keeps `graph` chordal, returning the
+/// conditioning set `S = C \ {u, v}` of the unique containing clique if so.
+///
+/// Removal preserves chordality iff the edge lies in exactly one maximal
+/// clique (otherwise the two cliques it bridges lose their chord and open
+/// a 4-cycle).
+#[must_use]
+pub fn removable_edge_context(graph: &MarkovGraph, u: AttrId, v: AttrId) -> Option<AttrSet> {
+    if !graph.has_edge(u, v) {
+        return None;
+    }
+    let mut containing = maximal_cliques(graph)
+        .into_iter()
+        .filter(|c| c.contains(u) && c.contains(v));
+    let first = containing.next()?;
+    if containing.next().is_some() {
+        return None;
+    }
+    Some(first.without(u).without(v))
+}
+
+/// Backward elimination from the saturated model.
+///
+/// Edges are removed while the *loss* of fit is statistically
+/// insignificant at level `config.theta` (the dual of forward selection's
+/// acceptance rule), preferring the least-significant loss each round.
+/// Elimination also continues — regardless of significance — while any
+/// generator exceeds `config.k_max`, since an over-wide clique can never
+/// be histogrammed within the paper's accuracy regime; among those rounds
+/// it still removes the least harmful edge.
+///
+/// Returns the same [`SelectionResult`] shape as the forward selector;
+/// `steps` record *removals* (improvement is the negated divergence
+/// increase, so it is ≤ 0).
+#[must_use]
+pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> SelectionResult {
+    config.validate().expect("invalid selection config");
+    let schema = relation.schema().clone();
+    let n = schema.arity();
+    let mut cache = EntropyCache::new(relation);
+    let mut graph = MarkovGraph::complete(n);
+    let total = relation.row_count() as f64;
+
+    let joint_entropy = cache.entropy(&schema.all_attrs());
+    let divergence = |graph: &MarkovGraph, cache: &mut EntropyCache<'_>| -> f64 {
+        let jt = crate::junction::JunctionTree::build(graph).expect("chordal by invariant");
+        let cliques: Vec<f64> = jt.cliques().iter().map(|c| cache.entropy(c)).collect();
+        let seps: Vec<f64> = jt.separators().map(|s| cache.entropy(s)).collect();
+        measures::decomposable_divergence(joint_entropy, &cliques, &seps)
+    };
+
+    let initial_divergence = divergence(&graph, &mut cache);
+    let mut steps: Vec<SelectionStep> = Vec::new();
+    loop {
+        let oversized = {
+            let model_cliques = maximal_cliques(&graph);
+            model_cliques.iter().any(|c| c.len() > config.k_max)
+        };
+        // Score every removable edge by the divergence increase.
+        let edges: Vec<(AttrId, AttrId)> = graph.edges().collect();
+        let mut best: Option<(AttrId, AttrId, AttrSet, f64, SignificanceTest)> = None;
+        for (u, v) in edges {
+            let Some(s) = removable_edge_context(&graph, u, v) else {
+                continue;
+            };
+            let h_su = cache.entropy(&s.with(u));
+            let h_sv = cache.entropy(&s.with(v));
+            let h_s = cache.entropy(&s);
+            let h_suv = cache.entropy(&s.with(u).with(v));
+            let increase = measures::conditional_mutual_information(h_su, h_sv, h_s, h_suv);
+            let mut df =
+                f64::from(schema.domain_size(u) - 1) * f64::from(schema.domain_size(v) - 1);
+            for a in s.iter() {
+                df *= f64::from(schema.domain_size(a));
+            }
+            let test = SignificanceTest::new(total, increase, df);
+            if best
+                .as_ref()
+                .is_none_or(|(_, _, _, inc, _)| increase < *inc)
+            {
+                best = Some((u, v, s, increase, test));
+            }
+        }
+        let Some((u, v, separator, increase, test)) = best else {
+            break;
+        };
+        // Stop when the cheapest removal is significant — i.e. it would
+        // discard real structure — unless a clique is still too wide.
+        if !oversized && test.is_significant(config.theta) {
+            break;
+        }
+        graph.remove_edge(u, v).expect("edge exists");
+        let model = DecomposableModel::new(schema.clone(), graph.clone())
+            .expect("removal preserves chordality");
+        let divergence_after = divergence(&graph, &mut cache);
+        steps.push(SelectionStep {
+            candidate: crate::selection::EdgeCandidate {
+                u,
+                v,
+                separator,
+                improvement: -increase,
+                test,
+                state_space_increase: 0,
+            },
+            divergence_after,
+            model,
+        });
+        if graph.edge_count() == 0 {
+            break;
+        }
+    }
+
+    let model = steps.last().map_or_else(
+        || DecomposableModel::saturated(schema.clone()),
+        |s| s.model.clone(),
+    );
+    SelectionResult {
+        model,
+        initial_divergence,
+        steps,
+        entropy_computations: cache.computations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chordal::is_chordal;
+    use crate::selection::ForwardSelector;
+    use dbhist_distribution::Schema;
+
+    fn set(ids: &[AttrId]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn removable_iff_single_clique() {
+        // Two triangles sharing edge (1,2): the shared edge is in both
+        // cliques (not removable); outer edges are in one (removable).
+        let g =
+            MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(removable_edge_context(&g, 1, 2), None);
+        assert_eq!(removable_edge_context(&g, 0, 1), Some(set(&[2])));
+        assert_eq!(removable_edge_context(&g, 2, 3), Some(set(&[1])));
+        // Absent edges are not removable.
+        assert_eq!(removable_edge_context(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn removal_preserves_chordality() {
+        let mut g = MarkovGraph::complete(5);
+        let mut steps = 0;
+        // Remove greedily until no edge is removable (empty graph).
+        loop {
+            let candidates: Vec<(AttrId, AttrId)> = g.edges().collect();
+            let Some(&(u, v)) = candidates
+                .iter()
+                .find(|&&(u, v)| removable_edge_context(&g, u, v).is_some())
+            else {
+                break;
+            };
+            g.remove_edge(u, v).unwrap();
+            assert!(is_chordal(&g), "removal broke chordality at step {steps}");
+            steps += 1;
+        }
+        assert_eq!(g.edge_count(), 0, "the complete graph can be fully dismantled");
+        assert_eq!(steps, 10);
+    }
+
+    /// a == b, c == d (shifted), e independent.
+    fn two_pair_relation() -> Relation {
+        let schema =
+            Schema::new(vec![("a", 4), ("b", 4), ("c", 3), ("d", 3), ("e", 2)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..720u32)
+            .map(|i| {
+                let a = i % 4;
+                let c = (i / 4) % 3;
+                let e = (i / 12) % 2;
+                vec![a, a, c, (c + 1) % 3, e]
+            })
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn backward_recovers_true_structure() {
+        let rel = two_pair_relation();
+        let result = backward_eliminate(&rel, SelectionConfig::default());
+        let g = result.model.graph();
+        assert!(g.has_edge(0, 1), "kept a-b: {g}");
+        assert!(g.has_edge(2, 3), "kept c-d: {g}");
+        assert_eq!(g.edge_count(), 2, "removed everything else: {g}");
+        assert!(result.model.max_clique_size() <= 2);
+    }
+
+    #[test]
+    fn forward_and_backward_agree_on_clear_structure() {
+        let rel = two_pair_relation();
+        let fwd = ForwardSelector::new(&rel, SelectionConfig::default()).run();
+        let bwd = backward_eliminate(&rel, SelectionConfig::default());
+        assert_eq!(fwd.model.graph(), bwd.model.graph());
+        // Backward elimination starts from the complete graph, so it must
+        // evaluate far more candidate moves (the paper's §3.1 argument for
+        // forward selection in this setting).
+        assert!(bwd.entropy_computations >= fwd.entropy_computations);
+    }
+
+    #[test]
+    fn k_max_is_enforced_even_when_significant() {
+        // Three mutually identical attributes: every pairwise (and triple)
+        // interaction is maximally significant, but k_max = 2 must still
+        // break the triangle.
+        let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 4)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..400u32).map(|i| vec![i % 4, i % 4, i % 4]).collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let result = backward_eliminate(&rel, SelectionConfig::default());
+        assert!(result.model.max_clique_size() <= 2, "{}", result.model.notation());
+    }
+
+    #[test]
+    fn divergence_monotonically_increases_along_removals() {
+        let rel = two_pair_relation();
+        let result = backward_eliminate(&rel, SelectionConfig::default());
+        let mut prev = result.initial_divergence;
+        for step in &result.steps {
+            assert!(step.divergence_after >= prev - 1e-9);
+            assert!(step.candidate.improvement <= 1e-9);
+            prev = step.divergence_after;
+        }
+    }
+}

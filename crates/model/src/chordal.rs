@@ -1,0 +1,300 @@
+//! Chordality testing and clique extraction.
+//!
+//! Decomposable models correspond exactly to *chordal* (triangulated)
+//! Markov graphs (paper §2.2). This module provides:
+//!
+//! * [`maximum_cardinality_search`] — the classic MCS ordering of Tarjan &
+//!   Yannakakis;
+//! * [`is_chordal`] — the zero-fill-in test over an MCS ordering;
+//! * [`maximal_cliques`] — the generators of a chordal graph;
+//! * [`addable_edge_separator`] — the test at the heart of forward
+//!   selection: whether inserting an interaction edge `(u, v)` keeps the
+//!   graph chordal, and if so the (unique) minimal `u–v` separator `S`,
+//!   so that the single new maximal clique is `S ∪ {u, v}` and the
+//!   divergence improvement is the conditional mutual information
+//!   `I(u; v | S)`.
+
+use dbhist_distribution::{AttrId, AttrSet};
+
+use crate::graph::MarkovGraph;
+
+/// A Maximum Cardinality Search ordering.
+///
+/// `order[i]` is the `i`-th vertex visited; for chordal graphs the reverse
+/// of this order is a perfect elimination ordering.
+#[must_use]
+pub fn maximum_cardinality_search(graph: &MarkovGraph) -> Vec<AttrId> {
+    let n = graph.vertex_count();
+    let mut weight = vec![0usize; n];
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Pick the unvisited vertex with the most visited neighbors
+        // (ties broken by smallest id for determinism).
+        let v = (0..n)
+            .filter(|&v| !visited[v])
+            .max_by_key(|&v| (weight[v], usize::MAX - v))
+            .expect("unvisited vertex exists");
+        visited[v] = true;
+        order.push(v as AttrId);
+        for u in 0..n {
+            if !visited[u] && graph.has_edge(v as AttrId, u as AttrId) {
+                weight[u] += 1;
+            }
+        }
+    }
+    order
+}
+
+/// For each vertex, its neighbors that appear *earlier* in `order`
+/// (the "monotone adjacency" sets used by the zero-fill-in test).
+fn monotone_adjacency(graph: &MarkovGraph, order: &[AttrId]) -> Vec<AttrSet> {
+    let n = graph.vertex_count();
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[usize::from(v)] = i;
+    }
+    order
+        .iter()
+        .map(|&v| {
+            AttrSet::from_ids(
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&u| rank[usize::from(u)] < rank[usize::from(v)]),
+            )
+        })
+        .collect()
+}
+
+/// Tests whether `graph` is chordal: runs MCS and checks that every
+/// vertex's earlier neighbors form a clique (zero fill-in).
+#[must_use]
+pub fn is_chordal(graph: &MarkovGraph) -> bool {
+    let order = maximum_cardinality_search(graph);
+    monotone_adjacency(graph, &order)
+        .iter()
+        .all(|madj| graph.is_clique(madj))
+}
+
+/// The maximal cliques (model generators) of a chordal graph.
+///
+/// Candidates are `{v} ∪ madj(v)` over the MCS order; non-maximal
+/// candidates are pruned. Isolated vertices yield singleton cliques, so the
+/// empty graph over `n` vertices returns `n` singletons — the
+/// full-independence model `[1][2]...[n]`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the graph is not chordal; call
+/// [`is_chordal`] first for untrusted graphs.
+#[must_use]
+pub fn maximal_cliques(graph: &MarkovGraph) -> Vec<AttrSet> {
+    debug_assert!(is_chordal(graph), "maximal_cliques requires a chordal graph");
+    let order = maximum_cardinality_search(graph);
+    let madj = monotone_adjacency(graph, &order);
+    let mut candidates: Vec<AttrSet> = order
+        .iter()
+        .zip(&madj)
+        .map(|(&v, m)| m.with(v))
+        .collect();
+    // Prune candidates strictly contained in another candidate.
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut cliques: Vec<AttrSet> = Vec::new();
+    for cand in candidates {
+        if !cliques.iter().any(|c| cand.is_subset(c)) {
+            cliques.push(cand);
+        }
+    }
+    cliques.sort();
+    cliques
+}
+
+/// Decides whether adding the edge `(u, v)` to a chordal graph preserves
+/// chordality, returning the unique minimal `u–v` separator `S` if so.
+///
+/// * If `u` and `v` lie in different connected components, the edge is
+///   always addable and `S = ∅`.
+/// * Otherwise the classic characterization applies: `G + (u,v)` is chordal
+///   iff `u` and `v` have a *unique* minimal separator `S` in `G`; the new
+///   maximal clique is then `S ∪ {u, v}`.
+///
+/// Returns `None` when the edge is not addable (or already present / a
+/// self-loop).
+///
+/// Addability is decided by a direct chordality re-test of the augmented
+/// graph (vertex counts are tiny, ≤ a few dozen, so the O(n·m) test is
+/// cheap and keeps this function unconditionally correct). The separator
+/// for an addable edge is the common neighborhood `N(u) ∩ N(v)`: in a
+/// chordal graph the common neighbors of a *non-adjacent* pair are pairwise
+/// adjacent (otherwise two non-adjacent common neighbors would close a
+/// chordless 4-cycle through `u` and `v`), so `{u,v} ∪ N(u)∩N(v)` is the
+/// unique maximal clique of `G + (u,v)` containing the new edge.
+#[must_use]
+pub fn addable_edge_separator(graph: &MarkovGraph, u: AttrId, v: AttrId) -> Option<AttrSet> {
+    if u == v
+        || usize::from(u) >= graph.vertex_count()
+        || usize::from(v) >= graph.vertex_count()
+        || graph.has_edge(u, v)
+    {
+        return None;
+    }
+    if !graph.same_component(u, v) {
+        return Some(AttrSet::empty());
+    }
+    let mut augmented = graph.clone();
+    augmented.add_edge(u, v).expect("validated vertices");
+    if !is_chordal(&augmented) {
+        return None;
+    }
+    Some(graph.neighbors(u).intersection(&graph.neighbors(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[AttrId]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn chordality_basic() {
+        // Path and tree graphs are chordal.
+        assert!(is_chordal(&MarkovGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap()));
+        // 4-cycle is the smallest non-chordal graph.
+        assert!(!is_chordal(
+            &MarkovGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap()
+        ));
+        // 4-cycle plus a chord is chordal.
+        assert!(is_chordal(
+            &MarkovGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]).unwrap()
+        ));
+        // Complete and empty graphs are chordal.
+        assert!(is_chordal(&MarkovGraph::complete(5)));
+        assert!(is_chordal(&MarkovGraph::empty(5)));
+        // 5-cycle with one chord still has a chordless 4-cycle.
+        assert!(!is_chordal(
+            &MarkovGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (0, 2)]).unwrap()
+        ));
+    }
+
+    #[test]
+    fn mcs_orders_all_vertices() {
+        let g = MarkovGraph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let order = maximum_cardinality_search(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cliques_of_empty_graph_are_singletons() {
+        let cliques = maximal_cliques(&MarkovGraph::empty(3));
+        assert_eq!(cliques, vec![set(&[0]), set(&[1]), set(&[2])]);
+    }
+
+    #[test]
+    fn cliques_of_complete_graph() {
+        let cliques = maximal_cliques(&MarkovGraph::complete(4));
+        assert_eq!(cliques, vec![set(&[0, 1, 2, 3])]);
+    }
+
+    #[test]
+    fn cliques_of_paper_example() {
+        // Paper Fig. 1(b): model [123][124][15] over attributes 0..5
+        // (paper's 1..5 shifted down by one).
+        let g = MarkovGraph::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)],
+        )
+        .unwrap();
+        assert!(is_chordal(&g));
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![set(&[0, 1, 2]), set(&[0, 1, 3]), set(&[0, 4])]);
+    }
+
+    #[test]
+    fn cliques_of_two_triangles_sharing_edge() {
+        let g =
+            MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![set(&[0, 1, 2]), set(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn addable_cross_component() {
+        let g = MarkovGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(addable_edge_separator(&g, 0, 2), Some(AttrSet::empty()));
+    }
+
+    #[test]
+    fn addable_with_singleton_separator() {
+        // Star cliques {01},{12},{13}: edge (0,3) addable with S={1}.
+        let g = MarkovGraph::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert_eq!(addable_edge_separator(&g, 0, 3), Some(set(&[1])));
+        assert_eq!(addable_edge_separator(&g, 3, 0), Some(set(&[1])));
+    }
+
+    #[test]
+    fn addable_with_two_vertex_separator() {
+        // Two triangles sharing edge {1,2}: edge (0,3) addable with S={1,2}.
+        let g =
+            MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(addable_edge_separator(&g, 0, 3), Some(set(&[1, 2])));
+    }
+
+    #[test]
+    fn not_addable_on_path() {
+        // Path 0-1-2-3: adding (0,3) creates a chordless 4-cycle.
+        let g = MarkovGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(addable_edge_separator(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn not_addable_existing_edge_or_loop() {
+        let g = MarkovGraph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(addable_edge_separator(&g, 0, 1), None);
+        assert_eq!(addable_edge_separator(&g, 2, 2), None);
+        assert_eq!(addable_edge_separator(&g, 0, 9), None);
+    }
+
+    #[test]
+    fn addable_edge_really_preserves_chordality() {
+        // Exhaustive check over all chordal graphs on 5 vertices generated
+        // by random edge insertion: every edge reported addable keeps the
+        // graph chordal, every edge reported not-addable breaks it.
+        let mut g = MarkovGraph::empty(5);
+        let mut rng: u64 = 0x1234_5678;
+        for _ in 0..200 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let u = (rng % 5) as AttrId;
+            let v = ((rng >> 8) % 5) as AttrId;
+            if u == v {
+                continue;
+            }
+            match addable_edge_separator(&g, u, v) {
+                Some(sep) => {
+                    // Separator plus endpoints must induce a clique in G+uv.
+                    let mut g2 = g.clone();
+                    g2.add_edge(u, v).unwrap();
+                    assert!(is_chordal(&g2));
+                    assert!(g2.is_clique(&sep.with(u).with(v)));
+                    g = g2;
+                }
+                None => {
+                    if !g.has_edge(u, v) {
+                        let mut g2 = g.clone();
+                        g2.add_edge(u, v).unwrap();
+                        assert!(!is_chordal(&g2));
+                    }
+                }
+            }
+            if g.edge_count() == 10 {
+                g = MarkovGraph::empty(5);
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Decomposable interaction models (paper §2.2).
+//!
+//! A [`DecomposableModel`] couples a chordal [`MarkovGraph`] with its
+//! maximal cliques (the model *generators*) and a [`JunctionTree`]. It
+//! provides the two capabilities the paper relies on:
+//!
+//! * **Closed-form frequency estimates** (Eq. 2): `f̂ = Π f_C / Π f_S`
+//!   read off the junction tree, evaluated here against exact marginal
+//!   distributions (the clique-histogram-based path lives in
+//!   `dbhist-core`).
+//! * **Divergence computation** via the entropy decomposition
+//!   `D(f, f̂_M) = Σ E(C) − Σ E(S) − E(f)`, which needs only marginal
+//!   entropies (memoized in an [`EntropyCache`]) rather than the joint.
+
+use dbhist_distribution::{
+    measures, AttrSet, Distribution, EntropyCache, Relation, Schema,
+};
+
+use crate::error::ModelError;
+use crate::graph::MarkovGraph;
+use crate::junction::JunctionTree;
+
+/// A decomposable log-linear interaction model over a schema's attributes.
+#[derive(Debug, Clone)]
+pub struct DecomposableModel {
+    schema: Schema,
+    graph: MarkovGraph,
+    junction: JunctionTree,
+}
+
+impl DecomposableModel {
+    /// Builds a model from an interaction graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotChordal`] if `graph` is not chordal (i.e.
+    /// the log-linear model it denotes is not decomposable).
+    pub fn new(schema: Schema, graph: MarkovGraph) -> Result<Self, ModelError> {
+        let junction = JunctionTree::build(&graph)?;
+        Ok(Self { schema, graph, junction })
+    }
+
+    /// The full-independence model `[1][2]...[n]` — forward selection's
+    /// starting point.
+    #[must_use]
+    pub fn independence(schema: Schema) -> Self {
+        let graph = MarkovGraph::empty(schema.arity());
+        Self::new(schema, graph).expect("the empty graph is chordal")
+    }
+
+    /// The saturated (fully-correlated) model `[12...n]`.
+    #[must_use]
+    pub fn saturated(schema: Schema) -> Self {
+        let graph = MarkovGraph::complete(schema.arity());
+        Self::new(schema, graph).expect("the complete graph is chordal")
+    }
+
+    /// The model's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The underlying Markov graph.
+    #[must_use]
+    pub fn graph(&self) -> &MarkovGraph {
+        &self.graph
+    }
+
+    /// The junction tree over the model's generators.
+    #[must_use]
+    pub fn junction_tree(&self) -> &JunctionTree {
+        &self.junction
+    }
+
+    /// The model generators (maximal cliques), sorted ascending.
+    #[must_use]
+    pub fn cliques(&self) -> &[AttrSet] {
+        self.junction.cliques()
+    }
+
+    /// Number of interaction edges in the Markov graph.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The size of the largest generator (bounded by `k_max` during
+    /// selection).
+    #[must_use]
+    pub fn max_clique_size(&self) -> usize {
+        self.cliques().iter().map(AttrSet::len).max().unwrap_or(0)
+    }
+
+    /// The total model state space: `Σ_cliques Π_{a ∈ C} |D_a|` — the
+    /// quantity the paper's DB₂ heuristic normalizes improvements by.
+    #[must_use]
+    pub fn state_space(&self) -> u64 {
+        self.cliques()
+            .iter()
+            .map(|c| self.schema.state_space(c))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Model notation such as `"[0 1 2][0 1 3][0 4]"`.
+    #[must_use]
+    pub fn notation(&self) -> String {
+        self.junction.notation()
+    }
+
+    /// `true` if the model entails `A ⊥ B | C` — i.e. `C` separates `A`
+    /// from `B` in the Markov graph (the global Markov property,
+    /// paper §2.2).
+    #[must_use]
+    pub fn implies_independence(&self, a: &AttrSet, b: &AttrSet, given: &AttrSet) -> bool {
+        self.graph.separates(a, b, given)
+    }
+
+    /// The model's defining conditional-independence statements, one per
+    /// junction-tree edge: removing edge `(C_i, C_j)` with separator `S`
+    /// splits the tree in two; the attributes on either side (minus `S`)
+    /// are conditionally independent given `S`. Every other independence
+    /// the model entails follows from these by the graphoid axioms.
+    #[must_use]
+    pub fn independence_statements(&self) -> Vec<IndependenceStatement> {
+        let jt = &self.junction;
+        let k = jt.len();
+        let mut out = Vec::with_capacity(jt.edges().len());
+        for (edge_idx, edge) in jt.edges().iter().enumerate() {
+            // Attributes reachable from edge.a without crossing this edge.
+            let mut side = vec![false; k];
+            let mut stack = vec![edge.a];
+            side[edge.a] = true;
+            while let Some(c) = stack.pop() {
+                for (other, _) in jt.neighbors(c) {
+                    let crosses = {
+                        let e = &jt.edges()[edge_idx];
+                        (c == e.a && other == e.b) || (c == e.b && other == e.a)
+                    };
+                    if !crosses && !side[other] {
+                        side[other] = true;
+                        stack.push(other);
+                    }
+                }
+            }
+            let mut left = AttrSet::empty();
+            let mut right = AttrSet::empty();
+            for (i, clique) in jt.cliques().iter().enumerate() {
+                if side[i] {
+                    left = left.union(clique);
+                } else {
+                    right = right.union(clique);
+                }
+            }
+            let sep = edge.separator.clone();
+            out.push(IndependenceStatement {
+                left: left.difference(&sep),
+                right: right.difference(&sep),
+                given: sep,
+            });
+        }
+        out
+    }
+
+    /// Divergence `D(f, f̂_M)` of the model from the data, via the entropy
+    /// decomposition (marginal entropies are pulled from `cache`).
+    pub fn divergence(&self, cache: &mut EntropyCache<'_>) -> f64 {
+        let clique_entropies: Vec<f64> =
+            self.cliques().iter().map(|c| cache.entropy(c)).collect();
+        let sep_entropies: Vec<f64> =
+            self.junction.separators().map(|s| cache.entropy(s)).collect();
+        let joint = cache.entropy(&self.schema.all_attrs());
+        measures::decomposable_divergence(joint, &clique_entropies, &sep_entropies)
+    }
+
+    /// Materializes exact marginal distributions for every generator and
+    /// every junction-tree separator of the model, returning an
+    /// [`ExactEstimator`] that evaluates the closed-form estimate
+    /// `f̂(i_1,...,i_n)` of Eq. 2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution errors if the model's attributes are not in
+    /// the relation's schema (impossible when both came from the same
+    /// schema).
+    pub fn exact_estimator(
+        &self,
+        relation: &Relation,
+    ) -> Result<ExactEstimator, dbhist_distribution::DistributionError> {
+        let cliques: Vec<Distribution> = self
+            .cliques()
+            .iter()
+            .map(|c| relation.marginal(c))
+            .collect::<Result<_, _>>()?;
+        let separators: Vec<Distribution> = self
+            .junction
+            .separators()
+            .map(|s| relation.marginal(s))
+            .collect::<Result<_, _>>()?;
+        Ok(ExactEstimator {
+            attrs: self.schema.all_attrs(),
+            cliques,
+            separators,
+            total: relation.row_count() as f64,
+        })
+    }
+}
+
+/// A conditional-independence statement `left ⊥ right | given` entailed
+/// by a decomposable model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndependenceStatement {
+    /// The first attribute set.
+    pub left: AttrSet,
+    /// The second attribute set.
+    pub right: AttrSet,
+    /// The conditioning set (a junction-tree separator; possibly empty,
+    /// in which case the statement is an unconditional independence).
+    pub given: AttrSet,
+}
+
+impl std::fmt::Display for IndependenceStatement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.given.is_empty() {
+            write!(f, "{} ⊥ {}", self.left, self.right)
+        } else {
+            write!(f, "{} ⊥ {} | {}", self.left, self.right, self.given)
+        }
+    }
+}
+
+/// Evaluates a decomposable model's closed-form estimates against exact
+/// marginals (paper Eq. 2): `f̂ = Π f_C / Π f_S`, with the convention that
+/// the estimate is `0` whenever any clique marginal is `0`.
+///
+/// An empty-separator factor contributes `f_∅ = N` in the denominator
+/// (relative frequencies multiply across independent components).
+#[derive(Debug, Clone)]
+pub struct ExactEstimator {
+    attrs: AttrSet,
+    cliques: Vec<Distribution>,
+    separators: Vec<Distribution>,
+    total: f64,
+}
+
+impl ExactEstimator {
+    /// The estimated frequency `f̂(key)` for a full joint key (ordered by
+    /// ascending attribute id over all schema attributes).
+    #[must_use]
+    pub fn estimate(&self, key: &[u32]) -> f64 {
+        debug_assert_eq!(key.len(), self.attrs.len());
+        let mut numerator = 1.0;
+        for c in &self.cliques {
+            let sub = project_key(key, &self.attrs, c.attrs());
+            let f = c.frequency(&sub);
+            if f <= 0.0 {
+                return 0.0;
+            }
+            numerator *= f;
+        }
+        let mut denominator = 1.0;
+        for s in &self.separators {
+            let f = if s.attrs().is_empty() {
+                self.total
+            } else {
+                let sub = project_key(key, &self.attrs, s.attrs());
+                s.frequency(&sub)
+            };
+            // A zero separator with nonzero clique marginals cannot occur
+            // for consistent marginals; guard anyway.
+            if f <= 0.0 {
+                return 0.0;
+            }
+            denominator *= f;
+        }
+        numerator / denominator
+    }
+
+    /// Total mass `N` of the underlying data.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+/// Extracts the sub-key of `key` (ordered by `full`) corresponding to the
+/// attribute subset `sub`.
+fn project_key(key: &[u32], full: &AttrSet, sub: &AttrSet) -> Vec<u32> {
+    sub.iter()
+        .map(|a| key[full.position(a).expect("sub ⊆ full")])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::measures::kl_divergence;
+
+    /// a == b (4 values), c independent coin, d independent of everything.
+    fn correlated_relation() -> Relation {
+        let schema =
+            Schema::new(vec![("a", 4), ("b", 4), ("c", 2), ("d", 3)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..240u32)
+            .map(|i| vec![i % 4, i % 4, (i / 4) % 2, (i / 8) % 3])
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn independence_and_saturated() {
+        let rel = correlated_relation();
+        let ind = DecomposableModel::independence(rel.schema().clone());
+        assert_eq!(ind.cliques().len(), 4);
+        assert_eq!(ind.edge_count(), 0);
+        assert_eq!(ind.max_clique_size(), 1);
+        let sat = DecomposableModel::saturated(rel.schema().clone());
+        assert_eq!(sat.cliques().len(), 1);
+        assert_eq!(sat.max_clique_size(), 4);
+    }
+
+    #[test]
+    fn non_chordal_rejected() {
+        let schema = Schema::new(vec![("a", 2), ("b", 2), ("c", 2), ("d", 2)]).unwrap();
+        let g = MarkovGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        assert_eq!(
+            DecomposableModel::new(schema, g).unwrap_err(),
+            ModelError::NotChordal
+        );
+    }
+
+    #[test]
+    fn saturated_model_has_zero_divergence() {
+        let rel = correlated_relation();
+        let model = DecomposableModel::saturated(rel.schema().clone());
+        let mut cache = EntropyCache::new(&rel);
+        assert!(model.divergence(&mut cache).abs() < 1e-10);
+    }
+
+    #[test]
+    fn correct_model_has_zero_divergence() {
+        // [ab][c][d] matches the generating process exactly.
+        let rel = correlated_relation();
+        let g = MarkovGraph::from_edges(4, [(0, 1)]).unwrap();
+        let model = DecomposableModel::new(rel.schema().clone(), g).unwrap();
+        let mut cache = EntropyCache::new(&rel);
+        assert!(model.divergence(&mut cache).abs() < 1e-10);
+    }
+
+    #[test]
+    fn independence_model_divergence_positive() {
+        let rel = correlated_relation();
+        let model = DecomposableModel::independence(rel.schema().clone());
+        let mut cache = EntropyCache::new(&rel);
+        // a == b uniformly over 4 values: I(a;b) = ln 4.
+        let d = model.divergence(&mut cache);
+        assert!((d - (4.0f64).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn entropy_divergence_matches_direct_kl() {
+        let rel = correlated_relation();
+        for edges in [vec![], vec![(0u16, 1u16)], vec![(0, 1), (1, 2)], vec![(0, 1), (2, 3)]] {
+            let g = MarkovGraph::from_edges(4, edges).unwrap();
+            let model = DecomposableModel::new(rel.schema().clone(), g).unwrap();
+            let mut cache = EntropyCache::new(&rel);
+            let via_entropy = model.divergence(&mut cache);
+            let est = model.exact_estimator(&rel).unwrap();
+            let joint = rel.distribution();
+            let direct = kl_divergence(&joint, |key| est.estimate(key));
+            assert!(
+                (via_entropy - direct).abs() < 1e-9,
+                "model {}: {via_entropy} vs {direct}",
+                model.notation()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_estimates_sum_to_total() {
+        // For any decomposable model, Σ f̂ over the full state space = N.
+        let rel = correlated_relation();
+        let g = MarkovGraph::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+        let model = DecomposableModel::new(rel.schema().clone(), g).unwrap();
+        let est = model.exact_estimator(&rel).unwrap();
+        let mut sum = 0.0;
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                for c in 0..2u32 {
+                    for d in 0..3u32 {
+                        sum += est.estimate(&[a, b, c, d]);
+                    }
+                }
+            }
+        }
+        assert!((sum - 240.0).abs() < 1e-6, "sum = {sum}");
+    }
+
+    #[test]
+    fn paper_example_estimate_formula() {
+        // Model [01][02] over 3 attrs: conditional independence of 1 and 2
+        // given 0; f̂(i,j,k) = f01(i,j)·f02(i,k)/f0(i) (paper §2.2).
+        let schema = Schema::new(vec![("x", 3), ("y", 3), ("z", 3)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..270u32)
+            .map(|i| vec![i % 3, (i / 3) % 3, (i / 9) % 3])
+            .collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let g = MarkovGraph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let model = DecomposableModel::new(rel.schema().clone(), g).unwrap();
+        let est = model.exact_estimator(&rel).unwrap();
+
+        let f01 = rel.marginal(&AttrSet::from_ids([0, 1])).unwrap();
+        let f02 = rel.marginal(&AttrSet::from_ids([0, 2])).unwrap();
+        let f0 = rel.marginal(&AttrSet::singleton(0)).unwrap();
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                for k in 0..3u32 {
+                    let expect =
+                        f01.frequency(&[i, j]) * f02.frequency(&[i, k]) / f0.frequency(&[i]);
+                    assert!((est.estimate(&[i, j, k]) - expect).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_space_accounting() {
+        let rel = correlated_relation();
+        let ind = DecomposableModel::independence(rel.schema().clone());
+        assert_eq!(ind.state_space(), 4 + 4 + 2 + 3);
+        let g = MarkovGraph::from_edges(4, [(0, 1)]).unwrap();
+        let m = DecomposableModel::new(rel.schema().clone(), g).unwrap();
+        assert_eq!(m.state_space(), 16 + 2 + 3);
+    }
+
+    #[test]
+    fn independence_statements_match_paper_example() {
+        // Fig. 1(b): [012][013][04] (zero-based).
+        let schema =
+            Schema::new(vec![("a", 2), ("b", 2), ("c", 2), ("d", 2), ("e", 2)]).unwrap();
+        let g = MarkovGraph::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)],
+        )
+        .unwrap();
+        let model = DecomposableModel::new(schema, g).unwrap();
+        let statements = model.independence_statements();
+        assert_eq!(statements.len(), 2, "one statement per junction edge");
+        // Each statement must be entailed by the graph itself.
+        for s in &statements {
+            assert!(model.implies_independence(&s.left, &s.right, &s.given), "{s}");
+            assert!(s.left.is_disjoint(&s.right));
+            assert!(s.left.is_disjoint(&s.given));
+        }
+        // The paper's two reads: {2} ⊥ {3} | {0,1} and {4} ⊥ {1,2,3} | {0}.
+        assert!(model.implies_independence(
+            &AttrSet::singleton(2),
+            &AttrSet::singleton(3),
+            &AttrSet::from_ids([0, 1])
+        ));
+        assert!(model.implies_independence(
+            &AttrSet::singleton(4),
+            &AttrSet::from_ids([1, 2, 3]),
+            &AttrSet::singleton(0)
+        ));
+        // And a non-independence.
+        assert!(!model.implies_independence(
+            &AttrSet::singleton(2),
+            &AttrSet::singleton(3),
+            &AttrSet::singleton(0)
+        ));
+    }
+
+    #[test]
+    fn independence_statements_cover_components() {
+        // Disconnected model: the cross-component statement has an empty
+        // conditioning set (unconditional independence).
+        let schema = Schema::new(vec![("a", 2), ("b", 2), ("c", 2)]).unwrap();
+        let g = MarkovGraph::from_edges(3, [(0, 1)]).unwrap();
+        let model = DecomposableModel::new(schema, g).unwrap();
+        let statements = model.independence_statements();
+        assert_eq!(statements.len(), 1);
+        assert!(statements[0].given.is_empty());
+        assert_eq!(statements[0].to_string(), "{0,1} ⊥ {2}");
+    }
+
+    #[test]
+    fn estimate_zero_outside_support() {
+        let rel = correlated_relation();
+        let g = MarkovGraph::from_edges(4, [(0, 1)]).unwrap();
+        let model = DecomposableModel::new(rel.schema().clone(), g).unwrap();
+        let est = model.exact_estimator(&rel).unwrap();
+        // (a=0, b=1) never occurs.
+        assert_eq!(est.estimate(&[0, 1, 0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for model construction.
+
+use std::fmt;
+
+use dbhist_distribution::AttrId;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A graph operation referenced a vertex outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: AttrId,
+        /// The graph's vertex count.
+        n: usize,
+    },
+    /// A self-loop was requested; Markov graphs are simple graphs.
+    SelfLoop {
+        /// The vertex the loop was requested on.
+        vertex: AttrId,
+    },
+    /// The graph is not chordal, so it does not correspond to a
+    /// decomposable model.
+    NotChordal,
+    /// Model selection was configured with an invalid parameter.
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for a {n}-vertex graph")
+            }
+            Self::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex} not allowed"),
+            Self::NotChordal => write!(f, "graph is not chordal (model not decomposable)"),
+            Self::InvalidConfig { reason } => write!(f, "invalid selection config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ModelError::NotChordal.to_string().contains("chordal"));
+        assert!(ModelError::SelfLoop { vertex: 2 }.to_string().contains('2'));
+        assert!(ModelError::VertexOutOfRange { vertex: 5, n: 3 }
+            .to_string()
+            .contains("3-vertex"));
+        assert!(ModelError::InvalidConfig { reason: "bad".into() }
+            .to_string()
+            .contains("bad"));
+    }
+}

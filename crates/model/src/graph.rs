@@ -1,0 +1,348 @@
+//! Undirected Markov interaction graphs.
+//!
+//! A [`MarkovGraph`] over `n` attributes has a node per attribute and an
+//! edge per pairwise interaction effect retained in the log-linear model
+//! (paper §2.2: generators correspond to the maximal cliques of this
+//! graph). Attribute counts are small (histogram synopses top out around a
+//! dozen dimensions), so a dense adjacency matrix keeps every operation
+//! simple and fast.
+
+use std::fmt;
+
+use dbhist_distribution::{AttrId, AttrSet};
+
+use crate::error::ModelError;
+
+/// A simple undirected graph over vertices `0..n` (attribute ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MarkovGraph {
+    n: usize,
+    /// Row-major `n x n` adjacency matrix; symmetric, false diagonal.
+    adj: Vec<bool>,
+}
+
+impl MarkovGraph {
+    /// Creates an edgeless graph over `n` vertices (the full-independence
+    /// model `[1][2]...[n]`).
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self { n, adj: vec![false; n * n] }
+    }
+
+    /// Creates the complete graph over `n` vertices (the saturated model).
+    #[must_use]
+    pub fn complete(n: usize) -> Self {
+        let mut g = Self::empty(n);
+        for u in 0..n as AttrId {
+            for v in (u + 1)..n as AttrId {
+                g.set_edge(u, v, true);
+            }
+        }
+        g
+    }
+
+    /// Builds a graph from an explicit edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::VertexOutOfRange`] or [`ModelError::SelfLoop`]
+    /// for invalid edges.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (AttrId, AttrId)>,
+    ) -> Result<Self, ModelError> {
+        let mut g = Self::empty(n);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().filter(|&&b| b).count() / 2
+    }
+
+    #[inline]
+    fn idx(&self, u: AttrId, v: AttrId) -> usize {
+        usize::from(u) * self.n + usize::from(v)
+    }
+
+    fn set_edge(&mut self, u: AttrId, v: AttrId, present: bool) {
+        let (i, j) = (self.idx(u, v), self.idx(v, u));
+        self.adj[i] = present;
+        self.adj[j] = present;
+    }
+
+    fn check_vertex(&self, v: AttrId) -> Result<(), ModelError> {
+        if usize::from(v) >= self.n {
+            Err(ModelError::VertexOutOfRange { vertex: v, n: self.n })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::VertexOutOfRange`] for out-of-range vertices
+    /// and [`ModelError::SelfLoop`] when `u == v`.
+    pub fn add_edge(&mut self, u: AttrId, v: AttrId) -> Result<(), ModelError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if u == v {
+            return Err(ModelError::SelfLoop { vertex: u });
+        }
+        self.set_edge(u, v, true);
+        Ok(())
+    }
+
+    /// Removes the undirected edge `(u, v)` if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::VertexOutOfRange`] for out-of-range vertices.
+    pub fn remove_edge(&mut self, u: AttrId, v: AttrId) -> Result<(), ModelError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if u != v {
+            self.set_edge(u, v, false);
+        }
+        Ok(())
+    }
+
+    /// `true` if the edge `(u, v)` is present. Out-of-range pairs are
+    /// simply not edges.
+    #[must_use]
+    pub fn has_edge(&self, u: AttrId, v: AttrId) -> bool {
+        usize::from(u) < self.n && usize::from(v) < self.n && u != v && self.adj[self.idx(u, v)]
+    }
+
+    /// The neighbors of `v` in ascending order.
+    #[must_use]
+    pub fn neighbors(&self, v: AttrId) -> AttrSet {
+        AttrSet::from_ids(
+            (0..self.n as AttrId).filter(|&u| self.has_edge(v, u)),
+        )
+    }
+
+    /// Iterates over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        (0..self.n as AttrId).flat_map(move |u| {
+            ((u + 1)..self.n as AttrId)
+                .filter(move |&v| self.has_edge(u, v))
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over all non-edges `(u, v)` with `u < v` — the candidate
+    /// interactions forward selection may add.
+    pub fn non_edges(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        (0..self.n as AttrId).flat_map(move |u| {
+            ((u + 1)..self.n as AttrId)
+                .filter(move |&v| !self.has_edge(u, v))
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// `true` if every pair of distinct vertices in `set` is joined by an
+    /// edge (i.e. `set` induces a complete subgraph).
+    #[must_use]
+    pub fn is_clique(&self, set: &AttrSet) -> bool {
+        let ids = set.as_slice();
+        for (i, &u) in ids.iter().enumerate() {
+            for &v in &ids[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The connected component containing `v`, computed by BFS over a
+    /// subgraph that *excludes* the vertices in `forbidden`.
+    ///
+    /// Passing an empty `forbidden` set yields ordinary components. The
+    /// exclusion form is what minimal-separator computation needs.
+    #[must_use]
+    pub fn component_excluding(&self, v: AttrId, forbidden: &AttrSet) -> AttrSet {
+        if usize::from(v) >= self.n || forbidden.contains(v) {
+            return AttrSet::empty();
+        }
+        let mut seen = vec![false; self.n];
+        seen[usize::from(v)] = true;
+        let mut queue = vec![v];
+        let mut out = vec![v];
+        while let Some(u) = queue.pop() {
+            for w in 0..self.n as AttrId {
+                if self.has_edge(u, w) && !seen[usize::from(w)] && !forbidden.contains(w) {
+                    seen[usize::from(w)] = true;
+                    queue.push(w);
+                    out.push(w);
+                }
+            }
+        }
+        AttrSet::from_ids(out)
+    }
+
+    /// `true` if `u` and `v` lie in the same connected component.
+    #[must_use]
+    pub fn same_component(&self, u: AttrId, v: AttrId) -> bool {
+        self.component_excluding(u, &AttrSet::empty()).contains(v)
+    }
+
+    /// `true` if the vertex set `c` separates `a` from `b`: every path
+    /// from a vertex of `a` to a vertex of `b` passes through `c`.
+    ///
+    /// For a Markov graph this is the *global Markov property* test
+    /// (paper §2.2): separation of `A` and `B` by `C` means `A ⊥ B | C`
+    /// in every distribution respecting the model. Vertices shared with
+    /// `c` are ignored; overlapping `a`/`b` (outside `c`) are trivially
+    /// non-separated.
+    #[must_use]
+    pub fn separates(&self, a: &AttrSet, b: &AttrSet, c: &AttrSet) -> bool {
+        let a = a.difference(c);
+        let b = b.difference(c);
+        if !a.is_disjoint(&b) {
+            return false;
+        }
+        for start in a.iter() {
+            let reach = self.component_excluding(start, c);
+            if b.iter().any(|t| reach.contains(t)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for MarkovGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MarkovGraph(n={}, edges=[", self.n)?;
+        for (i, (u, v)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}-{v}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_complete() {
+        let e = MarkovGraph::empty(4);
+        assert_eq!(e.edge_count(), 0);
+        let c = MarkovGraph::complete(4);
+        assert_eq!(c.edge_count(), 6);
+        assert!(c.has_edge(0, 3));
+        assert!(!c.has_edge(2, 2));
+    }
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = MarkovGraph::empty(3);
+        g.add_edge(0, 1).unwrap();
+        assert!(g.has_edge(1, 0), "edges are undirected");
+        g.remove_edge(1, 0).unwrap();
+        assert!(!g.has_edge(0, 1));
+        assert!(g.add_edge(0, 0).is_err());
+        assert!(g.add_edge(0, 5).is_err());
+        assert!(g.remove_edge(0, 5).is_err());
+    }
+
+    #[test]
+    fn neighbors_and_iterators() {
+        let g = MarkovGraph::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert_eq!(g.neighbors(1), AttrSet::from_ids([0, 2, 3]));
+        assert_eq!(g.neighbors(0), AttrSet::singleton(1));
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(
+            g.non_edges().collect::<Vec<_>>(),
+            vec![(0, 2), (0, 3), (2, 3)]
+        );
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = MarkovGraph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        assert!(g.is_clique(&AttrSet::from_ids([0, 1, 2])));
+        assert!(!g.is_clique(&AttrSet::from_ids([0, 1, 3])));
+        assert!(g.is_clique(&AttrSet::singleton(3)));
+        assert!(g.is_clique(&AttrSet::empty()));
+    }
+
+    #[test]
+    fn components() {
+        let g = MarkovGraph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert!(g.same_component(0, 2));
+        assert!(!g.same_component(0, 3));
+        // Excluding vertex 1 disconnects 0 from 2.
+        let comp = g.component_excluding(0, &AttrSet::singleton(1));
+        assert_eq!(comp, AttrSet::singleton(0));
+        // Excluded start vertex yields the empty set.
+        assert!(g.component_excluding(1, &AttrSet::singleton(1)).is_empty());
+    }
+
+    #[test]
+    fn separation_global_markov() {
+        // Paper Fig. 1(b): [012][013][04] (zero-based).
+        let g = MarkovGraph::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)],
+        )
+        .unwrap();
+        // Paper: variables {3,4} are conditionally independent given
+        // {1,2} — zero-based: {2} ⊥ {3} given {0,1}.
+        assert!(g.separates(
+            &AttrSet::singleton(2),
+            &AttrSet::singleton(3),
+            &AttrSet::from_ids([0, 1])
+        ));
+        // Variable 5 (zero-based 4) independent of {2,3,4}→{1,2,3} given 0.
+        assert!(g.separates(
+            &AttrSet::singleton(4),
+            &AttrSet::from_ids([1, 2, 3]),
+            &AttrSet::singleton(0)
+        ));
+        // Not separated without the conditioning set.
+        assert!(!g.separates(
+            &AttrSet::singleton(2),
+            &AttrSet::singleton(3),
+            &AttrSet::empty()
+        ));
+        // Overlapping sets are never separated.
+        assert!(!g.separates(
+            &AttrSet::from_ids([1, 2]),
+            &AttrSet::from_ids([2, 3]),
+            &AttrSet::singleton(0)
+        ));
+        // Different components are separated by anything.
+        let h = MarkovGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(h.separates(
+            &AttrSet::singleton(0),
+            &AttrSet::singleton(2),
+            &AttrSet::empty()
+        ));
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let g = MarkovGraph::from_edges(3, [(0, 2)]).unwrap();
+        assert_eq!(g.to_string(), "MarkovGraph(n=3, edges=[0-2])");
+    }
+}

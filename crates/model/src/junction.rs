@@ -1,0 +1,371 @@
+//! Junction (clique) trees for chordal graphs (paper §2.2).
+//!
+//! A junction tree `J(M)` is a tree over the maximal cliques of a chordal
+//! graph satisfying the *clique-intersection property*: for every pair of
+//! cliques `C_i`, `C_j`, the set `C_i ∩ C_j` is contained in every clique
+//! on the tree path between them. The closed-form frequency estimates of a
+//! decomposable model are read directly off the tree (paper Eq. 2):
+//!
+//! ```text
+//! f̂ = Π_cliques f_C  /  Π_tree-edges f_{C_i ∩ C_j}
+//! ```
+//!
+//! Construction uses the standard maximum-weight spanning tree over the
+//! clique graph with edge weight `|C_i ∩ C_j|`; for disconnected chordal
+//! graphs the spanning forest is completed into a tree with empty
+//! separators (intersections across components are empty, so the
+//! clique-intersection property is preserved).
+
+use dbhist_distribution::AttrSet;
+
+use crate::chordal::{is_chordal, maximal_cliques};
+use crate::error::ModelError;
+use crate::graph::MarkovGraph;
+
+/// An edge of a junction tree: two clique indices and their separator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JunctionEdge {
+    /// Index of the first endpoint clique.
+    pub a: usize,
+    /// Index of the second endpoint clique.
+    pub b: usize,
+    /// The separator `C_a ∩ C_b` (possibly empty across components).
+    pub separator: AttrSet,
+}
+
+/// A junction tree over the maximal cliques of a chordal graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JunctionTree {
+    cliques: Vec<AttrSet>,
+    edges: Vec<JunctionEdge>,
+    /// `adjacency[i]` lists edge indices incident to clique `i`.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl JunctionTree {
+    /// Builds a junction tree for `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotChordal`] if the graph has no junction tree.
+    pub fn build(graph: &MarkovGraph) -> Result<Self, ModelError> {
+        if !is_chordal(graph) {
+            return Err(ModelError::NotChordal);
+        }
+        let cliques = maximal_cliques(graph);
+        Ok(Self::from_cliques(cliques))
+    }
+
+    /// Builds a junction tree directly from a set of maximal cliques of a
+    /// chordal graph (maximum-weight spanning tree by separator size,
+    /// Kruskal with union–find).
+    #[must_use]
+    pub fn from_cliques(cliques: Vec<AttrSet>) -> Self {
+        let k = cliques.len();
+        // All candidate edges, heaviest separators first; ties broken by
+        // (a, b) for determinism.
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let w = cliques[a].intersection(&cliques[b]).len();
+                candidates.push((w, a, b));
+            }
+        }
+        candidates.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+
+        let mut parent: Vec<usize> = (0..k).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+
+        let mut edges = Vec::with_capacity(k.saturating_sub(1));
+        let mut adjacency = vec![Vec::new(); k];
+        for (_, a, b) in candidates {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+                let separator = cliques[a].intersection(&cliques[b]);
+                adjacency[a].push(edges.len());
+                adjacency[b].push(edges.len());
+                edges.push(JunctionEdge { a, b, separator });
+            }
+        }
+        Self { cliques, edges, adjacency }
+    }
+
+    /// The maximal cliques (model generators), sorted ascending.
+    #[must_use]
+    pub fn cliques(&self) -> &[AttrSet] {
+        &self.cliques
+    }
+
+    /// The tree edges with their separators.
+    #[must_use]
+    pub fn edges(&self) -> &[JunctionEdge] {
+        &self.edges
+    }
+
+    /// The separators of all tree edges (with multiplicity).
+    pub fn separators(&self) -> impl Iterator<Item = &AttrSet> {
+        self.edges.iter().map(|e| &e.separator)
+    }
+
+    /// Indices of cliques adjacent to clique `i`, paired with the
+    /// connecting separator.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (usize, &AttrSet)> {
+        self.adjacency[i].iter().map(move |&e| {
+            let edge = &self.edges[e];
+            let other = if edge.a == i { edge.b } else { edge.a };
+            (other, &edge.separator)
+        })
+    }
+
+    /// Number of cliques.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// `true` if the tree has no cliques (empty model).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cliques.is_empty()
+    }
+
+    /// Verifies the clique-intersection property by brute force: for every
+    /// clique pair, their intersection must be contained in every clique on
+    /// the connecting tree path. Used by tests and debug assertions.
+    #[must_use]
+    pub fn satisfies_clique_intersection_property(&self) -> bool {
+        let k = self.cliques.len();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let inter = self.cliques[a].intersection(&self.cliques[b]);
+                if inter.is_empty() {
+                    continue;
+                }
+                for c in self.path(a, b) {
+                    if !inter.is_subset(&self.cliques[c]) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The clique indices on the tree path from `a` to `b`, inclusive.
+    #[must_use]
+    pub fn path(&self, a: usize, b: usize) -> Vec<usize> {
+        // DFS from a recording parent pointers.
+        let mut parent = vec![usize::MAX; self.cliques.len()];
+        let mut stack = vec![a];
+        parent[a] = a;
+        while let Some(c) = stack.pop() {
+            if c == b {
+                break;
+            }
+            for (next, _) in self.neighbors(c) {
+                if parent[next] == usize::MAX {
+                    parent[next] = c;
+                    stack.push(next);
+                }
+            }
+        }
+        if parent[b] == usize::MAX {
+            return Vec::new(); // disconnected (cannot happen for a tree)
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            cur = parent[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Rooted view: `cover(C_i)` for every clique, where `cover` is the
+    /// union of the clique with all its descendants' cliques when the tree
+    /// is rooted at `root` (paper §3.3.1). Also returns each node's parent
+    /// (`usize::MAX` for the root) and children lists.
+    #[must_use]
+    pub fn rooted(&self, root: usize) -> RootedJunctionTree {
+        let k = self.cliques.len();
+        let mut parent = vec![usize::MAX; k];
+        let mut order = Vec::with_capacity(k);
+        let mut stack = vec![root];
+        let mut seen = vec![false; k];
+        seen[root] = true;
+        while let Some(c) = stack.pop() {
+            order.push(c);
+            for (next, _) in self.neighbors(c) {
+                if !seen[next] {
+                    seen[next] = true;
+                    parent[next] = c;
+                    stack.push(next);
+                }
+            }
+        }
+        let mut children = vec![Vec::new(); k];
+        for (c, &p) in parent.iter().enumerate() {
+            if p != usize::MAX {
+                children[p].push(c);
+            }
+        }
+        // Bottom-up accumulation of covers.
+        let mut cover: Vec<AttrSet> = self.cliques.clone();
+        for &c in order.iter().rev() {
+            let mut acc = cover[c].clone();
+            for &ch in &children[c] {
+                acc = acc.union(&cover[ch]);
+            }
+            cover[c] = acc;
+        }
+        RootedJunctionTree { root, parent, children, cover }
+    }
+
+    /// The model-notation string, e.g. `"[012][013][04]"` for the paper's
+    /// Fig. 1(b) example.
+    #[must_use]
+    pub fn notation(&self) -> String {
+        let mut s = String::new();
+        for c in &self.cliques {
+            s.push('[');
+            for (i, a) in c.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                s.push_str(&a.to_string());
+            }
+            s.push(']');
+        }
+        s
+    }
+}
+
+/// A rooted view of a junction tree: parents, children, and cover sets
+/// (paper §3.3.1) used by the `ComputeMarginal` algorithm.
+#[derive(Debug, Clone)]
+pub struct RootedJunctionTree {
+    /// Index of the root clique.
+    pub root: usize,
+    /// `parent[i]` is `i`'s parent clique index, `usize::MAX` for the root.
+    pub parent: Vec<usize>,
+    /// `children[i]` lists `i`'s child clique indices.
+    pub children: Vec<Vec<usize>>,
+    /// `cover[i]` = union of clique `i` and all cliques in its subtree.
+    pub cover: Vec<AttrSet>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::AttrId;
+
+    fn set(ids: &[AttrId]) -> AttrSet {
+        AttrSet::from_ids(ids.iter().copied())
+    }
+
+    fn paper_example() -> MarkovGraph {
+        // Fig. 1(b): [123][124][15] shifted to zero-based [012][013][04].
+        MarkovGraph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_chordal() {
+        let g = MarkovGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        assert_eq!(JunctionTree::build(&g), Err(ModelError::NotChordal));
+    }
+
+    #[test]
+    fn paper_example_tree() {
+        let jt = JunctionTree::build(&paper_example()).unwrap();
+        assert_eq!(jt.len(), 3);
+        assert_eq!(jt.cliques(), &[set(&[0, 1, 2]), set(&[0, 1, 3]), set(&[0, 4])]);
+        assert_eq!(jt.edges().len(), 2);
+        assert!(jt.satisfies_clique_intersection_property());
+        // Separators must be {0,1} and {0} (paper Fig. 1(c)).
+        let mut seps: Vec<AttrSet> = jt.separators().cloned().collect();
+        seps.sort();
+        assert_eq!(seps, vec![set(&[0]), set(&[0, 1])]);
+        assert_eq!(jt.notation(), "[0 1 2][0 1 3][0 4]");
+    }
+
+    #[test]
+    fn disconnected_graph_gets_empty_separators() {
+        let g = MarkovGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let jt = JunctionTree::build(&g).unwrap();
+        assert_eq!(jt.len(), 2);
+        assert_eq!(jt.edges().len(), 1);
+        assert!(jt.edges()[0].separator.is_empty());
+        assert!(jt.satisfies_clique_intersection_property());
+    }
+
+    #[test]
+    fn full_independence_tree() {
+        let jt = JunctionTree::build(&MarkovGraph::empty(4)).unwrap();
+        assert_eq!(jt.len(), 4);
+        assert_eq!(jt.edges().len(), 3);
+        assert!(jt.separators().all(AttrSet::is_empty));
+    }
+
+    #[test]
+    fn path_endpoints_and_interior() {
+        let jt = JunctionTree::build(&paper_example()).unwrap();
+        // Cliques: 0={0,1,2}, 1={0,1,3}, 2={0,4}.
+        let p = jt.path(0, 0);
+        assert_eq!(p, vec![0]);
+        for a in 0..3 {
+            for b in 0..3 {
+                let p = jt.path(a, b);
+                assert_eq!(*p.first().unwrap(), a);
+                assert_eq!(*p.last().unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn rooted_covers() {
+        let jt = JunctionTree::build(&paper_example()).unwrap();
+        let rooted = jt.rooted(0);
+        assert_eq!(rooted.root, 0);
+        assert_eq!(rooted.parent[0], usize::MAX);
+        // The root's cover is all attributes.
+        assert_eq!(rooted.cover[0], set(&[0, 1, 2, 3, 4]));
+        // Every non-root cover is a subset of its parent's cover.
+        for i in 0..jt.len() {
+            if rooted.parent[i] != usize::MAX {
+                assert!(rooted.cover[i].is_subset(&rooted.cover[rooted.parent[i]]));
+            }
+        }
+        // Children lists are consistent with parents.
+        for i in 0..jt.len() {
+            for &c in &rooted.children[i] {
+                assert_eq!(rooted.parent[c], i);
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_tree_prefers_heavy_separators() {
+        // Chain cliques {0,1,2},{1,2,3},{3,4}: MST must connect {012}-{123}
+        // (weight 2) and {123}-{34} (weight 1), never {012}-{34} (weight 0).
+        let g = MarkovGraph::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)],
+        )
+        .unwrap();
+        let jt = JunctionTree::build(&g).unwrap();
+        assert!(jt.satisfies_clique_intersection_property());
+        let mut seps: Vec<usize> = jt.separators().map(AttrSet::len).collect();
+        seps.sort_unstable();
+        assert_eq!(seps, vec![1, 2]);
+    }
+}

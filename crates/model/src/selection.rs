@@ -1,0 +1,533 @@
+//! Forward selection of decomposable models (paper §3.1).
+//!
+//! Selection starts from the full-independence model and greedily adds the
+//! interaction edge with the best score until no candidate passes the
+//! statistical-significance threshold `θ`, the clique-size bound `k_max`
+//! would be violated, or an edge budget is exhausted.
+//!
+//! Two candidate-scoring *heuristics* (paper §4.1):
+//!
+//! * **DB₁** — pick the edge whose divergence improvement has the highest
+//!   statistical significance (G² likelihood-ratio test against χ²).
+//! * **DB₂** — pick the edge maximizing improvement per unit increase of
+//!   the total model state space (Σ over cliques of the product of the
+//!   member domain sizes), accounting for the space the clique histograms
+//!   will later need.
+//!
+//! Two *algorithms* with identical outputs but different costs:
+//!
+//! * [`SelectionAlgorithm::Naive`] — paper's first algorithm: try every
+//!   non-edge, re-test chordality of the augmented graph, rebuild the
+//!   junction tree, and re-evaluate the full model divergence.
+//! * [`SelectionAlgorithm::Efficient`] — paper's novel algorithm: only
+//!   guaranteed-addable edges are considered and each is scored *locally*
+//!   as the conditional mutual information `I(u; v | S)` over the unique
+//!   minimal separator `S`, requiring just four (memoized) marginal
+//!   entropies per candidate instead of a full model evaluation.
+
+use dbhist_distribution::{measures, AttrId, AttrSet, EntropyCache, Relation};
+
+use crate::chordal::addable_edge_separator;
+use crate::decomposable::DecomposableModel;
+use crate::error::ModelError;
+use crate::graph::MarkovGraph;
+use crate::junction::JunctionTree;
+use crate::stats::SignificanceTest;
+
+/// Which edge-scoring heuristic drives the greedy choice (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeHeuristic {
+    /// Highest statistical significance of the divergence improvement.
+    Db1,
+    /// Highest improvement per unit of added model state space. The paper
+    /// finds this variant best under tight storage budgets, and uses it as
+    /// the flagship configuration.
+    #[default]
+    Db2,
+}
+
+/// Which search algorithm enumerates and scores candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionAlgorithm {
+    /// Arbitrary-edge trial with chordality re-tests and full model
+    /// re-evaluation per candidate.
+    Naive,
+    /// Separator-based local scoring; constant entropy work per edge.
+    #[default]
+    Efficient,
+}
+
+/// Configuration for forward selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionConfig {
+    /// Upper bound on generator (clique) size; the paper uses 2 in all
+    /// headline experiments ("including 3-dimensional clique histograms
+    /// decreases accuracy considerably").
+    pub k_max: usize,
+    /// Statistical-significance threshold `θ`; the paper uses 0.90.
+    pub theta: f64,
+    /// Edge-scoring heuristic.
+    pub heuristic: EdgeHeuristic,
+    /// Search algorithm.
+    pub algorithm: SelectionAlgorithm,
+    /// Optional hard cap on the number of edges added (used by the Fig. 6
+    /// model-complexity sweep).
+    pub max_edges: Option<usize>,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self {
+            k_max: 2,
+            theta: 0.90,
+            heuristic: EdgeHeuristic::default(),
+            algorithm: SelectionAlgorithm::default(),
+            max_edges: None,
+        }
+    }
+}
+
+impl SelectionConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for `k_max < 2` or `theta`
+    /// outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.k_max < 2 {
+            return Err(ModelError::InvalidConfig {
+                reason: format!("k_max must be at least 2, got {}", self.k_max),
+            });
+        }
+        if !(0.0..1.0).contains(&self.theta) {
+            return Err(ModelError::InvalidConfig {
+                reason: format!("theta must lie in [0, 1), got {}", self.theta),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A scored candidate edge.
+#[derive(Debug, Clone)]
+pub struct EdgeCandidate {
+    /// The interaction edge endpoints (`u < v`).
+    pub u: AttrId,
+    /// Second endpoint.
+    pub v: AttrId,
+    /// The unique minimal `u–v` separator; the new generator is
+    /// `S ∪ {u, v}`.
+    pub separator: AttrSet,
+    /// Divergence improvement `ΔD = I(u; v | S) ≥ 0`.
+    pub improvement: f64,
+    /// G² significance test of the improvement.
+    pub test: SignificanceTest,
+    /// Increase in total model state space caused by the addition.
+    pub state_space_increase: u64,
+}
+
+impl EdgeCandidate {
+    /// The heuristic's scalar score (higher is better) plus deterministic
+    /// tie-breakers.
+    ///
+    /// With the tuple counts of real tables, the χ² CDF saturates to 1.0
+    /// for every genuinely correlated pair, so DB₁ falls back to the raw
+    /// divergence improvement among equally significant candidates — the
+    /// behaviour the paper's Fig. 6 exhibits (DB₁ grabs the strongest
+    /// interactions first regardless of their state-space price).
+    fn score(&self, heuristic: EdgeHeuristic) -> (f64, f64, f64) {
+        match heuristic {
+            EdgeHeuristic::Db1 => (
+                self.test.significance,
+                self.improvement,
+                self.test.g_squared / self.test.degrees_of_freedom,
+            ),
+            EdgeHeuristic::Db2 => {
+                let space = self.state_space_increase.max(1) as f64;
+                (self.improvement / space, self.improvement, -space)
+            }
+        }
+    }
+}
+
+/// One accepted step of forward selection.
+#[derive(Debug, Clone)]
+pub struct SelectionStep {
+    /// The accepted candidate.
+    pub candidate: EdgeCandidate,
+    /// Model divergence after the addition.
+    pub divergence_after: f64,
+    /// Snapshot of the model after the addition (used by the Fig. 6
+    /// error-vs-edges sweep).
+    pub model: DecomposableModel,
+}
+
+/// The outcome of a selection run.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// The final model.
+    pub model: DecomposableModel,
+    /// Divergence of the initial (full-independence) model.
+    pub initial_divergence: f64,
+    /// Every accepted step, in order.
+    pub steps: Vec<SelectionStep>,
+    /// Number of marginal-entropy computations performed (cache misses) —
+    /// the cost metric the paper's full version optimizes.
+    pub entropy_computations: usize,
+}
+
+/// Greedy forward selector over decomposable models.
+#[derive(Debug)]
+pub struct ForwardSelector<'a> {
+    cache: EntropyCache<'a>,
+    config: SelectionConfig,
+    graph: MarkovGraph,
+    divergence: f64,
+}
+
+impl<'a> ForwardSelector<'a> {
+    /// Creates a selector starting from full independence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid; use [`SelectionConfig::validate`] to
+    /// check untrusted configurations first.
+    #[must_use]
+    pub fn new(relation: &'a Relation, config: SelectionConfig) -> Self {
+        config.validate().expect("invalid selection config");
+        let n = relation.schema().arity();
+        let mut cache = EntropyCache::new(relation);
+        let graph = MarkovGraph::empty(n);
+        let divergence = Self::graph_divergence(&graph, relation, &mut cache);
+        Self { cache, config, graph, divergence }
+    }
+
+    fn graph_divergence(
+        graph: &MarkovGraph,
+        relation: &Relation,
+        cache: &mut EntropyCache<'_>,
+    ) -> f64 {
+        let jt = JunctionTree::build(graph).expect("selection graphs stay chordal");
+        let clique_entropies: Vec<f64> =
+            jt.cliques().iter().map(|c| cache.entropy(c)).collect();
+        let sep_entropies: Vec<f64> =
+            jt.separators().map(|s| cache.entropy(s)).collect();
+        let joint = cache.entropy(&relation.schema().all_attrs());
+        measures::decomposable_divergence(joint, &clique_entropies, &sep_entropies)
+    }
+
+    /// Current model divergence.
+    #[must_use]
+    pub fn divergence(&self) -> f64 {
+        self.divergence
+    }
+
+    /// Current interaction graph.
+    #[must_use]
+    pub fn graph(&self) -> &MarkovGraph {
+        &self.graph
+    }
+
+    /// Scores a single candidate edge, or `None` if it is not addable
+    /// under decomposability and `k_max`.
+    fn score_candidate(&mut self, u: AttrId, v: AttrId) -> Option<EdgeCandidate> {
+        let separator = addable_edge_separator(&self.graph, u, v)?;
+        if separator.len() + 2 > self.config.k_max {
+            return None;
+        }
+        let relation = self.cache.relation();
+        let schema = relation.schema();
+        let n = relation.row_count() as f64;
+
+        let improvement = match self.config.algorithm {
+            SelectionAlgorithm::Efficient => {
+                // Local scoring: ΔD = I(u; v | S) from four entropies.
+                let h_su = self.cache.entropy(&separator.with(u));
+                let h_sv = self.cache.entropy(&separator.with(v));
+                let h_s = self.cache.entropy(&separator);
+                let h_suv = self.cache.entropy(&separator.with(u).with(v));
+                measures::conditional_mutual_information(h_su, h_sv, h_s, h_suv)
+            }
+            SelectionAlgorithm::Naive => {
+                // Full re-evaluation of the augmented model.
+                let mut augmented = self.graph.clone();
+                augmented.add_edge(u, v).expect("candidate vertices valid");
+                let new_d = Self::graph_divergence(&augmented, relation, &mut self.cache);
+                self.divergence - new_d
+            }
+        }
+        .max(0.0);
+
+        // Degrees of freedom of the added interaction:
+        // (|D_u|−1)(|D_v|−1) · Π_{s ∈ S} |D_s|.
+        let mut df = f64::from(schema.domain_size(u) - 1) * f64::from(schema.domain_size(v) - 1);
+        for s in separator.iter() {
+            df *= f64::from(schema.domain_size(s));
+        }
+        let test = SignificanceTest::new(n, improvement, df);
+
+        // State-space increase: the new generator S∪{u,v} appears; the
+        // cliques S∪{u} and S∪{v} disappear iff they were maximal before.
+        let new_clique = separator.with(u).with(v);
+        let mut increase = schema.state_space(&new_clique) as i128;
+        for absorbed in [separator.with(u), separator.with(v)] {
+            if self.is_maximal_clique(&absorbed) {
+                increase -= schema.state_space(&absorbed) as i128;
+            }
+        }
+        let state_space_increase = increase.max(0) as u64;
+
+        Some(EdgeCandidate { u, v, separator, improvement, test, state_space_increase })
+    }
+
+    /// `true` if `set` induces a complete subgraph not strictly contained
+    /// in a larger one.
+    fn is_maximal_clique(&self, set: &AttrSet) -> bool {
+        if !self.graph.is_clique(set) {
+            return false;
+        }
+        let n = self.graph.vertex_count() as AttrId;
+        !(0..n).any(|w| {
+            !set.contains(w) && set.iter().all(|m| self.graph.has_edge(w, m))
+        })
+    }
+
+    /// Scores every addable candidate edge under the current model.
+    pub fn candidates(&mut self) -> Vec<EdgeCandidate> {
+        let pairs: Vec<(AttrId, AttrId)> = self.graph.non_edges().collect();
+        pairs
+            .into_iter()
+            .filter_map(|(u, v)| self.score_candidate(u, v))
+            .collect()
+    }
+
+    /// Performs one greedy step: scores all candidates, accepts the best
+    /// one passing the significance threshold, and returns it. Returns
+    /// `None` when selection has converged.
+    pub fn step(&mut self) -> Option<SelectionStep> {
+        let heuristic = self.config.heuristic;
+        let best = self
+            .candidates()
+            .into_iter()
+            .filter(|c| c.improvement > 0.0 && c.test.is_significant(self.config.theta))
+            .max_by(|a, b| {
+                let (sa, sb) = (a.score(heuristic), b.score(heuristic));
+                sa.partial_cmp(&sb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Deterministic tie-break on the edge itself.
+                    .then_with(|| (b.u, b.v).cmp(&(a.u, a.v)))
+            })?;
+        self.graph
+            .add_edge(best.u, best.v)
+            .expect("best candidate has valid endpoints");
+        let relation = self.cache.relation();
+        self.divergence = Self::graph_divergence(&self.graph, relation, &mut self.cache);
+        let model = DecomposableModel::new(relation.schema().clone(), self.graph.clone())
+            .expect("selection preserves chordality");
+        Some(SelectionStep { candidate: best, divergence_after: self.divergence, model })
+    }
+
+    /// Runs selection to convergence (or `max_edges`) and returns the
+    /// result, including per-step snapshots.
+    #[must_use]
+    pub fn run(mut self) -> SelectionResult {
+        let initial_divergence = self.divergence;
+        let mut steps = Vec::new();
+        let max_edges = self.config.max_edges.unwrap_or(usize::MAX);
+        while steps.len() < max_edges {
+            match self.step() {
+                Some(step) => steps.push(step),
+                None => break,
+            }
+        }
+        let relation = self.cache.relation();
+        let model = steps.last().map_or_else(
+            || DecomposableModel::independence(relation.schema().clone()),
+            |s| s.model.clone(),
+        );
+        SelectionResult {
+            model,
+            initial_divergence,
+            steps,
+            entropy_computations: self.cache.computations(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::Schema;
+
+    /// a == b, c == d (shifted), e independent.
+    fn two_pair_relation() -> Relation {
+        let schema = Schema::new(vec![
+            ("a", 4),
+            ("b", 4),
+            ("c", 3),
+            ("d", 3),
+            ("e", 2),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u32>> = (0..720u32)
+            .map(|i| {
+                let a = i % 4;
+                let c = (i / 4) % 3;
+                let e = (i / 12) % 2;
+                vec![a, a, c, (c + 1) % 3, e]
+            })
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn discovers_true_structure() {
+        let rel = two_pair_relation();
+        for algorithm in [SelectionAlgorithm::Naive, SelectionAlgorithm::Efficient] {
+            for heuristic in [EdgeHeuristic::Db1, EdgeHeuristic::Db2] {
+                let config = SelectionConfig { algorithm, heuristic, ..Default::default() };
+                let result = ForwardSelector::new(&rel, config).run();
+                let g = result.model.graph();
+                assert!(g.has_edge(0, 1), "{algorithm:?}/{heuristic:?} missed a-b");
+                assert!(g.has_edge(2, 3), "{algorithm:?}/{heuristic:?} missed c-d");
+                assert_eq!(g.edge_count(), 2, "{algorithm:?}/{heuristic:?} overfit: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_efficient_agree() {
+        let rel = two_pair_relation();
+        let naive = ForwardSelector::new(
+            &rel,
+            SelectionConfig { algorithm: SelectionAlgorithm::Naive, ..Default::default() },
+        )
+        .run();
+        let efficient = ForwardSelector::new(
+            &rel,
+            SelectionConfig { algorithm: SelectionAlgorithm::Efficient, ..Default::default() },
+        )
+        .run();
+        assert_eq!(naive.model.graph(), efficient.model.graph());
+        assert_eq!(naive.steps.len(), efficient.steps.len());
+        for (a, b) in naive.steps.iter().zip(&efficient.steps) {
+            assert_eq!((a.candidate.u, a.candidate.v), (b.candidate.u, b.candidate.v));
+            assert!(
+                (a.candidate.improvement - b.candidate.improvement).abs() < 1e-9,
+                "local CMI must equal full divergence delta"
+            );
+        }
+        // The efficient algorithm touches fewer marginals.
+        assert!(efficient.entropy_computations <= naive.entropy_computations);
+    }
+
+    #[test]
+    fn divergence_monotonically_decreases() {
+        let rel = two_pair_relation();
+        let result = ForwardSelector::new(
+            &rel,
+            SelectionConfig { theta: 0.0, max_edges: Some(6), ..Default::default() },
+        )
+        .run();
+        let mut prev = result.initial_divergence;
+        for step in &result.steps {
+            assert!(step.divergence_after <= prev + 1e-9);
+            prev = step.divergence_after;
+        }
+    }
+
+    #[test]
+    fn k_max_bounds_clique_size() {
+        let rel = two_pair_relation();
+        for k_max in [2usize, 3] {
+            let result = ForwardSelector::new(
+                &rel,
+                SelectionConfig { k_max, theta: 0.0, ..Default::default() },
+            )
+            .run();
+            assert!(result.model.max_clique_size() <= k_max);
+        }
+    }
+
+    #[test]
+    fn k_max_two_yields_forest() {
+        // With k_max = 2 every generator has ≤ 2 attributes, so the model
+        // graph is acyclic (a forest), as the paper notes (§4.1).
+        let rel = two_pair_relation();
+        let result = ForwardSelector::new(
+            &rel,
+            SelectionConfig { k_max: 2, theta: 0.0, ..Default::default() },
+        )
+        .run();
+        let g = result.model.graph();
+        assert!(g.edge_count() < rel.schema().arity());
+        assert!(result.model.max_clique_size() <= 2);
+    }
+
+    #[test]
+    fn max_edges_caps_steps() {
+        let rel = two_pair_relation();
+        let result = ForwardSelector::new(
+            &rel,
+            SelectionConfig { max_edges: Some(1), theta: 0.0, ..Default::default() },
+        )
+        .run();
+        assert_eq!(result.steps.len(), 1);
+        assert_eq!(result.model.edge_count(), 1);
+    }
+
+    #[test]
+    fn high_theta_blocks_noise_edges() {
+        // Independent uniform attributes: no edge should be significant.
+        let schema = Schema::new(vec![("x", 4), ("y", 4), ("z", 4)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..64u32)
+            .map(|i| vec![i % 4, (i / 4) % 4, (i / 16) % 4])
+            .collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let result = ForwardSelector::new(
+            &rel,
+            SelectionConfig { theta: 0.90, ..Default::default() },
+        )
+        .run();
+        assert_eq!(result.model.edge_count(), 0, "{}", result.model.notation());
+        assert!(result.initial_divergence.abs() < 1e-10);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SelectionConfig { k_max: 1, ..Default::default() }.validate().is_err());
+        assert!(SelectionConfig { theta: 1.0, ..Default::default() }.validate().is_err());
+        assert!(SelectionConfig { theta: -0.1, ..Default::default() }.validate().is_err());
+        assert!(SelectionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn candidates_report_separators() {
+        let rel = two_pair_relation();
+        let mut sel = ForwardSelector::new(
+            &rel,
+            SelectionConfig { k_max: 3, theta: 0.0, ..Default::default() },
+        );
+        // DB₂ picks c-d first: I(c;d) = ln 3 per 3 units of state space
+        // beats I(a;b) = ln 4 per 8 units.
+        let step = sel.step().unwrap();
+        assert_eq!((step.candidate.u, step.candidate.v), (2, 3));
+        let cands = sel.candidates();
+        assert!(cands.iter().all(|c| c.improvement >= 0.0));
+        assert!(cands.iter().any(|c| c.separator.is_empty()));
+    }
+
+    #[test]
+    fn steps_expose_models_for_complexity_sweep() {
+        let rel = two_pair_relation();
+        let result = ForwardSelector::new(
+            &rel,
+            SelectionConfig { theta: 0.0, ..Default::default() },
+        )
+        .run();
+        for (i, step) in result.steps.iter().enumerate() {
+            assert_eq!(step.model.edge_count(), i + 1);
+        }
+    }
+}

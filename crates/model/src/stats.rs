@@ -1,0 +1,280 @@
+//! Statistical significance machinery built from scratch.
+//!
+//! Forward selection prefers a more complex model only when the improvement
+//! in fit is *statistically significant* (paper §2.3). The test statistic
+//! is the likelihood-ratio `G² = 2·N·ΔD`, asymptotically χ²-distributed
+//! with degrees of freedom equal to the number of interaction parameters
+//! the new edge introduces. No suitable statistics crate is available
+//! offline, so this module implements the required special functions:
+//!
+//! * [`ln_gamma`] — Lanczos approximation (g = 7, n = 9 coefficients);
+//! * [`regularized_lower_gamma`] — series expansion for `x < a + 1`,
+//!   continued fraction (modified Lentz) otherwise;
+//! * [`chi_square_cdf`] / [`chi_square_quantile`] — the χ² distribution.
+
+/// Lanczos coefficients (g = 7).
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0` (Lanczos approximation,
+/// ~15 significant digits).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the reflection branch is not needed by this crate).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Maximum iterations for the series / continued-fraction evaluations.
+const MAX_ITER: usize = 500;
+/// Relative convergence tolerance.
+const EPS: f64 = 1e-14;
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)` for
+/// `a > 0`, `x ≥ 0`.
+#[must_use]
+pub fn regularized_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "regularized_lower_gamma requires a > 0, got {a}");
+    assert!(x >= 0.0, "regularized_lower_gamma requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        lower_gamma_series(a, x)
+    } else {
+        1.0 - upper_gamma_continued_fraction(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, convergent for `x < a + 1`.
+fn lower_gamma_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x) = 1 − P(a, x)`,
+/// convergent for `x ≥ a + 1` (modified Lentz algorithm).
+fn upper_gamma_continued_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// CDF of the χ² distribution with `df` degrees of freedom at `x`.
+///
+/// `df` is a positive real (large fractional dfs arise from products of
+/// domain sizes); `x < 0` yields `0`.
+#[must_use]
+pub fn chi_square_cdf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "chi_square_cdf requires df > 0, got {df}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    regularized_lower_gamma(df / 2.0, x / 2.0)
+}
+
+/// Quantile (inverse CDF) of the χ² distribution: the smallest `x` with
+/// `CDF(x) ≥ p`, for `p ∈ [0, 1)`. Computed by bracketed bisection, which
+/// is robust across the enormous df range this workspace produces
+/// (df up to ~10⁵ for wide categorical attributes).
+#[must_use]
+pub fn chi_square_quantile(p: f64, df: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+    assert!(df > 0.0, "chi_square_quantile requires df > 0, got {df}");
+    if p == 0.0 {
+        return 0.0;
+    }
+    // Bracket: mean + k·stddev grows until CDF exceeds p.
+    let mut hi = df + 10.0 * (2.0 * df).sqrt() + 10.0;
+    while chi_square_cdf(hi, df) < p {
+        hi *= 2.0;
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi_square_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * (1.0 + hi) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Outcome of a G² likelihood-ratio significance test for adding model
+/// complexity (paper §2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignificanceTest {
+    /// The G² statistic `2·N·ΔD` (natural-log units).
+    pub g_squared: f64,
+    /// Degrees of freedom of the added interaction.
+    pub degrees_of_freedom: f64,
+    /// `P(χ²_df ≤ G²)` — the "statistical significance" the paper ranks
+    /// edges by under the DB₁ heuristic. The addition is accepted at
+    /// threshold `θ` iff `significance ≥ θ`.
+    pub significance: f64,
+}
+
+impl SignificanceTest {
+    /// Runs the test for a divergence improvement `delta_d ≥ 0` observed on
+    /// `n` data points, with `df` degrees of freedom.
+    #[must_use]
+    pub fn new(n: f64, delta_d: f64, df: f64) -> Self {
+        let g2 = 2.0 * n * delta_d.max(0.0);
+        let df = df.max(1.0);
+        Self {
+            g_squared: g2,
+            degrees_of_freedom: df,
+            significance: chi_square_cdf(g2, df),
+        }
+    }
+
+    /// `true` if the improvement is significant at level `theta`
+    /// (e.g. `0.90` per the paper's experiments).
+    #[must_use]
+    pub fn is_significant(&self, theta: f64) -> bool {
+        self.significance >= theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+        // Recurrence Γ(x+1) = x·Γ(x) at an awkward point.
+        let x = 3.7;
+        assert!((ln_gamma(x + 1.0) - (x.ln() + ln_gamma(x))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn incomplete_gamma_bounds_and_monotonicity() {
+        assert_eq!(regularized_lower_gamma(2.5, 0.0), 0.0);
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = f64::from(i) * 0.3;
+            let p = regularized_lower_gamma(2.5, x);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev, "P(a,·) must be nondecreasing");
+            prev = p;
+        }
+        assert!(prev > 0.999999, "P(a, 30) ≈ 1");
+    }
+
+    #[test]
+    fn chi_square_cdf_known_values() {
+        // χ²(1): CDF(3.841) ≈ 0.95; χ²(2): CDF(x) = 1 − e^{−x/2}.
+        assert!((chi_square_cdf(3.841_458_820_694_124, 1.0) - 0.95).abs() < 1e-9);
+        for x in [0.5, 1.0, 2.0, 5.0] {
+            let exact = 1.0 - (-x / 2.0f64).exp();
+            assert!((chi_square_cdf(x, 2.0) - exact).abs() < 1e-12);
+        }
+        // χ²(10): CDF(18.307) ≈ 0.95 (standard table).
+        assert!((chi_square_cdf(18.307_038, 10.0) - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chi_square_cdf_large_df() {
+        // For large df the distribution approaches N(df, 2df): CDF at the
+        // mean is close to 1/2 (slightly below due to right skew).
+        let c = chi_square_cdf(12544.0, 12544.0);
+        assert!((c - 0.5).abs() < 0.01, "got {c}");
+        assert!(chi_square_cdf(12544.0 + 5.0 * (2.0 * 12544.0f64).sqrt(), 12544.0) > 0.999);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for df in [1.0, 2.0, 7.0, 100.0, 12544.0] {
+            for p in [0.1, 0.5, 0.9, 0.95, 0.99] {
+                let x = chi_square_quantile(p, df);
+                assert!(
+                    (chi_square_cdf(x, df) - p).abs() < 1e-8,
+                    "df={df} p={p} x={x}"
+                );
+            }
+        }
+        assert_eq!(chi_square_quantile(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn significance_test_behaviour() {
+        // Huge improvement on many points: fully significant.
+        let t = SignificanceTest::new(100_000.0, 0.5, 9.0);
+        assert!(t.is_significant(0.99));
+        assert!(t.significance > 0.999_999);
+        // Tiny improvement vs many parameters: insignificant.
+        let t = SignificanceTest::new(1_000.0, 1e-4, 10_000.0);
+        assert!(!t.is_significant(0.90));
+        // Negative improvements are clamped.
+        let t = SignificanceTest::new(1_000.0, -0.5, 4.0);
+        assert_eq!(t.g_squared, 0.0);
+        assert_eq!(t.significance, 0.0);
+        // Degenerate df is clamped to 1.
+        let t = SignificanceTest::new(1_000.0, 0.1, 0.0);
+        assert_eq!(t.degrees_of_freedom, 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Keeping a synopsis fresh under inserts — the paper's future-work
+//! feature, implemented.
+//!
+//! A table receives a stream of inserts. At first the new tuples follow
+//! the old correlation pattern (counts simply shift); later the pattern
+//! *changes*, the model goes stale, the drift monitor notices, and a
+//! rebuild restores accuracy.
+//!
+//! ```text
+//! cargo run --release --example synopsis_maintenance
+//! ```
+
+use dbhist::core::maintenance::MaintainedDbHistogram;
+use dbhist::core::synopsis::DbConfig;
+use dbhist::core::SelectivityEstimator;
+use dbhist::data::census::{self, attrs};
+use dbhist::distribution::Relation;
+
+fn report(m: &MaintainedDbHistogram, rel: &Relation, label: &str) {
+    // Probe: immigrant persons with home-born mothers — sensitive to the
+    // country/mother correlation the model encodes.
+    let probe = [
+        (attrs::COUNTRY, 1u32, 112u32),
+        (attrs::MOTHER_COUNTRY, 0u32, 0u32),
+    ];
+    let est = m.estimate(&probe);
+    let exact = rel.count_range(&probe) as f64;
+    let err = if exact > 0.0 { (est - exact).abs() / exact } else { est };
+    println!(
+        "{label:<28} rows {:>7.0} | staleness {:>5.2} drift {:>5.3} | probe est {est:>8.0} exact {exact:>8.0} (rel.err {err:.2})",
+        m.row_count(),
+        m.staleness(),
+        m.drift(),
+    );
+}
+
+fn main() {
+    let base = census::census_data_set_1_with(30_000, 21);
+    let mut maintained =
+        MaintainedDbHistogram::build(&base, DbConfig::new(3 * 1024)).unwrap();
+    println!("initial model: {}\n", maintained.synopsis().model().notation());
+
+    // Accumulate the true table alongside for ground truth.
+    let mut all_rows: Vec<Vec<u32>> = base.rows().map(<[u32]>::to_vec).collect();
+    report(&maintained, &base, "fresh build");
+
+    // Phase 1: inserts that FOLLOW the learned pattern.
+    let more = census::census_data_set_1_with(6_000, 22);
+    for row in more.rows() {
+        maintained.insert(row);
+        all_rows.push(row.to_vec());
+    }
+    let rel = Relation::from_rows(base.schema().clone(), all_rows.clone()).unwrap();
+    report(&maintained, &rel, "after aligned inserts");
+
+    // Phase 2: a migration wave breaking the old correlations — immigrant
+    // persons whose mothers are home-born.
+    for i in 0..6_000u32 {
+        let row = vec![1 + i % 3, 1 + i % 112, 0, 0, 4, 20 + i % 50];
+        maintained.insert(&row);
+        all_rows.push(row);
+    }
+    let rel = Relation::from_rows(base.schema().clone(), all_rows.clone()).unwrap();
+    report(&maintained, &rel, "after pattern-breaking wave");
+
+    let needs = maintained.needs_rebuild(0.25, 0.15);
+    println!("\nneeds_rebuild(churn>25% or drift>0.15)? {needs}");
+    if needs {
+        maintained.rebuild(&rel).unwrap();
+        println!("rebuilt model: {}", maintained.synopsis().model().notation());
+        report(&maintained, &rel, "after rebuild");
+    }
+}

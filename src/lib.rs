@@ -1,0 +1,36 @@
+//! # dbhist — Dependency-Based Histogram Synopses
+//!
+//! A Rust implementation of *"Independence is Good: Dependency-Based
+//! Histogram Synopses for High-Dimensional Data"* (Amol Deshpande, Minos
+//! Garofalakis, Rajeev Rastogi; ACM SIGMOD 2001).
+//!
+//! A DEPENDENCY-BASED (DB) histogram approximates the joint frequency
+//! distribution of a high-dimensional table with a pair `<M, C>`:
+//!
+//! * `M` — a *decomposable statistical interaction model* capturing the
+//!   partial- and conditional-independence patterns in the data, and
+//! * `C` — a collection of low-dimensional *clique histograms* on the
+//!   marginals dictated by the model's generators.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`distribution`] — joint frequency distributions, marginals, entropy,
+//!   KL divergence.
+//! * [`model`] — chordal Markov graphs, junction trees, decomposable models,
+//!   forward selection (`DB₁`/`DB₂` heuristics), χ² significance testing.
+//! * [`histogram`] — MaxDiff/V-Optimal one-dimensional histograms, MHIST
+//!   split trees with `project`/`product`/`restrictNode`, grid histograms.
+//! * [`core`] — the DB-histogram synopsis, storage allocation (optimal DP
+//!   and IncrementalGains), `ComputeMarginal`, and the IND / MHIST /
+//!   sampling baselines.
+//! * [`data`] — synthetic Census-like and housing data sets, range-query
+//!   workloads, and the paper's error metrics.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! reproduction of every evaluation figure.
+
+pub use dbhist_core as core;
+pub use dbhist_data as data;
+pub use dbhist_distribution as distribution;
+pub use dbhist_histogram as histogram;
+pub use dbhist_model as model;

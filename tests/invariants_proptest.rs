@@ -1,0 +1,296 @@
+//! Property-based invariants on the core data structures, spanning crates.
+
+use dbhist::core::factor::ExactFactor;
+use dbhist::core::marginal::{compute_marginal_naive, compute_marginal_with_stats};
+use dbhist::distribution::{AttrId, AttrSet, Relation, Schema};
+use dbhist::histogram::codec::{decode_split_tree, encode_split_tree};
+use dbhist::histogram::mhist::MhistBuilder;
+use dbhist::histogram::SplitCriterion;
+use dbhist::model::chordal::{addable_edge_separator, is_chordal, maximal_cliques};
+use dbhist::model::selection::{ForwardSelector, SelectionConfig};
+use dbhist::model::{DecomposableModel, JunctionTree, MarkovGraph};
+use proptest::prelude::*;
+
+/// Strategy: a small random relation over 2–4 attributes.
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    (2usize..=4, 2u32..=8, 10usize..=200, any::<u64>()).prop_map(
+        |(arity, domain, rows, seed)| {
+            let schema = Schema::new(
+                (0..arity).map(|i| (format!("a{i}"), domain)),
+            )
+            .unwrap();
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let data: Vec<Vec<u32>> = (0..rows)
+                .map(|_| {
+                    // Correlate even attributes with attribute 0.
+                    let base = (next() % u64::from(domain)) as u32;
+                    (0..arity)
+                        .map(|i| {
+                            if i % 2 == 0 && next() % 3 != 0 {
+                                base
+                            } else {
+                                (next() % u64::from(domain)) as u32
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            Relation::from_rows(schema, data).unwrap()
+        },
+    )
+}
+
+/// Strategy: a random chordal graph built by random legal edge insertion.
+fn chordal_graph_strategy() -> impl Strategy<Value = MarkovGraph> {
+    (3usize..=7, any::<u64>(), 0usize..=15).prop_map(|(n, seed, edges)| {
+        let mut g = MarkovGraph::empty(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut added = 0;
+        for _ in 0..edges * 4 {
+            if added >= edges {
+                break;
+            }
+            let u = (next() % n as u64) as AttrId;
+            let v = (next() % n as u64) as AttrId;
+            if u != v && addable_edge_separator(&g, u, v).is_some() {
+                g.add_edge(u, v).unwrap();
+                added += 1;
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MHIST split trees conserve total mass at any budget, and their
+    /// range estimates never exceed the total.
+    #[test]
+    fn split_tree_mass_conservation(rel in relation_strategy(), buckets in 1usize..32) {
+        let dist = rel.distribution();
+        let tree = MhistBuilder::build(&dist, buckets, SplitCriterion::MaxDiff).unwrap();
+        prop_assert!(tree.validate().is_ok());
+        prop_assert!((tree.total() - dist.total()).abs() < 1e-6);
+        let mass = tree.mass_in_box(&[(0, 0, 3)]);
+        prop_assert!(mass >= -1e-9 && mass <= tree.total() + 1e-6);
+    }
+
+    /// Projection conserves mass and agrees with direct estimation on the
+    /// projected attributes.
+    #[test]
+    fn split_tree_projection_invariants(rel in relation_strategy(), buckets in 2usize..24) {
+        let dist = rel.distribution();
+        let tree = MhistBuilder::build(&dist, buckets, SplitCriterion::MaxDiff).unwrap();
+        let target = AttrSet::singleton(0);
+        let p = tree.project(&target).unwrap();
+        prop_assert!(p.validate().is_ok());
+        prop_assert!((p.total() - tree.total()).abs() < 1e-6 * (1.0 + tree.total()));
+        let d = rel.schema().domain_size(0);
+        for lo in 0..d.min(4) {
+            let direct = tree.mass_in_box(&[(0, lo, d - 1)]);
+            let projected = p.mass_in_box(&[(0, lo, d - 1)]);
+            prop_assert!((direct - projected).abs() < 1e-6 * (1.0 + direct));
+        }
+    }
+
+    /// Product of two disjoint marginals behaves like independence:
+    /// total preserved, marginals recoverable.
+    #[test]
+    fn split_tree_product_invariants(rel in relation_strategy(), buckets in 2usize..16) {
+        let a0 = AttrSet::singleton(0);
+        let a1 = AttrSet::singleton(1);
+        let d0 = rel.marginal(&a0).unwrap();
+        let d1 = rel.marginal(&a1).unwrap();
+        let h0 = MhistBuilder::build(&d0, buckets, SplitCriterion::MaxDiff).unwrap();
+        let h1 = MhistBuilder::build(&d1, buckets, SplitCriterion::MaxDiff).unwrap();
+        let prod = h0.product(&h1).unwrap();
+        prop_assert!(prod.validate().is_ok());
+        let n = rel.row_count() as f64;
+        prop_assert!((prod.total() - n).abs() < 1e-6 * (1.0 + n));
+    }
+
+    /// Codec round-trip preserves structure and bucket count.
+    #[test]
+    fn codec_roundtrip(rel in relation_strategy(), buckets in 1usize..24) {
+        let dist = rel.distribution();
+        let tree = MhistBuilder::build(&dist, buckets, SplitCriterion::MaxDiff).unwrap();
+        let decoded = decode_split_tree(&encode_split_tree(&tree)).unwrap();
+        prop_assert_eq!(decoded.bucket_count(), tree.bucket_count());
+        prop_assert_eq!(decoded.attrs(), tree.attrs());
+        prop_assert!((decoded.total() - tree.total()).abs() < 1e-2 * (1.0 + tree.total()));
+    }
+
+    /// Random legal edge insertion keeps graphs chordal, and junction
+    /// trees built from them always satisfy the clique-intersection
+    /// property with cliques covering every vertex.
+    #[test]
+    fn junction_tree_invariants(g in chordal_graph_strategy()) {
+        prop_assert!(is_chordal(&g));
+        let jt = JunctionTree::build(&g).unwrap();
+        prop_assert!(jt.satisfies_clique_intersection_property());
+        let mut covered = AttrSet::empty();
+        for c in jt.cliques() {
+            covered = covered.union(c);
+        }
+        prop_assert_eq!(covered.len(), g.vertex_count());
+        // Tree shape: |edges| = |cliques| − 1.
+        prop_assert_eq!(jt.edges().len(), jt.len() - 1);
+        // Cliques of a chordal graph are cliques of the graph.
+        for c in maximal_cliques(&g) {
+            prop_assert!(g.is_clique(&c));
+        }
+    }
+
+    /// Forward selection always produces a chordal (decomposable) model
+    /// with cliques within k_max, and never increases divergence.
+    #[test]
+    fn selection_invariants(rel in relation_strategy(), k_max in 2usize..4) {
+        let config = SelectionConfig { k_max, theta: 0.5, ..Default::default() };
+        let result = ForwardSelector::new(&rel, config).run();
+        prop_assert!(is_chordal(result.model.graph()));
+        prop_assert!(result.model.max_clique_size() <= k_max);
+        let mut prev = result.initial_divergence;
+        for step in &result.steps {
+            prop_assert!(step.divergence_after <= prev + 1e-9);
+            prev = step.divergence_after;
+        }
+    }
+
+    /// ComputeMarginal equals the naive full-reconstruction strategy on
+    /// exact factors, for every single- and two-attribute target.
+    #[test]
+    fn compute_marginal_equals_naive(rel in relation_strategy()) {
+        let model = {
+            let result = ForwardSelector::new(
+                &rel,
+                SelectionConfig { theta: 0.0, ..Default::default() },
+            )
+            .run();
+            result.model
+        };
+        let factors: Vec<ExactFactor> = model
+            .cliques()
+            .iter()
+            .map(|c| ExactFactor(rel.marginal(c).unwrap()))
+            .collect();
+        let n = rel.schema().arity() as AttrId;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let target = AttrSet::from_ids([a, b]);
+                let (fast, _) = compute_marginal_with_stats(
+                    model.junction_tree(), &factors, &target).unwrap();
+                let (naive, _) = compute_marginal_naive(
+                    model.junction_tree(), &factors, &target).unwrap();
+                for (k, v) in naive.0.iter() {
+                    prop_assert!(
+                        (fast.0.frequency(k) - v).abs() < 1e-6 * (1.0 + v.abs()),
+                        "target {} key {:?}: {} vs {}",
+                        target, k, fast.0.frequency(k), v
+                    );
+                }
+            }
+        }
+    }
+
+    /// Backward elimination always yields a chordal model within k_max,
+    /// never below the true structure's divergence floor, and each
+    /// removal weakly increases divergence.
+    #[test]
+    fn backward_elimination_invariants(rel in relation_strategy()) {
+        use dbhist::model::backward::backward_eliminate;
+        let config = SelectionConfig { theta: 0.5, ..Default::default() };
+        let result = backward_eliminate(&rel, config);
+        prop_assert!(is_chordal(result.model.graph()));
+        prop_assert!(result.model.max_clique_size() <= config.k_max);
+        let mut prev = result.initial_divergence;
+        for step in &result.steps {
+            prop_assert!(step.divergence_after >= prev - 1e-9);
+            prev = step.divergence_after;
+        }
+    }
+
+    /// Haar synopses: full retention reconstructs exactly; the greedy
+    /// coefficient order makes truncation error monotone nonincreasing.
+    #[test]
+    fn wavelet_invariants(rel in relation_strategy(), keep in 1usize..32) {
+        use dbhist::histogram::wavelet::HaarBuilder;
+        let dist = rel.marginal(&AttrSet::from_ids([0, 1])).unwrap();
+        let mut b = HaarBuilder::new(&dist, 1 << 20).unwrap();
+        let mut prev = b.error();
+        let mut steps = 0;
+        while steps < keep && b.add_next() {
+            prop_assert!(b.error() <= prev + 1e-9);
+            prev = b.error();
+            steps += 1;
+        }
+        // Exhaust: zero residual, exact reconstruction.
+        while b.add_next() {}
+        prop_assert!(b.error() < 1e-6 * (1.0 + dist.total()));
+        let syn = b.finish();
+        let rec = syn.reconstruct(dist.schema()).unwrap();
+        for (k, f) in dist.iter() {
+            prop_assert!((rec.frequency(k) - f).abs() < 1e-6 * (1.0 + f));
+        }
+    }
+
+    /// Exact message passing agrees with the factor algebra on arbitrary
+    /// box queries over selected models.
+    #[test]
+    fn exact_box_mass_equals_algebra(rel in relation_strategy(), lo in 0u32..4, width in 0u32..4) {
+        use dbhist::core::marginal::exact_box_mass;
+        let model = ForwardSelector::new(
+            &rel,
+            SelectionConfig { theta: 0.0, ..Default::default() },
+        )
+        .run()
+        .model;
+        let factors: Vec<ExactFactor> = model
+            .cliques()
+            .iter()
+            .map(|c| ExactFactor(rel.marginal(c).unwrap()))
+            .collect();
+        let d = rel.schema().domain_size(0) - 1;
+        let ranges = [(0u16, lo.min(d), (lo + width).min(d)), (1u16, 0, d)];
+        let target = AttrSet::from_ids([0, 1]);
+        let (marg, _) =
+            compute_marginal_with_stats(model.junction_tree(), &factors, &target).unwrap();
+        let via_algebra = marg.0.range_mass(&ranges);
+        let via_messages = exact_box_mass(model.junction_tree(), &factors, &ranges).unwrap();
+        prop_assert!(
+            (via_algebra - via_messages).abs() < 1e-6 * (1.0 + via_algebra),
+            "{via_algebra} vs {via_messages}"
+        );
+    }
+
+    /// The saturated model with exact marginals reproduces every range
+    /// count exactly (estimator consistency).
+    #[test]
+    fn saturated_exact_model_is_exact(rel in relation_strategy()) {
+        let model = DecomposableModel::saturated(rel.schema().clone());
+        let factors: Vec<ExactFactor> = model
+            .cliques()
+            .iter()
+            .map(|c| ExactFactor(rel.marginal(c).unwrap()))
+            .collect();
+        let target = AttrSet::from_ids([0, 1]);
+        let (f, _) =
+            compute_marginal_with_stats(model.junction_tree(), &factors, &target).unwrap();
+        let truth = rel.marginal(&target).unwrap();
+        for (k, v) in truth.iter() {
+            prop_assert!((f.0.frequency(k) - v).abs() < 1e-9);
+        }
+    }
+}
