@@ -7,6 +7,8 @@
 //! * **A3** — `k_max` = 2 vs. 3 (the paper found 3-dimensional clique
 //!   histograms counterproductive at tight budgets).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench drivers: abort on a broken build
+
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dbhist_bench::experiments::Scale;
 use dbhist_core::alloc::{error_curve, incremental_gains, optimal_dp};
@@ -63,7 +65,7 @@ fn ablation_allocation(c: &mut Criterion) {
                 .map(|m| MhistCliqueBuilder::start(m, SplitCriterion::MaxDiff).unwrap())
                 .collect();
             incremental_gains(&mut builders, budget).unwrap()
-        })
+        });
     });
     group.bench_function("optimal_dp", |b| {
         b.iter(|| {
@@ -76,7 +78,7 @@ fn ablation_allocation(c: &mut Criterion) {
                 })
                 .collect();
             optimal_dp(&curves, budget).unwrap()
-        })
+        });
     });
     group.finish();
 
@@ -118,7 +120,7 @@ fn ablation_kmax(c: &mut Criterion) {
                 let mut config = DbConfig::new(3 * 1024);
                 config.selection.k_max = k_max;
                 DbHistogram::build_mhist(&rel, config).unwrap()
-            })
+            });
         });
         let mut config = DbConfig::new(3 * 1024);
         config.selection.k_max = k_max;
@@ -148,7 +150,7 @@ fn ablation_selection_direction(c: &mut Criterion) {
                 dbhist_model::selection::SelectionConfig::default(),
             )
             .run()
-        })
+        });
     });
     group.bench_function("backward", |b| {
         b.iter(|| {
@@ -156,7 +158,7 @@ fn ablation_selection_direction(c: &mut Criterion) {
                 &rel,
                 dbhist_model::selection::SelectionConfig::default(),
             )
-        })
+        });
     });
     group.finish();
     let fwd = dbhist_model::selection::ForwardSelector::new(
@@ -190,13 +192,13 @@ fn ablation_clique_synopsis_family(c: &mut Criterion) {
     let mut group = c.benchmark_group("a5_clique_family");
     group.sample_size(10);
     group.bench_function("build_mhist", |b| {
-        b.iter(|| DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap())
+        b.iter(|| DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap());
     });
     group.bench_function("build_grid", |b| {
-        b.iter(|| DbHistogram::build_grid(&rel, DbConfig::new(budget)).unwrap())
+        b.iter(|| DbHistogram::build_grid(&rel, DbConfig::new(budget)).unwrap());
     });
     group.bench_function("build_wavelet", |b| {
-        b.iter(|| DbHistogram::build_wavelet(&rel, DbConfig::new(budget)).unwrap())
+        b.iter(|| DbHistogram::build_wavelet(&rel, DbConfig::new(budget)).unwrap());
     });
     group.finish();
 

@@ -6,6 +6,8 @@
 //! * clique-histogram construction (MHIST builder) at several budgets;
 //! * end-to-end DB-histogram construction.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench drivers: abort on a broken build
+
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dbhist_bench::experiments::Scale;
 use dbhist_core::synopsis::{DbConfig, DbHistogram};
@@ -27,7 +29,7 @@ fn bench_selection(c: &mut Criterion) {
                 b.iter(|| {
                     let config = SelectionConfig { algorithm, ..Default::default() };
                     ForwardSelector::new(&rel, config).run()
-                })
+                });
             },
         );
     }
@@ -48,14 +50,12 @@ fn bench_selection(c: &mut Criterion) {
 fn bench_mhist_build(c: &mut Criterion) {
     let scale = Scale::quick();
     let rel = scale.census_1();
-    let pair = rel
-        .marginal(&AttrSet::from_ids([1, 2]))
-        .expect("country/mother marginal");
+    let pair = rel.marginal(&AttrSet::from_ids([1, 2])).expect("country/mother marginal");
     let mut group = c.benchmark_group("mhist_build");
     group.sample_size(10);
     for buckets in [32usize, 128, 512] {
         group.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &n| {
-            b.iter(|| MhistBuilder::build(&pair, n, SplitCriterion::MaxDiff).unwrap())
+            b.iter(|| MhistBuilder::build(&pair, n, SplitCriterion::MaxDiff).unwrap());
         });
     }
     group.finish();
@@ -68,7 +68,7 @@ fn bench_db_build(c: &mut Criterion) {
     group.sample_size(10);
     for kb in [1usize, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, &kb| {
-            b.iter(|| DbHistogram::build_mhist(&rel, DbConfig::new(kb * 1024)).unwrap())
+            b.iter(|| DbHistogram::build_mhist(&rel, DbConfig::new(kb * 1024)).unwrap());
         });
     }
     group.finish();

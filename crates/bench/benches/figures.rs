@@ -4,6 +4,8 @@
 //! benches track how long each experiment pipeline takes end-to-end so
 //! regressions in construction or estimation show up.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench drivers: abort on a broken build
+
 use criterion::{criterion_group, Criterion};
 use dbhist_bench::experiments::{fig6, fig7, fig8, fig9, housing_experiment, Scale};
 
@@ -15,7 +17,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig6_2d", |b| b.iter(|| fig6(&scale, 2, 4)));
     group.bench_function("fig7", |b| b.iter(|| fig7(&scale)));
     group.bench_function("fig8_two_budgets", |b| {
-        b.iter(|| fig8(&scale, &[1024, 2048]))
+        b.iter(|| fig8(&scale, &[1024, 2048]));
     });
     group.bench_function("fig9", |b| b.iter(|| fig9(&scale)));
     group.bench_function("housing", |b| b.iter(|| housing_experiment(&scale)));

@@ -2,6 +2,8 @@
 //! latency and `ComputeMarginal` vs. the naive full-reconstruction
 //! strategy (paper §3.3.1).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench drivers: abort on a broken build
+
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dbhist_bench::experiments::Scale;
 use dbhist_core::baselines::{IndEstimator, MhistEstimator};
@@ -29,13 +31,7 @@ fn bench_estimation(c: &mut Criterion) {
     group.sample_size(10);
     for (name, est) in estimators {
         group.bench_with_input(BenchmarkId::from_parameter(name), &est, |b, est| {
-            b.iter(|| {
-                workload
-                    .queries
-                    .iter()
-                    .map(|q| est.estimate(&q.ranges))
-                    .sum::<f64>()
-            })
+            b.iter(|| workload.queries.iter().map(|q| est.estimate(&q.ranges)).sum::<f64>());
         });
     }
     group.finish();
@@ -52,10 +48,10 @@ fn bench_marginal_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("compute_marginal");
     group.sample_size(10);
     group.bench_function("fig3_algorithm", |b| {
-        b.iter(|| compute_marginal_with_stats(tree, factors, &target).unwrap())
+        b.iter(|| compute_marginal_with_stats(tree, factors, &target).unwrap());
     });
     group.bench_function("naive_full_joint", |b| {
-        b.iter(|| compute_marginal_naive(tree, factors, &target).unwrap())
+        b.iter(|| compute_marginal_naive(tree, factors, &target).unwrap());
     });
     group.finish();
 

@@ -1,4 +1,6 @@
 //! Rough component timing (dev tool).
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
 use dbhist_bench::experiments::Scale;
 use dbhist_core::synopsis::{DbConfig, DbHistogram};
 use dbhist_core::SelectivityEstimator;
@@ -10,15 +12,37 @@ fn main() {
     let rel = scale.census_1();
     let db = DbHistogram::build_mhist(&rel, DbConfig::new(3072)).unwrap();
     println!("model {}", db.model().notation());
-    for f in db.factors() { println!("  clique {} leaves {}", f.attrs(), dbhist_histogram::MultiHistogram::bucket_count(f)); }
-    println!("jt edges: {:?}", db.model().junction_tree().edges().iter().map(|e| (e.a, e.b, e.separator.to_string())).collect::<Vec<_>>());
-    let w = Workload::generate(&rel, WorkloadConfig { dimensionality: 4, queries: 25, min_count: 50, seed: 9 });
+    for f in db.factors() {
+        println!(
+            "  clique {} leaves {}",
+            f.attrs(),
+            dbhist_histogram::MultiHistogram::bucket_count(f)
+        );
+    }
+    println!(
+        "jt edges: {:?}",
+        db.model()
+            .junction_tree()
+            .edges()
+            .iter()
+            .map(|e| (e.a, e.b, e.separator.to_string()))
+            .collect::<Vec<_>>()
+    );
+    let w = Workload::generate(
+        &rel,
+        WorkloadConfig { dimensionality: 4, queries: 25, min_count: 50, seed: 9 },
+    );
     for q in &w.queries {
         let t = Instant::now();
         let est = db.estimate(&q.ranges);
         let el = t.elapsed();
         if el.as_millis() > 100 {
-            println!("SLOW {:?}: {:?} est {est:.0} exact {}", q.ranges.iter().map(|r| r.0).collect::<Vec<_>>(), el, q.exact);
+            println!(
+                "SLOW {:?}: {:?} est {est:.0} exact {}",
+                q.ranges.iter().map(|r| r.0).collect::<Vec<_>>(),
+                el,
+                q.exact
+            );
         }
     }
 }

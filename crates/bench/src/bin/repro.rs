@@ -7,6 +7,8 @@
 //! With no arguments, runs every experiment at the paper's full scale and
 //! prints one table per figure (the series `EXPERIMENTS.md` records).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
 use std::time::Instant;
 
 use dbhist_bench::experiments::{
@@ -24,17 +26,12 @@ fn main() {
         .map_or("all", String::as_str)
         .to_string();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!(
-            "usage: repro [--quick] [--experiment fig6|fig7|fig8|fig9|housing|sampling|all]"
-        );
+        eprintln!("usage: repro [--quick] [--experiment fig6|fig7|fig8|fig9|housing|sampling|all]");
         return;
     }
     const KNOWN: [&str; 7] = ["fig6", "fig7", "fig8", "fig9", "housing", "sampling", "all"];
     if !KNOWN.contains(&which.as_str()) {
-        eprintln!(
-            "unknown experiment {which:?}; expected one of {}",
-            KNOWN.join("|")
-        );
+        eprintln!("unknown experiment {which:?}; expected one of {}", KNOWN.join("|"));
         std::process::exit(2);
     }
     let scale = if quick { Scale::quick() } else { Scale::paper() };
@@ -62,8 +59,7 @@ fn main() {
         run("fig7", &|| fig7(&scale));
     }
     if which == "fig8" || which == "all" {
-        let budgets: Vec<usize> =
-            [1usize, 2, 3, 4, 5, 6, 8].iter().map(|kb| kb * 1024).collect();
+        let budgets: Vec<usize> = [1usize, 2, 3, 4, 5, 6, 8].iter().map(|kb| kb * 1024).collect();
         run("fig8", &|| fig8(&scale, &budgets));
     }
     if which == "fig9" || which == "all" {

@@ -9,9 +9,7 @@ use dbhist_data::metrics::ErrorSummary;
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use dbhist_distribution::Relation;
 use dbhist_histogram::SplitCriterion;
-use dbhist_model::selection::{
-    EdgeHeuristic, ForwardSelector, SelectionConfig,
-};
+use dbhist_model::selection::{EdgeHeuristic, ForwardSelector, SelectionConfig};
 
 /// Experiment sizing: the paper's full scale or a reduced one for tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +144,7 @@ fn summarize(workload: &Workload, estimator: &dyn SelectivityEstimator) -> Error
 /// with **exact** clique marginals and evaluated on random `k`-D
 /// workloads, so the measured error reflects the model alone.
 #[must_use]
+#[allow(clippy::expect_used)]
 pub fn fig6(scale: &Scale, workload_k: usize, max_edges: usize) -> Figure {
     let rel = scale.census_1();
     let workload = scale.workload(&rel, workload_k, 600 + workload_k as u64);
@@ -161,23 +160,21 @@ pub fn fig6(scale: &Scale, workload_k: usize, max_edges: usize) -> Figure {
         let result = ForwardSelector::new(&rel, config).run();
         let mut points = Vec::new();
         // Edge count 0 = full independence.
-        let independence =
-            dbhist_model::DecomposableModel::independence(rel.schema().clone());
+        let independence = dbhist_model::DecomposableModel::independence(rel.schema().clone());
         let mut models = vec![independence];
         models.extend(result.steps.iter().map(|s| s.model.clone()));
         for (edges, model) in models.into_iter().enumerate() {
-            let db = DbHistogram::exact_for_model(&rel, model)
-                .expect("exact factors always build");
-            // Exact clique factors admit a one-pass message-passing
-            // evaluation of each query (numerically identical to the
-            // factor-algebra route, asymptotically far cheaper).
+            let db = DbHistogram::exact_for_model(&rel, model).expect("exact factors always build"); // lint:allow(no-panic): experiment driver; abort the run on a broken build
+                                                                                                     // Exact clique factors admit a one-pass message-passing
+                                                                                                     // evaluation of each query (numerically identical to the
+                                                                                                     // factor-algebra route, asymptotically far cheaper).
             let summary = ErrorSummary::evaluate(&workload, |ranges| {
                 dbhist_core::marginal::exact_box_mass(
                     db.model().junction_tree(),
                     db.factors(),
                     ranges,
                 )
-                .expect("exact evaluation is infallible")
+                .expect("exact evaluation is infallible") // lint:allow(no-panic): experiment driver; abort the run on a broken build
             });
             points.push(SeriesPoint {
                 x: edges as f64,
@@ -203,23 +200,21 @@ pub fn fig6(scale: &Scale, workload_k: usize, max_edges: usize) -> Figure {
 }
 
 /// Builds the paper's four estimators at `budget` bytes.
-fn build_estimators(
-    rel: &Relation,
-    budget: usize,
-) -> Vec<Box<dyn SelectivityEstimator>> {
+#[allow(clippy::expect_used)]
+fn build_estimators(rel: &Relation, budget: usize) -> Vec<Box<dyn SelectivityEstimator>> {
     let criterion = SplitCriterion::MaxDiff;
     let mut out: Vec<Box<dyn SelectivityEstimator>> = Vec::new();
     out.push(Box::new(
-        IndEstimator::build(rel, budget, criterion).expect("IND builds"),
+        IndEstimator::build(rel, budget, criterion).expect("IND builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
     ));
     out.push(Box::new(
-        MhistEstimator::build(rel, budget, criterion).expect("MHIST builds"),
+        MhistEstimator::build(rel, budget, criterion).expect("MHIST builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
     ));
     for heuristic in [EdgeHeuristic::Db1, EdgeHeuristic::Db2] {
         let mut config = DbConfig::new(budget);
         config.selection.heuristic = heuristic;
         out.push(Box::new(
-            DbHistogram::build_mhist(rel, config).expect("DB histogram builds"),
+            DbHistogram::build_mhist(rel, config).expect("DB histogram builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
         ));
     }
     out
@@ -277,10 +272,8 @@ pub fn fig8(scale: &Scale, budgets: &[usize]) -> Figure {
     let rel = scale.census_1();
     let workload = scale.workload(&rel, 3, 800);
     let labels = ["IND", "MHIST", "DB1", "DB2"];
-    let mut series: Vec<Series> = labels
-        .iter()
-        .map(|l| Series { label: (*l).into(), points: Vec::new() })
-        .collect();
+    let mut series: Vec<Series> =
+        labels.iter().map(|l| Series { label: (*l).into(), points: Vec::new() }).collect();
     for &budget in budgets {
         let estimators = build_estimators(&rel, budget);
         for (estimator, series) in estimators.iter().zip(&mut series) {
@@ -330,14 +323,15 @@ pub fn housing_experiment(scale: &Scale) -> Figure {
 /// random samples answer most queries with 0. Returns the fraction of
 /// 3-D workload queries for which the sample estimate is exactly zero.
 #[must_use]
+#[allow(clippy::expect_used)]
 pub fn sampling_zero_fraction(scale: &Scale, budget: usize) -> f64 {
     let rel = scale.census_1();
     let workload = scale.workload(&rel, 3, 900);
-    let sampler = SamplingEstimator::build(&rel, budget, 17).expect("sampler builds");
+    let sampler = SamplingEstimator::build(&rel, budget, 17).expect("sampler builds"); // lint:allow(no-panic): experiment driver; abort the run on a broken build
     let zeros = workload
         .queries
         .iter()
-        .filter(|q| sampler.estimate(&q.ranges) == 0.0)
+        .filter(|q| sampler.estimate(&q.ranges) == 0.0) // lint:allow(float-cmp): the experiment counts literally-zero estimates
         .count();
     zeros as f64 / workload.len().max(1) as f64
 }
@@ -347,7 +341,10 @@ mod tests {
     use super::*;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow in debug; run `cargo test --release -p dbhist-bench`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow in debug; run `cargo test --release -p dbhist-bench`"
+    )]
     fn fig6_model_error_drops_with_edges() {
         let scale = Scale { rows_1: 6_000, queries: 15, ..Scale::quick() };
         let fig = fig6(&scale, 2, 4);
@@ -372,26 +369,23 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow in debug; run `cargo test --release -p dbhist-bench`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow in debug; run `cargo test --release -p dbhist-bench`"
+    )]
     fn fig7_shape_holds_at_quick_scale() {
         let scale = Scale { rows_1: 8_000, queries: 20, ..Scale::quick() };
         let fig = fig7(&scale);
         assert_eq!(fig.series.len(), 4);
         let by_label = |l: &str| {
-            fig.series
-                .iter()
-                .find(|s| s.label == l)
-                .unwrap_or_else(|| panic!("missing series {l}"))
+            fig.series.iter().find(|s| s.label == l).unwrap_or_else(|| panic!("missing series {l}"))
         };
         // Multi-dimensional queries: DB2 beats IND on the multiplicative
         // metric (the paper's headline claim).
         let db2 = by_label("DB2");
         let ind = by_label("IND");
         let at_k = |s: &Series, k: f64| {
-            s.points
-                .iter()
-                .find(|p| (p.x - k).abs() < 1e-9)
-                .map(|p| (p.relative, p.multiplicative))
+            s.points.iter().find(|p| (p.x - k).abs() < 1e-9).map(|p| (p.relative, p.multiplicative))
         };
         if let (Some((_, db2_m)), Some((_, ind_m))) = (at_k(db2, 3.0), at_k(ind, 3.0)) {
             assert!(
@@ -402,7 +396,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow in debug; run `cargo test --release -p dbhist-bench`")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow in debug; run `cargo test --release -p dbhist-bench`"
+    )]
     fn sampling_mostly_zero_at_tiny_budgets() {
         let scale = Scale { rows_1: 10_000, queries: 20, ..Scale::quick() };
         let frac = sampling_zero_fraction(&scale, 512);

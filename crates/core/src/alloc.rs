@@ -28,6 +28,32 @@ pub struct AllocationReport {
     pub splits: usize,
 }
 
+impl AllocationReport {
+    /// Budget-conservation check (see DESIGN.md, "Invariants & lint
+    /// policy"): the allocation must fit within `budget_bytes`, fund every
+    /// clique with at least one bucket, and report a finite, non-negative
+    /// total error. Run automatically after allocation in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, budget_bytes: usize) -> Result<(), String> {
+        if self.bytes_used > budget_bytes {
+            return Err(format!(
+                "allocation spent {} bytes of a {budget_bytes}-byte budget",
+                self.bytes_used
+            ));
+        }
+        if self.buckets.contains(&0) {
+            return Err("a clique was allocated zero buckets".into());
+        }
+        if !self.total_error.is_finite() || self.total_error < 0.0 {
+            return Err(format!("non-finite or negative total error {}", self.total_error));
+        }
+        Ok(())
+    }
+}
+
 /// The paper's `IncrementalGains` algorithm (Fig. 2): all histograms start
 /// as one bucket; each round funds the candidate split maximizing
 /// `ΔERR / (n_i · s_i)` that still fits the budget. The builders are left
@@ -58,8 +84,7 @@ pub fn incremental_gains<B: IncrementalBuilder>(
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
-                b.peek()
-                    .map(|p| (i, p.extra_bytes, p.error_gain / p.extra_bytes.max(1) as f64))
+                b.peek().map(|p| (i, p.extra_bytes, p.error_gain / p.extra_bytes.max(1) as f64))
             })
             .collect();
         candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
@@ -73,12 +98,17 @@ pub fn incremental_gains<B: IncrementalBuilder>(
         used += extra;
         splits += 1;
     }
-    Ok(AllocationReport {
+    let report = AllocationReport {
         buckets: builders.iter().map(IncrementalBuilder::bucket_count).collect(),
         bytes_used: used,
         total_error: builders.iter().map(IncrementalBuilder::error).sum(),
         splits,
-    })
+    };
+    #[cfg(debug_assertions)]
+    if let Err(violation) = report.validate(budget_bytes) {
+        panic!("allocation invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+    }
+    Ok(report)
 }
 
 /// One point of a clique histogram's error curve.
@@ -190,19 +220,37 @@ pub fn optimal_dp(
         best = next;
         choice.push(pick);
     }
-    // Reconstruct from the best reachable budget.
-    let (mut b, _) = best
+    // Reconstruct from the best reachable budget. The caller guarantees
+    // the one-bucket-per-curve configuration fits, so some state is
+    // finite; if not, the budget was unsatisfiable after all.
+    let Some((mut b, _)) = best
         .iter()
         .enumerate()
         .filter(|(_, e)| e.is_finite())
         .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .expect("one-bucket configuration fits");
+    else {
+        return Err(SynopsisError::Budget {
+            reason: "no reachable bucket configuration under the byte budget".into(),
+        });
+    };
     let mut picks = vec![CurvePoint { buckets: 0, bytes: 0, error: 0.0 }; curves.len()];
     for c in (0..curves.len()).rev() {
         let pi = choice[c][b];
         debug_assert_ne!(pi, usize::MAX, "reconstruction followed reachable states");
         picks[c] = curves[c][pi];
         b -= curves[c][pi].bytes / unit;
+    }
+    #[cfg(debug_assertions)]
+    {
+        let spent: usize = picks.iter().map(|p| p.bytes).sum();
+        assert!(
+            spent <= budget_bytes,
+            "DP allocation spent {spent} bytes of a {budget_bytes}-byte budget"
+        );
+        assert!(
+            picks.iter().all(|p| p.buckets >= 1),
+            "DP allocation must fund every clique with at least one bucket"
+        );
     }
     Ok(picks)
 }
@@ -227,9 +275,8 @@ mod tests {
 
     fn relation() -> Relation {
         let schema = Schema::new(vec![("a", 16), ("b", 16), ("c", 8)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..2000u32)
-            .map(|i| vec![(i * i) % 16, (i * 7) % 16, (i / 3) % 8])
-            .collect();
+        let rows: Vec<Vec<u32>> =
+            (0..2000u32).map(|i| vec![(i * i) % 16, (i * 7) % 16, (i / 3) % 8]).collect();
         Relation::from_rows(schema, rows).unwrap()
     }
 
@@ -259,10 +306,7 @@ mod tests {
     fn greedy_rejects_impossible_budget() {
         let rel = relation();
         let mut builders = mhist_builders(&rel);
-        assert!(matches!(
-            incremental_gains(&mut builders, 10),
-            Err(SynopsisError::Budget { .. })
-        ));
+        assert!(matches!(incremental_gains(&mut builders, 10), Err(SynopsisError::Budget { .. })));
     }
 
     #[test]
@@ -301,10 +345,8 @@ mod tests {
             let greedy_report = incremental_gains(&mut greedy, budget).unwrap();
 
             let mut for_curves = mhist_builders(&rel);
-            let curves: Vec<Vec<CurvePoint>> = for_curves
-                .iter_mut()
-                .map(|b| error_curve(b, budget))
-                .collect();
+            let curves: Vec<Vec<CurvePoint>> =
+                for_curves.iter_mut().map(|b| error_curve(b, budget)).collect();
             let picks = optimal_dp(&curves, budget).unwrap();
             let dp_bytes: usize = picks.iter().map(|p| p.bytes).sum();
             let dp_error: f64 = picks.iter().map(|p| p.error).sum();

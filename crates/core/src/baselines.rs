@@ -49,11 +49,7 @@ impl IndEstimator {
             .collect::<Result<_, _>>()?;
         let report = incremental_gains(&mut builders, budget_bytes)?;
         let histograms = builders.iter().map(IncrementalBuilder::finish).collect();
-        Ok(Self {
-            histograms,
-            total: relation.row_count() as f64,
-            bytes: report.bytes_used,
-        })
+        Ok(Self { histograms, total: relation.row_count() as f64, bytes: report.bytes_used })
     }
 
     /// The per-attribute histograms.
@@ -166,7 +162,11 @@ impl SamplingEstimator {
     /// # Errors
     ///
     /// Fails when the budget cannot hold a single row.
-    pub fn build(relation: &Relation, budget_bytes: usize, seed: u64) -> Result<Self, SynopsisError> {
+    pub fn build(
+        relation: &Relation,
+        budget_bytes: usize,
+        seed: u64,
+    ) -> Result<Self, SynopsisError> {
         let n = relation.schema().arity().max(1);
         let rows = budget_bytes / (4 * n);
         if rows == 0 {
@@ -212,9 +212,7 @@ mod tests {
     /// a == b (8 values), c independent.
     fn relation() -> Relation {
         let schema = Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..4096u32)
-            .map(|i| vec![i % 8, i % 8, (i / 8) % 4])
-            .collect();
+        let rows: Vec<Vec<u32>> = (0..4096u32).map(|i| vec![i % 8, i % 8, (i / 8) % 4]).collect();
         Relation::from_rows(schema, rows).unwrap()
     }
 
@@ -277,9 +275,8 @@ mod tests {
         // sample misses most narrow conjunctive ranges entirely.
         let rel = relation();
         let s = SamplingEstimator::build(&rel, 120, 7).unwrap(); // 10 rows
-        let zeros = (0..8u32)
-            .filter(|&v| s.estimate(&[(0, v, v), (2, (v % 4), (v % 4))]) == 0.0)
-            .count();
+        let zeros =
+            (0..8u32).filter(|&v| s.estimate(&[(0, v, v), (2, (v % 4), (v % 4))]) == 0.0).count();
         assert!(zeros >= 5, "most narrow queries should see no sampled tuple");
     }
 

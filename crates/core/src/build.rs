@@ -230,9 +230,7 @@ mod tests {
 
     fn dist() -> Distribution {
         let schema = Schema::new(vec![("x", 8), ("y", 8)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..512u32)
-            .map(|i| vec![(i * i) % 8, (i * 3) % 8])
-            .collect();
+        let rows: Vec<Vec<u32>> = (0..512u32).map(|i| vec![(i * i) % 8, (i * 3) % 8]).collect();
         Relation::from_rows(schema, rows).unwrap().distribution()
     }
 

@@ -74,8 +74,7 @@ mod tests {
         assert!(e.to_string().contains("model"));
         let e: SynopsisError = DistributionError::UnknownAttr { attr: 1 }.into();
         assert!(e.to_string().contains("distribution"));
-        let e: SynopsisError =
-            HistogramError::InvalidRequest { reason: "x".into() }.into();
+        let e: SynopsisError = HistogramError::InvalidRequest { reason: "x".into() }.into();
         assert!(e.to_string().contains("histogram"));
         let e = SynopsisError::Budget { reason: "too small".into() };
         assert!(e.to_string().contains("too small"));

@@ -99,6 +99,22 @@ impl Factor for GridHistogram {
     }
 }
 
+/// Positions of each of `sub`'s attributes within `attrs`.
+///
+/// # Errors
+///
+/// Errors if `sub` is not a subset of `attrs` — the operands handed to a
+/// factor operation are inconsistent.
+fn shared_positions(attrs: &AttrSet, sub: &AttrSet) -> Result<Vec<usize>, SynopsisError> {
+    sub.iter()
+        .map(|a| {
+            attrs.position(a).ok_or_else(|| SynopsisError::Budget {
+                reason: format!("shared attribute {a} missing from a product operand"),
+            })
+        })
+        .collect()
+}
+
 /// An exact sparse marginal acting as a factor — a "clique histogram with
 /// an unlimited number of buckets" (paper §4.2.1).
 #[derive(Debug, Clone)]
@@ -137,10 +153,7 @@ impl Factor for ExactFactor {
 
         // Group the right operand's cells by their shared-attribute
         // sub-key so each left cell pairs only with compatible partners.
-        let other_shared_pos: Vec<usize> = shared
-            .iter()
-            .map(|a| other.0.attrs().position(a).expect("shared ⊆ other"))
-            .collect();
+        let other_shared_pos = shared_positions(other.0.attrs(), &shared)?;
         let mut groups: dbhist_distribution::fxhash::FxHashMap<Vec<u32>, Vec<(&[u32], f64)>> =
             dbhist_distribution::fxhash::FxHashMap::default();
         for (key, f) in other.0.iter() {
@@ -149,26 +162,25 @@ impl Factor for ExactFactor {
         }
 
         let separator = if shared.is_empty() { None } else { Some(self.0.marginal(&shared)?) };
-        let self_shared_pos: Vec<usize> = shared
-            .iter()
-            .map(|a| self.0.attrs().position(a).expect("shared ⊆ self"))
-            .collect();
+        let self_shared_pos = shared_positions(self.0.attrs(), &shared)?;
 
         // Precompute, for each union attribute, where its value comes from.
         enum Source {
             Left(usize),
             Right(usize),
         }
-        let sources: Vec<Source> = union
-            .iter()
-            .map(|a| {
-                if let Some(p) = self.0.attrs().position(a) {
-                    Source::Left(p)
-                } else {
-                    Source::Right(other.0.attrs().position(a).expect("attr from union"))
-                }
-            })
-            .collect();
+        let mut sources: Vec<Source> = Vec::with_capacity(union.len());
+        for a in union.iter() {
+            if let Some(p) = self.0.attrs().position(a) {
+                sources.push(Source::Left(p));
+            } else if let Some(p) = other.0.attrs().position(a) {
+                sources.push(Source::Right(p));
+            } else {
+                return Err(SynopsisError::Budget {
+                    reason: format!("attribute {a} missing from both product operands"),
+                });
+            }
+        }
 
         let mut out_key = vec![0u32; union.len()];
         for (lkey, lf) in self.0.iter() {
@@ -229,8 +241,8 @@ mod tests {
         for a in 0..4u32 {
             for b in 0..3u32 {
                 for c in 0..4u32 {
-                    let expect = ab.0.frequency(&[a, b]) * bc.0.frequency(&[b, c])
-                        / b_marg.frequency(&[b]);
+                    let expect =
+                        ab.0.frequency(&[a, b]) * bc.0.frequency(&[b, c]) / b_marg.frequency(&[b]);
                     let got = prod.0.frequency(&[a, b, c]);
                     assert!((got - expect).abs() < 1e-9, "({a},{b},{c})");
                 }

@@ -100,11 +100,7 @@ impl MaintainedDbHistogram {
     ///
     /// Panics if the row does not match the schema.
     pub fn insert(&mut self, row: &[u32]) {
-        assert_eq!(
-            row.len(),
-            self.synopsis.model().schema().arity(),
-            "row arity mismatch"
-        );
+        assert_eq!(row.len(), self.synopsis.model().schema().arity(), "row arity mismatch");
         self.apply(row, 1.0);
         // Reservoir sampling of inserts (deterministic Fibonacci-hash
         // position so maintenance stays reproducible).
@@ -126,11 +122,7 @@ impl MaintainedDbHistogram {
     ///
     /// Panics if the row does not match the schema.
     pub fn delete(&mut self, row: &[u32]) {
-        assert_eq!(
-            row.len(),
-            self.synopsis.model().schema().arity(),
-            "row arity mismatch"
-        );
+        assert_eq!(row.len(), self.synopsis.model().schema().arity(), "row arity mismatch");
         self.apply(row, -1.0);
     }
 
@@ -159,11 +151,8 @@ impl MaintainedDbHistogram {
         }
         let mut sum = 0.0;
         for row in &self.reservoir {
-            let ranges: Vec<(AttrId, u32, u32)> = row
-                .iter()
-                .enumerate()
-                .map(|(a, &v)| (a as AttrId, v, v))
-                .collect();
+            let ranges: Vec<(AttrId, u32, u32)> =
+                row.iter().enumerate().map(|(a, &v)| (a as AttrId, v, v)).collect();
             let est = self.synopsis.estimate(&ranges).max(0.0);
             sum += 1.0 / (1.0 + est);
         }
@@ -230,10 +219,7 @@ mod tests {
             m.insert(&[3, 3, 0]);
         }
         let after = m.estimate(&[(0, 3, 3)]);
-        assert!(
-            after > before + 400.0,
-            "estimate should absorb the inserts: {before} → {after}"
-        );
+        assert!(after > before + 400.0, "estimate should absorb the inserts: {before} → {after}");
         assert_eq!(m.churn(), 500);
         assert!((m.row_count() - 4596.0).abs() < 1e-9);
     }

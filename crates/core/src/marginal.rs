@@ -71,11 +71,7 @@ impl<F: Factor> Ctx<'_, F> {
         debug_assert!(!diff.is_empty());
 
         // Steps 4–10: a single child's subtree covers everything missing.
-        let single = self
-            .children[node]
-            .iter()
-            .copied()
-            .find(|&j| diff.is_subset(&self.cover[j]));
+        let single = self.children[node].iter().copied().find(|&j| diff.is_subset(&self.cover[j]));
         if let Some(j) = single {
             if int.is_empty() {
                 // Step 5: delegate wholesale.
@@ -165,11 +161,7 @@ impl<F: Factor> Ctx<'_, F> {
         }
         let int = clique.intersection(sq);
         let diff = sq.difference(&clique);
-        let single = self
-            .children[node]
-            .iter()
-            .copied()
-            .find(|&j| diff.is_subset(&self.cover[j]));
+        let single = self.children[node].iter().copied().find(|&j| diff.is_subset(&self.cover[j]));
         if let Some(j) = single {
             if int.is_empty() {
                 return self.go_loose(j, sq);
@@ -284,10 +276,14 @@ pub fn estimate_mass<F: Factor>(
         }
         // Evaluate this component's marginal mass with the loose
         // recursion, rooted at its best-overlapping clique.
-        let root = (0..n_cliques)
+        // A non-empty group implies a populated component, so the max
+        // always exists; skipping is the safe degenerate answer anyway.
+        let Some(root) = (0..n_cliques)
             .filter(|&i| comp[i] == g)
             .max_by_key(|&i| (tree.cliques()[i].intersection(group).len(), usize::MAX - i))
-            .expect("component has cliques");
+        else {
+            continue;
+        };
         let rooted = tree.rooted(root);
         let mut ctx = Ctx {
             tree,
@@ -322,15 +318,13 @@ pub fn compute_marginal_with_stats<F: Factor>(
     assert_eq!(tree.len(), factors.len(), "one factor per clique");
     assert!(!target.is_empty(), "target attribute set must be non-empty");
     // Root at the clique overlapping the target most (never hurts).
-    let root = (0..tree.len())
+    let Some(root) = (0..tree.len())
         .max_by_key(|&i| (tree.cliques()[i].intersection(target).len(), usize::MAX - i))
-        .expect("non-empty junction tree");
+    else {
+        return Err(SynopsisError::Budget { reason: "empty junction tree".into() });
+    };
     let rooted = tree.rooted(root);
-    if !target.is_subset(&rooted.cover[root]) {
-        let missing = target
-            .iter()
-            .find(|&a| !rooted.cover[root].contains(a))
-            .expect("non-subset");
+    if let Some(missing) = target.iter().find(|&a| !rooted.cover[root].contains(a)) {
         return Err(SynopsisError::Budget {
             reason: format!("attribute {missing} is not covered by the model"),
         });
@@ -409,56 +403,37 @@ pub fn exact_box_mass(
     }
     // messages[c] = map from c's separator-with-parent key → weight.
     let mut messages: Vec<Option<FxHashMap<Vec<u32>, f64>>> = vec![None; tree.len()];
+    let mut root_mass = 0.0;
     for &node in order.iter().rev() {
         let factor = &factors[node].0;
         let attrs = factor.attrs().clone();
         // Positions of each child's separator within this clique's key.
-        let child_seps: Vec<(usize, Vec<usize>)> = rooted.children[node]
-            .iter()
-            .map(|&ch| {
-                let sep = tree.cliques()[node].intersection(&tree.cliques()[ch]);
-                let pos = sep
-                    .iter()
-                    .map(|a| attrs.position(a).expect("separator ⊆ clique"))
-                    .collect();
-                (ch, pos)
-            })
-            .collect();
+        let mut child_seps: Vec<(usize, Vec<usize>)> =
+            Vec::with_capacity(rooted.children[node].len());
+        for &ch in &rooted.children[node] {
+            let sep = tree.cliques()[node].intersection(&tree.cliques()[ch]);
+            child_seps.push((ch, positions_of(&attrs, &sep)?));
+        }
         // Constraint positions within this clique.
         let cell_ok = |key: &[u32]| -> bool {
             attrs.iter().enumerate().all(|(p, a)| {
-                constraint
-                    .get(&a)
-                    .is_none_or(|&(lo, hi)| key[p] >= lo && key[p] <= hi)
+                constraint.get(&a).is_none_or(|&(lo, hi)| key[p] >= lo && key[p] <= hi)
             })
         };
         let parent = rooted.parent[node];
         if parent == usize::MAX {
-            // Root: the final mass.
-            let mut mass = 0.0;
+            // Root (processed last: `order` is parent-before-child and we
+            // iterate it in reverse): the final mass.
             for (key, f) in factor.iter() {
-                if !cell_ok(key) {
-                    continue;
+                if cell_ok(key) {
+                    root_mass += folded_weight(f, key, &child_seps, &messages);
                 }
-                let mut w = f;
-                for (ch, pos) in &child_seps {
-                    let sub: Vec<u32> = pos.iter().map(|&p| key[p]).collect();
-                    let msg = messages[*ch].as_ref().expect("child processed");
-                    w *= msg.get(&sub).copied().unwrap_or(0.0);
-                    if w == 0.0 {
-                        break;
-                    }
-                }
-                mass += w;
             }
-            return Ok(mass);
+            continue;
         }
         // Non-root: message over the separator with the parent.
         let parent_sep = tree.cliques()[node].intersection(&tree.cliques()[parent]);
-        let sep_pos: Vec<usize> = parent_sep
-            .iter()
-            .map(|a| attrs.position(a).expect("separator ⊆ clique"))
-            .collect();
+        let sep_pos = positions_of(&attrs, &parent_sep)?;
         // Unrestricted separator marginal of this clique (the divisor).
         let mut sep_marginal: FxHashMap<Vec<u32>, f64> = FxHashMap::default();
         for (key, f) in factor.iter() {
@@ -471,15 +446,8 @@ pub fn exact_box_mass(
             if !cell_ok(key) {
                 continue;
             }
-            let mut w = f;
-            for (ch, pos) in &child_seps {
-                let sub: Vec<u32> = pos.iter().map(|&p| key[p]).collect();
-                let msg = messages[*ch].as_ref().expect("child processed");
-                w *= msg.get(&sub).copied().unwrap_or(0.0);
-                if w == 0.0 {
-                    break;
-                }
-            }
+            let w = folded_weight(f, key, &child_seps, &messages);
+            // lint:allow-next-line(float-cmp): skip exact-zero cells, not a tolerance test
             if w != 0.0 {
                 let sub: Vec<u32> = sep_pos.iter().map(|&p| key[p]).collect();
                 *out.entry(sub).or_insert(0.0) += w;
@@ -495,7 +463,45 @@ pub fn exact_box_mass(
         }
         messages[node] = Some(out);
     }
-    unreachable!("root is always processed last")
+    Ok(root_mass)
+}
+
+/// Positions of each of `sep`'s attributes within `attrs`.
+///
+/// # Errors
+///
+/// Errors if a separator attribute is missing from the clique factor —
+/// the factor/tree pairing handed in is inconsistent.
+fn positions_of(attrs: &AttrSet, sep: &AttrSet) -> Result<Vec<usize>, SynopsisError> {
+    sep.iter()
+        .map(|a| {
+            attrs.position(a).ok_or_else(|| SynopsisError::Budget {
+                reason: format!("separator attribute {a} missing from clique factor"),
+            })
+        })
+        .collect()
+}
+
+/// Folds child messages into a clique cell's weight. A missing message
+/// (impossible under the parent-before-child evaluation order) contributes
+/// zero mass rather than aborting.
+fn folded_weight(
+    base: f64,
+    key: &[u32],
+    child_seps: &[(usize, Vec<usize>)],
+    messages: &[Option<dbhist_distribution::fxhash::FxHashMap<Vec<u32>, f64>>],
+) -> f64 {
+    let mut w = base;
+    for (ch, pos) in child_seps {
+        let sub: Vec<u32> = pos.iter().map(|&p| key[p]).collect();
+        let msg = messages.get(*ch).and_then(Option::as_ref);
+        w *= msg.map_or(0.0, |m| m.get(&sub).copied().unwrap_or(0.0));
+        // lint:allow-next-line(float-cmp): exact multiplicative zero short-circuit
+        if w == 0.0 {
+            break;
+        }
+    }
+    w
 }
 
 /// The naive strategy (paper §3.3.1): multiply out the *entire* junction
@@ -541,14 +547,7 @@ mod tests {
 
     /// 5 attributes with chain dependencies 0-1, 1-2, plus pair 3-4.
     fn relation() -> Relation {
-        let schema = Schema::new(vec![
-            ("a", 4),
-            ("b", 4),
-            ("c", 4),
-            ("d", 3),
-            ("e", 3),
-        ])
-        .unwrap();
+        let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 4), ("d", 3), ("e", 3)]).unwrap();
         let mut rows = Vec::new();
         let mut state = 12345u64;
         let mut next = || {
@@ -575,10 +574,7 @@ mod tests {
     }
 
     fn exact_factors(rel: &Relation, m: &DecomposableModel) -> Vec<ExactFactor> {
-        m.cliques()
-            .iter()
-            .map(|c| ExactFactor(rel.marginal(c).unwrap()))
-            .collect()
+        m.cliques().iter().map(|c| ExactFactor(rel.marginal(c).unwrap())).collect()
     }
 
     #[test]
@@ -587,8 +583,7 @@ mod tests {
         let m = model(&rel);
         let factors = exact_factors(&rel, &m);
         let target = AttrSet::from_ids([0, 1]);
-        let (f, stats) =
-            compute_marginal_with_stats(m.junction_tree(), &factors, &target).unwrap();
+        let (f, stats) = compute_marginal_with_stats(m.junction_tree(), &factors, &target).unwrap();
         let truth = rel.marginal(&target).unwrap();
         for (k, v) in truth.iter() {
             assert!((f.0.frequency(k) - v).abs() < 1e-9);

@@ -132,7 +132,13 @@ impl<F: Factor> DbHistogram<F> {
 
 impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
     fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
+        // The trait signature is infallible; a failure here means the
+        // synopsis is structurally corrupt, and aborting beats silently
+        // returning garbage estimates. Fallible callers should prefer
+        // `try_estimate`.
+        #[allow(clippy::expect_used)]
         self.try_estimate(ranges)
+            // lint:allow-next-line(no-panic): infallible trait contract; corrupt synopsis must not yield silent garbage
             .expect("DB-histogram estimation failed on a structurally valid synopsis")
     }
 
@@ -159,8 +165,7 @@ where
 {
     config.selection.validate()?;
     let selection = ForwardSelector::new(relation, config.selection).run();
-    let synopsis =
-        build_for_model(relation, selection.model.clone(), config, start)?;
+    let synopsis = build_for_model(relation, selection.model.clone(), config, start)?;
     Ok((synopsis, selection))
 }
 
@@ -191,10 +196,8 @@ where
             // Measuring the error curves drives the builders to
             // saturation; fresh builders are created below for the
             // actual allocation.
-            let curves: Vec<_> = builders
-                .iter_mut()
-                .map(|b| error_curve(b, config.budget_bytes))
-                .collect();
+            let curves: Vec<_> =
+                builders.iter_mut().map(|b| error_curve(b, config.budget_bytes)).collect();
             builders = model
                 .cliques()
                 .iter()
@@ -302,10 +305,7 @@ impl DbHistogram<ExactFactor> {
             .collect::<Result<_, _>>()?;
         // Storage accounting for exact marginals: 4 bytes per stored value
         // plus 4 per frequency (informational only; Fig. 6 ignores space).
-        let bytes = factors
-            .iter()
-            .map(|f| f.0.support_size() * 4 * (f.0.attrs().len() + 1))
-            .sum();
+        let bytes = factors.iter().map(|f| f.0.support_size() * 4 * (f.0.attrs().len() + 1)).sum();
         Ok(DbHistogram { model, factors, bytes, name: "DB-exact".into() })
     }
 }
@@ -317,11 +317,8 @@ mod tests {
 
     /// a == b (8 values), c independent; N = 4096.
     fn relation() -> Relation {
-        let schema =
-            dbhist_distribution::Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..4096u32)
-            .map(|i| vec![i % 8, i % 8, (i / 8) % 4])
-            .collect();
+        let schema = dbhist_distribution::Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..4096u32).map(|i| vec![i % 8, i % 8, (i / 8) % 4]).collect();
         Relation::from_rows(schema, rows).unwrap()
     }
 
@@ -347,10 +344,7 @@ mod tests {
         let est = db.estimate(&[(0, 0, 3), (1, 0, 3)]);
         let exact = rel.count_range(&[(0, 0, 3), (1, 0, 3)]) as f64;
         assert!(exact > 0.0);
-        assert!(
-            (est - exact).abs() / exact < 0.6,
-            "est {est} vs exact {exact}"
-        );
+        assert!((est - exact).abs() / exact < 0.6, "est {est} vs exact {exact}");
         // Cross-clique query (a with c) goes through the junction tree.
         let est = db.estimate(&[(0, 0, 3), (2, 1, 1)]);
         let exact = rel.count_range(&[(0, 0, 3), (2, 1, 1)]) as f64;
@@ -405,10 +399,7 @@ mod tests {
         ] {
             let est = db.estimate(&ranges);
             let exact = rel.count_range(&ranges) as f64;
-            assert!(
-                (est - exact).abs() < 1e-6 * (1.0 + exact),
-                "{ranges:?}: {est} vs {exact}"
-            );
+            assert!((est - exact).abs() < 1e-6 * (1.0 + exact), "{ranges:?}: {est} vs {exact}");
         }
     }
 
@@ -436,9 +427,8 @@ mod tests {
     #[test]
     fn bigger_budget_no_worse_on_average() {
         let rel = relation();
-        let queries: Vec<Vec<(u16, u32, u32)>> = (0..16)
-            .map(|i| vec![(0u16, i % 8, i % 8), (2, i % 4, i % 4)])
-            .collect();
+        let queries: Vec<Vec<(u16, u32, u32)>> =
+            (0..16).map(|i| vec![(0u16, i % 8, i % 8), (2, i % 4, i % 4)]).collect();
         let mut errors = Vec::new();
         for budget in [200usize, 800] {
             let db = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();

@@ -146,9 +146,12 @@ impl IncrementalBuilder for WaveletCliqueBuilder {
         }
         let syn = inner.finish();
         let coefficients = syn.coefficient_count();
-        let reconstruction = syn
-            .reconstruct(&self.schema)
-            .expect("reconstruction over the synopsis attrs is valid");
+        // `finish` is infallible by the builder contract, and the synopsis
+        // was built from `self.schema` moments ago — a failure here is a
+        // broken builder, not a recoverable condition.
+        #[allow(clippy::expect_used)]
+        let reconstruction =
+            syn.reconstruct(&self.schema).expect("reconstruction over the synopsis attrs is valid"); // lint:allow(no-panic): infallible builder contract over its own schema
         WaveletFactor { reconstruction: ExactFactor(reconstruction), coefficients }
     }
 }
@@ -160,9 +163,7 @@ mod tests {
 
     fn dist() -> Distribution {
         let schema = Schema::new(vec![("x", 8), ("y", 8)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..640u32)
-            .map(|i| vec![(i * i) % 8, (i / 3) % 8])
-            .collect();
+        let rows: Vec<Vec<u32>> = (0..640u32).map(|i| vec![(i * i) % 8, (i / 3) % 8]).collect();
         Relation::from_rows(schema, rows).unwrap().distribution()
     }
 

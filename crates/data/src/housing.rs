@@ -41,6 +41,7 @@ pub mod attrs {
 
 /// Schema of the housing data set.
 #[must_use]
+#[allow(clippy::expect_used)]
 pub fn schema() -> Schema {
     Schema::new(vec![
         ("longitude", 50),
@@ -53,7 +54,7 @@ pub fn schema() -> Schema {
         ("income", 64),
         ("value", 64),
     ])
-    .expect("static schema is valid")
+    .expect("static schema is valid") // lint:allow(no-panic): compile-time literal schema
 }
 
 /// Metro-area cluster centers as (longitude, latitude, affluence) with
@@ -72,6 +73,7 @@ fn clamp(v: i64, hi: u32) -> u32 {
 
 /// Generates the housing data set with `rows` districts.
 #[must_use]
+#[allow(clippy::expect_used)]
 pub fn california_housing_with(rows: usize, seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = schema();
@@ -114,12 +116,10 @@ pub fn california_housing_with(rows: usize, seed: u64) -> Relation {
             let urban = f64::from(50 - lon.abs_diff(20).min(30)) / 50.0;
             let age = clamp((urban * 40.0 + rng.gen_range(0.0f64..20.0)) as i64, 52);
 
-            vec![
-                lon, lat, age, rooms, bedrooms, population, households, income, value,
-            ]
+            vec![lon, lat, age, rooms, bedrooms, population, households, income, value]
         })
         .collect();
-    Relation::from_rows(schema, data).expect("generator respects the schema")
+    Relation::from_rows(schema, data).expect("generator respects the schema") // lint:allow(no-panic): clamp() keeps every generated value in-domain
 }
 
 /// Generates the housing data set at its original size (20,640 rows).

@@ -78,10 +78,8 @@ impl Workload {
         while queries.len() < config.queries && attempts < max_attempts {
             attempts += 1;
             // Choose k distinct attributes and a random range per attribute.
-            let chosen: Vec<AttrId> = attrs
-                .choose_multiple(&mut rng, config.dimensionality)
-                .copied()
-                .collect();
+            let chosen: Vec<AttrId> =
+                attrs.choose_multiple(&mut rng, config.dimensionality).copied().collect();
             let ranges: Vec<(AttrId, u32, u32)> = chosen
                 .iter()
                 .map(|&a| {
@@ -119,9 +117,8 @@ mod tests {
 
     fn relation() -> Relation {
         let schema = Schema::new(vec![("a", 16), ("b", 16), ("c", 8)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..20_000u32)
-            .map(|i| vec![(i * 7) % 16, (i * 3) % 16, i % 8])
-            .collect();
+        let rows: Vec<Vec<u32>> =
+            (0..20_000u32).map(|i| vec![(i * 7) % 16, (i * 3) % 16, i % 8]).collect();
         Relation::from_rows(schema, rows).unwrap()
     }
 
@@ -164,12 +161,7 @@ mod tests {
     #[test]
     fn impossible_filter_terminates() {
         let rel = relation();
-        let cfg = WorkloadConfig {
-            dimensionality: 3,
-            queries: 10,
-            min_count: 10_000_000,
-            seed: 2,
-        };
+        let cfg = WorkloadConfig { dimensionality: 3, queries: 10, min_count: 10_000_000, seed: 2 };
         let w = Workload::generate(&rel, cfg);
         assert!(w.is_empty());
     }

@@ -78,9 +78,7 @@ impl Schema {
     ///
     /// Returns [`DistributionError::UnknownAttr`] for out-of-range ids.
     pub fn attr(&self, id: AttrId) -> Result<&Attr, DistributionError> {
-        self.attrs
-            .get(usize::from(id))
-            .ok_or(DistributionError::UnknownAttr { attr: id })
+        self.attrs.get(usize::from(id)).ok_or(DistributionError::UnknownAttr { attr: id })
     }
 
     /// Domain size of attribute `id`, panicking on out-of-range ids.
@@ -94,10 +92,7 @@ impl Schema {
 
     /// Iterates over `(id, attr)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attr)> {
-        self.attrs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (i as AttrId, a))
+        self.attrs.iter().enumerate().map(|(i, a)| (i as AttrId, a))
     }
 
     /// The set of all attribute ids `{0, ..., n-1}`.
@@ -116,10 +111,7 @@ impl Schema {
     /// dense contingency table over that subset. Saturates at `u64::MAX`.
     #[must_use]
     pub fn state_space(&self, attrs: &AttrSet) -> u64 {
-        attrs
-            .iter()
-            .map(|a| u64::from(self.domain_size(a)))
-            .fold(1u64, u64::saturating_mul)
+        attrs.iter().map(|a| u64::from(self.domain_size(a))).fold(1u64, u64::saturating_mul)
     }
 }
 

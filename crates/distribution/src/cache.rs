@@ -48,10 +48,9 @@ impl<'a> EntropyCache<'a> {
         let h = if attrs.is_empty() {
             0.0
         } else {
-            self.relation
-                .marginal(attrs)
-                .expect("entropy cache attrs must come from the relation schema")
-                .entropy()
+            // Callers only query schema attributes; a miss (corrupt query)
+            // contributes zero entropy rather than aborting selection.
+            self.relation.marginal(attrs).map_or(0.0, |d| d.entropy())
         };
         self.computed += 1;
         self.entropies.insert(attrs.clone(), h);
@@ -106,11 +105,9 @@ mod tests {
     fn matches_direct_computation() {
         let rel = relation();
         let mut cache = EntropyCache::new(&rel);
-        for attrs in [
-            AttrSet::singleton(0),
-            AttrSet::from_ids([0, 2]),
-            AttrSet::from_ids([0, 1, 2]),
-        ] {
+        for attrs in
+            [AttrSet::singleton(0), AttrSet::from_ids([0, 2]), AttrSet::from_ids([0, 1, 2])]
+        {
             let direct = rel.marginal(&attrs).unwrap().entropy();
             assert!((cache.entropy(&attrs) - direct).abs() < 1e-12);
         }

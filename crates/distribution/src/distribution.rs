@@ -55,7 +55,45 @@ impl Distribution {
             }
             dist.add(&key, 1.0);
         }
+        #[cfg(debug_assertions)]
+        if let Err(violation) = dist.validate() {
+            panic!("distribution invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+        }
         Ok(dist)
+    }
+
+    /// Structural invariant check (see DESIGN.md, "Invariants & lint
+    /// policy"): every cell key must match the attribute arity, every
+    /// frequency must be finite and non-negative, and the cached total
+    /// must equal the cell sum. Run automatically after construction from
+    /// a relation and after projection in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let arity = self.attrs.len();
+        let mut sum = 0.0f64;
+        for (key, f) in &self.cells {
+            if key.len() != arity {
+                return Err(format!(
+                    "cell key of arity {} in a {arity}-ary distribution",
+                    key.len()
+                ));
+            }
+            if !f.is_finite() || *f < 0.0 {
+                return Err(format!("non-finite or negative frequency {f}"));
+            }
+            sum += f;
+        }
+        let drift = (sum - self.total).abs();
+        if drift > 1e-6 * (1.0 + self.total.abs()) {
+            return Err(format!(
+                "cached total {} drifts from cell sum {sum} by {drift}",
+                self.total
+            ));
+        }
+        Ok(())
     }
 
     /// Adds `weight` to the cell at `key` (which must follow the ascending
@@ -118,17 +156,13 @@ impl Distribution {
     /// Returns [`DistributionError::NotASubset`] if `attrs` is not a subset
     /// of this distribution's attributes.
     pub fn marginal(&self, attrs: &AttrSet) -> Result<Distribution, DistributionError> {
-        if !attrs.is_subset(&self.attrs) {
-            let missing = attrs
-                .iter()
-                .find(|&a| !self.attrs.contains(a))
-                .expect("non-subset has a missing attribute");
-            return Err(DistributionError::NotASubset { missing });
+        let mut positions: Vec<usize> = Vec::with_capacity(attrs.len());
+        for a in attrs.iter() {
+            let Some(p) = self.attrs.position(a) else {
+                return Err(DistributionError::NotASubset { missing: a });
+            };
+            positions.push(p);
         }
-        let positions: Vec<usize> = attrs
-            .iter()
-            .map(|a| self.attrs.position(a).expect("subset attr present"))
-            .collect();
         let mut out = Self::empty(self.schema.clone(), attrs.clone())?;
         let mut key: Vec<u32> = vec![0; positions.len()];
         for (cell, &f) in &self.cells {
@@ -136,6 +170,17 @@ impl Distribution {
                 *k = cell[p];
             }
             out.add(&key, f);
+        }
+        #[cfg(debug_assertions)]
+        {
+            if let Err(violation) = out.validate() {
+                panic!("distribution invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+            }
+            let drift = (out.total() - self.total()).abs();
+            assert!(
+                drift <= 1e-6 * (1.0 + self.total().abs()),
+                "projection must preserve mass; drifted by {drift}"
+            );
         }
         Ok(out)
     }
@@ -184,10 +229,11 @@ impl Distribution {
     /// Panics if `attr` is not in [`Distribution::attrs`].
     #[must_use]
     pub fn values_along(&self, attr: AttrId) -> Vec<(u32, f64)> {
+        #[allow(clippy::expect_used)]
         let p = self
             .attrs
             .position(attr)
-            .expect("values_along: attribute must belong to the distribution");
+            .expect("values_along: attribute must belong to the distribution"); // lint:allow(no-panic): documented panic contract of values_along
         let mut agg: FxHashMap<u32, f64> = FxHashMap::default();
         for (k, &f) in &self.cells {
             *agg.entry(k[p]).or_insert(0.0) += f;
@@ -252,10 +298,7 @@ mod tests {
     #[test]
     fn marginal_consistency_direct_vs_projected() {
         let rel = diagonal_relation();
-        let via_joint = rel
-            .distribution()
-            .marginal(&AttrSet::from_ids([0, 2]))
-            .unwrap();
+        let via_joint = rel.distribution().marginal(&AttrSet::from_ids([0, 2])).unwrap();
         let direct = rel.marginal(&AttrSet::from_ids([0, 2])).unwrap();
         assert_eq!(via_joint.support_size(), direct.support_size());
         for (k, f) in direct.iter() {

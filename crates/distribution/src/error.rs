@@ -50,15 +50,13 @@ impl fmt::Display for DistributionError {
             Self::ArityMismatch { expected, actual } => {
                 write!(f, "row arity {actual} does not match schema arity {expected}")
             }
-            Self::ValueOutOfDomain { attr, value, domain_size } => write!(
-                f,
-                "value {value} of attribute {attr} outside domain 0..{domain_size}"
-            ),
+            Self::ValueOutOfDomain { attr, value, domain_size } => {
+                write!(f, "value {value} of attribute {attr} outside domain 0..{domain_size}")
+            }
             Self::UnknownAttr { attr } => write!(f, "attribute {attr} not in schema"),
-            Self::NotASubset { missing } => write!(
-                f,
-                "projection attributes are not a subset (attribute {missing} missing)"
-            ),
+            Self::NotASubset { missing } => {
+                write!(f, "projection attributes are not a subset (attribute {missing} missing)")
+            }
         }
     }
 }

@@ -35,7 +35,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            // chunks_exact(8) guarantees the width; zero is the (dead)
+            // fallback arm, not a reachable hash input.
+            let word = u64::from_le_bytes(chunk.try_into().unwrap_or([0u8; 8]));
             self.add_to_hash(word);
         }
         let rest = chunks.remainder();

@@ -91,8 +91,9 @@ impl Relation {
     /// (paper §2.1: the `n`-dimensional contingency table of `R`).
     #[must_use]
     pub fn distribution(&self) -> Distribution {
+        #[allow(clippy::expect_used)]
         Distribution::from_relation(self, &self.schema.all_attrs())
-            .expect("all_attrs is a valid subset")
+            .expect("all_attrs is a valid subset") // lint:allow(no-panic): all_attrs ⊆ schema attrs by construction
     }
 
     /// Builds the marginal frequency distribution over `attrs` directly
@@ -114,12 +115,10 @@ impl Relation {
     pub fn count_range(&self, ranges: &[(AttrId, u32, u32)]) -> u64 {
         self.rows()
             .filter(|row| {
-                ranges
-                    .iter()
-                    .all(|&(a, lo, hi)| {
-                        let v = row[usize::from(a)];
-                        v >= lo && v <= hi
-                    })
+                ranges.iter().all(|&(a, lo, hi)| {
+                    let v = row[usize::from(a)];
+                    v >= lo && v <= hi
+                })
             })
             .count() as u64
     }
@@ -179,13 +178,7 @@ mod tests {
     #[test]
     fn count_range_ground_truth() {
         let s = schema3();
-        let rows = vec![
-            vec![0, 0, 0],
-            vec![1, 1, 1],
-            vec![2, 2, 2],
-            vec![3, 2, 4],
-            vec![1, 0, 3],
-        ];
+        let rows = vec![vec![0, 0, 0], vec![1, 1, 1], vec![2, 2, 2], vec![3, 2, 4], vec![1, 0, 3]];
         let r = Relation::from_rows(s, rows).unwrap();
         assert_eq!(r.count_range(&[]), 5);
         assert_eq!(r.count_range(&[(0, 1, 2)]), 3);
@@ -205,16 +198,10 @@ mod tests {
         assert_eq!(r.sample(1000, 42).row_count(), 100);
         // Deterministic under the same seed.
         let sm2 = r.sample(10, 42);
-        assert_eq!(
-            sm.rows().collect::<Vec<_>>(),
-            sm2.rows().collect::<Vec<_>>()
-        );
+        assert_eq!(sm.rows().collect::<Vec<_>>(), sm2.rows().collect::<Vec<_>>());
         // Different seed gives a different draw (overwhelmingly likely).
         let sm3 = r.sample(10, 43);
-        assert_ne!(
-            sm.rows().collect::<Vec<_>>(),
-            sm3.rows().collect::<Vec<_>>()
-        );
+        assert_ne!(sm.rows().collect::<Vec<_>>(), sm3.rows().collect::<Vec<_>>());
     }
 
     #[test]

@@ -69,10 +69,7 @@ impl BoundingBox {
     /// Number of integer points in the box (`Π (hi − lo + 1)`), saturating.
     #[must_use]
     pub fn volume(&self) -> u64 {
-        self.ranges
-            .iter()
-            .map(|&(lo, hi)| u64::from(hi - lo) + 1)
-            .fold(1u64, u64::saturating_mul)
+        self.ranges.iter().map(|&(lo, hi)| u64::from(hi - lo) + 1).fold(1u64, u64::saturating_mul)
     }
 
     /// Volume restricted to the attributes in `sub` (unconstrained
@@ -91,10 +88,7 @@ impl BoundingBox {
     #[must_use]
     pub fn contains_point(&self, point: &[u32]) -> bool {
         debug_assert_eq!(point.len(), self.ranges.len());
-        point
-            .iter()
-            .zip(&self.ranges)
-            .all(|(&v, &(lo, hi))| v >= lo && v <= hi)
+        point.iter().zip(&self.ranges).all(|(&v, &(lo, hi))| v >= lo && v <= hi)
     }
 
     /// `true` if `other`'s ranges (over *shared* attributes) contain this

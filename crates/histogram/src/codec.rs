@@ -58,38 +58,64 @@ pub fn one_dim_bytes(buckets: usize) -> usize {
 /// leaves; `1` tag + `u8` dimension index + `u32` split value for internal
 /// nodes). The node stream is exactly the `9b − 5` bytes of the paper's
 /// accounting (plus one tag byte per node for self-description).
-#[must_use]
-pub fn encode_split_tree(tree: &SplitTree) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`HistogramError::Codec`] if the tree does not fit the wire
+/// format (arity beyond `u16`, more than 256 split dimensions, or a
+/// malformed arena).
+pub fn encode_split_tree(tree: &SplitTree) -> Result<Vec<u8>, HistogramError> {
     let mut out = Vec::new();
     let attrs: Vec<AttrId> = tree.attrs().iter().collect();
-    out.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
+    let arity = u16::try_from(attrs.len()).map_err(|_| HistogramError::Codec {
+        reason: "attribute count exceeds the u16 wire header".into(),
+    })?;
+    out.extend_from_slice(&arity.to_le_bytes());
     for (a, &(lo, hi)) in attrs.iter().zip(tree.domain().ranges()) {
         out.extend_from_slice(&a.to_le_bytes());
         out.extend_from_slice(&lo.to_le_bytes());
         out.extend_from_slice(&hi.to_le_bytes());
     }
-    encode_node(tree, 0, &attrs, &mut out);
-    out
+    encode_nodes(tree, &attrs, &mut out)?;
+    Ok(out)
 }
 
-fn encode_node(tree: &SplitTree, node: NodeId, attrs: &[AttrId], out: &mut Vec<u8>) {
-    match &tree.nodes()[node as usize] {
-        Node::Leaf { freq } => {
-            out.push(0);
-            out.extend_from_slice(&(*freq as f32).to_le_bytes());
-        }
-        Node::Internal { attr, split, left, right } => {
-            out.push(1);
-            let dim = attrs
-                .iter()
-                .position(|a| a == attr)
-                .expect("split attr in header") as u8;
-            out.push(dim);
-            out.extend_from_slice(&split.to_le_bytes());
-            encode_node(tree, *left, attrs, out);
-            encode_node(tree, *right, attrs, out);
+/// Emits the pre-order node stream with an explicit worklist — like the
+/// decoder, the encoder must not recurse over arbitrarily deep trees.
+fn encode_nodes(
+    tree: &SplitTree,
+    attrs: &[AttrId],
+    out: &mut Vec<u8>,
+) -> Result<(), HistogramError> {
+    let mut stack: Vec<NodeId> = vec![0];
+    while let Some(id) = stack.pop() {
+        match tree.nodes().get(id as usize) {
+            Some(Node::Leaf { freq }) => {
+                out.push(0);
+                out.extend_from_slice(&(*freq as f32).to_le_bytes());
+            }
+            Some(Node::Internal { attr, split, left, right }) => {
+                out.push(1);
+                let pos =
+                    attrs.iter().position(|a| a == attr).ok_or_else(|| HistogramError::Codec {
+                        reason: "split attribute missing from the header".into(),
+                    })?;
+                let dim = u8::try_from(pos).map_err(|_| HistogramError::Codec {
+                    reason: "dimension index exceeds the u8 wire tag".into(),
+                })?;
+                out.push(dim);
+                out.extend_from_slice(&split.to_le_bytes());
+                stack.push(*right);
+                stack.push(*left);
+            }
+            None => {
+                return Err(HistogramError::Codec {
+                    reason: "node id out of range in the arena".into(),
+                });
+            }
         }
     }
+    Ok(())
 }
 
 /// Deserializes a split tree produced by [`encode_split_tree`].
@@ -99,7 +125,15 @@ fn encode_node(tree: &SplitTree, node: NodeId, attrs: &[AttrId], out: &mut Vec<u
 /// Returns [`HistogramError::Codec`] for truncated or malformed input.
 pub fn decode_split_tree(bytes: &[u8]) -> Result<SplitTree, HistogramError> {
     let mut cursor = Cursor { bytes, pos: 0 };
-    let n = cursor.u16()? as usize;
+    let n = usize::from(cursor.u16()?);
+    if n == 0 {
+        return Err(HistogramError::Codec { reason: "zero-attribute header".into() });
+    }
+    // Each header entry costs 10 bytes; an oversized count cannot be valid
+    // and must not drive a large allocation.
+    if bytes.len().saturating_sub(cursor.pos) / 10 < n {
+        return Err(HistogramError::Codec { reason: "attribute count exceeds buffer".into() });
+    }
     let mut attrs = Vec::with_capacity(n);
     let mut ranges = Vec::with_capacity(n);
     for _ in 0..n {
@@ -116,18 +150,15 @@ pub fn decode_split_tree(bytes: &[u8]) -> Result<SplitTree, HistogramError> {
         return Err(HistogramError::Codec { reason: "duplicate attributes in header".into() });
     }
     // Ranges must be re-ordered to the canonical ascending attr order.
-    let mut ordered: Vec<(AttrId, (u32, u32))> =
-        attrs.iter().copied().zip(ranges).collect();
+    let mut ordered: Vec<(AttrId, (u32, u32))> = attrs.iter().copied().zip(ranges).collect();
     ordered.sort_unstable_by_key(|&(a, _)| a);
     let domain = BoundingBox::new(attr_set.clone(), ordered.iter().map(|&(_, r)| r).collect());
-    let mut nodes = Vec::new();
-    decode_node(&mut cursor, &attrs, &mut nodes, 0)?;
+    let nodes = decode_nodes(&mut cursor, &attrs)?;
     if cursor.pos != bytes.len() {
         return Err(HistogramError::Codec { reason: "trailing bytes".into() });
     }
     let tree = SplitTree::from_parts_unvalidated(attr_set, domain, nodes);
-    tree.validate()
-        .map_err(|reason| HistogramError::Codec { reason })?;
+    tree.validate().map_err(|reason| HistogramError::Codec { reason })?;
     Ok(tree)
 }
 
@@ -151,53 +182,91 @@ impl Cursor<'_> {
     }
 
     fn u16(&mut self) -> Result<u16, HistogramError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        let raw: [u8; 2] = self
+            .take(2)?
+            .try_into()
+            .map_err(|_| HistogramError::Codec { reason: "truncated input".into() })?;
+        Ok(u16::from_le_bytes(raw))
     }
 
     fn u32(&mut self) -> Result<u32, HistogramError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let raw: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| HistogramError::Codec { reason: "truncated input".into() })?;
+        Ok(u32::from_le_bytes(raw))
     }
 
     fn f32(&mut self) -> Result<f32, HistogramError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let raw: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| HistogramError::Codec { reason: "truncated input".into() })?;
+        Ok(f32::from_le_bytes(raw))
     }
 }
 
-/// Recursion guard: no legitimate synopsis nests buckets this deep, and
-/// adversarial inputs must not exhaust the stack.
-const MAX_DECODE_DEPTH: usize = 4096;
+/// Which child slot of which arena index a decoded node must be patched
+/// into.
+enum Slot {
+    Root,
+    Left(usize),
+    Right(usize),
+}
 
-fn decode_node(
-    cursor: &mut Cursor<'_>,
-    attrs: &[AttrId],
-    nodes: &mut Vec<Node>,
-    depth: usize,
-) -> Result<NodeId, HistogramError> {
-    if depth > MAX_DECODE_DEPTH {
-        return Err(HistogramError::Codec { reason: "tree nesting too deep".into() });
-    }
-    match cursor.u8()? {
-        0 => {
-            let freq = f64::from(cursor.f32()?);
-            let id = nodes.len() as NodeId;
-            nodes.push(Node::Leaf { freq });
-            Ok(id)
+/// Decodes the pre-order node stream with an explicit worklist.
+///
+/// The walk is deliberately non-recursive: the wire format is
+/// attacker-controlled, and a recursive descent bounded only by a depth
+/// constant either rejects legitimately deep trees or risks exhausting the
+/// stack (the depth that fits depends on build profile and thread stack
+/// size). With an explicit stack, depth is bounded by
+/// [`crate::mhist::MAX_TREE_DEPTH`] as a *format* limit enforced by
+/// [`SplitTree::validate`] after decoding, and decoding itself is safe at
+/// any nesting. Node count needs no separate cap: every node consumes at
+/// least 5 input bytes, so the arena is bounded by the buffer length.
+fn decode_nodes(cursor: &mut Cursor<'_>, attrs: &[AttrId]) -> Result<Vec<Node>, HistogramError> {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut pending: Vec<Slot> = vec![Slot::Root];
+    while let Some(slot) = pending.pop() {
+        let idx = nodes.len();
+        let id = NodeId::try_from(idx)
+            .map_err(|_| HistogramError::Codec { reason: "node arena overflow".into() })?;
+        match cursor.u8()? {
+            0 => {
+                let freq = f64::from(cursor.f32()?);
+                nodes.push(Node::Leaf { freq });
+            }
+            1 => {
+                let dim = usize::from(cursor.u8()?);
+                let attr = *attrs
+                    .get(dim)
+                    .ok_or_else(|| HistogramError::Codec { reason: "bad dimension tag".into() })?;
+                let split = cursor.u32()?;
+                // Children are patched in as they stream past: the left
+                // subtree comes first in pre-order, so its slot is pushed
+                // last.
+                nodes.push(Node::Internal { attr, split, left: 0, right: 0 });
+                pending.push(Slot::Right(idx));
+                pending.push(Slot::Left(idx));
+            }
+            tag => return Err(HistogramError::Codec { reason: format!("unknown node tag {tag}") }),
         }
-        1 => {
-            let dim = cursor.u8()? as usize;
-            let attr = *attrs
-                .get(dim)
-                .ok_or_else(|| HistogramError::Codec { reason: "bad dimension tag".into() })?;
-            let split = cursor.u32()?;
-            let id = nodes.len() as NodeId;
-            nodes.push(Node::Leaf { freq: 0.0 }); // placeholder
-            let left = decode_node(cursor, attrs, nodes, depth + 1)?;
-            let right = decode_node(cursor, attrs, nodes, depth + 1)?;
-            nodes[id as usize] = Node::Internal { attr, split, left, right };
-            Ok(id)
+        match slot {
+            Slot::Root => {}
+            Slot::Left(parent) => {
+                if let Some(Node::Internal { left, .. }) = nodes.get_mut(parent) {
+                    *left = id;
+                }
+            }
+            Slot::Right(parent) => {
+                if let Some(Node::Internal { right, .. }) = nodes.get_mut(parent) {
+                    *right = id;
+                }
+            }
         }
-        tag => Err(HistogramError::Codec { reason: format!("unknown node tag {tag}") }),
     }
+    Ok(nodes)
 }
 
 #[cfg(test)]
@@ -209,9 +278,7 @@ mod tests {
 
     fn sample_tree(buckets: usize) -> SplitTree {
         let schema = Schema::new(vec![("x", 16), ("y", 8)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..512u32)
-            .map(|i| vec![(i * 7) % 16, (i * i) % 8])
-            .collect();
+        let rows: Vec<Vec<u32>> = (0..512u32).map(|i| vec![(i * 7) % 16, (i * i) % 8]).collect();
         let dist = Relation::from_rows(schema, rows).unwrap().distribution();
         MhistBuilder::build(&dist, buckets, SplitCriterion::MaxDiff).unwrap()
     }
@@ -231,7 +298,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_structure() {
         let tree = sample_tree(20);
-        let bytes = encode_split_tree(&tree);
+        let bytes = encode_split_tree(&tree).unwrap();
         let back = decode_split_tree(&bytes).unwrap();
         assert_eq!(back.attrs(), tree.attrs());
         assert_eq!(back.domain(), tree.domain());
@@ -251,7 +318,7 @@ mod tests {
         for buckets in [1usize, 5, 20, 50] {
             let tree = sample_tree(buckets);
             let b = tree.bucket_count();
-            let bytes = encode_split_tree(&tree);
+            let bytes = encode_split_tree(&tree).unwrap();
             let header = 2 + 10 * tree.attrs().len();
             let tags = 2 * b - 1; // one self-description byte per node
             assert_eq!(
@@ -265,7 +332,7 @@ mod tests {
     #[test]
     fn decode_rejects_malformed() {
         let tree = sample_tree(8);
-        let bytes = encode_split_tree(&tree);
+        let bytes = encode_split_tree(&tree).unwrap();
         // Truncation.
         assert!(decode_split_tree(&bytes[..bytes.len() - 3]).is_err());
         // Trailing garbage.

@@ -39,10 +39,7 @@ pub fn best_split(values: &[(u32, f64)], criterion: SplitCriterion) -> Option<Sp
     if values.len() < 2 {
         return None;
     }
-    debug_assert!(
-        values.windows(2).all(|w| w[0].0 < w[1].0),
-        "values must be sorted and distinct"
-    );
+    debug_assert!(values.windows(2).all(|w| w[0].0 < w[1].0), "values must be sorted and distinct");
     match criterion {
         SplitCriterion::MaxDiff => {
             let mut best = SplitChoice { value: values[1].0, score: f64::NEG_INFINITY };
@@ -219,10 +216,7 @@ mod tests {
         // No gaps and a tight box: bounded must agree with the plain split.
         let vals = [(0, 10.0), (1, 11.0), (2, 50.0), (3, 49.0)];
         for criterion in [SplitCriterion::MaxDiff, SplitCriterion::VOptimal] {
-            assert_eq!(
-                best_split_bounded(&vals, 0, 3, criterion),
-                best_split(&vals, criterion)
-            );
+            assert_eq!(best_split_bounded(&vals, 0, 3, criterion), best_split(&vals, criterion));
         }
     }
 

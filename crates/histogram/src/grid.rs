@@ -148,8 +148,8 @@ impl GridHistogram {
         }
         let keep: Vec<usize> = attrs
             .iter()
-            .map(|a| self.attrs.position(a).expect("subset"))
-            .collect();
+            .map(|a| self.attrs.position(a).ok_or(HistogramError::NotASubset { missing: a }))
+            .collect::<Result<_, _>>()?;
         let dims = self.dims();
         let out_dims: Vec<usize> = keep.iter().map(|&p| dims[p]).collect();
         let mut out_freqs = vec![0.0; out_dims.iter().product::<usize>().max(1)];
@@ -217,15 +217,19 @@ impl GridHistogram {
                 }
                 (Some(m), None) => m.clone(),
                 (None, Some(t)) => t.clone(),
-                (None, None) => unreachable!("attr from union"),
+                (None, None) => {
+                    return Err(HistogramError::IncompatibleOperands {
+                        reason: format!("attribute {a} missing from both operand domains"),
+                    })
+                }
             };
             boundaries.push(merged);
-            ranges.push(
-                self.domain
-                    .range(a)
-                    .or_else(|| other.domain.range(a))
-                    .expect("attr from union"),
-            );
+            let Some(range) = self.domain.range(a).or_else(|| other.domain.range(a)) else {
+                return Err(HistogramError::IncompatibleOperands {
+                    reason: format!("attribute {a} has no domain range in either operand"),
+                });
+            };
+            ranges.push(range);
         }
         let separator = if shared.is_empty() { None } else { Some(self.project(&shared)?) };
         let mut out = GridHistogram {
@@ -311,12 +315,9 @@ impl GridBuilder {
                 reason: "grid histograms need a non-empty distribution".into(),
             });
         }
-        let ranges: Vec<(u32, u32)> = attrs
-            .iter()
-            .map(|a| (0, dist.schema().domain_size(a) - 1))
-            .collect();
-        let marginals: Vec<Vec<(u32, f64)>> =
-            attrs.iter().map(|a| dist.values_along(a)).collect();
+        let ranges: Vec<(u32, u32)> =
+            attrs.iter().map(|a| (0, dist.schema().domain_size(a) - 1)).collect();
+        let marginals: Vec<Vec<(u32, f64)>> = attrs.iter().map(|a| dist.values_along(a)).collect();
         Ok(Self {
             domain: BoundingBox::new(attrs.clone(), ranges),
             boundaries: vec![Vec::new(); attrs.len()],
@@ -461,11 +462,8 @@ impl GridBuilder {
             for p in 0..dims.len() {
                 let (dlo, dhi) = self.domain.ranges()[p];
                 let lo = if idx[p] == 0 { dlo } else { boundaries[p][idx[p] - 1] };
-                let hi = if idx[p] == boundaries[p].len() {
-                    dhi
-                } else {
-                    boundaries[p][idx[p]] - 1
-                };
+                let hi =
+                    if idx[p] == boundaries[p].len() { dhi } else { boundaries[p][idx[p]] - 1 };
                 volume *= f64::from(hi - lo) + 1.0;
             }
             // Volume-aware SSE: sum_sq − sum²/V.
@@ -643,9 +641,7 @@ mod tests {
     fn product_shared_dim_merges_boundaries() {
         // Two 2-attr grids sharing attribute 1.
         let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 4)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..256u32)
-            .map(|i| vec![i % 4, i % 4, (i / 4) % 4])
-            .collect();
+        let rows: Vec<Vec<u32>> = (0..256u32).map(|i| vec![i % 4, i % 4, (i / 4) % 4]).collect();
         let rel = Relation::from_rows(schema, rows).unwrap();
         let gab = GridBuilder::build(
             &rel.marginal(&AttrSet::from_ids([0, 1])).unwrap(),

@@ -63,23 +63,13 @@ impl MhistBuilder {
                 reason: "cannot build a histogram over an empty distribution".into(),
             });
         }
-        let ranges: Vec<(u32, u32)> = attrs
-            .iter()
-            .map(|a| (0, dist.schema().domain_size(a) - 1))
-            .collect();
+        let ranges: Vec<(u32, u32)> =
+            attrs.iter().map(|a| (0, dist.schema().domain_size(a) - 1)).collect();
         let domain = BoundingBox::new(attrs.clone(), ranges);
-        let cells: Vec<(Vec<u32>, f64)> =
-            dist.iter().map(|(k, f)| (k.to_vec(), f)).collect();
+        let cells: Vec<(Vec<u32>, f64)> = dist.iter().map(|(k, f)| (k.to_vec(), f)).collect();
         let nodes = vec![Node::Leaf { freq: dist.total() }];
-        let mut bucket = BucketState {
-            cells,
-            bbox: domain.clone(),
-            node: 0,
-            best: None,
-            sse: 0.0,
-        };
-        let mut builder =
-            Self { attrs, domain, criterion, nodes, buckets: Vec::new() };
+        let mut bucket = BucketState { cells, bbox: domain.clone(), node: 0, best: None, sse: 0.0 };
+        let mut builder = Self { attrs, domain, criterion, nodes, buckets: Vec::new() };
         builder.refresh_bucket(&mut bucket);
         builder.buckets.push(bucket);
         Ok(builder)
@@ -112,11 +102,7 @@ impl MhistBuilder {
         let total: f64 = bucket.cells.iter().map(|(_, f)| f).sum();
         let nnz = bucket.cells.len() as f64;
         let mean = total / volume;
-        let nonzero_sse: f64 = bucket
-            .cells
-            .iter()
-            .map(|(_, f)| (f - mean).powi(2))
-            .sum();
+        let nonzero_sse: f64 = bucket.cells.iter().map(|(_, f)| (f - mean).powi(2)).sum();
         bucket.sse = nonzero_sse + (volume - nnz) * mean * mean;
 
         // Best split across dimensions by the partitioning constraint.
@@ -125,11 +111,8 @@ impl MhistBuilder {
             // Aggregate cell frequencies along this dimension.
             let mut agg: Vec<(u32, f64)> = Vec::new();
             {
-                let mut tmp: Vec<(u32, f64)> = bucket
-                    .cells
-                    .iter()
-                    .map(|(k, f)| (k[pos], *f))
-                    .collect();
+                let mut tmp: Vec<(u32, f64)> =
+                    bucket.cells.iter().map(|(k, f)| (k[pos], *f)).collect();
                 tmp.sort_unstable_by_key(|&(v, _)| v);
                 for (v, f) in tmp {
                     match agg.last_mut() {
@@ -138,7 +121,11 @@ impl MhistBuilder {
                     }
                 }
             }
-            let (lo, hi) = bucket.bbox.range(attr).expect("attr covered by box");
+            // Bucket boxes cover every histogram attribute by
+            // construction; skip the dimension if this one is corrupt.
+            let Some((lo, hi)) = bucket.bbox.range(attr) else {
+                continue;
+            };
             if let Some(choice) = best_split_bounded(&agg, lo, hi, self.criterion) {
                 if best.is_none_or(|(_, _, s)| choice.score > s) {
                     best = Some((attr, choice.value, choice.score));
@@ -176,7 +163,7 @@ impl MhistBuilder {
     fn split_bucket(&self, idx: usize) -> Option<(BucketState, BucketState)> {
         let bucket = &self.buckets[idx];
         let (attr, value, _) = bucket.best?;
-        let pos = self.attrs.position(attr).expect("attr covered");
+        let pos = self.attrs.position(attr)?;
         let (mut left_cells, mut right_cells) = (Vec::new(), Vec::new());
         for (k, f) in &bucket.cells {
             if k[pos] < value {
@@ -185,7 +172,7 @@ impl MhistBuilder {
                 right_cells.push((k.clone(), *f));
             }
         }
-        let (lo, hi) = bucket.bbox.range(attr).expect("attr covered");
+        let (lo, hi) = bucket.bbox.range(attr)?;
         let mut lbox = bucket.bbox.clone();
         lbox.clamp(attr, lo, value - 1);
         let mut rbox = bucket.bbox.clone();
@@ -213,17 +200,20 @@ impl MhistBuilder {
         let Some(idx) = self.next_bucket() else {
             return false;
         };
+        let Some((attr, value, _)) = self.buckets[idx].best else {
+            return false;
+        };
         let Some((mut left, mut right)) = self.split_bucket(idx) else {
             return false;
         };
-        let (attr, value, _) = self.buckets[idx].best.expect("next_bucket has a split");
         let leaf = self.buckets[idx].node;
         // The old leaf becomes an internal node with two fresh leaves.
         let left_id = self.nodes.len() as NodeId;
         self.nodes.push(Node::Leaf { freq: 0.0 });
         let right_id = self.nodes.len() as NodeId;
         self.nodes.push(Node::Leaf { freq: 0.0 });
-        self.nodes[leaf as usize] = Node::Internal { attr, split: value, left: left_id, right: right_id };
+        self.nodes[leaf as usize] =
+            Node::Internal { attr, split: value, left: left_id, right: right_id };
         left.node = left_id;
         right.node = right_id;
         self.buckets[idx] = left;
@@ -273,10 +263,7 @@ mod tests {
             for y in 0..8u32 {
                 let exact = f64::from(x + 2 * y + 1);
                 let est = tree.mass_in_box(&[(0, x, x), (1, y, y)]);
-                assert!(
-                    (est - exact).abs() < 1e-9,
-                    "cell ({x},{y}): {est} vs {exact}"
-                );
+                assert!((est - exact).abs() < 1e-9, "cell ({x},{y}): {est} vs {exact}");
             }
         }
     }
@@ -313,9 +300,7 @@ mod tests {
         let dist = grid_relation().distribution();
         assert!(MhistBuilder::build(&dist, 0, SplitCriterion::MaxDiff).is_err());
         let schema = Schema::new(vec![("x", 4)]).unwrap();
-        let empty = Relation::from_rows(schema, Vec::<Vec<u32>>::new())
-            .unwrap()
-            .distribution();
+        let empty = Relation::from_rows(schema, Vec::<Vec<u32>>::new()).unwrap().distribution();
         assert!(MhistBuilder::new(&empty, SplitCriterion::MaxDiff).is_err());
     }
 
@@ -347,9 +332,6 @@ mod tests {
         let dist = Relation::from_rows(schema, rows).unwrap().distribution();
         let tree = MhistBuilder::build(&dist, 8, SplitCriterion::MaxDiff).unwrap();
         let spike = tree.mass_in_box(&[(0, 3, 3), (1, 3, 3)]);
-        assert!(
-            (spike - 501.0).abs() / 501.0 < 0.25,
-            "spike estimate {spike} should be near 501"
-        );
+        assert!((spike - 501.0).abs() / 501.0 < 0.25, "spike estimate {spike} should be near 501");
     }
 }

@@ -110,10 +110,7 @@ impl SplitTree {
     /// Number of buckets (leaves) `b`.
     #[must_use]
     pub fn bucket_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n, Node::Leaf { .. }))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
     }
 
     /// Number of stored numeric values in the split-tree representation:
@@ -142,10 +139,12 @@ impl SplitTree {
         match &self.nodes[node as usize] {
             Node::Leaf { freq } => out.push((bbox, *freq)),
             Node::Internal { attr, split, left, right } => {
-                let (lo, hi) = bbox.range(*attr).expect("split attr within box");
+                // Validated trees cover their split attributes; degrade to
+                // an unclamped walk otherwise (`clamp` tolerates misses).
+                let (lo, hi) = bbox.range(*attr).unwrap_or((0, u32::MAX));
                 debug_assert!(*split > lo && *split <= hi, "split inside box");
                 let mut lbox = bbox.clone();
-                lbox.clamp(*attr, lo, split - 1);
+                lbox.clamp(*attr, lo, split.saturating_sub(1));
                 self.walk_leaves(*left, lbox, out);
                 let mut rbox = bbox;
                 rbox.clamp(*attr, *split, hi);
@@ -202,6 +201,7 @@ impl SplitTree {
     fn mass_rec(&self, node: NodeId, bounds: &mut [(u32, u32)], constraint: &[(u32, u32)]) -> f64 {
         match &self.nodes[node as usize] {
             Node::Leaf { freq } => {
+                // lint:allow-next-line(float-cmp): exact-zero bucket short-circuit
                 if *freq == 0.0 {
                     return 0.0;
                 }
@@ -217,7 +217,11 @@ impl SplitTree {
                 freq * fraction
             }
             Node::Internal { attr, split, left, right } => {
-                let p = self.attrs.position(*attr).expect("split attr covered");
+                // An uncovered split attribute means a corrupt tree;
+                // contribute zero mass rather than abort.
+                let Some(p) = self.attrs.position(*attr) else {
+                    return 0.0;
+                };
                 let (lo, hi) = bounds[p];
                 let (clo, chi) = constraint[p];
                 let mut mass = 0.0;
@@ -251,15 +255,16 @@ impl SplitTree {
     /// outside its domain box.
     pub fn update(&mut self, key: &[u32], delta: f64) -> f64 {
         assert_eq!(key.len(), self.attrs.len(), "key arity mismatch");
-        assert!(
-            self.domain.contains_point(key),
-            "key {key:?} outside histogram domain"
-        );
+        assert!(self.domain.contains_point(key), "key {key:?} outside histogram domain");
         let mut node = 0u32;
         loop {
             match &self.nodes[node as usize] {
                 Node::Internal { attr, split, left, right } => {
-                    let p = self.attrs.position(*attr).expect("split attr covered");
+                    // Corrupt tree (uncovered split attribute): apply
+                    // nothing rather than abort mid-update.
+                    let Some(p) = self.attrs.position(*attr) else {
+                        return 0.0;
+                    };
                     node = if key[p] < *split { *left } else { *right };
                 }
                 Node::Leaf { freq } => {
@@ -273,46 +278,106 @@ impl SplitTree {
         }
     }
 
-    /// Structural validation: every split lies strictly inside its node's
-    /// box (both children non-empty), every leaf frequency is finite and
-    /// non-negative, and child indices are in range. Returns a description
-    /// of the first violation.
+    /// Structural validation (the synopsis integrity contract — see
+    /// DESIGN.md "Invariants & lint policy"):
+    ///
+    /// 1. the arena is a well-formed binary tree rooted at 0: every child
+    ///    index in range, every node reachable from the root exactly once
+    ///    (no sharing, no cycles), and no orphan arena entries;
+    /// 2. leaf/internal counts match (`b` leaves, `b − 1` internal nodes),
+    ///    equivalently the wire payload is exactly
+    ///    [`crate::codec::split_tree_bytes_exact`] bytes;
+    /// 3. every split lies strictly inside its node's box (both children
+    ///    non-empty) over a covered attribute;
+    /// 4. every leaf frequency is finite and non-negative, and the cached
+    ///    total equals the leaf sum;
+    /// 5. the tree is no deeper than [`MAX_TREE_DEPTH`], so recursive
+    ///    queries cannot exhaust the stack.
+    ///
+    /// The walk is iterative: `validate` must diagnose adversarially deep
+    /// trees, not die on them. Returns a description of the first
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes.is_empty() {
             return Err("empty node arena".into());
         }
-        self.validate_rec(0, self.domain.clone())
-    }
-
-    fn validate_rec(&self, node: NodeId, bbox: BoundingBox) -> Result<(), String> {
-        match self.nodes.get(node as usize) {
-            None => Err(format!("node id {node} out of range")),
-            Some(Node::Leaf { freq }) => {
-                if freq.is_finite() && *freq >= 0.0 {
-                    Ok(())
-                } else {
-                    Err(format!("leaf {node} has invalid frequency {freq}"))
-                }
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<(NodeId, BoundingBox, usize)> = vec![(0, self.domain.clone(), 0)];
+        let (mut leaves, mut internals) = (0usize, 0usize);
+        let mut leaf_sum = 0.0f64;
+        while let Some((node, bbox, depth)) = stack.pop() {
+            if depth > MAX_TREE_DEPTH {
+                return Err(format!("tree deeper than {MAX_TREE_DEPTH}"));
             }
-            Some(Node::Internal { attr, split, left, right }) => {
-                let Some((lo, hi)) = bbox.range(*attr) else {
-                    return Err(format!("node {node} splits uncovered attribute {attr}"));
-                };
-                if *split <= lo || *split > hi {
-                    return Err(format!(
-                        "node {node} split {split} outside ({lo}, {hi}]"
-                    ));
+            let idx = node as usize;
+            let Some(n) = self.nodes.get(idx) else {
+                return Err(format!("node id {node} out of range"));
+            };
+            if visited[idx] {
+                return Err(format!("node {node} reachable more than once"));
+            }
+            visited[idx] = true;
+            match n {
+                Node::Leaf { freq } => {
+                    if !freq.is_finite() || *freq < 0.0 {
+                        return Err(format!("leaf {node} has invalid frequency {freq}"));
+                    }
+                    leaves += 1;
+                    leaf_sum += freq;
                 }
-                let mut lbox = bbox.clone();
-                lbox.clamp(*attr, lo, split - 1);
-                self.validate_rec(*left, lbox)?;
-                let mut rbox = bbox;
-                rbox.clamp(*attr, *split, hi);
-                self.validate_rec(*right, rbox)
+                Node::Internal { attr, split, left, right } => {
+                    internals += 1;
+                    let Some((lo, hi)) = bbox.range(*attr) else {
+                        return Err(format!("node {node} splits uncovered attribute {attr}"));
+                    };
+                    if *split <= lo || *split > hi {
+                        return Err(format!("node {node} split {split} outside ({lo}, {hi}]"));
+                    }
+                    let mut lbox = bbox.clone();
+                    lbox.clamp(*attr, lo, split - 1);
+                    let mut rbox = bbox;
+                    rbox.clamp(*attr, *split, hi);
+                    stack.push((*left, lbox, depth + 1));
+                    stack.push((*right, rbox, depth + 1));
+                }
             }
         }
+        if leaves + internals != self.nodes.len() {
+            return Err(format!(
+                "arena has {} orphan nodes unreachable from the root",
+                self.nodes.len() - leaves - internals
+            ));
+        }
+        if leaves != internals + 1 {
+            return Err(format!(
+                "malformed binary tree: {leaves} leaves vs {internals} internal nodes"
+            ));
+        }
+        // Counts pinned above imply the wire payload is exactly the paper's
+        // 9b − 5 bytes; assert the accounting identity explicitly so codec
+        // and validator cannot drift apart.
+        let payload = 4 * leaves + 5 * internals;
+        if payload != crate::codec::split_tree_bytes_exact(leaves) {
+            return Err(format!(
+                "payload accounting drifted: {payload} bytes vs split_tree_bytes_exact"
+            ));
+        }
+        if !(self.total.is_finite() && (self.total - leaf_sum).abs() <= 1e-6 * (1.0 + leaf_sum)) {
+            return Err(format!("cached total {} disagrees with leaf sum {leaf_sum}", self.total));
+        }
+        Ok(())
     }
 }
+
+/// Upper bound on split-tree depth. Legitimate MHIST constructions are far
+/// shallower (depth grows with bucket count, and budgets are byte-bounded);
+/// the cap exists so recursive query walks over decoded trees cannot
+/// exhaust the stack on adversarial input.
+pub const MAX_TREE_DEPTH: usize = 2048;
 
 #[cfg(test)]
 mod tests {

@@ -109,16 +109,17 @@ impl SplitTree {
             }
         }
         let union = self.attrs().union(other.attrs());
-        // Union domain box.
-        let ranges: Vec<(u32, u32)> = union
-            .iter()
-            .map(|a| {
-                self.domain()
-                    .range(a)
-                    .or_else(|| other.domain().range(a))
-                    .expect("attr from union")
-            })
-            .collect();
+        // Union domain box: every union attribute has a range in at least
+        // one operand by construction; a miss means corrupt operands.
+        let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(union.len());
+        for a in union.iter() {
+            let Some(r) = self.domain().range(a).or_else(|| other.domain().range(a)) else {
+                return Err(HistogramError::IncompatibleOperands {
+                    reason: format!("attribute {a} missing from both operand domains"),
+                });
+            };
+            ranges.push(r);
+        }
         let domain = BoundingBox::new(union.clone(), ranges);
 
         // Step 1: initialize with the split tree of `self`.
@@ -129,11 +130,7 @@ impl SplitTree {
         let structure = graft(self, 0, self.domain().clone(), &other_temp, &mut budget);
 
         // Step 6: the separator histogram H(S_ij) = project(H(C_i), S_ij).
-        let separator = if shared.is_empty() {
-            None
-        } else {
-            Some(self.project(&shared)?)
-        };
+        let separator = if shared.is_empty() { None } else { Some(self.project(&shared)?) };
 
         // Steps 7–11: separation-formula frequencies. The operand terms
         // come from the threaded source buckets; the separator term from a
@@ -148,11 +145,11 @@ impl SplitTree {
                     left.freq * leaf_box.volume_over(&self_attrs) as f64 / left.volume,
                     right.freq * leaf_box.volume_over(&other_attrs) as f64 / right.volume,
                 ),
-                ProductLeaf::Coarse => (
-                    self.mass_in_bounding_box(leaf_box),
-                    other.mass_in_bounding_box(leaf_box),
-                ),
+                ProductLeaf::Coarse => {
+                    (self.mass_in_bounding_box(leaf_box), other.mass_in_bounding_box(leaf_box))
+                }
             };
+            // lint:allow-next-line(float-cmp): exact multiplicative zero short-circuit
             if wi_fi == 0.0 || wj_fj == 0.0 {
                 return 0.0;
             }
@@ -170,22 +167,24 @@ impl SplitTree {
     }
 }
 
-/// Restricts `domain` to the attributes in `attrs`.
+/// Restricts `domain` to the attributes in `attrs`. Attributes absent
+/// from `domain` — excluded by the callers' subset checks — are dropped
+/// rather than invented.
 fn sub_box(domain: &BoundingBox, attrs: &AttrSet) -> BoundingBox {
-    let ranges: Vec<(u32, u32)> = attrs
-        .iter()
-        .map(|a| domain.range(a).expect("attrs ⊆ domain attrs"))
-        .collect();
-    BoundingBox::new(attrs.clone(), ranges)
+    let mut kept = AttrSet::empty();
+    let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(attrs.len());
+    for a in attrs.iter() {
+        if let Some(r) = domain.range(a) {
+            kept = kept.with(a);
+            ranges.push(r);
+        }
+    }
+    BoundingBox::new(kept, ranges)
 }
 
 /// `(attr, lo, hi)` constraints of a box.
 fn box_to_ranges(bbox: &BoundingBox) -> Vec<(AttrId, u32, u32)> {
-    bbox.attrs()
-        .iter()
-        .zip(bbox.ranges())
-        .map(|(a, &(lo, hi))| (a, lo, hi))
-        .collect()
+    bbox.attrs().iter().zip(bbox.ranges()).map(|(a, &(lo, hi))| (a, lo, hi)).collect()
 }
 
 /// The paper's `genSplits(N, S)` (Fig. 4): the structure of the projection
@@ -225,7 +224,16 @@ fn overlay(base: TempNode<()>, other: &TempNode<()>, bbox: BoundingBox) -> TempN
     match base {
         TempNode::Leaf(()) => restrict_node(other, &bbox, &|()| ()),
         TempNode::Internal { attr, split, left, right } => {
-            let (lo, hi) = bbox.range(attr).expect("split attr in box");
+            // Kept split attributes always have a range in the kept box;
+            // if not (corrupt structure), degrade by skipping the clamp.
+            let Some((lo, hi)) = bbox.range(attr) else {
+                return TempNode::Internal {
+                    attr,
+                    split,
+                    left: Box::new(overlay(*left, other, bbox.clone())),
+                    right: Box::new(overlay(*right, other, bbox)),
+                };
+            };
             let mut lbox = bbox.clone();
             lbox.clamp(attr, lo, split - 1);
             let mut rbox = bbox;
@@ -268,14 +276,16 @@ fn restrict_node<L: Copy, M>(
 /// the source bucket's frequency and volume.
 fn to_source_temp(tree: &SplitTree, node: NodeId, bbox: BoundingBox) -> TempNode<SourceLeaf> {
     match &tree.nodes()[node as usize] {
-        Node::Leaf { freq } => TempNode::Leaf(SourceLeaf {
-            freq: *freq,
-            volume: bbox.volume() as f64,
-        }),
+        Node::Leaf { freq } => {
+            TempNode::Leaf(SourceLeaf { freq: *freq, volume: bbox.volume() as f64 })
+        }
         Node::Internal { attr, split, left, right } => {
-            let (lo, hi) = bbox.range(*attr).expect("split attr within box");
+            // Validated trees always cover their split attributes; degrade
+            // to an unclamped walk if this one is corrupt (`clamp` ignores
+            // unknown attributes).
+            let (lo, hi) = bbox.range(*attr).unwrap_or((0, u32::MAX));
             let mut lbox = bbox.clone();
-            lbox.clamp(*attr, lo, split - 1);
+            lbox.clamp(*attr, lo, split.saturating_sub(1));
             let mut rbox = bbox;
             rbox.clamp(*attr, *split, hi);
             TempNode::Internal {
@@ -306,6 +316,7 @@ fn graft(
             if *budget <= 0 {
                 return TempNode::Leaf(ProductLeaf::Coarse);
             }
+            // lint:allow-next-line(float-cmp): exact zero marks a trimmed empty region
             if *freq == 0.0 {
                 // A zero operand bucket zeroes the whole region; no need
                 // to overlay the other operand's structure.
@@ -327,9 +338,9 @@ fn graft(
             if *budget <= 0 {
                 return TempNode::Leaf(ProductLeaf::Coarse);
             }
-            let (lo, hi) = own_box.range(*attr).expect("split attr in own box");
+            let (lo, hi) = own_box.range(*attr).unwrap_or((0, u32::MAX));
             let mut lbox = own_box.clone();
-            lbox.clamp(*attr, lo, split - 1);
+            lbox.clamp(*attr, lo, split.saturating_sub(1));
             let mut rbox = own_box;
             rbox.clamp(*attr, *split, hi);
             TempNode::Internal {
@@ -406,9 +417,9 @@ fn build_arena<L: Copy>(
         TempNode::Internal { attr, split, left, right } => {
             let id = nodes.len() as NodeId;
             nodes.push(Node::Leaf { freq: 0.0 }); // placeholder
-            let (lo, hi) = bbox.range(*attr).expect("split attr in box");
+            let (lo, hi) = bbox.range(*attr).unwrap_or((0, u32::MAX));
             let mut lbox = bbox.clone();
-            lbox.clamp(*attr, lo, split - 1);
+            lbox.clamp(*attr, lo, split.saturating_sub(1));
             let left_id = build_arena(left, &lbox, nodes, leaf_freq);
             let mut rbox = bbox.clone();
             rbox.clamp(*attr, *split, hi);
@@ -416,9 +427,9 @@ fn build_arena<L: Copy>(
             // Zero-collapse: if both children ended up as zero leaves
             // (they are the only arena entries past `id`), drop them.
             let both_zero = left_id == id + 1
-                && matches!(nodes[left_id as usize], Node::Leaf { freq } if freq == 0.0)
+                && matches!(nodes[left_id as usize], Node::Leaf { freq } if freq == 0.0) // lint:allow(float-cmp): collapse only literally-zero leaves
                 && right_id as usize == nodes.len() - 1
-                && matches!(nodes[right_id as usize], Node::Leaf { freq } if freq == 0.0);
+                && matches!(nodes[right_id as usize], Node::Leaf { freq } if freq == 0.0); // lint:allow(float-cmp): collapse only literally-zero leaves
             if both_zero {
                 nodes.truncate(id as usize + 1);
                 // `id` already holds the zero-leaf placeholder.
@@ -472,20 +483,12 @@ mod tests {
         let tree = MhistBuilder::build(&dist, 16, SplitCriterion::MaxDiff).unwrap();
         let p = tree.project(&AttrSet::singleton(0)).unwrap();
         // Collect distinct split boundaries of the source along attr 0.
-        let mut source_bounds: Vec<u32> = tree
-            .leaves()
-            .iter()
-            .map(|(b, _)| b.range(0).unwrap().0)
-            .filter(|&lo| lo > 0)
-            .collect();
+        let mut source_bounds: Vec<u32> =
+            tree.leaves().iter().map(|(b, _)| b.range(0).unwrap().0).filter(|&lo| lo > 0).collect();
         source_bounds.sort_unstable();
         source_bounds.dedup();
-        let mut proj_bounds: Vec<u32> = p
-            .leaves()
-            .iter()
-            .map(|(b, _)| b.range(0).unwrap().0)
-            .filter(|&lo| lo > 0)
-            .collect();
+        let mut proj_bounds: Vec<u32> =
+            p.leaves().iter().map(|(b, _)| b.range(0).unwrap().0).filter(|&lo| lo > 0).collect();
         proj_bounds.sort_unstable();
         proj_bounds.dedup();
         assert_eq!(source_bounds, proj_bounds);
@@ -542,11 +545,7 @@ mod tests {
         assert_eq!(prod.attrs(), &AttrSet::from_ids([0, 1, 2]));
         assert!(prod.validate().is_ok());
         let n = rel.row_count() as f64;
-        assert!(
-            (prod.total() - n).abs() / n < 0.02,
-            "product total {} vs N {n}",
-            prod.total()
-        );
+        assert!((prod.total() - n).abs() / n < 0.02, "product total {} vs N {n}", prod.total());
     }
 
     #[test]
@@ -563,13 +562,10 @@ mod tests {
         for a in 0..6u32 {
             for b in 0..4u32 {
                 for c in 0..6u32 {
-                    let expect = ab.frequency(&[a, b]) * bc.frequency(&[b, c])
-                        / b_marg.frequency(&[b]);
+                    let expect =
+                        ab.frequency(&[a, b]) * bc.frequency(&[b, c]) / b_marg.frequency(&[b]);
                     let got = prod.mass_in_box(&[(0, a, a), (1, b, b), (2, c, c)]);
-                    assert!(
-                        (got - expect).abs() < 1e-6,
-                        "cell ({a},{b},{c}): {got} vs {expect}"
-                    );
+                    assert!((got - expect).abs() < 1e-6, "cell ({a},{b},{c}): {got} vs {expect}");
                 }
             }
         }
@@ -608,16 +604,13 @@ mod tests {
     fn product_rejects_incompatible_domains() {
         let s1 = Schema::new(vec![("x", 4)]).unwrap();
         let s2 = Schema::new(vec![("x", 8)]).unwrap();
-        let r1 = Relation::from_rows(s1, (0..16u32).map(|i| vec![i % 4]).collect::<Vec<_>>())
-            .unwrap();
-        let r2 = Relation::from_rows(s2, (0..16u32).map(|i| vec![i % 8]).collect::<Vec<_>>())
-            .unwrap();
+        let r1 =
+            Relation::from_rows(s1, (0..16u32).map(|i| vec![i % 4]).collect::<Vec<_>>()).unwrap();
+        let r2 =
+            Relation::from_rows(s2, (0..16u32).map(|i| vec![i % 8]).collect::<Vec<_>>()).unwrap();
         let h1 = MhistBuilder::build(&r1.distribution(), 2, SplitCriterion::MaxDiff).unwrap();
         let h2 = MhistBuilder::build(&r2.distribution(), 2, SplitCriterion::MaxDiff).unwrap();
-        assert!(matches!(
-            h1.product(&h2),
-            Err(HistogramError::IncompatibleOperands { .. })
-        ));
+        assert!(matches!(h1.product(&h2), Err(HistogramError::IncompatibleOperands { .. })));
     }
 
     #[test]

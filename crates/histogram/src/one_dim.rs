@@ -92,11 +92,7 @@ impl OneDimHistogram {
         for b in 0..buckets as u64 {
             let blo = lo + (b * span / buckets as u64) as u32;
             let bhi = lo + ((b + 1) * span / buckets as u64) as u32 - 1;
-            let freq = values
-                .iter()
-                .filter(|&&(v, _)| v >= blo && v <= bhi)
-                .map(|&(_, f)| f)
-                .sum();
+            let freq = values.iter().filter(|&&(v, _)| v >= blo && v <= bhi).map(|&(_, f)| f).sum();
             out.push(Bucket1 { lo: blo, hi: bhi, freq });
         }
         let total = out.iter().map(|b| b.freq).sum();
@@ -277,9 +273,7 @@ impl OneDimBuilder {
     /// member-value frequencies around the bucket mean).
     #[must_use]
     pub fn error(&self) -> f64 {
-        self.bucket_ranges()
-            .map(|(lo, hi)| sse(&self.values[lo..hi]))
-            .sum()
+        self.bucket_ranges().map(|(lo, hi)| sse(&self.values[lo..hi])).sum()
     }
 
     fn bucket_ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
@@ -439,7 +433,7 @@ mod tests {
     #[test]
     fn equi_width_buckets_span_evenly() {
         let d = skewed();
-        let h = OneDimHistogram::build_equi_width(&d, 0, 4, ).unwrap();
+        let h = OneDimHistogram::build_equi_width(&d, 0, 4).unwrap();
         assert_eq!(h.bucket_count(), 4);
         assert!((h.total() - d.total()).abs() < 1e-9);
         // Widths differ by at most one.

@@ -239,10 +239,8 @@ impl HaarBuilder {
                 reason: "wavelet synopses need a non-empty distribution".into(),
             });
         }
-        let dims: Vec<usize> = attrs
-            .iter()
-            .map(|a| dist.schema().domain_size(a) as usize)
-            .collect();
+        let dims: Vec<usize> =
+            attrs.iter().map(|a| dist.schema().domain_size(a) as usize).collect();
         let padded: Vec<usize> = dims.iter().map(|&d| d.next_power_of_two()).collect();
         let cells: usize = padded.iter().product();
         if cells > max_cells {
@@ -266,7 +264,7 @@ impl HaarBuilder {
         let mut ranked: Vec<(u32, f64)> = values
             .iter()
             .enumerate()
-            .filter(|&(_, &c)| c != 0.0)
+            .filter(|&(_, &c)| c != 0.0) // lint:allow(float-cmp): drop exactly-zero coefficients, not a tolerance test
             .map(|(i, &c)| (i as u32, c))
             .collect();
         ranked.sort_by(|a, b| {
@@ -276,15 +274,7 @@ impl HaarBuilder {
                 .then(a.0.cmp(&b.0))
         });
         let residual_sse = ranked.iter().map(|&(_, c)| c * c).sum();
-        Ok(Self {
-            attrs,
-            dims,
-            padded,
-            ranked,
-            kept: 0,
-            residual_sse,
-            total: dist.total(),
-        })
+        Ok(Self { attrs, dims, padded, ranked, kept: 0, residual_sse, total: dist.total() })
     }
 
     /// Number of coefficients currently retained.
@@ -374,11 +364,7 @@ mod tests {
         let syn = HaarSynopsis::build(&dist, usize::MAX >> 1, 1 << 20).unwrap();
         let rec = syn.reconstruct(dist.schema()).unwrap();
         for (k, f) in dist.iter() {
-            assert!(
-                (rec.frequency(k) - f).abs() < 1e-6,
-                "cell {k:?}: {} vs {f}",
-                rec.frequency(k)
-            );
+            assert!((rec.frequency(k) - f).abs() < 1e-6, "cell {k:?}: {} vs {f}", rec.frequency(k));
         }
         assert!((rec.total() - dist.total()).abs() < 1e-6);
     }
@@ -412,15 +398,8 @@ mod tests {
             }
             original[flat] = f;
         }
-        let actual: f64 = dense
-            .iter()
-            .zip(&original)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
-        assert!(
-            (actual - predicted).abs() < 1e-6 * (1.0 + predicted),
-            "{actual} vs {predicted}"
-        );
+        let actual: f64 = dense.iter().zip(&original).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!((actual - predicted).abs() < 1e-6 * (1.0 + predicted), "{actual} vs {predicted}");
     }
 
     #[test]
@@ -440,10 +419,7 @@ mod tests {
     fn coefficients_ranked_descending() {
         let dist = skewed_2d();
         let b = HaarBuilder::new(&dist, 1 << 20).unwrap();
-        assert!(b
-            .ranked
-            .windows(2)
-            .all(|w| w[0].1.abs() >= w[1].1.abs() - 1e-12));
+        assert!(b.ranked.windows(2).all(|w| w[0].1.abs() >= w[1].1.abs() - 1e-12));
     }
 
     #[test]

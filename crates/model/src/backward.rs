@@ -36,9 +36,8 @@ pub fn removable_edge_context(graph: &MarkovGraph, u: AttrId, v: AttrId) -> Opti
     if !graph.has_edge(u, v) {
         return None;
     }
-    let mut containing = maximal_cliques(graph)
-        .into_iter()
-        .filter(|c| c.contains(u) && c.contains(v));
+    let mut containing =
+        maximal_cliques(graph).into_iter().filter(|c| c.contains(u) && c.contains(v));
     let first = containing.next()?;
     if containing.next().is_some() {
         return None;
@@ -59,9 +58,15 @@ pub fn removable_edge_context(graph: &MarkovGraph, u: AttrId, v: AttrId) -> Opti
 /// Returns the same [`SelectionResult`] shape as the forward selector;
 /// `steps` record *removals* (improvement is the negated divergence
 /// increase, so it is ≤ 0).
+///
+/// # Panics
+///
+/// Panics if `config` is invalid; use [`SelectionConfig::validate`] to
+/// check untrusted configurations first.
 #[must_use]
 pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> SelectionResult {
-    config.validate().expect("invalid selection config");
+    #[allow(clippy::expect_used)]
+    config.validate().expect("invalid selection config"); // lint:allow(no-panic): documented panic contract on invalid config
     let schema = relation.schema().clone();
     let n = schema.arity();
     let mut cache = EntropyCache::new(relation);
@@ -70,7 +75,12 @@ pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> Selec
 
     let joint_entropy = cache.entropy(&schema.all_attrs());
     let divergence = |graph: &MarkovGraph, cache: &mut EntropyCache<'_>| -> f64 {
-        let jt = crate::junction::JunctionTree::build(graph).expect("chordal by invariant");
+        // Elimination only ever removes edges whose deletion keeps the
+        // graph chordal; a build failure means the candidate is unusable,
+        // so poison it with an infinite divergence.
+        let Ok(jt) = crate::junction::JunctionTree::build(graph) else {
+            return f64::INFINITY;
+        };
         let cliques: Vec<f64> = jt.cliques().iter().map(|c| cache.entropy(c)).collect();
         let seps: Vec<f64> = jt.separators().map(|s| cache.entropy(s)).collect();
         measures::decomposable_divergence(joint_entropy, &cliques, &seps)
@@ -101,10 +111,7 @@ pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> Selec
                 df *= f64::from(schema.domain_size(a));
             }
             let test = SignificanceTest::new(total, increase, df);
-            if best
-                .as_ref()
-                .is_none_or(|(_, _, _, inc, _)| increase < *inc)
-            {
+            if best.as_ref().is_none_or(|(_, _, _, inc, _)| increase < *inc) {
                 best = Some((u, v, s, increase, test));
             }
         }
@@ -116,9 +123,14 @@ pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> Selec
         if !oversized && test.is_significant(config.theta) {
             break;
         }
-        graph.remove_edge(u, v).expect("edge exists");
-        let model = DecomposableModel::new(schema.clone(), graph.clone())
-            .expect("removal preserves chordality");
+        if graph.remove_edge(u, v).is_err() {
+            break;
+        }
+        let Ok(model) = DecomposableModel::new(schema.clone(), graph.clone()) else {
+            // Chordality was verified when the candidate was scored; if the
+            // rebuild disagrees, stop eliminating rather than abort.
+            break;
+        };
         let divergence_after = divergence(&graph, &mut cache);
         steps.push(SelectionStep {
             candidate: crate::selection::EdgeCandidate {
@@ -137,16 +149,10 @@ pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> Selec
         }
     }
 
-    let model = steps.last().map_or_else(
-        || DecomposableModel::saturated(schema.clone()),
-        |s| s.model.clone(),
-    );
-    SelectionResult {
-        model,
-        initial_divergence,
-        steps,
-        entropy_computations: cache.computations(),
-    }
+    let model = steps
+        .last()
+        .map_or_else(|| DecomposableModel::saturated(schema.clone()), |s| s.model.clone());
+    SelectionResult { model, initial_divergence, steps, entropy_computations: cache.computations() }
 }
 
 #[cfg(test)]
@@ -164,8 +170,7 @@ mod tests {
     fn removable_iff_single_clique() {
         // Two triangles sharing edge (1,2): the shared edge is in both
         // cliques (not removable); outer edges are in one (removable).
-        let g =
-            MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let g = MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert_eq!(removable_edge_context(&g, 1, 2), None);
         assert_eq!(removable_edge_context(&g, 0, 1), Some(set(&[2])));
         assert_eq!(removable_edge_context(&g, 2, 3), Some(set(&[1])));
@@ -180,9 +185,8 @@ mod tests {
         // Remove greedily until no edge is removable (empty graph).
         loop {
             let candidates: Vec<(AttrId, AttrId)> = g.edges().collect();
-            let Some(&(u, v)) = candidates
-                .iter()
-                .find(|&&(u, v)| removable_edge_context(&g, u, v).is_some())
+            let Some(&(u, v)) =
+                candidates.iter().find(|&&(u, v)| removable_edge_context(&g, u, v).is_some())
             else {
                 break;
             };
@@ -196,8 +200,7 @@ mod tests {
 
     /// a == b, c == d (shifted), e independent.
     fn two_pair_relation() -> Relation {
-        let schema =
-            Schema::new(vec![("a", 4), ("b", 4), ("c", 3), ("d", 3), ("e", 2)]).unwrap();
+        let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 3), ("d", 3), ("e", 2)]).unwrap();
         let rows: Vec<Vec<u32>> = (0..720u32)
             .map(|i| {
                 let a = i % 4;

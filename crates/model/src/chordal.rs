@@ -31,10 +31,12 @@ pub fn maximum_cardinality_search(graph: &MarkovGraph) -> Vec<AttrId> {
     for _ in 0..n {
         // Pick the unvisited vertex with the most visited neighbors
         // (ties broken by smallest id for determinism).
-        let v = (0..n)
-            .filter(|&v| !visited[v])
-            .max_by_key(|&v| (weight[v], usize::MAX - v))
-            .expect("unvisited vertex exists");
+        let Some(v) = (0..n).filter(|&v| !visited[v]).max_by_key(|&v| (weight[v], usize::MAX - v))
+        else {
+            // The loop runs exactly `n` times over `n` vertices, so an
+            // exhausted candidate set means we are already done.
+            break;
+        };
         visited[v] = true;
         order.push(v as AttrId);
         for u in 0..n {
@@ -58,10 +60,7 @@ fn monotone_adjacency(graph: &MarkovGraph, order: &[AttrId]) -> Vec<AttrSet> {
         .iter()
         .map(|&v| {
             AttrSet::from_ids(
-                graph
-                    .neighbors(v)
-                    .iter()
-                    .filter(|&u| rank[usize::from(u)] < rank[usize::from(v)]),
+                graph.neighbors(v).iter().filter(|&u| rank[usize::from(u)] < rank[usize::from(v)]),
             )
         })
         .collect()
@@ -72,9 +71,7 @@ fn monotone_adjacency(graph: &MarkovGraph, order: &[AttrId]) -> Vec<AttrSet> {
 #[must_use]
 pub fn is_chordal(graph: &MarkovGraph) -> bool {
     let order = maximum_cardinality_search(graph);
-    monotone_adjacency(graph, &order)
-        .iter()
-        .all(|madj| graph.is_clique(madj))
+    monotone_adjacency(graph, &order).iter().all(|madj| graph.is_clique(madj))
 }
 
 /// The maximal cliques (model generators) of a chordal graph.
@@ -93,11 +90,7 @@ pub fn maximal_cliques(graph: &MarkovGraph) -> Vec<AttrSet> {
     debug_assert!(is_chordal(graph), "maximal_cliques requires a chordal graph");
     let order = maximum_cardinality_search(graph);
     let madj = monotone_adjacency(graph, &order);
-    let mut candidates: Vec<AttrSet> = order
-        .iter()
-        .zip(&madj)
-        .map(|(&v, m)| m.with(v))
-        .collect();
+    let mut candidates: Vec<AttrSet> = order.iter().zip(&madj).map(|(&v, m)| m.with(v)).collect();
     // Prune candidates strictly contained in another candidate.
     candidates.sort_by_key(|c| std::cmp::Reverse(c.len()));
     let mut cliques: Vec<AttrSet> = Vec::new();
@@ -143,8 +136,7 @@ pub fn addable_edge_separator(graph: &MarkovGraph, u: AttrId, v: AttrId) -> Opti
         return Some(AttrSet::empty());
     }
     let mut augmented = graph.clone();
-    augmented.add_edge(u, v).expect("validated vertices");
-    if !is_chordal(&augmented) {
+    if augmented.add_edge(u, v).is_err() || !is_chordal(&augmented) {
         return None;
     }
     Some(graph.neighbors(u).intersection(&graph.neighbors(v)))
@@ -204,11 +196,8 @@ mod tests {
     fn cliques_of_paper_example() {
         // Paper Fig. 1(b): model [123][124][15] over attributes 0..5
         // (paper's 1..5 shifted down by one).
-        let g = MarkovGraph::from_edges(
-            5,
-            [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)],
-        )
-        .unwrap();
+        let g =
+            MarkovGraph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)]).unwrap();
         assert!(is_chordal(&g));
         let cliques = maximal_cliques(&g);
         assert_eq!(cliques, vec![set(&[0, 1, 2]), set(&[0, 1, 3]), set(&[0, 4])]);
@@ -216,8 +205,7 @@ mod tests {
 
     #[test]
     fn cliques_of_two_triangles_sharing_edge() {
-        let g =
-            MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let g = MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
         let cliques = maximal_cliques(&g);
         assert_eq!(cliques, vec![set(&[0, 1, 2]), set(&[1, 2, 3])]);
     }
@@ -239,8 +227,7 @@ mod tests {
     #[test]
     fn addable_with_two_vertex_separator() {
         // Two triangles sharing edge {1,2}: edge (0,3) addable with S={1,2}.
-        let g =
-            MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let g = MarkovGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert_eq!(addable_edge_separator(&g, 0, 3), Some(set(&[1, 2])));
     }
 

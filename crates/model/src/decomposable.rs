@@ -12,9 +12,7 @@
 //!   `D(f, f̂_M) = Σ E(C) − Σ E(S) − E(f)`, which needs only marginal
 //!   entropies (memoized in an [`EntropyCache`]) rather than the joint.
 
-use dbhist_distribution::{
-    measures, AttrSet, Distribution, EntropyCache, Relation, Schema,
-};
+use dbhist_distribution::{measures, AttrSet, Distribution, EntropyCache, Relation, Schema};
 
 use crate::error::ModelError;
 use crate::graph::MarkovGraph;
@@ -45,14 +43,16 @@ impl DecomposableModel {
     #[must_use]
     pub fn independence(schema: Schema) -> Self {
         let graph = MarkovGraph::empty(schema.arity());
-        Self::new(schema, graph).expect("the empty graph is chordal")
+        #[allow(clippy::expect_used)]
+        Self::new(schema, graph).expect("the empty graph is chordal") // lint:allow(no-panic): the edgeless graph is trivially chordal
     }
 
     /// The saturated (fully-correlated) model `[12...n]`.
     #[must_use]
     pub fn saturated(schema: Schema) -> Self {
         let graph = MarkovGraph::complete(schema.arity());
-        Self::new(schema, graph).expect("the complete graph is chordal")
+        #[allow(clippy::expect_used)]
+        Self::new(schema, graph).expect("the complete graph is chordal") // lint:allow(no-panic): the complete graph is trivially chordal
     }
 
     /// The model's schema.
@@ -96,10 +96,7 @@ impl DecomposableModel {
     /// quantity the paper's DB₂ heuristic normalizes improvements by.
     #[must_use]
     pub fn state_space(&self) -> u64 {
-        self.cliques()
-            .iter()
-            .map(|c| self.schema.state_space(c))
-            .fold(0u64, u64::saturating_add)
+        self.cliques().iter().map(|c| self.schema.state_space(c)).fold(0u64, u64::saturating_add)
     }
 
     /// Model notation such as `"[0 1 2][0 1 3][0 4]"`.
@@ -165,8 +162,7 @@ impl DecomposableModel {
     /// Divergence `D(f, f̂_M)` of the model from the data, via the entropy
     /// decomposition (marginal entropies are pulled from `cache`).
     pub fn divergence(&self, cache: &mut EntropyCache<'_>) -> f64 {
-        let clique_entropies: Vec<f64> =
-            self.cliques().iter().map(|c| cache.entropy(c)).collect();
+        let clique_entropies: Vec<f64> = self.cliques().iter().map(|c| cache.entropy(c)).collect();
         let sep_entropies: Vec<f64> =
             self.junction.separators().map(|s| cache.entropy(s)).collect();
         let joint = cache.entropy(&self.schema.all_attrs());
@@ -187,16 +183,10 @@ impl DecomposableModel {
         &self,
         relation: &Relation,
     ) -> Result<ExactEstimator, dbhist_distribution::DistributionError> {
-        let cliques: Vec<Distribution> = self
-            .cliques()
-            .iter()
-            .map(|c| relation.marginal(c))
-            .collect::<Result<_, _>>()?;
-        let separators: Vec<Distribution> = self
-            .junction
-            .separators()
-            .map(|s| relation.marginal(s))
-            .collect::<Result<_, _>>()?;
+        let cliques: Vec<Distribution> =
+            self.cliques().iter().map(|c| relation.marginal(c)).collect::<Result<_, _>>()?;
+        let separators: Vec<Distribution> =
+            self.junction.separators().map(|s| relation.marginal(s)).collect::<Result<_, _>>()?;
         Ok(ExactEstimator {
             attrs: self.schema.all_attrs(),
             cliques,
@@ -284,11 +274,10 @@ impl ExactEstimator {
 }
 
 /// Extracts the sub-key of `key` (ordered by `full`) corresponding to the
-/// attribute subset `sub`.
+/// attribute subset `sub`. Attributes missing from `full` are skipped,
+/// which callers never trigger (they always pass `sub ⊆ full`).
 fn project_key(key: &[u32], full: &AttrSet, sub: &AttrSet) -> Vec<u32> {
-    sub.iter()
-        .map(|a| key[full.position(a).expect("sub ⊆ full")])
-        .collect()
+    sub.iter().filter_map(|a| full.position(a).map(|p| key[p])).collect()
 }
 
 #[cfg(test)]
@@ -298,11 +287,9 @@ mod tests {
 
     /// a == b (4 values), c independent coin, d independent of everything.
     fn correlated_relation() -> Relation {
-        let schema =
-            Schema::new(vec![("a", 4), ("b", 4), ("c", 2), ("d", 3)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..240u32)
-            .map(|i| vec![i % 4, i % 4, (i / 4) % 2, (i / 8) % 3])
-            .collect();
+        let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 2), ("d", 3)]).unwrap();
+        let rows: Vec<Vec<u32>> =
+            (0..240u32).map(|i| vec![i % 4, i % 4, (i / 4) % 2, (i / 8) % 3]).collect();
         Relation::from_rows(schema, rows).unwrap()
     }
 
@@ -322,10 +309,7 @@ mod tests {
     fn non_chordal_rejected() {
         let schema = Schema::new(vec![("a", 2), ("b", 2), ("c", 2), ("d", 2)]).unwrap();
         let g = MarkovGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
-        assert_eq!(
-            DecomposableModel::new(schema, g).unwrap_err(),
-            ModelError::NotChordal
-        );
+        assert_eq!(DecomposableModel::new(schema, g).unwrap_err(), ModelError::NotChordal);
     }
 
     #[test]
@@ -400,9 +384,8 @@ mod tests {
         // Model [01][02] over 3 attrs: conditional independence of 1 and 2
         // given 0; f̂(i,j,k) = f01(i,j)·f02(i,k)/f0(i) (paper §2.2).
         let schema = Schema::new(vec![("x", 3), ("y", 3), ("z", 3)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..270u32)
-            .map(|i| vec![i % 3, (i / 3) % 3, (i / 9) % 3])
-            .collect();
+        let rows: Vec<Vec<u32>> =
+            (0..270u32).map(|i| vec![i % 3, (i / 3) % 3, (i / 9) % 3]).collect();
         let rel = Relation::from_rows(schema, rows).unwrap();
         let g = MarkovGraph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
         let model = DecomposableModel::new(rel.schema().clone(), g).unwrap();
@@ -435,13 +418,9 @@ mod tests {
     #[test]
     fn independence_statements_match_paper_example() {
         // Fig. 1(b): [012][013][04] (zero-based).
-        let schema =
-            Schema::new(vec![("a", 2), ("b", 2), ("c", 2), ("d", 2), ("e", 2)]).unwrap();
-        let g = MarkovGraph::from_edges(
-            5,
-            [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)],
-        )
-        .unwrap();
+        let schema = Schema::new(vec![("a", 2), ("b", 2), ("c", 2), ("d", 2), ("e", 2)]).unwrap();
+        let g =
+            MarkovGraph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)]).unwrap();
         let model = DecomposableModel::new(schema, g).unwrap();
         let statements = model.independence_statements();
         assert_eq!(statements.len(), 2, "one statement per junction edge");

@@ -53,11 +53,7 @@ mod tests {
     fn display_messages() {
         assert!(ModelError::NotChordal.to_string().contains("chordal"));
         assert!(ModelError::SelfLoop { vertex: 2 }.to_string().contains('2'));
-        assert!(ModelError::VertexOutOfRange { vertex: 5, n: 3 }
-            .to_string()
-            .contains("3-vertex"));
-        assert!(ModelError::InvalidConfig { reason: "bad".into() }
-            .to_string()
-            .contains("bad"));
+        assert!(ModelError::VertexOutOfRange { vertex: 5, n: 3 }.to_string().contains("3-vertex"));
+        assert!(ModelError::InvalidConfig { reason: "bad".into() }.to_string().contains("bad"));
     }
 }

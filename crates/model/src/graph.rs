@@ -130,17 +130,13 @@ impl MarkovGraph {
     /// The neighbors of `v` in ascending order.
     #[must_use]
     pub fn neighbors(&self, v: AttrId) -> AttrSet {
-        AttrSet::from_ids(
-            (0..self.n as AttrId).filter(|&u| self.has_edge(v, u)),
-        )
+        AttrSet::from_ids((0..self.n as AttrId).filter(|&u| self.has_edge(v, u)))
     }
 
     /// Iterates over all edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
         (0..self.n as AttrId).flat_map(move |u| {
-            ((u + 1)..self.n as AttrId)
-                .filter(move |&v| self.has_edge(u, v))
-                .map(move |v| (u, v))
+            ((u + 1)..self.n as AttrId).filter(move |&v| self.has_edge(u, v)).map(move |v| (u, v))
         })
     }
 
@@ -148,9 +144,7 @@ impl MarkovGraph {
     /// interactions forward selection may add.
     pub fn non_edges(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
         (0..self.n as AttrId).flat_map(move |u| {
-            ((u + 1)..self.n as AttrId)
-                .filter(move |&v| !self.has_edge(u, v))
-                .map(move |v| (u, v))
+            ((u + 1)..self.n as AttrId).filter(move |&v| !self.has_edge(u, v)).map(move |v| (u, v))
         })
     }
 
@@ -271,10 +265,7 @@ mod tests {
         assert_eq!(g.neighbors(1), AttrSet::from_ids([0, 2, 3]));
         assert_eq!(g.neighbors(0), AttrSet::singleton(1));
         assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2), (1, 3)]);
-        assert_eq!(
-            g.non_edges().collect::<Vec<_>>(),
-            vec![(0, 2), (0, 3), (2, 3)]
-        );
+        assert_eq!(g.non_edges().collect::<Vec<_>>(), vec![(0, 2), (0, 3), (2, 3)]);
     }
 
     #[test]
@@ -301,11 +292,8 @@ mod tests {
     #[test]
     fn separation_global_markov() {
         // Paper Fig. 1(b): [012][013][04] (zero-based).
-        let g = MarkovGraph::from_edges(
-            5,
-            [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)],
-        )
-        .unwrap();
+        let g =
+            MarkovGraph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4)]).unwrap();
         // Paper: variables {3,4} are conditionally independent given
         // {1,2} — zero-based: {2} ⊥ {3} given {0,1}.
         assert!(g.separates(
@@ -320,11 +308,7 @@ mod tests {
             &AttrSet::singleton(0)
         ));
         // Not separated without the conditioning set.
-        assert!(!g.separates(
-            &AttrSet::singleton(2),
-            &AttrSet::singleton(3),
-            &AttrSet::empty()
-        ));
+        assert!(!g.separates(&AttrSet::singleton(2), &AttrSet::singleton(3), &AttrSet::empty()));
         // Overlapping sets are never separated.
         assert!(!g.separates(
             &AttrSet::from_ids([1, 2]),
@@ -333,11 +317,7 @@ mod tests {
         ));
         // Different components are separated by anything.
         let h = MarkovGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
-        assert!(h.separates(
-            &AttrSet::singleton(0),
-            &AttrSet::singleton(2),
-            &AttrSet::empty()
-        ));
+        assert!(h.separates(&AttrSet::singleton(0), &AttrSet::singleton(2), &AttrSet::empty()));
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl FittedJoint {
         let mut key = vec![0u32; self.dims.len()];
         let mut sub = vec![0u32; positions.len()];
         for (flat, &v) in self.values.iter().enumerate() {
+            // lint:allow-next-line(float-cmp): exact-zero cell short-circuit
             if v == 0.0 {
                 continue;
             }
@@ -138,9 +139,8 @@ pub fn iterative_proportional_fit(
             }
         }
     }
-    let dims: Vec<usize> = (0..schema.arity())
-        .map(|a| schema.domain_size(a as AttrId) as usize)
-        .collect();
+    let dims: Vec<usize> =
+        (0..schema.arity()).map(|a| schema.domain_size(a as AttrId) as usize).collect();
     let cells: usize = dims.iter().product();
     if cells > max_cells {
         return Err(ModelError::InvalidConfig {
@@ -212,11 +212,7 @@ pub fn iterative_proportional_fit(
             // Rescale every cell by desired/current.
             for (flat, v) in table.iter_mut().enumerate() {
                 let g = group_index(target, flat, &dims, &full_strides);
-                *v = if current[g] > 0.0 {
-                    *v * target.desired[g] / current[g]
-                } else {
-                    0.0
-                };
+                *v = if current[g] > 0.0 { *v * target.desired[g] / current[g] } else { 0.0 };
             }
         }
         // Convergence: all marginals within tolerance.
@@ -240,11 +236,7 @@ pub fn iterative_proportional_fit(
         schema,
         dims,
         values: table,
-        report: IpfReport {
-            cycles,
-            max_discrepancy: max_disc,
-            converged: max_disc <= tolerance,
-        },
+        report: IpfReport { cycles, max_discrepancy: max_disc, converged: max_disc <= tolerance },
     })
 }
 
@@ -274,13 +266,9 @@ mod tests {
     #[test]
     fn ipf_matches_prescribed_marginals() {
         let rel = relation();
-        let generators = vec![
-            AttrSet::from_ids([0, 1]),
-            AttrSet::from_ids([1, 2]),
-            AttrSet::from_ids([0, 2]),
-        ];
-        let fit =
-            iterative_proportional_fit(&rel, &generators, 1e-9, 200, 1 << 20).unwrap();
+        let generators =
+            vec![AttrSet::from_ids([0, 1]), AttrSet::from_ids([1, 2]), AttrSet::from_ids([0, 2])];
+        let fit = iterative_proportional_fit(&rel, &generators, 1e-9, 200, 1 << 20).unwrap();
         assert!(fit.report().converged, "{:?}", fit.report());
         for g in &generators {
             let fitted = fit.marginal(g).unwrap();
@@ -305,8 +293,7 @@ mod tests {
         let g = MarkovGraph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
         let model = DecomposableModel::new(rel.schema().clone(), g).unwrap();
         let generators: Vec<AttrSet> = model.cliques().to_vec();
-        let fit =
-            iterative_proportional_fit(&rel, &generators, 1e-10, 100, 1 << 20).unwrap();
+        let fit = iterative_proportional_fit(&rel, &generators, 1e-10, 100, 1 << 20).unwrap();
         let est = model.exact_estimator(&rel).unwrap();
         for x in 0..3u32 {
             for y in 0..3u32 {
@@ -328,13 +315,9 @@ mod tests {
     fn non_decomposable_model_needs_iterations_but_converges() {
         let rel = relation();
         // [01][12][02] — the paper's smallest non-interpretable model.
-        let generators = vec![
-            AttrSet::from_ids([0, 1]),
-            AttrSet::from_ids([1, 2]),
-            AttrSet::from_ids([0, 2]),
-        ];
-        let fit =
-            iterative_proportional_fit(&rel, &generators, 1e-9, 500, 1 << 20).unwrap();
+        let generators =
+            vec![AttrSet::from_ids([0, 1]), AttrSet::from_ids([1, 2]), AttrSet::from_ids([0, 2])];
+        let fit = iterative_proportional_fit(&rel, &generators, 1e-9, 500, 1 << 20).unwrap();
         assert!(fit.report().converged);
         // All three pairwise marginals are matched simultaneously — the
         // defining property IPF buys for non-decomposable generators.
@@ -351,14 +334,8 @@ mod tests {
     fn state_space_guard_trips() {
         let schema = Schema::new(vec![("a", 100), ("b", 100), ("c", 100)]).unwrap();
         let rel = Relation::from_rows(schema, vec![vec![0, 0, 0]]).unwrap();
-        let err = iterative_proportional_fit(
-            &rel,
-            &[AttrSet::from_ids([0, 1])],
-            1e-6,
-            10,
-            1 << 16,
-        )
-        .unwrap_err();
+        let err = iterative_proportional_fit(&rel, &[AttrSet::from_ids([0, 1])], 1e-6, 10, 1 << 16)
+            .unwrap_err();
         assert!(err.to_string().contains("cells"));
     }
 
@@ -366,13 +343,8 @@ mod tests {
     fn rejects_bad_generators() {
         let rel = relation();
         assert!(iterative_proportional_fit(&rel, &[], 1e-6, 10, 1 << 20).is_err());
-        assert!(iterative_proportional_fit(
-            &rel,
-            &[AttrSet::singleton(9)],
-            1e-6,
-            10,
-            1 << 20
-        )
-        .is_err());
+        assert!(
+            iterative_proportional_fit(&rel, &[AttrSet::singleton(9)], 1e-6, 10, 1 << 20).is_err()
+        );
     }
 }

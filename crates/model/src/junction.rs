@@ -96,7 +96,55 @@ impl JunctionTree {
                 edges.push(JunctionEdge { a, b, separator });
             }
         }
-        Self { cliques, edges, adjacency }
+        let tree = Self { cliques, edges, adjacency };
+        #[cfg(debug_assertions)]
+        if let Err(violation) = tree.validate() {
+            panic!("junction tree invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+        }
+        tree
+    }
+
+    /// Structural invariant check (see DESIGN.md, "Invariants & lint
+    /// policy"): every edge must join two distinct in-range cliques with a
+    /// separator equal to their intersection, the adjacency table must
+    /// mirror the edge list, the edge count must stay below the clique
+    /// count (spanning forest), and the clique-intersection property must
+    /// hold. Run automatically after construction in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let k = self.cliques.len();
+        if self.adjacency.len() != k {
+            return Err(format!(
+                "adjacency table has {} rows for {k} cliques",
+                self.adjacency.len()
+            ));
+        }
+        if k > 0 && self.edges.len() >= k {
+            return Err(format!(
+                "{} edges over {k} cliques cannot form a forest",
+                self.edges.len()
+            ));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.a >= k || e.b >= k || e.a == e.b {
+                return Err(format!("edge {i} joins invalid cliques {} and {}", e.a, e.b));
+            }
+            if e.separator != self.cliques[e.a].intersection(&self.cliques[e.b]) {
+                return Err(format!(
+                    "edge {i} separator is not the intersection of its endpoint cliques"
+                ));
+            }
+            if !self.adjacency[e.a].contains(&i) || !self.adjacency[e.b].contains(&i) {
+                return Err(format!("edge {i} missing from an endpoint's adjacency row"));
+            }
+        }
+        if !self.satisfies_clique_intersection_property() {
+            return Err("clique-intersection property violated".into());
+        }
+        Ok(())
     }
 
     /// The maximal cliques (model generators), sorted ascending.
@@ -357,11 +405,8 @@ mod tests {
     fn spanning_tree_prefers_heavy_separators() {
         // Chain cliques {0,1,2},{1,2,3},{3,4}: MST must connect {012}-{123}
         // (weight 2) and {123}-{34} (weight 1), never {012}-{34} (weight 0).
-        let g = MarkovGraph::from_edges(
-            5,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)],
-        )
-        .unwrap();
+        let g =
+            MarkovGraph::from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
         let jt = JunctionTree::build(&g).unwrap();
         assert!(jt.satisfies_clique_intersection_property());
         let mut seps: Vec<usize> = jt.separators().map(AttrSet::len).collect();

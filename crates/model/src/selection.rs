@@ -195,7 +195,8 @@ impl<'a> ForwardSelector<'a> {
     /// check untrusted configurations first.
     #[must_use]
     pub fn new(relation: &'a Relation, config: SelectionConfig) -> Self {
-        config.validate().expect("invalid selection config");
+        #[allow(clippy::expect_used)]
+        config.validate().expect("invalid selection config"); // lint:allow(no-panic): documented panic contract on invalid config
         let n = relation.schema().arity();
         let mut cache = EntropyCache::new(relation);
         let graph = MarkovGraph::empty(n);
@@ -208,11 +209,14 @@ impl<'a> ForwardSelector<'a> {
         relation: &Relation,
         cache: &mut EntropyCache<'_>,
     ) -> f64 {
-        let jt = JunctionTree::build(graph).expect("selection graphs stay chordal");
-        let clique_entropies: Vec<f64> =
-            jt.cliques().iter().map(|c| cache.entropy(c)).collect();
-        let sep_entropies: Vec<f64> =
-            jt.separators().map(|s| cache.entropy(s)).collect();
+        // Selection only proposes chordality-preserving edges; a build
+        // failure means the graph is unusable, so poison the score with an
+        // infinite divergence instead of aborting.
+        let Ok(jt) = JunctionTree::build(graph) else {
+            return f64::INFINITY;
+        };
+        let clique_entropies: Vec<f64> = jt.cliques().iter().map(|c| cache.entropy(c)).collect();
+        let sep_entropies: Vec<f64> = jt.separators().map(|s| cache.entropy(s)).collect();
         let joint = cache.entropy(&relation.schema().all_attrs());
         measures::decomposable_divergence(joint, &clique_entropies, &sep_entropies)
     }
@@ -250,11 +254,16 @@ impl<'a> ForwardSelector<'a> {
                 measures::conditional_mutual_information(h_su, h_sv, h_s, h_suv)
             }
             SelectionAlgorithm::Naive => {
-                // Full re-evaluation of the augmented model.
+                // Full re-evaluation of the augmented model. A candidate
+                // whose edge cannot be added scores zero improvement and
+                // is never picked.
                 let mut augmented = self.graph.clone();
-                augmented.add_edge(u, v).expect("candidate vertices valid");
-                let new_d = Self::graph_divergence(&augmented, relation, &mut self.cache);
-                self.divergence - new_d
+                if augmented.add_edge(u, v).is_ok() {
+                    let new_d = Self::graph_divergence(&augmented, relation, &mut self.cache);
+                    self.divergence - new_d
+                } else {
+                    0.0
+                }
             }
         }
         .max(0.0);
@@ -288,18 +297,13 @@ impl<'a> ForwardSelector<'a> {
             return false;
         }
         let n = self.graph.vertex_count() as AttrId;
-        !(0..n).any(|w| {
-            !set.contains(w) && set.iter().all(|m| self.graph.has_edge(w, m))
-        })
+        !(0..n).any(|w| !set.contains(w) && set.iter().all(|m| self.graph.has_edge(w, m)))
     }
 
     /// Scores every addable candidate edge under the current model.
     pub fn candidates(&mut self) -> Vec<EdgeCandidate> {
         let pairs: Vec<(AttrId, AttrId)> = self.graph.non_edges().collect();
-        pairs
-            .into_iter()
-            .filter_map(|(u, v)| self.score_candidate(u, v))
-            .collect()
+        pairs.into_iter().filter_map(|(u, v)| self.score_candidate(u, v)).collect()
     }
 
     /// Performs one greedy step: scores all candidates, accepts the best
@@ -318,13 +322,13 @@ impl<'a> ForwardSelector<'a> {
                     // Deterministic tie-break on the edge itself.
                     .then_with(|| (b.u, b.v).cmp(&(a.u, a.v)))
             })?;
-        self.graph
-            .add_edge(best.u, best.v)
-            .expect("best candidate has valid endpoints");
+        // Candidates were enumerated from the current graph, so the edge is
+        // addable and chordality-preserving; if either check disagrees,
+        // stop selecting rather than abort.
+        self.graph.add_edge(best.u, best.v).ok()?;
         let relation = self.cache.relation();
         self.divergence = Self::graph_divergence(&self.graph, relation, &mut self.cache);
-        let model = DecomposableModel::new(relation.schema().clone(), self.graph.clone())
-            .expect("selection preserves chordality");
+        let model = DecomposableModel::new(relation.schema().clone(), self.graph.clone()).ok()?;
         Some(SelectionStep { candidate: best, divergence_after: self.divergence, model })
     }
 
@@ -362,14 +366,7 @@ mod tests {
 
     /// a == b, c == d (shifted), e independent.
     fn two_pair_relation() -> Relation {
-        let schema = Schema::new(vec![
-            ("a", 4),
-            ("b", 4),
-            ("c", 3),
-            ("d", 3),
-            ("e", 2),
-        ])
-        .unwrap();
+        let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 3), ("d", 3), ("e", 2)]).unwrap();
         let rows: Vec<Vec<u32>> = (0..720u32)
             .map(|i| {
                 let a = i % 4;
@@ -481,15 +478,11 @@ mod tests {
     fn high_theta_blocks_noise_edges() {
         // Independent uniform attributes: no edge should be significant.
         let schema = Schema::new(vec![("x", 4), ("y", 4), ("z", 4)]).unwrap();
-        let rows: Vec<Vec<u32>> = (0..64u32)
-            .map(|i| vec![i % 4, (i / 4) % 4, (i / 16) % 4])
-            .collect();
+        let rows: Vec<Vec<u32>> =
+            (0..64u32).map(|i| vec![i % 4, (i / 4) % 4, (i / 16) % 4]).collect();
         let rel = Relation::from_rows(schema, rows).unwrap();
-        let result = ForwardSelector::new(
-            &rel,
-            SelectionConfig { theta: 0.90, ..Default::default() },
-        )
-        .run();
+        let result =
+            ForwardSelector::new(&rel, SelectionConfig { theta: 0.90, ..Default::default() }).run();
         assert_eq!(result.model.edge_count(), 0, "{}", result.model.notation());
         assert!(result.initial_divergence.abs() < 1e-10);
     }
@@ -521,11 +514,8 @@ mod tests {
     #[test]
     fn steps_expose_models_for_complexity_sweep() {
         let rel = two_pair_relation();
-        let result = ForwardSelector::new(
-            &rel,
-            SelectionConfig { theta: 0.0, ..Default::default() },
-        )
-        .run();
+        let result =
+            ForwardSelector::new(&rel, SelectionConfig { theta: 0.0, ..Default::default() }).run();
         for (i, step) in result.steps.iter().enumerate() {
             assert_eq!(step.model.edge_count(), i + 1);
         }

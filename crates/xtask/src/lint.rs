@@ -1,0 +1,530 @@
+//! Custom static checks for the dbhist workspace.
+//!
+//! These enforce project invariants that rustc and clippy cannot express:
+//!
+//! * `no-panic` — library code must not contain `unwrap()` / `expect(` /
+//!   `panic!` / `unreachable!` / `todo!` / `unimplemented!` outside
+//!   `#[cfg(test)]` regions. Library code returns `Result` through the
+//!   crate error enums; a synopsis data structure that can be fed
+//!   adversarial bytes (the split-tree codec) must never abort the host.
+//! * `float-cmp` — no `==` / `!=` where an operand is a float literal or a
+//!   frequency-like identifier (`freq`, `mass`, `weight`). Frequencies are
+//!   accumulated `f64` sums; exact comparison hides representation error.
+//!   Zero-tests must go through an explicit epsilon or integer counts.
+//! * `as-narrowing` — in codec / bucket arithmetic files, no bare `as`
+//!   casts to a narrower integer type. Wire-format widths are a contract;
+//!   a silent truncation corrupts the payload instead of erroring. Use
+//!   `try_from` and surface `HistogramError::Codec`.
+//!
+//! A violation can be suppressed on its line with an inline escape hatch:
+//! `// lint:allow(<rule>): <justification>`, or from the line above with
+//! `// lint:allow-next-line(<rule>): <justification>` (the standalone form
+//! survives rustfmt rewrapping). The justification is part of the
+//! convention — a bare allow with no reason should not survive review.
+
+/// One rule violation at a specific file location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub excerpt: String,
+}
+
+/// Names of every rule, for `lint:allow` validation and reporting.
+pub const RULES: [&str; 3] = ["no-panic", "float-cmp", "as-narrowing"];
+
+/// Banned invocations for the `no-panic` rule. Each must appear with a
+/// non-identifier character before it so that e.g. `try_unwrap()` in a
+/// comment about other APIs is not flagged.
+const PANIC_PATTERNS: [&str; 6] =
+    [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Identifier fragments that mark an operand as a frequency-like float.
+const FLOAT_IDENT_HINTS: [&str; 3] = ["freq", "mass", "weight"];
+
+/// Narrow integer targets banned as bare `as` casts in codec/bucket files.
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Path fragments that put a file in scope for the `as-narrowing` rule:
+/// the wire codec, the split-tree (bucket) arithmetic, bounding boxes, and
+/// the bucket-budget allocator.
+const NARROWING_SCOPE: [&str; 4] = ["codec", "mhist", "bbox", "alloc"];
+
+/// Cross-line lexer state: inside a (possibly nested) block comment, a
+/// string literal, or a raw string literal with `hashes` trailing `#`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Mode {
+    #[default]
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u8),
+}
+
+/// Replaces comment and string/char-literal contents with spaces so that
+/// rule matching and brace counting only ever see real code. Length is
+/// preserved. Line comments end the line; other modes carry across lines
+/// via `mode`.
+fn mask_line(line: &str, mode: &mut Mode) -> String {
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        match *mode {
+            Mode::Block(depth) => {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    *mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                    i += 2;
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    *mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    *mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if bytes[i] == b'"' {
+                    let h = usize::from(hashes);
+                    if bytes.len() >= i + 1 + h
+                        && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#')
+                    {
+                        *mode = Mode::Code;
+                        i += 1 + h;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Mode::Code => match bytes[i] {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    return String::from_utf8(out).unwrap_or_default()
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    *mode = Mode::Block(1);
+                    i += 2;
+                }
+                b'"' => {
+                    *mode = Mode::Str;
+                    i += 1;
+                }
+                b'r' if bytes.get(i + 1) == Some(&b'"')
+                    || (bytes.get(i + 1) == Some(&b'#')
+                        && raw_str_hashes(&bytes[i + 1..]).is_some()) =>
+                {
+                    let hashes = raw_str_hashes(&bytes[i + 1..]).unwrap_or(0);
+                    out[i] = b'r';
+                    *mode = Mode::RawStr(hashes);
+                    i += 2 + usize::from(hashes);
+                }
+                b'\'' => {
+                    // Char literal (`'x'`, `'\n'`, `'{'`) vs lifetime (`'a`).
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                        i = (j + 1).min(bytes.len());
+                    } else if bytes.len() > i + 2 && bytes[i + 2] == b'\'' {
+                        i += 3; // plain char literal
+                    } else {
+                        out[i] = b'\''; // lifetime marker: keep, advance one
+                        i += 1;
+                    }
+                }
+                b => {
+                    out[i] = b;
+                    i += 1;
+                }
+            },
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Counts leading `#` bytes followed by a `"` — the `r#..#"` raw-string
+/// opener — returning the hash count, or `None` if this is not one.
+fn raw_str_hashes(after_r: &[u8]) -> Option<u8> {
+    if after_r.first() == Some(&b'"') {
+        return Some(0);
+    }
+    let hashes = after_r.iter().take_while(|&&b| b == b'#').count();
+    if hashes > 0 && after_r.get(hashes) == Some(&b'"') {
+        u8::try_from(hashes).ok()
+    } else {
+        None
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Rules suppressed on this line via `// lint:allow(rule)` markers in the
+/// raw (unmasked) source.
+fn allowed_rules(raw_line: &str) -> Vec<&str> {
+    parse_allow_markers(raw_line, "lint:allow(")
+}
+
+/// Rules suppressed on the *following* line via
+/// `// lint:allow-next-line(rule)`. The standalone-comment form survives
+/// rustfmt rewrapping, which can detach a trailing comment from the line
+/// it annotates.
+fn next_line_allowed_rules(raw_line: &str) -> Vec<&str> {
+    parse_allow_markers(raw_line, "lint:allow-next-line(")
+}
+
+fn parse_allow_markers<'a>(raw_line: &'a str, marker: &str) -> Vec<&'a str> {
+    let mut allowed = Vec::new();
+    let mut rest = raw_line;
+    while let Some(pos) = rest.find(marker) {
+        rest = &rest[pos + marker.len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                allowed.push(rule.trim());
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    allowed
+}
+
+/// Matches `pattern` in `masked` at word-ish boundaries: the byte before a
+/// match must not be an identifier byte (so `try_unwrap()` never matches
+/// `.unwrap()` — the leading dot anchors it anyway, but macro patterns like
+/// `panic!` need the guard).
+fn find_banned(masked: &str, pattern: &str) -> bool {
+    // The boundary guard only matters for patterns that begin with an
+    // identifier byte (the macros); `.unwrap()` is anchored by its dot.
+    let needs_guard = pattern.as_bytes().first().copied().is_some_and(is_ident_byte);
+    let mut start = 0;
+    while let Some(pos) = masked[start..].find(pattern) {
+        let abs = start + pos;
+        if !needs_guard || abs == 0 || !is_ident_byte(masked.as_bytes()[abs - 1]) {
+            return true;
+        }
+        start = abs + pattern.len();
+    }
+    false
+}
+
+/// True if `text` contains a float literal: a digit, a `.`, then a digit.
+/// `0..5` (range syntax) and `x.0` (tuple field) deliberately do not match.
+fn has_float_literal(text: &str) -> bool {
+    let b = text.as_bytes();
+    (2..b.len()).any(|i| b[i].is_ascii_digit() && b[i - 1] == b'.' && b[i - 2].is_ascii_digit())
+}
+
+/// True if `text` contains an identifier with a frequency-like fragment.
+fn has_float_ident(text: &str) -> bool {
+    text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_').any(|tok| {
+        let lower = tok.to_ascii_lowercase();
+        FLOAT_IDENT_HINTS.iter().any(|h| lower.contains(h))
+    })
+}
+
+/// Detects `==` / `!=` comparisons whose nearby operand text looks like a
+/// float frequency. The operand window is heuristic (40 bytes each side,
+/// clipped at expression separators) — this is a lint, not a type checker;
+/// clippy's `float_cmp` is the semantic backstop.
+fn has_float_cmp(masked: &str) -> bool {
+    let b = masked.as_bytes();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let is_eq = b[i] == b'=' && b[i + 1] == b'=';
+        let is_ne = b[i] == b'!' && b[i + 1] == b'=';
+        if (is_eq || is_ne)
+            && (i == 0
+                || !matches!(
+                    b[i - 1],
+                    b'<' | b'>'
+                        | b'='
+                        | b'!'
+                        | b'+'
+                        | b'-'
+                        | b'*'
+                        | b'/'
+                        | b'%'
+                        | b'&'
+                        | b'|'
+                        | b'^'
+                ))
+            && b.get(i + 2) != Some(&b'=')
+        {
+            let lo = i.saturating_sub(40);
+            let hi = (i + 2 + 40).min(b.len());
+            let left = clip_operand(&masked[lo..i], true);
+            let right = clip_operand(&masked[i + 2..hi], false);
+            for side in [left, right] {
+                if has_float_literal(side) || has_float_ident(side) {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Clips an operand window at the nearest expression separator so that
+/// unrelated neighbouring arguments don't leak into the float heuristic.
+fn clip_operand(window: &str, from_end: bool) -> &str {
+    const SEPS: [char; 6] = [',', ';', '(', ')', '{', '}'];
+    if from_end {
+        match window.rfind(SEPS) {
+            Some(p) => &window[p + 1..],
+            None => window,
+        }
+    } else {
+        match window.find(SEPS) {
+            Some(p) => &window[..p],
+            None => window,
+        }
+    }
+}
+
+/// Detects a bare `as <narrow-int>` cast in the masked line.
+fn has_narrowing_cast(masked: &str) -> bool {
+    let b = masked.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = masked[start..].find(" as ") {
+        let abs = start + pos;
+        let after = &masked[abs + 4..];
+        let target: String = after.chars().take_while(|c| c.is_ascii_alphanumeric()).collect();
+        if NARROW_TARGETS.contains(&target.as_str()) {
+            // `as` must be a standalone word (preceded by non-ident byte).
+            if abs == 0 || !is_ident_byte(b[abs]) {
+                return true;
+            }
+        }
+        start = abs + 4;
+    }
+    false
+}
+
+/// True if this relative path is in scope for the `as-narrowing` rule.
+pub fn narrowing_applies(rel_path: &str) -> bool {
+    let normalized = rel_path.replace('\\', "/");
+    NARROWING_SCOPE.iter().any(|frag| {
+        normalized.rsplit('/').next().is_some_and(|file| file.contains(frag))
+            || normalized.contains(&format!("/{frag}/"))
+    })
+}
+
+/// Scans one file's source text, appending violations. `rel_path` is used
+/// for reporting and for path-scoped rules.
+pub fn scan_source(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
+    let mut mode = Mode::default();
+    let mut depth: i64 = 0;
+    let mut pending_test = false;
+    let mut test_until: Option<i64> = None;
+    let mut next_line_allows: Vec<&str> = Vec::new();
+    let narrowing_in_scope = narrowing_applies(rel_path);
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let masked = mask_line(raw_line, &mut mode);
+        let line_no = idx + 1;
+
+        if test_until.is_none() && masked.contains("cfg(test)") {
+            pending_test = true;
+        }
+        let opens = i64::try_from(masked.bytes().filter(|&b| b == b'{').count()).unwrap_or(0);
+        let closes = i64::try_from(masked.bytes().filter(|&b| b == b'}').count()).unwrap_or(0);
+        if pending_test && opens > 0 {
+            test_until = Some(depth);
+            pending_test = false;
+        }
+        let in_test = test_until.is_some();
+        depth += opens - closes;
+        if let Some(t) = test_until {
+            if depth <= t {
+                test_until = None;
+            }
+        }
+
+        let carried_allows = std::mem::take(&mut next_line_allows);
+        next_line_allows = next_line_allowed_rules(raw_line);
+        if in_test {
+            continue;
+        }
+        let mut allowed = allowed_rules(raw_line);
+        allowed.extend(carried_allows);
+        let mut push = |rule: &'static str| {
+            if !allowed.contains(&rule) {
+                out.push(Violation {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule,
+                    excerpt: raw_line.trim().chars().take(120).collect(),
+                });
+            }
+        };
+
+        if PANIC_PATTERNS.iter().any(|p| find_banned(&masked, p)) {
+            push("no-panic");
+        }
+        if has_float_cmp(&masked) {
+            push("float-cmp");
+        }
+        if narrowing_in_scope && has_narrowing_cast(&masked) {
+            push("as-narrowing");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        scan_source(path, src, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_each_panic_pattern_in_lib_code() {
+        for bad in [
+            "let x = maybe.unwrap();",
+            "let x = maybe.expect(\"reason\");",
+            "panic!(\"boom\");",
+            "unreachable!(),",
+            "todo!()",
+            "unimplemented!()",
+        ] {
+            let v = scan("crates/core/src/alloc.rs", bad);
+            assert_eq!(v.len(), 1, "{bad} should be flagged: {v:?}");
+            assert_eq!(v[0].rule, "no-panic");
+        }
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "fn lib() -> u32 { 1 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { x.unwrap(); panic!(\"ok in tests\"); }\n\
+                   }\n\
+                   fn after() { y.unwrap(); }\n";
+        let v = scan("crates/core/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 6, "only the post-module unwrap counts");
+    }
+
+    #[test]
+    fn comments_and_strings_are_ignored() {
+        let src = "// this .unwrap() is prose\n\
+                   /* panic! in a block\n\
+                      spanning lines .unwrap() */\n\
+                   let s = \"contains panic! and .unwrap()\";\n\
+                   let r = r#\"raw panic! body\"#;\n";
+        assert!(scan("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn char_literal_braces_do_not_corrupt_test_tracking() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn f() { let open = '{'; x.unwrap(); }\n\
+                   }\n\
+                   fn lib() { y.unwrap(); }\n";
+        let v = scan("crates/core/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn lint_allow_suppresses_named_rule_only() {
+        let allowed = "let x = m.unwrap(); // lint:allow(no-panic): invariant upheld by caller";
+        assert!(scan("crates/core/src/lib.rs", allowed).is_empty());
+        let wrong_rule = "let x = m.unwrap(); // lint:allow(float-cmp): wrong rule named";
+        assert_eq!(scan("crates/core/src/lib.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn lint_allow_next_line_suppresses_following_line_only() {
+        let allowed = "// lint:allow-next-line(no-panic): invariant upheld by caller\n\
+                       let x = m.unwrap();";
+        assert!(scan("crates/core/src/lib.rs", allowed).is_empty());
+        // The suppression does not extend past the next line.
+        let too_far = "// lint:allow-next-line(no-panic): only reaches the next line\n\
+                       let x = 1;\n\
+                       let y = m.unwrap();";
+        assert_eq!(scan("crates/core/src/lib.rs", too_far).len(), 1);
+        // The next-line form does not suppress its own line.
+        let own_line = "let x = m.unwrap(); // lint:allow-next-line(no-panic): misplaced";
+        assert_eq!(scan("crates/core/src/lib.rs", own_line).len(), 1);
+    }
+
+    #[test]
+    fn float_cmp_flags_frequency_comparisons() {
+        for bad in [
+            "if freq == 0.0 { return; }",
+            "if total_mass != expected_mass {",
+            "assert(weight == w2);",
+            "if 0.5 == threshold {",
+        ] {
+            let v = scan("crates/core/src/marginal.rs", bad);
+            assert_eq!(v.len(), 1, "{bad}: {v:?}");
+            assert_eq!(v[0].rule, "float-cmp");
+        }
+    }
+
+    #[test]
+    fn float_cmp_ignores_integers_and_ranges() {
+        for ok in [
+            "if count == 0 { return; }",
+            "for i in 0..5 { body(i); }",
+            "if tag != 1 { err(); }",
+            "let eq = a <= b;",
+            "if idx == len - 1 {",
+        ] {
+            assert!(scan("crates/core/src/marginal.rs", ok).is_empty(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn narrowing_cast_scoped_to_codec_paths() {
+        let bad = "let n = total as u16;";
+        assert_eq!(scan("crates/histogram/src/codec.rs", bad).len(), 1);
+        assert_eq!(scan("crates/histogram/src/mhist/build.rs", bad).len(), 1);
+        assert_eq!(scan("crates/core/src/alloc.rs", bad).len(), 1);
+        // Out of scope: same cast elsewhere is clippy's business, not ours.
+        assert!(scan("crates/data/src/census.rs", bad).is_empty());
+        // Widening casts stay legal even in scope.
+        assert!(scan("crates/histogram/src/codec.rs", "let w = x as u64;").is_empty());
+        assert!(scan("crates/histogram/src/codec.rs", "let f = x as f64;").is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments_unwind_correctly() {
+        let src = "/* outer /* inner */ still comment .unwrap() */\n\
+                   real.unwrap();\n";
+        let v = scan("crates/core/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn multiline_string_state_carries_over() {
+        let src = "let s = \"line one panic!\n\
+                   line two .unwrap()\";\n\
+                   after.unwrap();\n";
+        let v = scan("crates/core/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! `cargo xtask`-style workspace automation. Dependency-free by design:
+//! it must build in the same registry-less environment as the workspace.
+//!
+//! ```text
+//! cargo run -p xtask -- lint        # run the custom static checks
+//! cargo run -p xtask -- selftest    # prove the linter catches seeded bugs
+//! ```
+//!
+//! `lint` walks every library source file in the workspace (each
+//! `crates/<name>/src/**/*.rs` plus the root `src/`), applies the rules in
+//! [`lint`], prints one human-readable line per violation to stderr and a
+//! machine-readable JSON summary to stdout, and exits nonzero if any
+//! violation survives its `lint:allow` escapes.
+
+mod lint;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some("selftest") => run_selftest(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint|selftest>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Workspace root, resolved from this crate's manifest directory at
+/// compile time (`crates/xtask` → two levels up).
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+/// Library source roots to scan: every workspace crate's `src/` except
+/// xtask itself and the vendored dependency stand-ins, plus the root
+/// package. `src/bin/` subtrees are excluded — the rules target library
+/// code reachable from the public API, not one-off executables.
+fn source_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut names: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
+            .collect();
+        names.sort();
+        for krate in names {
+            roots.push(krate.join("src"));
+        }
+    }
+    roots
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `bin/` subtrees.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for src_root in source_roots(&root) {
+        collect_rs_files(&src_root, &mut files);
+    }
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(source) = fs::read_to_string(path) else {
+            eprintln!("xtask lint: unreadable file {}", path.display());
+            continue;
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        lint::scan_source(&rel, &source, &mut violations);
+        scanned += 1;
+    }
+
+    for v in &violations {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.excerpt);
+    }
+    println!("{}", json_summary(scanned, &violations));
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s) in {} file(s) scanned", violations.len(), scanned);
+        ExitCode::FAILURE
+    }
+}
+
+/// Proves the linter still catches seeded violations of every rule: a
+/// regression test for the lint gate itself, runnable in CI without
+/// mutating any tracked file. Exits nonzero if any seeded bug goes
+/// undetected (i.e. the gate has rotted).
+fn run_selftest() -> ExitCode {
+    let seeded: [(&str, &str, &str); 3] = [
+        ("no-panic", "crates/core/src/alloc.rs", "let v = budget.unwrap();"),
+        ("float-cmp", "crates/core/src/marginal.rs", "if freq == 0.0 { return; }"),
+        ("as-narrowing", "crates/histogram/src/codec.rs", "let n = count as u16;"),
+    ];
+    let mut failures = 0u32;
+    for (rule, path, source) in seeded {
+        let mut out = Vec::new();
+        lint::scan_source(path, source, &mut out);
+        if out.iter().any(|v| v.rule == rule) {
+            eprintln!("selftest: rule {rule} fires on seeded violation ... ok");
+        } else {
+            eprintln!("selftest: rule {rule} MISSED seeded violation: {source}");
+            failures += 1;
+        }
+        // The escape hatch must also still work.
+        let allowed = format!("{source} // lint:allow({rule}): selftest");
+        let mut quiet = Vec::new();
+        lint::scan_source(path, &allowed, &mut quiet);
+        if quiet.iter().any(|v| v.rule == rule) {
+            eprintln!("selftest: lint:allow({rule}) failed to suppress");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        eprintln!("selftest: all {} rules verified", lint::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Hand-rolled JSON (no serde in a registry-less build): one summary
+/// object with per-rule counts and the full violation list.
+fn json_summary(files_scanned: usize, violations: &[lint::Violation]) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!("\"files_scanned\":{files_scanned},"));
+    s.push_str(&format!("\"total_violations\":{},", violations.len()));
+    s.push_str("\"counts\":{");
+    for (i, rule) in lint::RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let n = violations.iter().filter(|v| v.rule == *rule).count();
+        s.push_str(&format!("\"{rule}\":{n}"));
+    }
+    s.push_str("},\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"excerpt\":\"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            v.rule,
+            json_escape(&v.excerpt)
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_summary_is_well_formed() {
+        let violations = vec![lint::Violation {
+            file: "crates/core/src/alloc.rs".into(),
+            line: 7,
+            rule: "no-panic",
+            excerpt: "x.unwrap() // \"quoted\"".into(),
+        }];
+        let json = json_summary(3, &violations);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"files_scanned\":3"));
+        assert!(json.contains("\"no-panic\":1"));
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn workspace_root_has_manifest() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn source_roots_cover_all_crates_except_self_and_vendor() {
+        let roots = source_roots(&workspace_root());
+        let names: Vec<String> = roots.iter().map(|p| p.display().to_string()).collect();
+        assert!(names.iter().any(|n| n.ends_with("crates/core/src")), "{names:?}");
+        assert!(names.iter().any(|n| n.ends_with("crates/histogram/src")));
+        assert!(!names.iter().any(|n| n.contains("xtask")));
+        assert!(!names.iter().any(|n| n.contains("vendor")));
+    }
+}

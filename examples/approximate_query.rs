@@ -10,6 +10,8 @@
 //! cargo run --release --example approximate_query
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
 use dbhist::core::baselines::{IndEstimator, MhistEstimator};
 use dbhist::core::synopsis::{DbConfig, DbHistogram};
 use dbhist::core::SelectivityEstimator;
@@ -42,21 +44,14 @@ fn main() {
 
     type Predicate = Vec<(u16, u32, u32)>;
     let queries: Vec<(&str, Predicate)> = vec![
-        (
-            "full-time workers (hours 35..45)",
-            vec![(attrs::HOURS, 35, 45)],
-        ),
+        ("full-time workers (hours 35..45)", vec![(attrs::HOURS, 35, 45)]),
         (
             "educated urbanites (education 12.., state 0..7)",
             vec![(attrs::EDUCATION, 12, 16), (attrs::STATE, 0, 7)],
         ),
         (
             "home-born, county 0..30, hours 35..45",
-            vec![
-                (attrs::COUNTRY, 0, 0),
-                (attrs::COUNTY, 0, 30),
-                (attrs::HOURS, 35, 45),
-            ],
+            vec![(attrs::COUNTRY, 0, 0), (attrs::COUNTY, 0, 30), (attrs::HOURS, 35, 45)],
         ),
         (
             "4-D drill-down (age, education, state, hours)",

@@ -12,6 +12,8 @@
 //! cargo run --release --example dependency_mining
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
 use dbhist::data::housing;
 use dbhist::distribution::EntropyCache;
 use dbhist::model::selection::{ForwardSelector, SelectionConfig};
@@ -27,28 +29,18 @@ fn main() {
         schema.arity()
     );
 
-    let config = SelectionConfig {
-        k_max: 3,
-        theta: 0.99,
-        max_edges: Some(12),
-        ..Default::default()
-    };
+    let config =
+        SelectionConfig { k_max: 3, theta: 0.99, max_edges: Some(12), ..Default::default() };
     let result = ForwardSelector::new(&rel, config).run();
 
     println!("discovered interactions (in selection order):");
-    println!(
-        "{:<28} {:>12} {:>14} {:>12}",
-        "edge", "ΔD (nats)", "G²", "significance"
-    );
+    println!("{:<28} {:>12} {:>14} {:>12}", "edge", "ΔD (nats)", "G²", "significance");
     for step in &result.steps {
         let c = &step.candidate;
         let sep = if c.separator.is_empty() {
             String::new()
         } else {
-            format!(
-                "  | given {{{}}}",
-                c.separator.iter().map(name).collect::<Vec<_>>().join(", ")
-            )
+            format!("  | given {{{}}}", c.separator.iter().map(name).collect::<Vec<_>>().join(", "))
         };
         println!(
             "{:<28} {:>12.4} {:>14.0} {:>12.6}{sep}",
@@ -70,15 +62,10 @@ fn main() {
     // property; one statement per junction-tree separator).
     println!("\nconditional independencies entailed by the model:");
     for statement in result.model.independence_statements() {
-        let fmt_set = |s: &dbhist::distribution::AttrSet| {
-            s.iter().map(name).collect::<Vec<_>>().join(", ")
-        };
+        let fmt_set =
+            |s: &dbhist::distribution::AttrSet| s.iter().map(name).collect::<Vec<_>>().join(", ");
         if statement.given.is_empty() {
-            println!(
-                "  {{{}}} ⊥ {{{}}}",
-                fmt_set(&statement.left),
-                fmt_set(&statement.right)
-            );
+            println!("  {{{}}} ⊥ {{{}}}", fmt_set(&statement.left), fmt_set(&statement.right));
         } else {
             println!(
                 "  {{{}}} ⊥ {{{}}}  given {{{}}}",
@@ -96,8 +83,5 @@ fn main() {
         result.initial_divergence,
         result.model.divergence(&mut cache),
     );
-    println!(
-        "(entropy computations during selection: {})",
-        result.entropy_computations
-    );
+    println!("(entropy computations during selection: {})", result.entropy_computations);
 }

@@ -10,6 +10,8 @@
 //! cargo run --release --example query_optimizer
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
 use dbhist::core::baselines::IndEstimator;
 use dbhist::core::synopsis::{DbConfig, DbHistogram};
 use dbhist::core::SelectivityEstimator;
@@ -18,10 +20,7 @@ use dbhist::histogram::SplitCriterion;
 
 /// Tuples examined by a pipeline that applies `predicates` in the given
 /// order: every tuple is touched by stage 1, survivors by stage 2, etc.
-fn pipeline_cost(
-    rel: &dbhist::distribution::Relation,
-    order: &[(u16, u32, u32)],
-) -> u64 {
+fn pipeline_cost(rel: &dbhist::distribution::Relation, order: &[(u16, u32, u32)]) -> u64 {
     let mut cost = 0u64;
     let mut active: Vec<(u16, u32, u32)> = Vec::new();
     let mut survivors = rel.row_count() as u64;
@@ -70,9 +69,9 @@ fn main() {
     // country ∈ 1..112, "mother = home" is rare — far more selective than
     // independence predicts.
     let predicates = [
-        (attrs::COUNTRY, 1, 112),        // immigrant
-        (attrs::MOTHER_COUNTRY, 0, 0),   // home-born mother
-        (attrs::AGE, 30, 60),            // middle-aged
+        (attrs::COUNTRY, 1, 112),      // immigrant
+        (attrs::MOTHER_COUNTRY, 0, 0), // home-born mother
+        (attrs::AGE, 30, 60),          // middle-aged
     ];
 
     println!("filter: country in 1..112 AND mother-country = 0 AND age in 30..60");
@@ -92,9 +91,7 @@ fn main() {
     // Best and worst possible orders, for reference.
     let mut best = u64::MAX;
     let mut worst = 0;
-    let perms = [
-        [0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
-    ];
+    let perms = [[0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
     for p in perms {
         let order: Vec<_> = p.iter().map(|&i| predicates[i]).collect();
         let cost = pipeline_cost(&rel, &order);

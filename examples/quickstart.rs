@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
 use dbhist::core::synopsis::{DbConfig, DbHistogram};
 use dbhist::core::SelectivityEstimator;
 use dbhist::data::census;
@@ -13,11 +15,7 @@ fn main() {
     // 1. A 6-attribute Census-like table (race, country, mother-country,
     //    father-country, citizenship, age); see the paper §4.1.
     let relation = census::census_data_set_1_with(30_000, 7);
-    println!(
-        "table: {} rows x {} attributes",
-        relation.row_count(),
-        relation.schema().arity()
-    );
+    println!("table: {} rows x {} attributes", relation.row_count(), relation.schema().arity());
 
     // 2. Build a DB histogram in 3 KB: forward-select a decomposable
     //    model (DB2 heuristic, k_max = 2, θ = 0.90), then fund MHIST
@@ -39,17 +37,11 @@ fn main() {
         ("country = home", vec![(census::attrs::COUNTRY, 0, 0)]),
         (
             "country = home AND mother = home",
-            vec![
-                (census::attrs::COUNTRY, 0, 0),
-                (census::attrs::MOTHER_COUNTRY, 0, 0),
-            ],
+            vec![(census::attrs::COUNTRY, 0, 0), (census::attrs::MOTHER_COUNTRY, 0, 0)],
         ),
         (
             "immigrant families (country in 1..40, mother in 1..40)",
-            vec![
-                (census::attrs::COUNTRY, 1, 40),
-                (census::attrs::MOTHER_COUNTRY, 1, 40),
-            ],
+            vec![(census::attrs::COUNTRY, 1, 40), (census::attrs::MOTHER_COUNTRY, 1, 40)],
         ),
         (
             "citizens aged 30-50",

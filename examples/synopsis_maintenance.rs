@@ -10,6 +10,8 @@
 //! cargo run --release --example synopsis_maintenance
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
 use dbhist::core::maintenance::MaintainedDbHistogram;
 use dbhist::core::synopsis::DbConfig;
 use dbhist::core::SelectivityEstimator;
@@ -19,10 +21,7 @@ use dbhist::distribution::Relation;
 fn report(m: &MaintainedDbHistogram, rel: &Relation, label: &str) {
     // Probe: immigrant persons with home-born mothers — sensitive to the
     // country/mother correlation the model encodes.
-    let probe = [
-        (attrs::COUNTRY, 1u32, 112u32),
-        (attrs::MOTHER_COUNTRY, 0u32, 0u32),
-    ];
+    let probe = [(attrs::COUNTRY, 1u32, 112u32), (attrs::MOTHER_COUNTRY, 0u32, 0u32)];
     let est = m.estimate(&probe);
     let exact = rel.count_range(&probe) as f64;
     let err = if exact > 0.0 { (est - exact).abs() / exact } else { est };
@@ -36,8 +35,7 @@ fn report(m: &MaintainedDbHistogram, rel: &Relation, label: &str) {
 
 fn main() {
     let base = census::census_data_set_1_with(30_000, 21);
-    let mut maintained =
-        MaintainedDbHistogram::build(&base, DbConfig::new(3 * 1024)).unwrap();
+    let mut maintained = MaintainedDbHistogram::build(&base, DbConfig::new(3 * 1024)).unwrap();
     println!("initial model: {}\n", maintained.synopsis().model().notation());
 
     // Accumulate the true table alongside for ground truth.

@@ -1,5 +1,7 @@
 //! Degenerate-input and failure-injection tests across the workspace.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
+
 use dbhist::core::baselines::{IndEstimator, MhistEstimator};
 use dbhist::core::synopsis::{DbConfig, DbHistogram};
 use dbhist::core::SelectivityEstimator;
@@ -67,9 +69,8 @@ fn deterministic_selection_on_ties() {
 #[test]
 fn estimates_never_negative_or_nan() {
     let schema = Schema::new(vec![("a", 16), ("b", 16), ("c", 6)]).unwrap();
-    let rows: Vec<Vec<u32>> = (0..3000u32)
-        .map(|i| vec![(i * i) % 16, (i * 7) % 16, (i / 5) % 6])
-        .collect();
+    let rows: Vec<Vec<u32>> =
+        (0..3000u32).map(|i| vec![(i * i) % 16, (i * 7) % 16, (i / 5) % 6]).collect();
     let rel = Relation::from_rows(schema, rows).unwrap();
     let db = DbHistogram::build_mhist(&rel, DbConfig::new(512)).unwrap();
     let mh = MhistEstimator::build(&rel, 512, SplitCriterion::MaxDiff).unwrap();
@@ -112,7 +113,7 @@ proptest! {
         let rows: Vec<Vec<u32>> = (0..256u32).map(|i| vec![i % 16, (i / 16) % 8]).collect();
         let rel = Relation::from_rows(schema, rows).unwrap();
         let tree = MhistBuilder::build(&rel.distribution(), 10, SplitCriterion::MaxDiff).unwrap();
-        let mut bytes = dbhist::histogram::codec::encode_split_tree(&tree);
+        let mut bytes = dbhist::histogram::codec::encode_split_tree(&tree).unwrap();
         let idx = pos % bytes.len();
         bytes[idx] = val;
         let _ = decode_split_tree(&bytes);

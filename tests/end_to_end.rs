@@ -1,6 +1,8 @@
 //! End-to-end integration: data generation → model selection → synopsis
 //! construction → query estimation, across all workspace crates.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
+
 use dbhist::core::baselines::{IndEstimator, MhistEstimator, SamplingEstimator};
 use dbhist::core::synopsis::{DbConfig, DbHistogram};
 use dbhist::core::SelectivityEstimator;
@@ -35,12 +37,7 @@ fn model_selection_finds_census_structure() {
     let db = DbHistogram::build_mhist(&rel, DbConfig::new(3 * 1024)).unwrap();
     let g = db.model().graph();
     // The origin cluster must be connected in the model graph.
-    let origin = [
-        attrs::COUNTRY,
-        attrs::MOTHER_COUNTRY,
-        attrs::FATHER_COUNTRY,
-        attrs::CITIZENSHIP,
-    ];
+    let origin = [attrs::COUNTRY, attrs::MOTHER_COUNTRY, attrs::FATHER_COUNTRY, attrs::CITIZENSHIP];
     let connected = origin
         .iter()
         .flat_map(|&a| origin.iter().map(move |&b| (a, b)))
@@ -48,10 +45,7 @@ fn model_selection_finds_census_structure() {
         .count();
     assert!(connected >= 3, "origin attributes should interconnect: {g}");
     // Age stays disconnected from the origin cluster.
-    assert!(
-        !g.same_component(attrs::AGE, attrs::COUNTRY),
-        "age must remain independent: {g}"
-    );
+    assert!(!g.same_component(attrs::AGE, attrs::COUNTRY), "age must remain independent: {g}");
 }
 
 #[test]
@@ -93,11 +87,7 @@ fn all_estimators_satisfy_storage_budget() {
         // Whole-table estimate is close to N for everyone.
         let n = rel.row_count() as f64;
         let whole = est.estimate(&[]);
-        assert!(
-            (whole - n).abs() / n < 0.01,
-            "{}: {whole} vs {n}",
-            est.name()
-        );
+        assert!((whole - n).abs() / n < 0.01, "{}: {whole} vs {n}", est.name());
     }
 }
 
@@ -108,14 +98,8 @@ fn grid_and_mhist_db_histograms_agree_roughly() {
     let grid_db = DbHistogram::build_grid(&rel, DbConfig::new(2 * 1024)).unwrap();
     let ranges = [(attrs::COUNTRY, 0u32, 0u32), (attrs::AGE, 20u32, 60u32)];
     let exact = rel.count_range(&ranges) as f64;
-    for est in [
-        mhist_db.estimate(&ranges),
-        grid_db.estimate(&ranges),
-    ] {
-        assert!(
-            (est - exact).abs() / exact < 0.75,
-            "estimate {est} too far from exact {exact}"
-        );
+    for est in [mhist_db.estimate(&ranges), grid_db.estimate(&ranges)] {
+        assert!((est - exact).abs() / exact < 0.75, "estimate {est} too far from exact {exact}");
     }
 }
 

@@ -1,5 +1,9 @@
 //! Property-based invariants on the core data structures, spanning crates.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
+
+use dbhist::core::alloc::{error_curve, incremental_gains, optimal_dp, CurvePoint};
+use dbhist::core::build::MhistCliqueBuilder;
 use dbhist::core::factor::ExactFactor;
 use dbhist::core::marginal::{compute_marginal_naive, compute_marginal_with_stats};
 use dbhist::distribution::{AttrId, AttrSet, Relation, Schema};
@@ -13,37 +17,32 @@ use proptest::prelude::*;
 
 /// Strategy: a small random relation over 2–4 attributes.
 fn relation_strategy() -> impl Strategy<Value = Relation> {
-    (2usize..=4, 2u32..=8, 10usize..=200, any::<u64>()).prop_map(
-        |(arity, domain, rows, seed)| {
-            let schema = Schema::new(
-                (0..arity).map(|i| (format!("a{i}"), domain)),
-            )
-            .unwrap();
-            let mut state = seed | 1;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state
-            };
-            let data: Vec<Vec<u32>> = (0..rows)
-                .map(|_| {
-                    // Correlate even attributes with attribute 0.
-                    let base = (next() % u64::from(domain)) as u32;
-                    (0..arity)
-                        .map(|i| {
-                            if i % 2 == 0 && next() % 3 != 0 {
-                                base
-                            } else {
-                                (next() % u64::from(domain)) as u32
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
-            Relation::from_rows(schema, data).unwrap()
-        },
-    )
+    (2usize..=4, 2u32..=8, 10usize..=200, any::<u64>()).prop_map(|(arity, domain, rows, seed)| {
+        let schema = Schema::new((0..arity).map(|i| (format!("a{i}"), domain))).unwrap();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let data: Vec<Vec<u32>> = (0..rows)
+            .map(|_| {
+                // Correlate even attributes with attribute 0.
+                let base = (next() % u64::from(domain)) as u32;
+                (0..arity)
+                    .map(|i| {
+                        if i % 2 == 0 && next() % 3 != 0 {
+                            base
+                        } else {
+                            (next() % u64::from(domain)) as u32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Relation::from_rows(schema, data).unwrap()
+    })
 }
 
 /// Strategy: a random chordal graph built by random legal edge insertion.
@@ -127,7 +126,7 @@ proptest! {
     fn codec_roundtrip(rel in relation_strategy(), buckets in 1usize..24) {
         let dist = rel.distribution();
         let tree = MhistBuilder::build(&dist, buckets, SplitCriterion::MaxDiff).unwrap();
-        let decoded = decode_split_tree(&encode_split_tree(&tree)).unwrap();
+        let decoded = decode_split_tree(&encode_split_tree(&tree).unwrap()).unwrap();
         prop_assert_eq!(decoded.bucket_count(), tree.bucket_count());
         prop_assert_eq!(decoded.attrs(), tree.attrs());
         prop_assert!((decoded.total() - tree.total()).abs() < 1e-2 * (1.0 + tree.total()));
@@ -291,6 +290,52 @@ proptest! {
         let truth = rel.marginal(&target).unwrap();
         for (k, v) in truth.iter() {
             prop_assert!((f.0.frequency(k) - v).abs() < 1e-9);
+        }
+    }
+
+    /// The debug-mode validators accept every structure produced through
+    /// the public constructors: junction trees satisfy their structural
+    /// invariants, distributions stay non-negative with mass preserved
+    /// across projection, and both allocators conserve the byte budget.
+    #[test]
+    fn validators_accept_constructed_structures(
+        rel in relation_strategy(),
+        budget in 40usize..400,
+    ) {
+        let config = SelectionConfig { theta: 0.5, ..Default::default() };
+        let result = ForwardSelector::new(&rel, config).run();
+        let jt = result.model.junction_tree();
+        prop_assert!(jt.validate().is_ok());
+
+        let joint = rel.distribution();
+        prop_assert!(joint.validate().is_ok());
+        let marg = joint.marginal(&AttrSet::from_ids([0, 1])).unwrap();
+        prop_assert!(marg.validate().is_ok());
+        prop_assert!((marg.total() - joint.total()).abs() <= 1e-6 * (1.0 + joint.total()));
+
+        let make_builders = || -> Vec<MhistCliqueBuilder> {
+            result
+                .model
+                .cliques()
+                .iter()
+                .map(|c| {
+                    let d = rel.marginal(c).unwrap();
+                    MhistCliqueBuilder::start(&d, SplitCriterion::MaxDiff).unwrap()
+                })
+                .collect()
+        };
+        let mut builders = make_builders();
+        if let Ok(report) = incremental_gains(&mut builders, budget) {
+            prop_assert!(report.validate(budget).is_ok());
+        }
+        let mut for_curves = make_builders();
+        let curves: Vec<Vec<CurvePoint>> = for_curves
+            .iter_mut()
+            .map(|b| error_curve(b, budget))
+            .collect();
+        if let Ok(picks) = optimal_dp(&curves, budget) {
+            let spent: usize = picks.iter().map(|p| p.bytes).sum();
+            prop_assert!(spent <= budget);
         }
     }
 }

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crate registry, so the workspace vendors a
+//! minimal wall-clock benchmarking harness exposing the `criterion 0.5`
+//! surface the `crates/bench` targets use (see `[patch.crates-io]` in the
+//! workspace `Cargo.toml`). It runs each benchmark a fixed number of
+//! iterations, reports mean wall-clock time to stderr, and performs no
+//! statistical analysis — adequate for "does it run, roughly how fast",
+//! not for publication-grade measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-benchmark timing driver, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed iterations.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in has no fixed time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in has no warm-up budget.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: self.sample_size as u64, elapsed: Duration::ZERO };
+        f(&mut b);
+        self.criterion.report(&self.name, &id.id, &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: self.sample_size as u64, elapsed: Duration::ZERO };
+        f(&mut b, input);
+        self.criterion.report(&self.name, &id.id, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Accepted for compatibility; CLI flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        f(&mut b);
+        self.report("bench", &id.id, &b);
+        self
+    }
+
+    /// Prints the closing line.
+    pub fn final_summary(&self) {
+        eprintln!("criterion(stand-in): {} benchmarks timed", self.benchmarks_run);
+    }
+
+    fn report(&mut self, group: &str, id: &str, b: &Bencher) {
+        self.benchmarks_run += 1;
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        eprintln!(
+            "criterion(stand-in) {group}/{id}: {:.3} ms/iter ({} iters)",
+            per_iter * 1e3,
+            b.iters
+        );
+    }
+}
+
+/// Bundles benchmark functions into one runner fn, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates a `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_count() {
+        let mut c = Criterion::default().configure_from_args();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(c.benchmarks_run, 2);
+        c.final_summary();
+    }
+}

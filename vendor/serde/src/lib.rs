@@ -1,0 +1,9 @@
+//! Offline resolution-only stand-in for `serde`.
+//!
+//! The workspace's optional `serde` feature is OFF by default and the build
+//! container has no crate registry, so this crate exists purely to satisfy
+//! dependency resolution (see `[patch.crates-io]` in the workspace
+//! `Cargo.toml`). It intentionally provides **no** derive macros or traits:
+//! enabling the workspace `serde` feature against this stand-in is a
+//! compile error, which is the honest behaviour — serialization support
+//! requires the real crate.
