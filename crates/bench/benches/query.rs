@@ -7,7 +7,10 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dbhist_bench::experiments::Scale;
 use dbhist_core::baselines::{IndEstimator, MhistEstimator};
-use dbhist_core::marginal::{compute_marginal_naive, compute_marginal_with_stats};
+use dbhist_core::marginal::{
+    compute_marginal_naive, compute_marginal_with_stats, estimate_mass_interpreted,
+};
+use dbhist_core::plan::QueryEngine;
 use dbhist_core::synopsis::{DbConfig, DbHistogram};
 use dbhist_core::SelectivityEstimator;
 use dbhist_data::workload::{Workload, WorkloadConfig};
@@ -63,7 +66,69 @@ fn bench_marginal_strategies(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_estimation, bench_marginal_strategies);
+fn bench_plan_vs_interpreter(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let db = DbHistogram::build_mhist(&rel, DbConfig::new(3 * 1024)).unwrap();
+    let tree = db.model().junction_tree();
+    let factors = db.factors();
+    let workload = Workload::generate(
+        &rel,
+        WorkloadConfig { dimensionality: 3, queries: 20, min_count: 50, seed: 5 },
+    );
+    type BoxQuery<'a> = (AttrSet, &'a [(dbhist_distribution::AttrId, u32, u32)]);
+    let queries: Vec<BoxQuery<'_>> = workload
+        .queries
+        .iter()
+        .map(|q| (AttrSet::from_ids(q.ranges.iter().map(|r| r.0)), q.ranges.as_slice()))
+        .collect();
+
+    let mut group = c.benchmark_group("estimate_mass_path");
+    group.sample_size(10);
+    group.bench_function("interpreted", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|(t, r)| estimate_mass_interpreted(tree, factors, t, r).unwrap())
+                .sum::<f64>()
+        });
+    });
+    // Warm the plan cache once so the measurement reflects the steady
+    // state (replayed plans, zero-clone execution).
+    let engine: QueryEngine<_> = QueryEngine::new(tree);
+    for (t, r) in &queries {
+        engine.estimate_mass(tree, factors, t, r).unwrap();
+    }
+    group.bench_function("planned_warm_cache", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|(t, r)| engine.estimate_mass(tree, factors, t, r).unwrap())
+                .sum::<f64>()
+        });
+    });
+    let cached: QueryEngine<_> = QueryEngine::new(tree);
+    cached.enable_marginal_cache(64);
+    for (t, r) in &queries {
+        cached.estimate_mass(tree, factors, t, r).unwrap();
+    }
+    group.bench_function("planned_marginal_cache", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|(t, r)| cached.estimate_mass(tree, factors, t, r).unwrap())
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+    let trace = engine.trace();
+    eprintln!(
+        "plan path: {} plan-cache hits / {} misses, {} factor clones",
+        trace.plan_cache_hits, trace.plan_cache_misses, trace.factor_clones
+    );
+}
+
+criterion_group!(benches, bench_estimation, bench_marginal_strategies, bench_plan_vs_interpreter);
 fn main() {
     // Debug builds (`cargo test --workspace`) skip the heavy pipelines;
     // run `cargo bench` for real measurements.

@@ -1,0 +1,185 @@
+//! Emits `BENCH_query.json`: planned vs. interpreted selectivity-estimation
+//! latency and cache hit rates on a deterministic smoke workload.
+//!
+//! ```text
+//! query_bench [OUTPUT_PATH]    (default: BENCH_query.json)
+//! ```
+//!
+//! The workload is fixed (quick-scale census data, fixed seeds), so the
+//! numbers form a comparable perf trajectory across commits. Besides
+//! timing, the run asserts that all three paths — interpreter, plan
+//! engine, plan engine with the materialized-marginal cache — produce
+//! bit-identical estimate checksums, making it an end-to-end equivalence
+//! smoke test as well.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dbhist_bench::experiments::Scale;
+use dbhist_core::marginal::estimate_mass_interpreted;
+use dbhist_core::plan::{QueryEngine, QueryTrace};
+use dbhist_core::synopsis::{DbConfig, DbHistogram};
+use dbhist_data::workload::{Workload, WorkloadConfig};
+use dbhist_distribution::{AttrId, AttrSet};
+
+/// Passes over the workload: the first compiles plans, the rest replay
+/// them (and, in the cached mode, replay materialized marginals).
+const REPEATS: usize = 8;
+const QUERIES: usize = 24;
+const BUDGET: usize = 3 * 1024;
+
+/// A query shape (target attributes) plus its conjunctive box.
+type BoxQuery = (AttrSet, Vec<(AttrId, u32, u32)>);
+
+fn trace_json(t: &QueryTrace) -> String {
+    format!(
+        "{{\"products\": {}, \"projections\": {}, \"identity_projections\": {}, \
+         \"sheds\": {}, \"sheds_skipped\": {}, \"clique_loads\": {}, \"factor_clones\": {}, \
+         \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
+         \"marginal_cache_hits\": {}, \"marginal_cache_misses\": {}}}",
+        t.products,
+        t.projections,
+        t.identity_projections,
+        t.sheds,
+        t.sheds_skipped,
+        t.clique_loads,
+        t.factor_clones,
+        t.plan_cache_hits,
+        t.plan_cache_misses,
+        t.marginal_cache_hits,
+        t.marginal_cache_misses,
+    )
+}
+
+fn hit_rate(hits: usize, misses: usize) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query.json".into());
+
+    let scale = Scale::quick();
+    let rel = scale.census_1();
+    let db = DbHistogram::build_mhist(&rel, DbConfig::new(BUDGET)).unwrap();
+    let tree = db.model().junction_tree();
+    let factors = db.factors();
+    let workload = Workload::generate(
+        &rel,
+        WorkloadConfig { dimensionality: 3, queries: QUERIES, min_count: 50, seed: 0xDB01 },
+    );
+    let queries: Vec<BoxQuery> = workload
+        .queries
+        .iter()
+        .map(|q| (AttrSet::from_ids(q.ranges.iter().map(|r| r.0)), q.ranges.clone()))
+        .collect();
+    let total_queries = REPEATS * queries.len();
+
+    // 1. The recursive interpreter: re-roots the tree and re-walks the
+    //    recursion on every query.
+    let start = Instant::now();
+    let mut interpreted_sum = 0.0;
+    for _ in 0..REPEATS {
+        for (target, ranges) in &queries {
+            interpreted_sum += estimate_mass_interpreted(tree, factors, target, ranges).unwrap();
+        }
+    }
+    let interpreted_ns = start.elapsed().as_nanos();
+
+    // 2. The plan engine: first pass compiles, later passes replay cached
+    //    plans with zero-clone execution.
+    let engine: QueryEngine<_> = QueryEngine::new(tree);
+    let start = Instant::now();
+    let mut planned_sum = 0.0;
+    for _ in 0..REPEATS {
+        for (target, ranges) in &queries {
+            planned_sum += engine.estimate_mass(tree, factors, target, ranges).unwrap();
+        }
+    }
+    let planned_ns = start.elapsed().as_nanos();
+    let planned_trace = engine.trace();
+
+    // 3. The plan engine with the materialized-marginal cache: repeated
+    //    shapes skip factor algebra entirely.
+    let cached_engine: QueryEngine<_> = QueryEngine::new(tree);
+    cached_engine.enable_marginal_cache(64);
+    let start = Instant::now();
+    let mut cached_sum = 0.0;
+    for _ in 0..REPEATS {
+        for (target, ranges) in &queries {
+            cached_sum += cached_engine.estimate_mass(tree, factors, target, ranges).unwrap();
+        }
+    }
+    let cached_ns = start.elapsed().as_nanos();
+    let cached_trace = cached_engine.trace();
+
+    // The three paths must agree bit-for-bit — the engine is an
+    // optimization, never an approximation of the interpreter.
+    assert_eq!(
+        interpreted_sum.to_bits(),
+        planned_sum.to_bits(),
+        "planned execution diverged from the interpreter"
+    );
+    assert_eq!(
+        interpreted_sum.to_bits(),
+        cached_sum.to_bits(),
+        "cached execution diverged from the interpreter"
+    );
+
+    let speedup = |ns: u128| if ns == 0 { 0.0 } else { interpreted_ns as f64 / ns as f64 };
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"relation\": \"census_1_quick\", \"rows\": {}, \"queries\": {}, \
+         \"dimensionality\": 3, \"repeats\": {}, \"budget_bytes\": {}, \"seed\": {}}},",
+        rel.row_count(),
+        queries.len(),
+        REPEATS,
+        BUDGET,
+        0xDB01
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency_ns\": {{\"interpreted_total\": {interpreted_ns}, \
+         \"planned_total\": {planned_ns}, \"planned_cached_total\": {cached_ns}, \
+         \"interpreted_per_query\": {}, \"planned_per_query\": {}, \
+         \"planned_cached_per_query\": {}}},",
+        interpreted_ns / total_queries as u128,
+        planned_ns / total_queries as u128,
+        cached_ns / total_queries as u128
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup\": {{\"planned_vs_interpreted\": {:.3}, \
+         \"planned_cached_vs_interpreted\": {:.3}}},",
+        speedup(planned_ns),
+        speedup(cached_ns)
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache_hit_rates\": {{\"plan_cache\": {:.4}, \"marginal_cache\": {:.4}}},",
+        hit_rate(planned_trace.plan_cache_hits, planned_trace.plan_cache_misses),
+        hit_rate(cached_trace.marginal_cache_hits, cached_trace.marginal_cache_misses)
+    );
+    let _ = writeln!(json, "  \"planned_trace\": {},", trace_json(&planned_trace));
+    let _ = writeln!(json, "  \"planned_cached_trace\": {},", trace_json(&cached_trace));
+    let _ = writeln!(json, "  \"estimate_checksum\": {interpreted_sum:.6}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).unwrap();
+    eprintln!(
+        "wrote {out_path}: planned {:.2}x, cached {:.2}x vs interpreted \
+         (plan-cache hit rate {:.1}%, marginal-cache hit rate {:.1}%)",
+        speedup(planned_ns),
+        speedup(cached_ns),
+        100.0 * hit_rate(planned_trace.plan_cache_hits, planned_trace.plan_cache_misses),
+        100.0 * hit_rate(cached_trace.marginal_cache_hits, cached_trace.marginal_cache_misses)
+    );
+}

@@ -8,6 +8,8 @@
 
 use dbhist_distribution::AttrId;
 
+use crate::plan::QueryTrace;
+
 /// An object that can estimate the result size of a conjunctive
 /// range-selection predicate.
 pub trait SelectivityEstimator {
@@ -20,4 +22,11 @@ pub trait SelectivityEstimator {
 
     /// A short display name (e.g. `"DB2"`, `"MHIST"`, `"IND"`).
     fn name(&self) -> &str;
+
+    /// Cumulative operation/cache counters of the estimator's query
+    /// engine, when it has one. Baselines without a junction-tree engine
+    /// return `None` (the default).
+    fn query_trace(&self) -> Option<QueryTrace> {
+        None
+    }
 }

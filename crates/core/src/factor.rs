@@ -45,6 +45,25 @@ pub trait Factor: Sized + Clone {
     ///
     /// Rejects operands with incompatible shared domains.
     fn product(&self, other: &Self) -> Result<Self, SynopsisError>;
+
+    /// Borrow-friendly projection: identity projections return
+    /// `Cow::Borrowed(self)` (no clone); proper projections materialize.
+    /// The plan executor (see [`crate::plan`]) is built on this
+    /// discipline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Factor::project`].
+    fn project_cow<'a>(
+        &'a self,
+        attrs: &AttrSet,
+    ) -> Result<std::borrow::Cow<'a, Self>, SynopsisError> {
+        if self.attrs() == attrs {
+            Ok(std::borrow::Cow::Borrowed(self))
+        } else {
+            Ok(std::borrow::Cow::Owned(self.project(attrs)?))
+        }
+    }
 }
 
 impl Factor for SplitTree {
@@ -274,6 +293,12 @@ mod tests {
         assert!(joint.project(&AttrSet::empty()).is_err());
         let mass = joint.mass_in_box(&[(0, 0, 1)]);
         assert_eq!(mass, rel.count_range(&[(0, 0, 1)]) as f64);
+        // Borrow-friendly projection: identity borrows, proper owns.
+        let same = joint.project_cow(joint.attrs()).unwrap();
+        assert!(matches!(same, std::borrow::Cow::Borrowed(_)));
+        let sub = joint.project_cow(&AttrSet::from_ids([0, 1])).unwrap();
+        assert!(matches!(sub, std::borrow::Cow::Owned(_)));
+        assert!((sub.total() - joint.total()).abs() < 1e-9);
     }
 
     #[test]

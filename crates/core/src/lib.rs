@@ -14,6 +14,11 @@
 //! * [`marginal::compute_marginal`] — the paper's `ComputeMarginal`
 //!   algorithm (Fig. 3) over the junction tree, minimizing histogram
 //!   multiplications/projections.
+//! * [`plan`] — the plan-based query engine: compiles the Fig. 3
+//!   recursion into cached [`plan::MarginalPlan`]s executed with
+//!   zero-clone (`Cow`) operand passing, plus the per-synopsis
+//!   [`plan::QueryEngine`] workload cache and [`plan::QueryTrace`]
+//!   operation counters.
 //! * [`alloc`] — storage allocation across clique histograms: the optimal
 //!   pseudo-polynomial dynamic program and the `IncrementalGains` greedy
 //!   (Fig. 2).
@@ -59,10 +64,12 @@ pub mod estimator;
 pub mod factor;
 pub mod maintenance;
 pub mod marginal;
+pub mod plan;
 pub mod synopsis;
 pub mod wavelet_factor;
 
 pub use error::SynopsisError;
 pub use estimator::SelectivityEstimator;
 pub use factor::{ExactFactor, Factor};
+pub use plan::{MarginalPlan, MassPlan, QueryEngine, QueryTrace};
 pub use synopsis::{DbConfig, DbHistogram};

@@ -196,6 +196,10 @@ impl SelectivityEstimator for MaintainedDbHistogram {
     fn name(&self) -> &str {
         "DB-maintained"
     }
+
+    fn query_trace(&self) -> Option<crate::plan::QueryTrace> {
+        self.synopsis.query_trace().into()
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +296,21 @@ mod tests {
             "drift should rise when new data contradicts the model: \
              {aligned_drift} vs {broken_drift}"
         );
+    }
+
+    #[test]
+    fn updates_invalidate_cached_marginals() {
+        let rel = relation(4096);
+        let mut m = MaintainedDbHistogram::build(&rel, DbConfig::new(400)).unwrap();
+        // With the materialized-marginal cache on, an update must not let
+        // a stale cached marginal answer the next query.
+        m.synopsis().enable_marginal_cache(8);
+        let before = m.estimate(&[(0, 3, 3)]);
+        for _ in 0..500 {
+            m.insert(&[3, 3, 0]);
+        }
+        let after = m.estimate(&[(0, 3, 3)]);
+        assert!(after > before + 400.0, "stale cached marginal served after update: {after}");
     }
 
     #[test]

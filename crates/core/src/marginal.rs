@@ -15,6 +15,16 @@
 //! * The root is chosen as the clique sharing the most attributes with
 //!   `S_Q` (the paper roots arbitrarily); this only reduces work.
 //!
+//! Since the plan-based query engine landed (see [`crate::plan`]), the
+//! public entry points here — [`compute_marginal`],
+//! [`compute_marginal_with_stats`], [`estimate_mass`] — compile the
+//! recursion into a [`crate::plan::MarginalPlan`] / [`crate::plan::MassPlan`]
+//! and execute it. The direct recursion is retained as
+//! [`compute_marginal_interpreted`] / [`estimate_mass_interpreted`]: it is
+//! the executable specification the planner is property-tested against
+//! (`tests/plan_equivalence.rs`) and the baseline the benches compare
+//! planned execution to.
+//!
 //! [`compute_marginal_naive`] implements the baseline the paper argues
 //! against — build the estimate over *all* attributes, then project — and
 //! is used by tests and benches to quantify the savings.
@@ -24,8 +34,13 @@ use dbhist_model::JunctionTree;
 
 use crate::error::SynopsisError;
 use crate::factor::Factor;
+use crate::plan::{execute_marginal, execute_mass, MarginalPlan, MassPlan, QueryTrace, SHED_LIMIT};
 
 /// Operation counts of a marginal computation.
+///
+/// The coarse, historical counter pair; the plan path records the richer
+/// [`QueryTrace`] and folds it down via `From<QueryTrace>` (applied sheds
+/// count as projections, exactly as the interpreter counted them).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MarginalStats {
     /// Factor multiplications performed.
@@ -33,6 +48,12 @@ pub struct MarginalStats {
     /// Proper projections performed (projections onto the full attribute
     /// set are free and not counted).
     pub projections: usize,
+}
+
+impl From<QueryTrace> for MarginalStats {
+    fn from(t: QueryTrace) -> Self {
+        Self { products: t.products, projections: t.projections + t.sheds }
+    }
 }
 
 struct Ctx<'a, F> {
@@ -43,7 +64,7 @@ struct Ctx<'a, F> {
     stats: MarginalStats,
 }
 
-impl<F: Factor> Ctx<'_, F> {
+impl<'a, F: Factor> Ctx<'a, F> {
     fn project(&mut self, factor: &F, attrs: &AttrSet) -> Result<F, SynopsisError> {
         if factor.attrs() == attrs {
             return Ok(factor.clone());
@@ -60,14 +81,17 @@ impl<F: Factor> Ctx<'_, F> {
     /// Fig. 3 recursion: the marginal over `sq` from the subtree rooted at
     /// clique `node`. Precondition: `sq ⊆ cover(node)`.
     fn go(&mut self, node: usize, sq: &AttrSet) -> Result<F, SynopsisError> {
-        let clique = self.tree.cliques()[node].clone();
+        // Copy the `'a` references out of `self` so clique/factor borrows
+        // don't conflict with the `&mut self` helper calls below.
+        let cliques: &'a [AttrSet] = self.tree.cliques();
+        let factors: &'a [F] = self.factors;
+        let clique = &cliques[node];
         // Step 1: the clique alone suffices.
-        if sq.is_subset(&clique) {
-            let f = self.factors[node].clone();
-            return self.project(&f, sq);
+        if sq.is_subset(clique) {
+            return self.project(&factors[node], sq);
         }
         let int = clique.intersection(sq);
-        let diff = sq.difference(&clique);
+        let diff = sq.difference(clique);
         debug_assert!(!diff.is_empty());
 
         // Steps 4–10: a single child's subtree covers everything missing.
@@ -78,10 +102,9 @@ impl<F: Factor> Ctx<'_, F> {
                 return self.go(j, sq);
             }
             // Steps 7–9.
-            let sij = clique.intersection(&self.tree.cliques()[j]);
+            let sij = clique.intersection(&cliques[j]);
             let h1 = self.go(j, &diff.union(&sij))?;
-            let own = self.factors[node].clone();
-            let prod = self.product(&own, &h1)?;
+            let prod = self.product(&factors[node], &h1)?;
             return self.project(&prod, sq);
         }
 
@@ -96,7 +119,7 @@ impl<F: Factor> Ctx<'_, F> {
                 if part.is_empty() {
                     None
                 } else {
-                    let sij = clique.intersection(&self.tree.cliques()[j]);
+                    let sij = clique.intersection(&cliques[j]);
                     Some((j, part, sij))
                 }
             })
@@ -106,7 +129,7 @@ impl<F: Factor> Ctx<'_, F> {
             diff,
             "diff attributes must be covered by children"
         );
-        let mut h = self.factors[node].clone();
+        let mut h = factors[node].clone();
         for (idx, (j, part, sij)) in parts.iter().enumerate() {
             let h1 = self.go(*j, &part.union(sij))?;
             h = self.product(&h, &h1)?;
@@ -127,12 +150,7 @@ impl<F: Factor> Ctx<'_, F> {
     }
 }
 
-/// Intermediate factors larger than this skip "tidying" projections:
-/// carrying a few extra attributes through `mass_in_box` is linear in the
-/// factor size, while the projection overlay can be quadratic.
-const SHED_LIMIT: usize = 2048;
-
-impl<F: Factor> Ctx<'_, F> {
+impl<'a, F: Factor> Ctx<'a, F> {
     /// Projects `factor` onto `attrs` only when the factor is small enough
     /// for the projection to pay off; otherwise returns it unchanged (its
     /// attribute set is a superset of what was asked for, which the loose
@@ -153,23 +171,23 @@ impl<F: Factor> Ctx<'_, F> {
     /// model separators, and `mass_in_box` simply ignores unconstrained
     /// extra attributes.
     fn go_loose(&mut self, node: usize, sq: &AttrSet) -> Result<F, SynopsisError> {
-        let clique = self.tree.cliques()[node].clone();
+        let cliques: &'a [AttrSet] = self.tree.cliques();
+        let factors: &'a [F] = self.factors;
+        let clique = &cliques[node];
         // Clique factors are small; project eagerly as in Fig. 3 step 1.
-        if sq.is_subset(&clique) {
-            let f = self.factors[node].clone();
-            return self.project(&f, sq);
+        if sq.is_subset(clique) {
+            return self.project(&factors[node], sq);
         }
         let int = clique.intersection(sq);
-        let diff = sq.difference(&clique);
+        let diff = sq.difference(clique);
         let single = self.children[node].iter().copied().find(|&j| diff.is_subset(&self.cover[j]));
         if let Some(j) = single {
             if int.is_empty() {
                 return self.go_loose(j, sq);
             }
-            let sij = clique.intersection(&self.tree.cliques()[j]);
+            let sij = clique.intersection(&cliques[j]);
             let h1 = self.go_loose(j, &diff.union(&sij))?;
-            let own = self.factors[node].clone();
-            let prod = self.product(&own, &h1)?;
+            let prod = self.product(&factors[node], &h1)?;
             return self.project_if_cheap(prod, sq);
         }
         let parts: Vec<(usize, AttrSet, AttrSet)> = self.children[node]
@@ -180,12 +198,12 @@ impl<F: Factor> Ctx<'_, F> {
                 if part.is_empty() {
                     None
                 } else {
-                    let sij = clique.intersection(&self.tree.cliques()[j]);
+                    let sij = clique.intersection(&cliques[j]);
                     Some((j, part, sij))
                 }
             })
             .collect();
-        let mut h = self.factors[node].clone();
+        let mut h = factors[node].clone();
         for (idx, (j, part, sij)) in parts.iter().enumerate() {
             let h1 = self.go_loose(*j, &part.union(sij))?;
             h = self.product(&h, &h1)?;
@@ -216,11 +234,37 @@ impl<F: Factor> Ctx<'_, F> {
 /// faster and — by skipping needless approximate operations — at least
 /// as accurate.
 ///
+/// One-shot wrapper over the plan engine: compiles a
+/// [`crate::plan::MassPlan`] and executes it once. Workloads that repeat
+/// query shapes should go through a [`crate::plan::QueryEngine`] (as
+/// [`crate::synopsis::DbHistogram`] does) to amortize compilation.
+///
 /// # Errors
 ///
 /// Propagates factor operation failures; rejects targets with attributes
 /// the model does not cover.
 pub fn estimate_mass<F: Factor>(
+    tree: &JunctionTree,
+    factors: &[F],
+    target: &AttrSet,
+    ranges: &[(dbhist_distribution::AttrId, u32, u32)],
+) -> Result<f64, SynopsisError> {
+    assert_eq!(tree.len(), factors.len(), "one factor per clique");
+    assert!(!target.is_empty(), "target attribute set must be non-empty");
+    let views = tree.rooted_views();
+    let plan = MassPlan::compile(tree, &views, target)?;
+    let mut trace = QueryTrace::default();
+    execute_mass(&plan, factors, ranges, &mut trace)
+}
+
+/// [`estimate_mass`] via the direct recursive interpreter — the executable
+/// specification the plan path is verified against.
+///
+/// # Errors
+///
+/// Propagates factor operation failures; rejects targets with attributes
+/// the model does not cover.
+pub fn estimate_mass_interpreted<F: Factor>(
     tree: &JunctionTree,
     factors: &[F],
     target: &AttrSet,
@@ -306,11 +350,37 @@ pub fn estimate_mass<F: Factor>(
 /// Computes the marginal factor over `target` from a junction tree and its
 /// clique factors, returning the factor and operation counts.
 ///
+/// One-shot wrapper over the plan engine: compiles a
+/// [`crate::plan::MarginalPlan`] and executes it once (identical results
+/// and operation counts to the interpreter, see
+/// [`compute_marginal_interpreted`]).
+///
 /// # Errors
 ///
 /// Propagates factor operation failures; returns a budget-style error if
 /// `target` mentions attributes not covered by any clique.
 pub fn compute_marginal_with_stats<F: Factor>(
+    tree: &JunctionTree,
+    factors: &[F],
+    target: &AttrSet,
+) -> Result<(F, MarginalStats), SynopsisError> {
+    assert_eq!(tree.len(), factors.len(), "one factor per clique");
+    assert!(!target.is_empty(), "target attribute set must be non-empty");
+    let views = tree.rooted_views();
+    let plan = MarginalPlan::compile(tree, &views, target)?;
+    let mut trace = QueryTrace::default();
+    let f = execute_marginal(&plan, factors, &mut trace)?.into_owned();
+    Ok((f, MarginalStats::from(trace)))
+}
+
+/// [`compute_marginal_with_stats`] via the direct recursive interpreter —
+/// the executable specification the plan path is verified against.
+///
+/// # Errors
+///
+/// Propagates factor operation failures; returns a budget-style error if
+/// `target` mentions attributes not covered by any clique.
+pub fn compute_marginal_interpreted<F: Factor>(
     tree: &JunctionTree,
     factors: &[F],
     target: &AttrSet,
@@ -655,6 +725,36 @@ mod tests {
     }
 
     #[test]
+    fn planned_entry_point_matches_interpreter() {
+        // The public entry points run the plan path; the interpreter is
+        // the specification. Results and operation counts must coincide.
+        let rel = relation();
+        let m = model(&rel);
+        let factors = exact_factors(&rel, &m);
+        for target in [
+            AttrSet::from_ids([0]),
+            AttrSet::from_ids([0, 2]),
+            AttrSet::from_ids([0, 4]),
+            AttrSet::from_ids([2, 3]),
+            AttrSet::from_ids([0, 1, 2, 3, 4]),
+        ] {
+            let (planned, planned_stats) =
+                compute_marginal_with_stats(m.junction_tree(), &factors, &target).unwrap();
+            let (interp, interp_stats) =
+                compute_marginal_interpreted(m.junction_tree(), &factors, &target).unwrap();
+            assert_eq!(planned_stats, interp_stats, "target {target}");
+            assert_eq!(planned.attrs(), interp.attrs(), "target {target}");
+            for (k, v) in interp.0.iter() {
+                assert_eq!(
+                    planned.0.frequency(k).to_bits(),
+                    v.to_bits(),
+                    "target {target}: key {k:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn efficient_does_less_work_on_local_targets() {
         let rel = relation();
         let m = model(&rel);
@@ -688,6 +788,7 @@ mod tests {
         let factors = exact_factors(&rel, &m);
         let bad = AttrSet::from_ids([0, 9]);
         assert!(compute_marginal(m.junction_tree(), &factors, &bad).is_err());
+        assert!(compute_marginal_interpreted(m.junction_tree(), &factors, &bad).is_err());
     }
 
     #[test]

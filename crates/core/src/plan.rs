@@ -1,0 +1,1066 @@
+//! The plan-based query engine: compile `ComputeMarginal` once, execute
+//! it many times.
+//!
+//! The paper's `ComputeMarginal` (§3.3.1, Fig. 3) is a recursion over the
+//! junction tree whose *structure* depends only on the tree and the query
+//! attribute set — never on the factor contents. A steady-state
+//! selectivity workload repeats the same attribute subsets endlessly, so
+//! re-walking the recursion (re-rooting the tree, re-deriving covers,
+//! re-testing subset relations) per query is pure overhead. This module
+//! splits the work into three layers:
+//!
+//! 1. **Planner** — [`MarginalPlan::compile`] runs the Fig. 3 recursion
+//!    once and records it as a linear program of [`PlanStep`]s over a
+//!    small operand stack; [`MassPlan::compile`] additionally performs
+//!    the independent-component factorization of the selectivity fast
+//!    path. Rooted views come from a per-synopsis
+//!    [`dbhist_model::RootedViews`] cache, so covers/children are derived
+//!    once per synopsis instead of once per query.
+//! 2. **Executor** — [`execute_marginal`] runs a plan over any
+//!    [`Factor`] slice with [`Cow`]-based operands: clique loads and
+//!    identity projections *borrow* the stored factors (zero clones);
+//!    only genuine products and projections materialize new factors.
+//! 3. **Workload cache** — [`QueryEngine`] memoizes compiled plans in a
+//!    bounded [`LruCache`] keyed by canonical [`AttrSet`] and, when
+//!    enabled, caches materialized group marginals so repeated query
+//!    shapes skip execution entirely. Every operation is counted in a
+//!    [`QueryTrace`] for tests, benches, and production introspection.
+//!
+//! Planned execution is *operation-identical* to the recursive
+//! interpreter ([`crate::marginal::compute_marginal_interpreted`]): the
+//! same products, projections, and shed decisions run in the same order
+//! on the same operands, so results match bit-for-bit (property-tested in
+//! `tests/plan_equivalence.rs`).
+
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use dbhist_distribution::fxhash::FxHashMap;
+use dbhist_distribution::{AttrId, AttrSet};
+use dbhist_model::junction::{RootedJunctionTree, RootedViews};
+use dbhist_model::JunctionTree;
+
+use crate::error::SynopsisError;
+use crate::factor::Factor;
+
+/// Intermediate factors larger than this skip "tidying" (shed)
+/// projections: carrying a few extra attributes through `mass_in_box` is
+/// linear in the factor size, while the projection overlay can be
+/// quadratic.
+pub const SHED_LIMIT: usize = 2048;
+
+/// Default capacity of a [`QueryEngine`]'s plan cache (distinct query
+/// attribute-set shapes retained).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Operation counters for the plan-based query path.
+///
+/// Grows the old `MarginalStats` pair into a full engine trace: per-step
+/// execution counts plus plan-cache and marginal-cache hit/miss counters.
+/// Counters are cumulative where the engine accumulates them (see
+/// [`QueryEngine::trace`]) and per-call where an executor fills a fresh
+/// one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Factor multiplications performed.
+    pub products: usize,
+    /// Proper (non-identity) projections performed.
+    pub projections: usize,
+    /// Identity projections resolved as zero-clone borrows.
+    pub identity_projections: usize,
+    /// Shed (tidying) projections applied.
+    pub sheds: usize,
+    /// Shed steps skipped (factor too large, already tidy, or nothing to
+    /// keep).
+    pub sheds_skipped: usize,
+    /// Clique factors loaded by borrow (never cloned).
+    pub clique_loads: usize,
+    /// Whole-factor clones performed (materializing a borrowed result or
+    /// seeding the marginal cache). Pure estimation never clones.
+    pub factor_clones: usize,
+    /// Queries answered with an already-compiled plan.
+    pub plan_cache_hits: usize,
+    /// Queries that had to compile a fresh plan.
+    pub plan_cache_misses: usize,
+    /// Group marginals served from the materialized-marginal cache.
+    pub marginal_cache_hits: usize,
+    /// Group marginals executed and (when enabled) inserted into the
+    /// cache.
+    pub marginal_cache_misses: usize,
+}
+
+impl QueryTrace {
+    /// Adds every counter of `other` into `self`.
+    pub fn absorb(&mut self, other: &Self) {
+        self.products += other.products;
+        self.projections += other.projections;
+        self.identity_projections += other.identity_projections;
+        self.sheds += other.sheds;
+        self.sheds_skipped += other.sheds_skipped;
+        self.clique_loads += other.clique_loads;
+        self.factor_clones += other.factor_clones;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.marginal_cache_hits += other.marginal_cache_hits;
+        self.marginal_cache_misses += other.marginal_cache_misses;
+    }
+}
+
+/// One instruction of a compiled marginal plan, executed over an operand
+/// stack of [`Cow`]-wrapped factors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Push clique `clique`'s stored factor onto the stack *by borrow*.
+    Load {
+        /// Index of the clique whose factor is loaded.
+        clique: usize,
+    },
+    /// Project the top of the stack onto `attrs`. Identity projections
+    /// (the operand already covers exactly `attrs`) pass the borrow
+    /// through without cloning.
+    Project {
+        /// The projection target.
+        attrs: AttrSet,
+    },
+    /// Pop the two topmost operands and push their product
+    /// (`second.product(&top)`, preserving the interpreter's operand
+    /// order).
+    Product,
+    /// Variable-elimination tidying: project the top of the stack onto
+    /// `keep ∩ attrs` *if* the factor is small enough for the projection
+    /// to pay off (see [`SHED_LIMIT`]); otherwise leave it untouched.
+    Shed {
+        /// Attributes the remainder of the plan still needs (computed at
+        /// plan time assuming no earlier shed fired; intersected with the
+        /// runtime attribute set before use).
+        keep: AttrSet,
+    },
+}
+
+/// A compiled `ComputeMarginal` invocation: the Fig. 3 recursion for one
+/// target attribute set, flattened into a stack program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarginalPlan {
+    target: AttrSet,
+    root: usize,
+    loose: bool,
+    steps: Vec<PlanStep>,
+    result_attrs: AttrSet,
+}
+
+impl MarginalPlan {
+    /// Compiles the strict Fig. 3 recursion for `target`: the executed
+    /// result covers exactly `target`.
+    ///
+    /// Rooted views are fetched from (and cached in) `views`, which must
+    /// originate from `tree` (see [`JunctionTree::rooted_views`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty junction trees and targets with attributes no clique
+    /// covers.
+    pub fn compile(
+        tree: &JunctionTree,
+        views: &RootedViews,
+        target: &AttrSet,
+    ) -> Result<Self, SynopsisError> {
+        // Root at the clique overlapping the target most (never hurts).
+        let Some(root) = (0..tree.len())
+            .max_by_key(|&i| (tree.cliques()[i].intersection(target).len(), usize::MAX - i))
+        else {
+            return Err(SynopsisError::Budget { reason: "empty junction tree".into() });
+        };
+        let rooted = views.get(tree, root);
+        if let Some(missing) = target.iter().find(|&a| !rooted.cover[root].contains(a)) {
+            return Err(SynopsisError::Budget {
+                reason: format!("attribute {missing} is not covered by the model"),
+            });
+        }
+        Ok(Self::compile_rooted(tree, rooted, root, target, false))
+    }
+
+    /// Compiles the recursion rooted at `root` over an already-derived
+    /// rooted view. `loose` selects the shed-friendly variant whose result
+    /// may cover a superset of `target` (the selectivity fast path).
+    /// Precondition: `target ⊆ cover(root)`.
+    #[must_use]
+    pub fn compile_rooted(
+        tree: &JunctionTree,
+        rooted: &RootedJunctionTree,
+        root: usize,
+        target: &AttrSet,
+        loose: bool,
+    ) -> Self {
+        let mut planner = Planner {
+            cliques: tree.cliques(),
+            children: &rooted.children,
+            cover: &rooted.cover,
+            loose,
+            steps: Vec::new(),
+        };
+        let result_attrs = planner.go(root, target);
+        Self { target: target.clone(), root, loose, steps: planner.steps, result_attrs }
+    }
+
+    /// The query attribute set the plan computes a marginal over.
+    #[must_use]
+    pub fn target(&self) -> &AttrSet {
+        &self.target
+    }
+
+    /// The clique the recursion was rooted at.
+    #[must_use]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// `true` for the loose (shed-friendly) variant whose result may
+    /// cover a superset of the target.
+    #[must_use]
+    pub fn is_loose(&self) -> bool {
+        self.loose
+    }
+
+    /// The compiled instruction sequence.
+    #[must_use]
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// The largest attribute set the executed result can carry (equals
+    /// the target for strict plans; a superset bound for loose plans).
+    #[must_use]
+    pub fn result_attrs(&self) -> &AttrSet {
+        &self.result_attrs
+    }
+}
+
+/// The Fig. 3 recursion, re-expressed as plan emission. Mirrors
+/// `Ctx::go`/`Ctx::go_loose` in `crate::marginal` exactly — every branch
+/// decision here depends only on tree structure and the target, so it can
+/// run at plan time.
+struct Planner<'a> {
+    cliques: &'a [AttrSet],
+    children: &'a [Vec<usize>],
+    cover: &'a [AttrSet],
+    loose: bool,
+    steps: Vec<PlanStep>,
+}
+
+impl Planner<'_> {
+    /// Emits steps computing the subtree marginal over `sq` from `node`;
+    /// returns the maximal attribute set the produced operand may carry
+    /// (exact when no runtime shed fires). Precondition: `sq ⊆
+    /// cover(node)`.
+    fn go(&mut self, node: usize, sq: &AttrSet) -> AttrSet {
+        let clique = &self.cliques[node];
+        // Fig. 3 step 1: the clique alone suffices.
+        if sq.is_subset(clique) {
+            self.steps.push(PlanStep::Load { clique: node });
+            if sq != clique {
+                self.steps.push(PlanStep::Project { attrs: sq.clone() });
+            }
+            return sq.clone();
+        }
+        let int_empty = clique.is_disjoint(sq);
+        let diff = sq.difference(clique);
+        debug_assert!(!diff.is_empty());
+
+        // Steps 4–10: a single child's subtree covers everything missing.
+        let single = self.children[node].iter().copied().find(|&j| diff.is_subset(&self.cover[j]));
+        if let Some(j) = single {
+            if int_empty {
+                // Step 5: delegate wholesale.
+                return self.go(j, sq);
+            }
+            // Steps 7–9: own factor × child marginal, then cut to sq.
+            let sij = clique.intersection(&self.cliques[j]);
+            self.steps.push(PlanStep::Load { clique: node });
+            let mut child_target = diff;
+            child_target.union_with(&sij);
+            let h1 = self.go(j, &child_target);
+            self.steps.push(PlanStep::Product);
+            let mut result = clique.clone();
+            result.union_with(&h1);
+            return self.tail(result, sq);
+        }
+
+        // Steps 11–19: split `diff` across the children that cover parts
+        // of it (each attribute lives in exactly one subtree by the
+        // clique-intersection property).
+        let parts: Vec<(usize, AttrSet, AttrSet)> = self.children[node]
+            .iter()
+            .copied()
+            .filter_map(|j| {
+                let mut part = self.cover[j].clone();
+                part.intersect_with(&diff);
+                if part.is_empty() {
+                    None
+                } else {
+                    let sij = clique.intersection(&self.cliques[j]);
+                    Some((j, part, sij))
+                }
+            })
+            .collect();
+        self.steps.push(PlanStep::Load { clique: node });
+        let mut h_max = clique.clone();
+        for (idx, (j, part, sij)) in parts.iter().enumerate() {
+            let mut child_target = part.clone();
+            child_target.union_with(sij);
+            let h1 = self.go(*j, &child_target);
+            self.steps.push(PlanStep::Product);
+            h_max.union_with(&h1);
+            // Shed attributes the query and the remaining separators no
+            // longer need — runtime-gated on factor size.
+            let mut keep = sq.intersection(&h_max);
+            for (_, _, s) in &parts[idx + 1..] {
+                keep.union_with(s);
+            }
+            if !keep.is_empty() {
+                self.steps.push(PlanStep::Shed { keep });
+            }
+        }
+        self.tail(h_max, sq)
+    }
+
+    /// Emits the closing cut of a recursion level: a strict projection to
+    /// `sq`, or a shed in loose mode (which may retain extra attributes
+    /// on large factors).
+    fn tail(&mut self, attrs_max: AttrSet, sq: &AttrSet) -> AttrSet {
+        if self.loose {
+            self.steps.push(PlanStep::Shed { keep: sq.clone() });
+            attrs_max
+        } else {
+            self.steps.push(PlanStep::Project { attrs: sq.clone() });
+            sq.clone()
+        }
+    }
+}
+
+fn malformed(reason: &str) -> SynopsisError {
+    SynopsisError::Budget { reason: format!("malformed marginal plan: {reason}") }
+}
+
+/// Executes a compiled plan over the clique factors, counting every
+/// operation into `trace`.
+///
+/// Clique loads and identity projections *borrow*: a plan that resolves
+/// within one clique returns `Cow::Borrowed` and performs zero factor
+/// clones — callers that only need `mass_in_box` never materialize
+/// anything.
+///
+/// # Errors
+///
+/// Propagates factor-operation failures; rejects plans inconsistent with
+/// the factor slice (wrong clique indices or malformed stack shape).
+pub fn execute_marginal<'a, F: Factor>(
+    plan: &MarginalPlan,
+    factors: &'a [F],
+    trace: &mut QueryTrace,
+) -> Result<Cow<'a, F>, SynopsisError> {
+    let mut stack: Vec<Cow<'a, F>> = Vec::new();
+    for step in plan.steps() {
+        match step {
+            PlanStep::Load { clique } => {
+                let f =
+                    factors.get(*clique).ok_or_else(|| malformed("clique index out of range"))?;
+                trace.clique_loads += 1;
+                stack.push(Cow::Borrowed(f));
+            }
+            PlanStep::Project { attrs } => {
+                let top = stack.last_mut().ok_or_else(|| malformed("project on empty stack"))?;
+                if top.attrs() == attrs {
+                    trace.identity_projections += 1;
+                } else {
+                    trace.projections += 1;
+                    *top = Cow::Owned(top.project(attrs)?);
+                }
+            }
+            PlanStep::Product => {
+                let rhs = stack.pop().ok_or_else(|| malformed("product on empty stack"))?;
+                let lhs = stack.pop().ok_or_else(|| malformed("product on 1-operand stack"))?;
+                trace.products += 1;
+                stack.push(Cow::Owned(lhs.product(&rhs)?));
+            }
+            PlanStep::Shed { keep } => {
+                let top = stack.last_mut().ok_or_else(|| malformed("shed on empty stack"))?;
+                let mut cut = keep.clone();
+                cut.intersect_with(top.attrs());
+                if cut.is_empty() || &cut == top.attrs() || top.len_hint() > SHED_LIMIT {
+                    trace.sheds_skipped += 1;
+                } else {
+                    trace.sheds += 1;
+                    *top = Cow::Owned(top.project(&cut)?);
+                }
+            }
+        }
+    }
+    let result = stack.pop().ok_or_else(|| malformed("empty plan"))?;
+    if !stack.is_empty() {
+        return Err(malformed("leftover operands"));
+    }
+    Ok(result)
+}
+
+/// One independent model component of a [`MassPlan`]: the target
+/// attributes falling in that component and the loose plan computing
+/// their (superset) marginal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPlan {
+    /// The target attributes this component covers.
+    pub attrs: AttrSet,
+    /// The loose marginal plan for `attrs`.
+    pub plan: MarginalPlan,
+}
+
+/// A compiled selectivity estimation: the independent-component
+/// factorization of `estimate_mass`, with one loose [`MarginalPlan`] per
+/// component that intersects the target.
+///
+/// The plan depends only on the junction tree and the target attribute
+/// set — the query's concrete ranges are supplied at execution time, so
+/// one plan serves every query over the same attribute subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MassPlan {
+    target: AttrSet,
+    groups: Vec<GroupPlan>,
+}
+
+impl MassPlan {
+    /// Compiles the estimation plan for `target`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects targets with attributes no clique covers.
+    pub fn compile(
+        tree: &JunctionTree,
+        views: &RootedViews,
+        target: &AttrSet,
+    ) -> Result<Self, SynopsisError> {
+        // Model components (cliques connected by *non-empty* separators)
+        // are mutually independent by construction: the estimate
+        // factorizes as N · Π (mass_component / N).
+        let n_cliques = tree.len();
+        let mut comp = vec![usize::MAX; n_cliques];
+        let mut next_comp = 0usize;
+        for start in 0..n_cliques {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            comp[start] = next_comp;
+            while let Some(c) = stack.pop() {
+                for (other, sep) in tree.neighbors(c) {
+                    if !sep.is_empty() && comp[other] == usize::MAX {
+                        comp[other] = next_comp;
+                        stack.push(other);
+                    }
+                }
+            }
+            next_comp += 1;
+        }
+        // Group target attributes by the component that covers them.
+        let mut group_attrs: Vec<AttrSet> = vec![AttrSet::empty(); next_comp];
+        'attrs: for a in target.iter() {
+            for (i, clique) in tree.cliques().iter().enumerate() {
+                if clique.contains(a) {
+                    group_attrs[comp[i]] = group_attrs[comp[i]].with(a);
+                    continue 'attrs;
+                }
+            }
+            return Err(SynopsisError::Budget {
+                reason: format!("attribute {a} is not covered by the model"),
+            });
+        }
+        let mut groups = Vec::new();
+        for (g, attrs) in group_attrs.into_iter().enumerate() {
+            if attrs.is_empty() {
+                continue;
+            }
+            // Root this component's loose recursion at its
+            // best-overlapping clique.
+            let Some(root) = (0..n_cliques)
+                .filter(|&i| comp[i] == g)
+                .max_by_key(|&i| (tree.cliques()[i].intersection(&attrs).len(), usize::MAX - i))
+            else {
+                continue;
+            };
+            let rooted = views.get(tree, root);
+            let plan = MarginalPlan::compile_rooted(tree, rooted, root, &attrs, true);
+            groups.push(GroupPlan { attrs, plan });
+        }
+        Ok(Self { target: target.clone(), groups })
+    }
+
+    /// The query attribute set the plan estimates over.
+    #[must_use]
+    pub fn target(&self) -> &AttrSet {
+        &self.target
+    }
+
+    /// The per-component sub-plans.
+    #[must_use]
+    pub fn groups(&self) -> &[GroupPlan] {
+        &self.groups
+    }
+}
+
+/// Executes a [`MassPlan`] for one concrete range predicate.
+///
+/// # Errors
+///
+/// Propagates factor-operation failures.
+pub fn execute_mass<F: Factor>(
+    plan: &MassPlan,
+    factors: &[F],
+    ranges: &[(AttrId, u32, u32)],
+    trace: &mut QueryTrace,
+) -> Result<f64, SynopsisError> {
+    let total = factors.first().map_or(0.0, Factor::total);
+    let mut mass = total;
+    for group in plan.groups() {
+        let loose = execute_marginal(&group.plan, factors, trace)?;
+        let group_mass = loose.mass_in_box(ranges);
+        if total > 0.0 {
+            mass *= group_mass / total;
+        } else {
+            return Ok(0.0);
+        }
+    }
+    Ok(mass)
+}
+
+/// A small least-recently-used cache with O(1) lookups and O(capacity)
+/// eviction scans (capacities here are a few hundred at most).
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, (u64, V)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates a cache retaining at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { map: FxHashMap::default(), capacity: capacity.max(1), tick: 0 }
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fetches `key`, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(stamp, v)| {
+            *stamp = tick;
+            &*v
+        })
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry when
+    /// at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Drops every entry (capacity is retained).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Cache key: the canonical (sorted, deduplicated) query attribute set
+/// plus the plan variant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    attrs: AttrSet,
+    loose: bool,
+}
+
+#[derive(Debug, Clone)]
+enum CachedPlan {
+    Strict(Arc<MarginalPlan>),
+    Mass(Arc<MassPlan>),
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The per-synopsis workload cache: rooted views computed once, compiled
+/// plans memoized by query shape, optionally materialized marginals, and
+/// cumulative [`QueryTrace`] counters.
+///
+/// Interior-mutable behind mutexes so estimation keeps its `&self`
+/// signature; all methods are safe under concurrent use.
+#[derive(Debug)]
+pub struct QueryEngine<F: Factor> {
+    views: RootedViews,
+    plans: Mutex<LruCache<PlanKey, CachedPlan>>,
+    marginals: Mutex<Option<LruCache<PlanKey, F>>>,
+    trace: Mutex<QueryTrace>,
+}
+
+impl<F: Factor> Clone for QueryEngine<F> {
+    fn clone(&self) -> Self {
+        Self {
+            views: self.views.clone(),
+            plans: Mutex::new(lock(&self.plans).clone()),
+            marginals: Mutex::new(lock(&self.marginals).clone()),
+            trace: Mutex::new(*lock(&self.trace)),
+        }
+    }
+}
+
+impl<F: Factor> QueryEngine<F> {
+    /// Creates an engine for `tree` with the default plan-cache capacity
+    /// and the marginal cache disabled.
+    #[must_use]
+    pub fn new(tree: &JunctionTree) -> Self {
+        Self::with_plan_capacity(tree, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Creates an engine whose plan cache retains at most `capacity`
+    /// distinct query shapes.
+    #[must_use]
+    pub fn with_plan_capacity(tree: &JunctionTree, capacity: usize) -> Self {
+        Self {
+            views: tree.rooted_views(),
+            plans: Mutex::new(LruCache::new(capacity)),
+            marginals: Mutex::new(None),
+            trace: Mutex::new(QueryTrace::default()),
+        }
+    }
+
+    /// The cached rooted views (computed once per root, on demand).
+    #[must_use]
+    pub fn rooted_views(&self) -> &RootedViews {
+        &self.views
+    }
+
+    /// Enables the materialized-marginal LRU with the given capacity,
+    /// dropping any previously cached marginals.
+    pub fn enable_marginal_cache(&self, capacity: usize) {
+        *lock(&self.marginals) = Some(LruCache::new(capacity));
+    }
+
+    /// Disables (and drops) the materialized-marginal cache.
+    pub fn disable_marginal_cache(&self) {
+        *lock(&self.marginals) = None;
+    }
+
+    /// Drops cached materialized marginals while keeping the cache
+    /// enabled. Call after mutating the underlying factors (plans stay
+    /// valid — they depend only on model structure).
+    pub fn invalidate_marginals(&self) {
+        if let Some(cache) = lock(&self.marginals).as_mut() {
+            cache.clear();
+        }
+    }
+
+    /// A snapshot of the cumulative operation counters.
+    #[must_use]
+    pub fn trace(&self) -> QueryTrace {
+        *lock(&self.trace)
+    }
+
+    /// Resets the cumulative counters to zero.
+    pub fn reset_trace(&self) {
+        *lock(&self.trace) = QueryTrace::default();
+    }
+
+    /// Fetches (or compiles and caches) the plan for `target`.
+    fn plan_for(
+        &self,
+        tree: &JunctionTree,
+        target: &AttrSet,
+        loose: bool,
+        trace: &mut QueryTrace,
+    ) -> Result<CachedPlan, SynopsisError> {
+        let key = PlanKey { attrs: target.clone(), loose };
+        if let Some(hit) = lock(&self.plans).get(&key) {
+            trace.plan_cache_hits += 1;
+            return Ok(hit.clone());
+        }
+        // Compile outside the lock: compilation is read-only over the
+        // tree, so a racing duplicate compile is benign.
+        let compiled = if loose {
+            CachedPlan::Mass(Arc::new(MassPlan::compile(tree, &self.views, target)?))
+        } else {
+            CachedPlan::Strict(Arc::new(MarginalPlan::compile(tree, &self.views, target)?))
+        };
+        trace.plan_cache_misses += 1;
+        lock(&self.plans).insert(key, compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Computes the marginal factor over `target` through the plan cache
+    /// (and the marginal cache, when enabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-operation failures; rejects targets the model
+    /// does not cover.
+    pub fn marginal(
+        &self,
+        tree: &JunctionTree,
+        factors: &[F],
+        target: &AttrSet,
+    ) -> Result<F, SynopsisError> {
+        let mut t = QueryTrace::default();
+        let key = PlanKey { attrs: target.clone(), loose: false };
+        if let Some(cached) = lock(&self.marginals).as_mut().and_then(|c| c.get(&key).cloned()) {
+            t.marginal_cache_hits += 1;
+            lock(&self.trace).absorb(&t);
+            return Ok(cached);
+        }
+        let result = (|| {
+            let CachedPlan::Strict(plan) = self.plan_for(tree, target, false, &mut t)? else {
+                return Err(malformed("strict key resolved to a mass plan"));
+            };
+            let out = match execute_marginal(&plan, factors, &mut t)? {
+                Cow::Borrowed(f) => {
+                    t.factor_clones += 1;
+                    f.clone()
+                }
+                Cow::Owned(f) => f,
+            };
+            let mut marginals = lock(&self.marginals);
+            if let Some(cache) = marginals.as_mut() {
+                t.marginal_cache_misses += 1;
+                t.factor_clones += 1;
+                cache.insert(key, out.clone());
+            }
+            Ok(out)
+        })();
+        lock(&self.trace).absorb(&t);
+        result
+    }
+
+    /// Estimates the frequency mass of the marginal over `target` inside
+    /// the conjunctive `ranges`, through the plan cache (and per-group
+    /// marginal cache, when enabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-operation failures; rejects targets the model
+    /// does not cover.
+    pub fn estimate_mass(
+        &self,
+        tree: &JunctionTree,
+        factors: &[F],
+        target: &AttrSet,
+        ranges: &[(AttrId, u32, u32)],
+    ) -> Result<f64, SynopsisError> {
+        let mut t = QueryTrace::default();
+        let result = (|| {
+            let CachedPlan::Mass(plan) = self.plan_for(tree, target, true, &mut t)? else {
+                return Err(malformed("loose key resolved to a strict plan"));
+            };
+            let total = factors.first().map_or(0.0, Factor::total);
+            let mut mass = total;
+            for group in plan.groups() {
+                let group_key = PlanKey { attrs: group.attrs.clone(), loose: true };
+                let cache_enabled = lock(&self.marginals).is_some();
+                let group_mass = if cache_enabled {
+                    let cached =
+                        lock(&self.marginals).as_mut().and_then(|c| c.get(&group_key).cloned());
+                    if let Some(f) = cached {
+                        t.marginal_cache_hits += 1;
+                        f.mass_in_box(ranges)
+                    } else {
+                        t.marginal_cache_misses += 1;
+                        let cow = execute_marginal(&group.plan, factors, &mut t)?;
+                        let owned = match cow {
+                            Cow::Borrowed(f) => {
+                                t.factor_clones += 1;
+                                f.clone()
+                            }
+                            Cow::Owned(f) => f,
+                        };
+                        let gm = owned.mass_in_box(ranges);
+                        if let Some(cache) = lock(&self.marginals).as_mut() {
+                            cache.insert(group_key, owned);
+                        }
+                        gm
+                    }
+                } else {
+                    execute_marginal(&group.plan, factors, &mut t)?.mass_in_box(ranges)
+                };
+                if total > 0.0 {
+                    mass *= group_mass / total;
+                } else {
+                    return Ok(0.0);
+                }
+            }
+            Ok(mass)
+        })();
+        lock(&self.trace).absorb(&t);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::ExactFactor;
+    use crate::marginal::{compute_marginal_interpreted, estimate_mass_interpreted};
+    use dbhist_distribution::{Relation, Schema};
+    use dbhist_model::{DecomposableModel, MarkovGraph};
+
+    /// 5 attributes with chain dependencies 0-1, 1-2, plus pair 3-4 (the
+    /// same fixture as `crate::marginal`'s tests).
+    fn relation() -> Relation {
+        let schema = Schema::new(vec![("a", 4), ("b", 4), ("c", 4), ("d", 3), ("e", 3)]).unwrap();
+        let mut rows = Vec::new();
+        let mut state = 988_777u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2500 {
+            let a = (next() % 4) as u32;
+            let b = if next() % 3 == 0 { (next() % 4) as u32 } else { a };
+            let c = if next() % 3 == 0 { (next() % 4) as u32 } else { b };
+            let d = (next() % 3) as u32;
+            let e = if next() % 4 == 0 { (next() % 3) as u32 } else { d };
+            rows.push(vec![a, b, c, d, e]);
+        }
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    fn model(rel: &Relation) -> DecomposableModel {
+        let g = MarkovGraph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        DecomposableModel::new(rel.schema().clone(), g).unwrap()
+    }
+
+    fn exact_factors(rel: &Relation, m: &DecomposableModel) -> Vec<ExactFactor> {
+        m.cliques().iter().map(|c| ExactFactor(rel.marginal(c).unwrap())).collect()
+    }
+
+    fn targets() -> Vec<AttrSet> {
+        vec![
+            AttrSet::from_ids([0]),
+            AttrSet::from_ids([0, 1]),
+            AttrSet::from_ids([0, 2]),
+            AttrSet::from_ids([0, 4]),
+            AttrSet::from_ids([2, 3]),
+            AttrSet::from_ids([0, 2, 4]),
+            AttrSet::from_ids([0, 1, 2, 3, 4]),
+        ]
+    }
+
+    #[test]
+    fn planned_marginal_is_bit_identical_to_interpreter() {
+        let rel = relation();
+        let m = model(&rel);
+        let factors = exact_factors(&rel, &m);
+        let tree = m.junction_tree();
+        let views = tree.rooted_views();
+        for target in targets() {
+            let plan = MarginalPlan::compile(tree, &views, &target).unwrap();
+            let mut trace = QueryTrace::default();
+            let planned = execute_marginal(&plan, &factors, &mut trace).unwrap();
+            let (interp, stats) = compute_marginal_interpreted(tree, &factors, &target).unwrap();
+            assert_eq!(planned.attrs(), interp.attrs(), "{target}");
+            for (k, v) in interp.0.iter() {
+                let got = planned.0.frequency(k);
+                assert_eq!(got.to_bits(), v.to_bits(), "{target}: key {k:?}: {got} vs {v}");
+            }
+            // Operation counts match the interpreter's accounting.
+            assert_eq!(trace.products, stats.products, "{target}");
+            assert_eq!(trace.projections + trace.sheds, stats.projections, "{target}");
+        }
+    }
+
+    #[test]
+    fn planned_mass_is_bit_identical_to_interpreter() {
+        let rel = relation();
+        let m = model(&rel);
+        let factors = exact_factors(&rel, &m);
+        let tree = m.junction_tree();
+        let views = tree.rooted_views();
+        let queries: Vec<Vec<(u16, u32, u32)>> = vec![
+            vec![(0, 0, 1)],
+            vec![(0, 0, 2), (2, 1, 3)],
+            vec![(0, 1, 2), (3, 0, 1), (4, 1, 2)],
+            vec![(1, 2, 2), (4, 0, 0)],
+            vec![(0, 0, 3), (1, 0, 3), (2, 0, 3), (3, 0, 2), (4, 0, 2)],
+        ];
+        for ranges in queries {
+            let target = AttrSet::from_ids(ranges.iter().map(|r| r.0));
+            let plan = MassPlan::compile(tree, &views, &target).unwrap();
+            let mut trace = QueryTrace::default();
+            let planned = execute_mass(&plan, &factors, &ranges, &mut trace).unwrap();
+            let interp = estimate_mass_interpreted(tree, &factors, &target, &ranges).unwrap();
+            assert_eq!(planned.to_bits(), interp.to_bits(), "{ranges:?}: {planned} vs {interp}");
+        }
+    }
+
+    #[test]
+    fn single_clique_plan_borrows_without_cloning() {
+        let rel = relation();
+        let m = model(&rel);
+        let factors = exact_factors(&rel, &m);
+        let tree = m.junction_tree();
+        let views = tree.rooted_views();
+        // {0,1} is exactly a clique of the chain model: the plan is a bare
+        // load and the executed result borrows the stored factor.
+        let target = AttrSet::from_ids([0, 1]);
+        let plan = MarginalPlan::compile(tree, &views, &target).unwrap();
+        assert_eq!(plan.steps().len(), 1, "{:?}", plan.steps());
+        let mut trace = QueryTrace::default();
+        let result = execute_marginal(&plan, &factors, &mut trace).unwrap();
+        assert!(matches!(result, Cow::Borrowed(_)));
+        assert_eq!(trace.products, 0);
+        assert_eq!(trace.projections, 0);
+        assert_eq!(trace.factor_clones, 0);
+        assert_eq!(trace.clique_loads, 1);
+    }
+
+    #[test]
+    fn uncovered_attribute_fails_compilation() {
+        let rel = relation();
+        let m = model(&rel);
+        let tree = m.junction_tree();
+        let views = tree.rooted_views();
+        let bad = AttrSet::from_ids([0, 9]);
+        assert!(MarginalPlan::compile(tree, &views, &bad).is_err());
+        assert!(MassPlan::compile(tree, &views, &bad).is_err());
+    }
+
+    #[test]
+    fn engine_caches_plans_and_marginals_bit_identically() {
+        let rel = relation();
+        let m = model(&rel);
+        let factors = exact_factors(&rel, &m);
+        let tree = m.junction_tree();
+        let engine: QueryEngine<ExactFactor> = QueryEngine::new(tree);
+        let target = AttrSet::from_ids([0, 2, 4]);
+        let ranges = [(0u16, 0u32, 2u32), (2, 1, 3), (4, 0, 1)];
+
+        let cold = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let t0 = engine.trace();
+        assert_eq!(t0.plan_cache_misses, 1);
+        assert_eq!(t0.plan_cache_hits, 0);
+
+        let warm = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let t1 = engine.trace();
+        assert_eq!(t1.plan_cache_hits, 1, "second identical query must hit the plan cache");
+        assert_eq!(cold.to_bits(), warm.to_bits(), "plan-cache hit must be bit-identical");
+
+        // Enable the marginal cache: first query materializes, second
+        // skips execution entirely.
+        engine.enable_marginal_cache(8);
+        let seeded = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let t2 = engine.trace();
+        assert!(t2.marginal_cache_misses >= 1);
+        let cached = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let t3 = engine.trace();
+        assert!(t3.marginal_cache_hits >= 1, "repeat must hit the marginal cache: {t3:?}");
+        assert_eq!(
+            t3.products, t2.products,
+            "marginal-cache hit must not execute any factor products"
+        );
+        assert_eq!(seeded.to_bits(), cold.to_bits());
+        assert_eq!(cached.to_bits(), cold.to_bits(), "marginal-cache hit must be bit-identical");
+
+        // Invalidation drops materialized marginals but keeps plans.
+        engine.invalidate_marginals();
+        let after = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        assert_eq!(after.to_bits(), cold.to_bits());
+        let t4 = engine.trace();
+        assert_eq!(t4.plan_cache_misses, 1, "plans survive marginal invalidation");
+    }
+
+    #[test]
+    fn engine_repeated_identity_workload_never_clones() {
+        let rel = relation();
+        let m = model(&rel);
+        let factors = exact_factors(&rel, &m);
+        let tree = m.junction_tree();
+        let engine: QueryEngine<ExactFactor> = QueryEngine::new(tree);
+        // Both targets live inside single cliques: execution is pure
+        // borrowing — zero factor clones across the whole workload.
+        let workload: Vec<Vec<(u16, u32, u32)>> = (0..32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![(0u16, 0u32, i % 4), (1, 0, 3)]
+                } else {
+                    vec![(3u16, 0u32, i % 3), (4, 0, 2)]
+                }
+            })
+            .collect();
+        for q in &workload {
+            let target = AttrSet::from_ids(q.iter().map(|r| r.0));
+            engine.estimate_mass(tree, &factors, &target, q).unwrap();
+        }
+        let t = engine.trace();
+        assert_eq!(t.factor_clones, 0, "identity workload must not clone factors: {t:?}");
+        assert_eq!(t.products, 0);
+        assert_eq!(t.projections, 0);
+        assert_eq!(t.plan_cache_misses, 2, "two distinct shapes");
+        assert_eq!(t.plan_cache_hits, 30, "every repeat hits the plan cache");
+        assert_eq!(t.clique_loads, 32);
+    }
+
+    #[test]
+    fn engine_marginal_matches_free_function_and_caches() {
+        let rel = relation();
+        let m = model(&rel);
+        let factors = exact_factors(&rel, &m);
+        let tree = m.junction_tree();
+        let engine: QueryEngine<ExactFactor> = QueryEngine::new(tree);
+        engine.enable_marginal_cache(4);
+        let target = AttrSet::from_ids([0, 2]);
+        let a = engine.marginal(tree, &factors, &target).unwrap();
+        let b = engine.marginal(tree, &factors, &target).unwrap();
+        let t = engine.trace();
+        assert_eq!(t.marginal_cache_hits, 1);
+        let (interp, _) = compute_marginal_interpreted(tree, &factors, &target).unwrap();
+        for (k, v) in interp.0.iter() {
+            assert_eq!(a.0.frequency(k).to_bits(), v.to_bits());
+            assert_eq!(b.0.frequency(k).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&1), Some(&10)); // refresh 1
+        cache.insert(3, 30); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(&10));
+        assert_eq!(cache.get(&3), Some(&30));
+        // Re-inserting an existing key must not evict.
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(&11));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -11,9 +11,14 @@
 //!    [`crate::alloc::incremental_gains`] or the optimal DP.
 //! 3. **Assembly** — the junction tree plus finished histograms.
 //!
-//! Estimation (paper §3.3) runs [`crate::marginal::compute_marginal`] over
-//! the junction tree to obtain the marginal on the query's attributes,
-//! then reads the range mass off it.
+//! Estimation (paper §3.3) goes through a per-synopsis
+//! [`QueryEngine`]: the Fig. 3 recursion is compiled once per query
+//! *shape* into a [`crate::plan::MarginalPlan`]/[`crate::plan::MassPlan`]
+//! (memoized in a bounded LRU), then executed with zero-clone `Cow`
+//! operand passing. Repeated workloads pay compilation once; an optional
+//! marginal cache ([`DbHistogram::enable_marginal_cache`]) additionally
+//! memoizes materialized group marginals. [`DbHistogram::query_trace`]
+//! exposes the engine's cumulative operation counters.
 
 use dbhist_distribution::{AttrId, AttrSet, Relation};
 use dbhist_histogram::{GridHistogram, SplitCriterion, SplitTree};
@@ -25,7 +30,7 @@ use crate::build::{GridCliqueBuilder, IncrementalBuilder, MhistCliqueBuilder};
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
 use crate::factor::{ExactFactor, Factor};
-use crate::marginal::{compute_marginal, estimate_mass};
+use crate::plan::{QueryEngine, QueryTrace};
 
 /// How the storage budget is distributed across clique histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +77,7 @@ pub struct DbHistogram<F: Factor> {
     factors: Vec<F>,
     bytes: usize,
     name: String,
+    engine: QueryEngine<F>,
 }
 
 impl<F: Factor> DbHistogram<F> {
@@ -89,20 +95,47 @@ impl<F: Factor> DbHistogram<F> {
 
     /// Mutable access for incremental maintenance (crate-internal: bucket
     /// counts may move, but the factor set must stay aligned with the
-    /// model's cliques).
+    /// model's cliques). Invalidates cached materialized marginals —
+    /// compiled plans survive, they depend only on the model structure.
     pub(crate) fn factors_mut(&mut self) -> &mut [F] {
+        self.engine.invalidate_marginals();
         &mut self.factors
     }
 
+    /// The plan-based query engine answering this synopsis's queries.
+    #[must_use]
+    pub fn engine(&self) -> &QueryEngine<F> {
+        &self.engine
+    }
+
+    /// Enables the engine's materialized-marginal LRU: repeated query
+    /// shapes skip factor algebra entirely. Worth it for workloads that
+    /// hammer a few attribute subsets; off by default because cached
+    /// marginals cost memory beyond the synopsis budget.
+    pub fn enable_marginal_cache(&self, capacity: usize) {
+        self.engine.enable_marginal_cache(capacity);
+    }
+
+    /// Snapshot of the engine's cumulative operation and cache counters.
+    #[must_use]
+    pub fn query_trace(&self) -> QueryTrace {
+        self.engine.trace()
+    }
+
+    /// Resets the engine's cumulative counters to zero.
+    pub fn reset_query_trace(&self) {
+        self.engine.reset_trace();
+    }
+
     /// Estimates the marginal factor over an arbitrary attribute subset
-    /// (paper §3.3.1).
+    /// (paper §3.3.1), through the plan cache.
     ///
     /// # Errors
     ///
     /// Propagates factor-operation failures and rejects attributes the
     /// model does not cover.
     pub fn marginal(&self, attrs: &AttrSet) -> Result<F, SynopsisError> {
-        compute_marginal(self.model.junction_tree(), &self.factors, attrs)
+        self.engine.marginal(self.model.junction_tree(), &self.factors, attrs)
     }
 
     /// Estimates the selectivity of a conjunctive range predicate,
@@ -122,7 +155,7 @@ impl<F: Factor> DbHistogram<F> {
             // No constrained attribute: the estimate is the table size.
             return Ok(self.factors.first().map_or(0.0, Factor::total));
         }
-        estimate_mass(self.model.junction_tree(), &self.factors, &attrs, ranges)
+        self.engine.estimate_mass(self.model.junction_tree(), &self.factors, &attrs, ranges)
     }
 
     fn set_name(&mut self, name: impl Into<String>) {
@@ -148,6 +181,10 @@ impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn query_trace(&self) -> Option<QueryTrace> {
+        Some(self.engine.trace())
     }
 }
 
@@ -212,7 +249,8 @@ where
     }
     let bytes = builders.iter().map(IncrementalBuilder::storage_bytes).sum();
     let factors: Vec<F> = builders.iter().map(IncrementalBuilder::finish).collect();
-    Ok(DbHistogram { model, factors, bytes, name: "DB".into() })
+    let engine = QueryEngine::new(model.junction_tree());
+    Ok(DbHistogram { model, factors, bytes, name: "DB".into(), engine })
 }
 
 impl DbHistogram<SplitTree> {
@@ -306,7 +344,8 @@ impl DbHistogram<ExactFactor> {
         // Storage accounting for exact marginals: 4 bytes per stored value
         // plus 4 per frequency (informational only; Fig. 6 ignores space).
         let bytes = factors.iter().map(|f| f.0.support_size() * 4 * (f.0.attrs().len() + 1)).sum();
-        Ok(DbHistogram { model, factors, bytes, name: "DB-exact".into() })
+        let engine = QueryEngine::new(model.junction_tree());
+        Ok(DbHistogram { model, factors, bytes, name: "DB-exact".into(), engine })
     }
 }
 
@@ -413,6 +452,29 @@ mod tests {
         let est = db.estimate(&[(0, 0, 3), (2, 1, 1)]);
         let exact = rel.count_range(&[(0, 0, 3), (2, 1, 1)]) as f64;
         assert!((est - exact).abs() / exact < 0.5, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn repeated_workload_hits_plan_cache_without_clones() {
+        let rel = relation();
+        let db = DbHistogram::build_mhist(&rel, DbConfig::new(400)).unwrap();
+        db.reset_query_trace();
+        // Eight queries, one attribute-set shape {a, b} — a single clique
+        // of the discovered model. The first compiles a plan; the rest hit
+        // the cache. Execution borrows the stored clique factor, so the
+        // whole workload performs zero factor clones.
+        for i in 0..8u32 {
+            db.try_estimate(&[(0, 0, 3), (1, i % 8, 7)]).unwrap();
+        }
+        let t = db.query_trace();
+        assert_eq!(t.plan_cache_misses, 1, "{t:?}");
+        assert_eq!(t.plan_cache_hits, 7, "{t:?}");
+        assert_eq!(t.factor_clones, 0, "estimation must not clone stored factors: {t:?}");
+        assert!(db.query_trace().clique_loads >= 8);
+        db.reset_query_trace();
+        assert_eq!(db.query_trace(), crate::plan::QueryTrace::default());
+        // The estimator trait exposes the same counters.
+        assert_eq!(db.query_trace(), SelectivityEstimator::query_trace(&db).unwrap());
     }
 
     #[test]

@@ -267,9 +267,90 @@ impl AttrSet {
     }
 
     /// `true` if the two sets share no attribute.
+    ///
+    /// Merge-walks both sorted id lists and returns at the first common
+    /// id — no intersection is allocated (this sits on query-planning hot
+    /// paths).
     #[must_use]
     pub fn is_disjoint(&self, other: &Self) -> bool {
-        self.intersection(other).is_empty()
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// In-place set union: `self ← self ∪ other`.
+    ///
+    /// Allocation-free when `other ⊆ self`; otherwise grows `self` once
+    /// and merges from the back in `O(|self| + |other|)`. The planner's
+    /// hot loops (cover accumulation, keep-set maintenance) use this to
+    /// avoid the fresh vector [`AttrSet::union`] allocates per call.
+    pub fn union_with(&mut self, other: &Self) {
+        // Count the ids of `other` missing from `self`.
+        let missing = {
+            let (mut i, mut j, mut missing) = (0, 0, 0usize);
+            while j < other.ids.len() {
+                if i >= self.ids.len() || self.ids[i] > other.ids[j] {
+                    missing += 1;
+                    j += 1;
+                } else if self.ids[i] < other.ids[j] {
+                    i += 1;
+                } else {
+                    i += 1;
+                    j += 1;
+                }
+            }
+            missing
+        };
+        if missing == 0 {
+            return;
+        }
+        let old_len = self.ids.len();
+        self.ids.resize(old_len + missing, 0);
+        // Merge from the back so no element is overwritten before read.
+        let (mut i, mut j, mut w) = (old_len, other.ids.len(), self.ids.len());
+        while j > 0 {
+            if i > 0 && self.ids[i - 1] > other.ids[j - 1] {
+                w -= 1;
+                i -= 1;
+                self.ids[w] = self.ids[i];
+            } else {
+                if i > 0 && self.ids[i - 1] == other.ids[j - 1] {
+                    i -= 1;
+                }
+                w -= 1;
+                j -= 1;
+                self.ids[w] = other.ids[j];
+            }
+        }
+        // Remaining prefix of `self` is already in place (w == i here).
+        debug_assert_eq!(w, i);
+    }
+
+    /// In-place set intersection: `self ← self ∩ other`.
+    ///
+    /// Allocation-free: retains the common ids with a two-pointer
+    /// compaction walk over the sorted lists.
+    pub fn intersect_with(&mut self, other: &Self) {
+        let (mut i, mut j, mut w) = (0, 0, 0usize);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    self.ids[w] = self.ids[i];
+                    w += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.ids.truncate(w);
     }
 
     /// Returns a copy with `id` inserted.
@@ -386,6 +467,59 @@ mod tests {
         assert!(AttrSet::empty().is_subset(&a));
         assert!(set(&[7, 9]).is_disjoint(&a));
         assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn in_place_union_matches_allocating_union() {
+        let cases: &[(&[AttrId], &[AttrId])] = &[
+            (&[], &[]),
+            (&[1, 3, 5], &[]),
+            (&[], &[2, 4]),
+            (&[1, 3, 5], &[2, 3, 4, 6]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[5, 6], &[1, 2]),
+            (&[1, 2], &[5, 6]),
+            (&[2, 4], &[1, 2, 3, 4, 5]),
+        ];
+        for (a, b) in cases {
+            let (a, b) = (set(a), set(b));
+            let mut in_place = a.clone();
+            in_place.union_with(&b);
+            assert_eq!(in_place, a.union(&b), "{a} ∪ {b}");
+        }
+    }
+
+    #[test]
+    fn in_place_intersection_matches_allocating_intersection() {
+        let cases: &[(&[AttrId], &[AttrId])] = &[
+            (&[], &[1, 2]),
+            (&[1, 3, 5], &[2, 3, 4, 5]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[1, 2], &[5, 6]),
+            (&[0, 2, 4, 6, 8], &[1, 2, 3, 4]),
+        ];
+        for (a, b) in cases {
+            let (a, b) = (set(a), set(b));
+            let mut in_place = a.clone();
+            in_place.intersect_with(&b);
+            assert_eq!(in_place, a.intersection(&b), "{a} ∩ {b}");
+        }
+    }
+
+    #[test]
+    fn disjoint_early_exit_agrees_with_intersection() {
+        let cases: &[(&[AttrId], &[AttrId])] = &[
+            (&[], &[]),
+            (&[1], &[]),
+            (&[1, 3, 5], &[2, 4, 6]),
+            (&[1, 3, 5], &[5, 7]),
+            (&[9], &[1, 2, 9]),
+        ];
+        for (a, b) in cases {
+            let (a, b) = (set(a), set(b));
+            assert_eq!(a.is_disjoint(&b), a.intersection(&b).is_empty(), "{a} vs {b}");
+            assert_eq!(b.is_disjoint(&a), a.is_disjoint(&b));
+        }
     }
 
     #[test]

@@ -46,6 +46,25 @@ pub trait MultiHistogram: Sized + Clone {
     /// Implementations reject operands with incompatible shared domains.
     fn product(&self, other: &Self) -> Result<Self, HistogramError>;
 
+    /// Borrow-friendly projection: identity projections return
+    /// `Cow::Borrowed(self)` without rebuilding anything; proper
+    /// projections materialize as usual. Plan-based executors use this to
+    /// keep zero-clone pass-throughs on the common single-clique path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiHistogram::project`].
+    fn project_cow<'a>(
+        &'a self,
+        attrs: &AttrSet,
+    ) -> Result<std::borrow::Cow<'a, Self>, HistogramError> {
+        if self.attrs() == attrs {
+            Ok(std::borrow::Cow::Borrowed(self))
+        } else {
+            Ok(std::borrow::Cow::Owned(self.project(attrs)?))
+        }
+    }
+
     /// Storage footprint in bytes under the paper's accounting.
     fn storage_bytes(&self) -> usize;
 }
@@ -135,6 +154,12 @@ mod tests {
         let p = h.project(&AttrSet::singleton(1)).unwrap();
         assert!((p.total() - 256.0).abs() < 1e-9);
         assert!(p.product(&p.project(&AttrSet::singleton(1)).unwrap()).is_ok());
+        // Borrow-friendly projection: identity borrows, proper owns.
+        let same = h.project_cow(h.attrs()).unwrap();
+        assert!(matches!(same, std::borrow::Cow::Borrowed(_)));
+        let proj = h.project_cow(&AttrSet::singleton(0)).unwrap();
+        assert!(matches!(proj, std::borrow::Cow::Owned(_)));
+        assert!((proj.total() - 256.0).abs() < 1e-9);
     }
 
     #[test]

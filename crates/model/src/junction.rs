@@ -16,6 +16,8 @@
 //! separators (intersections across components are empty, so the
 //! clique-intersection property is preserved).
 
+use std::sync::OnceLock;
+
 use dbhist_distribution::AttrSet;
 
 use crate::chordal::{is_chordal, maximal_cliques};
@@ -272,11 +274,25 @@ impl JunctionTree {
         for &c in order.iter().rev() {
             let mut acc = cover[c].clone();
             for &ch in &children[c] {
-                acc = acc.union(&cover[ch]);
+                acc.union_with(&cover[ch]);
             }
             cover[c] = acc;
         }
         RootedJunctionTree { root, parent, children, cover }
+    }
+
+    /// A lazily-populated cache of [`RootedJunctionTree`] views, one per
+    /// candidate root.
+    ///
+    /// `ComputeMarginal` roots the tree at the clique best overlapping the
+    /// query, so a steady-state query workload re-derives the same handful
+    /// of rooted views endlessly. Hoist the returned cache next to the
+    /// tree (the synopsis layer stores one per synopsis) and fetch views
+    /// through [`RootedViews::get`]; each root is computed at most once
+    /// over the cache's lifetime.
+    #[must_use]
+    pub fn rooted_views(&self) -> RootedViews {
+        RootedViews { views: std::iter::repeat_with(OnceLock::new).take(self.len()).collect() }
     }
 
     /// The model-notation string, e.g. `"[012][013][04]"` for the paper's
@@ -295,6 +311,40 @@ impl JunctionTree {
             s.push(']');
         }
         s
+    }
+}
+
+/// Cached rooted views of one [`JunctionTree`] (see
+/// [`JunctionTree::rooted_views`]).
+///
+/// The cache is interior-mutable (`OnceLock` per root), so shared
+/// references can populate it concurrently; cloning clones whatever has
+/// been computed so far.
+#[derive(Debug, Clone, Default)]
+pub struct RootedViews {
+    views: Vec<OnceLock<RootedJunctionTree>>,
+}
+
+impl RootedViews {
+    /// The rooted view of `tree` at clique `root`, computed on first
+    /// access and cached thereafter.
+    ///
+    /// `tree` must be the tree this cache was created from (same clique
+    /// count and structure) — pairing it with a different tree yields
+    /// views of the wrong tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range for the originating tree.
+    pub fn get(&self, tree: &JunctionTree, root: usize) -> &RootedJunctionTree {
+        debug_assert_eq!(self.views.len(), tree.len(), "RootedViews paired with a foreign tree");
+        self.views[root].get_or_init(|| tree.rooted(root))
+    }
+
+    /// Number of views already materialized (for tests and diagnostics).
+    #[must_use]
+    pub fn computed(&self) -> usize {
+        self.views.iter().filter(|v| v.get().is_some()).count()
     }
 }
 
@@ -399,6 +449,26 @@ mod tests {
                 assert_eq!(rooted.parent[c], i);
             }
         }
+    }
+
+    #[test]
+    fn rooted_views_cache_matches_direct_rooting() {
+        let jt = JunctionTree::build(&paper_example()).unwrap();
+        let views = jt.rooted_views();
+        assert_eq!(views.computed(), 0);
+        for root in 0..jt.len() {
+            let cached = views.get(&jt, root);
+            let direct = jt.rooted(root);
+            assert_eq!(cached.root, direct.root);
+            assert_eq!(cached.parent, direct.parent);
+            assert_eq!(cached.children, direct.children);
+            assert_eq!(cached.cover, direct.cover);
+        }
+        assert_eq!(views.computed(), jt.len());
+        // Repeated access returns the same cached view (same address).
+        let a: *const RootedJunctionTree = views.get(&jt, 1);
+        let b: *const RootedJunctionTree = views.get(&jt, 1);
+        assert_eq!(a, b);
     }
 
     #[test]

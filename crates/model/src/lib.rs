@@ -64,4 +64,4 @@ pub mod stats;
 pub use decomposable::DecomposableModel;
 pub use error::ModelError;
 pub use graph::MarkovGraph;
-pub use junction::JunctionTree;
+pub use junction::{JunctionTree, RootedViews};

@@ -1,0 +1,282 @@
+//! Property tests: the plan-based query engine is observationally
+//! identical to the recursive Fig. 3 interpreter.
+//!
+//! `MarginalPlan`/`MassPlan` compile the interpreter's recursion into a
+//! step program whose execution replays the *same* factor operations in
+//! the *same* order on the *same* operands — so results must match
+//! bit-for-bit (not just within tolerance), for exact factors and for
+//! approximate MHIST split trees alike, over randomized junction trees,
+//! factors, and query sets. Cached replays (plan cache and materialized
+//! marginal cache) must also be bit-identical to their cold runs.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
+
+use dbhist::core::factor::{ExactFactor, Factor};
+use dbhist::core::marginal::{
+    compute_marginal_interpreted, compute_marginal_with_stats, estimate_mass,
+    estimate_mass_interpreted,
+};
+use dbhist::core::plan::QueryEngine;
+use dbhist::distribution::{AttrId, AttrSet, Relation, Schema};
+use dbhist::histogram::mhist::MhistBuilder;
+use dbhist::histogram::SplitCriterion;
+use dbhist::model::chordal::addable_edge_separator;
+use dbhist::model::{DecomposableModel, MarkovGraph};
+use proptest::prelude::*;
+
+/// A query shape (target attributes) plus its conjunctive box.
+type BoxQuery = (AttrSet, Vec<(AttrId, u32, u32)>);
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A random relation (with correlations), a random decomposable model
+/// over a randomly grown chordal graph, and exact clique factors.
+fn build_setup(
+    arity: usize,
+    domain: u32,
+    rows: usize,
+    seed: u64,
+) -> (Relation, DecomposableModel, Vec<ExactFactor>, u64) {
+    let mut state = seed | 1;
+    let schema = Schema::new((0..arity).map(|i| (format!("a{i}"), domain))).unwrap();
+    let data: Vec<Vec<u32>> = (0..rows)
+        .map(|_| {
+            let base = (xorshift(&mut state) % u64::from(domain)) as u32;
+            (0..arity)
+                .map(|i| {
+                    if i % 2 == 0 && !xorshift(&mut state).is_multiple_of(3) {
+                        base
+                    } else {
+                        (xorshift(&mut state) % u64::from(domain)) as u32
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let rel = Relation::from_rows(schema, data).unwrap();
+
+    // Random chordal graph by legal edge insertion; junction trees built
+    // from it are valid by construction (debug validators check).
+    let mut g = MarkovGraph::empty(arity);
+    let edges = (xorshift(&mut state) % 9) as usize;
+    let mut added = 0;
+    for _ in 0..edges * 4 {
+        if added >= edges {
+            break;
+        }
+        let u = (xorshift(&mut state) % arity as u64) as AttrId;
+        let v = (xorshift(&mut state) % arity as u64) as AttrId;
+        if u != v && addable_edge_separator(&g, u, v).is_some() {
+            g.add_edge(u, v).unwrap();
+            added += 1;
+        }
+    }
+    let model = DecomposableModel::new(rel.schema().clone(), g).unwrap();
+    let factors: Vec<ExactFactor> =
+        model.cliques().iter().map(|c| ExactFactor(rel.marginal(c).unwrap())).collect();
+    (rel, model, factors, state)
+}
+
+/// Random non-empty attribute subsets drawn from a bitmask stream.
+fn random_targets(arity: usize, state: &mut u64, count: usize) -> Vec<AttrSet> {
+    let mut targets = Vec::new();
+    while targets.len() < count {
+        let mask = xorshift(state) % (1u64 << arity);
+        if mask == 0 {
+            continue;
+        }
+        targets.push(AttrSet::from_ids(
+            (0..arity as AttrId).filter(|&a| mask & (1 << u64::from(a)) != 0),
+        ));
+    }
+    targets
+}
+
+/// A random conjunctive box over exactly the target's attributes.
+fn random_ranges(target: &AttrSet, domain: u32, state: &mut u64) -> Vec<(AttrId, u32, u32)> {
+    target
+        .iter()
+        .map(|a| {
+            let lo = (xorshift(state) % u64::from(domain)) as u32;
+            let width = (xorshift(state) % u64::from(domain)) as u32;
+            (a, lo, (lo + width).min(domain - 1))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planned marginals are bit-identical to the interpreter on exact
+    /// factors: same support frequencies, same operation counts.
+    #[test]
+    fn planned_marginal_bit_identical_exact(
+        arity in 3usize..=6,
+        domain in 2u32..=6,
+        rows in 30usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let (_, model, factors, mut state) = build_setup(arity, domain, rows, seed);
+        let tree = model.junction_tree();
+        for target in random_targets(arity, &mut state, 6) {
+            let (planned, planned_stats) =
+                compute_marginal_with_stats(tree, &factors, &target).unwrap();
+            let (interp, interp_stats) =
+                compute_marginal_interpreted(tree, &factors, &target).unwrap();
+            prop_assert_eq!(planned_stats, interp_stats, "{}", &target);
+            prop_assert_eq!(planned.attrs(), interp.attrs(), "{}", &target);
+            prop_assert_eq!(
+                planned.total().to_bits(), interp.total().to_bits(), "{}", &target);
+            for (k, v) in interp.0.iter() {
+                prop_assert_eq!(
+                    planned.0.frequency(k).to_bits(), v.to_bits(),
+                    "target {} key {:?}", &target, k
+                );
+            }
+            for (k, v) in planned.0.iter() {
+                prop_assert_eq!(
+                    interp.0.frequency(k).to_bits(), v.to_bits(),
+                    "target {} key {:?}", &target, k
+                );
+            }
+        }
+    }
+
+    /// Planned marginals are bit-identical to the interpreter on MHIST
+    /// split-tree factors (the approximate path, where operand order and
+    /// shed decisions matter most).
+    #[test]
+    fn planned_marginal_bit_identical_mhist(
+        arity in 3usize..=5,
+        domain in 2u32..=6,
+        rows in 30usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let (rel, model, _, mut state) = build_setup(arity, domain, rows, seed);
+        let tree = model.junction_tree();
+        let buckets = 2 + (xorshift(&mut state) % 8) as usize;
+        let hists: Vec<_> = model
+            .cliques()
+            .iter()
+            .map(|c| {
+                MhistBuilder::build(&rel.marginal(c).unwrap(), buckets, SplitCriterion::MaxDiff)
+                    .unwrap()
+            })
+            .collect();
+        for target in random_targets(arity, &mut state, 4) {
+            let (planned, planned_stats) =
+                compute_marginal_with_stats(tree, &hists, &target).unwrap();
+            let (interp, interp_stats) =
+                compute_marginal_interpreted(tree, &hists, &target).unwrap();
+            prop_assert_eq!(planned_stats, interp_stats, "{}", &target);
+            prop_assert_eq!(planned.attrs(), interp.attrs(), "{}", &target);
+            prop_assert_eq!(
+                planned.total().to_bits(), interp.total().to_bits(), "{}", &target);
+            for _ in 0..4 {
+                let ranges = random_ranges(&target, domain, &mut state);
+                prop_assert_eq!(
+                    planned.mass_in_box(&ranges).to_bits(),
+                    interp.mass_in_box(&ranges).to_bits(),
+                    "target {} ranges {:?}", &target, &ranges
+                );
+            }
+        }
+    }
+
+    /// Planned selectivity estimation (independent-component mass plans)
+    /// is bit-identical to the interpreter, on both factor families.
+    #[test]
+    fn planned_mass_bit_identical(
+        arity in 3usize..=6,
+        domain in 2u32..=6,
+        rows in 30usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let (rel, model, factors, mut state) = build_setup(arity, domain, rows, seed);
+        let tree = model.junction_tree();
+        let hists: Vec<_> = model
+            .cliques()
+            .iter()
+            .map(|c| {
+                MhistBuilder::build(&rel.marginal(c).unwrap(), 6, SplitCriterion::MaxDiff)
+                    .unwrap()
+            })
+            .collect();
+        for target in random_targets(arity, &mut state, 6) {
+            let ranges = random_ranges(&target, domain, &mut state);
+            let planned = estimate_mass(tree, &factors, &target, &ranges).unwrap();
+            let interp = estimate_mass_interpreted(tree, &factors, &target, &ranges).unwrap();
+            prop_assert_eq!(
+                planned.to_bits(), interp.to_bits(),
+                "exact: target {} ranges {:?}: {} vs {}", &target, &ranges, planned, interp
+            );
+            let planned_h = estimate_mass(tree, &hists, &target, &ranges).unwrap();
+            let interp_h = estimate_mass_interpreted(tree, &hists, &target, &ranges).unwrap();
+            prop_assert_eq!(
+                planned_h.to_bits(), interp_h.to_bits(),
+                "mhist: target {} ranges {:?}: {} vs {}", &target, &ranges, planned_h, interp_h
+            );
+        }
+    }
+
+    /// Cache replays are bit-identical to cold runs: the plan cache and
+    /// the materialized-marginal cache must never change an answer.
+    #[test]
+    fn engine_cache_replays_bit_identical(
+        arity in 3usize..=6,
+        domain in 2u32..=6,
+        rows in 30usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let (_, model, factors, mut state) = build_setup(arity, domain, rows, seed);
+        let tree = model.junction_tree();
+        let engine: QueryEngine<ExactFactor> = QueryEngine::new(tree);
+        let queries: Vec<BoxQuery> = random_targets(arity, &mut state, 5)
+                .into_iter()
+                .map(|t| {
+                    let r = random_ranges(&t, domain, &mut state);
+                    (t, r)
+                })
+                .collect();
+        let cold: Vec<f64> = queries
+            .iter()
+            .map(|(t, r)| engine.estimate_mass(tree, &factors, t, r).unwrap())
+            .collect();
+        // Warm pass: plans are now cached.
+        let warm: Vec<f64> = queries
+            .iter()
+            .map(|(t, r)| engine.estimate_mass(tree, &factors, t, r).unwrap())
+            .collect();
+        // Third pass with the materialized-marginal cache enabled (first
+        // repetition seeds it, the fourth pass replays from it).
+        engine.enable_marginal_cache(32);
+        let seeded: Vec<f64> = queries
+            .iter()
+            .map(|(t, r)| engine.estimate_mass(tree, &factors, t, r).unwrap())
+            .collect();
+        let cached: Vec<f64> = queries
+            .iter()
+            .map(|(t, r)| engine.estimate_mass(tree, &factors, t, r).unwrap())
+            .collect();
+        for (i, c) in cold.iter().enumerate() {
+            prop_assert_eq!(c.to_bits(), warm[i].to_bits(), "warm replay differs at {}", i);
+            prop_assert_eq!(c.to_bits(), seeded[i].to_bits(), "seed pass differs at {}", i);
+            prop_assert_eq!(c.to_bits(), cached[i].to_bits(), "cached replay differs at {}", i);
+        }
+        let trace = engine.trace();
+        prop_assert!(trace.plan_cache_hits >= queries.len(), "{:?}", trace);
+        prop_assert!(trace.marginal_cache_hits >= 1, "{:?}", trace);
+        // The engine's marginal entry point matches the free function.
+        let (t0, _) = &queries[0];
+        let via_engine = engine.marginal(tree, &factors, t0).unwrap();
+        let (direct, _) = compute_marginal_interpreted(tree, &factors, t0).unwrap();
+        for (k, v) in direct.0.iter() {
+            prop_assert_eq!(via_engine.0.frequency(k).to_bits(), v.to_bits());
+        }
+    }
+}
