@@ -13,8 +13,8 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use dbhist_bench::experiments::Scale;
 use dbhist_core::alloc::{error_curve, incremental_gains, optimal_dp};
 use dbhist_core::build::MhistCliqueBuilder;
-use dbhist_core::synopsis::{DbConfig, DbHistogram};
 use dbhist_core::SelectivityEstimator;
+use dbhist_core::SynopsisBuilder;
 use dbhist_data::metrics::ErrorSummary;
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use dbhist_distribution::AttrSet;
@@ -117,14 +117,10 @@ fn ablation_kmax(c: &mut Criterion) {
     for k_max in [2usize, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(k_max), &k_max, |b, &k_max| {
             b.iter(|| {
-                let mut config = DbConfig::new(3 * 1024);
-                config.selection.k_max = k_max;
-                DbHistogram::build_mhist(&rel, config).unwrap()
+                SynopsisBuilder::new(&rel).budget(3 * 1024).k_max(k_max).build_mhist().unwrap()
             });
         });
-        let mut config = DbConfig::new(3 * 1024);
-        config.selection.k_max = k_max;
-        let db = DbHistogram::build_mhist(&rel, config).unwrap();
+        let db = SynopsisBuilder::new(&rel).budget(3 * 1024).k_max(k_max).build_mhist().unwrap();
         let summary = ErrorSummary::evaluate(&workload, |r| db.estimate(r));
         eprintln!(
             "A3 k_max={k_max}: model {} | rel err {:.3}, mult err {:.2}",
@@ -192,19 +188,19 @@ fn ablation_clique_synopsis_family(c: &mut Criterion) {
     let mut group = c.benchmark_group("a5_clique_family");
     group.sample_size(10);
     group.bench_function("build_mhist", |b| {
-        b.iter(|| DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap());
+        b.iter(|| SynopsisBuilder::new(&rel).budget(budget).build_mhist().unwrap());
     });
     group.bench_function("build_grid", |b| {
-        b.iter(|| DbHistogram::build_grid(&rel, DbConfig::new(budget)).unwrap());
+        b.iter(|| SynopsisBuilder::new(&rel).budget(budget).build_grid().unwrap());
     });
     group.bench_function("build_wavelet", |b| {
-        b.iter(|| DbHistogram::build_wavelet(&rel, DbConfig::new(budget)).unwrap());
+        b.iter(|| SynopsisBuilder::new(&rel).budget(budget).build_wavelet().unwrap());
     });
     group.finish();
 
-    let mh = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();
-    let gr = DbHistogram::build_grid(&rel, DbConfig::new(budget)).unwrap();
-    let wv = DbHistogram::build_wavelet(&rel, DbConfig::new(budget)).unwrap();
+    let mh = SynopsisBuilder::new(&rel).budget(budget).build_mhist().unwrap();
+    let gr = SynopsisBuilder::new(&rel).budget(budget).build_grid().unwrap();
+    let wv = SynopsisBuilder::new(&rel).budget(budget).build_wavelet().unwrap();
     let report = |name: &str, s: &dyn SelectivityEstimator| {
         let e = ErrorSummary::evaluate(&workload, |r| s.estimate(r));
         eprintln!(

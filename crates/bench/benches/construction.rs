@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use dbhist_bench::experiments::Scale;
-use dbhist_core::synopsis::{DbConfig, DbHistogram};
+use dbhist_core::SynopsisBuilder;
 use dbhist_distribution::AttrSet;
 use dbhist_histogram::mhist::MhistBuilder;
 use dbhist_histogram::SplitCriterion;
@@ -68,7 +68,7 @@ fn bench_db_build(c: &mut Criterion) {
     group.sample_size(10);
     for kb in [1usize, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(kb), &kb, |b, &kb| {
-            b.iter(|| DbHistogram::build_mhist(&rel, DbConfig::new(kb * 1024)).unwrap());
+            b.iter(|| SynopsisBuilder::new(&rel).budget(kb * 1024).build_mhist().unwrap());
         });
     }
     group.finish();

@@ -11,8 +11,8 @@ use dbhist_core::marginal::{
     compute_marginal_naive, compute_marginal_with_stats, estimate_mass_interpreted,
 };
 use dbhist_core::plan::QueryEngine;
-use dbhist_core::synopsis::{DbConfig, DbHistogram};
 use dbhist_core::SelectivityEstimator;
+use dbhist_core::SynopsisBuilder;
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use dbhist_distribution::AttrSet;
 use dbhist_histogram::SplitCriterion;
@@ -21,7 +21,7 @@ fn bench_estimation(c: &mut Criterion) {
     let scale = Scale::quick();
     let rel = scale.census_1();
     let budget = 3 * 1024;
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(budget).build_mhist().unwrap();
     let ind = IndEstimator::build(&rel, budget, SplitCriterion::MaxDiff).unwrap();
     let mhist = MhistEstimator::build(&rel, budget, SplitCriterion::MaxDiff).unwrap();
     let workload = Workload::generate(
@@ -43,7 +43,7 @@ fn bench_estimation(c: &mut Criterion) {
 fn bench_marginal_strategies(c: &mut Criterion) {
     let scale = Scale::quick();
     let rel = scale.census_1();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(3 * 1024)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(3 * 1024).build_mhist().unwrap();
     let tree = db.model().junction_tree();
     let factors = db.factors();
     // A small cross-clique target.
@@ -69,7 +69,7 @@ fn bench_marginal_strategies(c: &mut Criterion) {
 fn bench_plan_vs_interpreter(c: &mut Criterion) {
     let scale = Scale::quick();
     let rel = scale.census_1();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(3 * 1024)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(3 * 1024).build_mhist().unwrap();
     let tree = db.model().junction_tree();
     let factors = db.factors();
     let workload = Workload::generate(

@@ -2,15 +2,14 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
 use dbhist_bench::experiments::Scale;
-use dbhist_core::synopsis::{DbConfig, DbHistogram};
-use dbhist_core::SelectivityEstimator;
+use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use std::time::Instant;
 
 fn main() {
     let scale = Scale::quick();
     let rel = scale.census_1();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(3072)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(3072).build_mhist().unwrap();
     println!("model {}", db.model().notation());
     for f in db.factors() {
         println!(

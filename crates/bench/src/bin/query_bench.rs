@@ -20,7 +20,7 @@ use std::time::Instant;
 use dbhist_bench::experiments::Scale;
 use dbhist_core::marginal::estimate_mass_interpreted;
 use dbhist_core::plan::{QueryEngine, QueryTrace};
-use dbhist_core::synopsis::{DbConfig, DbHistogram};
+use dbhist_core::SynopsisBuilder;
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use dbhist_distribution::{AttrId, AttrSet};
 
@@ -67,7 +67,7 @@ fn main() {
 
     let scale = Scale::quick();
     let rel = scale.census_1();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(BUDGET)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(BUDGET).build_mhist().unwrap();
     let tree = db.model().junction_tree();
     let factors = db.factors();
     let workload = Workload::generate(

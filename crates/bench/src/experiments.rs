@@ -1,8 +1,8 @@
 //! The paper's evaluation experiments (§4.2), parameterized by scale.
 
 use dbhist_core::baselines::{IndEstimator, MhistEstimator, SamplingEstimator};
-use dbhist_core::synopsis::{DbConfig, DbHistogram};
-use dbhist_core::SelectivityEstimator;
+use dbhist_core::synopsis::DbHistogram;
+use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
 use dbhist_data::census;
 use dbhist_data::housing;
 use dbhist_data::metrics::ErrorSummary;
@@ -211,10 +211,12 @@ fn build_estimators(rel: &Relation, budget: usize) -> Vec<Box<dyn SelectivityEst
         MhistEstimator::build(rel, budget, criterion).expect("MHIST builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
     ));
     for heuristic in [EdgeHeuristic::Db1, EdgeHeuristic::Db2] {
-        let mut config = DbConfig::new(budget);
-        config.selection.heuristic = heuristic;
         out.push(Box::new(
-            DbHistogram::build_mhist(rel, config).expect("DB histogram builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
+            SynopsisBuilder::new(rel)
+                .budget(budget)
+                .heuristic(heuristic)
+                .build_mhist()
+                .expect("DB histogram builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
         ));
     }
     out

@@ -1,0 +1,539 @@
+//! The unified synopsis construction API.
+//!
+//! [`SynopsisBuilder`] is the single entry point for building DB
+//! histogram synopses, replacing the older `DbHistogram::build_mhist` /
+//! `build_wavelet` / `build_grid` triple (now deprecated shims). It folds
+//! every construction knob — byte budget, clique-factor family, selection
+//! heuristic/algorithm, `k_max`, `θ`, split criterion, allocation
+//! strategy, and worker threads — into fluent methods, validates the
+//! whole configuration once at [`SynopsisBuilder::build`], and reports
+//! per-phase instrumentation through [`BuildTrace`].
+//!
+//! ```
+//! use dbhist_core::builder::{FactorKind, SynopsisBuilder};
+//! use dbhist_core::estimator::SelectivityEstimator;
+//! use dbhist_distribution::{Relation, Schema};
+//!
+//! let schema = Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
+//! let rows: Vec<Vec<u32>> = (0..4096).map(|i| vec![i % 8, i % 8, (i / 8) % 4]).collect();
+//! let rel = Relation::from_rows(schema, rows).unwrap();
+//!
+//! let synopsis = SynopsisBuilder::new(&rel)
+//!     .budget(256)
+//!     .factor(FactorKind::Mhist)
+//!     .threads(1)
+//!     .build()
+//!     .unwrap();
+//! assert!(synopsis.storage_bytes() <= 256);
+//! let trace = synopsis.build_trace();
+//! assert_eq!(trace.threads, 1);
+//! assert!(trace.cliques >= 1);
+//! ```
+//!
+//! # Parallelism and determinism
+//!
+//! [`SynopsisBuilder::threads`] controls every phase: candidate-edge
+//! scoring during forward selection, per-clique histogram construction,
+//! and the marginal-gain tables of budget allocation. `1` runs the exact
+//! serial code path; larger counts fan independent work across scoped
+//! worker threads while keeping the result **bit-identical** (entropies
+//! are pure functions of the relation, per-clique builder runs are
+//! independent, and every ranking/reduction stays serial with the same
+//! deterministic tie-breaks). `0` (the default) resolves to the machine's
+//! available parallelism.
+
+use std::time::Duration;
+
+use dbhist_distribution::{AttrId, Relation};
+use dbhist_histogram::{GridHistogram, SplitCriterion, SplitTree};
+use dbhist_model::selection::{EdgeHeuristic, SelectionAlgorithm, SelectionConfig};
+use dbhist_model::DecomposableModel;
+
+use crate::error::SynopsisError;
+use crate::estimator::SelectivityEstimator;
+use crate::plan::QueryTrace;
+use crate::synopsis::{AllocationStrategy, DbConfig, DbHistogram};
+use crate::wavelet_factor::WaveletFactor;
+
+/// Which clique-factor family a synopsis compresses its generator
+/// marginals with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FactorKind {
+    /// MHIST split trees (9 bytes/bucket) — the paper's flagship.
+    #[default]
+    Mhist,
+    /// Grid histograms (regular per-dimension partitioning).
+    Grid,
+    /// Truncated Haar wavelet synopses (the extension the paper's
+    /// conclusions propose).
+    Wavelet,
+}
+
+/// Per-phase instrumentation of one synopsis construction, the build-side
+/// sibling of [`QueryTrace`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BuildTrace {
+    /// Worker threads the build ran with (`1` = exact serial path).
+    pub threads: usize,
+    /// Wall time of forward model selection.
+    pub selection: Duration,
+    /// Wall time of per-clique marginal computation + builder start.
+    pub construction: Duration,
+    /// Wall time of budget allocation (greedy gains or DP curves).
+    pub allocation: Duration,
+    /// Wall time of factor materialization + engine assembly.
+    pub assembly: Duration,
+    /// End-to-end wall time (selection through assembly).
+    pub total: Duration,
+    /// Parallel tasks in the construction phase (one per model clique).
+    pub cliques: usize,
+    /// Accepted forward-selection steps (edges added).
+    pub selection_steps: usize,
+    /// Largest candidate fan-out of any selection round.
+    pub peak_candidates: usize,
+    /// Marginal entropies computed during selection (cache misses).
+    pub entropy_computations: usize,
+    /// Allocation decisions funded beyond the one-bucket baseline.
+    pub splits_funded: usize,
+}
+
+/// Resolves a user-facing thread knob: `0` means "use the machine's
+/// available parallelism", anything else is taken literally.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// A built synopsis, tagged by its clique-factor family.
+#[derive(Debug, Clone)]
+pub enum Synopsis {
+    /// MHIST split-tree factors.
+    Mhist(DbHistogram<SplitTree>),
+    /// Grid histogram factors.
+    Grid(DbHistogram<GridHistogram>),
+    /// Truncated wavelet factors.
+    Wavelet(DbHistogram<WaveletFactor>),
+}
+
+macro_rules! delegate {
+    ($self:expr, $db:ident => $body:expr) => {
+        match $self {
+            Synopsis::Mhist($db) => $body,
+            Synopsis::Grid($db) => $body,
+            Synopsis::Wavelet($db) => $body,
+        }
+    };
+}
+
+impl Synopsis {
+    /// The factor family this synopsis was built with.
+    #[must_use]
+    pub fn factor_kind(&self) -> FactorKind {
+        match self {
+            Self::Mhist(_) => FactorKind::Mhist,
+            Self::Grid(_) => FactorKind::Grid,
+            Self::Wavelet(_) => FactorKind::Wavelet,
+        }
+    }
+
+    /// The interaction model `M`.
+    #[must_use]
+    pub fn model(&self) -> &DecomposableModel {
+        delegate!(self, db => db.model())
+    }
+
+    /// Per-phase construction instrumentation.
+    #[must_use]
+    pub fn build_trace(&self) -> BuildTrace {
+        delegate!(self, db => db.build_trace())
+    }
+
+    /// Snapshot of the query engine's cumulative counters.
+    #[must_use]
+    pub fn query_trace(&self) -> QueryTrace {
+        delegate!(self, db => db.query_trace())
+    }
+
+    /// Estimates the marginal mass of a conjunctive range predicate,
+    /// propagating structural failures instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-operation failures.
+    pub fn try_estimate(&self, ranges: &[(AttrId, u32, u32)]) -> Result<f64, SynopsisError> {
+        delegate!(self, db => db.try_estimate(ranges))
+    }
+
+    /// The MHIST-backed histogram, if this synopsis was built with
+    /// [`FactorKind::Mhist`].
+    #[must_use]
+    pub fn as_mhist(&self) -> Option<&DbHistogram<SplitTree>> {
+        match self {
+            Self::Mhist(db) => Some(db),
+            _ => None,
+        }
+    }
+
+    /// Unwraps into the MHIST-backed histogram, if built with
+    /// [`FactorKind::Mhist`].
+    #[must_use]
+    pub fn into_mhist(self) -> Option<DbHistogram<SplitTree>> {
+        match self {
+            Self::Mhist(db) => Some(db),
+            _ => None,
+        }
+    }
+
+    /// The grid-backed histogram, if built with [`FactorKind::Grid`].
+    #[must_use]
+    pub fn as_grid(&self) -> Option<&DbHistogram<GridHistogram>> {
+        match self {
+            Self::Grid(db) => Some(db),
+            _ => None,
+        }
+    }
+
+    /// The wavelet-backed histogram, if built with
+    /// [`FactorKind::Wavelet`].
+    #[must_use]
+    pub fn as_wavelet(&self) -> Option<&DbHistogram<WaveletFactor>> {
+        match self {
+            Self::Wavelet(db) => Some(db),
+            _ => None,
+        }
+    }
+}
+
+impl SelectivityEstimator for Synopsis {
+    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
+        delegate!(self, db => db.estimate(ranges))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        delegate!(self, db => SelectivityEstimator::storage_bytes(db))
+    }
+
+    fn name(&self) -> &str {
+        delegate!(self, db => SelectivityEstimator::name(db))
+    }
+
+    fn query_trace(&self) -> Option<QueryTrace> {
+        Some(self.query_trace())
+    }
+
+    fn build_trace(&self) -> Option<BuildTrace> {
+        Some(self.build_trace())
+    }
+}
+
+/// Fluent construction of DB histogram synopses; see the [module
+/// docs](crate::builder) for an example.
+///
+/// All knobs default to the paper's flagship configuration (`DB₂`
+/// heuristic, Efficient algorithm, `k_max = 2`, `θ = 0.90`, MaxDiff,
+/// `IncrementalGains`, MHIST factors); only [`SynopsisBuilder::budget`]
+/// is mandatory. Validation happens once, inside
+/// [`SynopsisBuilder::build`], returning typed
+/// [`SynopsisError::InvalidConfig`] values instead of panicking.
+#[derive(Debug, Clone)]
+pub struct SynopsisBuilder<'a> {
+    relation: &'a Relation,
+    budget_bytes: Option<usize>,
+    factor: FactorKind,
+    threads: usize,
+    selection: SelectionConfig,
+    criterion: SplitCriterion,
+    allocation: AllocationStrategy,
+}
+
+impl<'a> SynopsisBuilder<'a> {
+    /// Starts a builder over `relation` with the paper's defaults.
+    #[must_use]
+    pub fn new(relation: &'a Relation) -> Self {
+        Self {
+            relation,
+            budget_bytes: None,
+            factor: FactorKind::default(),
+            threads: 0,
+            selection: SelectionConfig::default(),
+            criterion: SplitCriterion::default(),
+            allocation: AllocationStrategy::default(),
+        }
+    }
+
+    /// Total storage budget in bytes for the clique-histogram collection.
+    /// Mandatory; zero is rejected at [`SynopsisBuilder::build`].
+    #[must_use]
+    pub fn budget(mut self, bytes: usize) -> Self {
+        self.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Clique-factor family (default: [`FactorKind::Mhist`]).
+    #[must_use]
+    pub fn factor(mut self, kind: FactorKind) -> Self {
+        self.factor = kind;
+        self
+    }
+
+    /// Worker threads for every build phase. `0` (default) resolves to
+    /// the machine's available parallelism; `1` forces the exact serial
+    /// path. Any setting produces bit-identical synopses.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Upper bound on generator (clique) size (default 2, the paper's
+    /// headline setting). Values below 2 are rejected at build time.
+    #[must_use]
+    pub fn k_max(mut self, k_max: usize) -> Self {
+        self.selection.k_max = k_max;
+        self
+    }
+
+    /// Statistical-significance threshold `θ` in `[0, 1)` (default 0.90).
+    #[must_use]
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.selection.theta = theta;
+        self
+    }
+
+    /// Edge-scoring heuristic (default `DB₂`).
+    #[must_use]
+    pub fn heuristic(mut self, heuristic: EdgeHeuristic) -> Self {
+        self.selection.heuristic = heuristic;
+        self
+    }
+
+    /// Candidate-search algorithm (default Efficient).
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: SelectionAlgorithm) -> Self {
+        self.selection.algorithm = algorithm;
+        self
+    }
+
+    /// Hard cap on the number of interaction edges added (default: none).
+    #[must_use]
+    pub fn max_edges(mut self, max_edges: usize) -> Self {
+        self.selection.max_edges = Some(max_edges);
+        self
+    }
+
+    /// Histogram partitioning constraint (default MaxDiff).
+    #[must_use]
+    pub fn criterion(mut self, criterion: SplitCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Budget distribution strategy (default `IncrementalGains`).
+    #[must_use]
+    pub fn allocation(mut self, allocation: AllocationStrategy) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Validates every knob and assembles the internal configuration.
+    fn validated_config(&self) -> Result<DbConfig, SynopsisError> {
+        let Some(budget_bytes) = self.budget_bytes else {
+            return Err(SynopsisError::InvalidConfig {
+                parameter: "budget",
+                reason: "a byte budget is mandatory: call .budget(bytes) before .build()".into(),
+            });
+        };
+        if budget_bytes == 0 {
+            return Err(SynopsisError::InvalidConfig {
+                parameter: "budget",
+                reason: "budget must be positive".into(),
+            });
+        }
+        if self.selection.k_max < 2 {
+            return Err(SynopsisError::InvalidConfig {
+                parameter: "k_max",
+                reason: format!("k_max must be at least 2, got {}", self.selection.k_max),
+            });
+        }
+        if !self.selection.theta.is_finite() {
+            return Err(SynopsisError::InvalidConfig {
+                parameter: "theta",
+                reason: format!("theta must be finite, got {}", self.selection.theta),
+            });
+        }
+        if !(0.0..1.0).contains(&self.selection.theta) {
+            return Err(SynopsisError::InvalidConfig {
+                parameter: "theta",
+                reason: format!("theta must lie in [0, 1), got {}", self.selection.theta),
+            });
+        }
+        let selection =
+            SelectionConfig { threads: resolve_threads(self.threads), ..self.selection };
+        // Re-run the model layer's own validation so the two can never
+        // drift apart silently.
+        selection.validate()?;
+        Ok(DbConfig {
+            budget_bytes,
+            selection,
+            criterion: self.criterion,
+            allocation: self.allocation,
+        })
+    }
+
+    /// Builds the synopsis, dispatching on the configured
+    /// [`FactorKind`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynopsisError::InvalidConfig`] for rejected parameters
+    /// (missing/zero budget, `k_max < 2`, non-finite or out-of-range
+    /// `theta`) and propagates budget or construction failures.
+    pub fn build(self) -> Result<Synopsis, SynopsisError> {
+        let config = self.validated_config()?;
+        match self.factor {
+            FactorKind::Mhist => {
+                crate::synopsis::build_mhist_pipeline(self.relation, &config).map(Synopsis::Mhist)
+            }
+            FactorKind::Grid => {
+                crate::synopsis::build_grid_pipeline(self.relation, &config).map(Synopsis::Grid)
+            }
+            FactorKind::Wavelet => crate::synopsis::build_wavelet_pipeline(self.relation, &config)
+                .map(Synopsis::Wavelet),
+        }
+    }
+
+    /// Builds with MHIST factors regardless of [`SynopsisBuilder::factor`],
+    /// returning the concrete histogram type (convenient when downstream
+    /// code needs `DbHistogram<SplitTree>` rather than the [`Synopsis`]
+    /// enum).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SynopsisBuilder::build`].
+    pub fn build_mhist(self) -> Result<DbHistogram<SplitTree>, SynopsisError> {
+        let config = self.validated_config()?;
+        crate::synopsis::build_mhist_pipeline(self.relation, &config)
+    }
+
+    /// Builds with grid factors, returning the concrete histogram type.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SynopsisBuilder::build`].
+    pub fn build_grid(self) -> Result<DbHistogram<GridHistogram>, SynopsisError> {
+        let config = self.validated_config()?;
+        crate::synopsis::build_grid_pipeline(self.relation, &config)
+    }
+
+    /// Builds with wavelet factors, returning the concrete histogram
+    /// type.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SynopsisBuilder::build`].
+    pub fn build_wavelet(self) -> Result<DbHistogram<WaveletFactor>, SynopsisError> {
+        let config = self.validated_config()?;
+        crate::synopsis::build_wavelet_pipeline(self.relation, &config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::Schema;
+
+    fn relation() -> Relation {
+        let schema = Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..4096u32).map(|i| vec![i % 8, i % 8, (i / 8) % 4]).collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn builds_each_factor_kind() {
+        let rel = relation();
+        for kind in [FactorKind::Mhist, FactorKind::Grid, FactorKind::Wavelet] {
+            let synopsis =
+                SynopsisBuilder::new(&rel).budget(400).factor(kind).threads(1).build().unwrap();
+            assert_eq!(synopsis.factor_kind(), kind);
+            assert!(synopsis.storage_bytes() <= 400);
+            assert!(synopsis.model().graph().has_edge(0, 1));
+            let trace = synopsis.build_trace();
+            assert_eq!(trace.threads, 1);
+            assert_eq!(trace.cliques, synopsis.model().cliques().len());
+            assert!(trace.total >= trace.selection);
+            assert!(trace.selection_steps >= 1);
+            assert!(trace.peak_candidates >= 1);
+            assert!(trace.entropy_computations >= 1);
+        }
+    }
+
+    #[test]
+    fn typed_builds_return_concrete_histograms() {
+        let rel = relation();
+        let db = SynopsisBuilder::new(&rel).budget(400).threads(1).build_mhist().unwrap();
+        assert_eq!(db.name(), "DB2");
+        let db = SynopsisBuilder::new(&rel).budget(400).threads(1).build_grid().unwrap();
+        assert_eq!(db.name(), "DB-grid");
+        let db = SynopsisBuilder::new(&rel).budget(400).threads(1).build_wavelet().unwrap();
+        assert_eq!(db.name(), "DB-wavelet");
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let rel = relation();
+        let missing = SynopsisBuilder::new(&rel).build();
+        assert!(matches!(missing, Err(SynopsisError::InvalidConfig { parameter: "budget", .. })));
+        let zero = SynopsisBuilder::new(&rel).budget(0).build();
+        assert!(matches!(zero, Err(SynopsisError::InvalidConfig { parameter: "budget", .. })));
+        let k = SynopsisBuilder::new(&rel).budget(256).k_max(0).build();
+        assert!(matches!(k, Err(SynopsisError::InvalidConfig { parameter: "k_max", .. })));
+        let t = SynopsisBuilder::new(&rel).budget(256).theta(f64::NAN).build();
+        assert!(matches!(t, Err(SynopsisError::InvalidConfig { parameter: "theta", .. })));
+        let t = SynopsisBuilder::new(&rel).budget(256).theta(1.5).build();
+        assert!(matches!(t, Err(SynopsisError::InvalidConfig { parameter: "theta", .. })));
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(7), 7);
+        let rel = relation();
+        let synopsis = SynopsisBuilder::new(&rel).budget(300).build().unwrap();
+        assert!(synopsis.build_trace().threads >= 1);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_build() {
+        let rel = relation();
+        let serial = SynopsisBuilder::new(&rel).budget(400).threads(1).build_mhist().unwrap();
+        let parallel = SynopsisBuilder::new(&rel).budget(400).threads(4).build_mhist().unwrap();
+        assert_eq!(serial.model().graph(), parallel.model().graph());
+        assert_eq!(
+            SelectivityEstimator::storage_bytes(&serial),
+            SelectivityEstimator::storage_bytes(&parallel)
+        );
+        assert_eq!(format!("{:?}", serial.factors()), format!("{:?}", parallel.factors()));
+        assert_eq!(serial.build_trace().splits_funded, parallel.build_trace().splits_funded);
+        assert_eq!(
+            serial.build_trace().entropy_computations,
+            parallel.build_trace().entropy_computations
+        );
+    }
+
+    #[test]
+    fn synopsis_enum_accessors() {
+        let rel = relation();
+        let synopsis = SynopsisBuilder::new(&rel).budget(300).threads(1).build().unwrap();
+        assert!(synopsis.as_mhist().is_some());
+        assert!(synopsis.as_grid().is_none());
+        assert!(synopsis.as_wavelet().is_none());
+        assert!(synopsis.try_estimate(&[(0, 0, 3)]).is_ok());
+        assert!(SelectivityEstimator::query_trace(&synopsis).is_some());
+        assert!(SelectivityEstimator::build_trace(&synopsis).is_some());
+        assert!(synopsis.clone().into_mhist().is_some());
+    }
+}

@@ -22,6 +22,14 @@ pub enum SynopsisError {
         /// Human-readable description.
         reason: String,
     },
+    /// A construction parameter failed validation (rejected by
+    /// [`crate::builder::SynopsisBuilder::build`] before any work runs).
+    InvalidConfig {
+        /// The offending parameter (`"budget"`, `"k_max"`, `"theta"`, ...).
+        parameter: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SynopsisError {
@@ -31,6 +39,9 @@ impl fmt::Display for SynopsisError {
             Self::Model(e) => write!(f, "model error: {e}"),
             Self::Histogram(e) => write!(f, "histogram error: {e}"),
             Self::Budget { reason } => write!(f, "storage budget error: {reason}"),
+            Self::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration ({parameter}): {reason}")
+            }
         }
     }
 }
@@ -41,7 +52,7 @@ impl std::error::Error for SynopsisError {
             Self::Distribution(e) => Some(e),
             Self::Model(e) => Some(e),
             Self::Histogram(e) => Some(e),
-            Self::Budget { .. } => None,
+            Self::Budget { .. } | Self::InvalidConfig { .. } => None,
         }
     }
 }
@@ -78,6 +89,8 @@ mod tests {
         assert!(e.to_string().contains("histogram"));
         let e = SynopsisError::Budget { reason: "too small".into() };
         assert!(e.to_string().contains("too small"));
+        let e = SynopsisError::InvalidConfig { parameter: "budget", reason: "zero".into() };
+        assert!(e.to_string().contains("budget") && e.to_string().contains("zero"));
     }
 
     #[test]

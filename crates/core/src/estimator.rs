@@ -8,6 +8,7 @@
 
 use dbhist_distribution::AttrId;
 
+use crate::builder::BuildTrace;
 use crate::plan::QueryTrace;
 
 /// An object that can estimate the result size of a conjunctive
@@ -27,6 +28,13 @@ pub trait SelectivityEstimator {
     /// engine, when it has one. Baselines without a junction-tree engine
     /// return `None` (the default).
     fn query_trace(&self) -> Option<QueryTrace> {
+        None
+    }
+
+    /// Per-phase construction instrumentation, when the estimator records
+    /// it. Baselines built outside the instrumented pipeline return
+    /// `None` (the default).
+    fn build_trace(&self) -> Option<BuildTrace> {
         None
     }
 }

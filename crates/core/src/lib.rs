@@ -22,9 +22,14 @@
 //! * [`alloc`] — storage allocation across clique histograms: the optimal
 //!   pseudo-polynomial dynamic program and the `IncrementalGains` greedy
 //!   (Fig. 2).
-//! * [`synopsis::DbHistogram`] — construction (`model selection →
-//!   clique-histogram building under a byte budget`) and range-selectivity
-//!   estimation.
+//! * [`builder::SynopsisBuilder`] — the unified construction API:
+//!   `SynopsisBuilder::new(&rel).budget(b).factor(kind).threads(n).build()`
+//!   runs the full pipeline (`model selection → clique-histogram building
+//!   under a byte budget`), optionally fanning every phase across worker
+//!   threads with bit-identical results, and records a
+//!   [`builder::BuildTrace`] of per-phase wall times.
+//! * [`synopsis::DbHistogram`] — the built synopsis and its
+//!   range-selectivity estimation.
 //! * [`baselines`] — the estimators the paper compares against: `IND`
 //!   (one-dimensional histograms + full independence), full-dimensional
 //!   `MHIST`, and random sampling.
@@ -32,7 +37,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use dbhist_core::synopsis::{DbConfig, DbHistogram};
+//! use dbhist_core::builder::SynopsisBuilder;
 //! use dbhist_core::estimator::SelectivityEstimator;
 //! use dbhist_distribution::{Relation, Schema};
 //!
@@ -44,7 +49,7 @@
 //! let rel = Relation::from_rows(schema, rows).unwrap();
 //!
 //! // Build a DB histogram within a 256-byte budget.
-//! let db = DbHistogram::build_mhist(&rel, DbConfig::new(256)).unwrap();
+//! let db = SynopsisBuilder::new(&rel).budget(256).build().unwrap();
 //! assert!(db.storage_bytes() <= 256);
 //!
 //! // Estimate the selectivity of the predicate a ∈ [0,3] ∧ c = 1.
@@ -59,6 +64,7 @@
 pub mod alloc;
 pub mod baselines;
 pub mod build;
+pub mod builder;
 pub mod error;
 pub mod estimator;
 pub mod factor;
@@ -68,6 +74,7 @@ pub mod plan;
 pub mod synopsis;
 pub mod wavelet_factor;
 
+pub use builder::{BuildTrace, FactorKind, Synopsis, SynopsisBuilder};
 pub use error::SynopsisError;
 pub use estimator::SelectivityEstimator;
 pub use factor::{ExactFactor, Factor};

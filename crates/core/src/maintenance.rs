@@ -52,7 +52,7 @@ impl MaintainedDbHistogram {
     ///
     /// Propagates construction failures.
     pub fn build(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
-        let synopsis = DbHistogram::build_mhist(relation, config.clone())?;
+        let synopsis = crate::synopsis::build_mhist_pipeline(relation, &config)?;
         let rows = relation.row_count() as f64;
         Ok(Self {
             synopsis,
@@ -174,7 +174,7 @@ impl MaintainedDbHistogram {
     ///
     /// Propagates construction failures.
     pub fn rebuild(&mut self, relation: &Relation) -> Result<(), SynopsisError> {
-        self.synopsis = DbHistogram::build_mhist(relation, self.config.clone())?;
+        self.synopsis = crate::synopsis::build_mhist_pipeline(relation, &self.config)?;
         self.row_count = relation.row_count() as f64;
         self.built_rows = self.row_count;
         self.churn = 0;

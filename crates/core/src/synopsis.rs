@@ -20,13 +20,20 @@
 //! memoizes materialized group marginals. [`DbHistogram::query_trace`]
 //! exposes the engine's cumulative operation counters.
 
-use dbhist_distribution::{AttrId, AttrSet, Relation};
+use std::time::Instant;
+
+use dbhist_distribution::{AttrId, AttrSet, Distribution, Relation};
 use dbhist_histogram::{GridHistogram, SplitCriterion, SplitTree};
 use dbhist_model::selection::{ForwardSelector, SelectionConfig, SelectionResult};
 use dbhist_model::DecomposableModel;
+use rayon::prelude::*;
 
-use crate::alloc::{apply_allocation, error_curve, incremental_gains, optimal_dp};
+use crate::alloc::{
+    apply_allocation_parallel, error_curves_parallel, incremental_gains_parallel, optimal_dp,
+    with_pool,
+};
 use crate::build::{GridCliqueBuilder, IncrementalBuilder, MhistCliqueBuilder};
+use crate::builder::BuildTrace;
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
 use crate::factor::{ExactFactor, Factor};
@@ -78,6 +85,7 @@ pub struct DbHistogram<F: Factor> {
     bytes: usize,
     name: String,
     engine: QueryEngine<F>,
+    trace: BuildTrace,
 }
 
 impl<F: Factor> DbHistogram<F> {
@@ -120,6 +128,18 @@ impl<F: Factor> DbHistogram<F> {
     #[must_use]
     pub fn query_trace(&self) -> QueryTrace {
         self.engine.trace()
+    }
+
+    /// Per-phase construction instrumentation recorded when this synopsis
+    /// was built (all-zero for synopses assembled from externally
+    /// provided factors, e.g. [`DbHistogram::exact_for_model`]).
+    #[must_use]
+    pub fn build_trace(&self) -> BuildTrace {
+        self.trace.clone()
+    }
+
+    pub(crate) fn set_trace(&mut self, trace: BuildTrace) {
+        self.trace = trace;
     }
 
     /// Resets the engine's cumulative counters to zero.
@@ -186,23 +206,71 @@ impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
     fn query_trace(&self) -> Option<QueryTrace> {
         Some(self.engine.trace())
     }
+
+    fn build_trace(&self) -> Option<BuildTrace> {
+        Some(self.trace.clone())
+    }
+}
+
+/// Starts one incremental builder per model clique, computing the clique
+/// marginals concurrently when `threads > 1` (each marginal is a pure
+/// projection of the relation, so results are identical to the serial
+/// loop; errors surface in clique order either way).
+fn start_builders<B>(
+    relation: &Relation,
+    model: &DecomposableModel,
+    threads: usize,
+    start: &(impl Fn(&Distribution) -> Result<B, SynopsisError> + Sync),
+) -> Result<Vec<B>, SynopsisError>
+where
+    B: Send,
+{
+    let cliques = model.cliques();
+    if threads <= 1 || cliques.len() <= 1 {
+        return cliques
+            .iter()
+            .map(|c| {
+                let marginal = relation.marginal(c)?;
+                start(&marginal)
+            })
+            .collect();
+    }
+    let started: Vec<Result<B, SynopsisError>> = with_pool(threads, || {
+        cliques
+            .par_iter()
+            .map(|c| relation.marginal(c).map_err(SynopsisError::from).and_then(|m| start(&m)))
+            .collect()
+    });
+    started.into_iter().collect()
 }
 
 /// Shared construction pipeline: select a model, then build the clique
 /// histograms within the budget using `start` to create each builder and
-/// `finish` to materialize it.
+/// `finish` to materialize it. The worker-thread count comes from
+/// `config.selection.threads` and governs every phase; the result is
+/// bit-identical across thread counts. Phase wall times and task counts
+/// are recorded on the returned synopsis's [`BuildTrace`].
 fn build_generic<B, F>(
     relation: &Relation,
     config: &DbConfig,
-    start: impl Fn(&dbhist_distribution::Distribution) -> Result<B, SynopsisError>,
+    start: impl Fn(&Distribution) -> Result<B, SynopsisError> + Sync,
 ) -> Result<(DbHistogram<F>, SelectionResult), SynopsisError>
 where
-    B: IncrementalBuilder<Histogram = F>,
-    F: Factor,
+    B: IncrementalBuilder<Histogram = F> + Clone + Send + Sync,
+    F: Factor + Send,
 {
     config.selection.validate()?;
+    let t_total = Instant::now();
     let selection = ForwardSelector::new(relation, config.selection).run();
-    let synopsis = build_for_model(relation, selection.model.clone(), config, start)?;
+    let selection_time = t_total.elapsed();
+    let mut synopsis = build_for_model(relation, selection.model.clone(), config, start)?;
+    let mut trace = synopsis.build_trace();
+    trace.selection = selection_time;
+    trace.total = t_total.elapsed();
+    trace.selection_steps = selection.steps.len();
+    trace.peak_candidates = selection.peak_candidates;
+    trace.entropy_computations = selection.entropy_computations;
+    synopsis.set_trace(trace);
     Ok((synopsis, selection))
 }
 
@@ -211,46 +279,97 @@ fn build_for_model<B, F>(
     relation: &Relation,
     model: DecomposableModel,
     config: &DbConfig,
-    start: impl Fn(&dbhist_distribution::Distribution) -> Result<B, SynopsisError>,
+    start: impl Fn(&Distribution) -> Result<B, SynopsisError> + Sync,
 ) -> Result<DbHistogram<F>, SynopsisError>
 where
-    B: IncrementalBuilder<Histogram = F>,
-    F: Factor,
+    B: IncrementalBuilder<Histogram = F> + Clone + Send + Sync,
+    F: Factor + Send,
 {
-    let mut builders: Vec<B> = model
-        .cliques()
-        .iter()
-        .map(|c| {
-            let marginal = relation.marginal(c)?;
-            start(&marginal)
-        })
-        .collect::<Result<_, _>>()?;
-    match config.allocation {
+    let threads = config.selection.threads.max(1);
+    let t_construction = Instant::now();
+    let mut builders: Vec<B> = start_builders(relation, &model, threads, &start)?;
+    let construction = t_construction.elapsed();
+
+    let t_allocation = Instant::now();
+    let splits_funded = match config.allocation {
         AllocationStrategy::IncrementalGains => {
-            incremental_gains(&mut builders, config.budget_bytes)?;
+            incremental_gains_parallel(&mut builders, config.budget_bytes, threads)?.splits
         }
         AllocationStrategy::OptimalDp => {
             // Measuring the error curves drives the builders to
             // saturation; fresh builders are created below for the
             // actual allocation.
-            let curves: Vec<_> =
-                builders.iter_mut().map(|b| error_curve(b, config.budget_bytes)).collect();
-            builders = model
-                .cliques()
-                .iter()
-                .map(|c| {
-                    let marginal = relation.marginal(c)?;
-                    start(&marginal)
-                })
-                .collect::<Result<_, _>>()?;
+            let curves = error_curves_parallel(&mut builders, config.budget_bytes, threads);
+            builders = start_builders(relation, &model, threads, &start)?;
             let picks = optimal_dp(&curves, config.budget_bytes)?;
-            apply_allocation(&mut builders, &picks);
+            apply_allocation_parallel(&mut builders, &picks, threads);
+            picks.iter().map(|p| p.buckets.saturating_sub(1)).sum()
         }
-    }
+    };
+    let allocation = t_allocation.elapsed();
+
+    let t_assembly = Instant::now();
     let bytes = builders.iter().map(IncrementalBuilder::storage_bytes).sum();
-    let factors: Vec<F> = builders.iter().map(IncrementalBuilder::finish).collect();
+    let factors: Vec<F> = if threads <= 1 || builders.len() <= 1 {
+        builders.iter().map(IncrementalBuilder::finish).collect()
+    } else {
+        with_pool(threads, || builders.par_iter().map(IncrementalBuilder::finish).collect())
+    };
     let engine = QueryEngine::new(model.junction_tree());
-    Ok(DbHistogram { model, factors, bytes, name: "DB".into(), engine })
+    let assembly = t_assembly.elapsed();
+
+    let trace = BuildTrace {
+        threads,
+        construction,
+        allocation,
+        assembly,
+        total: construction + allocation + assembly,
+        cliques: factors.len(),
+        splits_funded,
+        ..BuildTrace::default()
+    };
+    Ok(DbHistogram { model, factors, bytes, name: "DB".into(), engine, trace })
+}
+
+/// Non-deprecated internal entry for MHIST synopses; the deprecated
+/// `DbHistogram::build_mhist` shim, [`crate::builder::SynopsisBuilder`],
+/// and incremental maintenance all funnel through here.
+pub(crate) fn build_mhist_pipeline(
+    relation: &Relation,
+    config: &DbConfig,
+) -> Result<DbHistogram<SplitTree>, SynopsisError> {
+    let (mut synopsis, _selection) = build_generic(relation, config, |marginal| {
+        MhistCliqueBuilder::start(marginal, config.criterion)
+    })?;
+    synopsis.set_name(match config.selection.heuristic {
+        dbhist_model::selection::EdgeHeuristic::Db1 => "DB1",
+        dbhist_model::selection::EdgeHeuristic::Db2 => "DB2",
+    });
+    Ok(synopsis)
+}
+
+/// Non-deprecated internal entry for grid synopses.
+pub(crate) fn build_grid_pipeline(
+    relation: &Relation,
+    config: &DbConfig,
+) -> Result<DbHistogram<GridHistogram>, SynopsisError> {
+    let (mut synopsis, _) = build_generic(relation, config, |marginal| {
+        GridCliqueBuilder::start(marginal, config.criterion)
+    })?;
+    synopsis.set_name("DB-grid");
+    Ok(synopsis)
+}
+
+/// Non-deprecated internal entry for wavelet synopses.
+pub(crate) fn build_wavelet_pipeline(
+    relation: &Relation,
+    config: &DbConfig,
+) -> Result<DbHistogram<crate::wavelet_factor::WaveletFactor>, SynopsisError> {
+    let (mut synopsis, _) = build_generic(relation, config, |marginal| {
+        crate::wavelet_factor::WaveletCliqueBuilder::start(marginal)
+    })?;
+    synopsis.set_name("DB-wavelet");
+    Ok(synopsis)
 }
 
 impl DbHistogram<SplitTree> {
@@ -261,16 +380,12 @@ impl DbHistogram<SplitTree> {
     ///
     /// Fails on invalid configuration, impossible budgets, or degenerate
     /// inputs (empty relation).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SynopsisBuilder::new(relation).budget(b).build_mhist() instead"
+    )]
     pub fn build_mhist(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
-        let (mut synopsis, selection) = build_generic(relation, &config, |marginal| {
-            MhistCliqueBuilder::start(marginal, config.criterion)
-        })?;
-        synopsis.set_name(match config.selection.heuristic {
-            dbhist_model::selection::EdgeHeuristic::Db1 => "DB1",
-            dbhist_model::selection::EdgeHeuristic::Db2 => "DB2",
-        });
-        let _ = selection;
-        Ok(synopsis)
+        build_mhist_pipeline(relation, &config)
     }
 
     /// Builds MHIST clique histograms for an externally selected model
@@ -299,12 +414,12 @@ impl DbHistogram<crate::wavelet_factor::WaveletFactor> {
     ///
     /// Fails on invalid configuration, impossible budgets, or clique
     /// state spaces beyond the wavelet cell cap.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SynopsisBuilder::new(relation).budget(b).factor(FactorKind::Wavelet).build() instead"
+    )]
     pub fn build_wavelet(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
-        let (mut synopsis, _) = build_generic(relation, &config, |marginal| {
-            crate::wavelet_factor::WaveletCliqueBuilder::start(marginal)
-        })?;
-        synopsis.set_name("DB-wavelet");
-        Ok(synopsis)
+        build_wavelet_pipeline(relation, &config)
     }
 }
 
@@ -315,12 +430,12 @@ impl DbHistogram<GridHistogram> {
     ///
     /// Fails on invalid configuration, impossible budgets, or degenerate
     /// inputs.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SynopsisBuilder::new(relation).budget(b).factor(FactorKind::Grid).build() instead"
+    )]
     pub fn build_grid(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
-        let (mut synopsis, _) = build_generic(relation, &config, |marginal| {
-            GridCliqueBuilder::start(marginal, config.criterion)
-        })?;
-        synopsis.set_name("DB-grid");
-        Ok(synopsis)
+        build_grid_pipeline(relation, &config)
     }
 }
 
@@ -345,13 +460,21 @@ impl DbHistogram<ExactFactor> {
         // plus 4 per frequency (informational only; Fig. 6 ignores space).
         let bytes = factors.iter().map(|f| f.0.support_size() * 4 * (f.0.attrs().len() + 1)).sum();
         let engine = QueryEngine::new(model.junction_tree());
-        Ok(DbHistogram { model, factors, bytes, name: "DB-exact".into(), engine })
+        Ok(DbHistogram {
+            model,
+            factors,
+            bytes,
+            name: "DB-exact".into(),
+            engine,
+            trace: BuildTrace::default(),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SynopsisBuilder;
     use dbhist_model::selection::EdgeHeuristic;
 
     /// a == b (8 values), c independent; N = 4096.
@@ -364,7 +487,7 @@ mod tests {
     #[test]
     fn build_discovers_model_and_respects_budget() {
         let rel = relation();
-        let db = DbHistogram::build_mhist(&rel, DbConfig::new(300)).unwrap();
+        let db = SynopsisBuilder::new(&rel).budget(300).threads(1).build_mhist().unwrap();
         assert!(db.storage_bytes() <= 300);
         assert!(db.model().graph().has_edge(0, 1));
         assert_eq!(db.model().edge_count(), 1);
@@ -375,7 +498,7 @@ mod tests {
     #[test]
     fn estimates_correlated_pair_well() {
         let rel = relation();
-        let db = DbHistogram::build_mhist(&rel, DbConfig::new(400)).unwrap();
+        let db = SynopsisBuilder::new(&rel).budget(400).threads(1).build_mhist().unwrap();
         // The model captures a == b. Point queries on a perfectly uniform
         // diagonal are MHIST's worst case (intra-bucket uniformity spreads
         // mass over the box), so — like the paper — we evaluate range
@@ -393,7 +516,7 @@ mod tests {
     #[test]
     fn empty_predicate_estimates_table_size() {
         let rel = relation();
-        let db = DbHistogram::build_mhist(&rel, DbConfig::new(300)).unwrap();
+        let db = SynopsisBuilder::new(&rel).budget(300).threads(1).build_mhist().unwrap();
         assert!((db.estimate(&[]) - 4096.0).abs() < 1e-6);
         // Unknown attributes are ignored, falling back to N.
         assert!((db.estimate(&[(99, 0, 1)]) - 4096.0).abs() < 1e-6);
@@ -402,10 +525,13 @@ mod tests {
     #[test]
     fn db1_heuristic_and_dp_allocation() {
         let rel = relation();
-        let mut config = DbConfig::new(300);
-        config.selection.heuristic = EdgeHeuristic::Db1;
-        config.allocation = AllocationStrategy::OptimalDp;
-        let db = DbHistogram::build_mhist(&rel, config).unwrap();
+        let db = SynopsisBuilder::new(&rel)
+            .budget(300)
+            .threads(1)
+            .heuristic(EdgeHeuristic::Db1)
+            .allocation(AllocationStrategy::OptimalDp)
+            .build_mhist()
+            .unwrap();
         assert_eq!(db.name(), "DB1");
         assert!(db.storage_bytes() <= 300);
         assert!(db.model().graph().has_edge(0, 1));
@@ -414,7 +540,7 @@ mod tests {
     #[test]
     fn grid_variant_builds_and_estimates() {
         let rel = relation();
-        let db = DbHistogram::build_grid(&rel, DbConfig::new(300)).unwrap();
+        let db = SynopsisBuilder::new(&rel).budget(300).threads(1).build_grid().unwrap();
         assert!(db.storage_bytes() <= 300);
         let est = db.estimate(&[(2, 0, 1)]);
         let exact = rel.count_range(&[(2, 0, 1)]) as f64;
@@ -445,7 +571,7 @@ mod tests {
     #[test]
     fn wavelet_variant_builds_and_estimates() {
         let rel = relation();
-        let db = DbHistogram::build_wavelet(&rel, DbConfig::new(400)).unwrap();
+        let db = SynopsisBuilder::new(&rel).budget(400).threads(1).build_wavelet().unwrap();
         assert!(db.storage_bytes() <= 400);
         assert_eq!(db.name(), "DB-wavelet");
         assert!(db.model().graph().has_edge(0, 1));
@@ -457,7 +583,7 @@ mod tests {
     #[test]
     fn repeated_workload_hits_plan_cache_without_clones() {
         let rel = relation();
-        let db = DbHistogram::build_mhist(&rel, DbConfig::new(400)).unwrap();
+        let db = SynopsisBuilder::new(&rel).budget(400).threads(1).build_mhist().unwrap();
         db.reset_query_trace();
         // Eight queries, one attribute-set shape {a, b} — a single clique
         // of the discovered model. The first compiles a plan; the rest hit
@@ -478,10 +604,24 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder_output() {
+        // The legacy entry points must keep working (and agree with the
+        // builder) until downstream callers finish migrating.
+        let rel = relation();
+        let via_shim = DbHistogram::build_mhist(&rel, DbConfig::new(300)).unwrap();
+        let via_builder = SynopsisBuilder::new(&rel).budget(300).threads(1).build_mhist().unwrap();
+        assert_eq!(via_shim.model().graph(), via_builder.model().graph());
+        assert_eq!(via_shim.storage_bytes(), via_builder.storage_bytes());
+        assert!(DbHistogram::build_grid(&rel, DbConfig::new(300)).is_ok());
+        assert!(DbHistogram::build_wavelet(&rel, DbConfig::new(400)).is_ok());
+    }
+
+    #[test]
     fn budget_too_small_is_an_error() {
         let rel = relation();
         assert!(matches!(
-            DbHistogram::build_mhist(&rel, DbConfig::new(8)),
+            SynopsisBuilder::new(&rel).budget(8).build_mhist(),
             Err(SynopsisError::Budget { .. })
         ));
     }
@@ -493,7 +633,7 @@ mod tests {
             (0..16).map(|i| vec![(0u16, i % 8, i % 8), (2, i % 4, i % 4)]).collect();
         let mut errors = Vec::new();
         for budget in [200usize, 800] {
-            let db = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();
+            let db = SynopsisBuilder::new(&rel).budget(budget).threads(1).build_mhist().unwrap();
             let mean: f64 = queries
                 .iter()
                 .map(|q| {

@@ -152,7 +152,15 @@ pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> Selec
     let model = steps
         .last()
         .map_or_else(|| DecomposableModel::saturated(schema.clone()), |s| s.model.clone());
-    SelectionResult { model, initial_divergence, steps, entropy_computations: cache.computations() }
+    // Backward elimination scans existing edges serially; it reports no
+    // candidate fan-out (peak_candidates is a forward-selection metric).
+    SelectionResult {
+        model,
+        initial_divergence,
+        steps,
+        entropy_computations: cache.computations(),
+        peak_candidates: 0,
+    }
 }
 
 #[cfg(test)]

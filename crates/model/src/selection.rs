@@ -25,7 +25,9 @@
 //!   minimal separator `S`, requiring just four (memoized) marginal
 //!   entropies per candidate instead of a full model evaluation.
 
-use dbhist_distribution::{measures, AttrId, AttrSet, EntropyCache, Relation};
+use dbhist_distribution::fxhash::FxHashSet;
+use dbhist_distribution::{measures, AttrId, AttrSet, Relation, SyncEntropyCache};
+use rayon::prelude::*;
 
 use crate::chordal::addable_edge_separator;
 use crate::decomposable::DecomposableModel;
@@ -73,6 +75,13 @@ pub struct SelectionConfig {
     /// Optional hard cap on the number of edges added (used by the Fig. 6
     /// model-complexity sweep).
     pub max_edges: Option<usize>,
+    /// Worker threads for per-round candidate scoring. `1` (the default)
+    /// runs the exact serial path; any larger count scores candidates
+    /// concurrently with bit-identical results (scores are independent
+    /// given the current model, entropies are pure functions of the
+    /// relation, and the greedy reduction stays serial with the
+    /// deterministic edge-id tie-break).
+    pub threads: usize,
 }
 
 impl Default for SelectionConfig {
@@ -83,6 +92,7 @@ impl Default for SelectionConfig {
             heuristic: EdgeHeuristic::default(),
             algorithm: SelectionAlgorithm::default(),
             max_edges: None,
+            threads: 1,
         }
     }
 }
@@ -92,8 +102,8 @@ impl SelectionConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::InvalidConfig`] for `k_max < 2` or `theta`
-    /// outside `[0, 1)`.
+    /// Returns [`ModelError::InvalidConfig`] for `k_max < 2`, `theta`
+    /// outside `[0, 1)`, or `threads == 0`.
     pub fn validate(&self) -> Result<(), ModelError> {
         if self.k_max < 2 {
             return Err(ModelError::InvalidConfig {
@@ -103,6 +113,11 @@ impl SelectionConfig {
         if !(0.0..1.0).contains(&self.theta) {
             return Err(ModelError::InvalidConfig {
                 reason: format!("theta must lie in [0, 1), got {}", self.theta),
+            });
+        }
+        if self.threads == 0 {
+            return Err(ModelError::InvalidConfig {
+                reason: "threads must be at least 1 (1 = serial path)".to_string(),
             });
         }
         Ok(())
@@ -175,15 +190,19 @@ pub struct SelectionResult {
     /// Number of marginal-entropy computations performed (cache misses) —
     /// the cost metric the paper's full version optimizes.
     pub entropy_computations: usize,
+    /// Largest number of scored candidates seen in any single round
+    /// (reported by `BuildTrace` as the selection phase's peak fan-out).
+    pub peak_candidates: usize,
 }
 
 /// Greedy forward selector over decomposable models.
 #[derive(Debug)]
 pub struct ForwardSelector<'a> {
-    cache: EntropyCache<'a>,
+    cache: SyncEntropyCache<'a>,
     config: SelectionConfig,
     graph: MarkovGraph,
     divergence: f64,
+    peak_candidates: usize,
 }
 
 impl<'a> ForwardSelector<'a> {
@@ -198,16 +217,24 @@ impl<'a> ForwardSelector<'a> {
         #[allow(clippy::expect_used)]
         config.validate().expect("invalid selection config"); // lint:allow(no-panic): documented panic contract on invalid config
         let n = relation.schema().arity();
-        let mut cache = EntropyCache::new(relation);
+        let cache = SyncEntropyCache::new(relation);
         let graph = MarkovGraph::empty(n);
-        let divergence = Self::graph_divergence(&graph, relation, &mut cache);
-        Self { cache, config, graph, divergence }
+        let divergence = Self::graph_divergence(&graph, relation, &cache);
+        Self { cache, config, graph, divergence, peak_candidates: 0 }
+    }
+
+    /// Runs `op` under a worker pool sized to the configured thread count.
+    fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        match rayon::ThreadPoolBuilder::new().num_threads(self.config.threads).build() {
+            Ok(pool) => pool.install(op),
+            Err(_) => op(),
+        }
     }
 
     fn graph_divergence(
         graph: &MarkovGraph,
         relation: &Relation,
-        cache: &mut EntropyCache<'_>,
+        cache: &SyncEntropyCache<'_>,
     ) -> f64 {
         // Selection only proposes chordality-preserving edges; a build
         // failure means the graph is unusable, so poison the score with an
@@ -233,13 +260,10 @@ impl<'a> ForwardSelector<'a> {
         &self.graph
     }
 
-    /// Scores a single candidate edge, or `None` if it is not addable
-    /// under decomposability and `k_max`.
-    fn score_candidate(&mut self, u: AttrId, v: AttrId) -> Option<EdgeCandidate> {
-        let separator = addable_edge_separator(&self.graph, u, v)?;
-        if separator.len() + 2 > self.config.k_max {
-            return None;
-        }
+    /// Scores an addable candidate whose minimal separator is already
+    /// known. Takes `&self` so that rounds can fan candidates out across
+    /// worker threads, all reading the shared entropy cache.
+    fn score_with_separator(&self, u: AttrId, v: AttrId, separator: AttrSet) -> EdgeCandidate {
         let relation = self.cache.relation();
         let schema = relation.schema();
         let n = relation.row_count() as f64;
@@ -259,7 +283,7 @@ impl<'a> ForwardSelector<'a> {
                 // is never picked.
                 let mut augmented = self.graph.clone();
                 if augmented.add_edge(u, v).is_ok() {
-                    let new_d = Self::graph_divergence(&augmented, relation, &mut self.cache);
+                    let new_d = Self::graph_divergence(&augmented, relation, &self.cache);
                     self.divergence - new_d
                 } else {
                     0.0
@@ -287,7 +311,7 @@ impl<'a> ForwardSelector<'a> {
         }
         let state_space_increase = increase.max(0) as u64;
 
-        Some(EdgeCandidate { u, v, separator, improvement, test, state_space_increase })
+        EdgeCandidate { u, v, separator, improvement, test, state_space_increase }
     }
 
     /// `true` if `set` induces a complete subgraph not strictly contained
@@ -301,9 +325,93 @@ impl<'a> ForwardSelector<'a> {
     }
 
     /// Scores every addable candidate edge under the current model.
-    pub fn candidates(&mut self) -> Vec<EdgeCandidate> {
-        let pairs: Vec<(AttrId, AttrId)> = self.graph.non_edges().collect();
-        pairs.into_iter().filter_map(|(u, v)| self.score_candidate(u, v)).collect()
+    ///
+    /// With `config.threads > 1` the candidates are scored concurrently:
+    /// the entropies each score reads are pre-computed in parallel over
+    /// the deterministically deduplicated subset list (so the cache-miss
+    /// count matches the serial path exactly), then the scores — pure
+    /// functions of cached entropies — are evaluated in parallel and
+    /// returned in enumeration order. The output is bit-identical to the
+    /// serial path.
+    pub fn candidates(&self) -> Vec<EdgeCandidate> {
+        let addable: Vec<(AttrId, AttrId, AttrSet)> = self
+            .graph
+            .non_edges()
+            .filter_map(|(u, v)| {
+                let sep = addable_edge_separator(&self.graph, u, v)?;
+                (sep.len() + 2 <= self.config.k_max).then_some((u, v, sep))
+            })
+            .collect();
+        if self.config.threads > 1 && addable.len() > 1 {
+            self.prewarm(&addable);
+            self.install(|| {
+                addable
+                    .into_par_iter()
+                    .map(|(u, v, sep)| self.score_with_separator(u, v, sep))
+                    .collect()
+            })
+        } else {
+            addable.into_iter().map(|(u, v, sep)| self.score_with_separator(u, v, sep)).collect()
+        }
+    }
+
+    /// Every entropy subset this round's scoring will read, in candidate
+    /// order (with duplicates).
+    fn round_subsets(&self, addable: &[(AttrId, AttrId, AttrSet)]) -> Vec<AttrSet> {
+        match self.config.algorithm {
+            SelectionAlgorithm::Efficient => addable
+                .iter()
+                .flat_map(|(u, v, sep)| {
+                    [sep.with(*u), sep.with(*v), sep.clone(), sep.with(*u).with(*v)]
+                })
+                .collect(),
+            SelectionAlgorithm::Naive => {
+                // Each candidate's score reads the cliques and separators
+                // of its augmented junction tree (plus the joint entropy,
+                // cached since construction).
+                let per_candidate: Vec<Vec<AttrSet>> = self.install(|| {
+                    addable
+                        .par_iter()
+                        .map(|(u, v, _sep)| {
+                            let mut augmented = self.graph.clone();
+                            if augmented.add_edge(*u, *v).is_err() {
+                                return Vec::new();
+                            }
+                            match JunctionTree::build(&augmented) {
+                                Ok(jt) => jt
+                                    .cliques()
+                                    .iter()
+                                    .cloned()
+                                    .chain(jt.separators().cloned())
+                                    .collect(),
+                                Err(_) => Vec::new(),
+                            }
+                        })
+                        .collect()
+                });
+                per_candidate.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Computes (in parallel) and caches every entropy the round is
+    /// missing. Deduplication keeps each subset computed exactly once, so
+    /// [`SelectionResult::entropy_computations`] matches the serial path.
+    fn prewarm(&self, addable: &[(AttrId, AttrId, AttrSet)]) {
+        let mut seen = FxHashSet::default();
+        let missing: Vec<AttrSet> = self
+            .round_subsets(addable)
+            .into_iter()
+            .filter(|s| seen.insert(s.clone()) && !self.cache.contains(s))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let computed: Vec<f64> =
+            self.install(|| missing.par_iter().map(|s| self.cache.compute(s)).collect());
+        for (subset, entropy) in missing.into_iter().zip(computed) {
+            self.cache.insert(subset, entropy);
+        }
     }
 
     /// Performs one greedy step: scores all candidates, accepts the best
@@ -311,8 +419,9 @@ impl<'a> ForwardSelector<'a> {
     /// `None` when selection has converged.
     pub fn step(&mut self) -> Option<SelectionStep> {
         let heuristic = self.config.heuristic;
-        let best = self
-            .candidates()
+        let candidates = self.candidates();
+        self.peak_candidates = self.peak_candidates.max(candidates.len());
+        let best = candidates
             .into_iter()
             .filter(|c| c.improvement > 0.0 && c.test.is_significant(self.config.theta))
             .max_by(|a, b| {
@@ -327,7 +436,7 @@ impl<'a> ForwardSelector<'a> {
         // stop selecting rather than abort.
         self.graph.add_edge(best.u, best.v).ok()?;
         let relation = self.cache.relation();
-        self.divergence = Self::graph_divergence(&self.graph, relation, &mut self.cache);
+        self.divergence = Self::graph_divergence(&self.graph, relation, &self.cache);
         let model = DecomposableModel::new(relation.schema().clone(), self.graph.clone()).ok()?;
         Some(SelectionStep { candidate: best, divergence_after: self.divergence, model })
     }
@@ -355,6 +464,7 @@ impl<'a> ForwardSelector<'a> {
             initial_divergence,
             steps,
             entropy_computations: self.cache.computations(),
+            peak_candidates: self.peak_candidates,
         }
     }
 }
@@ -492,7 +602,38 @@ mod tests {
         assert!(SelectionConfig { k_max: 1, ..Default::default() }.validate().is_err());
         assert!(SelectionConfig { theta: 1.0, ..Default::default() }.validate().is_err());
         assert!(SelectionConfig { theta: -0.1, ..Default::default() }.validate().is_err());
+        assert!(SelectionConfig { threads: 0, ..Default::default() }.validate().is_err());
         assert!(SelectionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn parallel_rounds_are_bit_identical_to_serial() {
+        let rel = two_pair_relation();
+        for algorithm in [SelectionAlgorithm::Naive, SelectionAlgorithm::Efficient] {
+            for heuristic in [EdgeHeuristic::Db1, EdgeHeuristic::Db2] {
+                let base =
+                    SelectionConfig { algorithm, heuristic, theta: 0.0, ..Default::default() };
+                let serial = ForwardSelector::new(&rel, base).run();
+                let parallel =
+                    ForwardSelector::new(&rel, SelectionConfig { threads: 4, ..base }).run();
+                assert_eq!(serial.model.graph(), parallel.model.graph());
+                assert_eq!(serial.steps.len(), parallel.steps.len());
+                for (a, b) in serial.steps.iter().zip(&parallel.steps) {
+                    assert_eq!((a.candidate.u, a.candidate.v), (b.candidate.u, b.candidate.v));
+                    assert_eq!(
+                        a.candidate.improvement.to_bits(),
+                        b.candidate.improvement.to_bits(),
+                        "{algorithm:?}/{heuristic:?}: improvement differs"
+                    );
+                    assert_eq!(a.divergence_after.to_bits(), b.divergence_after.to_bits());
+                }
+                assert_eq!(
+                    serial.entropy_computations, parallel.entropy_computations,
+                    "{algorithm:?}/{heuristic:?}: prewarm must not duplicate entropy work"
+                );
+                assert_eq!(serial.peak_candidates, parallel.peak_candidates);
+            }
+        }
     }
 
     #[test]

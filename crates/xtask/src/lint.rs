@@ -15,6 +15,13 @@
 //!   casts to a narrower integer type. Wire-format widths are a contract;
 //!   a silent truncation corrupts the payload instead of erroring. Use
 //!   `try_from` and surface `HistogramError::Codec`.
+//! * `deprecated-shim` — no first-party code outside
+//!   `crates/core/src/synopsis.rs` may call the deprecated
+//!   `DbHistogram::build_mhist` / `build_grid` / `build_wavelet` shims.
+//!   New code goes through `SynopsisBuilder`; the shims exist only for
+//!   downstream compatibility and their own coverage test. Unlike the
+//!   other rules this one also covers examples, integration tests,
+//!   benches, and binaries (see [`scan_shims`]).
 //!
 //! A violation can be suppressed on its line with an inline escape hatch:
 //! `// lint:allow(<rule>): <justification>`, or from the line above with
@@ -32,7 +39,7 @@ pub struct Violation {
 }
 
 /// Names of every rule, for `lint:allow` validation and reporting.
-pub const RULES: [&str; 3] = ["no-panic", "float-cmp", "as-narrowing"];
+pub const RULES: [&str; 4] = ["no-panic", "float-cmp", "as-narrowing", "deprecated-shim"];
 
 /// Banned invocations for the `no-panic` rule. Each must appear with a
 /// non-identifier character before it so that e.g. `try_unwrap()` in a
@@ -45,6 +52,12 @@ const FLOAT_IDENT_HINTS: [&str; 3] = ["freq", "mass", "weight"];
 
 /// Narrow integer targets banned as bare `as` casts in codec/bucket files.
 const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Deprecated construction entry points for the `deprecated-shim` rule.
+/// The shims are associated functions, so every call site spells the
+/// qualified path; a textual match on it is exact enough.
+const SHIM_PATTERNS: [&str; 3] =
+    ["DbHistogram::build_mhist", "DbHistogram::build_grid", "DbHistogram::build_wavelet"];
 
 /// Path fragments that put a file in scope for the `as-narrowing` rule:
 /// the wire codec, the split-tree (bucket) arithmetic, bounding boxes, and
@@ -324,6 +337,44 @@ pub fn narrowing_applies(rel_path: &str) -> bool {
     })
 }
 
+/// True if this relative path may call the deprecated `DbHistogram`
+/// construction shims: only the module that defines them (and carries
+/// their coverage test) is exempt from the `deprecated-shim` rule.
+pub fn shim_exempt(rel_path: &str) -> bool {
+    rel_path.replace('\\', "/").ends_with("crates/core/src/synopsis.rs")
+}
+
+/// Scans one file for the `deprecated-shim` rule only. Run over a wider
+/// file set than [`scan_source`] — examples, integration tests, benches,
+/// and binaries all count as first-party call sites — and deliberately
+/// does not exempt `#[cfg(test)]` regions: tests must exercise the
+/// builder API too, except inside the defining module itself.
+pub fn scan_shims(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
+    if shim_exempt(rel_path) {
+        return;
+    }
+    let mut mode = Mode::default();
+    let mut next_line_allows: Vec<&str> = Vec::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let masked = mask_line(raw_line, &mut mode);
+        let carried = std::mem::take(&mut next_line_allows);
+        next_line_allows = next_line_allowed_rules(raw_line);
+        let mut allowed = allowed_rules(raw_line);
+        allowed.extend(carried);
+        if allowed.contains(&"deprecated-shim") {
+            continue;
+        }
+        if SHIM_PATTERNS.iter().any(|p| find_banned(&masked, p)) {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: "deprecated-shim",
+                excerpt: raw_line.trim().chars().take(120).collect(),
+            });
+        }
+    }
+}
+
 /// Scans one file's source text, appending violations. `rel_path` is used
 /// for reporting and for path-scoped rules.
 pub fn scan_source(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
@@ -507,6 +558,42 @@ mod tests {
         // Widening casts stay legal even in scope.
         assert!(scan("crates/histogram/src/codec.rs", "let w = x as u64;").is_empty());
         assert!(scan("crates/histogram/src/codec.rs", "let f = x as f64;").is_empty());
+    }
+
+    #[test]
+    fn deprecated_shim_flagged_outside_synopsis_module() {
+        let mut out = Vec::new();
+        for call in [
+            "let db = DbHistogram::build_mhist(&rel, &config)?;",
+            "let db = DbHistogram::build_grid(&rel, &config)?;",
+            "let db = DbHistogram::build_wavelet(&rel, &config)?;",
+        ] {
+            out.clear();
+            scan_shims("examples/quickstart.rs", call, &mut out);
+            assert_eq!(out.len(), 1, "{call}: {out:?}");
+            assert_eq!(out[0].rule, "deprecated-shim");
+        }
+        // The defining module (and its coverage test) is exempt.
+        out.clear();
+        scan_shims(
+            "crates/core/src/synopsis.rs",
+            "let db = DbHistogram::build_mhist(&rel, &config)?;",
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        // Comments and the allow escape are honoured; cfg(test) is not.
+        out.clear();
+        scan_shims("tests/end_to_end.rs", "// prose about DbHistogram::build_mhist", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        out.clear();
+        let allowed = "DbHistogram::build_mhist(&rel, &c)?; // lint:allow(deprecated-shim): compat";
+        scan_shims("tests/end_to_end.rs", allowed, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        out.clear();
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n  fn t() { DbHistogram::build_mhist(&r, &c); }\n}";
+        scan_shims("crates/bench/src/experiments.rs", in_test, &mut out);
+        assert_eq!(out.len(), 1, "cfg(test) is not exempt for shims: {out:?}");
     }
 
     #[test]

@@ -75,6 +75,46 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Recursively collects every `.rs` file under `dir`, including `bin/`.
+fn collect_rs_files_deep(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files_deep(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// File set for the `deprecated-shim` rule: everything first-party that
+/// can call the construction API — library sources (with `bin/` this
+/// time), examples, integration tests, and benches — but never the
+/// vendored stand-ins or xtask itself.
+fn shim_scan_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in [root.join("src"), root.join("examples"), root.join("tests")] {
+        collect_rs_files_deep(&dir, &mut files);
+    }
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut names: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
+            .collect();
+        names.sort();
+        for krate in names {
+            collect_rs_files_deep(&krate.join("src"), &mut files);
+            collect_rs_files_deep(&krate.join("benches"), &mut files);
+            collect_rs_files_deep(&krate.join("tests"), &mut files);
+        }
+    }
+    files
+}
+
 fn run_lint() -> ExitCode {
     let root = workspace_root();
     let mut files = Vec::new();
@@ -84,6 +124,7 @@ fn run_lint() -> ExitCode {
 
     let mut violations = Vec::new();
     let mut scanned = 0usize;
+    let mut seen = std::collections::BTreeSet::new();
     for path in &files {
         let Ok(source) = fs::read_to_string(path) else {
             eprintln!("xtask lint: unreadable file {}", path.display());
@@ -91,7 +132,22 @@ fn run_lint() -> ExitCode {
         };
         let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
         lint::scan_source(&rel, &source, &mut violations);
+        seen.insert(rel);
         scanned += 1;
+    }
+
+    // The deprecated-shim rule covers a wider net: examples, integration
+    // tests, benches, and binaries are all first-party call sites.
+    for path in shim_scan_files(&root) {
+        let Ok(source) = fs::read_to_string(&path) else {
+            eprintln!("xtask lint: unreadable file {}", path.display());
+            continue;
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        lint::scan_shims(&rel, &source, &mut violations);
+        if seen.insert(rel) {
+            scanned += 1;
+        }
     }
 
     for v in &violations {
@@ -112,15 +168,27 @@ fn run_lint() -> ExitCode {
 /// mutating any tracked file. Exits nonzero if any seeded bug goes
 /// undetected (i.e. the gate has rotted).
 fn run_selftest() -> ExitCode {
-    let seeded: [(&str, &str, &str); 3] = [
+    let seeded: [(&str, &str, &str); 4] = [
         ("no-panic", "crates/core/src/alloc.rs", "let v = budget.unwrap();"),
         ("float-cmp", "crates/core/src/marginal.rs", "if freq == 0.0 { return; }"),
         ("as-narrowing", "crates/histogram/src/codec.rs", "let n = count as u16;"),
+        (
+            "deprecated-shim",
+            "examples/quickstart.rs",
+            "let db = DbHistogram::build_mhist(&rel, &config)?;",
+        ),
     ];
+    let scan_rule = |rule: &str, path: &str, source: &str, out: &mut Vec<lint::Violation>| {
+        if rule == "deprecated-shim" {
+            lint::scan_shims(path, source, out);
+        } else {
+            lint::scan_source(path, source, out);
+        }
+    };
     let mut failures = 0u32;
     for (rule, path, source) in seeded {
         let mut out = Vec::new();
-        lint::scan_source(path, source, &mut out);
+        scan_rule(rule, path, source, &mut out);
         if out.iter().any(|v| v.rule == rule) {
             eprintln!("selftest: rule {rule} fires on seeded violation ... ok");
         } else {
@@ -130,11 +198,25 @@ fn run_selftest() -> ExitCode {
         // The escape hatch must also still work.
         let allowed = format!("{source} // lint:allow({rule}): selftest");
         let mut quiet = Vec::new();
-        lint::scan_source(path, &allowed, &mut quiet);
+        scan_rule(rule, path, &allowed, &mut quiet);
         if quiet.iter().any(|v| v.rule == rule) {
             eprintln!("selftest: lint:allow({rule}) failed to suppress");
             failures += 1;
         }
+    }
+    // The one sanctioned call site must stay exempt, or the rule would
+    // outlaw the shims' own coverage test.
+    let mut exempt = Vec::new();
+    lint::scan_shims(
+        "crates/core/src/synopsis.rs",
+        "let db = DbHistogram::build_mhist(&rel, &config)?;",
+        &mut exempt,
+    );
+    if exempt.is_empty() {
+        eprintln!("selftest: deprecated-shim exempts crates/core/src/synopsis.rs ... ok");
+    } else {
+        eprintln!("selftest: deprecated-shim wrongly fires inside synopsis.rs");
+        failures += 1;
     }
     if failures == 0 {
         eprintln!("selftest: all {} rules verified", lint::RULES.len());

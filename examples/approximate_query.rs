@@ -13,8 +13,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
 use dbhist::core::baselines::{IndEstimator, MhistEstimator};
-use dbhist::core::synopsis::{DbConfig, DbHistogram};
-use dbhist::core::SelectivityEstimator;
+use dbhist::core::{SelectivityEstimator, SynopsisBuilder};
 use dbhist::data::census::{self, attrs};
 use dbhist::data::metrics::{multiplicative_error, relative_error};
 use dbhist::histogram::SplitCriterion;
@@ -29,9 +28,11 @@ fn main() {
     // DB1 (significance-ranked edges) handles this table's wide banded
     // marginals better than DB2's state-space-normalized picks; see
     // EXPERIMENTS.md §Fig.9 for the full comparison and its caveats.
-    let mut config = DbConfig::new(budget);
-    config.selection.heuristic = dbhist::model::selection::EdgeHeuristic::Db1;
-    let db = DbHistogram::build_mhist(&rel, config).unwrap();
+    let db = SynopsisBuilder::new(&rel)
+        .budget(budget)
+        .heuristic(dbhist::model::selection::EdgeHeuristic::Db1)
+        .build_mhist()
+        .unwrap();
     println!("  DB1   in {:?} — model {}", t.elapsed(), db.model().notation());
     let t = Instant::now();
     let ind = IndEstimator::build(&rel, budget, SplitCriterion::MaxDiff).unwrap();

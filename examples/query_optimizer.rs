@@ -13,8 +13,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
 use dbhist::core::baselines::IndEstimator;
-use dbhist::core::synopsis::{DbConfig, DbHistogram};
-use dbhist::core::SelectivityEstimator;
+use dbhist::core::{SelectivityEstimator, SynopsisBuilder};
 use dbhist::data::census::{self, attrs};
 use dbhist::histogram::SplitCriterion;
 
@@ -61,7 +60,7 @@ fn plan_order(
 fn main() {
     let rel = census::census_data_set_1_with(40_000, 11);
     let budget = 3 * 1024;
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(budget).build_mhist().unwrap();
     let ind = IndEstimator::build(&rel, budget, SplitCriterion::MaxDiff).unwrap();
 
     // Filter: immigrant person whose mother is home-born, middle-aged.

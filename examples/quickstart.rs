@@ -7,8 +7,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
-use dbhist::core::synopsis::{DbConfig, DbHistogram};
-use dbhist::core::SelectivityEstimator;
+use dbhist::core::{SelectivityEstimator, SynopsisBuilder};
 use dbhist::data::census;
 
 fn main() {
@@ -20,7 +19,9 @@ fn main() {
     // 2. Build a DB histogram in 3 KB: forward-select a decomposable
     //    model (DB2 heuristic, k_max = 2, θ = 0.90), then fund MHIST
     //    clique histograms with IncrementalGains.
-    let db = DbHistogram::build_mhist(&relation, DbConfig::new(3 * 1024))
+    let db = SynopsisBuilder::new(&relation)
+        .budget(3 * 1024)
+        .build_mhist()
         .expect("construction succeeds");
     println!("model: {}", db.model().notation());
     println!(

@@ -3,8 +3,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
 
 use dbhist::core::baselines::{IndEstimator, MhistEstimator};
-use dbhist::core::synopsis::{DbConfig, DbHistogram};
+use dbhist::core::synopsis::DbHistogram;
 use dbhist::core::SelectivityEstimator;
+use dbhist::core::SynopsisBuilder;
 use dbhist::distribution::{AttrSet, Relation, Schema};
 use dbhist::histogram::codec::decode_split_tree;
 use dbhist::histogram::mhist::MhistBuilder;
@@ -19,7 +20,7 @@ fn single_value_domains() {
     let schema = Schema::new(vec![("const", 1), ("x", 8), ("also_const", 1)]).unwrap();
     let rows: Vec<Vec<u32>> = (0..256u32).map(|i| vec![0, i % 8, 0]).collect();
     let rel = Relation::from_rows(schema, rows).unwrap();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(256)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(256).build_mhist().unwrap();
     assert!((db.estimate(&[]) - 256.0).abs() < 1e-6);
     assert!((db.estimate(&[(0, 0, 0)]) - 256.0).abs() < 1e-6);
     let est = db.estimate(&[(1, 0, 3)]);
@@ -32,7 +33,7 @@ fn single_value_domains() {
 fn single_row_relation() {
     let schema = Schema::new(vec![("a", 4), ("b", 4)]).unwrap();
     let rel = Relation::from_rows(schema, vec![vec![2, 3]]).unwrap();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(128)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(128).build_mhist().unwrap();
     assert!((db.estimate(&[]) - 1.0).abs() < 1e-9);
     let hit = db.estimate(&[(0, 2, 2), (1, 3, 3)]);
     assert!(hit > 0.0);
@@ -44,7 +45,7 @@ fn single_row_relation() {
 fn all_identical_rows() {
     let schema = Schema::new(vec![("a", 10), ("b", 10)]).unwrap();
     let rel = Relation::from_rows(schema, vec![vec![7, 7]; 500]).unwrap();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(256)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(256).build_mhist().unwrap();
     // The single populated cell must be answered well: gap trimming
     // isolates it exactly.
     let est = db.estimate(&[(0, 7, 7), (1, 7, 7)]);
@@ -72,7 +73,7 @@ fn estimates_never_negative_or_nan() {
     let rows: Vec<Vec<u32>> =
         (0..3000u32).map(|i| vec![(i * i) % 16, (i * 7) % 16, (i / 5) % 6]).collect();
     let rel = Relation::from_rows(schema, rows).unwrap();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(512)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(512).build_mhist().unwrap();
     let mh = MhistEstimator::build(&rel, 512, SplitCriterion::MaxDiff).unwrap();
     let ind = IndEstimator::build(&rel, 512, SplitCriterion::MaxDiff).unwrap();
     for a in (0..16).step_by(3) {
@@ -91,7 +92,7 @@ fn empty_range_queries_are_zero() {
     let schema = Schema::new(vec![("a", 8), ("b", 8)]).unwrap();
     let rows: Vec<Vec<u32>> = (0..512u32).map(|i| vec![i % 8, (i / 8) % 8]).collect();
     let rel = Relation::from_rows(schema, rows).unwrap();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(256)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(256).build_mhist().unwrap();
     // Contradictory constraints on the same attribute.
     assert_eq!(db.estimate(&[(0, 0, 2), (0, 5, 7)]), 0.0);
 }

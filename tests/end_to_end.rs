@@ -4,8 +4,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
 
 use dbhist::core::baselines::{IndEstimator, MhistEstimator, SamplingEstimator};
-use dbhist::core::synopsis::{DbConfig, DbHistogram};
 use dbhist::core::SelectivityEstimator;
+use dbhist::core::SynopsisBuilder;
 use dbhist::data::census::{self, attrs};
 use dbhist::data::metrics::ErrorSummary;
 use dbhist::data::workload::{Workload, WorkloadConfig};
@@ -18,7 +18,7 @@ fn census_small() -> dbhist::distribution::Relation {
 #[test]
 fn full_pipeline_produces_reasonable_estimates() {
     let rel = census_small();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(3 * 1024)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(3 * 1024).build_mhist().unwrap();
     let workload = Workload::generate(
         &rel,
         WorkloadConfig { dimensionality: 2, queries: 30, min_count: 100, seed: 4 },
@@ -34,7 +34,7 @@ fn full_pipeline_produces_reasonable_estimates() {
 #[test]
 fn model_selection_finds_census_structure() {
     let rel = census_small();
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(3 * 1024)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(3 * 1024).build_mhist().unwrap();
     let g = db.model().graph();
     // The origin cluster must be connected in the model graph.
     let origin = [attrs::COUNTRY, attrs::MOTHER_COUNTRY, attrs::FATHER_COUNTRY, attrs::CITIZENSHIP];
@@ -52,7 +52,7 @@ fn model_selection_finds_census_structure() {
 fn db_beats_ind_on_correlated_multidim_queries() {
     let rel = census_small();
     let budget = 3 * 1024;
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(budget).build_mhist().unwrap();
     let ind = IndEstimator::build(&rel, budget, SplitCriterion::MaxDiff).unwrap();
     // Queries over the strongly-correlated pair.
     let workload = Workload::generate(
@@ -73,7 +73,7 @@ fn db_beats_ind_on_correlated_multidim_queries() {
 fn all_estimators_satisfy_storage_budget() {
     let rel = census_small();
     let budget = 2 * 1024;
-    let db = DbHistogram::build_mhist(&rel, DbConfig::new(budget)).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(budget).build_mhist().unwrap();
     let ind = IndEstimator::build(&rel, budget, SplitCriterion::MaxDiff).unwrap();
     let mh = MhistEstimator::build(&rel, budget, SplitCriterion::MaxDiff).unwrap();
     let sm = SamplingEstimator::build(&rel, budget, 1).unwrap();
@@ -94,8 +94,8 @@ fn all_estimators_satisfy_storage_budget() {
 #[test]
 fn grid_and_mhist_db_histograms_agree_roughly() {
     let rel = census_small();
-    let mhist_db = DbHistogram::build_mhist(&rel, DbConfig::new(2 * 1024)).unwrap();
-    let grid_db = DbHistogram::build_grid(&rel, DbConfig::new(2 * 1024)).unwrap();
+    let mhist_db = SynopsisBuilder::new(&rel).budget(2 * 1024).build_mhist().unwrap();
+    let grid_db = SynopsisBuilder::new(&rel).budget(2 * 1024).build_grid().unwrap();
     let ranges = [(attrs::COUNTRY, 0u32, 0u32), (attrs::AGE, 20u32, 60u32)];
     let exact = rel.count_range(&ranges) as f64;
     for est in [mhist_db.estimate(&ranges), grid_db.estimate(&ranges)] {
@@ -106,8 +106,8 @@ fn grid_and_mhist_db_histograms_agree_roughly() {
 #[test]
 fn estimates_are_deterministic() {
     let rel = census_small();
-    let a = DbHistogram::build_mhist(&rel, DbConfig::new(1024)).unwrap();
-    let b = DbHistogram::build_mhist(&rel, DbConfig::new(1024)).unwrap();
+    let a = SynopsisBuilder::new(&rel).budget(1024).build_mhist().unwrap();
+    let b = SynopsisBuilder::new(&rel).budget(1024).build_mhist().unwrap();
     let ranges = [(attrs::COUNTRY, 0u32, 10u32), (attrs::RACE, 0u32, 1u32)];
     assert_eq!(a.estimate(&ranges), b.estimate(&ranges));
     assert_eq!(a.model().notation(), b.model().notation());

@@ -1,0 +1,541 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no access to a crate registry, so the workspace
+//! vendors a minimal, dependency-free implementation of the `rayon 1.x`
+//! API surface it actually uses (see `[patch.crates-io]` in the workspace
+//! `Cargo.toml`). Instead of a persistent work-stealing pool, every
+//! terminal operation (`collect`, `for_each`, ...) splits its input into
+//! one contiguous chunk per worker and runs the chunks on
+//! [`std::thread::scope`] threads, reassembling results in input order.
+//!
+//! Guarantees relied on by the workspace:
+//!
+//! * **Order preservation** — `collect()` returns results in the same
+//!   order as the input, regardless of worker interleaving.
+//! * **Determinism** — each item is processed independently by the given
+//!   closure; no reduction reorders floating-point operations.
+//! * **Degraded serial path** — with one effective thread (or one item)
+//!   the items are processed inline on the calling thread, with no
+//!   spawning, in exactly the order a sequential `Iterator` would use.
+//!
+//! Differences from upstream rayon (acceptable for this workspace): no
+//! work stealing (long-tail chunks are not rebalanced), no nested-pool
+//! inheritance (a worker thread sees the global default, not the
+//! installing pool), and `ThreadPool::install` scopes the thread count via
+//! a thread-local rather than moving work onto pool-owned threads.
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod prelude {
+    //! The traits a `use rayon::prelude::*` is expected to bring in.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads terminal operations will use on this thread:
+/// the innermost [`ThreadPool::install`] override, or the machine's
+/// available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(default_num_threads)
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]. The stand-in
+/// cannot fail to "build" a pool; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count. As with upstream rayon, `0` means "use the
+    /// default" (available parallelism).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Builds the pool. Never fails in the stand-in.
+    ///
+    /// # Errors
+    ///
+    /// None in practice; the signature mirrors upstream rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            None | Some(0) => default_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A "pool" that scopes the worker count for terminal operations run
+/// under [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker count this pool was built with.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// terminal operation it performs (on this thread). Restores the
+    /// previous override on exit, even on panic.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_THREADS.with(|c| c.replace(Some(self.threads))));
+        op()
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        (ra, b())
+    } else {
+        std::thread::scope(|s| {
+            let ha = s.spawn(a);
+            let rb = b();
+            (join_handle(ha), rb)
+        })
+    }
+}
+
+/// Joins a scoped handle, propagating a worker panic to the caller.
+fn join_handle<'s, T>(handle: std::thread::ScopedJoinHandle<'s, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Maps `items` through `f` on up to `threads` scoped workers, preserving
+/// input order. The workhorse behind every terminal operation.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(n);
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(join_handle(h));
+        }
+        out
+    })
+}
+
+/// A parallel iterator: a chain of combinators over an eagerly
+/// materialized item list, executed by a terminal operation.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Executes the chain with `threads` workers, returning the results in
+    /// input order. Implementation detail of the terminal operations;
+    /// user code should call `collect`/`for_each` instead.
+    fn drive(self, threads: usize) -> Vec<Self::Item>;
+
+    /// Transforms each element with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps the `Some` results of `f`, preserving input order.
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Applies `f` to every element.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let threads = current_num_threads();
+        let mapped: Vec<()> = Map { base: self, f: |item| f(item) }.drive(threads);
+        drop(mapped);
+    }
+
+    /// Collects the results, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let threads = current_num_threads();
+        C::from_ordered_items(self.drive(threads))
+    }
+
+    /// Number of items the chain would produce.
+    fn count(self) -> usize {
+        let threads = current_num_threads();
+        self.drive(threads).len()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`], mirroring rayon's trait.
+pub trait IntoParallelIterator {
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` — by-reference parallel iteration.
+pub trait IntoParallelRefIterator<'data> {
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (`&'data T`).
+    type Item: Send + 'data;
+
+    /// Iterates over `&self` in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` — by-mutable-reference parallel iteration.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (`&'data mut T`).
+    type Item: Send + 'data;
+
+    /// Iterates over `&mut self` in parallel.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Parallel iterator over an owned item list.
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive(self, _threads: usize) -> Vec<T> {
+        // The base produces its items as-is; combinators above it fan the
+        // per-item work out to threads.
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Iter = VecParIter<&'data T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> VecParIter<&'data T> {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Iter = VecParIter<&'data T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> VecParIter<&'data T> {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Send> IntoParallelIterator for &'data mut [T] {
+    type Iter = VecParIter<&'data mut T>;
+    type Item = &'data mut T;
+
+    fn into_par_iter(self) -> VecParIter<&'data mut T> {
+        VecParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'data, T: Send> IntoParallelIterator for &'data mut Vec<T> {
+    type Iter = VecParIter<&'data mut T>;
+    type Item = &'data mut T;
+
+    fn into_par_iter(self) -> VecParIter<&'data mut T> {
+        VecParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = VecParIter<usize>;
+    type Item = usize;
+
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter { items: self.collect() }
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self, threads: usize) -> Vec<R> {
+        let Self { base, f } = self;
+        parallel_map_vec(base.drive(threads), &f, threads)
+    }
+}
+
+/// The result of [`ParallelIterator::filter_map`].
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> Option<R> + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self, threads: usize) -> Vec<R> {
+        let Self { base, f } = self;
+        parallel_map_vec(base.drive(threads), &f, threads).into_iter().flatten().collect()
+    }
+}
+
+/// Collection from an ordered parallel computation, mirroring rayon's
+/// `FromParallelIterator` for the shapes the workspace uses.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection from items already in input order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E, C> FromParallelIterator<Result<T, E>> for Result<C, E>
+where
+    T: Send,
+    E: Send,
+    C: FromParallelIterator<T>,
+{
+    fn from_ordered_items(items: Vec<Result<T, E>>) -> Self {
+        let mut ok = Vec::with_capacity(items.len());
+        for item in items {
+            ok.push(item?);
+        }
+        Ok(C::from_ordered_items(ok))
+    }
+}
+
+impl<T, C> FromParallelIterator<Option<T>> for Option<C>
+where
+    T: Send,
+    C: FromParallelIterator<T>,
+{
+    fn from_ordered_items(items: Vec<Option<T>>) -> Self {
+        let mut ok = Vec::with_capacity(items.len());
+        for item in items {
+            ok.push(item?);
+        }
+        Some(C::from_ordered_items(ok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let out: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 3 + 1).collect());
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_first_error() {
+        let input: Vec<u32> = (0..100).collect();
+        let out: Result<Vec<u32>, String> = input
+            .par_iter()
+            .map(|&x| if x == 41 || x == 97 { Err(format!("bad {x}")) } else { Ok(x) })
+            .collect();
+        assert_eq!(out, Err("bad 41".to_string()));
+        let ok: Result<Vec<u32>, String> = input.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn par_iter_mut_sees_every_element() {
+        let mut data: Vec<u32> = (0..257).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| data.par_iter_mut().for_each(|x| *x += 1));
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn install_scopes_thread_count_and_restores() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 7));
+        assert_eq!(current_num_threads(), outer);
+        // num_threads(0) means "default", as with upstream rayon.
+        let dflt = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(dflt.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn single_item_and_empty_inputs() {
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+        let none: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn filter_map_and_range_and_count() {
+        let evens: Vec<usize> =
+            (0..50usize).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        assert_eq!(evens.len(), 25);
+        assert_eq!(evens[3], 6);
+        assert_eq!((0..17usize).into_par_iter().count(), 17);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                let v: Vec<u32> = (0..64usize)
+                    .into_par_iter()
+                    .map(|x| if x == 63 { panic!("boom") } else { 0 })
+                    .collect();
+                v
+            })
+        });
+        assert!(result.is_err());
+    }
+}
