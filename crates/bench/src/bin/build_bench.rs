@@ -5,6 +5,10 @@
 //! build_bench [OUTPUT_PATH]    (default: BENCH_build.json)
 //! ```
 //!
+//! Set `DBHIST_TELEMETRY=1` to run with the process-wide telemetry
+//! registry enabled and dump its final snapshot next to the output file
+//! (`<OUTPUT_PATH>.telemetry.json` / `.prom`).
+//!
 //! The workload is fixed (a deterministic wide-domain table whose clique
 //! marginals support thousands of buckets, and a byte budget large
 //! enough that the `IncrementalGains` phase dominates — the regime
@@ -131,6 +135,8 @@ fn speedup(serial: Duration, parallel: Duration) -> f64 {
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_build.json".into());
+    let telemetry_env = std::env::var("DBHIST_TELEMETRY").is_ok_and(|v| v != "0");
+    dbhist_telemetry::set_enabled(telemetry_env);
 
     let rel = build_relation();
     let workload = Workload::generate(
@@ -180,6 +186,19 @@ fn main() {
     let _ = writeln!(json, "}}");
 
     std::fs::write(&out_path, &json).unwrap();
+    if telemetry_env {
+        let snap = dbhist_telemetry::snapshot();
+        std::fs::write(
+            format!("{out_path}.telemetry.json"),
+            dbhist_telemetry::export::to_json(&snap),
+        )
+        .unwrap();
+        std::fs::write(
+            format!("{out_path}.telemetry.prom"),
+            dbhist_telemetry::export::to_prometheus(&snap),
+        )
+        .unwrap();
+    }
     eprintln!(
         "wrote {out_path}: {total:.2}x total at {parallel_threads} threads \
          (selection {:.2}x, construction {:.2}x, allocation {:.2}x; \

@@ -11,6 +11,12 @@
 //! engine, plan engine with the materialized-marginal cache — produce
 //! bit-identical estimate checksums, making it an end-to-end equivalence
 //! smoke test as well.
+//!
+//! The run also measures telemetry overhead (the planned path with the
+//! process-wide registry disabled vs. enabled) and asserts it stays under
+//! 5%. Set `DBHIST_TELEMETRY=1` to run the whole bench with telemetry on
+//! and dump the final registry snapshot next to the output file
+//! (`<OUTPUT_PATH>.telemetry.json` / `.prom`).
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
@@ -62,8 +68,17 @@ fn hit_rate(hits: usize, misses: usize) -> f64 {
     }
 }
 
+/// Ceiling on telemetry overhead for the planned query path: enabling the
+/// registry must not cost more than this fraction of no-op latency.
+const MAX_TELEMETRY_OVERHEAD: f64 = 0.05;
+/// Trials per overhead mode; the fastest is compared (scheduler-noise
+/// robust, same policy as `build_bench`).
+const OVERHEAD_TRIALS: usize = 3;
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query.json".into());
+    let telemetry_env = std::env::var("DBHIST_TELEMETRY").is_ok_and(|v| v != "0");
+    dbhist_telemetry::set_enabled(telemetry_env);
 
     let scale = Scale::quick();
     let rel = scale.census_1();
@@ -119,6 +134,54 @@ fn main() {
     let cached_ns = start.elapsed().as_nanos();
     let cached_trace = cached_engine.trace();
 
+    // 4. Telemetry overhead: the same planned replay with the registry
+    //    disabled (inert span guards, local-only counters) vs. enabled
+    //    (global mirroring + latency histograms). Fastest-of-N per mode.
+    let overhead_engine: QueryEngine<_> = QueryEngine::new(tree);
+    for (target, ranges) in &queries {
+        // Warm-up pass: compile every plan so both modes replay.
+        overhead_engine.estimate_mass(tree, factors, target, ranges).unwrap();
+    }
+    let measure = || {
+        let start = Instant::now();
+        let mut sum = 0.0;
+        for _ in 0..REPEATS {
+            for (target, ranges) in &queries {
+                sum += overhead_engine.estimate_mass(tree, factors, target, ranges).unwrap();
+            }
+        }
+        (start.elapsed().as_nanos(), sum)
+    };
+    dbhist_telemetry::set_enabled(false);
+    let (mut noop_ns, mut noop_sum) = (u128::MAX, 0.0);
+    for _ in 0..OVERHEAD_TRIALS {
+        let (ns, sum) = measure();
+        noop_ns = noop_ns.min(ns);
+        noop_sum = sum;
+    }
+    dbhist_telemetry::set_enabled(true);
+    let (mut active_ns, mut active_sum) = (u128::MAX, 0.0);
+    for _ in 0..OVERHEAD_TRIALS {
+        let (ns, sum) = measure();
+        active_ns = active_ns.min(ns);
+        active_sum = sum;
+    }
+    dbhist_telemetry::set_enabled(telemetry_env);
+    assert_eq!(
+        noop_sum.to_bits(),
+        active_sum.to_bits(),
+        "telemetry must be observation-only: estimates changed when enabled"
+    );
+    let telemetry_overhead =
+        if noop_ns == 0 { 0.0 } else { active_ns as f64 / noop_ns as f64 - 1.0 };
+    assert!(
+        telemetry_overhead < MAX_TELEMETRY_OVERHEAD,
+        "telemetry overhead {:.2}% exceeds the {:.0}% ceiling (no-op {noop_ns}ns, \
+         active {active_ns}ns)",
+        100.0 * telemetry_overhead,
+        100.0 * MAX_TELEMETRY_OVERHEAD
+    );
+
     // The three paths must agree bit-for-bit — the engine is an
     // optimization, never an approximation of the interpreter.
     assert_eq!(
@@ -170,16 +233,37 @@ fn main() {
     );
     let _ = writeln!(json, "  \"planned_trace\": {},", trace_json(&planned_trace));
     let _ = writeln!(json, "  \"planned_cached_trace\": {},", trace_json(&cached_trace));
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {{\"noop_total_ns\": {noop_ns}, \"active_total_ns\": {active_ns}, \
+         \"overhead_ratio\": {telemetry_overhead:.4}, \"max_overhead_ratio\": \
+         {MAX_TELEMETRY_OVERHEAD}}},"
+    );
     let _ = writeln!(json, "  \"estimate_checksum\": {interpreted_sum:.6}");
     let _ = writeln!(json, "}}");
 
     std::fs::write(&out_path, &json).unwrap();
+    if telemetry_env {
+        let snap = dbhist_telemetry::snapshot();
+        std::fs::write(
+            format!("{out_path}.telemetry.json"),
+            dbhist_telemetry::export::to_json(&snap),
+        )
+        .unwrap();
+        std::fs::write(
+            format!("{out_path}.telemetry.prom"),
+            dbhist_telemetry::export::to_prometheus(&snap),
+        )
+        .unwrap();
+    }
     eprintln!(
         "wrote {out_path}: planned {:.2}x, cached {:.2}x vs interpreted \
-         (plan-cache hit rate {:.1}%, marginal-cache hit rate {:.1}%)",
+         (plan-cache hit rate {:.1}%, marginal-cache hit rate {:.1}%, \
+         telemetry overhead {:.2}%)",
         speedup(planned_ns),
         speedup(cached_ns),
         100.0 * hit_rate(planned_trace.plan_cache_hits, planned_trace.plan_cache_misses),
-        100.0 * hit_rate(cached_trace.marginal_cache_hits, cached_trace.marginal_cache_misses)
+        100.0 * hit_rate(cached_trace.marginal_cache_hits, cached_trace.marginal_cache_misses),
+        100.0 * telemetry_overhead
     );
 }

@@ -81,6 +81,7 @@ pub fn incremental_gains<B: IncrementalBuilder>(
     builders: &mut [B],
     budget_bytes: usize,
 ) -> Result<AllocationReport, SynopsisError> {
+    let _span = dbhist_telemetry::span!("dbhist_alloc_incremental_gains_latency_us");
     let mut used: usize = builders.iter().map(IncrementalBuilder::storage_bytes).sum();
     if used > budget_bytes {
         return Err(SynopsisError::Budget {
@@ -241,6 +242,7 @@ where
     if threads <= 1 {
         return incremental_gains(builders, budget_bytes);
     }
+    let _span = dbhist_telemetry::span!("dbhist_alloc_incremental_gains_latency_us");
     let initial: usize = builders.iter().map(IncrementalBuilder::storage_bytes).sum();
     if initial > budget_bytes {
         return Err(SynopsisError::Budget {
@@ -405,6 +407,7 @@ pub fn optimal_dp(
     curves: &[Vec<CurvePoint>],
     budget_bytes: usize,
 ) -> Result<Vec<CurvePoint>, SynopsisError> {
+    let _span = dbhist_telemetry::span!("dbhist_alloc_optimal_dp_latency_us");
     assert!(
         curves.iter().all(|c| !c.is_empty()),
         "every clique must have at least its one-bucket curve point"

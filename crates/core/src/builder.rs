@@ -153,9 +153,31 @@ impl Synopsis {
     }
 
     /// Snapshot of the query engine's cumulative counters.
+    ///
+    /// Non-destructive: counters keep accumulating across calls until
+    /// [`Synopsis::reset_query_trace`] zeroes them.
     #[must_use]
     pub fn query_trace(&self) -> QueryTrace {
         delegate!(self, db => db.query_trace())
+    }
+
+    /// Zeroes the query engine's cumulative counters (this synopsis only;
+    /// the process-wide telemetry registry is untouched).
+    pub fn reset_query_trace(&self) {
+        delegate!(self, db => db.reset_query_trace());
+    }
+
+    /// Feeds an observed cardinality back to the underlying histogram's
+    /// accuracy-drift monitor; see [`DbHistogram::record_feedback`].
+    pub fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
+        delegate!(self, db => db.record_feedback(ranges, actual));
+    }
+
+    /// Worst per-clique rolling mean absolute relative error observed via
+    /// [`Synopsis::record_feedback`].
+    #[must_use]
+    pub fn feedback_drift(&self) -> f64 {
+        delegate!(self, db => db.drift_monitor().max_drift())
     }
 
     /// Estimates the marginal mass of a conjunctive range predicate,
@@ -225,8 +247,20 @@ impl SelectivityEstimator for Synopsis {
         Some(self.query_trace())
     }
 
+    fn reset_trace(&self) {
+        self.reset_query_trace();
+    }
+
     fn build_trace(&self) -> Option<BuildTrace> {
         Some(self.build_trace())
+    }
+
+    fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
+        Synopsis::record_feedback(self, ranges, actual);
+    }
+
+    fn feedback_drift(&self) -> Option<f64> {
+        Some(Synopsis::feedback_drift(self))
     }
 }
 

@@ -159,12 +159,38 @@ impl MaintainedDbHistogram {
         sum / self.reservoir.len() as f64
     }
 
+    /// Feeds an observed (actual) result cardinality back to the wrapped
+    /// synopsis's accuracy-drift monitor; see
+    /// [`DbHistogram::record_feedback`]. Feedback accumulated here is the
+    /// third rebuild trigger consulted by
+    /// [`MaintainedDbHistogram::needs_rebuild`].
+    pub fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
+        self.synopsis.record_feedback(ranges, actual);
+    }
+
+    /// Worst per-clique rolling mean absolute relative error reported by
+    /// executed queries via [`MaintainedDbHistogram::record_feedback`].
+    /// Zero until any feedback arrives.
+    #[must_use]
+    pub fn feedback_drift(&self) -> f64 {
+        self.synopsis.drift_monitor().max_drift()
+    }
+
     /// `true` once churn exceeds `churn_threshold` (fraction of the base
     /// table) — the simple trigger — or measured drift exceeds
-    /// `drift_threshold`.
+    /// `drift_threshold`. Drift is measured two ways: against the
+    /// reservoir of recent inserts ([`MaintainedDbHistogram::drift`]) and
+    /// against executed-query feedback
+    /// ([`MaintainedDbHistogram::feedback_drift`]); the feedback gauge
+    /// only participates once feedback has actually been recorded, so
+    /// feedback-free workloads behave exactly as before.
     #[must_use]
     pub fn needs_rebuild(&self, churn_threshold: f64, drift_threshold: f64) -> bool {
-        self.staleness() > churn_threshold || self.drift() > drift_threshold
+        if self.staleness() > churn_threshold || self.drift() > drift_threshold {
+            return true;
+        }
+        let monitor = self.synopsis.drift_monitor();
+        monitor.observations() > 0 && monitor.max_drift() > drift_threshold
     }
 
     /// Rebuilds the synopsis (model selection + histograms) from the
@@ -199,6 +225,18 @@ impl SelectivityEstimator for MaintainedDbHistogram {
 
     fn query_trace(&self) -> Option<crate::plan::QueryTrace> {
         self.synopsis.query_trace().into()
+    }
+
+    fn reset_trace(&self) {
+        self.synopsis.reset_query_trace();
+    }
+
+    fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
+        MaintainedDbHistogram::record_feedback(self, ranges, actual);
+    }
+
+    fn feedback_drift(&self) -> Option<f64> {
+        Some(MaintainedDbHistogram::feedback_drift(self))
     }
 }
 
@@ -311,6 +349,27 @@ mod tests {
         }
         let after = m.estimate(&[(0, 3, 3)]);
         assert!(after > before + 400.0, "stale cached marginal served after update: {after}");
+    }
+
+    #[test]
+    fn feedback_drift_triggers_rebuild() {
+        let rel = relation(4096);
+        let mut m = MaintainedDbHistogram::build(&rel, DbConfig::new(600)).unwrap();
+        assert!(m.feedback_drift().abs() < 1e-12);
+        assert!(!m.needs_rebuild(10.0, 0.5), "no trigger before any feedback");
+        // Executed queries report actuals 10x the estimates: relative
+        // error 0.9 per observation, well past the 0.5 threshold.
+        for i in 0..32u32 {
+            let q = [(0, i % 8, i % 8)];
+            let est = m.estimate(&q).max(1.0);
+            m.record_feedback(&q, est * 10.0);
+        }
+        assert!(m.feedback_drift() > 0.5, "drift gauge: {}", m.feedback_drift());
+        assert!(m.needs_rebuild(10.0, 0.5), "feedback drift must trip the trigger");
+        // Rebuilding installs a fresh monitor and clears the trigger.
+        m.rebuild(&rel).unwrap();
+        assert!(m.feedback_drift().abs() < 1e-12);
+        assert!(!m.needs_rebuild(10.0, 0.5));
     }
 
     #[test]

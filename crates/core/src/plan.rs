@@ -39,6 +39,8 @@ use dbhist_distribution::fxhash::FxHashMap;
 use dbhist_distribution::{AttrId, AttrSet};
 use dbhist_model::junction::{RootedJunctionTree, RootedViews};
 use dbhist_model::JunctionTree;
+use dbhist_telemetry::registry::Counter;
+use dbhist_telemetry::wellknown::wellknown;
 
 use crate::error::SynopsisError;
 use crate::factor::Factor;
@@ -103,6 +105,123 @@ impl QueryTrace {
         self.plan_cache_misses += other.plan_cache_misses;
         self.marginal_cache_hits += other.marginal_cache_hits;
         self.marginal_cache_misses += other.marginal_cache_misses;
+    }
+}
+
+fn to_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+fn to_usize(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// The engine's cumulative counters, one lock-free
+/// [`Counter`] per [`QueryTrace`] field. Executors still fill a local
+/// `QueryTrace` (exact, single-threaded accounting); the engine absorbs
+/// it here with relaxed `fetch_add`s, so concurrent queries never
+/// serialize on a trace mutex. When global telemetry is enabled
+/// ([`dbhist_telemetry::set_enabled`]), every absorbed delta is mirrored
+/// into the process-wide `dbhist_query_*` metrics as well.
+#[derive(Debug, Default)]
+struct EngineMetrics {
+    products: Counter,
+    projections: Counter,
+    identity_projections: Counter,
+    sheds: Counter,
+    sheds_skipped: Counter,
+    clique_loads: Counter,
+    factor_clones: Counter,
+    plan_cache_hits: Counter,
+    plan_cache_misses: Counter,
+    marginal_cache_hits: Counter,
+    marginal_cache_misses: Counter,
+}
+
+impl EngineMetrics {
+    /// Adds a per-call trace into the cumulative counters (and mirrors it
+    /// globally when telemetry is on).
+    fn absorb(&self, t: &QueryTrace) {
+        self.products.add(to_u64(t.products));
+        self.projections.add(to_u64(t.projections));
+        self.identity_projections.add(to_u64(t.identity_projections));
+        self.sheds.add(to_u64(t.sheds));
+        self.sheds_skipped.add(to_u64(t.sheds_skipped));
+        self.clique_loads.add(to_u64(t.clique_loads));
+        self.factor_clones.add(to_u64(t.factor_clones));
+        self.plan_cache_hits.add(to_u64(t.plan_cache_hits));
+        self.plan_cache_misses.add(to_u64(t.plan_cache_misses));
+        self.marginal_cache_hits.add(to_u64(t.marginal_cache_hits));
+        self.marginal_cache_misses.add(to_u64(t.marginal_cache_misses));
+        if dbhist_telemetry::enabled() {
+            let w = wellknown();
+            w.query_products.add(to_u64(t.products));
+            w.query_projections.add(to_u64(t.projections));
+            w.query_identity_projections.add(to_u64(t.identity_projections));
+            w.query_sheds.add(to_u64(t.sheds));
+            w.query_sheds_skipped.add(to_u64(t.sheds_skipped));
+            w.query_clique_loads.add(to_u64(t.clique_loads));
+            w.query_factor_clones.add(to_u64(t.factor_clones));
+            w.query_plan_cache_hits.add(to_u64(t.plan_cache_hits));
+            w.query_plan_cache_misses.add(to_u64(t.plan_cache_misses));
+            // Every plan-cache miss compiles exactly one plan.
+            w.query_plans_compiled.add(to_u64(t.plan_cache_misses));
+            w.query_marginal_cache_hits.add(to_u64(t.marginal_cache_hits));
+            w.query_marginal_cache_misses.add(to_u64(t.marginal_cache_misses));
+        }
+    }
+
+    /// Reads the counters into a [`QueryTrace`] value. Non-destructive:
+    /// reading never changes the counters. Each field is individually
+    /// exact; under concurrent absorption the fields may reflect
+    /// different instants (no global atomic cut).
+    fn snapshot(&self) -> QueryTrace {
+        QueryTrace {
+            products: to_usize(self.products.value()),
+            projections: to_usize(self.projections.value()),
+            identity_projections: to_usize(self.identity_projections.value()),
+            sheds: to_usize(self.sheds.value()),
+            sheds_skipped: to_usize(self.sheds_skipped.value()),
+            clique_loads: to_usize(self.clique_loads.value()),
+            factor_clones: to_usize(self.factor_clones.value()),
+            plan_cache_hits: to_usize(self.plan_cache_hits.value()),
+            plan_cache_misses: to_usize(self.plan_cache_misses.value()),
+            marginal_cache_hits: to_usize(self.marginal_cache_hits.value()),
+            marginal_cache_misses: to_usize(self.marginal_cache_misses.value()),
+        }
+    }
+
+    fn reset(&self) {
+        self.products.reset();
+        self.projections.reset();
+        self.identity_projections.reset();
+        self.sheds.reset();
+        self.sheds_skipped.reset();
+        self.clique_loads.reset();
+        self.factor_clones.reset();
+        self.plan_cache_hits.reset();
+        self.plan_cache_misses.reset();
+        self.marginal_cache_hits.reset();
+        self.marginal_cache_misses.reset();
+    }
+}
+
+impl Clone for EngineMetrics {
+    fn clone(&self) -> Self {
+        let fresh = Self::default();
+        let snap = self.snapshot();
+        fresh.products.add(to_u64(snap.products));
+        fresh.projections.add(to_u64(snap.projections));
+        fresh.identity_projections.add(to_u64(snap.identity_projections));
+        fresh.sheds.add(to_u64(snap.sheds));
+        fresh.sheds_skipped.add(to_u64(snap.sheds_skipped));
+        fresh.clique_loads.add(to_u64(snap.clique_loads));
+        fresh.factor_clones.add(to_u64(snap.factor_clones));
+        fresh.plan_cache_hits.add(to_u64(snap.plan_cache_hits));
+        fresh.plan_cache_misses.add(to_u64(snap.plan_cache_misses));
+        fresh.marginal_cache_hits.add(to_u64(snap.marginal_cache_hits));
+        fresh.marginal_cache_misses.add(to_u64(snap.marginal_cache_misses));
+        fresh
     }
 }
 
@@ -358,6 +477,7 @@ pub fn execute_marginal<'a, F: Factor>(
     factors: &'a [F],
     trace: &mut QueryTrace,
 ) -> Result<Cow<'a, F>, SynopsisError> {
+    let _span = dbhist_telemetry::span!("dbhist_query_plan_exec_latency_ns");
     let mut stack: Vec<Cow<'a, F>> = Vec::new();
     for step in plan.steps() {
         match step {
@@ -617,7 +737,7 @@ pub struct QueryEngine<F: Factor> {
     views: RootedViews,
     plans: Mutex<LruCache<PlanKey, CachedPlan>>,
     marginals: Mutex<Option<LruCache<PlanKey, F>>>,
-    trace: Mutex<QueryTrace>,
+    metrics: EngineMetrics,
 }
 
 impl<F: Factor> Clone for QueryEngine<F> {
@@ -626,7 +746,7 @@ impl<F: Factor> Clone for QueryEngine<F> {
             views: self.views.clone(),
             plans: Mutex::new(lock(&self.plans).clone()),
             marginals: Mutex::new(lock(&self.marginals).clone()),
-            trace: Mutex::new(*lock(&self.trace)),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -647,7 +767,7 @@ impl<F: Factor> QueryEngine<F> {
             views: tree.rooted_views(),
             plans: Mutex::new(LruCache::new(capacity)),
             marginals: Mutex::new(None),
-            trace: Mutex::new(QueryTrace::default()),
+            metrics: EngineMetrics::default(),
         }
     }
 
@@ -678,14 +798,22 @@ impl<F: Factor> QueryEngine<F> {
     }
 
     /// A snapshot of the cumulative operation counters.
+    ///
+    /// Reading is **non-destructive** — the counters keep accumulating
+    /// across calls until [`QueryEngine::reset_trace`] zeroes them — and
+    /// lock-free: counters are relaxed atomics, so a snapshot taken under
+    /// concurrent queries has each field individually exact but no global
+    /// atomic cut across fields.
     #[must_use]
     pub fn trace(&self) -> QueryTrace {
-        *lock(&self.trace)
+        self.metrics.snapshot()
     }
 
-    /// Resets the cumulative counters to zero.
+    /// Resets the cumulative counters to zero. Only this engine's local
+    /// counters are affected; the process-wide telemetry registry (when
+    /// enabled) stays cumulative.
     pub fn reset_trace(&self) {
-        *lock(&self.trace) = QueryTrace::default();
+        self.metrics.reset();
     }
 
     /// Fetches (or compiles and caches) the plan for `target`.
@@ -697,12 +825,16 @@ impl<F: Factor> QueryEngine<F> {
         trace: &mut QueryTrace,
     ) -> Result<CachedPlan, SynopsisError> {
         let key = PlanKey { attrs: target.clone(), loose };
-        if let Some(hit) = lock(&self.plans).get(&key) {
-            trace.plan_cache_hits += 1;
-            return Ok(hit.clone());
+        {
+            let _lookup = dbhist_telemetry::span!("dbhist_query_plan_cache_lookup_latency_ns");
+            if let Some(hit) = lock(&self.plans).get(&key) {
+                trace.plan_cache_hits += 1;
+                return Ok(hit.clone());
+            }
         }
         // Compile outside the lock: compilation is read-only over the
         // tree, so a racing duplicate compile is benign.
+        let _compile = dbhist_telemetry::span!("dbhist_query_plan_compile_latency_ns");
         let compiled = if loose {
             CachedPlan::Mass(Arc::new(MassPlan::compile(tree, &self.views, target)?))
         } else {
@@ -730,7 +862,7 @@ impl<F: Factor> QueryEngine<F> {
         let key = PlanKey { attrs: target.clone(), loose: false };
         if let Some(cached) = lock(&self.marginals).as_mut().and_then(|c| c.get(&key).cloned()) {
             t.marginal_cache_hits += 1;
-            lock(&self.trace).absorb(&t);
+            self.metrics.absorb(&t);
             return Ok(cached);
         }
         let result = (|| {
@@ -752,7 +884,7 @@ impl<F: Factor> QueryEngine<F> {
             }
             Ok(out)
         })();
-        lock(&self.trace).absorb(&t);
+        self.metrics.absorb(&t);
         result
     }
 
@@ -771,6 +903,13 @@ impl<F: Factor> QueryEngine<F> {
         target: &AttrSet,
         ranges: &[(AttrId, u32, u32)],
     ) -> Result<f64, SynopsisError> {
+        // Inert unless telemetry is on (or a span collector is
+        // installed): the registry's per-query latency histogram
+        // (`dbhist_query_estimate_latency_ns`) is fed by this guard.
+        let _span = dbhist_telemetry::span!("dbhist_query_estimate_latency_ns");
+        if dbhist_telemetry::enabled() {
+            wellknown().query_estimates.increment();
+        }
         let mut t = QueryTrace::default();
         let result = (|| {
             let CachedPlan::Mass(plan) = self.plan_for(tree, target, true, &mut t)? else {
@@ -814,7 +953,7 @@ impl<F: Factor> QueryEngine<F> {
             }
             Ok(mass)
         })();
-        lock(&self.trace).absorb(&t);
+        self.metrics.absorb(&t);
         result
     }
 }

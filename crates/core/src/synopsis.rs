@@ -20,12 +20,14 @@
 //! memoizes materialized group marginals. [`DbHistogram::query_trace`]
 //! exposes the engine's cumulative operation counters.
 
-use std::time::Instant;
+use std::time::Duration;
 
 use dbhist_distribution::{AttrId, AttrSet, Distribution, Relation};
 use dbhist_histogram::{GridHistogram, SplitCriterion, SplitTree};
 use dbhist_model::selection::{ForwardSelector, SelectionConfig, SelectionResult};
 use dbhist_model::DecomposableModel;
+use dbhist_telemetry::span::SpanRecord;
+use dbhist_telemetry::{DriftMonitor, SpanCollector};
 use rayon::prelude::*;
 
 use crate::alloc::{
@@ -77,6 +79,9 @@ impl DbConfig {
     }
 }
 
+/// Rolling-window length for per-clique feedback-drift statistics.
+pub const DRIFT_WINDOW: usize = dbhist_telemetry::drift::DEFAULT_WINDOW;
+
 /// A DEPENDENCY-BASED histogram synopsis `H = <M, C>`.
 #[derive(Debug, Clone)]
 pub struct DbHistogram<F: Factor> {
@@ -86,6 +91,7 @@ pub struct DbHistogram<F: Factor> {
     name: String,
     engine: QueryEngine<F>,
     trace: BuildTrace,
+    drift: DriftMonitor,
 }
 
 impl<F: Factor> DbHistogram<F> {
@@ -125,6 +131,10 @@ impl<F: Factor> DbHistogram<F> {
     }
 
     /// Snapshot of the engine's cumulative operation and cache counters.
+    ///
+    /// Non-destructive and lock-free: the engine's counters keep
+    /// accumulating across calls until [`DbHistogram::reset_query_trace`]
+    /// zeroes them.
     #[must_use]
     pub fn query_trace(&self) -> QueryTrace {
         self.engine.trace()
@@ -178,6 +188,44 @@ impl<F: Factor> DbHistogram<F> {
         self.engine.estimate_mass(self.model.junction_tree(), &self.factors, &attrs, ranges)
     }
 
+    /// Feeds an observed cardinality back into the synopsis's
+    /// accuracy-drift monitor: the query is re-estimated, the absolute
+    /// relative error `|estimate − actual| / actual` is computed (via
+    /// [`dbhist_data::metrics::relative_error`]), and the observation is
+    /// attributed to every model clique the query's attributes touch.
+    ///
+    /// Non-positive or non-finite `actual` values are ignored (relative
+    /// error is undefined at zero), as are queries the synopsis cannot
+    /// estimate.
+    pub fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
+        if actual <= 0.0 || !actual.is_finite() {
+            return;
+        }
+        let Ok(est) = self.try_estimate(ranges) else { return };
+        let err = dbhist_data::metrics::relative_error(est, actual);
+        let attrs = AttrSet::from_ids(
+            ranges
+                .iter()
+                .map(|&(a, _, _)| a)
+                .filter(|&a| usize::from(a) < self.model.schema().arity()),
+        );
+        for (i, clique) in self.model.cliques().iter().enumerate() {
+            if !attrs.is_empty() && !clique.is_disjoint(&attrs) {
+                self.drift.record(i, err);
+            }
+        }
+        if dbhist_telemetry::enabled() {
+            dbhist_telemetry::wellknown::wellknown().estimator_feedback.increment();
+        }
+    }
+
+    /// The per-clique accuracy-drift monitor fed by
+    /// [`DbHistogram::record_feedback`].
+    #[must_use]
+    pub fn drift_monitor(&self) -> &DriftMonitor {
+        &self.drift
+    }
+
     fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
     }
@@ -207,8 +255,20 @@ impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
         Some(self.engine.trace())
     }
 
+    fn reset_trace(&self) {
+        self.reset_query_trace();
+    }
+
     fn build_trace(&self) -> Option<BuildTrace> {
         Some(self.trace.clone())
+    }
+
+    fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
+        DbHistogram::record_feedback(self, ranges, actual);
+    }
+
+    fn feedback_drift(&self) -> Option<f64> {
+        Some(self.drift.max_drift())
     }
 }
 
@@ -260,18 +320,30 @@ where
     F: Factor + Send,
 {
     config.selection.validate()?;
-    let t_total = Instant::now();
-    let selection = ForwardSelector::new(relation, config.selection).run();
-    let selection_time = t_total.elapsed();
+    // Phase wall times are derived from the span stream rather than
+    // hand-threaded `Instant` pairs: a thread-local collector captures
+    // every span this thread emits, and the `BuildTrace` is assembled
+    // from the records afterwards.
+    let collector = SpanCollector::install();
+    let selection = {
+        let _span = dbhist_telemetry::span!("dbhist_build_selection_latency_us");
+        ForwardSelector::new(relation, config.selection).run()
+    };
+    let selection_time = span_total(&collector.finish(), "dbhist_build_selection_latency_us");
     let mut synopsis = build_for_model(relation, selection.model.clone(), config, start)?;
     let mut trace = synopsis.build_trace();
     trace.selection = selection_time;
-    trace.total = t_total.elapsed();
+    trace.total = selection_time + trace.total;
     trace.selection_steps = selection.steps.len();
     trace.peak_candidates = selection.peak_candidates;
     trace.entropy_computations = selection.entropy_computations;
     synopsis.set_trace(trace);
     Ok((synopsis, selection))
+}
+
+/// Sums the durations of every collected span named `name`.
+fn span_total(records: &[SpanRecord], name: &str) -> Duration {
+    records.iter().filter(|r| r.name == name).map(|r| r.duration).sum()
 }
 
 /// Builds the clique-histogram collection for an already-selected model.
@@ -286,37 +358,54 @@ where
     F: Factor + Send,
 {
     let threads = config.selection.threads.max(1);
-    let t_construction = Instant::now();
-    let mut builders: Vec<B> = start_builders(relation, &model, threads, &start)?;
-    let construction = t_construction.elapsed();
+    let collector = SpanCollector::install();
 
-    let t_allocation = Instant::now();
-    let splits_funded = match config.allocation {
-        AllocationStrategy::IncrementalGains => {
-            incremental_gains_parallel(&mut builders, config.budget_bytes, threads)?.splits
-        }
-        AllocationStrategy::OptimalDp => {
-            // Measuring the error curves drives the builders to
-            // saturation; fresh builders are created below for the
-            // actual allocation.
-            let curves = error_curves_parallel(&mut builders, config.budget_bytes, threads);
-            builders = start_builders(relation, &model, threads, &start)?;
-            let picks = optimal_dp(&curves, config.budget_bytes)?;
-            apply_allocation_parallel(&mut builders, &picks, threads);
-            picks.iter().map(|p| p.buckets.saturating_sub(1)).sum()
+    let mut builders: Vec<B> = {
+        let _span = dbhist_telemetry::span!("dbhist_build_construction_latency_us");
+        start_builders(relation, &model, threads, &start)?
+    };
+
+    let splits_funded = {
+        let _span = dbhist_telemetry::span!("dbhist_build_allocation_latency_us");
+        match config.allocation {
+            AllocationStrategy::IncrementalGains => {
+                incremental_gains_parallel(&mut builders, config.budget_bytes, threads)?.splits
+            }
+            AllocationStrategy::OptimalDp => {
+                // Measuring the error curves drives the builders to
+                // saturation; fresh builders are created below for the
+                // actual allocation.
+                let curves = error_curves_parallel(&mut builders, config.budget_bytes, threads);
+                builders = start_builders(relation, &model, threads, &start)?;
+                let picks = optimal_dp(&curves, config.budget_bytes)?;
+                apply_allocation_parallel(&mut builders, &picks, threads);
+                picks.iter().map(|p| p.buckets.saturating_sub(1)).sum()
+            }
         }
     };
-    let allocation = t_allocation.elapsed();
 
-    let t_assembly = Instant::now();
-    let bytes = builders.iter().map(IncrementalBuilder::storage_bytes).sum();
-    let factors: Vec<F> = if threads <= 1 || builders.len() <= 1 {
-        builders.iter().map(IncrementalBuilder::finish).collect()
-    } else {
-        with_pool(threads, || builders.par_iter().map(IncrementalBuilder::finish).collect())
+    let (bytes, factors, engine): (usize, Vec<F>, QueryEngine<F>) = {
+        let _span = dbhist_telemetry::span!("dbhist_build_assembly_latency_us");
+        let bytes = builders.iter().map(IncrementalBuilder::storage_bytes).sum();
+        let factors: Vec<F> = if threads <= 1 || builders.len() <= 1 {
+            builders.iter().map(IncrementalBuilder::finish).collect()
+        } else {
+            with_pool(threads, || builders.par_iter().map(IncrementalBuilder::finish).collect())
+        };
+        let engine = QueryEngine::new(model.junction_tree());
+        (bytes, factors, engine)
     };
-    let engine = QueryEngine::new(model.junction_tree());
-    let assembly = t_assembly.elapsed();
+
+    let records = collector.finish();
+    let construction = span_total(&records, "dbhist_build_construction_latency_us");
+    let allocation = span_total(&records, "dbhist_build_allocation_latency_us");
+    let assembly = span_total(&records, "dbhist_build_assembly_latency_us");
+
+    if dbhist_telemetry::enabled() {
+        let w = dbhist_telemetry::wellknown::wellknown();
+        w.build_builds.increment();
+        w.build_splits_funded.add(u64::try_from(splits_funded).unwrap_or(u64::MAX));
+    }
 
     let trace = BuildTrace {
         threads,
@@ -328,7 +417,8 @@ where
         splits_funded,
         ..BuildTrace::default()
     };
-    Ok(DbHistogram { model, factors, bytes, name: "DB".into(), engine, trace })
+    let drift = DriftMonitor::new(model.cliques().len(), DRIFT_WINDOW);
+    Ok(DbHistogram { model, factors, bytes, name: "DB".into(), engine, trace, drift })
 }
 
 /// Non-deprecated internal entry for MHIST synopses; the deprecated
@@ -460,6 +550,7 @@ impl DbHistogram<ExactFactor> {
         // plus 4 per frequency (informational only; Fig. 6 ignores space).
         let bytes = factors.iter().map(|f| f.0.support_size() * 4 * (f.0.attrs().len() + 1)).sum();
         let engine = QueryEngine::new(model.junction_tree());
+        let drift = DriftMonitor::new(model.cliques().len(), DRIFT_WINDOW);
         Ok(DbHistogram {
             model,
             factors,
@@ -467,6 +558,7 @@ impl DbHistogram<ExactFactor> {
             name: "DB-exact".into(),
             engine,
             trace: BuildTrace::default(),
+            drift,
         })
     }
 }

@@ -22,13 +22,14 @@ pub struct EntropyCache<'a> {
     relation: &'a Relation,
     entropies: FxHashMap<AttrSet, f64>,
     computed: usize,
+    hits: usize,
 }
 
 impl<'a> EntropyCache<'a> {
     /// Creates an empty cache over `relation`.
     #[must_use]
     pub fn new(relation: &'a Relation) -> Self {
-        Self { relation, entropies: FxHashMap::default(), computed: 0 }
+        Self { relation, entropies: FxHashMap::default(), computed: 0, hits: 0 }
     }
 
     /// The relation the cache computes entropies from.
@@ -46,6 +47,7 @@ impl<'a> EntropyCache<'a> {
     /// schema (callers derive subsets from the same schema).
     pub fn entropy(&mut self, attrs: &AttrSet) -> f64 {
         if let Some(&h) = self.entropies.get(attrs) {
+            self.hits += 1;
             return h;
         }
         let h = if attrs.is_empty() {
@@ -64,6 +66,12 @@ impl<'a> EntropyCache<'a> {
     #[must_use]
     pub fn computations(&self) -> usize {
         self.computed
+    }
+
+    /// Number of [`EntropyCache::entropy`] calls answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
     }
 
     /// Number of cached subsets.
@@ -95,6 +103,7 @@ pub struct SyncEntropyCache<'a> {
     relation: &'a Relation,
     entropies: RwLock<FxHashMap<AttrSet, f64>>,
     computed: AtomicUsize,
+    hits: AtomicUsize,
 }
 
 fn read_entropies(
@@ -119,6 +128,7 @@ impl<'a> SyncEntropyCache<'a> {
             relation,
             entropies: RwLock::new(FxHashMap::default()),
             computed: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
         }
     }
 
@@ -133,6 +143,7 @@ impl<'a> SyncEntropyCache<'a> {
     /// threads at once.
     pub fn entropy(&self, attrs: &AttrSet) -> f64 {
         if let Some(&h) = read_entropies(&self.entropies).get(attrs) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return h;
         }
         // Compute outside any lock; a racing thread computes the same value.
@@ -173,6 +184,14 @@ impl<'a> SyncEntropyCache<'a> {
         self.computed.load(Ordering::Relaxed)
     }
 
+    /// Number of [`SyncEntropyCache::entropy`] calls answered from the
+    /// cache (pure read hits; [`SyncEntropyCache::contains`] probes are
+    /// not counted).
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
     /// Number of cached subsets.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -206,9 +225,11 @@ mod tests {
         let h2 = cache.entropy(&s);
         assert_eq!(h1, h2);
         assert_eq!(cache.computations(), 1);
+        assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
         cache.entropy(&AttrSet::singleton(2));
         assert_eq!(cache.computations(), 2);
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]
@@ -242,8 +263,10 @@ mod tests {
         assert!(shared.contains(&AttrSet::from_ids([0, 1])));
         assert!(!shared.contains(&AttrSet::singleton(0)));
         // Re-reads hit the cache.
+        let hits_before = shared.hits();
         shared.entropy(&AttrSet::from_ids([0, 1]));
         assert_eq!(shared.computations(), serial.computations());
+        assert_eq!(shared.hits(), hits_before + 1);
         // Prewarm path: compute + insert, then entropy() is a pure read.
         let s = AttrSet::from_ids([1, 2]);
         let h = shared.compute(&s);

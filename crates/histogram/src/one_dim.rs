@@ -45,6 +45,13 @@ pub struct OneDimHistogram {
     total: f64,
 }
 
+impl Default for OneDimHistogram {
+    /// An empty histogram over attribute `0`: no buckets, zero mass.
+    fn default() -> Self {
+        Self { attr: 0, buckets: Vec::new(), total: 0.0 }
+    }
+}
+
 impl OneDimHistogram {
     /// Builds a histogram with at most `max_buckets` buckets over the
     /// marginal of `attr` within `dist`, using `criterion` to place
@@ -139,6 +146,70 @@ impl OneDimHistogram {
         }
         let total = out.iter().map(|b| b.freq).sum();
         Ok(Self { attr, buckets: out, total })
+    }
+
+    /// Assembles a histogram directly from pre-computed buckets, without
+    /// consulting a [`Distribution`]. Buckets must be in ascending value
+    /// order, pairwise disjoint, with `lo <= hi` and finite non-negative
+    /// frequencies.
+    ///
+    /// This is the entry point for callers that bucketize a stream
+    /// themselves — notably the telemetry crate's latency histograms,
+    /// which reuse this type (and [`OneDimHistogram::percentile`]) as
+    /// their snapshot representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError::InvalidRequest`] if the buckets are
+    /// unsorted, overlapping, inverted, or carry non-finite or negative
+    /// frequencies.
+    pub fn from_buckets(attr: AttrId, buckets: Vec<Bucket1>) -> Result<Self, HistogramError> {
+        for b in &buckets {
+            if b.lo > b.hi {
+                return Err(HistogramError::InvalidRequest {
+                    reason: format!("inverted bucket [{}, {}]", b.lo, b.hi),
+                });
+            }
+            if !b.freq.is_finite() || b.freq < 0.0 {
+                return Err(HistogramError::InvalidRequest {
+                    reason: format!("bucket frequency {} must be finite and >= 0", b.freq),
+                });
+            }
+        }
+        for w in buckets.windows(2) {
+            if w[1].lo <= w[0].hi {
+                return Err(HistogramError::InvalidRequest {
+                    reason: format!(
+                        "buckets must be sorted and disjoint: [{}, {}] then [{}, {}]",
+                        w[0].lo, w[0].hi, w[1].lo, w[1].hi
+                    ),
+                });
+            }
+        }
+        let total = buckets.iter().map(|b| b.freq).sum();
+        Ok(Self { attr, buckets, total })
+    }
+
+    /// The value below which `q` percent of the total mass falls, under
+    /// the same intra-bucket uniformity assumption as
+    /// [`OneDimHistogram::estimate_range`]. `None` when `q` is outside
+    /// `[0, 100]` or the histogram holds no mass.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=100.0).contains(&q) || self.total <= 0.0 {
+            return None;
+        }
+        let target = self.total * q / 100.0;
+        let mut acc = 0.0;
+        for b in &self.buckets {
+            if acc + b.freq >= target {
+                let need = (target - acc).max(0.0);
+                let fraction = if b.freq > 0.0 { need / b.freq } else { 0.0 };
+                return Some(f64::from(b.lo) + fraction * b.width() as f64);
+            }
+            acc += b.freq;
+        }
+        self.buckets.last().map(|b| f64::from(b.hi) + 1.0)
     }
 
     /// The attribute this histogram covers.

@@ -159,6 +159,7 @@ pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> Selec
         initial_divergence,
         steps,
         entropy_computations: cache.computations(),
+        entropy_cache_hits: cache.hits(),
         peak_candidates: 0,
     }
 }

@@ -36,6 +36,11 @@ use crate::graph::MarkovGraph;
 use crate::junction::JunctionTree;
 use crate::stats::SignificanceTest;
 
+/// Saturating widening for telemetry counter mirroring.
+fn to_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// Which edge-scoring heuristic drives the greedy choice (paper §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EdgeHeuristic {
@@ -190,6 +195,8 @@ pub struct SelectionResult {
     /// Number of marginal-entropy computations performed (cache misses) —
     /// the cost metric the paper's full version optimizes.
     pub entropy_computations: usize,
+    /// Number of entropy lookups answered from the memoization cache.
+    pub entropy_cache_hits: usize,
     /// Largest number of scored candidates seen in any single round
     /// (reported by `BuildTrace` as the selection phase's peak fan-out).
     pub peak_candidates: usize,
@@ -447,9 +454,15 @@ impl<'a> ForwardSelector<'a> {
     pub fn run(mut self) -> SelectionResult {
         let initial_divergence = self.divergence;
         let mut steps = Vec::new();
+        let mut rounds = 0usize;
         let max_edges = self.config.max_edges.unwrap_or(usize::MAX);
         while steps.len() < max_edges {
-            match self.step() {
+            let round = {
+                let _span = dbhist_telemetry::span!("dbhist_model_selection_round_latency_us");
+                self.step()
+            };
+            rounds += 1;
+            match round {
                 Some(step) => steps.push(step),
                 None => break,
             }
@@ -459,13 +472,21 @@ impl<'a> ForwardSelector<'a> {
             || DecomposableModel::independence(relation.schema().clone()),
             |s| s.model.clone(),
         );
-        SelectionResult {
+        let result = SelectionResult {
             model,
             initial_divergence,
             steps,
             entropy_computations: self.cache.computations(),
+            entropy_cache_hits: self.cache.hits(),
             peak_candidates: self.peak_candidates,
+        };
+        if dbhist_telemetry::enabled() {
+            let w = dbhist_telemetry::wellknown::wellknown();
+            w.build_selection_rounds.add(to_u64(rounds));
+            w.model_entropy_computations.add(to_u64(result.entropy_computations));
+            w.model_entropy_cache_hits.add(to_u64(result.entropy_cache_hits));
         }
+        result
     }
 }
 

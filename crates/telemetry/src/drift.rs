@@ -1,0 +1,225 @@
+//! Accuracy-drift monitoring from observed query cardinalities.
+//!
+//! A synopsis is built from a snapshot of the data; as the underlying
+//! table changes (or the build sample ages), its estimates *drift* from
+//! the truth. When the serving layer learns a query's actual cardinality
+//! (e.g. after executing it), it feeds
+//! `SelectivityEstimator::record_feedback` — which lands here as one
+//! absolute-relative-error observation attributed to the model cliques
+//! the query touched.
+//!
+//! [`DriftMonitor`] keeps a rolling window of recent errors per clique
+//! and publishes the window mean as a per-clique gauge
+//! (`dbhist_estimator_drift_ratio{clique="i"}`). Maintenance policies
+//! compare [`DriftMonitor::max_drift`] against a threshold to decide
+//! rebuilds — a *measured* trigger that complements churn-fraction
+//! heuristics.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::registry::{self, Gauge};
+
+/// Default rolling-window length per clique.
+pub const DEFAULT_WINDOW: usize = 64;
+
+#[derive(Debug)]
+struct CliqueDrift {
+    /// Recent absolute relative errors, oldest first.
+    errors: Mutex<VecDeque<f64>>,
+    /// This monitor's window mean (always maintained).
+    mean: Gauge,
+    /// Registry gauge `dbhist_estimator_drift_ratio{clique="i"}`,
+    /// mirrored from `mean` while global telemetry is enabled.
+    published: Arc<Gauge>,
+}
+
+fn lock(errors: &Mutex<VecDeque<f64>>) -> MutexGuard<'_, VecDeque<f64>> {
+    // A poisoned window only means another thread panicked mid-push; the
+    // deque is always structurally sound.
+    errors.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Rolling absolute-relative-error statistics per model clique.
+///
+/// The per-clique gauges live in the global registry keyed by clique
+/// *index*, so when several synopses coexist in one process the gauges
+/// reflect the most recently fed monitor; per-synopsis readings are
+/// always available through [`DriftMonitor::drift`] on the owning
+/// estimator.
+#[derive(Debug)]
+pub struct DriftMonitor {
+    window: usize,
+    cliques: Vec<CliqueDrift>,
+    observed: AtomicU64,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor for `n_cliques` cliques with the given rolling
+    /// window length (clamped to at least 1).
+    #[must_use]
+    pub fn new(n_cliques: usize, window: usize) -> Self {
+        let window = window.max(1);
+        let cliques = (0..n_cliques)
+            .map(|i| CliqueDrift {
+                errors: Mutex::new(VecDeque::with_capacity(window)),
+                mean: Gauge::default(),
+                published: registry::global()
+                    .gauge(&format!("dbhist_estimator_drift_ratio{{clique=\"{i}\"}}")),
+            })
+            .collect();
+        Self { window, cliques, observed: AtomicU64::new(0) }
+    }
+
+    /// Records one feedback observation for `clique` (out-of-range clique
+    /// indices are ignored). `abs_rel_error` is `|estimate − actual| /
+    /// actual`; negative inputs are folded to their absolute value.
+    pub fn record(&self, clique: usize, abs_rel_error: f64) {
+        let Some(c) = self.cliques.get(clique) else { return };
+        if !abs_rel_error.is_finite() {
+            return;
+        }
+        let mean = {
+            let mut errors = lock(&c.errors);
+            if errors.len() == self.window {
+                errors.pop_front();
+            }
+            errors.push_back(abs_rel_error.abs());
+            errors.iter().sum::<f64>() / errors.len() as f64
+        };
+        c.mean.set(mean);
+        if registry::enabled() {
+            c.published.set(mean);
+        }
+        self.observed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolling mean absolute relative error for `clique` (0.0 before any
+    /// feedback, or for an out-of-range index).
+    #[must_use]
+    pub fn drift(&self, clique: usize) -> f64 {
+        self.cliques.get(clique).map_or(0.0, |c| c.mean.value())
+    }
+
+    /// The worst per-clique drift — the value maintenance policies
+    /// threshold on.
+    #[must_use]
+    pub fn max_drift(&self) -> f64 {
+        self.cliques.iter().map(|c| c.mean.value()).fold(0.0, f64::max)
+    }
+
+    /// Total feedback observations recorded into this monitor.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// Number of cliques tracked.
+    #[must_use]
+    pub fn n_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Rolling window length.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Clears every window and zeroes the gauges (e.g. right after a
+    /// rebuild, when accumulated drift no longer describes the new
+    /// synopsis).
+    pub fn reset(&self) {
+        for c in &self.cliques {
+            lock(&c.errors).clear();
+            c.mean.set(0.0);
+            if registry::enabled() {
+                c.published.set(0.0);
+            }
+        }
+        self.observed.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for DriftMonitor {
+    /// Clones the windows and local means; the registry-published gauges
+    /// are shared (they are keyed by clique index in the global
+    /// registry).
+    fn clone(&self) -> Self {
+        Self {
+            window: self.window,
+            cliques: self
+                .cliques
+                .iter()
+                .map(|c| {
+                    let mean = Gauge::default();
+                    mean.set(c.mean.value());
+                    CliqueDrift {
+                        errors: Mutex::new(lock(&c.errors).clone()),
+                        mean,
+                        published: Arc::clone(&c.published),
+                    }
+                })
+                .collect(),
+            observed: AtomicU64::new(self.observed.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_mean_tracks_window() {
+        let m = DriftMonitor::new(2, 4);
+        for _ in 0..4 {
+            m.record(0, 1.0);
+        }
+        assert!((m.drift(0) - 1.0).abs() < 1e-12);
+        // Four more small errors push the large ones out of the window.
+        for _ in 0..4 {
+            m.record(0, 0.1);
+        }
+        assert!((m.drift(0) - 0.1).abs() < 1e-12);
+        assert!(m.drift(1).abs() < 1e-12, "untouched clique stays at zero");
+        assert_eq!(m.observations(), 8);
+        assert!((m.max_drift() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_garbage() {
+        let m = DriftMonitor::new(1, 8);
+        m.record(5, 1.0); // out of range
+        m.record(0, f64::NAN);
+        m.record(0, f64::INFINITY);
+        assert_eq!(m.observations(), 0);
+        m.record(0, -0.5); // folded to |.|
+        assert!((m.drift(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = DriftMonitor::new(1, 8);
+        m.record(0, 2.0);
+        assert!(m.max_drift() > 1.0);
+        m.reset();
+        assert!(m.max_drift().abs() < 1e-12);
+        assert_eq!(m.observations(), 0);
+    }
+
+    #[test]
+    fn clone_shares_gauges_but_not_windows() {
+        let m = DriftMonitor::new(1, 4);
+        m.record(0, 1.0);
+        let c = m.clone();
+        assert!((c.drift(0) - 1.0).abs() < 1e-12);
+        c.record(0, 0.0);
+        // The clone's window diverges; the original's local mean is
+        // untouched.
+        assert!((c.drift(0) - 0.5).abs() < 1e-12);
+        assert!((m.drift(0) - 1.0).abs() < 1e-12);
+        assert_eq!(m.observations(), 1, "original's observation count unchanged");
+    }
+}

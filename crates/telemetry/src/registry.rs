@@ -1,0 +1,617 @@
+//! Lock-free metric primitives and the process-wide registry.
+//!
+//! Recording a metric is wait-free: counters and gauges are single
+//! `AtomicU64` cells, and [`LatencyHistogram`] is a fixed array of atomic
+//! buckets indexed by a pure function of the recorded value — no CAS
+//! loops, no locks, `Relaxed` ordering throughout. The registry's mutex
+//! guards only registration (name → handle lookup) and snapshotting;
+//! callers keep `Arc` handles and never touch the map on hot paths.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use dbhist_histogram::one_dim::Bucket1;
+use dbhist_histogram::OneDimHistogram;
+
+/// A monotonically increasing counter (`*_total` metrics).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn increment(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero. Intended for tests and benchmark harnesses;
+    /// production counters are cumulative by convention.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as its bit pattern in an
+/// `AtomicU64`, so reads and writes stay lock-free).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge. A default-initialized gauge reads `0.0`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Default grouping power `b` for registry-created histograms: values are
+/// exact below `2^5 = 32` and bucketed with at most `2^-5 ≈ 3%` relative
+/// error above.
+pub const DEFAULT_GROUPING_POWER: u32 = 5;
+
+/// Histograms cover `[0, 2^MAX_VALUE_POWER)`; recorded values saturate at
+/// the top. `u32::MAX` nanoseconds ≈ 4.3 s, ample for per-query latencies
+/// (longer build phases record microseconds).
+const MAX_VALUE_POWER: u32 = 32;
+
+/// A wait-free latency histogram in the metriken/rustcommon style.
+///
+/// Values below `2^b` (the *grouping power*) land in exact unit-width
+/// buckets; each power-of-two region `[2^h, 2^{h+1})` above is divided
+/// into `2^b` equal sub-buckets, bounding the relative quantization error
+/// by `2^-b` while keeping the bucket count logarithmic in the value
+/// range. Recording is one `fetch_add` on the indexed bucket plus two for
+/// the running count/sum — no locks, no allocation.
+///
+/// Snapshots materialize the non-empty buckets as the repo's own
+/// [`OneDimHistogram`], so percentile queries reuse the same
+/// intra-bucket-uniformity estimator the synopsis engine itself is built
+/// on.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    grouping_power: u32,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_GROUPING_POWER)
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with grouping power `b` (clamped to
+    /// `[1, 31]`): relative quantization error at most `2^-b`, bucket
+    /// count `(32 - b + 1) * 2^b`.
+    #[must_use]
+    pub fn new(grouping_power: u32) -> Self {
+        let b = grouping_power.clamp(1, MAX_VALUE_POWER - 1);
+        let blocks = u64::from(MAX_VALUE_POWER - b + 1);
+        let len = usize::try_from(blocks << b).unwrap_or(usize::MAX);
+        let mut buckets = Vec::with_capacity(len);
+        buckets.resize_with(len, AtomicU64::default);
+        Self {
+            grouping_power: b,
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The grouping power `b` this histogram was created with.
+    #[must_use]
+    pub fn grouping_power(&self) -> u32 {
+        self.grouping_power
+    }
+
+    /// Records one observation (saturating at `u32::MAX`). Wait-free.
+    pub fn record(&self, value: u64) {
+        let idx = self.index_of(value);
+        if let Some(slot) = self.buckets.get(idx) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Bucket index for `value`.
+    fn index_of(&self, value: u64) -> usize {
+        let v = value.min(u64::from(u32::MAX));
+        let b = self.grouping_power;
+        if v < (1u64 << b) {
+            usize::try_from(v).unwrap_or(usize::MAX)
+        } else {
+            // v >= 2^b >= 2, so h = floor(log2 v) >= b >= 1.
+            let h = 63 - v.leading_zeros();
+            let block = u64::from(h - b + 1);
+            let offset = (v - (1u64 << h)) >> (h - b);
+            usize::try_from((block << b) + offset).unwrap_or(usize::MAX)
+        }
+    }
+
+    /// Inclusive `[lo, hi]` value bounds of bucket `index`.
+    fn bounds_of(&self, index: usize) -> (u32, u32) {
+        let b = self.grouping_power;
+        let i = index as u64;
+        if i < (1u64 << b) {
+            let v = u32::try_from(i).unwrap_or(u32::MAX);
+            (v, v)
+        } else {
+            let block = u32::try_from(i >> b).unwrap_or(u32::MAX);
+            let offset = i & ((1u64 << b) - 1);
+            let h = block + b - 1;
+            let width = 1u64 << (h - b);
+            let lo = (1u64 << h) + offset * width;
+            let hi = lo + width - 1;
+            (
+                u32::try_from(lo).unwrap_or(u32::MAX),
+                u32::try_from(hi.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
+            )
+        }
+    }
+
+    /// A consistent-enough point-in-time view. Buckets are read with
+    /// `Relaxed` loads while writers may be recording concurrently, so
+    /// the snapshot can lag individual writers, but it never panics, and
+    /// the materialized buckets are always sorted and disjoint.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out: Vec<Bucket1> = Vec::new();
+        for (i, slot) in self.buckets.iter().enumerate() {
+            let n = slot.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            let (lo, hi) = self.bounds_of(i);
+            out.push(Bucket1 { lo, hi, freq: n as f64 });
+        }
+        // Bucket bounds are monotone in the index, so assembly cannot
+        // fail; the empty histogram is the safe degenerate fallback.
+        let histogram = OneDimHistogram::from_buckets(0, out).unwrap_or_default();
+        HistogramSnapshot { count: self.count(), sum: self.sum(), histogram }
+    }
+
+    /// Zeroes every bucket and the running count/sum.
+    pub fn reset(&self) {
+        for slot in &*self.buckets {
+            slot.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of a [`LatencyHistogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Non-empty buckets, materialized as the repo's own one-dimensional
+    /// histogram type.
+    pub histogram: OneDimHistogram,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-th percentile (`0..=100`) of recorded values under
+    /// intra-bucket uniformity; `None` when empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        self.histogram.percentile(q)
+    }
+
+    /// Mean recorded value; `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// A live metric handle, as stored in the registry.
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+/// The value of one metric in a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram reading.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric in a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Full metric name, including any `{label="value"}` suffix.
+    pub name: String,
+    /// Reading at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time view of every registered metric, name-sorted.
+/// Produced by [`Registry::snapshot`]; rendered by [`crate::export`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All metrics, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// The reading for `name`, if registered.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|m| m.name == name).map(|m| &m.value)
+    }
+
+    /// Counter reading for `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(&MetricValue::Counter(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading for `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(&MetricValue::Gauge(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Histogram reading for `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// Name → metric map. Registration and snapshotting lock the map;
+/// recording through the returned `Arc` handles never does.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Handle>>,
+}
+
+impl Registry {
+    /// A poisoned registry lock only means another thread panicked while
+    /// holding it; the map itself is always consistent.
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Handle>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Re-registering a name under a different metric kind replaces
+    /// the old handle (the naming lint keeps kinds unambiguous in
+    /// practice).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        if let Some(Handle::Counter(c)) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Handle::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        if let Some(Handle::Gauge(g)) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), Handle::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Returns the latency histogram registered under `name`, creating it
+    /// (with [`DEFAULT_GROUPING_POWER`]) on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut map = self.lock();
+        if let Some(Handle::Histogram(h)) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(LatencyHistogram::default());
+        map.insert(name.to_string(), Handle::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Reads every registered metric. Concurrent writers may land between
+    /// individual reads (the snapshot is not a global atomic cut), but
+    /// snapshotting never blocks recording and never panics.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.lock();
+        let metrics = map
+            .iter()
+            .map(|(name, handle)| MetricSnapshot {
+                name: name.clone(),
+                value: match handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.value()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.value()),
+                    Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+
+    /// Zeroes every registered metric (handles stay valid). For tests and
+    /// benchmark harnesses that need a clean baseline.
+    pub fn reset(&self) {
+        let map = self.lock();
+        for handle in map.values() {
+            match handle {
+                Handle::Counter(c) => c.reset(),
+                Handle::Gauge(g) => g.reset(),
+                Handle::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+/// Master switch for *global* telemetry: span guards and the engine's
+/// global metric mirroring are inert unless enabled. Local accounting
+/// (per-engine `QueryTrace`, `BuildTrace`, drift gauges) works
+/// regardless, so estimator behaviour is bit-identical either way.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns global telemetry recording on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when global telemetry recording is on.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every `dbhist_*` metric registers into.
+#[must_use]
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::default)
+}
+
+/// Snapshot of the process-wide registry.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::default();
+        let c = r.counter("dbhist_test_counter_total");
+        c.increment();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+        let g = r.gauge("dbhist_test_gauge_ratio");
+        assert!(g.value().abs() < f64::EPSILON);
+        g.set(0.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("dbhist_test_counter_total"), Some(42));
+        assert!((snap.gauge("dbhist_test_gauge_ratio").unwrap_or(0.0) - 0.5).abs() < 1e-12);
+        r.reset();
+        assert_eq!(r.snapshot().counter("dbhist_test_counter_total"), Some(0));
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::default();
+        let a = r.counter("dbhist_test_idem_total");
+        let b = r.counter("dbhist_test_idem_total");
+        a.increment();
+        b.increment();
+        assert_eq!(a.value(), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn histogram_exact_below_grouping_power() {
+        let h = LatencyHistogram::new(5);
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 32);
+        assert_eq!(snap.sum, (0..32u64).sum::<u64>());
+        assert_eq!(snap.histogram.bucket_count(), 32);
+        for b in snap.histogram.buckets() {
+            assert_eq!(b.lo, b.hi, "unit-width below 2^b");
+        }
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded() {
+        let h = LatencyHistogram::new(5);
+        for v in [100u64, 1_000, 10_000, 1_000_000, 4_000_000_000] {
+            h.record(v);
+            let idx = h.index_of(v);
+            let (lo, hi) = h.bounds_of(idx);
+            assert!(u64::from(lo) <= v && v <= u64::from(hi), "{v} not in [{lo}, {hi}]");
+            let width = u64::from(hi) - u64::from(lo) + 1;
+            assert!((width as f64) <= (v as f64) / 16.0, "width {width} too wide for {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_saturates_at_u32_max() {
+        let h = LatencyHistogram::new(5);
+        h.record(u64::MAX);
+        h.record(u64::from(u32::MAX));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.histogram.bucket_count(), 1, "both land in the top bucket");
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_tile() {
+        for power in [1u32, 2, 5, 7] {
+            let h = LatencyHistogram::new(power);
+            let mut prev_hi: Option<u32> = None;
+            for i in 0..h.buckets.len() {
+                let (lo, hi) = h.bounds_of(i);
+                assert!(lo <= hi, "inverted bucket {i} at power {power}");
+                if let Some(p) = prev_hi {
+                    assert_eq!(lo, p.wrapping_add(1), "gap before bucket {i} at power {power}");
+                }
+                prev_hi = Some(hi);
+            }
+            assert_eq!(prev_hi, Some(u32::MAX), "buckets must cover the full range");
+        }
+    }
+
+    #[test]
+    fn index_and_bounds_agree_on_boundaries() {
+        let h = LatencyHistogram::new(5);
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 1023, 1024, 1 << 20, (1 << 31) + 7] {
+            let (lo, hi) = h.bounds_of(h.index_of(v));
+            assert!(u64::from(lo) <= v && v <= u64::from(hi), "{v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn percentiles_from_snapshot() {
+        let h = LatencyHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.percentile(50.0).unwrap_or(0.0);
+        let p99 = snap.percentile(99.0).unwrap_or(0.0);
+        assert!((400.0..=640.0).contains(&p50), "p50 {p50}");
+        assert!((900.0..=1030.0).contains(&p99), "p99 {p99}");
+        assert!(p50 < p99);
+        assert!((snap.mean().unwrap_or(0.0) - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let r = Registry::default();
+        let c = r.counter("dbhist_test_threads_total");
+        let h = r.histogram("dbhist_test_threads_latency_ns");
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.increment();
+                        h.record(t * 1000 + i % 97);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+        assert_eq!(h.count(), 80_000);
+        let total: f64 = h.snapshot().histogram.buckets().iter().map(|b| b.freq).sum();
+        assert!((total - 80_000.0).abs() < 1e-9, "no recorded value may be lost");
+    }
+
+    #[test]
+    fn snapshot_under_write_never_panics() {
+        let r = Registry::default();
+        let h = r.histogram("dbhist_test_torn_latency_ns");
+        std::thread::scope(|scope| {
+            let writer = Arc::clone(&h);
+            scope.spawn(move || {
+                for i in 0..50_000u64 {
+                    writer.record(i.wrapping_mul(0x9E37_79B9));
+                }
+            });
+            for _ in 0..50 {
+                let snap = r.snapshot();
+                if let Some(hist) = snap.histogram("dbhist_test_torn_latency_ns") {
+                    let _ = hist.percentile(50.0);
+                    let _ = hist.percentile(99.0);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn enabled_flag_toggles() {
+        let _serial = crate::test_support::enabled_flag_lock();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

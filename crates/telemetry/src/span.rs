@@ -1,0 +1,278 @@
+//! RAII span tracing with thread-local span stacks.
+//!
+//! The [`crate::span!`] macro times a lexical scope:
+//!
+//! ```
+//! # fn compute() {}
+//! {
+//!     let _span = dbhist_telemetry::span!("dbhist_query_estimate_latency_ns");
+//!     compute(); // timed while `_span` is live
+//! } // duration recorded here
+//! ```
+//!
+//! Each call site lazily registers one [`SpanMeter`] (a latency histogram
+//! plus a call counter) in the global registry, so repeated entries never
+//! hash a metric name. While a span is live its name sits on a
+//! thread-local *stack*, so nested spans know their depth and
+//! [`current_span`] identifies what the thread is doing.
+//!
+//! Spans are **zero-cost when inert**: if global telemetry is disabled
+//! (see [`crate::set_enabled`]) and no [`SpanCollector`] is installed on
+//! the thread, entering a span performs one relaxed atomic load plus one
+//! thread-local read and never touches the clock.
+//!
+//! [`SpanCollector`] is the subscriber used to *derive* traces: install
+//! one, run an instrumented region, and [`SpanCollector::finish`] returns
+//! every span the thread completed, with durations and nesting depths.
+//! The core crate rebuilds `BuildTrace` from exactly this stream.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::registry::{self, Counter, LatencyHistogram};
+
+thread_local! {
+    /// Names of the spans currently live on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Completed-span sink, when a [`SpanCollector`] is installed.
+    static COLLECTOR: RefCell<Option<Vec<SpanRecord>>> = const { RefCell::new(None) };
+}
+
+/// The per-call-site instruments behind one [`crate::span!`] site: a
+/// latency histogram named after the span and a derived
+/// `<base>_spans_total` call counter.
+#[derive(Debug)]
+pub struct SpanMeter {
+    name: &'static str,
+    micros: bool,
+    latency: Arc<LatencyHistogram>,
+    calls: Arc<Counter>,
+}
+
+impl SpanMeter {
+    /// Registers the meter for `name` in the global registry. The span
+    /// duration unit follows the name's suffix: `_us` records
+    /// microseconds, anything else nanoseconds (use `_ns`). The derived
+    /// call counter drops a trailing `_latency_<unit>` before appending
+    /// `_spans_total`.
+    #[must_use]
+    pub fn register(name: &'static str) -> Self {
+        let base = name
+            .strip_suffix("_latency_ns")
+            .or_else(|| name.strip_suffix("_latency_us"))
+            .unwrap_or(name);
+        Self {
+            name,
+            micros: name.ends_with("_us"),
+            latency: registry::global().histogram(name),
+            calls: registry::global().counter(&format!("{base}_spans_total")),
+        }
+    }
+
+    /// The span (and histogram) name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn record(&self, elapsed: Duration) {
+        let raw = if self.micros { elapsed.as_micros() } else { elapsed.as_nanos() };
+        self.latency.record(u64::try_from(raw).unwrap_or(u64::MAX));
+        self.calls.increment();
+    }
+}
+
+/// One completed span, as seen by a [`SpanCollector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (the literal passed to [`crate::span!`]).
+    pub name: &'static str,
+    /// Nesting depth at completion: `0` for a top-level span.
+    pub depth: usize,
+    /// Wall-clock time the span was live.
+    pub duration: Duration,
+}
+
+/// RAII guard produced by [`crate::span!`]. Dropping it records the
+/// elapsed time into the meter's histogram (when global telemetry is
+/// enabled) and into the thread's [`SpanCollector`] (when one is
+/// installed).
+#[derive(Debug)]
+#[must_use = "a span guard times its enclosing scope; dropping it immediately records ~0"]
+pub struct SpanGuard {
+    active: Option<(&'static SpanMeter, Instant)>,
+}
+
+impl SpanGuard {
+    /// Enters a span. Inert (no clock read, no stack push) unless global
+    /// telemetry is enabled or this thread has a collector installed.
+    pub fn enter(meter: &'static SpanMeter) -> Self {
+        if !registry::enabled() && !collector_installed() {
+            return Self { active: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(meter.name));
+        Self { active: Some((meter, Instant::now())) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((meter, start)) = self.active.take() else { return };
+        let elapsed = start.elapsed();
+        let depth = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.pop();
+            stack.len()
+        });
+        if registry::enabled() {
+            meter.record(elapsed);
+        }
+        COLLECTOR.with(|c| {
+            if let Some(records) = c.borrow_mut().as_mut() {
+                records.push(SpanRecord { name: meter.name, depth, duration: elapsed });
+            }
+        });
+    }
+}
+
+/// The innermost live span on this thread, if any.
+#[must_use]
+pub fn current_span() -> Option<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Number of live spans on this thread.
+#[must_use]
+pub fn span_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+fn collector_installed() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// A thread-local subscriber that captures every span completed on this
+/// thread between [`SpanCollector::install`] and
+/// [`SpanCollector::finish`] (or drop). Installing a collector activates
+/// spans on this thread even when global telemetry is disabled — this is
+/// how build-time traces stay exact without turning on process-wide
+/// metrics. Not re-entrant: installing a second collector on the same
+/// thread replaces the first.
+#[derive(Debug)]
+pub struct SpanCollector {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanCollector {
+    /// Starts collecting completed spans on the current thread.
+    #[must_use]
+    pub fn install() -> Self {
+        COLLECTOR.with(|c| *c.borrow_mut() = Some(Vec::new()));
+        Self { _not_send: std::marker::PhantomData }
+    }
+
+    /// Stops collecting and returns the completed spans in completion
+    /// order (inner spans precede the outer spans that contain them).
+    #[must_use]
+    pub fn finish(self) -> Vec<SpanRecord> {
+        COLLECTOR.with(|c| c.borrow_mut().take()).unwrap_or_default()
+    }
+}
+
+impl Drop for SpanCollector {
+    fn drop(&mut self) {
+        COLLECTOR.with(|c| {
+            c.borrow_mut().take();
+        });
+    }
+}
+
+/// Times the enclosing lexical scope under the given metric name.
+///
+/// Expands to a [`SpanGuard`] whose [`SpanMeter`] is registered once per
+/// call site (in a local `static`). Bind it to a named `_`-prefixed
+/// variable — `let _span = span!("...")` — so it lives to the end of the
+/// scope; a bare `span!(...)` statement would drop immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static METER: ::std::sync::OnceLock<$crate::span::SpanMeter> = ::std::sync::OnceLock::new();
+        $crate::span::SpanGuard::enter(
+            METER.get_or_init(|| $crate::span::SpanMeter::register($name)),
+        )
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_without_subscriber() {
+        let _serial = crate::test_support::enabled_flag_lock();
+        registry::set_enabled(false);
+        {
+            let _span = crate::span!("dbhist_test_inert_latency_ns");
+            assert_eq!(span_depth(), 0, "inert spans never touch the stack");
+            assert_eq!(current_span(), None);
+        }
+    }
+
+    #[test]
+    fn collector_captures_nesting_and_durations() {
+        let collector = SpanCollector::install();
+        {
+            let _outer = crate::span!("dbhist_test_outer_latency_ns");
+            assert_eq!(current_span(), Some("dbhist_test_outer_latency_ns"));
+            {
+                let _inner = crate::span!("dbhist_test_inner_latency_ns");
+                assert_eq!(span_depth(), 2);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let records = collector.finish();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "dbhist_test_inner_latency_ns");
+        assert_eq!(records[0].depth, 1);
+        assert_eq!(records[1].name, "dbhist_test_outer_latency_ns");
+        assert_eq!(records[1].depth, 0);
+        assert!(records[1].duration >= records[0].duration, "outer contains inner");
+        assert!(records[0].duration >= Duration::from_millis(1));
+        assert_eq!(span_depth(), 0);
+    }
+
+    #[test]
+    fn enabled_spans_record_into_registry() {
+        let _serial = crate::test_support::enabled_flag_lock();
+        registry::set_enabled(true);
+        {
+            let _span = crate::span!("dbhist_test_recorded_latency_ns");
+        }
+        registry::set_enabled(false);
+        let snap = registry::snapshot();
+        let calls = snap.counter("dbhist_test_recorded_spans_total").unwrap_or(0);
+        assert!(calls >= 1, "span call counter must tick");
+        let hist = snap.histogram("dbhist_test_recorded_latency_ns");
+        assert!(hist.is_some_and(|h| h.count >= 1), "span latency must be recorded");
+    }
+
+    #[test]
+    fn dropped_collector_uninstalls() {
+        {
+            let _collector = SpanCollector::install();
+            let _span = crate::span!("dbhist_test_dropped_latency_ns");
+        }
+        assert!(!collector_installed());
+    }
+
+    #[test]
+    fn microsecond_suffix_selects_unit() {
+        let meter = SpanMeter::register("dbhist_test_unit_latency_us");
+        assert!(meter.micros);
+        meter.record(Duration::from_millis(3));
+        let snap = meter.latency.snapshot();
+        let p50 = snap.percentile(50.0).unwrap_or(0.0);
+        assert!((2_900.0..=3_200.0).contains(&p50), "3 ms must record ~3000 us, got {p50}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Pre-registered handles for every metric the dbhist engine emits.
+//!
+//! Hot paths (plan execution, cache lookups) must never pay a name hash
+//! or registry lock per event; they go through these handles, resolved
+//! once per process. Names follow the repo convention
+//! `dbhist_<subsystem>_<name>_<unit>`, enforced by the xtask lint.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::registry::{self, Counter, LatencyHistogram};
+
+/// One handle per engine metric. Obtain via [`wellknown`].
+#[derive(Debug)]
+#[allow(missing_docs)] // field names mirror the metric names below
+pub struct WellKnown {
+    // Query path (mirrored from per-engine `QueryTrace` accounting).
+    pub query_estimates: Arc<Counter>,
+    pub query_products: Arc<Counter>,
+    pub query_projections: Arc<Counter>,
+    pub query_identity_projections: Arc<Counter>,
+    pub query_sheds: Arc<Counter>,
+    pub query_sheds_skipped: Arc<Counter>,
+    pub query_clique_loads: Arc<Counter>,
+    pub query_factor_clones: Arc<Counter>,
+    pub query_plans_compiled: Arc<Counter>,
+    pub query_plan_cache_hits: Arc<Counter>,
+    pub query_plan_cache_misses: Arc<Counter>,
+    pub query_marginal_cache_hits: Arc<Counter>,
+    pub query_marginal_cache_misses: Arc<Counter>,
+    /// Wall-clock nanoseconds per `estimate_mass` / `marginal` call.
+    pub query_latency: Arc<LatencyHistogram>,
+
+    // Build path.
+    pub build_selection_rounds: Arc<Counter>,
+    pub build_splits_funded: Arc<Counter>,
+    pub build_builds: Arc<Counter>,
+
+    // Model-selection entropy cache.
+    pub model_entropy_computations: Arc<Counter>,
+    pub model_entropy_cache_hits: Arc<Counter>,
+
+    // Estimator feedback.
+    pub estimator_feedback: Arc<Counter>,
+}
+
+/// The process-wide [`WellKnown`] handle set (resolved on first use).
+pub fn wellknown() -> &'static WellKnown {
+    static HANDLES: OnceLock<WellKnown> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = registry::global();
+        WellKnown {
+            query_estimates: r.counter("dbhist_query_estimates_total"),
+            query_products: r.counter("dbhist_query_products_total"),
+            query_projections: r.counter("dbhist_query_projections_total"),
+            query_identity_projections: r.counter("dbhist_query_identity_projections_total"),
+            query_sheds: r.counter("dbhist_query_sheds_total"),
+            query_sheds_skipped: r.counter("dbhist_query_sheds_skipped_total"),
+            query_clique_loads: r.counter("dbhist_query_clique_loads_total"),
+            query_factor_clones: r.counter("dbhist_query_factor_clones_total"),
+            query_plans_compiled: r.counter("dbhist_query_plans_compiled_total"),
+            query_plan_cache_hits: r.counter("dbhist_query_plan_cache_hits_total"),
+            query_plan_cache_misses: r.counter("dbhist_query_plan_cache_misses_total"),
+            query_marginal_cache_hits: r.counter("dbhist_query_marginal_cache_hits_total"),
+            query_marginal_cache_misses: r.counter("dbhist_query_marginal_cache_misses_total"),
+            query_latency: r.histogram("dbhist_query_estimate_latency_ns"),
+            build_selection_rounds: r.counter("dbhist_build_selection_rounds_total"),
+            build_splits_funded: r.counter("dbhist_build_splits_funded_total"),
+            build_builds: r.counter("dbhist_build_builds_total"),
+            model_entropy_computations: r.counter("dbhist_model_entropy_computations_total"),
+            model_entropy_cache_hits: r.counter("dbhist_model_entropy_cache_hits_total"),
+            estimator_feedback: r.counter("dbhist_estimator_feedback_total"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_resolve_once_and_share_state() {
+        let a = wellknown();
+        let b = wellknown();
+        let before = a.query_estimates.value();
+        b.query_estimates.increment();
+        assert_eq!(a.query_estimates.value(), before + 1);
+    }
+
+    #[test]
+    fn every_wellknown_name_is_registered_globally() {
+        let _ = wellknown();
+        let snap = registry::snapshot();
+        for name in [
+            "dbhist_query_estimates_total",
+            "dbhist_query_plan_cache_hits_total",
+            "dbhist_query_estimate_latency_ns",
+            "dbhist_build_selection_rounds_total",
+            "dbhist_build_splits_funded_total",
+            "dbhist_model_entropy_cache_hits_total",
+            "dbhist_estimator_feedback_total",
+        ] {
+            assert!(snap.get(name).is_some(), "{name} must be registered");
+        }
+    }
+}

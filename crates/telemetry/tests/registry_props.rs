@@ -1,0 +1,122 @@
+//! Property-based coverage for the lock-free metrics registry: exact
+//! concurrent counting, monotone latency-histogram bucketing with bounded
+//! relative error, and snapshot safety under concurrent writes.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
+
+use std::sync::Arc;
+
+use dbhist_telemetry::{LatencyHistogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    /// Increments from any number of racing threads are never lost: the
+    /// final counter value is exactly the sum of all per-thread counts.
+    #[test]
+    fn concurrent_increments_sum_exactly(
+        per_thread in proptest::collection::vec(1u64..500, 2..8),
+        bulk in 0u64..1000,
+    ) {
+        let registry = Registry::default();
+        let counter = registry.counter("dbhist_test_props_increments_total");
+        std::thread::scope(|scope| {
+            for &n in &per_thread {
+                let c = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..n {
+                        c.increment();
+                    }
+                });
+            }
+        });
+        counter.add(bulk);
+        let expected: u64 = per_thread.iter().sum::<u64>() + bulk;
+        prop_assert_eq!(counter.value(), expected);
+    }
+
+    /// For any grouping power and any workload, the snapshot's bucket
+    /// bounds are strictly increasing and disjoint, every bucket holds
+    /// the full recorded count, and each recorded value's bucket bound
+    /// implies relative quantization error at most `2^-grouping_power`.
+    #[test]
+    fn bucket_bounds_monotone_and_error_bounded(
+        power in 1u32..=8,
+        values in proptest::collection::vec(0u64..=u64::from(u32::MAX), 1..200),
+    ) {
+        let hist = LatencyHistogram::new(power);
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let buckets = snap.histogram.buckets();
+        let mut total = 0u64;
+        for pair in buckets.windows(2) {
+            prop_assert!(
+                pair[1].lo > pair[0].hi,
+                "buckets must be disjoint and ascending: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        for b in buckets {
+            prop_assert!(b.lo <= b.hi, "inverted bucket {:?}", b);
+            // Sub-bucket width implies the metriken error bound: the true
+            // value and the bucket bound differ by at most the width,
+            // which is `lo >> power` in the power-of-two regions.
+            let width = u64::from(b.hi) - u64::from(b.lo);
+            prop_assert!(
+                width <= (u64::from(b.lo) >> power) + (1 << power),
+                "bucket {:?} wider than the 2^-{} error bound allows",
+                b,
+                power
+            );
+            total += b.freq as u64;
+        }
+        prop_assert_eq!(total, values.len() as u64);
+        // Every recorded value is covered by some bucket (saturated at
+        // the u32 cap, matching `record`).
+        for &v in &values {
+            let capped = v.min(u64::from(u32::MAX));
+            prop_assert!(
+                buckets.iter().any(|b| u64::from(b.lo) <= capped && capped <= u64::from(b.hi)),
+                "value {} not covered by any bucket",
+                v
+            );
+        }
+    }
+
+    /// Snapshots taken while writers are recording never panic, and the
+    /// counter totals they observe are monotone non-decreasing.
+    #[test]
+    fn snapshot_under_write_never_panics(
+        writers in 1usize..4,
+        rounds in 1usize..30,
+    ) {
+        let registry = Registry::default();
+        let counter = registry.counter("dbhist_test_props_snapshot_total");
+        let hist = registry.histogram("dbhist_test_props_snapshot_latency_ns");
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let c = Arc::clone(&counter);
+                let h = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        c.increment();
+                        h.record(i * (w as u64 + 1));
+                    }
+                });
+            }
+            let mut last = 0u64;
+            for _ in 0..rounds {
+                let snap = registry.snapshot();
+                let seen = snap.counter("dbhist_test_props_snapshot_total").unwrap_or(0);
+                assert!(seen >= last, "counter snapshot went backwards: {last} -> {seen}");
+                last = seen;
+                let _ = snap.histogram("dbhist_test_props_snapshot_latency_ns");
+            }
+        });
+        prop_assert_eq!(counter.value(), 200 * writers as u64);
+        prop_assert_eq!(hist.snapshot().count, 200 * writers as u64);
+    }
+}

@@ -22,6 +22,16 @@
 //!   downstream compatibility and their own coverage test. Unlike the
 //!   other rules this one also covers examples, integration tests,
 //!   benches, and binaries (see [`scan_shims`]).
+//! * `metric-name` — every telemetry metric name literal must follow
+//!   `dbhist_<subsystem>_<name>_<unit>`: at least four non-empty
+//!   `_`-separated lowercase segments ending in an approved unit
+//!   (`total`, `seconds`, `ns`, `us`, `bytes`, `ratio`, `count`), with an
+//!   optional `{label="..."}` suffix. The registry is a process-wide
+//!   namespace shared by every subsystem and scraped by external
+//!   tooling; a misnamed metric is an API break that nothing else would
+//!   catch. Scans the same wide file set as `deprecated-shim` (see
+//!   [`scan_metrics`]), and scans *raw* lines — the names live inside
+//!   the string literals that [`mask_line`] blanks.
 //!
 //! A violation can be suppressed on its line with an inline escape hatch:
 //! `// lint:allow(<rule>): <justification>`, or from the line above with
@@ -39,7 +49,8 @@ pub struct Violation {
 }
 
 /// Names of every rule, for `lint:allow` validation and reporting.
-pub const RULES: [&str; 4] = ["no-panic", "float-cmp", "as-narrowing", "deprecated-shim"];
+pub const RULES: [&str; 5] =
+    ["no-panic", "float-cmp", "as-narrowing", "deprecated-shim", "metric-name"];
 
 /// Banned invocations for the `no-panic` rule. Each must appear with a
 /// non-identifier character before it so that e.g. `try_unwrap()` in a
@@ -58,6 +69,15 @@ const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// qualified path; a textual match on it is exact enough.
 const SHIM_PATTERNS: [&str; 3] =
     ["DbHistogram::build_mhist", "DbHistogram::build_grid", "DbHistogram::build_wavelet"];
+
+/// Approved trailing unit segments for the `metric-name` rule.
+const METRIC_UNITS: [&str; 7] = ["total", "seconds", "ns", "us", "bytes", "ratio", "count"];
+
+/// Derived-name suffixes the Prometheus exporter appends to a histogram
+/// family (`<name>_bucket`, `<name>_sum`; `_count` is already a unit).
+/// Literals naming those series (exporter tests, scrape examples) stay
+/// legal as long as the family name under the suffix is itself valid.
+const METRIC_DERIVED_SUFFIXES: [&str; 2] = ["bucket", "sum"];
 
 /// Path fragments that put a file in scope for the `as-narrowing` rule:
 /// the wire codec, the split-tree (bucket) arithmetic, bounding boxes, and
@@ -375,6 +395,81 @@ pub fn scan_shims(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
     }
 }
 
+/// Returns the first malformed `dbhist_`-prefixed metric-name literal on
+/// this raw (unmasked) line, if any. A name is well formed when it has at
+/// least four non-empty `_`-separated `[a-z0-9]` segments and its last
+/// segment is an approved unit (or an exporter-derived `_bucket` / `_sum`
+/// suffix over a valid family name). Extraction stops at the closing
+/// quote or a `{label=...}` opener; a name running straight into other
+/// characters (e.g. an uppercase letter) is malformed by definition.
+fn bad_metric_name(raw_line: &str) -> Option<&str> {
+    let bytes = raw_line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = raw_line[start..].find("\"dbhist_") {
+        let name_start = start + pos + 1;
+        let mut end = name_start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let name = &raw_line[name_start..end];
+        if !metric_name_ok(name) || bytes.get(end).is_some_and(u8::is_ascii_uppercase) {
+            return Some(name);
+        }
+        start = end;
+    }
+    None
+}
+
+/// Validates one extracted metric name against the
+/// `dbhist_<subsystem>_<name>_<unit>` convention.
+fn metric_name_ok(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('_').collect();
+    if segments.len() < 4 || segments.iter().any(|s| s.is_empty()) {
+        return false;
+    }
+    let last = segments[segments.len() - 1];
+    if METRIC_UNITS.contains(&last) {
+        return true;
+    }
+    // `<family>_bucket` / `<family>_sum` derived series: valid iff the
+    // family under the suffix is.
+    METRIC_DERIVED_SUFFIXES.contains(&last)
+        && segments.len() >= 5
+        && METRIC_UNITS.contains(&segments[segments.len() - 2])
+}
+
+/// Scans one file for the `metric-name` rule only. Like [`scan_shims`]
+/// this runs over the wider first-party file set — binaries, benches, and
+/// integration tests record metrics too — and does not exempt
+/// `#[cfg(test)]` regions: a test-only metric still lands in the shared
+/// registry namespace. Unlike every other rule it inspects *raw* lines,
+/// because the names it validates live inside string literals that
+/// [`mask_line`] blanks out.
+pub fn scan_metrics(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
+    let mut next_line_allows: Vec<&str> = Vec::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let carried = std::mem::take(&mut next_line_allows);
+        next_line_allows = next_line_allowed_rules(raw_line);
+        let mut allowed = allowed_rules(raw_line);
+        allowed.extend(carried);
+        if allowed.contains(&"metric-name") {
+            continue;
+        }
+        if bad_metric_name(raw_line).is_some() {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: "metric-name",
+                excerpt: raw_line.trim().chars().take(120).collect(),
+            });
+        }
+    }
+}
+
 /// Scans one file's source text, appending violations. `rel_path` is used
 /// for reporting and for path-scoped rules.
 pub fn scan_source(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
@@ -594,6 +689,45 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n  fn t() { DbHistogram::build_mhist(&r, &c); }\n}";
         scan_shims("crates/bench/src/experiments.rs", in_test, &mut out);
         assert_eq!(out.len(), 1, "cfg(test) is not exempt for shims: {out:?}");
+    }
+
+    #[test]
+    fn metric_name_enforces_convention() {
+        let mut out = Vec::new();
+        for bad in [
+            "let c = reg.counter(\"dbhist_build_rounds\");", // too few segments
+            "let c = reg.counter(\"dbhist_build_rounds_ms\");", // unapproved unit
+            "let g = reg.gauge(\"dbhist__estimator_drift_ratio\");", // empty segment
+            "let h = reg.histogram(\"dbhist_query_latency_usEC\");", // runs into junk
+            "let s = \"dbhist_query_estimate_sum\";",        // derived suffix, bad family
+        ] {
+            out.clear();
+            scan_metrics("crates/telemetry/src/wellknown.rs", bad, &mut out);
+            assert_eq!(out.len(), 1, "{bad}: {out:?}");
+            assert_eq!(out[0].rule, "metric-name");
+        }
+        for ok in [
+            "let c = reg.counter(\"dbhist_query_estimates_total\");",
+            "let h = reg.histogram(\"dbhist_build_selection_latency_us\");",
+            "let g = format!(\"dbhist_estimator_drift_ratio{{clique=\\\"{i}\\\"}}\");",
+            "assert!(prom.contains(\"dbhist_test_export_latency_ns_bucket{le=\\\"+Inf\\\"} 4\"));",
+            "assert!(prom.contains(\"dbhist_test_export_latency_ns_sum 100110\"));",
+            "let other = \"not_a_metric_name\";", // no dbhist_ prefix: out of scope
+        ] {
+            out.clear();
+            scan_metrics("crates/core/src/synopsis.rs", ok, &mut out);
+            assert!(out.is_empty(), "{ok}: {out:?}");
+        }
+        // The escape hatches work like every other rule's.
+        out.clear();
+        let allowed = "let c = reg.counter(\"dbhist_legacy\"); // lint:allow(metric-name): compat";
+        scan_metrics("crates/core/src/plan.rs", allowed, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        out.clear();
+        let next_line = "// lint:allow-next-line(metric-name): compat\n\
+                         let c = reg.counter(\"dbhist_legacy\");";
+        scan_metrics("crates/core/src/plan.rs", next_line, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

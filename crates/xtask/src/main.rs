@@ -136,8 +136,9 @@ fn run_lint() -> ExitCode {
         scanned += 1;
     }
 
-    // The deprecated-shim rule covers a wider net: examples, integration
-    // tests, benches, and binaries are all first-party call sites.
+    // The deprecated-shim and metric-name rules cover a wider net:
+    // examples, integration tests, benches, and binaries are all
+    // first-party call sites that can also record metrics.
     for path in shim_scan_files(&root) {
         let Ok(source) = fs::read_to_string(&path) else {
             eprintln!("xtask lint: unreadable file {}", path.display());
@@ -145,6 +146,7 @@ fn run_lint() -> ExitCode {
         };
         let rel = path.strip_prefix(&root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
         lint::scan_shims(&rel, &source, &mut violations);
+        lint::scan_metrics(&rel, &source, &mut violations);
         if seen.insert(rel) {
             scanned += 1;
         }
@@ -168,7 +170,7 @@ fn run_lint() -> ExitCode {
 /// mutating any tracked file. Exits nonzero if any seeded bug goes
 /// undetected (i.e. the gate has rotted).
 fn run_selftest() -> ExitCode {
-    let seeded: [(&str, &str, &str); 4] = [
+    let seeded: [(&str, &str, &str); 5] = [
         ("no-panic", "crates/core/src/alloc.rs", "let v = budget.unwrap();"),
         ("float-cmp", "crates/core/src/marginal.rs", "if freq == 0.0 { return; }"),
         ("as-narrowing", "crates/histogram/src/codec.rs", "let n = count as u16;"),
@@ -177,14 +179,18 @@ fn run_selftest() -> ExitCode {
             "examples/quickstart.rs",
             "let db = DbHistogram::build_mhist(&rel, &config)?;",
         ),
+        (
+            "metric-name",
+            "crates/telemetry/src/wellknown.rs",
+            "let c = registry.counter(\"dbhist_build_rounds\");",
+        ),
     ];
-    let scan_rule = |rule: &str, path: &str, source: &str, out: &mut Vec<lint::Violation>| {
-        if rule == "deprecated-shim" {
-            lint::scan_shims(path, source, out);
-        } else {
-            lint::scan_source(path, source, out);
-        }
-    };
+    let scan_rule =
+        |rule: &str, path: &str, source: &str, out: &mut Vec<lint::Violation>| match rule {
+            "deprecated-shim" => lint::scan_shims(path, source, out),
+            "metric-name" => lint::scan_metrics(path, source, out),
+            _ => lint::scan_source(path, source, out),
+        };
     let mut failures = 0u32;
     for (rule, path, source) in seeded {
         let mut out = Vec::new();

@@ -25,6 +25,9 @@
 //!   sampling baselines.
 //! * [`data`] — synthetic Census-like and housing data sets, range-query
 //!   workloads, and the paper's error metrics.
+//! * [`telemetry`] — the process-wide observability layer: lock-free
+//!   metrics registry, span tracing, accuracy-drift monitoring, and
+//!   JSON / Prometheus-text exporters.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! reproduction of every evaluation figure.
@@ -34,3 +37,4 @@ pub use dbhist_data as data;
 pub use dbhist_distribution as distribution;
 pub use dbhist_histogram as histogram;
 pub use dbhist_model as model;
+pub use dbhist_telemetry as telemetry;
