@@ -1,0 +1,192 @@
+//! Emits `BENCH_persist.json`: snapshot load latency vs. cold rebuild
+//! on the same deterministic workload as `build_bench`.
+//!
+//! ```text
+//! snapshot_bench [OUTPUT_PATH]    (default: BENCH_persist.json)
+//! ```
+//!
+//! Set `DBHIST_TELEMETRY=1` to run with the process-wide telemetry
+//! registry enabled and dump its final snapshot next to the output file
+//! (`<OUTPUT_PATH>.telemetry.json` / `.prom`).
+//!
+//! The point of the persistence layer is that a restart (or a new
+//! replica) pays file-parse cost, not pipeline cost: `Synopsis::load`
+//! materializes the model and factors from the snapshot container
+//! without re-running model selection, clique-histogram construction,
+//! or storage allocation. This bench pins that contract with numbers —
+//! the headline `speedup.load_vs_rebuild` must stay ≥ 10× — and doubles
+//! as an end-to-end fidelity check: the loaded synopsis must answer the
+//! whole query workload bit-identically to the one it was saved from.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use dbhist_core::builder::Synopsis;
+use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist_data::workload::{Workload, WorkloadConfig};
+use dbhist_distribution::{Relation, Schema};
+
+/// Cold rebuilds per measurement; the fastest run is reported.
+const REBUILD_REPEATS: usize = 3;
+/// Snapshot loads per measurement; loads are cheap, so more repeats.
+const LOAD_REPEATS: usize = 5;
+/// Same allocation-heavy regime as `build_bench`, so the rebuild cost
+/// being amortized is the realistic one.
+const BUDGET: usize = 64 * 1024;
+const QUERIES: usize = 16;
+const ROWS: usize = 40_000;
+const DOMAIN: u32 = 64;
+/// The committed contract: loading a snapshot must beat rebuilding the
+/// synopsis from rows by at least this factor.
+const MIN_SPEEDUP: f64 = 10.0;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// The same deterministic 6-attribute correlated-pairs table as
+/// `build_bench`: two strongly correlated pairs plus two independent
+/// attributes, wide domains so allocation dominates construction.
+fn build_relation() -> Relation {
+    let mut state = 0xB11D_5EEDu64;
+    let schema = Schema::new((0..6).map(|i| (format!("a{i}"), DOMAIN))).unwrap();
+    let rows: Vec<Vec<u32>> = (0..ROWS)
+        .map(|_| {
+            let base_a = (xorshift(&mut state) % u64::from(DOMAIN)) as u32;
+            let base_b = (xorshift(&mut state) % u64::from(DOMAIN)) as u32;
+            let noise = |state: &mut u64, v: u32| {
+                if xorshift(state).is_multiple_of(4) {
+                    (v + (xorshift(state) % 3) as u32) % DOMAIN
+                } else {
+                    v
+                }
+            };
+            vec![
+                base_a,
+                noise(&mut state, base_a),
+                base_b,
+                noise(&mut state, base_b),
+                (xorshift(&mut state) % u64::from(DOMAIN)) as u32,
+                (xorshift(&mut state) % u64::from(DOMAIN)) as u32,
+            ]
+        })
+        .collect();
+    Relation::from_rows(schema, rows).unwrap()
+}
+
+fn estimates(db: &Synopsis, workload: &Workload) -> Vec<f64> {
+    workload.queries.iter().map(|q| db.estimate(&q.ranges)).collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_persist.json".into());
+    let telemetry_env = std::env::var("DBHIST_TELEMETRY").is_ok_and(|v| v != "0");
+    dbhist_telemetry::set_enabled(telemetry_env);
+
+    let rel = build_relation();
+    let workload = Workload::generate(
+        &rel,
+        WorkloadConfig { dimensionality: 3, queries: QUERIES, min_count: 50, seed: 0xB11D },
+    );
+
+    // Cold rebuild: the full pipeline from rows, best of REBUILD_REPEATS.
+    let mut rebuild = Duration::MAX;
+    let mut built: Option<Synopsis> = None;
+    for _ in 0..REBUILD_REPEATS {
+        let start = Instant::now();
+        let db = SynopsisBuilder::new(&rel).budget(BUDGET).build().unwrap();
+        rebuild = rebuild.min(start.elapsed());
+        built = Some(db);
+    }
+    let built = built.unwrap();
+    let built_estimates = estimates(&built, &workload);
+
+    // Save once (timed, but not part of the headline ratio: saves happen
+    // on the build path, loads on the restart path).
+    let snap_path = std::env::temp_dir().join(format!("snapbench_{}.dbh", std::process::id()));
+    let save_start = Instant::now();
+    built.save(&snap_path).unwrap();
+    let save = save_start.elapsed();
+    let snapshot_bytes = std::fs::metadata(&snap_path).unwrap().len();
+
+    // Load: best of LOAD_REPEATS, final loaded synopsis kept for the
+    // fidelity check.
+    let mut load = Duration::MAX;
+    let mut loaded: Option<Synopsis> = None;
+    for _ in 0..LOAD_REPEATS {
+        let start = Instant::now();
+        let db = Synopsis::load(&snap_path).unwrap();
+        load = load.min(start.elapsed());
+        loaded = Some(db);
+    }
+    let loaded = loaded.unwrap();
+    let _ = std::fs::remove_file(&snap_path);
+
+    // Persistence is exact: every workload estimate must round-trip by
+    // bit pattern, not merely within epsilon.
+    let loaded_estimates = estimates(&loaded, &workload);
+    for (i, (a, b)) in built_estimates.iter().zip(&loaded_estimates).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "query {i}: loaded synopsis diverged from built ({a} vs {b})"
+        );
+    }
+
+    let ratio = rebuild.as_secs_f64() / load.as_secs_f64().max(f64::MIN_POSITIVE);
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"relation\": \"synthetic_correlated_pairs\", \"rows\": {}, \
+         \"domain\": {DOMAIN}, \"budget_bytes\": {BUDGET}, \"rebuild_repeats\": {REBUILD_REPEATS}, \
+         \"load_repeats\": {LOAD_REPEATS}, \"queries\": {QUERIES}, \"seed\": {}}},",
+        rel.row_count(),
+        0xB11D
+    );
+    let _ = writeln!(
+        json,
+        "  \"rebuild\": {{\"total_ns\": {}, \"storage_bytes\": {}}},",
+        rebuild.as_nanos(),
+        built.storage_bytes(),
+    );
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{\"save_ns\": {}, \"load_ns\": {}, \"file_bytes\": {snapshot_bytes}}},",
+        save.as_nanos(),
+        load.as_nanos(),
+    );
+    let _ = writeln!(json, "  \"speedup\": {{\"load_vs_rebuild\": {ratio:.3}}},");
+    let _ = writeln!(json, "  \"estimate_checksum\": {:.6}", built_estimates.iter().sum::<f64>());
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).unwrap();
+    if telemetry_env {
+        let snap = dbhist_telemetry::snapshot();
+        std::fs::write(
+            format!("{out_path}.telemetry.json"),
+            dbhist_telemetry::export::to_json(&snap),
+        )
+        .unwrap();
+        std::fs::write(
+            format!("{out_path}.telemetry.prom"),
+            dbhist_telemetry::export::to_prometheus(&snap),
+        )
+        .unwrap();
+    }
+    eprintln!(
+        "wrote {out_path}: load {:.3}ms vs rebuild {:.1}ms = {ratio:.1}x \
+         ({snapshot_bytes}-byte snapshot, {QUERIES} queries bit-identical)",
+        load.as_secs_f64() * 1e3,
+        rebuild.as_secs_f64() * 1e3,
+    );
+    assert!(
+        ratio >= MIN_SPEEDUP,
+        "snapshot load must be at least {MIN_SPEEDUP}x faster than a cold rebuild, got {ratio:.2}x"
+    );
+}

@@ -5,6 +5,7 @@ use std::fmt;
 use dbhist_distribution::DistributionError;
 use dbhist_histogram::HistogramError;
 use dbhist_model::ModelError;
+use dbhist_persist::PersistError;
 
 /// Errors produced while building or querying synopses.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +17,8 @@ pub enum SynopsisError {
     Model(ModelError),
     /// A histogram-layer failure.
     Histogram(HistogramError),
+    /// A snapshot save/load failure.
+    Persist(PersistError),
     /// The storage budget is too small to hold even one bucket per clique
     /// histogram, or otherwise invalid.
     Budget {
@@ -38,6 +41,7 @@ impl fmt::Display for SynopsisError {
             Self::Distribution(e) => write!(f, "distribution error: {e}"),
             Self::Model(e) => write!(f, "model error: {e}"),
             Self::Histogram(e) => write!(f, "histogram error: {e}"),
+            Self::Persist(e) => write!(f, "persist error: {e}"),
             Self::Budget { reason } => write!(f, "storage budget error: {reason}"),
             Self::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration ({parameter}): {reason}")
@@ -52,6 +56,7 @@ impl std::error::Error for SynopsisError {
             Self::Distribution(e) => Some(e),
             Self::Model(e) => Some(e),
             Self::Histogram(e) => Some(e),
+            Self::Persist(e) => Some(e),
             Self::Budget { .. } | Self::InvalidConfig { .. } => None,
         }
     }
@@ -75,6 +80,12 @@ impl From<HistogramError> for SynopsisError {
     }
 }
 
+impl From<PersistError> for SynopsisError {
+    fn from(e: PersistError) -> Self {
+        Self::Persist(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +98,8 @@ mod tests {
         assert!(e.to_string().contains("distribution"));
         let e: SynopsisError = HistogramError::InvalidRequest { reason: "x".into() }.into();
         assert!(e.to_string().contains("histogram"));
+        let e: SynopsisError = PersistError::BadMagic.into();
+        assert!(e.to_string().contains("persist"));
         let e = SynopsisError::Budget { reason: "too small".into() };
         assert!(e.to_string().contains("too small"));
         let e = SynopsisError::InvalidConfig { parameter: "budget", reason: "zero".into() };

@@ -71,6 +71,7 @@ pub mod factor;
 pub mod maintenance;
 pub mod marginal;
 pub mod plan;
+pub mod snapshot;
 pub mod synopsis;
 pub mod wavelet_factor;
 

@@ -40,6 +40,10 @@ pub struct MaintainedDbHistogram {
     /// Reservoir of recently inserted rows (for drift measurement).
     reservoir: Vec<Vec<u32>>,
     reservoir_seen: usize,
+    /// Where to persist a snapshot after every rebuild, if set — so
+    /// drift-triggered rebuilds can happen offline and replicas restart
+    /// from the snapshot instead of the base table.
+    snapshot_path: Option<std::path::PathBuf>,
 }
 
 /// Size of the insert reservoir used for drift measurement.
@@ -62,6 +66,7 @@ impl MaintainedDbHistogram {
             built_rows: rows,
             reservoir: Vec::new(),
             reservoir_seen: 0,
+            snapshot_path: None,
         })
     }
 
@@ -206,7 +211,32 @@ impl MaintainedDbHistogram {
         self.churn = 0;
         self.reservoir.clear();
         self.reservoir_seen = 0;
+        if let Some(path) = &self.snapshot_path {
+            crate::snapshot::save_db(&self.synopsis, path)?;
+        }
         Ok(())
+    }
+
+    /// Persists a snapshot to `path` after every successful
+    /// [`MaintainedDbHistogram::rebuild`] (atomic temp-file + rename, so
+    /// readers never observe a torn snapshot), and writes one immediately
+    /// so the file exists before the first rebuild fires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial save's failure.
+    pub fn persist_to(&mut self, path: impl Into<std::path::PathBuf>) -> Result<(), SynopsisError> {
+        let path = path.into();
+        crate::snapshot::save_db(&self.synopsis, &path)?;
+        self.snapshot_path = Some(path);
+        Ok(())
+    }
+
+    /// The snapshot path registered via
+    /// [`MaintainedDbHistogram::persist_to`], if any.
+    #[must_use]
+    pub fn snapshot_path(&self) -> Option<&std::path::Path> {
+        self.snapshot_path.as_deref()
     }
 }
 

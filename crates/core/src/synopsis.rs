@@ -229,6 +229,23 @@ impl<F: Factor> DbHistogram<F> {
     fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
     }
+
+    /// Reassembles a synopsis from snapshot-loaded parts. Mirrors the
+    /// tail of `build_for_model`: the query engine's `RootedViews` and
+    /// plan cache start empty and fill lazily, exactly as after a fresh
+    /// build, and the build trace is all-zero (nothing was built). The
+    /// caller (the snapshot loader) has already validated that `factors`
+    /// aligns one-to-one with the model's cliques.
+    pub(crate) fn from_loaded_parts(
+        model: DecomposableModel,
+        factors: Vec<F>,
+        bytes: usize,
+        name: String,
+    ) -> Self {
+        let engine = QueryEngine::new(model.junction_tree());
+        let drift = DriftMonitor::new(model.cliques().len(), DRIFT_WINDOW);
+        Self { model, factors, bytes, name, engine, trace: BuildTrace::default(), drift }
+    }
 }
 
 impl<F: Factor> SelectivityEstimator for DbHistogram<F> {

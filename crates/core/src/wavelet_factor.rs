@@ -16,7 +16,7 @@
 //! histograms.
 
 use dbhist_distribution::{AttrId, AttrSet, Distribution};
-use dbhist_histogram::wavelet::{HaarBuilder, WAVELET_BYTES_PER_COEFF};
+use dbhist_histogram::wavelet::{HaarBuilder, HaarSynopsis, WAVELET_BYTES_PER_COEFF};
 
 use crate::build::{IncrementalBuilder, SplitProposal};
 use crate::error::SynopsisError;
@@ -33,6 +33,11 @@ pub const DEFAULT_WAVELET_CELL_CAP: usize = 1 << 22;
 pub struct WaveletFactor {
     reconstruction: ExactFactor,
     coefficients: usize,
+    /// The underlying coefficient synopsis. `Some` for clique factors
+    /// produced by the builder (or a snapshot load); `None` for derived
+    /// factors from `project`/`product`, which exist only transiently
+    /// inside marginal computations and are never persisted.
+    synopsis: Option<HaarSynopsis>,
 }
 
 impl WaveletFactor {
@@ -46,6 +51,31 @@ impl WaveletFactor {
     #[must_use]
     pub fn reconstruction(&self) -> &Distribution {
         &self.reconstruction.0
+    }
+
+    /// The underlying coefficient synopsis, when this is a primary clique
+    /// factor rather than a derived intermediate.
+    #[must_use]
+    pub fn haar(&self) -> Option<&HaarSynopsis> {
+        self.synopsis.as_ref()
+    }
+
+    /// Rebuilds a clique factor from a decoded Haar synopsis by replaying
+    /// the same reconstruction the builder performs — the dense inverse
+    /// transform iterates cells in a fixed order, so the resulting sparse
+    /// distribution (and every estimate derived from it) is bit-identical
+    /// to the factor that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconstruction failures (synopsis/schema mismatch).
+    pub(crate) fn from_synopsis(
+        syn: HaarSynopsis,
+        schema: &dbhist_distribution::Schema,
+    ) -> Result<Self, SynopsisError> {
+        let reconstruction = syn.reconstruct(schema)?;
+        let coefficients = syn.coefficient_count();
+        Ok(Self { reconstruction: ExactFactor(reconstruction), coefficients, synopsis: Some(syn) })
     }
 }
 
@@ -70,6 +100,7 @@ impl Factor for WaveletFactor {
         Ok(Self {
             reconstruction: self.reconstruction.project(attrs)?,
             coefficients: self.coefficients,
+            synopsis: None,
         })
     }
 
@@ -77,6 +108,7 @@ impl Factor for WaveletFactor {
         Ok(Self {
             reconstruction: self.reconstruction.product(&other.reconstruction)?,
             coefficients: self.coefficients + other.coefficients,
+            synopsis: None,
         })
     }
 }
@@ -152,7 +184,11 @@ impl IncrementalBuilder for WaveletCliqueBuilder {
         #[allow(clippy::expect_used)]
         let reconstruction =
             syn.reconstruct(&self.schema).expect("reconstruction over the synopsis attrs is valid"); // lint:allow(no-panic): infallible builder contract over its own schema
-        WaveletFactor { reconstruction: ExactFactor(reconstruction), coefficients }
+        WaveletFactor {
+            reconstruction: ExactFactor(reconstruction),
+            coefficients,
+            synopsis: Some(syn),
+        }
     }
 }
 

@@ -162,6 +162,270 @@ pub fn decode_split_tree(bytes: &[u8]) -> Result<SplitTree, HistogramError> {
     Ok(tree)
 }
 
+// ---------------------------------------------------------------------
+// Exact (bit-preserving) codecs for snapshot persistence.
+//
+// The wire format above realizes the *paper's byte accounting* — f32
+// frequencies, pre-order layout — and is kept as the storage-cost model.
+// Snapshots have a different contract: a loaded synopsis must answer
+// queries bit-identically to the saved one, so these codecs serialize
+// every f64 by bit pattern and the split-tree arena verbatim (explicit
+// child ids, arena order), with no quantization and no re-layout.
+// ---------------------------------------------------------------------
+
+fn encode_attr_header(
+    attrs: &AttrSet,
+    ranges: &[(u32, u32)],
+    out: &mut Vec<u8>,
+) -> Result<(), HistogramError> {
+    let n = u16::try_from(attrs.len())
+        .map_err(|_| HistogramError::Codec { reason: "attribute count exceeds u16".into() })?;
+    out.extend_from_slice(&n.to_le_bytes());
+    for (a, &(lo, hi)) in attrs.iter().zip(ranges) {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&lo.to_le_bytes());
+        out.extend_from_slice(&hi.to_le_bytes());
+    }
+    Ok(())
+}
+
+/// Decodes the shared attribute header: ids must be strictly ascending
+/// (the encoder writes canonical [`AttrSet`] order) and ranges upright.
+fn decode_attr_header(cursor: &mut Cursor<'_>) -> Result<(AttrSet, BoundingBox), HistogramError> {
+    let n = usize::from(cursor.u16()?);
+    if n == 0 {
+        return Err(HistogramError::Codec { reason: "zero-attribute header".into() });
+    }
+    if cursor.bytes.len().saturating_sub(cursor.pos) / 10 < n {
+        return Err(HistogramError::Codec { reason: "attribute count exceeds buffer".into() });
+    }
+    let mut ids = Vec::with_capacity(n);
+    let mut ranges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = cursor.u16()?;
+        if ids.last().is_some_and(|&prev| prev >= id) {
+            return Err(HistogramError::Codec {
+                reason: "attribute ids not strictly ascending".into(),
+            });
+        }
+        ids.push(id);
+        let lo = cursor.u32()?;
+        let hi = cursor.u32()?;
+        if lo > hi {
+            return Err(HistogramError::Codec { reason: "inverted domain range".into() });
+        }
+        ranges.push((lo, hi));
+    }
+    let attrs = AttrSet::from_ids(ids);
+    let domain = BoundingBox::new(attrs.clone(), ranges);
+    Ok((attrs, domain))
+}
+
+/// Serializes a split tree exactly: attribute header, the cached total
+/// (by bit pattern), then the node arena verbatim — `0` tag + `f64`
+/// frequency for leaves, `1` tag + `u16` attribute id + `u32` split +
+/// explicit `u32` child ids for internal nodes.
+///
+/// # Errors
+///
+/// Returns [`HistogramError::Codec`] if the arena exceeds the `u32` node
+/// count (impossible for trees this workspace builds).
+pub fn encode_split_tree_exact(tree: &SplitTree) -> Result<Vec<u8>, HistogramError> {
+    let mut out = Vec::new();
+    encode_attr_header(tree.attrs(), tree.domain().ranges(), &mut out)?;
+    out.extend_from_slice(&tree.total().to_bits().to_le_bytes());
+    let count = u32::try_from(tree.nodes().len())
+        .map_err(|_| HistogramError::Codec { reason: "node arena exceeds u32".into() })?;
+    out.extend_from_slice(&count.to_le_bytes());
+    for node in tree.nodes() {
+        match node {
+            Node::Leaf { freq } => {
+                out.push(0);
+                out.extend_from_slice(&freq.to_bits().to_le_bytes());
+            }
+            Node::Internal { attr, split, left, right } => {
+                out.push(1);
+                out.extend_from_slice(&attr.to_le_bytes());
+                out.extend_from_slice(&split.to_le_bytes());
+                out.extend_from_slice(&left.to_le_bytes());
+                out.extend_from_slice(&right.to_le_bytes());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Deserializes [`encode_split_tree_exact`] output. The arena is rebuilt
+/// verbatim (preserving node order and the cached total bit-for-bit) and
+/// then gated through [`SplitTree::validate`], so malformed input —
+/// cycles, orphans, out-of-range children, bad splits — is rejected with
+/// an error, never trusted.
+///
+/// # Errors
+///
+/// Returns [`HistogramError::Codec`] for truncated or malformed input.
+pub fn decode_split_tree_exact(bytes: &[u8]) -> Result<SplitTree, HistogramError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let (attrs, domain) = decode_attr_header(&mut cursor)?;
+    let total = f64::from_bits(cursor.u64()?);
+    let count = cursor.u32()? as usize;
+    // Every node costs ≥ 9 bytes; reject counts the buffer cannot hold.
+    if bytes.len().saturating_sub(cursor.pos) / 9 < count {
+        return Err(HistogramError::Codec { reason: "node count exceeds buffer".into() });
+    }
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        match cursor.u8()? {
+            0 => nodes.push(Node::Leaf { freq: f64::from_bits(cursor.u64()?) }),
+            1 => {
+                let attr = cursor.u16()?;
+                let split = cursor.u32()?;
+                let left = cursor.u32()?;
+                let right = cursor.u32()?;
+                nodes.push(Node::Internal { attr, split, left, right });
+            }
+            tag => return Err(HistogramError::Codec { reason: format!("unknown node tag {tag}") }),
+        }
+    }
+    if cursor.pos != bytes.len() {
+        return Err(HistogramError::Codec { reason: "trailing bytes".into() });
+    }
+    let tree = SplitTree::from_parts_with_total(attrs, domain, nodes, total);
+    tree.validate().map_err(|reason| HistogramError::Codec { reason })?;
+    Ok(tree)
+}
+
+/// Serializes a grid histogram exactly: attribute header, cached total
+/// (by bit pattern), per-dimension boundary lists, then the row-major
+/// `f64` frequency array verbatim.
+///
+/// # Errors
+///
+/// Returns [`HistogramError::Codec`] if a count exceeds its `u32` prefix.
+pub fn encode_grid_exact(grid: &crate::grid::GridHistogram) -> Result<Vec<u8>, HistogramError> {
+    let mut out = Vec::new();
+    encode_attr_header(grid.attrs(), grid.domain().ranges(), &mut out)?;
+    out.extend_from_slice(&grid.total().to_bits().to_le_bytes());
+    for bs in grid.boundaries() {
+        let count = u32::try_from(bs.len())
+            .map_err(|_| HistogramError::Codec { reason: "boundary count exceeds u32".into() })?;
+        out.extend_from_slice(&count.to_le_bytes());
+        for &b in bs {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+    let count = u32::try_from(grid.freqs().len())
+        .map_err(|_| HistogramError::Codec { reason: "frequency count exceeds u32".into() })?;
+    out.extend_from_slice(&count.to_le_bytes());
+    for &f in grid.freqs() {
+        out.extend_from_slice(&f.to_bits().to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Deserializes [`encode_grid_exact`] output through the validating grid
+/// constructor.
+///
+/// # Errors
+///
+/// Returns [`HistogramError::Codec`] for truncated or malformed input.
+pub fn decode_grid_exact(bytes: &[u8]) -> Result<crate::grid::GridHistogram, HistogramError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let (attrs, domain) = decode_attr_header(&mut cursor)?;
+    let total = f64::from_bits(cursor.u64()?);
+    let mut boundaries = Vec::with_capacity(attrs.len());
+    for _ in 0..attrs.len() {
+        let count = cursor.u32()? as usize;
+        if bytes.len().saturating_sub(cursor.pos) / 4 < count {
+            return Err(HistogramError::Codec { reason: "boundary count exceeds buffer".into() });
+        }
+        let mut bs = Vec::with_capacity(count);
+        for _ in 0..count {
+            bs.push(cursor.u32()?);
+        }
+        boundaries.push(bs);
+    }
+    let count = cursor.u32()? as usize;
+    if bytes.len().saturating_sub(cursor.pos) / 8 < count {
+        return Err(HistogramError::Codec { reason: "frequency count exceeds buffer".into() });
+    }
+    let mut freqs = Vec::with_capacity(count);
+    for _ in 0..count {
+        freqs.push(f64::from_bits(cursor.u64()?));
+    }
+    if cursor.pos != bytes.len() {
+        return Err(HistogramError::Codec { reason: "trailing bytes".into() });
+    }
+    crate::grid::GridHistogram::from_parts_with_total(attrs, domain, boundaries, freqs, total)
+}
+
+/// Serializes a Haar synopsis exactly: attribute header (domain sizes as
+/// ranges `0..dim-1`), cached total (by bit pattern), then the retained
+/// `(flat index, f64 coefficient)` pairs verbatim. Padded sizes are not
+/// stored — they are always the next power of two of the true sizes.
+///
+/// # Errors
+///
+/// Returns [`HistogramError::Codec`] if a count exceeds its `u32` prefix.
+pub fn encode_haar_exact(syn: &crate::wavelet::HaarSynopsis) -> Result<Vec<u8>, HistogramError> {
+    let mut out = Vec::new();
+    let ranges: Vec<(u32, u32)> = syn
+        .dims()
+        .iter()
+        .map(|&d| {
+            u32::try_from(d)
+                .ok()
+                .and_then(|d| d.checked_sub(1))
+                .map(|hi| (0, hi))
+                .ok_or_else(|| HistogramError::Codec { reason: "invalid wavelet dim".into() })
+        })
+        .collect::<Result<_, _>>()?;
+    encode_attr_header(syn.attrs(), &ranges, &mut out)?;
+    out.extend_from_slice(&syn.total().to_bits().to_le_bytes());
+    let count = u32::try_from(syn.coefficients().len())
+        .map_err(|_| HistogramError::Codec { reason: "coefficient count exceeds u32".into() })?;
+    out.extend_from_slice(&count.to_le_bytes());
+    for &(i, c) in syn.coefficients() {
+        out.extend_from_slice(&i.to_le_bytes());
+        out.extend_from_slice(&c.to_bits().to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Deserializes [`encode_haar_exact`] output through the validating
+/// constructor; `max_cells` caps the padded state space so hostile bytes
+/// cannot force a huge reconstruction tensor.
+///
+/// # Errors
+///
+/// Returns [`HistogramError::Codec`] for truncated or malformed input.
+pub fn decode_haar_exact(
+    bytes: &[u8],
+    max_cells: usize,
+) -> Result<crate::wavelet::HaarSynopsis, HistogramError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let (attrs, domain) = decode_attr_header(&mut cursor)?;
+    if domain.ranges().iter().any(|&(lo, _)| lo != 0) {
+        return Err(HistogramError::Codec { reason: "wavelet ranges must start at 0".into() });
+    }
+    let dims: Vec<usize> = domain.ranges().iter().map(|&(_, hi)| hi as usize + 1).collect();
+    let total = f64::from_bits(cursor.u64()?);
+    let count = cursor.u32()? as usize;
+    if bytes.len().saturating_sub(cursor.pos) / 12 < count {
+        return Err(HistogramError::Codec { reason: "coefficient count exceeds buffer".into() });
+    }
+    let mut coeffs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let i = cursor.u32()?;
+        let c = f64::from_bits(cursor.u64()?);
+        coeffs.push((i, c));
+    }
+    if cursor.pos != bytes.len() {
+        return Err(HistogramError::Codec { reason: "trailing bytes".into() });
+    }
+    crate::wavelet::HaarSynopsis::from_parts_checked(attrs, dims, coeffs, total, max_cells)
+}
+
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -195,6 +459,14 @@ impl Cursor<'_> {
             .try_into()
             .map_err(|_| HistogramError::Codec { reason: "truncated input".into() })?;
         Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Result<u64, HistogramError> {
+        let raw: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| HistogramError::Codec { reason: "truncated input".into() })?;
+        Ok(u64::from_le_bytes(raw))
     }
 
     fn f32(&mut self) -> Result<f32, HistogramError> {
@@ -327,6 +599,90 @@ mod tests {
                 "payload matches 9b − 5 at b = {b}"
             );
         }
+    }
+
+    #[test]
+    fn exact_split_tree_roundtrip_is_bit_identical() {
+        let tree = sample_tree(20);
+        let bytes = encode_split_tree_exact(&tree).unwrap();
+        let back = decode_split_tree_exact(&bytes).unwrap();
+        assert_eq!(back.attrs(), tree.attrs());
+        assert_eq!(back.domain(), tree.domain());
+        assert_eq!(back.total().to_bits(), tree.total().to_bits());
+        assert_eq!(back.nodes().len(), tree.nodes().len());
+        for lo in [0u32, 3, 8] {
+            for hi in [8u32, 12, 15] {
+                let a = tree.mass_in_box(&[(0, lo, hi)]);
+                let b = back.mass_in_box(&[(0, lo, hi)]);
+                assert_eq!(a.to_bits(), b.to_bits(), "estimate drifted in [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_split_tree_rejects_malformed() {
+        let tree = sample_tree(8);
+        let bytes = encode_split_tree_exact(&tree).unwrap();
+        assert!(decode_split_tree_exact(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_split_tree_exact(&extra).is_err());
+        // Self-referential root must be rejected by validate, not loop.
+        let mut cyclic = encode_split_tree_exact(&sample_tree(2)).unwrap();
+        let header = 2 + 10 * tree.attrs().len() + 8 + 4;
+        // Overwrite the root's left child id with 0 (itself).
+        cyclic[header + 1 + 2 + 4..header + 1 + 2 + 4 + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_split_tree_exact(&cyclic).is_err());
+    }
+
+    #[test]
+    fn exact_grid_roundtrip_is_bit_identical() {
+        use crate::grid::GridBuilder;
+        let schema = Schema::new(vec![("x", 16), ("y", 8)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..512u32).map(|i| vec![(i * 7) % 16, (i * i) % 8]).collect();
+        let dist = Relation::from_rows(schema, rows).unwrap().distribution();
+        let mut builder = GridBuilder::new(&dist, SplitCriterion::MaxDiff).unwrap();
+        for _ in 0..6 {
+            builder.split_once();
+        }
+        let grid = builder.finish();
+        let bytes = encode_grid_exact(&grid).unwrap();
+        let back = decode_grid_exact(&bytes).unwrap();
+        assert_eq!(back, grid);
+        let a = grid.mass_in_box(&[(0, 2, 9), (1, 0, 3)]);
+        let b = back.mass_in_box(&[(0, 2, 9), (1, 0, 3)]);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn exact_haar_roundtrip_is_bit_identical() {
+        use crate::wavelet::HaarSynopsis;
+        let schema = Schema::new(vec![("x", 16), ("y", 8)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..512u32).map(|i| vec![(i * 7) % 16, (i * i) % 8]).collect();
+        let dist = Relation::from_rows(schema, rows).unwrap().distribution();
+        let syn = HaarSynopsis::build(&dist, 24, 1 << 16).unwrap();
+        let bytes = encode_haar_exact(&syn).unwrap();
+        let back = decode_haar_exact(&bytes, 1 << 16).unwrap();
+        assert_eq!(back.attrs(), syn.attrs());
+        assert_eq!(back.total().to_bits(), syn.total().to_bits());
+        assert_eq!(back.coefficients(), syn.coefficients());
+        let a = syn.reconstruct_dense();
+        let b = back.reconstruct_dense();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_haar_respects_cell_cap() {
+        use crate::wavelet::HaarSynopsis;
+        let schema = Schema::new(vec![("x", 16), ("y", 8)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..64u32).map(|i| vec![i % 16, i % 8]).collect();
+        let dist = Relation::from_rows(schema, rows).unwrap().distribution();
+        let syn = HaarSynopsis::build(&dist, 8, 1 << 16).unwrap();
+        let bytes = encode_haar_exact(&syn).unwrap();
+        assert!(decode_haar_exact(&bytes, 16).is_err());
     }
 
     #[test]

@@ -59,6 +59,56 @@ impl GridHistogram {
         self.freqs.len()
     }
 
+    /// Per-attribute interior boundary lists (snapshot codec).
+    pub(crate) fn boundaries(&self) -> &[Vec<u32>] {
+        &self.boundaries
+    }
+
+    /// Row-major bucket frequencies (snapshot codec).
+    pub(crate) fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Reassembles a grid histogram from snapshot parts, storing the
+    /// cached total verbatim for bit-exact round trips. Unlike the other
+    /// constructors — whose inputs are valid by construction — this one
+    /// fully validates shape and values, since snapshot bytes are of
+    /// unknown provenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError::Codec`] if the parts violate any grid
+    /// invariant.
+    pub(crate) fn from_parts_with_total(
+        attrs: AttrSet,
+        domain: BoundingBox,
+        boundaries: Vec<Vec<u32>>,
+        freqs: Vec<f64>,
+        total: f64,
+    ) -> Result<Self, HistogramError> {
+        let codec = |reason: String| HistogramError::Codec { reason };
+        if domain.attrs() != &attrs || boundaries.len() != attrs.len() {
+            return Err(codec("grid parts are not aligned with the attribute set".into()));
+        }
+        for (p, bs) in boundaries.iter().enumerate() {
+            let (dlo, dhi) = domain.ranges()[p];
+            if !bs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(codec(format!("dimension {p} boundaries are not strictly ascending")));
+            }
+            if bs.iter().any(|&b| b <= dlo || b > dhi) {
+                return Err(codec(format!("dimension {p} has a boundary outside its domain")));
+            }
+        }
+        let cells: usize = boundaries.iter().map(|b| b.len() + 1).product();
+        if freqs.len() != cells {
+            return Err(codec(format!("{} frequencies for a {cells}-cell grid", freqs.len())));
+        }
+        if freqs.iter().any(|f| !f.is_finite() || *f < 0.0) || !total.is_finite() {
+            return Err(codec("grid frequencies must be finite and non-negative".into()));
+        }
+        Ok(Self { attrs, domain, boundaries, freqs, total })
+    }
+
     /// Per-dimension cell counts.
     fn dims(&self) -> Vec<usize> {
         self.boundaries.iter().map(|b| b.len() + 1).collect()

@@ -89,6 +89,22 @@ impl SplitTree {
         Self { attrs, domain, nodes, total }
     }
 
+    /// Like [`SplitTree::from_parts_unvalidated`] but keeps the supplied
+    /// cached total verbatim instead of recomputing it as the arena-order
+    /// leaf sum — the snapshot codec needs this because a tree mutated by
+    /// `update` carries a total that can differ from that sum in its last
+    /// bits, and persistence must round-trip every `f64` bit-exactly.
+    /// Callers must run [`SplitTree::validate`] (which tolerates the
+    /// difference: it compares total and leaf sum within `1e-6` relative).
+    pub(crate) fn from_parts_with_total(
+        attrs: AttrSet,
+        domain: BoundingBox,
+        nodes: Vec<Node>,
+        total: f64,
+    ) -> Self {
+        Self { attrs, domain, nodes, total }
+    }
+
     /// The attributes the histogram covers.
     #[must_use]
     pub fn attrs(&self) -> &AttrSet {

@@ -134,6 +134,66 @@ impl HaarSynopsis {
         &self.attrs
     }
 
+    /// True per-attribute domain sizes, aligned with `attrs`.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Power-of-two padded sizes, aligned with `attrs`.
+    #[must_use]
+    pub fn padded(&self) -> &[usize] {
+        &self.padded
+    }
+
+    /// The retained `(flat padded index, coefficient)` pairs.
+    #[must_use]
+    pub fn coefficients(&self) -> &[(u32, f64)] {
+        &self.coeffs
+    }
+
+    /// Reassembles a synopsis from snapshot parts of unknown provenance,
+    /// validating every invariant the builder establishes by
+    /// construction. `max_cells` bounds the padded state space so hostile
+    /// bytes cannot drive a huge allocation at reconstruction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError::Codec`] if the parts violate any
+    /// invariant.
+    pub(crate) fn from_parts_checked(
+        attrs: AttrSet,
+        dims: Vec<usize>,
+        coeffs: Vec<(u32, f64)>,
+        total: f64,
+        max_cells: usize,
+    ) -> Result<Self, HistogramError> {
+        let codec = |reason: String| HistogramError::Codec { reason };
+        if attrs.is_empty() || dims.len() != attrs.len() {
+            return Err(codec("wavelet dims are not aligned with the attribute set".into()));
+        }
+        if dims.contains(&0) {
+            return Err(codec("wavelet dimension with an empty domain".into()));
+        }
+        // `padded` is derived data — always the next power of two.
+        let padded: Vec<usize> = dims.iter().map(|&d| d.next_power_of_two()).collect();
+        let cells = padded.iter().try_fold(1usize, |acc, &p| acc.checked_mul(p));
+        let cells = match cells {
+            Some(c) if c <= max_cells => c,
+            _ => return Err(codec(format!("padded state space exceeds the {max_cells}-cell cap"))),
+        };
+        if coeffs.len() > cells {
+            return Err(codec(format!("{} coefficients for {cells} cells", coeffs.len())));
+        }
+        if coeffs.iter().any(|&(i, c)| i as usize >= cells || !c.is_finite()) {
+            return Err(codec("wavelet coefficient index or value out of range".into()));
+        }
+        if !total.is_finite() || total < 0.0 {
+            return Err(codec("wavelet total must be finite and non-negative".into()));
+        }
+        Ok(Self { attrs, dims, padded, coeffs, total })
+    }
+
     /// Number of retained coefficients.
     #[must_use]
     pub fn coefficient_count(&self) -> usize {

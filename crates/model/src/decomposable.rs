@@ -38,6 +38,61 @@ impl DecomposableModel {
         Ok(Self { schema, graph, junction })
     }
 
+    /// Reassembles a model from externally supplied parts (e.g. a decoded
+    /// snapshot) without re-deriving structure: no chordality test, no
+    /// junction-tree construction. Instead the parts are cross-checked —
+    /// the junction tree must already satisfy its own invariants (callers
+    /// construct it via [`JunctionTree::from_parts`], which validates),
+    /// its cliques must be complete in `graph` and jointly cover every
+    /// vertex, and every graph edge must lie inside some clique. Together
+    /// those checks certify that the tree is a junction tree *of this
+    /// graph*, which is only possible when the graph is chordal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidStructure`] when the parts are
+    /// mutually inconsistent.
+    pub fn from_parts(
+        schema: Schema,
+        graph: MarkovGraph,
+        junction: JunctionTree,
+    ) -> Result<Self, ModelError> {
+        if graph.vertex_count() != schema.arity() {
+            return Err(ModelError::InvalidStructure {
+                reason: format!(
+                    "graph has {} vertices for a {}-attribute schema",
+                    graph.vertex_count(),
+                    schema.arity()
+                ),
+            });
+        }
+        junction.validate().map_err(|reason| ModelError::InvalidStructure { reason })?;
+        let cliques = junction.cliques();
+        let mut covered = AttrSet::empty();
+        for clique in cliques {
+            if !graph.is_clique(clique) {
+                return Err(ModelError::InvalidStructure {
+                    reason: format!("generator {clique} is not complete in the Markov graph"),
+                });
+            }
+            covered.union_with(clique);
+        }
+        let in_range = covered.iter().all(|id| usize::from(id) < schema.arity());
+        if covered.len() != schema.arity() || !in_range {
+            return Err(ModelError::InvalidStructure {
+                reason: "junction-tree cliques do not cover exactly the schema's attributes".into(),
+            });
+        }
+        for (u, v) in graph.edges() {
+            if !cliques.iter().any(|c| c.contains(u) && c.contains(v)) {
+                return Err(ModelError::InvalidStructure {
+                    reason: format!("graph edge ({u}, {v}) lies in no clique"),
+                });
+            }
+        }
+        Ok(Self { schema, graph, junction })
+    }
+
     /// The full-independence model `[1][2]...[n]` — forward selection's
     /// starting point.
     #[must_use]

@@ -28,6 +28,12 @@ pub enum ModelError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// Externally supplied structure (e.g. a deserialized junction tree)
+    /// violates a model invariant.
+    InvalidStructure {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -39,6 +45,9 @@ impl fmt::Display for ModelError {
             Self::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex} not allowed"),
             Self::NotChordal => write!(f, "graph is not chordal (model not decomposable)"),
             Self::InvalidConfig { reason } => write!(f, "invalid selection config: {reason}"),
+            Self::InvalidStructure { reason } => {
+                write!(f, "invalid model structure: {reason}")
+            }
         }
     }
 }
@@ -55,5 +64,8 @@ mod tests {
         assert!(ModelError::SelfLoop { vertex: 2 }.to_string().contains('2'));
         assert!(ModelError::VertexOutOfRange { vertex: 5, n: 3 }.to_string().contains("3-vertex"));
         assert!(ModelError::InvalidConfig { reason: "bad".into() }.to_string().contains("bad"));
+        assert!(ModelError::InvalidStructure { reason: "dangling edge".into() }
+            .to_string()
+            .contains("dangling edge"));
     }
 }

@@ -106,6 +106,48 @@ impl JunctionTree {
         tree
     }
 
+    /// Reassembles a junction tree from externally supplied cliques and
+    /// tree edges (clique-index pairs), e.g. decoded from a snapshot.
+    /// Separators and the adjacency table are recomputed — they are
+    /// derived data — and the full invariant suite ([`Self::validate`],
+    /// including the clique-intersection property) runs unconditionally,
+    /// so hostile input cannot produce an inconsistent tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidStructure`] when the edges reference
+    /// out-of-range cliques or the result violates any junction-tree
+    /// invariant.
+    pub fn from_parts(
+        cliques: Vec<AttrSet>,
+        edge_pairs: Vec<(usize, usize)>,
+    ) -> Result<Self, ModelError> {
+        let k = cliques.len();
+        let mut edges = Vec::with_capacity(edge_pairs.len());
+        let mut adjacency = vec![Vec::new(); k];
+        for (a, b) in edge_pairs {
+            if a >= k || b >= k || a == b {
+                return Err(ModelError::InvalidStructure {
+                    reason: format!("edge ({a}, {b}) invalid for {k} cliques"),
+                });
+            }
+            let separator = cliques[a].intersection(&cliques[b]);
+            adjacency[a].push(edges.len());
+            adjacency[b].push(edges.len());
+            edges.push(JunctionEdge { a, b, separator });
+        }
+        if edges.len() != k.saturating_sub(1) {
+            // `from_cliques` always emits a spanning tree; anything else
+            // was not produced by this crate.
+            return Err(ModelError::InvalidStructure {
+                reason: format!("{} edges cannot span {k} cliques", edges.len()),
+            });
+        }
+        let tree = Self { cliques, edges, adjacency };
+        tree.validate().map_err(|reason| ModelError::InvalidStructure { reason })?;
+        Ok(tree)
+    }
+
     /// Structural invariant check (see DESIGN.md, "Invariants & lint
     /// policy"): every edge must join two distinct in-range cliques with a
     /// separator equal to their intersection, the adjacency table must

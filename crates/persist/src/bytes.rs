@@ -1,0 +1,289 @@
+//! Little-endian primitive readers/writers over byte buffers.
+//!
+//! All multi-byte values in the snapshot format are little-endian. The
+//! reader performs only checked accesses — adversarial bytes produce a
+//! typed [`PersistError`], never a panic (and certainly never UB).
+
+use crate::error::PersistError;
+
+/// Appends little-endian primitives to a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    #[must_use]
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+    /// Bit-exact: the value read back is the identical `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends raw bytes with no framing.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `usize` count as a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] if the count exceeds `u32::MAX`
+    /// (no real synopsis gets near this; refusing beats silent truncation).
+    pub fn put_len(&mut self, n: usize) -> Result<(), PersistError> {
+        let v = u32::try_from(n)
+            .map_err(|_| PersistError::Corrupt { reason: format!("length {n} overflows u32") })?;
+        self.put_u32(v);
+        Ok(())
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Writer::put_len`].
+    pub fn put_str(&mut self, s: &str) -> Result<(), PersistError> {
+        self.put_len(s.len())?;
+        self.put_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Checked little-endian reads over a borrowed byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Reported in [`PersistError::Truncated`] failures.
+    context: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`; `context` names the structure being decoded
+    /// in truncation errors.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], context: &'static str) -> Self {
+        Self { bytes, pos: 0, context }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    /// Fails unless every byte has been consumed — trailing garbage in a
+    /// fixed-layout payload means the encoder and decoder disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] when bytes remain.
+    pub fn expect_end(&self) -> Result<(), PersistError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt {
+                reason: format!("{} trailing byte(s) after {}", self.remaining(), self.context),
+            })
+        }
+    }
+
+    /// Consumes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(PersistError::Truncated { context: self.context })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn u16(&mut self) -> Result<u16, PersistError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads an `f64` bit pattern (bit-exact round trip with
+    /// [`Writer::put_f64`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] at end of input.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32` count as a bounds-checked `usize`: the declared count
+    /// must be coverable by the remaining bytes at `min_item_bytes` each,
+    /// so a corrupted count cannot drive a multi-gigabyte allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] for impossible counts.
+    pub fn len(&mut self, min_item_bytes: usize) -> Result<usize, PersistError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
+            return Err(PersistError::Truncated { context: self.context });
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] on short input or
+    /// [`PersistError::Corrupt`] on invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, PersistError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PersistError::Corrupt {
+            reason: format!("invalid UTF-8 in {}", self.context),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.0);
+        w.put_f64(std::f64::consts::PI);
+        w.put_str("clique").unwrap();
+        let bytes = w.into_inner();
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), std::f64::consts::PI.to_bits());
+        assert_eq!(r.str().unwrap(), "clique");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut r = Reader::new(&[1, 2], "widget");
+        assert_eq!(r.u32(), Err(PersistError::Truncated { context: "widget" }));
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_without_allocation() {
+        // Declares u32::MAX strings but provides 4 trailing bytes.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        w.put_u32(0);
+        let bytes = w.into_inner();
+        let mut r = Reader::new(&bytes, "list");
+        assert_eq!(r.len(1), Err(PersistError::Truncated { context: "list" }));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut r = Reader::new(&[1, 2, 3], "payload");
+        let _ = r.u8().unwrap();
+        assert!(matches!(r.expect_end(), Err(PersistError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_inner();
+        let mut r = Reader::new(&bytes, "name");
+        assert!(matches!(r.str(), Err(PersistError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,361 @@
+//! The snapshot container: a fixed header, a section table, and
+//! alignment-padded payloads.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     4  magic  b"DBHS"
+//!      4     2  format version        (u16 LE) — currently 2
+//!      6     2  section count  k      (u16 LE)
+//!      8     8  total container len   (u64 LE)
+//!     16   24k  section table, one 24-byte entry per section:
+//!                 kind      u16 LE    (see [`SectionKind`])
+//!                 reserved  u16 LE    (written 0, ignored on read)
+//!                 crc32     u32 LE    (CRC-32/IEEE of the payload)
+//!                 offset    u64 LE    (absolute, 8-byte aligned)
+//!                 len       u64 LE    (payload bytes, pre-padding)
+//!  16+24k   ...  payloads, each starting on an 8-byte boundary,
+//!                gaps zero-filled
+//! ```
+//!
+//! Everything is little-endian. Because the header is 16 bytes and each
+//! table entry is 24, the first payload always lands 8-byte aligned; the
+//! writer pads between payloads to keep every section aligned, so a
+//! loader may overlay `u64`/`f64` views onto a memory-mapped snapshot
+//! without copying. [`Snapshot::parse`] validates the whole table —
+//! bounds, alignment, and every section's CRC — eagerly, so any accepted
+//! snapshot is internally consistent before a single payload is decoded.
+
+use std::ops::Range;
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+
+/// First four bytes of every snapshot.
+pub const MAGIC: [u8; 4] = *b"DBHS";
+
+/// The format version this build reads and writes. Version 1 was the
+/// pre-release layout and is rejected with
+/// [`PersistError::VersionMismatch`]; any future incompatible layout
+/// change must bump this.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Byte length of the fixed header.
+pub const HEADER_LEN: usize = 16;
+
+/// Byte length of one section-table entry.
+pub const TABLE_ENTRY_LEN: usize = 24;
+
+/// Payload alignment (and padding granularity).
+pub const SECTION_ALIGN: usize = 8;
+
+/// Section-kind codes recorded in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum SectionKind {
+    /// Snapshot-level metadata: factor kind, synopsis name, byte budget.
+    Meta = 1,
+    /// Attribute schema: names and domain sizes.
+    Schema = 2,
+    /// Markov-graph edge list of the decomposable model.
+    Graph = 3,
+    /// Junction-tree cliques and tree edges.
+    Junction = 4,
+    /// Per-clique factor payloads, in clique order.
+    Factors = 5,
+}
+
+impl SectionKind {
+    /// The on-disk code for this section kind.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+}
+
+fn align_up(n: usize) -> usize {
+    n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// Assembles a snapshot byte-for-byte: collect sections, then
+/// [`finish`](SnapshotWriter::finish) into the final container.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(u16, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a section. Order is preserved in the table and the payload
+    /// area.
+    pub fn section(&mut self, kind: SectionKind, payload: Vec<u8>) {
+        self.sections.push((kind.code(), payload));
+    }
+
+    /// Emits the complete container: header, table, aligned payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] on a duplicate section kind or a
+    /// section count / length that overflows the header fields.
+    pub fn finish(self) -> Result<Vec<u8>, PersistError> {
+        let count = u16::try_from(self.sections.len()).map_err(|_| PersistError::Corrupt {
+            reason: format!("{} sections overflow the u16 count field", self.sections.len()),
+        })?;
+        for (i, (kind, _)) in self.sections.iter().enumerate() {
+            if self.sections.iter().take(i).any(|(k, _)| k == kind) {
+                return Err(PersistError::Corrupt {
+                    reason: format!("duplicate section kind {kind}"),
+                });
+            }
+        }
+
+        let table_end = HEADER_LEN + TABLE_ENTRY_LEN * self.sections.len();
+        let mut entries = Vec::with_capacity(self.sections.len());
+        let mut cursor = table_end;
+        for (kind, payload) in &self.sections {
+            cursor = align_up(cursor);
+            entries.push((*kind, crc32(payload), cursor as u64, payload.len() as u64));
+            cursor += payload.len();
+        }
+        let total_len = cursor as u64;
+
+        let mut out = Vec::with_capacity(cursor);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+        out.extend_from_slice(&total_len.to_le_bytes());
+        for (kind, crc, offset, len) in &entries {
+            out.extend_from_slice(&kind.to_le_bytes());
+            out.extend_from_slice(&0u16.to_le_bytes());
+            out.extend_from_slice(&crc.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        for ((_, _, offset, _), (_, payload)) in entries.iter().zip(&self.sections) {
+            out.resize(usize::try_from(*offset).unwrap_or(out.len()), 0);
+            out.extend_from_slice(payload);
+        }
+        Ok(out)
+    }
+}
+
+/// A parsed, fully validated view over snapshot bytes. Holding a
+/// `Snapshot` means the header, table bounds, payload alignment, and
+/// every section CRC have already been checked.
+#[derive(Debug)]
+pub struct Snapshot<'a> {
+    bytes: &'a [u8],
+    table: Vec<(u16, Range<usize>)>,
+}
+
+impl<'a> Snapshot<'a> {
+    /// Parses and validates a container.
+    ///
+    /// Checks run in order of increasing assumption: magic and version
+    /// are readable from the first 6 bytes (so a version-1 file is
+    /// reported as [`PersistError::VersionMismatch`] even if it is
+    /// shorter than this format's header), then the full header, the
+    /// table bounds and alignment, and finally every section's CRC.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadMagic`], [`PersistError::VersionMismatch`],
+    /// [`PersistError::Truncated`], [`PersistError::Corrupt`], or
+    /// [`PersistError::SectionCrc`] — corruption is always detected.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, PersistError> {
+        if bytes.len() < 6 {
+            return Err(PersistError::Truncated { context: "snapshot header" });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != FORMAT_VERSION {
+            return Err(PersistError::VersionMismatch { found: version, expected: FORMAT_VERSION });
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(PersistError::Truncated { context: "snapshot header" });
+        }
+        let count = usize::from(u16::from_le_bytes([bytes[6], bytes[7]]));
+        let total_len = u64::from_le_bytes([
+            bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
+        ]);
+        if total_len != bytes.len() as u64 {
+            if total_len > bytes.len() as u64 {
+                return Err(PersistError::Truncated { context: "snapshot body" });
+            }
+            return Err(PersistError::Corrupt {
+                reason: format!(
+                    "container declares {total_len} bytes but {} are present",
+                    bytes.len()
+                ),
+            });
+        }
+        let table_end = HEADER_LEN + TABLE_ENTRY_LEN * count;
+        if bytes.len() < table_end {
+            return Err(PersistError::Truncated { context: "section table" });
+        }
+
+        let mut table = Vec::with_capacity(count);
+        for i in 0..count {
+            let e =
+                &bytes[HEADER_LEN + i * TABLE_ENTRY_LEN..HEADER_LEN + (i + 1) * TABLE_ENTRY_LEN];
+            let kind = u16::from_le_bytes([e[0], e[1]]);
+            let crc = u32::from_le_bytes([e[4], e[5], e[6], e[7]]);
+            let offset = u64::from_le_bytes([e[8], e[9], e[10], e[11], e[12], e[13], e[14], e[15]]);
+            let len = u64::from_le_bytes([e[16], e[17], e[18], e[19], e[20], e[21], e[22], e[23]]);
+            let offset = usize::try_from(offset).map_err(|_| PersistError::Corrupt {
+                reason: format!("section {kind} offset overflows usize"),
+            })?;
+            let len = usize::try_from(len).map_err(|_| PersistError::Corrupt {
+                reason: format!("section {kind} length overflows usize"),
+            })?;
+            let end = offset.checked_add(len).ok_or_else(|| PersistError::Corrupt {
+                reason: format!("section {kind} extent overflows"),
+            })?;
+            if offset < table_end || end > bytes.len() {
+                return Err(PersistError::Truncated { context: "section payload" });
+            }
+            if offset % SECTION_ALIGN != 0 {
+                return Err(PersistError::Corrupt {
+                    reason: format!("section {kind} payload is not {SECTION_ALIGN}-byte aligned"),
+                });
+            }
+            if table.iter().any(|(k, _)| *k == kind) {
+                return Err(PersistError::Corrupt {
+                    reason: format!("duplicate section kind {kind}"),
+                });
+            }
+            if crc32(&bytes[offset..end]) != crc {
+                return Err(PersistError::SectionCrc { kind });
+            }
+            table.push((kind, offset..end));
+        }
+        Ok(Self { bytes, table })
+    }
+
+    /// The payload of a required section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::MissingSection`] if absent.
+    pub fn section(&self, kind: SectionKind) -> Result<&'a [u8], PersistError> {
+        self.table
+            .iter()
+            .find(|(k, _)| *k == kind.code())
+            .map(|(_, range)| &self.bytes[range.clone()])
+            .ok_or(PersistError::MissingSection { kind: kind.code() })
+    }
+
+    /// Section kinds with their absolute payload byte ranges, in table
+    /// order. Used by corruption tests to flip a byte inside a specific
+    /// section.
+    #[must_use]
+    pub fn section_table(&self) -> &[(u16, Range<usize>)] {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section(SectionKind::Meta, vec![1, 2, 3]);
+        w.section(SectionKind::Schema, b"schema-payload".to_vec());
+        w.section(SectionKind::Factors, vec![9; 17]);
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_payloads() {
+        let bytes = sample();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        assert_eq!(snap.section(SectionKind::Meta).unwrap(), &[1, 2, 3]);
+        assert_eq!(snap.section(SectionKind::Schema).unwrap(), b"schema-payload");
+        assert_eq!(snap.section(SectionKind::Factors).unwrap(), &[9; 17]);
+    }
+
+    #[test]
+    fn payloads_are_aligned() {
+        let bytes = sample();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        for (_, range) in snap.section_table() {
+            assert_eq!(range.start % SECTION_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let bytes = sample();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        assert_eq!(
+            snap.section(SectionKind::Graph).map(<[u8]>::len),
+            Err(PersistError::MissingSection { kind: 3 })
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample();
+        bytes[0] = b'X';
+        assert!(matches!(Snapshot::parse(&bytes), Err(PersistError::BadMagic)));
+    }
+
+    #[test]
+    fn old_version_is_rejected_even_when_short() {
+        // A minimal version-1 artifact: magic + version only.
+        let bytes = [b'D', b'B', b'H', b'S', 1, 0];
+        assert_eq!(
+            Snapshot::parse(&bytes).err(),
+            Some(PersistError::VersionMismatch { found: 1, expected: FORMAT_VERSION })
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample();
+        for cut in [3, 10, HEADER_LEN + 5, bytes.len() - 1] {
+            let err = Snapshot::parse(&bytes[..cut]).err().unwrap();
+            assert!(matches!(err, PersistError::Truncated { .. }), "cut at {cut} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn every_section_bit_flip_is_caught_by_its_crc() {
+        let bytes = sample();
+        let table: Vec<(u16, Range<usize>)> =
+            Snapshot::parse(&bytes).unwrap().section_table().to_vec();
+        for (kind, range) in table {
+            let mut corrupted = bytes.clone();
+            corrupted[range.start] ^= 0x01;
+            assert_eq!(
+                Snapshot::parse(&corrupted).err(),
+                Some(PersistError::SectionCrc { kind }),
+                "flip in section {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_sections_are_rejected_at_write_time() {
+        let mut w = SnapshotWriter::new();
+        w.section(SectionKind::Meta, vec![1]);
+        w.section(SectionKind::Meta, vec![2]);
+        assert!(matches!(w.finish(), Err(PersistError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn length_mismatch_is_corrupt() {
+        let mut bytes = sample();
+        bytes.push(0);
+        assert!(matches!(Snapshot::parse(&bytes), Err(PersistError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,101 @@
+//! Typed failures for snapshot encoding, decoding, and file I/O.
+//!
+//! Every way a snapshot can be wrong maps to a distinct variant so that
+//! callers (and CI's corruption round-trip job) can assert on the *kind*
+//! of failure, not just its message. Corruption is always detected and
+//! reported — never undefined behaviour, never a panic.
+
+use std::fmt;
+
+/// Errors produced while saving or loading a synopsis snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// The file does not start with the `DBHS` magic — not a snapshot.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// Version this build reads and writes.
+        expected: u16,
+    },
+    /// The byte stream ends before the structure it declares.
+    Truncated {
+        /// Which structure ran out of bytes.
+        context: &'static str,
+    },
+    /// A section's payload bytes do not match the CRC-32 recorded in the
+    /// section table.
+    SectionCrc {
+        /// Section-kind code of the corrupted section.
+        kind: u16,
+    },
+    /// A section required to materialize the synopsis is absent.
+    MissingSection {
+        /// Section-kind code of the missing section.
+        kind: u16,
+    },
+    /// The bytes are structurally well-formed (checksums pass) but encode
+    /// an invalid value — a malformed tree, an out-of-range id, an
+    /// inconsistent model.
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// An operating-system I/O failure (stringified: `std::io::Error` is
+    /// neither `Clone` nor `PartialEq`).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a dbhist snapshot (bad magic)"),
+            Self::VersionMismatch { found, expected } => {
+                write!(f, "snapshot format version {found} is not the supported version {expected}")
+            }
+            Self::Truncated { context } => write!(f, "snapshot truncated while reading {context}"),
+            Self::SectionCrc { kind } => {
+                write!(f, "section {kind} failed its CRC-32 check (corrupted payload)")
+            }
+            Self::MissingSection { kind } => write!(f, "required section {kind} is missing"),
+            Self::Corrupt { reason } => write!(f, "snapshot corrupt: {reason}"),
+            Self::Io { path, reason } => write!(f, "snapshot I/O failed for {path}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        let v = PersistError::VersionMismatch { found: 1, expected: 2 };
+        assert!(v.to_string().contains('1') && v.to_string().contains('2'));
+        assert!(PersistError::Truncated { context: "header" }.to_string().contains("header"));
+        assert!(PersistError::SectionCrc { kind: 3 }.to_string().contains('3'));
+        assert!(PersistError::MissingSection { kind: 5 }.to_string().contains('5'));
+        assert!(PersistError::Corrupt { reason: "bad id".into() }.to_string().contains("bad id"));
+        let io = PersistError::Io { path: "/tmp/x.dbh".into(), reason: "denied".into() };
+        assert!(io.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn variants_are_comparable_for_test_assertions() {
+        assert_eq!(
+            PersistError::VersionMismatch { found: 1, expected: 2 },
+            PersistError::VersionMismatch { found: 1, expected: 2 }
+        );
+        assert_ne!(PersistError::BadMagic, PersistError::SectionCrc { kind: 1 });
+    }
+}

@@ -1,0 +1,106 @@
+//! Versioned, checksummed snapshot persistence for DB histogram synopses.
+//!
+//! The paper's whole point of the split-tree representation (§4.2) is that
+//! an MHIST compresses to `3b − 2` numbers, making a synopsis
+//! `H = <M, C>` a *shippable artifact*. This crate defines that artifact:
+//! a little-endian, alignment-padded container holding the decomposable
+//! model `M` (schema, Markov graph, junction tree) and opaque per-clique
+//! factor payloads `C`, each section protected by a CRC-32 recorded in the
+//! header table.
+//!
+//! Design rules:
+//!
+//! - **Corruption is detected, never UB.** Every read is bounds-checked;
+//!   every section CRC is verified before any payload is decoded; every
+//!   failure is a typed [`PersistError`].
+//! - **No structure re-derivation at load.** The junction tree is stored
+//!   explicitly and revalidated — zero re-chordalization, zero re-rooting.
+//! - **Bit-exact numerics.** `f64` values round-trip by bit pattern, so a
+//!   loaded synopsis answers queries bit-identically to the saved one.
+//!
+//! The container layout is documented in [`container`] and DESIGN.md §12.
+//! Factor payload encodings are owned by the histogram layer; this crate
+//! treats them as opaque byte strings.
+
+pub mod bytes;
+pub mod container;
+mod crc;
+pub mod error;
+pub mod model;
+
+pub use container::{SectionKind, Snapshot, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use crc::crc32;
+pub use error::PersistError;
+pub use model::{decode_factors, decode_model, encode_factors, encode_model, SnapshotMeta};
+
+use std::path::Path;
+
+/// Reads a snapshot file into memory.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on any filesystem failure.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, PersistError> {
+    std::fs::read(path)
+        .map_err(|e| PersistError::Io { path: path.display().to_string(), reason: e.to_string() })
+}
+
+/// Writes snapshot bytes atomically: the bytes land in a sibling
+/// temporary file which is then renamed over `path`, so a crash mid-write
+/// can never leave a truncated snapshot where a valid one existed (the
+/// maintainer overwrites its snapshot in place on every drift-triggered
+/// rebuild).
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on any filesystem failure.
+pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let io = |e: std::io::Error| PersistError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dbhist-persist-{}-{tag}.dbh", std::process::id()))
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut w = SnapshotWriter::new();
+        w.section(SectionKind::Meta, vec![42; 9]);
+        let bytes = w.finish().unwrap();
+        let path = temp_path("roundtrip");
+        write_file(&path, &bytes).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, bytes);
+        let snap = Snapshot::parse(&back).unwrap();
+        assert_eq!(snap.section(SectionKind::Meta).unwrap(), &[42; 9]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_file(Path::new("/nonexistent/dir/x.dbh")).unwrap_err();
+        assert!(matches!(err, PersistError::Io { .. }));
+    }
+
+    #[test]
+    fn write_leaves_no_temp_file_behind() {
+        let path = temp_path("atomic");
+        write_file(&path, b"DBHS").unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,307 @@
+//! Section payload codecs for the decomposable model `M` and the factor
+//! framing for `C`.
+//!
+//! The model is stored as three sections — schema, Markov graph, junction
+//! tree — so a loaded snapshot materializes its structure directly:
+//! separators are recomputed as clique intersections (cheap set
+//! intersections), but there is **no** re-chordalization and no junction
+//! re-rooting. Factor payloads are opaque to this crate: the histogram
+//! layer owns their encoding, and this module only frames them as a
+//! length-prefixed list aligned with the clique order.
+
+use dbhist_distribution::{AttrSet, Schema};
+use dbhist_model::{DecomposableModel, JunctionTree, MarkovGraph};
+
+use crate::bytes::{Reader, Writer};
+use crate::container::{SectionKind, Snapshot, SnapshotWriter};
+use crate::error::PersistError;
+
+/// Snapshot-level metadata stored in the [`SectionKind::Meta`] section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Factor representation code: 1 = MHIST split-tree, 2 = grid,
+    /// 3 = wavelet. Interpreted by the loading layer.
+    pub factor_kind: u8,
+    /// Display name of the synopsis (e.g. `"DB2"`).
+    pub name: String,
+    /// Storage footprint the synopsis reported when it was saved.
+    pub storage_bytes: u64,
+    /// Number of per-clique factors (must equal the junction-tree clique
+    /// count; cross-checked at load).
+    pub factor_count: u32,
+}
+
+impl SnapshotMeta {
+    /// Encodes the meta payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] if the name length overflows the
+    /// length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, PersistError> {
+        let mut w = Writer::new();
+        w.put_u8(self.factor_kind);
+        w.put_str(&self.name)?;
+        w.put_u64(self.storage_bytes);
+        w.put_u32(self.factor_count);
+        Ok(w.into_inner())
+    }
+
+    /// Decodes a meta payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] or [`PersistError::Corrupt`]
+    /// on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::new(bytes, "meta section");
+        let meta = Self {
+            factor_kind: r.u8()?,
+            name: r.str()?,
+            storage_bytes: r.u64()?,
+            factor_count: r.u32()?,
+        };
+        r.expect_end()?;
+        Ok(meta)
+    }
+}
+
+/// Appends the three model sections (schema, graph, junction) to `out`.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] if a count overflows its prefix
+/// (unreachable for schemas the workspace can construct).
+pub fn encode_model(
+    model: &DecomposableModel,
+    out: &mut SnapshotWriter,
+) -> Result<(), PersistError> {
+    out.section(SectionKind::Schema, encode_schema(model.schema())?);
+    out.section(SectionKind::Graph, encode_graph(model.graph())?);
+    out.section(SectionKind::Junction, encode_junction(model.junction_tree())?);
+    Ok(())
+}
+
+fn encode_schema(schema: &Schema) -> Result<Vec<u8>, PersistError> {
+    let mut w = Writer::new();
+    w.put_len(schema.arity())?;
+    for (_, attr) in schema.iter() {
+        w.put_str(&attr.name)?;
+        w.put_u32(attr.domain_size);
+    }
+    Ok(w.into_inner())
+}
+
+fn decode_schema(bytes: &[u8]) -> Result<Schema, PersistError> {
+    let mut r = Reader::new(bytes, "schema section");
+    let arity = r.len(5)?; // ≥ 4 bytes name prefix + 4 bytes domain, conservatively 5
+    let mut attrs = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = r.str()?;
+        let domain = r.u32()?;
+        attrs.push((name, domain));
+    }
+    r.expect_end()?;
+    Schema::new(attrs).map_err(|e| PersistError::Corrupt { reason: format!("invalid schema: {e}") })
+}
+
+fn encode_graph(graph: &MarkovGraph) -> Result<Vec<u8>, PersistError> {
+    let mut w = Writer::new();
+    w.put_len(graph.vertex_count())?;
+    w.put_len(graph.edge_count())?;
+    for (u, v) in graph.edges() {
+        w.put_u16(u);
+        w.put_u16(v);
+    }
+    Ok(w.into_inner())
+}
+
+fn decode_graph(bytes: &[u8]) -> Result<MarkovGraph, PersistError> {
+    let mut r = Reader::new(bytes, "graph section");
+    let n = r.u32()? as usize;
+    let edge_count = r.len(4)?;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let u = r.u16()?;
+        let v = r.u16()?;
+        edges.push((u, v));
+    }
+    r.expect_end()?;
+    MarkovGraph::from_edges(n, edges)
+        .map_err(|e| PersistError::Corrupt { reason: format!("invalid Markov graph: {e}") })
+}
+
+fn encode_junction(tree: &JunctionTree) -> Result<Vec<u8>, PersistError> {
+    let mut w = Writer::new();
+    w.put_len(tree.len())?;
+    for clique in tree.cliques() {
+        w.put_len(clique.len())?;
+        for id in clique.iter() {
+            w.put_u16(id);
+        }
+    }
+    w.put_len(tree.edges().len())?;
+    for edge in tree.edges() {
+        w.put_len(edge.a)?;
+        w.put_len(edge.b)?;
+    }
+    Ok(w.into_inner())
+}
+
+fn decode_junction(bytes: &[u8]) -> Result<JunctionTree, PersistError> {
+    let mut r = Reader::new(bytes, "junction section");
+    let clique_count = r.len(4)?;
+    let mut cliques = Vec::with_capacity(clique_count);
+    for _ in 0..clique_count {
+        let len = r.len(2)?;
+        let mut ids = Vec::with_capacity(len);
+        for _ in 0..len {
+            ids.push(r.u16()?);
+        }
+        cliques.push(AttrSet::from_ids(ids));
+    }
+    let edge_count = r.len(8)?;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let a = r.u32()? as usize;
+        let b = r.u32()? as usize;
+        edges.push((a, b));
+    }
+    r.expect_end()?;
+    JunctionTree::from_parts(cliques, edges)
+        .map_err(|e| PersistError::Corrupt { reason: format!("invalid junction tree: {e}") })
+}
+
+/// Reassembles the decomposable model from a parsed snapshot — no
+/// chordalization, no tree construction, only consistency validation.
+///
+/// # Errors
+///
+/// [`PersistError::MissingSection`] if a model section is absent, or
+/// [`PersistError::Truncated`] / [`PersistError::Corrupt`] if its payload
+/// does not decode into a valid model.
+pub fn decode_model(snapshot: &Snapshot<'_>) -> Result<DecomposableModel, PersistError> {
+    let schema = decode_schema(snapshot.section(SectionKind::Schema)?)?;
+    let graph = decode_graph(snapshot.section(SectionKind::Graph)?)?;
+    let junction = decode_junction(snapshot.section(SectionKind::Junction)?)?;
+    DecomposableModel::from_parts(schema, graph, junction)
+        .map_err(|e| PersistError::Corrupt { reason: format!("inconsistent model: {e}") })
+}
+
+/// Frames opaque factor payloads, one per clique, in clique order.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] if the count overflows its prefix.
+pub fn encode_factors(factors: &[Vec<u8>]) -> Result<Vec<u8>, PersistError> {
+    let mut w = Writer::new();
+    w.put_len(factors.len())?;
+    for payload in factors {
+        w.put_u64(payload.len() as u64);
+        w.put_bytes(payload);
+    }
+    Ok(w.into_inner())
+}
+
+/// Splits the factors section back into per-clique payloads.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Truncated`] or [`PersistError::Corrupt`] on
+/// malformed framing.
+pub fn decode_factors(bytes: &[u8]) -> Result<Vec<&[u8]>, PersistError> {
+    let mut r = Reader::new(bytes, "factors section");
+    let count = r.len(8)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = r.u64()?;
+        let len = usize::try_from(len).map_err(|_| PersistError::Corrupt {
+            reason: "factor payload length overflows usize".into(),
+        })?;
+        out.push(r.take(len)?);
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Snapshot;
+
+    fn chain_model() -> DecomposableModel {
+        // X0 — X1 — X2: a chordal chain with cliques {0,1} and {1,2}.
+        let schema = Schema::new([("a", 4u32), ("b", 8), ("c", 2)]).unwrap();
+        let graph = MarkovGraph::from_edges(3, [(0u16, 1u16), (1, 2)]).unwrap();
+        DecomposableModel::new(schema, graph).unwrap()
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let meta = SnapshotMeta {
+            factor_kind: 2,
+            name: "DB-grid".into(),
+            storage_bytes: 65_536,
+            factor_count: 4,
+        };
+        assert_eq!(SnapshotMeta::decode(&meta.encode().unwrap()).unwrap(), meta);
+    }
+
+    #[test]
+    fn model_round_trips_through_sections() {
+        let model = chain_model();
+        let mut w = SnapshotWriter::new();
+        encode_model(&model, &mut w).unwrap();
+        let bytes = w.finish().unwrap();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        let loaded = decode_model(&snap).unwrap();
+        assert_eq!(loaded.schema(), model.schema());
+        assert_eq!(loaded.cliques(), model.cliques());
+        assert_eq!(loaded.graph().edge_count(), model.graph().edge_count());
+        assert_eq!(loaded.junction_tree().edges().len(), model.junction_tree().edges().len());
+        for (a, b) in loaded.junction_tree().edges().iter().zip(model.junction_tree().edges()) {
+            assert_eq!((a.a, a.b, &a.separator), (b.a, b.b, &b.separator));
+        }
+    }
+
+    #[test]
+    fn factor_framing_round_trips() {
+        let factors = vec![vec![1u8, 2, 3], vec![], vec![0xFF; 100]];
+        let bytes = encode_factors(&factors).unwrap();
+        let decoded = decode_factors(&bytes).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for (got, want) in decoded.iter().zip(&factors) {
+            assert_eq!(got, &want.as_slice());
+        }
+    }
+
+    #[test]
+    fn hostile_factor_length_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u64(u64::MAX);
+        let bytes = w.into_inner();
+        assert!(decode_factors(&bytes).is_err());
+    }
+
+    #[test]
+    fn junction_with_dangling_edge_is_corrupt() {
+        let model = chain_model();
+        let mut junk = Writer::new();
+        // One clique but an edge referencing clique 5.
+        junk.put_u32(1);
+        junk.put_u32(2);
+        junk.put_u16(0);
+        junk.put_u16(1);
+        junk.put_u32(1);
+        junk.put_u32(0);
+        junk.put_u32(5);
+        let mut w = SnapshotWriter::new();
+        w.section(SectionKind::Schema, encode_schema(model.schema()).unwrap());
+        w.section(SectionKind::Graph, encode_graph(model.graph()).unwrap());
+        w.section(SectionKind::Junction, junk.into_inner());
+        let bytes = w.finish().unwrap();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        assert!(matches!(decode_model(&snap), Err(PersistError::Corrupt { .. })));
+    }
+}

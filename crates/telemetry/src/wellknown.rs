@@ -7,7 +7,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use crate::registry::{self, Counter, LatencyHistogram};
+use crate::registry::{self, Counter, Gauge, LatencyHistogram};
 
 /// One handle per engine metric. Obtain via [`wellknown`].
 #[derive(Debug)]
@@ -41,6 +41,16 @@ pub struct WellKnown {
 
     // Estimator feedback.
     pub estimator_feedback: Arc<Counter>,
+
+    // Snapshot persistence.
+    pub persist_saves: Arc<Counter>,
+    pub persist_loads: Arc<Counter>,
+    /// Wall-clock seconds of the most recent snapshot save.
+    pub persist_save_seconds: Arc<Gauge>,
+    /// Wall-clock seconds of the most recent snapshot load.
+    pub persist_load_seconds: Arc<Gauge>,
+    /// Byte size of the most recently saved or loaded snapshot.
+    pub persist_snapshot_bytes: Arc<Gauge>,
 }
 
 /// The process-wide [`WellKnown`] handle set (resolved on first use).
@@ -69,6 +79,11 @@ pub fn wellknown() -> &'static WellKnown {
             model_entropy_computations: r.counter("dbhist_model_entropy_computations_total"),
             model_entropy_cache_hits: r.counter("dbhist_model_entropy_cache_hits_total"),
             estimator_feedback: r.counter("dbhist_estimator_feedback_total"),
+            persist_saves: r.counter("dbhist_persist_saves_total"),
+            persist_loads: r.counter("dbhist_persist_loads_total"),
+            persist_save_seconds: r.gauge("dbhist_persist_save_seconds"),
+            persist_load_seconds: r.gauge("dbhist_persist_load_seconds"),
+            persist_snapshot_bytes: r.gauge("dbhist_persist_snapshot_bytes"),
         }
     })
 }
@@ -98,6 +113,11 @@ mod tests {
             "dbhist_build_splits_funded_total",
             "dbhist_model_entropy_cache_hits_total",
             "dbhist_estimator_feedback_total",
+            "dbhist_persist_saves_total",
+            "dbhist_persist_loads_total",
+            "dbhist_persist_save_seconds",
+            "dbhist_persist_load_seconds",
+            "dbhist_persist_snapshot_bytes",
         ] {
             assert!(snap.get(name).is_some(), "{name} must be registered");
         }

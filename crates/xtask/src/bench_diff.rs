@@ -1,0 +1,298 @@
+//! `cargo run -p xtask -- bench-diff <baseline.json> <fresh.json> <path>...`
+//!
+//! The bench-regression gate. Each `BENCH_*.json` committed at the repo
+//! root is a performance contract: the headline speedups it records were
+//! real on the hardware that produced them. CI re-runs the bench bins,
+//! writes fresh `BENCH_*.ci.json` files, and calls this subcommand to
+//! compare each headline metric (addressed by a dotted path such as
+//! `speedup.total`) against the committed baseline. A fresh value below
+//! `baseline × 0.8` — a regression of more than 20% — fails the gate.
+//!
+//! Fresh values *above* baseline never fail: CI runners are slower and
+//! noisier than the machines that seed the baselines, so the gate only
+//! guards the floor. Like the rest of xtask this is dependency-free; the
+//! JSON reader below handles exactly the subset the hand-rolled bench
+//! writers emit (objects, arrays, numbers, strings, bools, null).
+
+use std::fs;
+use std::process::ExitCode;
+
+/// Fresh-over-baseline ratio below which a metric counts as regressed.
+const REGRESSION_FLOOR: f64 = 0.8;
+
+/// Entry point for the `bench-diff` subcommand. `args` excludes the
+/// subcommand name itself: `[baseline, fresh, path, path, ...]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let [baseline_path, fresh_path, metric_paths @ ..] = args else {
+        eprintln!("usage: cargo run -p xtask -- bench-diff <baseline.json> <fresh.json> <path>...");
+        return ExitCode::from(2);
+    };
+    if metric_paths.is_empty() {
+        eprintln!("bench-diff: no metric paths given");
+        return ExitCode::from(2);
+    }
+    let read = |path: &str| -> Option<String> {
+        match fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("bench-diff: cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(baseline_json), Some(fresh_json)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let mut failures = 0u32;
+    for metric in metric_paths {
+        match (lookup(&baseline_json, metric), lookup(&fresh_json, metric)) {
+            (Some(base), Some(fresh)) => {
+                let floor = base * REGRESSION_FLOOR;
+                if fresh < floor {
+                    eprintln!(
+                        "bench-diff: REGRESSION {metric}: fresh {fresh:.3} < floor {floor:.3} \
+                         (baseline {base:.3}, tolerance {REGRESSION_FLOOR})"
+                    );
+                    failures += 1;
+                } else {
+                    eprintln!(
+                        "bench-diff: ok {metric}: fresh {fresh:.3} vs baseline {base:.3} ... ok"
+                    );
+                }
+            }
+            (base, fresh) => {
+                if base.is_none() {
+                    eprintln!("bench-diff: metric {metric} missing from {baseline_path}");
+                }
+                if fresh.is_none() {
+                    eprintln!("bench-diff: metric {metric} missing from {fresh_path}");
+                }
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        eprintln!("bench-diff: {} metric(s) within tolerance", metric_paths.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Resolves a dotted path (`speedup.total`) to a numeric value inside a
+/// JSON document. Array indexing is supported with numeric segments
+/// (`runs.0.seconds`). Returns `None` on malformed JSON, a missing key,
+/// or a non-numeric terminal value.
+pub fn lookup(json: &str, dotted_path: &str) -> Option<f64> {
+    let mut p = Parser { bytes: json.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None;
+    }
+    let mut cur = &value;
+    for segment in dotted_path.split('.') {
+        cur = match cur {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == segment).map(|(_, v)| v)?,
+            Value::Array(items) => items.get(segment.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    match cur {
+        Value::Number(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// The JSON value tree. Strings, bools, and null are parsed (the bench
+/// files contain them) but only numbers terminate a metric path, so
+/// their payloads are discarded at parse time.
+enum Value {
+    Number(f64),
+    String,
+    Bool,
+    Null,
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Recursive-descent reader over the JSON subset the bench bins write.
+/// Every method returns `None` on malformed input; nothing panics.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        self.skip_ws();
+        match self.bytes.get(self.pos)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(|_| Value::String),
+            b't' => self.literal("true", Value::Bool),
+            b'f' => self.literal("false", Value::Bool),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Option<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn object(&mut self) -> Option<Value> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Some(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Value::Object(pairs));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Some(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Value::Array(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return None;
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    // The bench writers only ever escape quotes and
+                    // backslashes; anything else passes through verbatim.
+                    let esc = *self.bytes.get(self.pos + 1)?;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    self.pos += 2;
+                }
+                &b => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Value> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+        "rows": 40000,
+        "speedup": { "total": 2.93, "load_vs_rebuild": 14.5 },
+        "phases": [ { "name": "build", "seconds": 1.5e-2 } ],
+        "ok": true, "note": "seeded", "missing": null
+    }"#;
+
+    #[test]
+    fn lookup_resolves_nested_and_indexed_paths() {
+        assert_eq!(lookup(DOC, "rows"), Some(40000.0));
+        assert_eq!(lookup(DOC, "speedup.total"), Some(2.93));
+        assert_eq!(lookup(DOC, "phases.0.seconds"), Some(1.5e-2));
+    }
+
+    #[test]
+    fn lookup_rejects_missing_and_non_numeric() {
+        assert_eq!(lookup(DOC, "speedup.nope"), None);
+        assert_eq!(lookup(DOC, "note"), None);
+        assert_eq!(lookup(DOC, "ok"), None);
+        assert_eq!(lookup(DOC, "missing"), None);
+        assert_eq!(lookup(DOC, "phases.7.seconds"), None);
+    }
+
+    #[test]
+    fn lookup_rejects_malformed_json() {
+        assert_eq!(lookup("{\"a\": }", "a"), None);
+        assert_eq!(lookup("{\"a\": 1} trailing", "a"), None);
+        assert_eq!(lookup("", "a"), None);
+        assert_eq!(lookup("{\"a\": [1, 2", "a.0"), None);
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers_parse() {
+        assert_eq!(lookup("{\"x\": -3.5e2}", "x"), Some(-350.0));
+    }
+}

@@ -32,6 +32,12 @@
 //!   catch. Scans the same wide file set as `deprecated-shim` (see
 //!   [`scan_metrics`]), and scans *raw* lines — the names live inside
 //!   the string literals that [`mask_line`] blanks.
+//! * `snapshot-io` — no library code outside `crates/persist/` may read
+//!   file bytes with `std::fs::read` / `File::open` / `read_to_end`.
+//!   Snapshot bytes must enter the process through
+//!   `dbhist_persist::read_file`, which funnels every load into the
+//!   validating container parser (magic, version, bounds, CRCs); an ad
+//!   hoc read path would let unchecked bytes reach the factor codecs.
 //!
 //! A violation can be suppressed on its line with an inline escape hatch:
 //! `// lint:allow(<rule>): <justification>`, or from the line above with
@@ -49,8 +55,8 @@ pub struct Violation {
 }
 
 /// Names of every rule, for `lint:allow` validation and reporting.
-pub const RULES: [&str; 5] =
-    ["no-panic", "float-cmp", "as-narrowing", "deprecated-shim", "metric-name"];
+pub const RULES: [&str; 6] =
+    ["no-panic", "float-cmp", "as-narrowing", "deprecated-shim", "metric-name", "snapshot-io"];
 
 /// Banned invocations for the `no-panic` rule. Each must appear with a
 /// non-identifier character before it so that e.g. `try_unwrap()` in a
@@ -78,6 +84,12 @@ const METRIC_UNITS: [&str; 7] = ["total", "seconds", "ns", "us", "bytes", "ratio
 /// Literals naming those series (exporter tests, scrape examples) stay
 /// legal as long as the family name under the suffix is itself valid.
 const METRIC_DERIVED_SUFFIXES: [&str; 2] = ["bucket", "sum"];
+
+/// Raw-file read entry points banned outside `crates/persist/` by the
+/// `snapshot-io` rule. `fs::read(` deliberately does not match
+/// `fs::read_dir(` or `fs::read_to_string(` — directory walks and text
+/// config reads are not snapshot-byte ingestion.
+const SNAPSHOT_IO_PATTERNS: [&str; 3] = ["fs::read(", "File::open(", "read_to_end("];
 
 /// Path fragments that put a file in scope for the `as-narrowing` rule:
 /// the wire codec, the split-tree (bucket) arithmetic, bounding boxes, and
@@ -357,6 +369,13 @@ pub fn narrowing_applies(rel_path: &str) -> bool {
     })
 }
 
+/// True if this relative path may perform raw file reads: only the
+/// persistence crate, which owns the validating snapshot read path, is
+/// exempt from the `snapshot-io` rule.
+pub fn snapshot_io_exempt(rel_path: &str) -> bool {
+    rel_path.replace('\\', "/").contains("crates/persist/")
+}
+
 /// True if this relative path may call the deprecated `DbHistogram`
 /// construction shims: only the module that defines them (and carries
 /// their coverage test) is exempt from the `deprecated-shim` rule.
@@ -479,6 +498,7 @@ pub fn scan_source(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
     let mut test_until: Option<i64> = None;
     let mut next_line_allows: Vec<&str> = Vec::new();
     let narrowing_in_scope = narrowing_applies(rel_path);
+    let snapshot_io_in_scope = !snapshot_io_exempt(rel_path);
 
     for (idx, raw_line) in source.lines().enumerate() {
         let masked = mask_line(raw_line, &mut mode);
@@ -527,6 +547,9 @@ pub fn scan_source(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
         }
         if narrowing_in_scope && has_narrowing_cast(&masked) {
             push("as-narrowing");
+        }
+        if snapshot_io_in_scope && SNAPSHOT_IO_PATTERNS.iter().any(|p| find_banned(&masked, p)) {
+            push("snapshot-io");
         }
     }
 }
@@ -728,6 +751,33 @@ mod tests {
                          let c = reg.counter(\"dbhist_legacy\");";
         scan_metrics("crates/core/src/plan.rs", next_line, &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn snapshot_io_flags_raw_reads_outside_persist() {
+        let src = "fn load(p: &Path) -> Vec<u8> { std::fs::read(p).unwrap_or_default() }\n";
+        let hits = scan("crates/core/src/snapshot.rs", src);
+        assert!(hits.iter().any(|v| v.rule == "snapshot-io" && v.line == 1), "{hits:?}");
+
+        // The persistence crate owns the validating read path.
+        assert!(
+            scan("crates/persist/src/lib.rs", src).iter().all(|v| v.rule != "snapshot-io"),
+            "persist crate must stay exempt"
+        );
+
+        // Directory walks and text reads are not snapshot ingestion.
+        let benign = "let e = std::fs::read_dir(p);\nlet s = std::fs::read_to_string(p);\n";
+        assert!(scan("crates/core/src/build.rs", benign).is_empty());
+
+        // Each banned entry point fires.
+        for line in ["let f = File::open(p);", "let mut v = Vec::new(); f.read_to_end(&mut v);"] {
+            let hits = scan("crates/core/src/maintenance.rs", line);
+            assert!(hits.iter().any(|v| v.rule == "snapshot-io"), "{line}");
+        }
+
+        // The escape hatch works.
+        let allowed = "let b = std::fs::read(p); // lint:allow(snapshot-io): fixture loader\n";
+        assert!(scan("crates/core/src/snapshot.rs", allowed).is_empty());
     }
 
     #[test]

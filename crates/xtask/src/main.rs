@@ -4,6 +4,8 @@
 //! ```text
 //! cargo run -p xtask -- lint        # run the custom static checks
 //! cargo run -p xtask -- selftest    # prove the linter catches seeded bugs
+//! cargo run -p xtask -- bench-diff <baseline.json> <fresh.json> <path>...
+//!                                   # fail if a headline metric regressed >20%
 //! ```
 //!
 //! `lint` walks every library source file in the workspace (each
@@ -12,6 +14,7 @@
 //! machine-readable JSON summary to stdout, and exits nonzero if any
 //! violation survives its `lint:allow` escapes.
 
+mod bench_diff;
 mod lint;
 
 use std::fs;
@@ -23,8 +26,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
         Some("selftest") => run_selftest(),
+        Some("bench-diff") => bench_diff::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|selftest>");
+            eprintln!("usage: cargo run -p xtask -- <lint|selftest|bench-diff>");
             ExitCode::from(2)
         }
     }
@@ -170,7 +174,8 @@ fn run_lint() -> ExitCode {
 /// mutating any tracked file. Exits nonzero if any seeded bug goes
 /// undetected (i.e. the gate has rotted).
 fn run_selftest() -> ExitCode {
-    let seeded: [(&str, &str, &str); 5] = [
+    let seeded: [(&str, &str, &str); 6] = [
+        ("snapshot-io", "crates/core/src/snapshot.rs", "let bytes = std::fs::read(path)?;"),
         ("no-panic", "crates/core/src/alloc.rs", "let v = budget.unwrap();"),
         ("float-cmp", "crates/core/src/marginal.rs", "if freq == 0.0 { return; }"),
         ("as-narrowing", "crates/histogram/src/codec.rs", "let n = count as u16;"),

@@ -23,6 +23,9 @@
 //! * [`core`] — the DB-histogram synopsis, storage allocation (optimal DP
 //!   and IncrementalGains), `ComputeMarginal`, and the IND / MHIST /
 //!   sampling baselines.
+//! * [`persist`] — the versioned, checksummed snapshot format: save a
+//!   built synopsis to disk and reload it bit-identically without
+//!   re-deriving model structure (`Synopsis::save` / `Synopsis::load`).
 //! * [`data`] — synthetic Census-like and housing data sets, range-query
 //!   workloads, and the paper's error metrics.
 //! * [`telemetry`] — the process-wide observability layer: lock-free
@@ -37,4 +40,5 @@ pub use dbhist_data as data;
 pub use dbhist_distribution as distribution;
 pub use dbhist_histogram as histogram;
 pub use dbhist_model as model;
+pub use dbhist_persist as persist;
 pub use dbhist_telemetry as telemetry;

@@ -1,0 +1,123 @@
+//! Corruption and version-skew handling: every damaged snapshot must be
+//! rejected with a *typed* [`PersistError`] — never a panic, never UB,
+//! never a silently wrong synopsis.
+//!
+//! The container checksums each section independently, so the test
+//! flips one byte inside every section payload in turn and asserts the
+//! damage is attributed to that section. A committed previous-format
+//! fixture (`tests/fixtures/v1_synopsis.dbh`) pins the version policy:
+//! old snapshots are refused with `VersionMismatch`, not misparsed.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dbhist::core::{Synopsis, SynopsisBuilder, SynopsisError};
+use dbhist::distribution::{Relation, Schema};
+use dbhist::persist::{PersistError, Snapshot, FORMAT_VERSION};
+
+fn scratch_path() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("snapcorrupt_{}_{n}.dbh", std::process::id()))
+}
+
+/// Builds a small synopsis and returns its snapshot bytes.
+fn snapshot_bytes() -> Vec<u8> {
+    let schema = Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
+    let rows: Vec<Vec<u32>> = (0..2048).map(|i| vec![i % 8, i % 8, (i / 8) % 4]).collect();
+    let rel = Relation::from_rows(schema, rows).unwrap();
+    let db = SynopsisBuilder::new(&rel).budget(512).build().unwrap();
+    let path = scratch_path();
+    db.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    bytes
+}
+
+/// Loads raw bytes through the public path-based API.
+fn load_bytes(bytes: &[u8]) -> Result<Synopsis, SynopsisError> {
+    let path = scratch_path();
+    std::fs::write(&path, bytes).unwrap();
+    let result = Synopsis::load(&path);
+    std::fs::remove_file(&path).unwrap();
+    result
+}
+
+fn persist_error(result: Result<Synopsis, SynopsisError>) -> PersistError {
+    match result {
+        Err(SynopsisError::Persist(e)) => e,
+        Err(other) => panic!("expected a persist error, got {other:?}"),
+        Ok(_) => panic!("corrupted snapshot loaded successfully"),
+    }
+}
+
+#[test]
+fn bit_flip_in_each_section_is_caught_as_that_sections_crc_failure() {
+    let bytes = snapshot_bytes();
+    let parsed = Snapshot::parse(&bytes).unwrap();
+    let table: Vec<(u16, std::ops::Range<usize>)> = parsed.section_table().to_vec();
+    assert!(table.len() >= 4, "expected meta/schema/graph/junction/factors sections");
+    for (kind, range) in table {
+        // Flip one bit in the middle of this section's payload.
+        let mut damaged = bytes.clone();
+        let target = range.start + range.len() / 2;
+        damaged[target] ^= 0x01;
+        match persist_error(load_bytes(&damaged)) {
+            PersistError::SectionCrc { kind: reported } => {
+                assert_eq!(reported, kind, "damage attributed to the wrong section");
+            }
+            other => panic!("section {kind}: expected SectionCrc, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    bytes[0] = b'X';
+    assert_eq!(persist_error(load_bytes(&bytes)), PersistError::BadMagic);
+}
+
+#[test]
+fn truncation_is_rejected_at_every_length() {
+    let bytes = snapshot_bytes();
+    // Every proper prefix must fail loudly; sample a spread of cut
+    // points plus all the short ones that exercise header parsing.
+    let cuts: Vec<usize> = (0..16.min(bytes.len())).chain((16..bytes.len()).step_by(97)).collect();
+    for cut in cuts {
+        match persist_error(load_bytes(&bytes[..cut])) {
+            PersistError::Truncated { .. } | PersistError::Corrupt { .. } => {}
+            other => panic!("prefix of {cut} bytes: expected Truncated/Corrupt, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    bytes.extend_from_slice(b"extra");
+    assert!(matches!(persist_error(load_bytes(&bytes)), PersistError::Corrupt { .. }));
+}
+
+#[test]
+fn previous_format_fixture_is_rejected_with_version_mismatch() {
+    let fixture = std::fs::read("tests/fixtures/v1_synopsis.dbh").unwrap();
+    assert_eq!(
+        persist_error(load_bytes(&fixture)),
+        PersistError::VersionMismatch { found: 1, expected: FORMAT_VERSION }
+    );
+    // Belt and braces: the fixture really is a v1 header.
+    assert_eq!(&fixture[..4], b"DBHS");
+    assert_eq!(u16::from_le_bytes([fixture[4], fixture[5]]), 1);
+}
+
+#[test]
+fn missing_file_is_an_io_error_not_a_panic() {
+    let path = scratch_path();
+    match Synopsis::load(&path) {
+        Err(SynopsisError::Persist(PersistError::Io { .. })) => {}
+        other => panic!("expected Io error for a missing file, got {other:?}"),
+    }
+}
