@@ -1,0 +1,185 @@
+//! Structured diagnostics and report rendering.
+
+/// One rule finding at a specific location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column (0 when a line-oriented rule has no better
+    /// anchor than the whole line).
+    pub col: usize,
+    /// Stable rule id (see `rules::catalog`).
+    pub rule: &'static str,
+    /// Trimmed source excerpt, at most 120 chars.
+    pub excerpt: String,
+    /// Innermost scope (`"impl Foo > fn bar"`), empty at top level.
+    pub context: String,
+    /// How to fix it (rule-level hint; some rules specialize it).
+    pub hint: String,
+}
+
+/// A `lint:allow` marker that suppressed nothing — dead weight that
+/// silently disarms the gate, reported and failed like a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedSuppression {
+    pub file: String,
+    pub line: usize,
+    /// The rule the marker names (possibly an unknown id).
+    pub rule: String,
+    /// Why it is unused: `"no finding on this line"` or `"unknown rule"`.
+    pub reason: &'static str,
+}
+
+/// The full result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub unused_suppressions: Vec<UnusedSuppression>,
+}
+
+impl Report {
+    /// `true` when the run should exit zero.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_suppressions.is_empty()
+    }
+
+    /// Human-readable rendering, one line per finding plus a hint line.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let at =
+                if f.context.is_empty() { String::new() } else { format!(" (in {})", f.context) };
+            out.push_str(&format!(
+                "{}:{}:{}: [{}]{} {}\n    hint: {}\n",
+                f.file, f.line, f.col, f.rule, at, f.excerpt, f.hint
+            ));
+        }
+        for u in &self.unused_suppressions {
+            out.push_str(&format!(
+                "{}:{}: [unused-suppression] lint:allow({}) suppresses nothing ({})\n",
+                u.file, u.line, u.rule, u.reason
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON (hand-rolled: the analyzer is
+    /// dependency-free so it builds before everything else).
+    #[must_use]
+    pub fn to_json(&self, rule_ids: &[&str]) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        s.push_str(&format!("\"total_findings\":{},", self.findings.len()));
+        s.push_str(&format!("\"unused_suppression_count\":{},", self.unused_suppressions.len()));
+        s.push_str("\"counts\":{");
+        for (i, rule) in rule_ids.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let n = self.findings.iter().filter(|f| f.rule == *rule).count();
+            s.push_str(&format!("\"{rule}\":{n}"));
+        }
+        s.push_str("},\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"context\":\"{}\",\"excerpt\":\"{}\",\"hint\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                f.rule,
+                json_escape(&f.context),
+                json_escape(&f.excerpt),
+                json_escape(&f.hint),
+            ));
+        }
+        s.push_str("],\"unused_suppressions\":[");
+        for (i, u) in self.unused_suppressions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(&u.file),
+                u.line,
+                json_escape(&u.rule),
+                u.reason,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+#[must_use]
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/core/src/alloc.rs".into(),
+            line: 7,
+            col: 13,
+            rule: "panic-surface",
+            excerpt: "x.unwrap() // \"quoted\"".into(),
+            context: "fn allocate".into(),
+            hint: "return a Result through the crate error enum".into(),
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let report = Report {
+            files_scanned: 3,
+            findings: vec![finding()],
+            unused_suppressions: vec![UnusedSuppression {
+                file: "src/lib.rs".into(),
+                line: 2,
+                rule: "float-cmp".into(),
+                reason: "no finding on this line",
+            }],
+        };
+        let json = report.to_json(&["panic-surface", "float-cmp"]);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"files_scanned\":3"));
+        assert!(json.contains("\"panic-surface\":1"));
+        assert!(json.contains("\"float-cmp\":0"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"unused_suppression_count\":1"));
+    }
+
+    #[test]
+    fn human_rendering_names_scope_and_hint() {
+        let report =
+            Report { files_scanned: 1, findings: vec![finding()], unused_suppressions: vec![] };
+        let text = report.render_human();
+        assert!(text.contains("crates/core/src/alloc.rs:7:13"));
+        assert!(text.contains("(in fn allocate)"));
+        assert!(text.contains("hint:"));
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,412 @@
+//! The shared lexer: one masking/tokenizing implementation for every rule.
+//!
+//! This is the promotion of the old `xtask` linter's per-line `mask_line`
+//! state machine into a real token stream. The masking semantics are kept
+//! bit-compatible (a property test pins them against a frozen copy of the
+//! legacy implementation): comment and string/char-literal contents become
+//! spaces, length is preserved, line comments blank to end of line, block
+//! comments nest, raw strings keep their `r` marker byte, and lifetimes
+//! survive masking. On top of that, the lexer now emits [`Token`]s with
+//! line/column spans, which is what lets rules reason across lines and
+//! scopes instead of pattern-matching one masked line at a time.
+//!
+//! Tokens carry their text except for string/char literals, whose contents
+//! are deliberately blanked — rules must never match inside literal data.
+//! (The `metric-name` rule inspects *raw* lines for exactly this reason;
+//! see `rules::legacy`.)
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `for`, `HashMap`, …).
+    Ident,
+    /// Lifetime marker (`'a`); kept distinct from char literals.
+    Lifetime,
+    /// Integer or float literal, including any type suffix (`0`, `0.5`,
+    /// `1e9`, `42u32`). Float-ness is visible as a `.` in the text.
+    Number,
+    /// String literal (`"…"`). Content is blanked; only position is kept.
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`).
+    RawStr,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// A single punctuation byte (`.`, `:`, `{`, `|`, …).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and byte
+/// column of its first byte).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+    /// Token text. Empty for [`TokenKind::Str`] / [`TokenKind::RawStr`] /
+    /// [`TokenKind::Char`] — literal contents are masked by design.
+    pub text: String,
+}
+
+impl Token {
+    fn new(kind: TokenKind, line: usize, col: usize, text: impl Into<String>) -> Self {
+        Self { kind, line, col, text: text.into() }
+    }
+
+    /// `true` if this token is a punctuation byte equal to `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// `true` if this token is an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+}
+
+/// The result of lexing one file: the token stream plus the masked lines
+/// (code bytes preserved, comment/literal bytes blanked — the exact
+/// surface the line-oriented legacy rules match against).
+#[derive(Debug)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub masked: Vec<String>,
+}
+
+/// Cross-line lexer state: inside a (possibly nested) block comment, a
+/// string literal, or a raw string literal with `hashes` trailing `#`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Mode {
+    #[default]
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u8),
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// Counts leading `#` bytes followed by a `"` — the `r#..#"` raw-string
+/// opener — returning the hash count, or `None` if this is not one.
+fn raw_str_hashes(after_r: &[u8]) -> Option<u8> {
+    if after_r.first() == Some(&b'"') {
+        return Some(0);
+    }
+    let hashes = after_r.iter().take_while(|&&b| b == b'#').count();
+    if hashes > 0 && after_r.get(hashes) == Some(&b'"') {
+        u8::try_from(hashes).ok()
+    } else {
+        None
+    }
+}
+
+/// `Some(hashes)` if the `r` at `bytes[i]` opens a raw string literal.
+/// The legacy byte machine ran this check on *every* code byte, so the
+/// lexer applies it inside identifiers, lifetimes, and number suffixes
+/// too — bug-compatible by design (`br"…"`, `'r#"…"#`, `1r"…"`).
+fn raw_opener_at(bytes: &[u8], i: usize) -> Option<u8> {
+    match bytes.get(i + 1) {
+        Some(&b'"') => Some(0),
+        Some(&b'#') => raw_str_hashes(&bytes[i + 1..]),
+        _ => None,
+    }
+}
+
+/// Lexes a whole file. Never fails: unlexable bytes degrade to `Punct`
+/// tokens, because a static checker must not abort on the code it checks.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let mut tokens = Vec::new();
+    let mut masked = Vec::new();
+    let mut mode = Mode::default();
+    for (idx, line) in source.lines().enumerate() {
+        masked.push(lex_line(line, idx + 1, &mut mode, &mut tokens));
+    }
+    Lexed { tokens, masked }
+}
+
+/// Lexes one line, returning its masked form and appending tokens.
+/// `line_no` is 1-based. This mirrors the legacy `mask_line` byte machine
+/// exactly; token emission piggybacks on the `Code` path.
+#[allow(clippy::too_many_lines)]
+fn lex_line(line: &str, line_no: usize, mode: &mut Mode, tokens: &mut Vec<Token>) -> String {
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        match *mode {
+            Mode::Block(depth) => {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    *mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                    i += 2;
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    *mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    *mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if bytes[i] == b'"' {
+                    let h = usize::from(hashes);
+                    if bytes.len() >= i + 1 + h
+                        && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#')
+                    {
+                        *mode = Mode::Code;
+                        i += 1 + h;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Mode::Code => match bytes[i] {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    return String::from_utf8(out).unwrap_or_default()
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    *mode = Mode::Block(1);
+                    i += 2;
+                }
+                b'"' => {
+                    tokens.push(Token::new(TokenKind::Str, line_no, i + 1, ""));
+                    *mode = Mode::Str;
+                    i += 1;
+                }
+                b'r' if bytes.get(i + 1) == Some(&b'"')
+                    || (bytes.get(i + 1) == Some(&b'#')
+                        && raw_str_hashes(&bytes[i + 1..]).is_some()) =>
+                {
+                    let hashes = raw_str_hashes(&bytes[i + 1..]).unwrap_or(0);
+                    out[i] = b'r';
+                    tokens.push(Token::new(TokenKind::RawStr, line_no, i + 1, ""));
+                    *mode = Mode::RawStr(hashes);
+                    i += 2 + usize::from(hashes);
+                }
+                b'\'' => {
+                    // Char literal (`'x'`, `'\n'`, `'{'`) vs lifetime (`'a`).
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        tokens.push(Token::new(TokenKind::Char, line_no, i + 1, ""));
+                        let mut j = i + 2;
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                        i = (j + 1).min(bytes.len());
+                    } else if bytes.len() > i + 2 && bytes[i + 2] == b'\'' {
+                        tokens.push(Token::new(TokenKind::Char, line_no, i + 1, ""));
+                        i += 3; // plain char literal
+                    } else {
+                        // Lifetime marker: keep it, plus its identifier —
+                        // with the legacy quirk: an `r` in the identifier
+                        // that opens a raw string ends the lifetime there.
+                        out[i] = b'\'';
+                        let start = i;
+                        let mut j = i + 1;
+                        let mut raw_open: Option<u8> = None;
+                        while j < bytes.len() && is_ident_byte(bytes[j]) {
+                            if bytes[j] == b'r' {
+                                if let Some(h) = raw_opener_at(bytes, j) {
+                                    out[j] = b'r';
+                                    j += 1;
+                                    raw_open = Some(h);
+                                    break;
+                                }
+                            }
+                            out[j] = bytes[j];
+                            j += 1;
+                        }
+                        tokens.push(Token::new(
+                            TokenKind::Lifetime,
+                            line_no,
+                            start + 1,
+                            &line[start..j],
+                        ));
+                        i = j;
+                        if let Some(h) = raw_open {
+                            tokens.push(Token::new(TokenKind::RawStr, line_no, i, ""));
+                            *mode = Mode::RawStr(h);
+                            i += 1 + usize::from(h);
+                        }
+                    }
+                }
+                b if is_ident_start(b) => {
+                    // Identifier — with the legacy machine's quirk kept
+                    // bug-compatible: an interior `r` that opens a raw
+                    // string (as in `br"…"`) ends the identifier there and
+                    // enters raw-string mode, exactly as the byte-at-a-time
+                    // legacy scan did.
+                    let start = i;
+                    let mut raw_open: Option<u8> = None;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        if bytes[i] == b'r' && i > start {
+                            if let Some(h) = raw_opener_at(bytes, i) {
+                                out[i] = b'r';
+                                i += 1;
+                                raw_open = Some(h);
+                                break;
+                            }
+                        }
+                        out[i] = bytes[i];
+                        i += 1;
+                    }
+                    tokens.push(Token::new(TokenKind::Ident, line_no, start + 1, &line[start..i]));
+                    if let Some(h) = raw_open {
+                        tokens.push(Token::new(TokenKind::RawStr, line_no, i, ""));
+                        *mode = Mode::RawStr(h);
+                        i += 1 + usize::from(h);
+                    }
+                }
+                b if b.is_ascii_digit() => {
+                    // Number: integer part, optional `.digits` fraction
+                    // (but never `0..5` range syntax), optional suffix.
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        out[i] = bytes[i];
+                        i += 1;
+                    }
+                    if bytes.get(i) == Some(&b'.')
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        out[i] = b'.';
+                        i += 1;
+                        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                            out[i] = bytes[i];
+                            i += 1;
+                        }
+                    }
+                    let mut raw_open: Option<u8> = None;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        if bytes[i] == b'r' {
+                            if let Some(h) = raw_opener_at(bytes, i) {
+                                out[i] = b'r';
+                                i += 1;
+                                raw_open = Some(h);
+                                break;
+                            }
+                        }
+                        out[i] = bytes[i];
+                        i += 1;
+                    }
+                    tokens.push(Token::new(TokenKind::Number, line_no, start + 1, &line[start..i]));
+                    if let Some(h) = raw_open {
+                        tokens.push(Token::new(TokenKind::RawStr, line_no, i, ""));
+                        *mode = Mode::RawStr(h);
+                        i += 1 + usize::from(h);
+                    }
+                }
+                b => {
+                    out[i] = b;
+                    if !b.is_ascii_whitespace() {
+                        tokens.push(Token::new(
+                            TokenKind::Punct,
+                            line_no,
+                            i + 1,
+                            String::from(b as char),
+                        ));
+                    }
+                    i += 1;
+                }
+            },
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn tokenizes_code_with_spans() {
+        let lexed = lex("let x = m.iter();\n  x.sum::<f64>()");
+        let idents: Vec<&Token> =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Ident).collect();
+        assert_eq!(idents[0].text, "let");
+        assert_eq!((idents[0].line, idents[0].col), (1, 1));
+        assert_eq!(idents[2].text, "m");
+        assert_eq!((idents[2].line, idents[2].col), (1, 9));
+        let f64_tok = lexed.tokens.iter().find(|t| t.text == "f64").unwrap();
+        assert_eq!(f64_tok.line, 2);
+    }
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let lexed = lex("let s = \"panic!\"; // .unwrap()\nlet r = r#\"raw\"#;");
+        assert!(!lexed.masked[0].contains("panic"));
+        assert!(!lexed.masked[0].contains("unwrap"));
+        assert!(!lexed.masked[1].contains("raw"));
+        assert!(lexed.masked[1].contains('r'), "raw marker byte survives");
+        // No token carries literal contents.
+        assert!(lexed.tokens.iter().all(|t| !t.text.contains("panic")));
+    }
+
+    #[test]
+    fn block_comments_nest_across_lines() {
+        let lexed = lex("/* a /* b */ still */ code\nmore");
+        assert_eq!(lexed.masked[0].trim(), "code");
+        assert_eq!(lexed.masked[1].trim(), "more");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("code")));
+    }
+
+    #[test]
+    fn multiline_string_suppresses_tokens() {
+        let lexed = lex("let s = \"one\ntwo\";\nafter();");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("two")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn numbers_floats_and_ranges() {
+        let toks = kinds("0..5 x.0 1.5f64 42u32");
+        let nums: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Number).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(nums, ["0", "5", "0", "1.5f64", "42u32"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let toks = kinds("let c = '{'; fn f<'a>(x: &'a str) {}");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        // The char-literal brace must not appear as a Punct token.
+        let braces = toks.iter().filter(|(_, t)| t == "{").count();
+        assert_eq!(braces, 1, "only the fn body's real brace: {toks:?}");
+    }
+
+    #[test]
+    fn lifetime_survives_masking() {
+        let lexed = lex("fn f<'a>(x: &'a str) {}");
+        assert!(lexed.masked[0].contains("'a"));
+    }
+
+    #[test]
+    fn raw_string_after_ident_prefix() {
+        // `br"…"` — the legacy machine enters raw-string mode at the
+        // interior `r`; the stream must do the same.
+        let lexed = lex("let b = br\"bytes\"; tail();");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::RawStr));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("tail")));
+        assert!(!lexed.masked[0].contains("bytes"));
+    }
+}

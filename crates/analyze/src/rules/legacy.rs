@@ -1,0 +1,338 @@
+//! The five rules ported from the legacy line scanner
+//! (`crates/xtask/src/lint.rs`), now running over the shared masked
+//! lines produced by the lexer.
+//!
+//! The per-line detection helpers are kept byte-for-byte identical to
+//! the legacy implementations so that `cargo xtask analyze` reports
+//! exactly what `cargo xtask lint` reported before the port (verified by
+//! `tests/legacy_parity.rs` against a frozen copy of the old scanner).
+//!
+//! * `float-cmp` — no `==` / `!=` where an operand looks like a float
+//!   frequency (literal with a fraction, or a `freq`/`mass`/`weight`
+//!   identifier). Frequencies are accumulated `f64` sums; exact
+//!   comparison hides representation error.
+//! * `as-narrowing` — in codec / bucket arithmetic files, no bare `as`
+//!   casts to a narrower integer type; wire-format widths are a
+//!   contract, so use `try_from` and surface `HistogramError::Codec`.
+//! * `deprecated-shim` — no first-party code outside
+//!   `crates/core/src/synopsis.rs` may call the deprecated
+//!   `DbHistogram::build_*` shims; new code goes through
+//!   `SynopsisBuilder`.
+//! * `metric-name` — every `dbhist_`-prefixed metric literal follows
+//!   `dbhist_<subsystem>_<name>_<unit>`; the registry is a process-wide
+//!   namespace scraped by external tooling.
+//! * `snapshot-io` — no library code outside `crates/persist/` reads
+//!   file bytes directly; snapshot bytes must funnel through the
+//!   validating `dbhist_persist::read_file` path.
+
+use super::FileCtx;
+use crate::diag::Finding;
+
+/// Identifier fragments that mark an operand as a frequency-like float.
+const FLOAT_IDENT_HINTS: [&str; 3] = ["freq", "mass", "weight"];
+
+/// Narrow integer targets banned as bare `as` casts in codec/bucket files.
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Deprecated construction entry points for the `deprecated-shim` rule.
+const SHIM_PATTERNS: [&str; 3] =
+    ["DbHistogram::build_mhist", "DbHistogram::build_grid", "DbHistogram::build_wavelet"];
+
+/// Approved trailing unit segments for the `metric-name` rule.
+const METRIC_UNITS: [&str; 7] = ["total", "seconds", "ns", "us", "bytes", "ratio", "count"];
+
+/// Derived-name suffixes the Prometheus exporter appends to a histogram
+/// family (`<name>_bucket`, `<name>_sum`; `_count` is already a unit).
+const METRIC_DERIVED_SUFFIXES: [&str; 2] = ["bucket", "sum"];
+
+/// Raw-file read entry points banned outside `crates/persist/`.
+/// `fs::read(` deliberately does not match `fs::read_dir(` or
+/// `fs::read_to_string(`.
+const SNAPSHOT_IO_PATTERNS: [&str; 3] = ["fs::read(", "File::open(", "read_to_end("];
+
+/// Path fragments that put a file in scope for the `as-narrowing` rule.
+const NARROWING_SCOPE: [&str; 4] = ["codec", "mhist", "bbox", "alloc"];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Matches `pattern` in `masked` at word-ish boundaries: the byte before
+/// a match must not be an identifier byte (so `try_unwrap()` never
+/// matches `.unwrap()` — the leading dot anchors it anyway, but macro
+/// patterns like `panic!` need the guard).
+pub(crate) fn find_banned(masked: &str, pattern: &str) -> bool {
+    let needs_guard = pattern.as_bytes().first().copied().is_some_and(is_ident_byte);
+    let mut start = 0;
+    while let Some(pos) = masked[start..].find(pattern) {
+        let abs = start + pos;
+        if !needs_guard || abs == 0 || !is_ident_byte(masked.as_bytes()[abs - 1]) {
+            return true;
+        }
+        start = abs + pattern.len();
+    }
+    false
+}
+
+/// True if `text` contains a float literal: a digit, a `.`, then a digit.
+/// `0..5` (range syntax) and `x.0` (tuple field) deliberately do not match.
+fn has_float_literal(text: &str) -> bool {
+    let b = text.as_bytes();
+    (2..b.len()).any(|i| b[i].is_ascii_digit() && b[i - 1] == b'.' && b[i - 2].is_ascii_digit())
+}
+
+/// True if `text` contains an identifier with a frequency-like fragment.
+fn has_float_ident(text: &str) -> bool {
+    text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_').any(|tok| {
+        let lower = tok.to_ascii_lowercase();
+        FLOAT_IDENT_HINTS.iter().any(|h| lower.contains(h))
+    })
+}
+
+/// Detects `==` / `!=` comparisons whose nearby operand text looks like a
+/// float frequency. The operand window is heuristic (40 bytes each side,
+/// clipped at expression separators) — this is a lint, not a type
+/// checker; clippy's `float_cmp` is the semantic backstop.
+fn has_float_cmp(masked: &str) -> bool {
+    let b = masked.as_bytes();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let is_eq = b[i] == b'=' && b[i + 1] == b'=';
+        let is_ne = b[i] == b'!' && b[i + 1] == b'=';
+        if (is_eq || is_ne)
+            && (i == 0
+                || !matches!(
+                    b[i - 1],
+                    b'<' | b'>'
+                        | b'='
+                        | b'!'
+                        | b'+'
+                        | b'-'
+                        | b'*'
+                        | b'/'
+                        | b'%'
+                        | b'&'
+                        | b'|'
+                        | b'^'
+                ))
+            && b.get(i + 2) != Some(&b'=')
+        {
+            let lo = i.saturating_sub(40);
+            let hi = (i + 2 + 40).min(b.len());
+            let left = clip_operand(&masked[lo..i], true);
+            let right = clip_operand(&masked[i + 2..hi], false);
+            for side in [left, right] {
+                if has_float_literal(side) || has_float_ident(side) {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Clips an operand window at the nearest expression separator so that
+/// unrelated neighbouring arguments don't leak into the float heuristic.
+fn clip_operand(window: &str, from_end: bool) -> &str {
+    const SEPS: [char; 6] = [',', ';', '(', ')', '{', '}'];
+    if from_end {
+        match window.rfind(SEPS) {
+            Some(p) => &window[p + 1..],
+            None => window,
+        }
+    } else {
+        match window.find(SEPS) {
+            Some(p) => &window[..p],
+            None => window,
+        }
+    }
+}
+
+/// Detects a bare `as <narrow-int>` cast in the masked line.
+fn has_narrowing_cast(masked: &str) -> bool {
+    let b = masked.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = masked[start..].find(" as ") {
+        let abs = start + pos;
+        let after = &masked[abs + 4..];
+        let target: String = after.chars().take_while(|c| c.is_ascii_alphanumeric()).collect();
+        if NARROW_TARGETS.contains(&target.as_str()) {
+            // `as` must be a standalone word (preceded by non-ident byte).
+            if abs == 0 || !is_ident_byte(b[abs]) {
+                return true;
+            }
+        }
+        start = abs + 4;
+    }
+    false
+}
+
+/// True if this relative path is in scope for the `as-narrowing` rule.
+#[must_use]
+pub fn narrowing_applies(rel_path: &str) -> bool {
+    let normalized = rel_path.replace('\\', "/");
+    NARROWING_SCOPE.iter().any(|frag| {
+        normalized.rsplit('/').next().is_some_and(|file| file.contains(frag))
+            || normalized.contains(&format!("/{frag}/"))
+    })
+}
+
+/// True if this relative path may perform raw file reads.
+#[must_use]
+pub fn snapshot_io_exempt(rel_path: &str) -> bool {
+    rel_path.replace('\\', "/").contains("crates/persist/")
+}
+
+/// True if this relative path may call the deprecated shims.
+#[must_use]
+pub fn shim_exempt(rel_path: &str) -> bool {
+    rel_path.replace('\\', "/").ends_with("crates/core/src/synopsis.rs")
+}
+
+/// Returns the first malformed `dbhist_`-prefixed metric-name literal on
+/// this raw (unmasked) line, if any.
+fn bad_metric_name(raw_line: &str) -> Option<&str> {
+    let bytes = raw_line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = raw_line[start..].find("\"dbhist_") {
+        let name_start = start + pos + 1;
+        let mut end = name_start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_lowercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let name = &raw_line[name_start..end];
+        if !metric_name_ok(name) || bytes.get(end).is_some_and(u8::is_ascii_uppercase) {
+            return Some(name);
+        }
+        start = end;
+    }
+    None
+}
+
+/// Validates one extracted metric name against the
+/// `dbhist_<subsystem>_<name>_<unit>` convention.
+fn metric_name_ok(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('_').collect();
+    if segments.len() < 4 || segments.iter().any(|s| s.is_empty()) {
+        return false;
+    }
+    let last = segments[segments.len() - 1];
+    if METRIC_UNITS.contains(&last) {
+        return true;
+    }
+    // `<family>_bucket` / `<family>_sum` derived series: valid iff the
+    // family under the suffix is.
+    METRIC_DERIVED_SUFFIXES.contains(&last)
+        && segments.len() >= 5
+        && METRIC_UNITS.contains(&segments[segments.len() - 2])
+}
+
+/// `float-cmp` over the shared masked lines.
+pub fn float_cmp(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (idx, masked) in ctx.lexed.masked.iter().enumerate() {
+        if has_float_cmp(masked) {
+            out.push(ctx.finding(idx + 1, 0, "float-cmp"));
+        }
+    }
+}
+
+/// `as-narrowing` over the shared masked lines (path-scoped).
+pub fn as_narrowing(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !narrowing_applies(&ctx.rel_path) {
+        return;
+    }
+    for (idx, masked) in ctx.lexed.masked.iter().enumerate() {
+        if has_narrowing_cast(masked) {
+            out.push(ctx.finding(idx + 1, 0, "as-narrowing"));
+        }
+    }
+}
+
+/// `snapshot-io` over the shared masked lines (persist crate exempt).
+pub fn snapshot_io(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if snapshot_io_exempt(&ctx.rel_path) {
+        return;
+    }
+    for (idx, masked) in ctx.lexed.masked.iter().enumerate() {
+        if SNAPSHOT_IO_PATTERNS.iter().any(|p| find_banned(masked, p)) {
+            out.push(ctx.finding(idx + 1, 0, "snapshot-io"));
+        }
+    }
+}
+
+/// `deprecated-shim` over the shared masked lines (defining module
+/// exempt; the engine runs this over the wide first-party file set).
+pub fn deprecated_shim(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if shim_exempt(&ctx.rel_path) {
+        return;
+    }
+    for (idx, masked) in ctx.lexed.masked.iter().enumerate() {
+        if SHIM_PATTERNS.iter().any(|p| find_banned(masked, p)) {
+            out.push(ctx.finding(idx + 1, 0, "deprecated-shim"));
+        }
+    }
+}
+
+/// `metric-name` over *raw* lines — the names live inside the string
+/// literals that masking blanks out.
+pub fn metric_name(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (idx, raw) in ctx.raw_lines.iter().enumerate() {
+        if bad_metric_name(raw).is_some() {
+            out.push(ctx.finding(idx + 1, 0, "metric-name"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rule: fn(&FileCtx, &mut Vec<Finding>), path: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new(path, src);
+        let mut out = Vec::new();
+        rule(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn float_cmp_flags_frequency_equality() {
+        let v = run(float_cmp, "crates/core/src/x.rs", "if freq == 0.0 { return; }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-cmp");
+        assert!(run(float_cmp, "crates/core/src/x.rs", "if count == 0 { return; }\n").is_empty());
+    }
+
+    #[test]
+    fn narrowing_only_in_scoped_files() {
+        let src = "let n = count as u16;\n";
+        assert_eq!(run(as_narrowing, "crates/histogram/src/codec.rs", src).len(), 1);
+        assert!(run(as_narrowing, "crates/histogram/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn snapshot_io_exempts_persist() {
+        let src = "let bytes = std::fs::read(path)?;\n";
+        assert_eq!(run(snapshot_io, "crates/core/src/snapshot.rs", src).len(), 1);
+        assert!(run(snapshot_io, "crates/persist/src/container.rs", src).is_empty());
+    }
+
+    #[test]
+    fn shim_rule_exempts_defining_module() {
+        let src = "let db = DbHistogram::build_mhist(&rel, &cfg)?;\n";
+        assert_eq!(run(deprecated_shim, "examples/quickstart.rs", src).len(), 1);
+        assert!(run(deprecated_shim, "crates/core/src/synopsis.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_name_validates_unit_suffix() {
+        let bad = "let c = registry.counter(\"dbhist_build_rounds\");\n";
+        let good = "let c = registry.counter(\"dbhist_build_rounds_total\");\n";
+        assert_eq!(run(metric_name, "crates/telemetry/src/x.rs", bad).len(), 1);
+        assert!(run(metric_name, "crates/telemetry/src/x.rs", good).is_empty());
+    }
+}

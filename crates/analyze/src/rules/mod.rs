@@ -1,0 +1,106 @@
+//! Rule catalog and the per-file context rules run against.
+
+pub mod atomics;
+pub mod hash_iter;
+pub mod legacy;
+pub mod panic_surface;
+pub mod par_float;
+
+use crate::diag::Finding;
+use crate::lexer::{self, Lexed};
+use crate::scope::{self, Scopes};
+
+/// Every rule id, in reporting order. `lint:allow` markers must name one
+/// of these (the audit flags unknown names).
+pub const RULES: [&str; 9] = [
+    "hash-iter-order",
+    "par-float-reduction",
+    "atomic-ordering",
+    "panic-surface",
+    "float-cmp",
+    "as-narrowing",
+    "deprecated-shim",
+    "metric-name",
+    "snapshot-io",
+];
+
+/// Fix hint attached to each rule's findings.
+#[must_use]
+pub fn hint_for(rule: &str) -> &'static str {
+    match rule {
+        "hash-iter-order" => {
+            "hash iteration order can reach estimates/buckets/output; use BTreeMap/BTreeSet, \
+             sort before use, or add a justified lint:allow"
+        }
+        "par-float-reduction" => {
+            "f64 addition is not associative; a parallel sum/fold/reduce breaks serial/parallel \
+             bit-identity — reduce serially after collecting, or chunk deterministically"
+        }
+        "atomic-ordering" => {
+            "raw Relaxed/SeqCst orderings and .lock().unwrap() belong in the vetted telemetry \
+             registry; use registry counters or PoisonError::into_inner"
+        }
+        "panic-surface" => {
+            "library code must not abort the host: return Result through the crate error enum, \
+             use .get() instead of indexing"
+        }
+        "float-cmp" => "compare through an explicit epsilon or integer counts",
+        "as-narrowing" => "use try_from and surface HistogramError::Codec",
+        "deprecated-shim" => "construct through SynopsisBuilder, not the DbHistogram shims",
+        "metric-name" => "metric names follow dbhist_<subsystem>_<name>_<unit>",
+        "snapshot-io" => "snapshot bytes enter through dbhist_persist::read_file only",
+        _ => "",
+    }
+}
+
+/// `true` if findings of `rule` inside `#[cfg(test)]` regions are
+/// dropped. `deprecated-shim` and `metric-name` deliberately apply to
+/// tests too (legacy behaviour: tests exercise the builder API and share
+/// the metric namespace).
+#[must_use]
+pub fn test_exempt(rule: &str) -> bool {
+    !matches!(rule, "deprecated-shim" | "metric-name")
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Raw source lines (suppression markers and metric names live here).
+    pub raw_lines: Vec<String>,
+    /// Token stream + masked lines (strings/comments blanked).
+    pub lexed: Lexed,
+    /// Test regions and named scope contexts.
+    pub scopes: Scopes,
+}
+
+impl FileCtx {
+    #[must_use]
+    pub fn new(rel_path: &str, source: &str) -> Self {
+        let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let lexed = lexer::lex(source);
+        let scopes = scope::analyze(&lexed.masked, &lexed.tokens);
+        Self { rel_path: rel_path.replace('\\', "/"), raw_lines, lexed, scopes }
+    }
+
+    /// Builds a finding at 1-based `line`/`col` with the standard
+    /// excerpt, context, and hint.
+    #[must_use]
+    pub fn finding(&self, line: usize, col: usize, rule: &'static str) -> Finding {
+        let excerpt = self
+            .raw_lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().chars().take(120).collect())
+            .unwrap_or_default();
+        Finding {
+            file: self.rel_path.clone(),
+            line,
+            col,
+            rule,
+            excerpt,
+            context: self.scopes.context(line).to_string(),
+            hint: hint_for(rule).to_string(),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! `panic-surface` — library code must not be able to abort the host.
+//!
+//! Supersedes the legacy per-line `no-panic` rule with the same banned
+//! invocations (`.unwrap()`, `.expect(`, `panic!`, `unreachable!`,
+//! `todo!`, `unimplemented!`) plus a token-based check for slice/array
+//! indexing expressions in the adversarial-input paths (the persistence
+//! crate and the wire codecs), where an out-of-range index panic is a
+//! denial-of-service on hostile snapshot bytes. `Vec<T>`/`[T; N]` *type*
+//! positions and array literals are not indexing and are not flagged.
+//!
+//! The engine runs this over library crates only — tests, benches, and
+//! the tooling crates keep their unwraps.
+
+use super::legacy::find_banned;
+use super::FileCtx;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+
+/// Banned invocations, unchanged from the legacy `no-panic` rule.
+const PANIC_PATTERNS: [&str; 6] =
+    [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Keywords that may legally precede a `[` without forming an indexing
+/// expression (array literals and patterns: `return [..]`, `let [a, b]`,
+/// `for x in [..]` …).
+const NON_RECEIVER_KEYWORDS: [&str; 14] = [
+    "let", "in", "ref", "mut", "return", "if", "else", "match", "move", "break", "continue",
+    "while", "loop", "box",
+];
+
+/// True if this path handles adversarial input bytes, where indexing
+/// panics are reachable from outside the process.
+fn indexing_in_scope(rel_path: &str) -> bool {
+    rel_path.contains("crates/persist/")
+        || rel_path.rsplit('/').next().is_some_and(|f| f.contains("codec"))
+}
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (idx, masked) in ctx.lexed.masked.iter().enumerate() {
+        if PANIC_PATTERNS.iter().any(|p| find_banned(masked, p)) {
+            out.push(ctx.finding(idx + 1, 0, "panic-surface"));
+        }
+    }
+
+    if !indexing_in_scope(&ctx.rel_path) {
+        return;
+    }
+    let tokens = &ctx.lexed.tokens;
+    let mut flagged_lines = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_punct('[') || i == 0 {
+            continue;
+        }
+        let prev = &tokens[i - 1];
+        let is_receiver = match prev.kind {
+            TokenKind::Ident => !NON_RECEIVER_KEYWORDS.contains(&prev.text.as_str()),
+            TokenKind::Punct => matches!(prev.text.as_bytes().first(), Some(b')' | b']')),
+            _ => false,
+        };
+        if is_receiver && !flagged_lines.contains(&t.line) {
+            flagged_lines.push(t.line);
+            out.push(ctx.finding(t.line, t.col, "panic-surface"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new(path, src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_each_panic_pattern() {
+        for bad in [
+            "let x = maybe.unwrap();",
+            "let x = maybe.expect(\"reason\");",
+            "panic!(\"boom\");",
+            "unreachable!(),",
+            "todo!()",
+            "unimplemented!()",
+        ] {
+            let v = run("crates/core/src/alloc.rs", bad);
+            assert_eq!(v.len(), 1, "{bad} should be flagged: {v:?}");
+            assert_eq!(v[0].rule, "panic-surface");
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_are_ignored() {
+        let src = "// this .unwrap() is prose\nlet m = \"panic! inside a string\";\n";
+        assert!(run("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_only_in_adversarial_paths() {
+        let src = "fn f(buf: &[u8], i: usize) -> u8 {\n    buf[i]\n}\n";
+        let v = run("crates/persist/src/container.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].line, v[0].rule), (2, "panic-surface"));
+        assert!(run("crates/core/src/plan.rs", src).is_empty(), "non-codec paths may index");
+    }
+
+    #[test]
+    fn types_literals_and_patterns_are_not_indexing() {
+        let src = "fn f() -> [u8; 2] {\n    let [a, b] = pair;\n    let v: Vec<[u8; 2]> = vec![[a, b]];\n    v.first().copied().unwrap_or([0, 0])\n}\n";
+        assert!(run("crates/persist/src/container.rs", src).is_empty());
+    }
+
+    #[test]
+    fn chained_indexing_after_call_is_flagged() {
+        let v = run("crates/histogram/src/codec.rs", "fn f() -> u8 { make()[0] }\n");
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! `par-float-reduction` — parallel float reductions break bit-identity.
+//!
+//! f64 addition is not associative: `(a + b) + c != a + (b + c)` in the
+//! low-order bits, so a rayon `sum()`/`fold()`/`reduce()` whose chunk
+//! boundaries depend on thread scheduling produces run-to-run different
+//! results. The workspace invariant is *bit-identical* estimates between
+//! serial and parallel builds, so float reductions must either stay
+//! serial or reduce over deterministically ordered chunks.
+//!
+//! Detection: a `.par_iter()` / `.into_par_iter()` / `.par_chunks()` /
+//! `.par_bridge()` combinator whose method chain (to the statement end)
+//! contains a top-level `.sum()` / `.product()` / `.fold()` /
+//! `.reduce()` *and* float evidence anywhere in the chain (an `f64`/
+//! `f32` ident, a float literal, or a frequency-like identifier). A
+//! serial `sum()` inside a parallel `map`/`for_each` body is fine — it
+//! sits at nesting depth > 0 and is deterministic per item.
+
+use super::FileCtx;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+
+/// Rayon combinators that introduce scheduling-dependent order.
+const PAR_COMBINATORS: [&str; 5] =
+    ["par_iter", "par_iter_mut", "into_par_iter", "par_chunks", "par_bridge"];
+
+/// Non-associative reducers when applied to floats.
+const REDUCERS: [&str; 4] = ["sum", "product", "fold", "reduce"];
+
+/// Identifier fragments marking frequency-like floats (same hints as the
+/// legacy `float-cmp` rule).
+const FLOAT_HINTS: [&str; 3] = ["freq", "mass", "weight"];
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let tokens = &ctx.lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !PAR_COMBINATORS.contains(&t.text.as_str())
+            || i == 0
+            || !tokens[i - 1].is_punct('.')
+        {
+            continue;
+        }
+        // Walk the method chain forward to the end of the statement,
+        // tracking nesting relative to the combinator.
+        let mut depth: i64 = 0;
+        let mut reducer: Option<usize> = None;
+        let mut float_evidence = false;
+        let mut j = i + 1;
+        while let Some(n) = tokens.get(j) {
+            match n.kind {
+                TokenKind::Punct => match n.text.as_bytes().first() {
+                    Some(b'(' | b'[' | b'{') => depth += 1,
+                    Some(b')' | b']' | b'}') => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break; // end of the enclosing call
+                        }
+                    }
+                    Some(b';') if depth == 0 => break,
+                    _ => {}
+                },
+                TokenKind::Ident => {
+                    if depth == 0
+                        && REDUCERS.contains(&n.text.as_str())
+                        && tokens.get(j - 1).is_some_and(|p| p.is_punct('.'))
+                    {
+                        reducer.get_or_insert(j);
+                    }
+                    let lower = n.text.to_ascii_lowercase();
+                    if n.text == "f64"
+                        || n.text == "f32"
+                        || FLOAT_HINTS.iter().any(|h| lower.contains(h))
+                    {
+                        float_evidence = true;
+                    }
+                }
+                TokenKind::Number
+                    if n.text.contains('.') || n.text.contains("f64") || n.text.contains("f32") =>
+                {
+                    float_evidence = true;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(r) = reducer {
+            if float_evidence {
+                out.push(ctx.finding(tokens[r].line, tokens[r].col, "par-float-reduction"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("crates/core/src/marginal.rs", src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn parallel_float_sum_is_flagged() {
+        let v =
+            run("fn f(w: &[f64]) -> f64 {\n    w.par_iter().map(|x| x * 2.0).sum::<f64>()\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].line), ("par-float-reduction", 2));
+    }
+
+    #[test]
+    fn parallel_integer_sum_is_fine() {
+        let v = run("fn f(c: &[u64]) -> u64 {\n    c.par_iter().map(|x| x + 1).sum::<u64>()\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn serial_float_sum_is_fine() {
+        assert!(run("fn f(w: &[f64]) -> f64 { w.iter().sum::<f64>() }\n").is_empty());
+    }
+
+    #[test]
+    fn parallel_fold_over_masses_is_flagged() {
+        let v = run(
+            "fn f(cells: &[Cell]) -> f64 {\n    cells.par_iter().fold(|| 0.0, |acc, c| acc + c.mass).reduce(|| 0.0, |a, b| a + b)\n}\n",
+        );
+        assert!(!v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn serial_sum_inside_parallel_for_each_is_fine() {
+        let v = run(
+            "fn f(rows: &mut [Row]) {\n    rows.par_iter_mut().for_each(|r| { r.total = r.freqs.iter().sum(); });\n}\n",
+        );
+        assert!(v.is_empty(), "the inner sum is per-item deterministic: {v:?}");
+    }
+
+    #[test]
+    fn parallel_collect_is_fine() {
+        let v =
+            run("fn f(w: &[f64]) -> Vec<f64> {\n    w.par_iter().map(|x| x * 2.0).collect()\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Brace/scope tracking over the token stream.
+//!
+//! Two views are built from one pass over a file:
+//!
+//! * **Test regions** — which lines sit inside a `#[cfg(test)]` item.
+//!   Library-only rules skip those lines. The detection is kept
+//!   bit-compatible with the legacy line scanner (armed by a masked line
+//!   containing `cfg(test)`, engaged at the next opening brace, released
+//!   when the depth unwinds), so the ported rules report identically.
+//! * **Scope contexts** — a stack of named scopes (`fn foo`, `impl Bar`,
+//!   `mod baz`, closures) so diagnostics can say *where* a finding lives
+//!   and scope-aware rules can bind names to the scope that declared
+//!   them.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item opened a scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    Fn,
+    Impl,
+    Mod,
+    Trait,
+    Closure,
+    /// Any other `{ … }` (match arms, plain blocks, struct literals…).
+    Block,
+}
+
+/// One entry of the scope stack.
+#[derive(Debug, Clone)]
+struct Scope {
+    kind: ScopeKind,
+    name: String,
+}
+
+/// Per-line scope information for one file.
+#[derive(Debug)]
+pub struct Scopes {
+    /// `test_lines[i]` is `true` if 1-based line `i + 1` is inside a
+    /// `#[cfg(test)]` region.
+    test_lines: Vec<bool>,
+    /// Innermost named context per 1-based line (e.g. `"fn lex_line"`,
+    /// `"impl Registry > fn counter"`, `"closure"`). Empty at top level.
+    contexts: Vec<String>,
+}
+
+impl Scopes {
+    /// `true` if 1-based `line` is inside a `#[cfg(test)]` region.
+    #[must_use]
+    pub fn in_test(&self, line: usize) -> bool {
+        line.checked_sub(1).and_then(|i| self.test_lines.get(i)).copied().unwrap_or(false)
+    }
+
+    /// Human-readable innermost context for 1-based `line` (empty string
+    /// at module top level).
+    #[must_use]
+    pub fn context(&self, line: usize) -> &str {
+        line.checked_sub(1).and_then(|i| self.contexts.get(i)).map_or("", String::as_str)
+    }
+}
+
+/// Builds scope information from a file's masked lines and token stream.
+#[must_use]
+pub fn analyze(masked: &[String], tokens: &[Token]) -> Scopes {
+    Scopes { test_lines: test_region_lines(masked), contexts: context_lines(masked.len(), tokens) }
+}
+
+/// Legacy-compatible `#[cfg(test)]` region detection over masked lines.
+fn test_region_lines(masked: &[String]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(masked.len());
+    let mut depth: i64 = 0;
+    let mut pending_test = false;
+    let mut test_until: Option<i64> = None;
+    for line in masked {
+        if test_until.is_none() && line.contains("cfg(test)") {
+            pending_test = true;
+        }
+        let opens = i64::try_from(line.bytes().filter(|&b| b == b'{').count()).unwrap_or(0);
+        let closes = i64::try_from(line.bytes().filter(|&b| b == b'}').count()).unwrap_or(0);
+        if pending_test && opens > 0 {
+            test_until = Some(depth);
+            pending_test = false;
+        }
+        out.push(test_until.is_some());
+        depth += opens - closes;
+        if let Some(t) = test_until {
+            if depth <= t {
+                test_until = None;
+            }
+        }
+    }
+    out
+}
+
+/// Idents that, when immediately preceding a `|`, mark it as a closure
+/// opener rather than a binary/bitwise operator.
+const CLOSURE_LEAD_IDENTS: [&str; 2] = ["move", "return"];
+
+/// Builds the innermost-context string per line by walking braces.
+fn context_lines(n_lines: usize, tokens: &[Token]) -> Vec<String> {
+    let mut contexts = vec![String::new(); n_lines];
+    let mut stack: Vec<Scope> = Vec::new();
+    /// Re-renders the joined context after a push/pop.
+    fn render(stack: &[Scope]) -> String {
+        let named: Vec<String> = stack
+            .iter()
+            .filter(|s| s.kind != ScopeKind::Block)
+            .map(|s| {
+                if s.name.is_empty() {
+                    match s.kind {
+                        ScopeKind::Closure => "closure".to_string(),
+                        _ => String::new(),
+                    }
+                } else {
+                    s.name.clone()
+                }
+            })
+            .filter(|s| !s.is_empty())
+            .collect();
+        named.join(" > ")
+    }
+
+    // The declaration a future `{` will be attributed to.
+    let mut pending: Option<Scope> = None;
+    let mut current = String::new();
+    let mut line_cursor = 0usize; // 0-based index of next line to stamp
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // Stamp every line up to (and including) this token's line with
+        // the context that was current when the line started.
+        while line_cursor < n_lines && line_cursor + 1 < t.line {
+            contexts[line_cursor] = current.clone();
+            line_cursor += 1;
+        }
+        match t.kind {
+            TokenKind::Ident => match t.text.as_str() {
+                "fn" | "mod" | "trait" => {
+                    let kw = t.text.clone();
+                    if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                        let kind = match kw.as_str() {
+                            "fn" => ScopeKind::Fn,
+                            "mod" => ScopeKind::Mod,
+                            _ => ScopeKind::Trait,
+                        };
+                        pending = Some(Scope { kind, name: format!("{kw} {}", name.text) });
+                    }
+                }
+                "impl" => {
+                    // `impl Type` / `impl Trait for Type`: take the last
+                    // ident before the opening brace as the subject.
+                    let mut j = i + 1;
+                    let mut subject = String::new();
+                    while let Some(n) = tokens.get(j) {
+                        if n.is_punct('{') || n.is_punct(';') {
+                            break;
+                        }
+                        if n.kind == TokenKind::Ident && n.text != "for" && n.text != "where" {
+                            subject = n.text.clone();
+                        }
+                        j += 1;
+                    }
+                    pending =
+                        Some(Scope { kind: ScopeKind::Impl, name: format!("impl {subject}") });
+                }
+                _ => {}
+            },
+            TokenKind::Punct => match t.text.as_bytes().first() {
+                Some(b'|') => {
+                    // Closure parameter list vs binary `|` / `||`: treat
+                    // as a closure opener when preceded by a token that
+                    // cannot end an expression.
+                    let opens_closure = match (i == 0, tokens.get(i.wrapping_sub(1))) {
+                        (true, _) | (_, None) => true,
+                        (_, Some(p)) if p.kind == TokenKind::Punct => {
+                            matches!(p.text.as_bytes()[0], b'(' | b',' | b'=' | b'{' | b';')
+                        }
+                        (_, Some(p)) if p.kind == TokenKind::Ident => {
+                            CLOSURE_LEAD_IDENTS.contains(&p.text.as_str())
+                        }
+                        _ => false,
+                    };
+                    if opens_closure && pending.is_none() {
+                        // Find the closing `|` of the parameter list; the
+                        // closure becomes pending only if a `{` follows it
+                        // (braceless closures open no scope). If no closer
+                        // exists before a `;` or `{`, this was a binary
+                        // `|` after all — reprocess nothing, skip nothing.
+                        let mut close = None;
+                        let mut j = i + 1;
+                        while let Some(n) = tokens.get(j) {
+                            if n.is_punct('|') {
+                                close = Some(j);
+                                break;
+                            }
+                            if n.is_punct(';') || n.is_punct('{') {
+                                break;
+                            }
+                            j += 1;
+                        }
+                        if let Some(close) = close {
+                            if tokens.get(close + 1).is_some_and(|n| n.is_punct('{')) {
+                                pending =
+                                    Some(Scope { kind: ScopeKind::Closure, name: String::new() });
+                            }
+                            i = close; // skip the parameter list
+                        }
+                    }
+                }
+                Some(b'{') => {
+                    let scope = pending
+                        .take()
+                        .unwrap_or(Scope { kind: ScopeKind::Block, name: String::new() });
+                    stack.push(scope);
+                    current = render(&stack);
+                }
+                Some(b'}') => {
+                    stack.pop();
+                    pending = None;
+                    current = render(&stack);
+                }
+                Some(b';') => {
+                    // A `;` discards a pending declaration (`mod x;`).
+                    pending = None;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    while line_cursor < n_lines {
+        contexts[line_cursor] = current.clone();
+        line_cursor += 1;
+    }
+    contexts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scopes_of(src: &str) -> Scopes {
+        let lexed = lex(src);
+        analyze(&lexed.masked, &lexed.tokens)
+    }
+
+    #[test]
+    fn cfg_test_region_matches_legacy_shape() {
+        let s =
+            scopes_of("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n");
+        assert!(!s.in_test(1));
+        assert!(s.in_test(4), "inside the test module");
+        assert!(!s.in_test(6), "after the test module");
+    }
+
+    #[test]
+    fn contexts_attribute_fns_and_impls() {
+        let s =
+            scopes_of("impl Registry {\n    pub fn counter(&self) {\n        body();\n    }\n}\n");
+        assert_eq!(s.context(3), "impl Registry > fn counter");
+        assert_eq!(s.context(4), "impl Registry", "fn's closing line unwinds to the impl");
+    }
+
+    #[test]
+    fn closures_open_scopes() {
+        let s = scopes_of("fn f() {\n    run(|x| {\n        inner();\n    });\n}\n");
+        assert_eq!(s.context(3), "fn f > closure");
+    }
+
+    #[test]
+    fn bitwise_or_is_not_a_closure() {
+        let s = scopes_of("fn f(a: u32, b: u32) {\n    let c = a | b;\n    body();\n}\n");
+        assert_eq!(s.context(3), "fn f");
+    }
+
+    #[test]
+    fn braceless_items_do_not_leak_pending() {
+        let s = scopes_of("mod helpers;\nfn real() {\n    body();\n}\n");
+        assert_eq!(s.context(3), "fn real");
+    }
+}

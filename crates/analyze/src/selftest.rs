@@ -1,0 +1,190 @@
+//! Selftest: proves the analyzer still catches seeded violations of
+//! every rule, suppresses them through `lint:allow`, and honours the
+//! sanctioned exemptions — a regression test for the gate itself,
+//! runnable in CI without mutating any tracked file. If a rule is
+//! disabled or its detection rots, the corresponding fixture stops
+//! firing and the selftest exits nonzero.
+
+use crate::diag::Report;
+use crate::engine::{analyze_file, FileClass};
+
+/// One rule's fixture triple: a violating snippet, a clean rewrite, and
+/// the path it is scanned under (path-scoped rules care).
+struct Fixture {
+    rule: &'static str,
+    path: &'static str,
+    violating: &'static str,
+    clean: &'static str,
+}
+
+const FIXTURES: [Fixture; 9] = [
+    Fixture {
+        rule: "hash-iter-order",
+        path: "crates/distribution/src/distribution.rs",
+        violating: "fn total(cells: &FxHashMap<u32, f64>) -> f64 {\n    cells.iter().map(|(_, w)| w).sum()\n}\n",
+        clean: "fn total(cells: &BTreeMap<u32, f64>) -> f64 {\n    cells.iter().map(|(_, w)| w).sum()\n}\n",
+    },
+    Fixture {
+        rule: "par-float-reduction",
+        path: "crates/core/src/marginal.rs",
+        violating: "fn mass(w: &[f64]) -> f64 {\n    w.par_iter().map(|x| x * 0.5).sum::<f64>()\n}\n",
+        clean: "fn mass(w: &[f64]) -> f64 {\n    w.iter().map(|x| x * 0.5).sum::<f64>()\n}\n",
+    },
+    Fixture {
+        rule: "atomic-ordering",
+        path: "crates/distribution/src/cache.rs",
+        violating: "fn bump(hits: &AtomicUsize) {\n    hits.fetch_add(1, Ordering::Relaxed);\n}\n",
+        clean: "fn bump(hits: &telemetry::Counter) {\n    hits.incr(1);\n}\n",
+    },
+    Fixture {
+        rule: "panic-surface",
+        path: "crates/persist/src/container.rs",
+        violating: "fn first(buf: &[u8]) -> u8 {\n    buf[0]\n}\n",
+        clean: "fn first(buf: &[u8]) -> Option<u8> {\n    buf.first().copied()\n}\n",
+    },
+    Fixture {
+        rule: "float-cmp",
+        path: "crates/core/src/marginal.rs",
+        violating: "fn z(freq: f64) -> bool { freq == 0.0 }\n",
+        clean: "fn z(freq: f64) -> bool { freq.abs() < f64::EPSILON }\n",
+    },
+    Fixture {
+        rule: "as-narrowing",
+        path: "crates/histogram/src/codec.rs",
+        violating: "fn w(count: usize) -> u16 { count as u16 }\n",
+        clean: "fn w(count: usize) -> Result<u16, Error> { u16::try_from(count).map_err(Error::from) }\n",
+    },
+    Fixture {
+        rule: "deprecated-shim",
+        path: "examples/quickstart.rs",
+        violating: "fn b() { let db = DbHistogram::build_mhist(&rel, &config); }\n",
+        clean: "fn b() { let db = SynopsisBuilder::new(&rel).build(&config); }\n",
+    },
+    Fixture {
+        rule: "metric-name",
+        path: "crates/telemetry/src/wellknown.rs",
+        violating: "fn m(r: &Registry) { r.counter(\"dbhist_build_rounds\"); }\n",
+        clean: "fn m(r: &Registry) { r.counter(\"dbhist_build_rounds_total\"); }\n",
+    },
+    Fixture {
+        rule: "snapshot-io",
+        path: "crates/core/src/snapshot.rs",
+        violating: "fn load(path: &Path) -> io::Result<Vec<u8>> { std::fs::read(path) }\n",
+        clean: "fn load(path: &Path) -> Result<Vec<u8>, Error> { dbhist_persist::read_file(path) }\n",
+    },
+];
+
+fn scan(path: &str, source: &str) -> Report {
+    let mut report = Report::default();
+    let class = if path.starts_with("examples/") {
+        FileClass { narrow: false, wide: true, library: false }
+    } else {
+        FileClass::library()
+    };
+    analyze_file(path, source, class, &mut report);
+    report
+}
+
+/// Runs every fixture; returns the number of failures (0 = gate intact).
+/// Progress goes to stderr, mirroring the legacy selftest output.
+#[must_use]
+pub fn run() -> u32 {
+    let mut failures = 0u32;
+    for f in &FIXTURES {
+        let hit = scan(f.path, f.violating);
+        if hit.findings.iter().any(|v| v.rule == f.rule) {
+            eprintln!("selftest: rule {} fires on seeded violation ... ok", f.rule);
+        } else {
+            eprintln!("selftest: rule {} MISSED seeded violation:\n{}", f.rule, f.violating);
+            failures += 1;
+        }
+
+        let clean = scan(f.path, f.clean);
+        if clean.findings.iter().any(|v| v.rule == f.rule) {
+            eprintln!("selftest: rule {} fires on CLEAN fixture:\n{}", f.rule, f.clean);
+            failures += 1;
+        }
+
+        // The escape hatch must suppress, and the suppression must then
+        // count as used (no unused-suppression report).
+        let marker = format!("// lint:allow-next-line({}): selftest\n", f.rule);
+        let viol_line = hit.findings.iter().find(|v| v.rule == f.rule).map_or(1, |v| v.line);
+        let mut suppressed_src = String::new();
+        for (i, l) in f.violating.lines().enumerate() {
+            if i + 1 == viol_line {
+                suppressed_src.push_str(&marker);
+            }
+            suppressed_src.push_str(l);
+            suppressed_src.push('\n');
+        }
+        let quiet = scan(f.path, &suppressed_src);
+        if quiet.findings.iter().any(|v| v.rule == f.rule) {
+            eprintln!("selftest: lint:allow({}) failed to suppress", f.rule);
+            failures += 1;
+        } else if !quiet.unused_suppressions.is_empty() {
+            eprintln!(
+                "selftest: lint:allow({}) reported unused after suppressing: {:?}",
+                f.rule, quiet.unused_suppressions
+            );
+            failures += 1;
+        }
+    }
+
+    failures += exemption_checks();
+    if failures == 0 {
+        eprintln!("selftest: all {} rules verified", FIXTURES.len());
+    }
+    failures
+}
+
+/// Sanctioned exemptions must stay exempt, or the rules would outlaw
+/// their own implementation sites.
+fn exemption_checks() -> u32 {
+    let mut failures = 0u32;
+    let mut check = |ok: bool, what: &str| {
+        if ok {
+            eprintln!("selftest: {what} ... ok");
+        } else {
+            eprintln!("selftest: FAILED: {what}");
+            failures += 1;
+        }
+    };
+
+    let shim =
+        scan("crates/core/src/synopsis.rs", "fn t() { DbHistogram::build_mhist(&r, &c); }\n");
+    check(shim.findings.is_empty(), "deprecated-shim exempts crates/core/src/synopsis.rs");
+
+    let registry = scan(
+        "crates/telemetry/src/registry.rs",
+        "fn i(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+    );
+    check(
+        !registry.findings.iter().any(|f| f.rule == "atomic-ordering"),
+        "atomic-ordering exempts the telemetry registry",
+    );
+
+    let plain_index = scan("crates/core/src/plan.rs", "fn g(v: &[u8]) -> u8 { v[0] }\n");
+    check(
+        plain_index.findings.is_empty(),
+        "panic-surface indexing check is scoped to adversarial-input paths",
+    );
+
+    let mut bench = Report::default();
+    analyze_file(
+        "crates/bench/src/experiments.rs",
+        "fn b(v: Option<u32>) -> u32 { v.unwrap() }\n",
+        FileClass { narrow: true, wide: true, library: false },
+        &mut bench,
+    );
+    check(bench.findings.is_empty(), "library rules skip the bench crate");
+
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn selftest_passes() {
+        assert_eq!(super::run(), 0);
+    }
+}

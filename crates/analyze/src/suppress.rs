@@ -1,0 +1,167 @@
+//! `lint:allow` suppression markers with usage auditing.
+//!
+//! The marker syntax is unchanged from the legacy linter:
+//!
+//! * `// lint:allow(<rule>): <justification>` suppresses `<rule>` on the
+//!   same line;
+//! * `// lint:allow-next-line(<rule>): <justification>` suppresses it on
+//!   the following line (the standalone form survives rustfmt
+//!   rewrapping);
+//! * several rules may be listed comma-separated inside one marker.
+//!
+//! What is new is the audit: every marker records whether it actually
+//! suppressed a finding during the run. A marker that suppressed nothing
+//! is reported as `unused-suppression` and fails the gate — dead allows
+//! are how a suppression-based gate rots.
+
+use crate::diag::UnusedSuppression;
+
+/// One parsed `lint:allow` entry (one rule of one marker).
+#[derive(Debug)]
+struct Marker {
+    /// Line the marker text sits on (1-based).
+    marker_line: usize,
+    /// Line whose findings it suppresses (same line, or the next).
+    target_line: usize,
+    rule: String,
+    used: bool,
+}
+
+/// All suppression markers of one file, with usage tracking.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    markers: Vec<Marker>,
+}
+
+impl Suppressions {
+    /// Parses every marker in `raw_lines` (the unmasked source — markers
+    /// live in comments, which masking blanks).
+    #[must_use]
+    pub fn parse(raw_lines: &[String]) -> Self {
+        let mut markers = Vec::new();
+        for (idx, raw) in raw_lines.iter().enumerate() {
+            let line = idx + 1;
+            for rule in parse_allow_markers(raw, "lint:allow(") {
+                markers.push(Marker {
+                    marker_line: line,
+                    target_line: line,
+                    rule: rule.to_string(),
+                    used: false,
+                });
+            }
+            for rule in parse_allow_markers(raw, "lint:allow-next-line(") {
+                markers.push(Marker {
+                    marker_line: line,
+                    target_line: line + 1,
+                    rule: rule.to_string(),
+                    used: false,
+                });
+            }
+        }
+        Self { markers }
+    }
+
+    /// `true` if `rule` is suppressed on 1-based `line`; marks every
+    /// matching marker as used.
+    pub fn suppresses(&mut self, line: usize, rule: &str) -> bool {
+        let mut hit = false;
+        for m in &mut self.markers {
+            if m.target_line == line && m.rule == rule {
+                m.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Markers that suppressed nothing, or name a rule that does not
+    /// exist. `known_rules` is the full rule catalog.
+    #[must_use]
+    pub fn audit(&self, file: &str, known_rules: &[&str]) -> Vec<UnusedSuppression> {
+        let mut out = Vec::new();
+        for m in &self.markers {
+            if !known_rules.contains(&m.rule.as_str()) {
+                out.push(UnusedSuppression {
+                    file: file.to_string(),
+                    line: m.marker_line,
+                    rule: m.rule.clone(),
+                    reason: "unknown rule",
+                });
+            } else if !m.used {
+                out.push(UnusedSuppression {
+                    file: file.to_string(),
+                    line: m.marker_line,
+                    rule: m.rule.clone(),
+                    reason: "no finding on this line",
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the rule list from every `marker` occurrence in `raw_line`,
+/// byte-for-byte the legacy parser: everything between the marker's `(`
+/// and the next `)`, split on commas, trimmed.
+fn parse_allow_markers<'a>(raw_line: &'a str, marker: &str) -> Vec<&'a str> {
+    let mut allowed = Vec::new();
+    let mut rest = raw_line;
+    while let Some(pos) = rest.find(marker) {
+        rest = &rest[pos + marker.len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                allowed.push(rule.trim());
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    allowed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(src: &str) -> Vec<String> {
+        src.lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn same_line_and_next_line_targets() {
+        let mut s = Suppressions::parse(&lines(
+            "x.unwrap(); // lint:allow(panic-surface): startup\n\
+             // lint:allow-next-line(float-cmp): exact sentinel\n\
+             if a == 0.0 {}\n",
+        ));
+        assert!(s.suppresses(1, "panic-surface"));
+        assert!(s.suppresses(3, "float-cmp"));
+        assert!(!s.suppresses(2, "float-cmp"), "marker line itself is not suppressed");
+        assert!(!s.suppresses(1, "float-cmp"));
+    }
+
+    #[test]
+    fn comma_separated_rules() {
+        let mut s =
+            Suppressions::parse(&lines("y(); // lint:allow(float-cmp, as-narrowing): both\n"));
+        assert!(s.suppresses(1, "float-cmp"));
+        assert!(s.suppresses(1, "as-narrowing"));
+    }
+
+    #[test]
+    fn audit_flags_unused_and_unknown() {
+        let mut s = Suppressions::parse(&lines(
+            "a(); // lint:allow(panic-surface): used below\n\
+             b(); // lint:allow(no-such-rule): typo\n\
+             c(); // lint:allow(float-cmp): never fires\n",
+        ));
+        assert!(s.suppresses(1, "panic-surface"));
+        let audit = s.audit("src/x.rs", &["panic-surface", "float-cmp"]);
+        assert_eq!(audit.len(), 2);
+        assert_eq!(audit[0].rule, "no-such-rule");
+        assert_eq!(audit[0].reason, "unknown rule");
+        assert_eq!(audit[1].rule, "float-cmp");
+        assert_eq!(audit[1].reason, "no finding on this line");
+    }
+}

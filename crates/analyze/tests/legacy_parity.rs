@@ -1,0 +1,629 @@
+//! Parity between the new analyzer and the legacy line scanner.
+//!
+//! `mod frozen` is a verbatim copy of the legacy
+//! `crates/xtask/src/lint.rs` detection code as it stood before the
+//! port (comments trimmed). It exists only here, as the reference
+//! implementation for two guarantees:
+//!
+//! 1. **Masking parity** — the new lexer's masked lines are
+//!    byte-identical to legacy `mask_line` output on generated
+//!    string/comment/raw-string soups (proptest) and on every real
+//!    workspace source file.
+//! 2. **Findings parity** — for the five ported rules (`float-cmp`,
+//!    `as-narrowing`, `deprecated-shim`, `metric-name`, `snapshot-io`),
+//!    `cargo xtask analyze` reports exactly what `cargo xtask lint`
+//!    reported before the port, on a fixture corpus and on the whole
+//!    workspace. (`no-panic` is deliberately excluded: `panic-surface`
+//!    supersedes it and its markers were renamed.)
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use dbhist_analyze::{analyze_file, workspace_files, Report};
+
+/// Verbatim copy of the legacy scanner (pre-port reference).
+#[allow(dead_code, clippy::collapsible_if)]
+mod frozen {
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Violation {
+        pub file: String,
+        pub line: usize,
+        pub rule: &'static str,
+        pub excerpt: String,
+    }
+
+    pub const RULES: [&str; 6] =
+        ["no-panic", "float-cmp", "as-narrowing", "deprecated-shim", "metric-name", "snapshot-io"];
+
+    const PANIC_PATTERNS: [&str; 6] =
+        [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+    const FLOAT_IDENT_HINTS: [&str; 3] = ["freq", "mass", "weight"];
+    const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    const SHIM_PATTERNS: [&str; 3] =
+        ["DbHistogram::build_mhist", "DbHistogram::build_grid", "DbHistogram::build_wavelet"];
+    const METRIC_UNITS: [&str; 7] = ["total", "seconds", "ns", "us", "bytes", "ratio", "count"];
+    const METRIC_DERIVED_SUFFIXES: [&str; 2] = ["bucket", "sum"];
+    const SNAPSHOT_IO_PATTERNS: [&str; 3] = ["fs::read(", "File::open(", "read_to_end("];
+    const NARROWING_SCOPE: [&str; 4] = ["codec", "mhist", "bbox", "alloc"];
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    enum Mode {
+        #[default]
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u8),
+    }
+
+    pub fn mask_line_pub(line: &str, carry: &mut u64) -> String {
+        // Test-only shim exposing the private mode as an opaque carry.
+        let mut mode = match *carry {
+            0 => Mode::Code,
+            1 => Mode::Str,
+            m if m >= 1000 => Mode::RawStr(u8::try_from(m - 1000).unwrap_or(0)),
+            m => Mode::Block(u32::try_from(m - 1).unwrap_or(0)),
+        };
+        let out = mask_line(line, &mut mode);
+        *carry = match mode {
+            Mode::Code => 0,
+            Mode::Str => 1,
+            Mode::RawStr(h) => 1000 + u64::from(h),
+            Mode::Block(d) => 1 + u64::from(d),
+        };
+        out
+    }
+
+    fn mask_line(line: &str, mode: &mut Mode) -> String {
+        let bytes = line.as_bytes();
+        let mut out = vec![b' '; bytes.len()];
+        let mut i = 0;
+        while i < bytes.len() {
+            match *mode {
+                Mode::Block(depth) => {
+                    if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        *mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                        i += 2;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        *mode = Mode::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        *mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if bytes[i] == b'"' {
+                        let h = usize::from(hashes);
+                        if bytes.len() >= i + 1 + h
+                            && bytes[i + 1..i + 1 + h].iter().all(|&b| b == b'#')
+                        {
+                            *mode = Mode::Code;
+                            i += 1 + h;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                Mode::Code => match bytes[i] {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        return String::from_utf8(out).unwrap_or_default()
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        *mode = Mode::Block(1);
+                        i += 2;
+                    }
+                    b'"' => {
+                        *mode = Mode::Str;
+                        i += 1;
+                    }
+                    b'r' if bytes.get(i + 1) == Some(&b'"')
+                        || (bytes.get(i + 1) == Some(&b'#')
+                            && raw_str_hashes(&bytes[i + 1..]).is_some()) =>
+                    {
+                        let hashes = raw_str_hashes(&bytes[i + 1..]).unwrap_or(0);
+                        out[i] = b'r';
+                        *mode = Mode::RawStr(hashes);
+                        i += 2 + usize::from(hashes);
+                    }
+                    b'\'' => {
+                        if bytes.get(i + 1) == Some(&b'\\') {
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != b'\'' {
+                                j += 1;
+                            }
+                            i = (j + 1).min(bytes.len());
+                        } else if bytes.len() > i + 2 && bytes[i + 2] == b'\'' {
+                            i += 3;
+                        } else {
+                            out[i] = b'\'';
+                            i += 1;
+                        }
+                    }
+                    b => {
+                        out[i] = b;
+                        i += 1;
+                    }
+                },
+            }
+        }
+        String::from_utf8(out).unwrap_or_default()
+    }
+
+    fn raw_str_hashes(after_r: &[u8]) -> Option<u8> {
+        if after_r.first() == Some(&b'"') {
+            return Some(0);
+        }
+        let hashes = after_r.iter().take_while(|&&b| b == b'#').count();
+        if hashes > 0 && after_r.get(hashes) == Some(&b'"') {
+            u8::try_from(hashes).ok()
+        } else {
+            None
+        }
+    }
+
+    fn is_ident_byte(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_'
+    }
+
+    fn allowed_rules(raw_line: &str) -> Vec<&str> {
+        parse_allow_markers(raw_line, "lint:allow(")
+    }
+
+    fn next_line_allowed_rules(raw_line: &str) -> Vec<&str> {
+        parse_allow_markers(raw_line, "lint:allow-next-line(")
+    }
+
+    fn parse_allow_markers<'a>(raw_line: &'a str, marker: &str) -> Vec<&'a str> {
+        let mut allowed = Vec::new();
+        let mut rest = raw_line;
+        while let Some(pos) = rest.find(marker) {
+            rest = &rest[pos + marker.len()..];
+            if let Some(end) = rest.find(')') {
+                for rule in rest[..end].split(',') {
+                    allowed.push(rule.trim());
+                }
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+        allowed
+    }
+
+    fn find_banned(masked: &str, pattern: &str) -> bool {
+        let needs_guard = pattern.as_bytes().first().copied().is_some_and(is_ident_byte);
+        let mut start = 0;
+        while let Some(pos) = masked[start..].find(pattern) {
+            let abs = start + pos;
+            if !needs_guard || abs == 0 || !is_ident_byte(masked.as_bytes()[abs - 1]) {
+                return true;
+            }
+            start = abs + pattern.len();
+        }
+        false
+    }
+
+    fn has_float_literal(text: &str) -> bool {
+        let b = text.as_bytes();
+        (2..b.len()).any(|i| b[i].is_ascii_digit() && b[i - 1] == b'.' && b[i - 2].is_ascii_digit())
+    }
+
+    fn has_float_ident(text: &str) -> bool {
+        text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_').any(|tok| {
+            let lower = tok.to_ascii_lowercase();
+            FLOAT_IDENT_HINTS.iter().any(|h| lower.contains(h))
+        })
+    }
+
+    fn has_float_cmp(masked: &str) -> bool {
+        let b = masked.as_bytes();
+        let mut i = 0;
+        while i + 1 < b.len() {
+            let is_eq = b[i] == b'=' && b[i + 1] == b'=';
+            let is_ne = b[i] == b'!' && b[i + 1] == b'=';
+            if (is_eq || is_ne)
+                && (i == 0
+                    || !matches!(
+                        b[i - 1],
+                        b'<' | b'>'
+                            | b'='
+                            | b'!'
+                            | b'+'
+                            | b'-'
+                            | b'*'
+                            | b'/'
+                            | b'%'
+                            | b'&'
+                            | b'|'
+                            | b'^'
+                    ))
+                && b.get(i + 2) != Some(&b'=')
+            {
+                let lo = i.saturating_sub(40);
+                let hi = (i + 2 + 40).min(b.len());
+                let left = clip_operand(&masked[lo..i], true);
+                let right = clip_operand(&masked[i + 2..hi], false);
+                for side in [left, right] {
+                    if has_float_literal(side) || has_float_ident(side) {
+                        return true;
+                    }
+                }
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn clip_operand(window: &str, from_end: bool) -> &str {
+        const SEPS: [char; 6] = [',', ';', '(', ')', '{', '}'];
+        if from_end {
+            match window.rfind(SEPS) {
+                Some(p) => &window[p + 1..],
+                None => window,
+            }
+        } else {
+            match window.find(SEPS) {
+                Some(p) => &window[..p],
+                None => window,
+            }
+        }
+    }
+
+    fn has_narrowing_cast(masked: &str) -> bool {
+        let b = masked.as_bytes();
+        let mut start = 0;
+        while let Some(pos) = masked[start..].find(" as ") {
+            let abs = start + pos;
+            let after = &masked[abs + 4..];
+            let target: String = after.chars().take_while(|c| c.is_ascii_alphanumeric()).collect();
+            if NARROW_TARGETS.contains(&target.as_str()) {
+                if abs == 0 || !is_ident_byte(b[abs]) {
+                    return true;
+                }
+            }
+            start = abs + 4;
+        }
+        false
+    }
+
+    pub fn narrowing_applies(rel_path: &str) -> bool {
+        let normalized = rel_path.replace('\\', "/");
+        NARROWING_SCOPE.iter().any(|frag| {
+            normalized.rsplit('/').next().is_some_and(|file| file.contains(frag))
+                || normalized.contains(&format!("/{frag}/"))
+        })
+    }
+
+    pub fn snapshot_io_exempt(rel_path: &str) -> bool {
+        rel_path.replace('\\', "/").contains("crates/persist/")
+    }
+
+    pub fn shim_exempt(rel_path: &str) -> bool {
+        rel_path.replace('\\', "/").ends_with("crates/core/src/synopsis.rs")
+    }
+
+    pub fn scan_shims(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
+        if shim_exempt(rel_path) {
+            return;
+        }
+        let mut mode = Mode::default();
+        let mut next_line_allows: Vec<&str> = Vec::new();
+        for (idx, raw_line) in source.lines().enumerate() {
+            let masked = mask_line(raw_line, &mut mode);
+            let carried = std::mem::take(&mut next_line_allows);
+            next_line_allows = next_line_allowed_rules(raw_line);
+            let mut allowed = allowed_rules(raw_line);
+            allowed.extend(carried);
+            if allowed.contains(&"deprecated-shim") {
+                continue;
+            }
+            if SHIM_PATTERNS.iter().any(|p| find_banned(&masked, p)) {
+                out.push(Violation {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: "deprecated-shim",
+                    excerpt: raw_line.trim().chars().take(120).collect(),
+                });
+            }
+        }
+    }
+
+    fn bad_metric_name(raw_line: &str) -> Option<&str> {
+        let bytes = raw_line.as_bytes();
+        let mut start = 0;
+        while let Some(pos) = raw_line[start..].find("\"dbhist_") {
+            let name_start = start + pos + 1;
+            let mut end = name_start;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_lowercase()
+                    || bytes[end].is_ascii_digit()
+                    || bytes[end] == b'_')
+            {
+                end += 1;
+            }
+            let name = &raw_line[name_start..end];
+            if !metric_name_ok(name) || bytes.get(end).is_some_and(u8::is_ascii_uppercase) {
+                return Some(name);
+            }
+            start = end;
+        }
+        None
+    }
+
+    fn metric_name_ok(name: &str) -> bool {
+        let segments: Vec<&str> = name.split('_').collect();
+        if segments.len() < 4 || segments.iter().any(|s| s.is_empty()) {
+            return false;
+        }
+        let last = segments[segments.len() - 1];
+        if METRIC_UNITS.contains(&last) {
+            return true;
+        }
+        METRIC_DERIVED_SUFFIXES.contains(&last)
+            && segments.len() >= 5
+            && METRIC_UNITS.contains(&segments[segments.len() - 2])
+    }
+
+    pub fn scan_metrics(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
+        let mut next_line_allows: Vec<&str> = Vec::new();
+        for (idx, raw_line) in source.lines().enumerate() {
+            let carried = std::mem::take(&mut next_line_allows);
+            next_line_allows = next_line_allowed_rules(raw_line);
+            let mut allowed = allowed_rules(raw_line);
+            allowed.extend(carried);
+            if allowed.contains(&"metric-name") {
+                continue;
+            }
+            if bad_metric_name(raw_line).is_some() {
+                out.push(Violation {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: "metric-name",
+                    excerpt: raw_line.trim().chars().take(120).collect(),
+                });
+            }
+        }
+    }
+
+    pub fn scan_source(rel_path: &str, source: &str, out: &mut Vec<Violation>) {
+        let mut mode = Mode::default();
+        let mut depth: i64 = 0;
+        let mut pending_test = false;
+        let mut test_until: Option<i64> = None;
+        let mut next_line_allows: Vec<&str> = Vec::new();
+        let narrowing_in_scope = narrowing_applies(rel_path);
+        let snapshot_io_in_scope = !snapshot_io_exempt(rel_path);
+
+        for (idx, raw_line) in source.lines().enumerate() {
+            let masked = mask_line(raw_line, &mut mode);
+            let line_no = idx + 1;
+
+            if test_until.is_none() && masked.contains("cfg(test)") {
+                pending_test = true;
+            }
+            let opens = i64::try_from(masked.bytes().filter(|&b| b == b'{').count()).unwrap_or(0);
+            let closes = i64::try_from(masked.bytes().filter(|&b| b == b'}').count()).unwrap_or(0);
+            if pending_test && opens > 0 {
+                test_until = Some(depth);
+                pending_test = false;
+            }
+            let in_test = test_until.is_some();
+            depth += opens - closes;
+            if let Some(t) = test_until {
+                if depth <= t {
+                    test_until = None;
+                }
+            }
+
+            let carried_allows = std::mem::take(&mut next_line_allows);
+            next_line_allows = next_line_allowed_rules(raw_line);
+            if in_test {
+                continue;
+            }
+            let mut allowed = allowed_rules(raw_line);
+            allowed.extend(carried_allows);
+            let mut push = |rule: &'static str| {
+                if !allowed.contains(&rule) {
+                    out.push(Violation {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule,
+                        excerpt: raw_line.trim().chars().take(120).collect(),
+                    });
+                }
+            };
+
+            if PANIC_PATTERNS.iter().any(|p| find_banned(&masked, p)) {
+                push("no-panic");
+            }
+            if has_float_cmp(&masked) {
+                push("float-cmp");
+            }
+            if narrowing_in_scope && has_narrowing_cast(&masked) {
+                push("as-narrowing");
+            }
+            if snapshot_io_in_scope && SNAPSHOT_IO_PATTERNS.iter().any(|p| find_banned(&masked, p))
+            {
+                push("snapshot-io");
+            }
+        }
+    }
+}
+
+/// The five ported rules whose findings must match the legacy scanner.
+const PORTED: [&str; 5] =
+    ["float-cmp", "as-narrowing", "deprecated-shim", "metric-name", "snapshot-io"];
+
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+/// Legacy masking of a whole source, line by line.
+fn frozen_mask(source: &str) -> Vec<String> {
+    let mut carry = 0u64;
+    source.lines().map(|l| frozen::mask_line_pub(l, &mut carry)).collect()
+}
+
+/// (file, line, rule) key set for comparisons.
+fn keys_frozen(v: &[frozen::Violation]) -> BTreeSet<(String, usize, String)> {
+    v.iter()
+        .filter(|v| v.rule != "no-panic")
+        .map(|v| (v.file.clone(), v.line, v.rule.to_string()))
+        .collect()
+}
+
+fn keys_report(r: &Report) -> BTreeSet<(String, usize, String)> {
+    r.findings
+        .iter()
+        .filter(|f| PORTED.contains(&f.rule))
+        .map(|f| (f.file.clone(), f.line, f.rule.to_string()))
+        .collect()
+}
+
+#[test]
+fn masking_matches_legacy_on_every_workspace_file() {
+    let root = workspace_root();
+    let mut checked = 0usize;
+    for (path, _) in workspace_files(&root) {
+        let Ok(source) = std::fs::read_to_string(&path) else { continue };
+        let legacy = frozen_mask(&source);
+        let lexed = dbhist_analyze::lexer::lex(&source);
+        assert_eq!(legacy, lexed.masked, "masking diverged in {}", path.display());
+        checked += 1;
+    }
+    assert!(checked > 20, "workspace walk found only {checked} files");
+}
+
+#[test]
+fn findings_match_legacy_on_whole_workspace() {
+    let root = workspace_root();
+    let mut legacy: Vec<frozen::Violation> = Vec::new();
+    let mut report = Report::default();
+    for (path, class) in workspace_files(&root) {
+        let Ok(source) = std::fs::read_to_string(&path) else { continue };
+        let rel = path.strip_prefix(&root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        if class.narrow {
+            frozen::scan_source(&rel, &source, &mut legacy);
+        }
+        if class.wide {
+            frozen::scan_shims(&rel, &source, &mut legacy);
+            frozen::scan_metrics(&rel, &source, &mut legacy);
+        }
+        dbhist_analyze::analyze_file(&rel, &source, class, &mut report);
+    }
+    assert_eq!(
+        keys_frozen(&legacy),
+        keys_report(&report),
+        "ported rules diverged from the pre-port linter"
+    );
+}
+
+#[test]
+fn findings_match_legacy_on_fixture_corpus() {
+    // Small adversarial corpus: every ported rule, suppressions,
+    // cfg(test) regions, masking traps.
+    let corpus: [(&str, &str); 6] = [
+        (
+            "crates/core/src/marginal.rs",
+            "fn f(freq: f64) {\n    if freq == 0.0 { return; }\n    // lint:allow-next-line(float-cmp): exact sentinel\n    if freq == 1.0 { return; }\n}\n#[cfg(test)]\nmod tests {\n    fn t(freq: f64) { assert!(freq == 0.5); }\n}\n",
+        ),
+        (
+            "crates/histogram/src/codec.rs",
+            "fn w(n: usize) -> u16 {\n    let a = n as u16; // lint:allow(as-narrowing): bounded above\n    let b = n as u16;\n    b\n}\n",
+        ),
+        (
+            "crates/core/src/snapshot.rs",
+            "fn load(p: &Path) {\n    let b = std::fs::read(p);\n    let s = std::fs::read_to_string(p);\n    let doc = \"fs::read( in a string\";\n}\n",
+        ),
+        (
+            "crates/telemetry/src/wellknown.rs",
+            "fn m(r: &Registry) {\n    r.counter(\"dbhist_build_rounds\");\n    r.counter(\"dbhist_query_estimates_total\");\n}\n",
+        ),
+        (
+            "examples/quickstart.rs",
+            "fn main() {\n    let db = DbHistogram::build_mhist(&rel, &config);\n    /* DbHistogram::build_grid in a comment */\n}\n",
+        ),
+        (
+            "crates/core/src/plan.rs",
+            "fn f() {\n    let r = r#\"raw \"quoted\" freq == 0.0\"#;\n    let c = '{';\n    if mass != expected_mass { fix(); }\n}\n",
+        ),
+    ];
+    for (rel, source) in corpus {
+        let mut legacy: Vec<frozen::Violation> = Vec::new();
+        let narrow = !rel.starts_with("examples/");
+        if narrow {
+            frozen::scan_source(rel, source, &mut legacy);
+        }
+        frozen::scan_shims(rel, source, &mut legacy);
+        frozen::scan_metrics(rel, source, &mut legacy);
+
+        let class = dbhist_analyze::FileClass { narrow, wide: true, library: false };
+        let mut report = Report::default();
+        analyze_file(rel, source, class, &mut report);
+
+        assert_eq!(keys_frozen(&legacy), keys_report(&report), "fixture diverged: {rel}\n{source}");
+    }
+}
+
+mod masking_proptest {
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Fragment alphabet for string/comment/raw-string soups. Joined
+    /// with no separator, so fragments collide into each other — that
+    /// is the point (`br` + `"str"` forms `br"str"`, idents run into
+    /// quotes, comment openers split across fragments…).
+    const FRAGMENTS: [&str; 30] = [
+        "let x = 1;",
+        "\n",
+        "\"",
+        "\\\"",
+        "\\\\",
+        "'",
+        "r",
+        "b",
+        "br",
+        "#",
+        "r#\"",
+        "\"#",
+        "//",
+        "/*",
+        "*/",
+        "freq == 0.0",
+        ".unwrap()",
+        "ident",
+        "'a",
+        "'x'",
+        "'\\n'",
+        "{",
+        "}",
+        " as u16 ",
+        "0..5",
+        "1.5f64",
+        "fs::read(",
+        "panic!",
+        "var",
+        " ",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+        #[test]
+        fn lexer_masking_agrees_with_legacy(idx in vec(0usize..FRAGMENTS.len(), 1..40)) {
+            let source: String = idx.iter().map(|&i| FRAGMENTS[i]).collect();
+            let legacy = super::frozen_mask(&source);
+            let lexed = dbhist_analyze::lexer::lex(&source);
+            prop_assert_eq!(&legacy, &lexed.masked, "source: {:?}", source);
+        }
+    }
+}

@@ -164,17 +164,17 @@ pub fn fig6(scale: &Scale, workload_k: usize, max_edges: usize) -> Figure {
         let mut models = vec![independence];
         models.extend(result.steps.iter().map(|s| s.model.clone()));
         for (edges, model) in models.into_iter().enumerate() {
-            let db = DbHistogram::exact_for_model(&rel, model).expect("exact factors always build"); // lint:allow(no-panic): experiment driver; abort the run on a broken build
-                                                                                                     // Exact clique factors admit a one-pass message-passing
-                                                                                                     // evaluation of each query (numerically identical to the
-                                                                                                     // factor-algebra route, asymptotically far cheaper).
+            let db = DbHistogram::exact_for_model(&rel, model).expect("exact factors always build");
+            // Exact clique factors admit a one-pass message-passing
+            // evaluation of each query (numerically identical to the
+            // factor-algebra route, asymptotically far cheaper).
             let summary = ErrorSummary::evaluate(&workload, |ranges| {
                 dbhist_core::marginal::exact_box_mass(
                     db.model().junction_tree(),
                     db.factors(),
                     ranges,
                 )
-                .expect("exact evaluation is infallible") // lint:allow(no-panic): experiment driver; abort the run on a broken build
+                .expect("exact evaluation is infallible")
             });
             points.push(SeriesPoint {
                 x: edges as f64,
@@ -204,19 +204,15 @@ pub fn fig6(scale: &Scale, workload_k: usize, max_edges: usize) -> Figure {
 fn build_estimators(rel: &Relation, budget: usize) -> Vec<Box<dyn SelectivityEstimator>> {
     let criterion = SplitCriterion::MaxDiff;
     let mut out: Vec<Box<dyn SelectivityEstimator>> = Vec::new();
-    out.push(Box::new(
-        IndEstimator::build(rel, budget, criterion).expect("IND builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
-    ));
-    out.push(Box::new(
-        MhistEstimator::build(rel, budget, criterion).expect("MHIST builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
-    ));
+    out.push(Box::new(IndEstimator::build(rel, budget, criterion).expect("IND builds")));
+    out.push(Box::new(MhistEstimator::build(rel, budget, criterion).expect("MHIST builds")));
     for heuristic in [EdgeHeuristic::Db1, EdgeHeuristic::Db2] {
         out.push(Box::new(
             SynopsisBuilder::new(rel)
                 .budget(budget)
                 .heuristic(heuristic)
                 .build_mhist()
-                .expect("DB histogram builds"), // lint:allow(no-panic): experiment driver; abort the run on a broken build
+                .expect("DB histogram builds"),
         ));
     }
     out
@@ -329,7 +325,7 @@ pub fn housing_experiment(scale: &Scale) -> Figure {
 pub fn sampling_zero_fraction(scale: &Scale, budget: usize) -> f64 {
     let rel = scale.census_1();
     let workload = scale.workload(&rel, 3, 900);
-    let sampler = SamplingEstimator::build(&rel, budget, 17).expect("sampler builds"); // lint:allow(no-panic): experiment driver; abort the run on a broken build
+    let sampler = SamplingEstimator::build(&rel, budget, 17).expect("sampler builds");
     let zeros = workload
         .queries
         .iter()

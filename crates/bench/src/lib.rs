@@ -17,6 +17,7 @@
 //! `repro` binary's default) or at a reduced scale for tests and timing
 //! benches.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

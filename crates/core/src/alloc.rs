@@ -121,7 +121,7 @@ pub fn incremental_gains<B: IncrementalBuilder>(
     };
     #[cfg(debug_assertions)]
     if let Err(violation) = report.validate(budget_bytes) {
-        panic!("allocation invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+        panic!("allocation invariant violated: {violation}"); // lint:allow(panic-surface): debug-only invariant validator
     }
     Ok(report)
 }
@@ -328,7 +328,7 @@ where
     };
     #[cfg(debug_assertions)]
     if let Err(violation) = report.validate(budget_bytes) {
-        panic!("allocation invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+        panic!("allocation invariant violated: {violation}"); // lint:allow(panic-surface): debug-only invariant validator
     }
     Ok(report)
 }

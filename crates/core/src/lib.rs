@@ -58,6 +58,7 @@
 //! assert!((est - exact).abs() / exact < 0.25);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

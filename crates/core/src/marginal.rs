@@ -450,10 +450,10 @@ pub fn exact_box_mass(
     ranges: &[(dbhist_distribution::AttrId, u32, u32)],
 ) -> Result<f64, SynopsisError> {
     assert_eq!(tree.len(), factors.len(), "one factor per clique");
-    use dbhist_distribution::fxhash::FxHashMap;
+    use std::collections::BTreeMap;
 
     // Fold the constraints: attr → intersected (lo, hi).
-    let mut constraint: FxHashMap<u16, (u32, u32)> = FxHashMap::default();
+    let mut constraint: BTreeMap<u16, (u32, u32)> = BTreeMap::new();
     for &(a, lo, hi) in ranges {
         let c = constraint.entry(a).or_insert((lo, hi));
         *c = (c.0.max(lo), c.1.min(hi));
@@ -472,7 +472,9 @@ pub fn exact_box_mass(
         i += 1;
     }
     // messages[c] = map from c's separator-with-parent key → weight.
-    let mut messages: Vec<Option<FxHashMap<Vec<u32>, f64>>> = vec![None; tree.len()];
+    // Ordered maps keep the message fold deterministic: the division pass
+    // below visits separator keys in the same order on every run.
+    let mut messages: Vec<Option<BTreeMap<Vec<u32>, f64>>> = vec![None; tree.len()];
     let mut root_mass = 0.0;
     for &node in order.iter().rev() {
         let factor = &factors[node].0;
@@ -505,13 +507,13 @@ pub fn exact_box_mass(
         let parent_sep = tree.cliques()[node].intersection(&tree.cliques()[parent]);
         let sep_pos = positions_of(&attrs, &parent_sep)?;
         // Unrestricted separator marginal of this clique (the divisor).
-        let mut sep_marginal: FxHashMap<Vec<u32>, f64> = FxHashMap::default();
+        let mut sep_marginal: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
         for (key, f) in factor.iter() {
             let sub: Vec<u32> = sep_pos.iter().map(|&p| key[p]).collect();
             *sep_marginal.entry(sub).or_insert(0.0) += f;
         }
         let divisor_for_empty = factor.total();
-        let mut out: FxHashMap<Vec<u32>, f64> = FxHashMap::default();
+        let mut out: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
         for (key, f) in factor.iter() {
             if !cell_ok(key) {
                 continue;
@@ -559,7 +561,7 @@ fn folded_weight(
     base: f64,
     key: &[u32],
     child_seps: &[(usize, Vec<usize>)],
-    messages: &[Option<dbhist_distribution::fxhash::FxHashMap<Vec<u32>, f64>>],
+    messages: &[Option<std::collections::BTreeMap<Vec<u32>, f64>>],
 ) -> f64 {
     let mut w = base;
     for (ch, pos) in child_seps {

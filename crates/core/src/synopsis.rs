@@ -256,7 +256,7 @@ impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
         // `try_estimate`.
         #[allow(clippy::expect_used)]
         self.try_estimate(ranges)
-            // lint:allow-next-line(no-panic): infallible trait contract; corrupt synopsis must not yield silent garbage
+            // lint:allow-next-line(panic-surface): infallible trait contract; corrupt synopsis must not yield silent garbage
             .expect("DB-histogram estimation failed on a structurally valid synopsis")
     }
 

@@ -183,7 +183,7 @@ impl IncrementalBuilder for WaveletCliqueBuilder {
         // broken builder, not a recoverable condition.
         #[allow(clippy::expect_used)]
         let reconstruction =
-            syn.reconstruct(&self.schema).expect("reconstruction over the synopsis attrs is valid"); // lint:allow(no-panic): infallible builder contract over its own schema
+            syn.reconstruct(&self.schema).expect("reconstruction over the synopsis attrs is valid"); // lint:allow(panic-surface): infallible builder contract over its own schema
         WaveletFactor {
             reconstruction: ExactFactor(reconstruction),
             coefficients,

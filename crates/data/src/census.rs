@@ -66,7 +66,7 @@ pub fn schema_1() -> Schema {
         ("citizenship", 5),
         ("age", 91),
     ])
-    .expect("static schema is valid") // lint:allow(no-panic): compile-time literal schema
+    .expect("static schema is valid") // lint:allow(panic-surface): compile-time literal schema
 }
 
 /// Schema of Census data set 2 (12 attributes, as in the paper).
@@ -87,7 +87,7 @@ pub fn schema_2() -> Schema {
         ("county", 91),
         ("weight-digit", 10),
     ])
-    .expect("static schema is valid") // lint:allow(no-panic): compile-time literal schema
+    .expect("static schema is valid") // lint:allow(panic-surface): compile-time literal schema
 }
 
 /// Draws a country: 0 is the dominant home country (~72%); the remaining
@@ -188,7 +188,7 @@ fn draw_person(rng: &mut StdRng) -> [u32; 6] {
 pub fn census_data_set_1_with(rows: usize, seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
     let rows: Vec<Vec<u32>> = (0..rows).map(|_| draw_person(&mut rng).to_vec()).collect();
-    // lint:allow-next-line(no-panic): draw_person emits in-domain values by construction
+    // lint:allow-next-line(panic-surface): draw_person emits in-domain values by construction
     Relation::from_rows(schema_1(), rows).expect("generator respects the schema")
 }
 
@@ -250,7 +250,7 @@ pub fn census_data_set_2_with(rows: usize, seed: u64) -> Relation {
             person.iter().chain(ext.iter()).copied().collect()
         })
         .collect();
-    // lint:allow-next-line(no-panic): draw_person/draw_extension emit in-domain values by construction
+    // lint:allow-next-line(panic-surface): draw_person/draw_extension emit in-domain values by construction
     Relation::from_rows(schema_2(), rows).expect("generator respects the schema")
 }
 

@@ -54,7 +54,7 @@ pub fn schema() -> Schema {
         ("income", 64),
         ("value", 64),
     ])
-    .expect("static schema is valid") // lint:allow(no-panic): compile-time literal schema
+    .expect("static schema is valid") // lint:allow(panic-surface): compile-time literal schema
 }
 
 /// Metro-area cluster centers as (longitude, latitude, affluence) with
@@ -119,7 +119,7 @@ pub fn california_housing_with(rows: usize, seed: u64) -> Relation {
             vec![lon, lat, age, rooms, bedrooms, population, households, income, value]
         })
         .collect();
-    Relation::from_rows(schema, data).expect("generator respects the schema") // lint:allow(no-panic): clamp() keeps every generated value in-domain
+    Relation::from_rows(schema, data).expect("generator respects the schema") // lint:allow(panic-surface): clamp() keeps every generated value in-domain
 }
 
 /// Generates the housing data set at its original size (20,640 rows).

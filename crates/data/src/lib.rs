@@ -23,6 +23,7 @@
 //! tuples), and [`metrics`] implements the two answer-quality measures:
 //! absolute relative error and multiplicative error.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

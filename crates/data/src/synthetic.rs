@@ -64,7 +64,7 @@ pub fn generate(config: &SyntheticConfig) -> Relation {
     assert!(config.domains.iter().all(|&d| d > 0), "domains must be non-empty");
     assert!((0.0..=1.0).contains(&config.strength), "strength must lie in [0, 1]");
     let schema = Schema::new(config.domains.iter().enumerate().map(|(i, &d)| (format!("x{i}"), d)))
-        .expect("valid synthetic schema"); // lint:allow(no-panic): generated names are unique and domains validated above
+        .expect("valid synthetic schema"); // lint:allow(panic-surface): generated names are unique and domains validated above
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = config.domains.len();
     let rows: Vec<Vec<u32>> = (0..config.rows)
@@ -86,7 +86,7 @@ pub fn generate(config: &SyntheticConfig) -> Relation {
             row
         })
         .collect();
-    Relation::from_rows(schema, rows).expect("generator respects the schema") // lint:allow(no-panic): every row value is drawn modulo its domain
+    Relation::from_rows(schema, rows).expect("generator respects the schema") // lint:allow(panic-surface): every row value is drawn modulo its domain
 }
 
 #[cfg(test)]

@@ -143,6 +143,7 @@ impl<'a> SyncEntropyCache<'a> {
     /// threads at once.
     pub fn entropy(&self, attrs: &AttrSet) -> f64 {
         if let Some(&h) = read_entropies(&self.entropies).get(attrs) {
+            // lint:allow-next-line(atomic-ordering): monotonic stat counter; crate layering puts this below the telemetry registry
             self.hits.fetch_add(1, Ordering::Relaxed);
             return h;
         }
@@ -169,6 +170,7 @@ impl<'a> SyncEntropyCache<'a> {
             // contributes zero entropy rather than aborting selection.
             self.relation.marginal(attrs).map_or(0.0, |d| d.entropy())
         };
+        // lint:allow-next-line(atomic-ordering): monotonic stat counter; crate layering puts this below the telemetry registry
         self.computed.fetch_add(1, Ordering::Relaxed);
         h
     }
@@ -181,6 +183,7 @@ impl<'a> SyncEntropyCache<'a> {
     /// Number of marginal entropies actually computed (cache misses).
     #[must_use]
     pub fn computations(&self) -> usize {
+        // lint:allow-next-line(atomic-ordering): monotonic stat counter read; no ordering dependency with the cache map
         self.computed.load(Ordering::Relaxed)
     }
 
@@ -189,6 +192,7 @@ impl<'a> SyncEntropyCache<'a> {
     /// not counted).
     #[must_use]
     pub fn hits(&self) -> usize {
+        // lint:allow-next-line(atomic-ordering): monotonic stat counter read; no ordering dependency with the cache map
         self.hits.load(Ordering::Relaxed)
     }
 

@@ -8,19 +8,25 @@
 
 use crate::attr::{AttrId, AttrSet, Schema};
 use crate::error::DistributionError;
-use crate::fxhash::FxHashMap;
 use crate::relation::Relation;
+use std::collections::BTreeMap;
 
 /// A sparse frequency distribution over a subset of a schema's attributes.
 ///
 /// Cell keys are value tuples ordered consistently with the ascending order
 /// of [`Distribution::attrs`]. Frequencies are `f64` so the same type serves
 /// exact counts and model-estimated (fractional) frequencies.
+///
+/// Cells live in a `BTreeMap` so every iteration — scoring, bucket
+/// construction, serialization — visits them in lexicographic key order.
+/// Hash-map iteration order leaked into float accumulation order here once;
+/// ordered storage makes the bit-identity invariant structural rather than
+/// something each call site must re-establish by sorting.
 #[derive(Debug, Clone)]
 pub struct Distribution {
     schema: Schema,
     attrs: AttrSet,
-    cells: FxHashMap<Box<[u32]>, f64>,
+    cells: BTreeMap<Box<[u32]>, f64>,
     total: f64,
 }
 
@@ -35,7 +41,7 @@ impl Distribution {
         for a in attrs.iter() {
             schema.attr(a)?;
         }
-        Ok(Self { schema, attrs, cells: FxHashMap::default(), total: 0.0 })
+        Ok(Self { schema, attrs, cells: BTreeMap::new(), total: 0.0 })
     }
 
     /// Builds the marginal distribution over `attrs` by a single pass over
@@ -57,7 +63,7 @@ impl Distribution {
         }
         #[cfg(debug_assertions)]
         if let Err(violation) = dist.validate() {
-            panic!("distribution invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+            panic!("distribution invariant violated: {violation}"); // lint:allow(panic-surface): debug-only invariant validator
         }
         Ok(dist)
     }
@@ -143,7 +149,7 @@ impl Distribution {
     }
 
     /// Iterates over `(key, frequency)` pairs for non-zero cells in
-    /// unspecified order.
+    /// ascending lexicographic key order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u32], f64)> {
         self.cells.iter().map(|(k, &v)| (k.as_ref(), v))
     }
@@ -174,7 +180,7 @@ impl Distribution {
         #[cfg(debug_assertions)]
         {
             if let Err(violation) = out.validate() {
-                panic!("distribution invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+                panic!("distribution invariant violated: {violation}"); // lint:allow(panic-surface): debug-only invariant validator
             }
             let drift = (out.total() - self.total()).abs();
             assert!(
@@ -233,14 +239,12 @@ impl Distribution {
         let p = self
             .attrs
             .position(attr)
-            .expect("values_along: attribute must belong to the distribution"); // lint:allow(no-panic): documented panic contract of values_along
-        let mut agg: FxHashMap<u32, f64> = FxHashMap::default();
+            .expect("values_along: attribute must belong to the distribution"); // lint:allow(panic-surface): documented panic contract of values_along
+        let mut agg: BTreeMap<u32, f64> = BTreeMap::new();
         for (k, &f) in &self.cells {
             *agg.entry(k[p]).or_insert(0.0) += f;
         }
-        let mut out: Vec<(u32, f64)> = agg.into_iter().collect();
-        out.sort_unstable_by_key(|&(v, _)| v);
-        out
+        agg.into_iter().collect()
     }
 
     /// Multiplies every frequency by `scale` (used to normalize samples up

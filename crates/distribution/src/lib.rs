@@ -46,6 +46,7 @@
 //! assert_eq!(ab.total(), 64.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

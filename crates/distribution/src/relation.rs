@@ -93,7 +93,7 @@ impl Relation {
     pub fn distribution(&self) -> Distribution {
         #[allow(clippy::expect_used)]
         Distribution::from_relation(self, &self.schema.all_attrs())
-            .expect("all_attrs is a valid subset") // lint:allow(no-panic): all_attrs ⊆ schema attrs by construction
+            .expect("all_attrs is a valid subset") // lint:allow(panic-surface): all_attrs ⊆ schema attrs by construction
     }
 
     /// Builds the marginal frequency distribution over `attrs` directly

@@ -433,10 +433,11 @@ struct Cursor<'a> {
 
 impl Cursor<'_> {
     fn take(&mut self, n: usize) -> Result<&[u8], HistogramError> {
-        if self.pos + n > self.bytes.len() {
-            return Err(HistogramError::Codec { reason: "truncated input".into() });
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
+        let s = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.pos..end))
+            .ok_or_else(|| HistogramError::Codec { reason: "truncated input".into() })?;
         self.pos += n;
         Ok(s)
     }

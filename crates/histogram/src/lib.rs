@@ -26,6 +26,7 @@
 //! matching the paper's storage model: `9b` bytes for a `b`-bucket MHIST
 //! split tree, `8b` bytes for one-dimensional histograms.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -66,7 +66,7 @@ pub fn removable_edge_context(graph: &MarkovGraph, u: AttrId, v: AttrId) -> Opti
 #[must_use]
 pub fn backward_eliminate(relation: &Relation, config: SelectionConfig) -> SelectionResult {
     #[allow(clippy::expect_used)]
-    config.validate().expect("invalid selection config"); // lint:allow(no-panic): documented panic contract on invalid config
+    config.validate().expect("invalid selection config"); // lint:allow(panic-surface): documented panic contract on invalid config
     let schema = relation.schema().clone();
     let n = schema.arity();
     let mut cache = EntropyCache::new(relation);

@@ -99,7 +99,7 @@ impl DecomposableModel {
     pub fn independence(schema: Schema) -> Self {
         let graph = MarkovGraph::empty(schema.arity());
         #[allow(clippy::expect_used)]
-        Self::new(schema, graph).expect("the empty graph is chordal") // lint:allow(no-panic): the edgeless graph is trivially chordal
+        Self::new(schema, graph).expect("the empty graph is chordal") // lint:allow(panic-surface): the edgeless graph is trivially chordal
     }
 
     /// The saturated (fully-correlated) model `[12...n]`.
@@ -107,7 +107,7 @@ impl DecomposableModel {
     pub fn saturated(schema: Schema) -> Self {
         let graph = MarkovGraph::complete(schema.arity());
         #[allow(clippy::expect_used)]
-        Self::new(schema, graph).expect("the complete graph is chordal") // lint:allow(no-panic): the complete graph is trivially chordal
+        Self::new(schema, graph).expect("the complete graph is chordal") // lint:allow(panic-surface): the complete graph is trivially chordal
     }
 
     /// The model's schema.

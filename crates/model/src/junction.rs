@@ -101,7 +101,7 @@ impl JunctionTree {
         let tree = Self { cliques, edges, adjacency };
         #[cfg(debug_assertions)]
         if let Err(violation) = tree.validate() {
-            panic!("junction tree invariant violated: {violation}"); // lint:allow(no-panic): debug-only invariant validator
+            panic!("junction tree invariant violated: {violation}"); // lint:allow(panic-surface): debug-only invariant validator
         }
         tree
     }

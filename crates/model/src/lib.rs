@@ -48,6 +48,7 @@
 //! assert!(!model.graph().has_edge(1, 2));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -222,7 +222,7 @@ impl<'a> ForwardSelector<'a> {
     #[must_use]
     pub fn new(relation: &'a Relation, config: SelectionConfig) -> Self {
         #[allow(clippy::expect_used)]
-        config.validate().expect("invalid selection config"); // lint:allow(no-panic): documented panic contract on invalid config
+        config.validate().expect("invalid selection config"); // lint:allow(panic-surface): documented panic contract on invalid config
         let n = relation.schema().arity();
         let cache = SyncEntropyCache::new(relation);
         let graph = MarkovGraph::empty(n);

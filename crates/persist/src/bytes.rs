@@ -143,7 +143,10 @@ impl<'a> Reader<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
             .ok_or(PersistError::Truncated { context: self.context })?;
-        let out = &self.bytes[self.pos..end];
+        let out = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(PersistError::Truncated { context: self.context })?;
         self.pos = end;
         Ok(out)
     }
@@ -163,8 +166,11 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`PersistError::Truncated`] at end of input.
     pub fn u16(&mut self) -> Result<u16, PersistError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        let b: [u8; 2] = self
+            .take(2)?
+            .try_into()
+            .map_err(|_| PersistError::Truncated { context: self.context })?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Reads a little-endian `u32`.
@@ -173,8 +179,11 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`PersistError::Truncated`] at end of input.
     pub fn u32(&mut self) -> Result<u32, PersistError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| PersistError::Truncated { context: self.context })?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads a little-endian `u64`.
@@ -183,8 +192,11 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`PersistError::Truncated`] at end of input.
     pub fn u64(&mut self) -> Result<u64, PersistError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| PersistError::Truncated { context: self.context })?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Reads an `f64` bit pattern (bit-exact round trip with

@@ -154,6 +154,21 @@ pub struct Snapshot<'a> {
     table: Vec<(u16, Range<usize>)>,
 }
 
+fn le_u16(bytes: &[u8], at: usize) -> Option<u16> {
+    let b: [u8; 2] = bytes.get(at..at.checked_add(2)?)?.try_into().ok()?;
+    Some(u16::from_le_bytes(b))
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let b: [u8; 4] = bytes.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(b))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let b: [u8; 8] = bytes.get(at..at.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_le_bytes(b))
+}
+
 impl<'a> Snapshot<'a> {
     /// Parses and validates a container.
     ///
@@ -172,20 +187,22 @@ impl<'a> Snapshot<'a> {
         if bytes.len() < 6 {
             return Err(PersistError::Truncated { context: "snapshot header" });
         }
-        if bytes[..4] != MAGIC {
+        if bytes.get(..4) != Some(MAGIC.as_slice()) {
             return Err(PersistError::BadMagic);
         }
-        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        let version =
+            le_u16(bytes, 4).ok_or(PersistError::Truncated { context: "snapshot header" })?;
         if version != FORMAT_VERSION {
             return Err(PersistError::VersionMismatch { found: version, expected: FORMAT_VERSION });
         }
         if bytes.len() < HEADER_LEN {
             return Err(PersistError::Truncated { context: "snapshot header" });
         }
-        let count = usize::from(u16::from_le_bytes([bytes[6], bytes[7]]));
-        let total_len = u64::from_le_bytes([
-            bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
-        ]);
+        let count = usize::from(
+            le_u16(bytes, 6).ok_or(PersistError::Truncated { context: "snapshot header" })?,
+        );
+        let total_len =
+            le_u64(bytes, 8).ok_or(PersistError::Truncated { context: "snapshot header" })?;
         if total_len != bytes.len() as u64 {
             if total_len > bytes.len() as u64 {
                 return Err(PersistError::Truncated { context: "snapshot body" });
@@ -204,12 +221,15 @@ impl<'a> Snapshot<'a> {
 
         let mut table = Vec::with_capacity(count);
         for i in 0..count {
-            let e =
-                &bytes[HEADER_LEN + i * TABLE_ENTRY_LEN..HEADER_LEN + (i + 1) * TABLE_ENTRY_LEN];
-            let kind = u16::from_le_bytes([e[0], e[1]]);
-            let crc = u32::from_le_bytes([e[4], e[5], e[6], e[7]]);
-            let offset = u64::from_le_bytes([e[8], e[9], e[10], e[11], e[12], e[13], e[14], e[15]]);
-            let len = u64::from_le_bytes([e[16], e[17], e[18], e[19], e[20], e[21], e[22], e[23]]);
+            let start = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let e = bytes
+                .get(start..start + TABLE_ENTRY_LEN)
+                .ok_or(PersistError::Truncated { context: "section table" })?;
+            let truncated = || PersistError::Truncated { context: "section table" };
+            let kind = le_u16(e, 0).ok_or_else(truncated)?;
+            let crc = le_u32(e, 4).ok_or_else(truncated)?;
+            let offset = le_u64(e, 8).ok_or_else(truncated)?;
+            let len = le_u64(e, 16).ok_or_else(truncated)?;
             let offset = usize::try_from(offset).map_err(|_| PersistError::Corrupt {
                 reason: format!("section {kind} offset overflows usize"),
             })?;
@@ -232,7 +252,10 @@ impl<'a> Snapshot<'a> {
                     reason: format!("duplicate section kind {kind}"),
                 });
             }
-            if crc32(&bytes[offset..end]) != crc {
+            let payload = bytes
+                .get(offset..end)
+                .ok_or(PersistError::Truncated { context: "section payload" })?;
+            if crc32(payload) != crc {
                 return Err(PersistError::SectionCrc { kind });
             }
             table.push((kind, offset..end));
@@ -249,6 +272,7 @@ impl<'a> Snapshot<'a> {
         self.table
             .iter()
             .find(|(k, _)| *k == kind.code())
+            // lint:allow-next-line(panic-surface): every table range was bounds-checked against `bytes` during parse
             .map(|(_, range)| &self.bytes[range.clone()])
             .ok_or(PersistError::MissingSection { kind: kind.code() })
     }

@@ -28,6 +28,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
         let idx = usize::from((crc ^ u32::from(b)) as u8);
+        // lint:allow-next-line(panic-surface): idx comes from a u8, so it is always within the 256-entry table
         crc = (crc >> 8) ^ table[idx];
     }
     !crc

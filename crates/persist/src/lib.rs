@@ -22,6 +22,8 @@
 //! Factor payload encodings are owned by the histogram layer; this crate
 //! treats them as opaque byte strings.
 
+#![forbid(unsafe_code)]
+
 pub mod bytes;
 pub mod container;
 mod crc;

@@ -16,10 +16,9 @@
 //! heuristics.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use crate::registry::{self, Gauge};
+use crate::registry::{self, Counter, Gauge};
 
 /// Default rolling-window length per clique.
 pub const DEFAULT_WINDOW: usize = 64;
@@ -52,7 +51,7 @@ fn lock(errors: &Mutex<VecDeque<f64>>) -> MutexGuard<'_, VecDeque<f64>> {
 pub struct DriftMonitor {
     window: usize,
     cliques: Vec<CliqueDrift>,
-    observed: AtomicU64,
+    observed: Counter,
 }
 
 impl DriftMonitor {
@@ -69,7 +68,7 @@ impl DriftMonitor {
                     .gauge(&format!("dbhist_estimator_drift_ratio{{clique=\"{i}\"}}")),
             })
             .collect();
-        Self { window, cliques, observed: AtomicU64::new(0) }
+        Self { window, cliques, observed: Counter::default() }
     }
 
     /// Records one feedback observation for `clique` (out-of-range clique
@@ -92,7 +91,7 @@ impl DriftMonitor {
         if registry::enabled() {
             c.published.set(mean);
         }
-        self.observed.fetch_add(1, Ordering::Relaxed);
+        self.observed.increment();
     }
 
     /// Rolling mean absolute relative error for `clique` (0.0 before any
@@ -112,7 +111,7 @@ impl DriftMonitor {
     /// Total feedback observations recorded into this monitor.
     #[must_use]
     pub fn observations(&self) -> u64 {
-        self.observed.load(Ordering::Relaxed)
+        self.observed.value()
     }
 
     /// Number of cliques tracked.
@@ -138,7 +137,7 @@ impl DriftMonitor {
                 c.published.set(0.0);
             }
         }
-        self.observed.store(0, Ordering::Relaxed);
+        self.observed.reset();
     }
 }
 
@@ -162,7 +161,11 @@ impl Clone for DriftMonitor {
                     }
                 })
                 .collect(),
-            observed: AtomicU64::new(self.observed.load(Ordering::Relaxed)),
+            observed: {
+                let observed = Counter::default();
+                observed.add(self.observed.value());
+                observed
+            },
         }
     }
 }

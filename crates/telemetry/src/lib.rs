@@ -52,6 +52,7 @@
 //! telemetry::set_enabled(false);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

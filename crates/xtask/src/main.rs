@@ -1,34 +1,37 @@
-//! `cargo xtask`-style workspace automation. Dependency-free by design:
-//! it must build in the same registry-less environment as the workspace.
+//! `cargo xtask`-style workspace automation. Dependency-free beyond the
+//! first-party analyzer crate: it must build in the same registry-less
+//! environment as the workspace.
 //!
 //! ```text
-//! cargo run -p xtask -- lint        # run the custom static checks
-//! cargo run -p xtask -- selftest    # prove the linter catches seeded bugs
+//! cargo run -p xtask -- analyze         # scope-aware static analysis
+//! cargo run -p xtask -- analyze --json  # machine-readable findings
+//! cargo run -p xtask -- lint            # thin alias for `analyze`
+//! cargo run -p xtask -- selftest        # prove the rules catch seeded bugs
 //! cargo run -p xtask -- bench-diff <baseline.json> <fresh.json> <path>...
-//!                                   # fail if a headline metric regressed >20%
+//!                                       # fail if a headline metric regressed >20%
 //! ```
 //!
-//! `lint` walks every library source file in the workspace (each
-//! `crates/<name>/src/**/*.rs` plus the root `src/`), applies the rules in
-//! [`lint`], prints one human-readable line per violation to stderr and a
-//! machine-readable JSON summary to stdout, and exits nonzero if any
-//! violation survives its `lint:allow` escapes.
+//! `analyze` walks every first-party source file, runs the
+//! [`dbhist_analyze`] rule engine (lexer → scopes → rules →
+//! diagnostics), prints one human-readable line per finding to stderr
+//! and a JSON summary to stdout, and exits nonzero if any finding — or
+//! any unused `lint:allow` marker — survives. `lint` is the legacy
+//! spelling, kept as an alias so muscle memory and older scripts keep
+//! working.
 
 mod bench_diff;
-mod lint;
 
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("analyze" | "lint") => run_analyze(args.iter().any(|a| a == "--json")),
         Some("selftest") => run_selftest(),
         Some("bench-diff") => bench_diff::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|selftest|bench-diff>");
+            eprintln!("usage: cargo run -p xtask -- <analyze [--json]|lint|selftest|bench-diff>");
             ExitCode::from(2)
         }
     }
@@ -41,246 +44,35 @@ fn workspace_root() -> PathBuf {
     manifest.parent().and_then(Path::parent).map_or_else(|| PathBuf::from("."), Path::to_path_buf)
 }
 
-/// Library source roots to scan: every workspace crate's `src/` except
-/// xtask itself and the vendored dependency stand-ins, plus the root
-/// package. `src/bin/` subtrees are excluded — the rules target library
-/// code reachable from the public API, not one-off executables.
-fn source_roots(root: &Path) -> Vec<PathBuf> {
-    let mut roots = vec![root.join("src")];
-    let crates_dir = root.join("crates");
-    if let Ok(entries) = fs::read_dir(&crates_dir) {
-        let mut names: Vec<PathBuf> = entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
-            .collect();
-        names.sort();
-        for krate in names {
-            roots.push(krate.join("src"));
-        }
+fn run_analyze(json: bool) -> ExitCode {
+    let report = dbhist_analyze::analyze_workspace(&workspace_root());
+    eprint!("{}", report.render_human());
+    if json {
+        println!("{}", report.to_json(&dbhist_analyze::RULES));
     }
-    roots
-}
-
-/// Recursively collects `.rs` files under `dir`, skipping `bin/` subtrees.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
-    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "bin") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Recursively collects every `.rs` file under `dir`, including `bin/`.
-fn collect_rs_files_deep(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
-    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            collect_rs_files_deep(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// File set for the `deprecated-shim` rule: everything first-party that
-/// can call the construction API — library sources (with `bin/` this
-/// time), examples, integration tests, and benches — but never the
-/// vendored stand-ins or xtask itself.
-fn shim_scan_files(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    for dir in [root.join("src"), root.join("examples"), root.join("tests")] {
-        collect_rs_files_deep(&dir, &mut files);
-    }
-    let crates_dir = root.join("crates");
-    if let Ok(entries) = fs::read_dir(&crates_dir) {
-        let mut names: Vec<PathBuf> = entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
-            .collect();
-        names.sort();
-        for krate in names {
-            collect_rs_files_deep(&krate.join("src"), &mut files);
-            collect_rs_files_deep(&krate.join("benches"), &mut files);
-            collect_rs_files_deep(&krate.join("tests"), &mut files);
-        }
-    }
-    files
-}
-
-fn run_lint() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    for src_root in source_roots(&root) {
-        collect_rs_files(&src_root, &mut files);
-    }
-
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    let mut seen = std::collections::BTreeSet::new();
-    for path in &files {
-        let Ok(source) = fs::read_to_string(path) else {
-            eprintln!("xtask lint: unreadable file {}", path.display());
-            continue;
-        };
-        let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
-        lint::scan_source(&rel, &source, &mut violations);
-        seen.insert(rel);
-        scanned += 1;
-    }
-
-    // The deprecated-shim and metric-name rules cover a wider net:
-    // examples, integration tests, benches, and binaries are all
-    // first-party call sites that can also record metrics.
-    for path in shim_scan_files(&root) {
-        let Ok(source) = fs::read_to_string(&path) else {
-            eprintln!("xtask lint: unreadable file {}", path.display());
-            continue;
-        };
-        let rel = path.strip_prefix(&root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
-        lint::scan_shims(&rel, &source, &mut violations);
-        lint::scan_metrics(&rel, &source, &mut violations);
-        if seen.insert(rel) {
-            scanned += 1;
-        }
-    }
-
-    for v in &violations {
-        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.excerpt);
-    }
-    println!("{}", json_summary(scanned, &violations));
-
-    if violations.is_empty() {
+    if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("xtask lint: {} violation(s) in {} file(s) scanned", violations.len(), scanned);
+        eprintln!(
+            "xtask analyze: {} finding(s), {} unused suppression(s) in {} file(s) scanned",
+            report.findings.len(),
+            report.unused_suppressions.len(),
+            report.files_scanned
+        );
         ExitCode::FAILURE
     }
 }
 
-/// Proves the linter still catches seeded violations of every rule: a
-/// regression test for the lint gate itself, runnable in CI without
-/// mutating any tracked file. Exits nonzero if any seeded bug goes
-/// undetected (i.e. the gate has rotted).
+/// Proves the analyzer still catches seeded violations of every rule: a
+/// regression test for the gate itself, runnable in CI without mutating
+/// any tracked file. Exits nonzero if any seeded bug goes undetected
+/// (i.e. the gate has rotted).
 fn run_selftest() -> ExitCode {
-    let seeded: [(&str, &str, &str); 6] = [
-        ("snapshot-io", "crates/core/src/snapshot.rs", "let bytes = std::fs::read(path)?;"),
-        ("no-panic", "crates/core/src/alloc.rs", "let v = budget.unwrap();"),
-        ("float-cmp", "crates/core/src/marginal.rs", "if freq == 0.0 { return; }"),
-        ("as-narrowing", "crates/histogram/src/codec.rs", "let n = count as u16;"),
-        (
-            "deprecated-shim",
-            "examples/quickstart.rs",
-            "let db = DbHistogram::build_mhist(&rel, &config)?;",
-        ),
-        (
-            "metric-name",
-            "crates/telemetry/src/wellknown.rs",
-            "let c = registry.counter(\"dbhist_build_rounds\");",
-        ),
-    ];
-    let scan_rule =
-        |rule: &str, path: &str, source: &str, out: &mut Vec<lint::Violation>| match rule {
-            "deprecated-shim" => lint::scan_shims(path, source, out),
-            "metric-name" => lint::scan_metrics(path, source, out),
-            _ => lint::scan_source(path, source, out),
-        };
-    let mut failures = 0u32;
-    for (rule, path, source) in seeded {
-        let mut out = Vec::new();
-        scan_rule(rule, path, source, &mut out);
-        if out.iter().any(|v| v.rule == rule) {
-            eprintln!("selftest: rule {rule} fires on seeded violation ... ok");
-        } else {
-            eprintln!("selftest: rule {rule} MISSED seeded violation: {source}");
-            failures += 1;
-        }
-        // The escape hatch must also still work.
-        let allowed = format!("{source} // lint:allow({rule}): selftest");
-        let mut quiet = Vec::new();
-        scan_rule(rule, path, &allowed, &mut quiet);
-        if quiet.iter().any(|v| v.rule == rule) {
-            eprintln!("selftest: lint:allow({rule}) failed to suppress");
-            failures += 1;
-        }
-    }
-    // The one sanctioned call site must stay exempt, or the rule would
-    // outlaw the shims' own coverage test.
-    let mut exempt = Vec::new();
-    lint::scan_shims(
-        "crates/core/src/synopsis.rs",
-        "let db = DbHistogram::build_mhist(&rel, &config)?;",
-        &mut exempt,
-    );
-    if exempt.is_empty() {
-        eprintln!("selftest: deprecated-shim exempts crates/core/src/synopsis.rs ... ok");
-    } else {
-        eprintln!("selftest: deprecated-shim wrongly fires inside synopsis.rs");
-        failures += 1;
-    }
-    if failures == 0 {
-        eprintln!("selftest: all {} rules verified", lint::RULES.len());
+    if dbhist_analyze::selftest::run() == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
-}
-
-/// Hand-rolled JSON (no serde in a registry-less build): one summary
-/// object with per-rule counts and the full violation list.
-fn json_summary(files_scanned: usize, violations: &[lint::Violation]) -> String {
-    let mut s = String::from("{");
-    s.push_str(&format!("\"files_scanned\":{files_scanned},"));
-    s.push_str(&format!("\"total_violations\":{},", violations.len()));
-    s.push_str("\"counts\":{");
-    for (i, rule) in lint::RULES.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        let n = violations.iter().filter(|v| v.rule == *rule).count();
-        s.push_str(&format!("\"{rule}\":{n}"));
-    }
-    s.push_str("},\"violations\":[");
-    for (i, v) in violations.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&format!(
-            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"excerpt\":\"{}\"}}",
-            json_escape(&v.file),
-            v.line,
-            v.rule,
-            json_escape(&v.excerpt)
-        ));
-    }
-    s.push_str("]}");
-    s
-}
-
-fn json_escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -288,32 +80,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_summary_is_well_formed() {
-        let violations = vec![lint::Violation {
-            file: "crates/core/src/alloc.rs".into(),
-            line: 7,
-            rule: "no-panic",
-            excerpt: "x.unwrap() // \"quoted\"".into(),
-        }];
-        let json = json_summary(3, &violations);
-        assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"files_scanned\":3"));
-        assert!(json.contains("\"no-panic\":1"));
-        assert!(json.contains("\\\"quoted\\\""));
-    }
-
-    #[test]
     fn workspace_root_has_manifest() {
         assert!(workspace_root().join("Cargo.toml").is_file());
     }
 
     #[test]
-    fn source_roots_cover_all_crates_except_self_and_vendor() {
-        let roots = source_roots(&workspace_root());
-        let names: Vec<String> = roots.iter().map(|p| p.display().to_string()).collect();
-        assert!(names.iter().any(|n| n.ends_with("crates/core/src")), "{names:?}");
-        assert!(names.iter().any(|n| n.ends_with("crates/histogram/src")));
+    fn workspace_walk_covers_all_crates_except_tooling_and_vendor() {
+        let files = dbhist_analyze::workspace_files(&workspace_root());
+        let names: Vec<String> = files.iter().map(|(p, _)| p.display().to_string()).collect();
+        assert!(names.iter().any(|n| n.ends_with("crates/core/src/lib.rs")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("crates/histogram/src")));
         assert!(!names.iter().any(|n| n.contains("xtask")));
+        assert!(!names.iter().any(|n| n.contains("crates/analyze")));
         assert!(!names.iter().any(|n| n.contains("vendor")));
     }
 }

@@ -35,6 +35,8 @@
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! reproduction of every evaluation figure.
 
+#![forbid(unsafe_code)]
+
 pub use dbhist_core as core;
 pub use dbhist_data as data;
 pub use dbhist_distribution as distribution;
