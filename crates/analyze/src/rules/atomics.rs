@@ -3,29 +3,27 @@
 //! Two patterns, both preparing the ground for the ROADMAP-1 concurrent
 //! `EstimatorService`:
 //!
-//! * Raw `Ordering::Relaxed` / `Ordering::SeqCst` outside the vetted
-//!   telemetry registry module. `Relaxed` is correct for monotonic stat
-//!   counters and wrong for almost everything else; `SeqCst` is usually
-//!   a guess. Library code should use `dbhist_telemetry::registry`
-//!   counters (whose internal orderings are reviewed in one place) or
-//!   spell an acquire/release protocol explicitly.
+//! * Raw `Ordering::Relaxed` / `Ordering::SeqCst` outside the modules
+//!   granted an entry in the [`super::EXEMPTIONS`] table. `Relaxed` is
+//!   correct for monotonic stat counters and advisory knobs and wrong
+//!   for almost everything else; `SeqCst` is usually a guess. Library
+//!   code should use `dbhist_telemetry::registry` counters (whose
+//!   internal orderings are reviewed in one place), spell an
+//!   acquire/release protocol explicitly, or justify its orderings with
+//!   an exemption entry.
 //! * `.lock()` / `.read()` / `.write()` immediately followed by
 //!   `.unwrap()` / `.expect(` — a poisoned mutex aborts the host;
-//!   library code recovers with `PoisonError::into_inner`.
+//!   library code recovers with `PoisonError::into_inner`. This pattern
+//!   is *not* covered by the exemption (exempt modules still must not
+//!   abort on poison).
 
 use super::FileCtx;
 use crate::diag::Finding;
 use crate::lexer::TokenKind;
 
-/// The one module allowed to spell raw memory orderings: the telemetry
-/// registry, whose counters are the sanctioned relaxed-atomic surface.
-fn ordering_exempt(rel_path: &str) -> bool {
-    rel_path == "crates/telemetry/src/registry.rs"
-}
-
 pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
     let tokens = &ctx.lexed.tokens;
-    let exempt = ordering_exempt(&ctx.rel_path);
+    let exempt = ctx.exempt("atomic-ordering");
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Ident {
             continue;
@@ -81,10 +79,18 @@ mod tests {
     }
 
     #[test]
-    fn registry_module_is_exempt() {
+    fn exemption_table_modules_are_exempt() {
         let src = "self.0.fetch_add(n, Ordering::Relaxed);";
         assert!(run("crates/telemetry/src/registry.rs", src).is_empty());
+        assert!(run("crates/core/src/sharded.rs", src).is_empty());
         assert_eq!(run("crates/telemetry/src/drift.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn exemption_does_not_cover_lock_unwrap() {
+        let src = "let g = self.shards.lock().unwrap();";
+        assert_eq!(run("crates/core/src/sharded.rs", src).len(), 1);
+        assert_eq!(run("crates/telemetry/src/registry.rs", src).len(), 1);
     }
 
     #[test]

@@ -53,6 +53,44 @@ pub fn hint_for(rule: &str) -> &'static str {
     }
 }
 
+/// One sanctioned per-rule, per-file exemption. The justification lives
+/// next to the grant so the audit's allow policy is reviewable in one
+/// table instead of being hard-coded inside rule implementations.
+#[derive(Debug, Clone, Copy)]
+pub struct Exemption {
+    /// Rule id the grant applies to (must appear in [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated, matched exactly.
+    pub path: &'static str,
+    /// Why this file may violate the rule.
+    pub why: &'static str,
+}
+
+/// The sanctioned exemption table. Adding a file here is a reviewed
+/// decision: the entry must say *why* the rule's invariant holds anyway.
+pub const EXEMPTIONS: &[Exemption] = &[
+    Exemption {
+        rule: "atomic-ordering",
+        path: "crates/telemetry/src/registry.rs",
+        why: "the sanctioned relaxed-atomic surface: monotonic counters, gauges, and \
+              histogram buckets whose internal orderings are reviewed in one place",
+    },
+    Exemption {
+        rule: "atomic-ordering",
+        path: "crates/core/src/sharded.rs",
+        why: "the sharded-cache capacity knob is an advisory Relaxed atomic: every \
+              cached value moves under a per-shard mutex, so a stale capacity read \
+              only delays an eviction or skips a memoization, never corrupts data",
+    },
+];
+
+/// `true` if `rule` findings in `rel_path` are sanctioned by
+/// [`EXEMPTIONS`].
+#[must_use]
+pub fn path_exempt(rule: &str, rel_path: &str) -> bool {
+    EXEMPTIONS.iter().any(|e| e.rule == rule && e.path == rel_path)
+}
+
 /// `true` if findings of `rule` inside `#[cfg(test)]` regions are
 /// dropped. `deprecated-shim` and `metric-name` deliberately apply to
 /// tests too (legacy behaviour: tests exercise the builder API and share
@@ -84,6 +122,13 @@ impl FileCtx {
         Self { rel_path: rel_path.replace('\\', "/"), raw_lines, lexed, scopes }
     }
 
+    /// `true` if `rule` findings in this file are sanctioned by the
+    /// [`EXEMPTIONS`] table.
+    #[must_use]
+    pub fn exempt(&self, rule: &str) -> bool {
+        path_exempt(rule, &self.rel_path)
+    }
+
     /// Builds a finding at 1-based `line`/`col` with the standard
     /// excerpt, context, and hint.
     #[must_use]
@@ -102,5 +147,37 @@ impl FileCtx {
             context: self.scopes.context(line).to_string(),
             hint: hint_for(rule).to_string(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exemption_table_is_well_formed() {
+        for e in EXEMPTIONS {
+            assert!(RULES.contains(&e.rule), "exemption names unknown rule {:?}", e.rule);
+            assert!(!e.why.trim().is_empty(), "exemption for {} lacks a justification", e.path);
+            assert!(!e.path.contains('\\'), "exemption paths are /-separated: {}", e.path);
+        }
+        for (i, a) in EXEMPTIONS.iter().enumerate() {
+            for b in &EXEMPTIONS[i + 1..] {
+                assert!(
+                    (a.rule, a.path) != (b.rule, b.path),
+                    "duplicate exemption for {} / {}",
+                    a.rule,
+                    a.path
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_exempt_matches_exactly() {
+        assert!(path_exempt("atomic-ordering", "crates/telemetry/src/registry.rs"));
+        assert!(path_exempt("atomic-ordering", "crates/core/src/sharded.rs"));
+        assert!(!path_exempt("atomic-ordering", "crates/core/src/service.rs"));
+        assert!(!path_exempt("hash-iter-order", "crates/telemetry/src/registry.rs"));
     }
 }

@@ -154,13 +154,33 @@ fn exemption_checks() -> u32 {
         scan("crates/core/src/synopsis.rs", "fn t() { DbHistogram::build_mhist(&r, &c); }\n");
     check(shim.findings.is_empty(), "deprecated-shim exempts crates/core/src/synopsis.rs");
 
-    let registry = scan(
-        "crates/telemetry/src/registry.rs",
-        "fn i(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
-    );
+    // Every entry in the declarative exemption table must actually
+    // grant its exemption (here: the seeded atomic-ordering violation
+    // goes quiet on each granted path)...
+    let ordering_violation = "fn i(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+    for e in crate::rules::EXEMPTIONS {
+        if e.rule != "atomic-ordering" {
+            continue;
+        }
+        let granted = scan(e.path, ordering_violation);
+        check(
+            !granted.findings.iter().any(|f| f.rule == "atomic-ordering"),
+            &format!("atomic-ordering exemption table grants {}", e.path),
+        );
+    }
+    // ...while ungranted paths keep firing, and the grant stays scoped
+    // to raw orderings: poison-aborting lock acquisition is flagged even
+    // inside an exempt module.
+    let ungranted = scan("crates/core/src/service.rs", ordering_violation);
     check(
-        !registry.findings.iter().any(|f| f.rule == "atomic-ordering"),
-        "atomic-ordering exempts the telemetry registry",
+        ungranted.findings.iter().any(|f| f.rule == "atomic-ordering"),
+        "atomic-ordering still fires outside the exemption table",
+    );
+    let poison =
+        scan("crates/core/src/sharded.rs", "fn g(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n");
+    check(
+        poison.findings.iter().any(|f| f.rule == "atomic-ordering"),
+        "exemption grants orderings only, not .lock().unwrap()",
     );
 
     let plain_index = scan("crates/core/src/plan.rs", "fn g(v: &[u8]) -> u8 { v[0] }\n");

@@ -32,9 +32,11 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use dbhist_core::builder::{resolve_threads, BuildTrace};
+use dbhist_core::synopsis::MIN_PARALLEL_CLIQUES;
 use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use dbhist_distribution::{Relation, Schema};
+use dbhist_model::selection::MIN_PARALLEL_CANDIDATES;
 
 /// Builds per configuration; the fastest run is reported (steady-state
 /// figure, robust to scheduler noise on shared CI runners).
@@ -172,6 +174,15 @@ fn main() {
     );
     let _ = writeln!(json, "  \"serial\": {},", trace_json(&serial));
     let _ = writeln!(json, "  \"parallel\": {},", trace_json(&parallel));
+    // Work-size floors below which selection / construction stay serial.
+    // This workload (15 peak candidates, 5 cliques) sits under both, so
+    // its selection/construction speedups are expected to be ~1.0: the
+    // floors exist precisely because fan-out lost time at this scale.
+    let _ = writeln!(
+        json,
+        "  \"thresholds\": {{\"min_parallel_candidates\": {MIN_PARALLEL_CANDIDATES}, \
+         \"min_parallel_cliques\": {MIN_PARALLEL_CLIQUES}}},"
+    );
     let _ = writeln!(
         json,
         "  \"speedup\": {{\"total\": {:.3}, \"selection\": {:.3}, \"construction\": {:.3}, \

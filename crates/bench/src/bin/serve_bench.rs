@@ -1,0 +1,320 @@
+//! Emits `BENCH_serve.json`: concurrent serving throughput and latency
+//! for [`EstimatorService`] under an open-loop load with mid-run hot
+//! swaps.
+//!
+//! ```text
+//! serve_bench [OUTPUT_PATH] [READERS] [DURATION_MS]
+//!             (defaults: BENCH_serve.json 4 2000)
+//! ```
+//!
+//! Each reader offers a fixed 400 queries/s (`POOL` queries every
+//! `TICK`); total offered load scales with `READERS`.
+//!
+//! Two phases run against identical service configurations:
+//!
+//! 1. **single** — one client thread submits batches at the target rate
+//!    against a fixed generation. This is the per-reader baseline.
+//! 2. **concurrent** — `READERS` client threads offer the same per-reader
+//!    rate simultaneously while the main thread installs two hot swaps
+//!    (`swap()`) a third and two thirds of the way through the window.
+//!
+//! Load is **open-loop**: clients submit on a fixed 20 ms tick whether or
+//! not earlier batches have been answered, so throughput measures what
+//! the service *sustains*, not how fast one caller can ping-pong. When
+//! the service keeps up, achieved ≈ offered and throughput scales with
+//! the number of clients even on a single-core host — which is exactly
+//! the claim being pinned: the shared-read engine and snapshot-per-batch
+//! swap protocol add no cross-reader serialization of their own.
+//!
+//! Reported gates:
+//! - `speedup.concurrent_vs_single` — concurrent/single achieved QPS
+//!   (≈ `READERS` when the service sustains the offered load);
+//! - `speedup.per_reader` — the same normalized by `READERS` (≈ 1.0,
+//!   *independent of the reader count*, so a 2-reader CI smoke run can
+//!   be bench-diffed against the committed 4-reader baseline).
+//!
+//! Besides timing, the run asserts that every reply is bit-identical to
+//! the serial answer of the generation that served it and that the two
+//! swaps dropped zero in-flight queries.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use dbhist_core::service::{EstimatorService, ServiceConfig};
+use dbhist_core::{SelectivityEstimator, Synopsis, SynopsisBuilder};
+use dbhist_distribution::{AttrId, Relation, Schema};
+
+/// Clients submit one batch per tick; 20 ms is coarse enough that sleep
+/// granularity on shared runners does not distort the offered rate.
+const TICK: Duration = Duration::from_millis(20);
+/// Worker threads answering batches, both phases.
+const WORKERS: usize = 3;
+/// Query pool size; each batch submits the whole pool.
+const POOL: usize = 8;
+/// Synopsis byte budgets for the three prebuilt generations.
+const BUDGETS: [usize; 3] = [1024, 1280, 1536];
+
+const ROWS: usize = 4_000;
+const DOMAIN: u32 = 16;
+const ARITY: usize = 4;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Deterministic table with one correlated pair and independent noise.
+fn build_relation() -> Relation {
+    let mut state = 0x5E27_EBE4u64;
+    let schema = Schema::new((0..ARITY).map(|i| (format!("a{i}"), DOMAIN))).unwrap();
+    let rows: Vec<Vec<u32>> = (0..ROWS)
+        .map(|_| {
+            let base = (xorshift(&mut state) % u64::from(DOMAIN)) as u32;
+            (0..ARITY)
+                .map(|i| {
+                    if i < 2 && !xorshift(&mut state).is_multiple_of(3) {
+                        base
+                    } else {
+                        (xorshift(&mut state) % u64::from(DOMAIN)) as u32
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Relation::from_rows(schema, rows).unwrap()
+}
+
+/// Random conjunctive boxes over random attribute subsets.
+fn build_queries(state: &mut u64) -> Vec<Vec<(AttrId, u32, u32)>> {
+    let mut queries = Vec::new();
+    while queries.len() < POOL {
+        let mask = xorshift(state) % (1u64 << ARITY);
+        if mask == 0 {
+            continue;
+        }
+        queries.push(
+            (0..ARITY as AttrId)
+                .filter(|&a| mask & (1 << u64::from(a)) != 0)
+                .map(|a| {
+                    let lo = (xorshift(state) % u64::from(DOMAIN)) as u32;
+                    let width = (xorshift(state) % u64::from(DOMAIN)) as u32;
+                    (a, lo, (lo + width).min(DOMAIN - 1))
+                })
+                .collect(),
+        );
+    }
+    queries
+}
+
+/// One open-loop client: submits the pool once per tick for `duration`,
+/// then drains every ticket, asserting each reply bit-identical to the
+/// serial answer of the generation that produced it. Returns the number
+/// of queries answered.
+fn run_client(
+    service: &EstimatorService,
+    queries: &[Vec<(AttrId, u32, u32)>],
+    expected: &[Vec<u64>],
+    duration: Duration,
+) -> u64 {
+    let start = Instant::now();
+    let mut next = start;
+    let mut tickets = Vec::new();
+    while start.elapsed() < duration {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(next - now);
+        }
+        next += TICK;
+        tickets.push(service.submit(queries.to_vec()));
+    }
+    let mut answered = 0u64;
+    for ticket in tickets {
+        let reply = ticket.wait().expect("service dropped an in-flight batch");
+        let g = usize::try_from(reply.generation).unwrap();
+        assert!(g >= 1 && g <= expected.len(), "generation {g} out of range");
+        assert_eq!(reply.estimates.len(), queries.len(), "no query may be dropped");
+        for (i, est) in reply.estimates.iter().enumerate() {
+            assert_eq!(
+                est.to_bits(),
+                expected[g - 1][i],
+                "gen {g}, query {i}: served answer diverged from serial"
+            );
+        }
+        answered += reply.estimates.len() as u64;
+    }
+    answered
+}
+
+struct PhaseResult {
+    answered: u64,
+    elapsed: Duration,
+    achieved_qps: f64,
+}
+
+/// Runs `clients` open-loop readers for `duration`; `swap_plan` holds
+/// the generations the main thread installs mid-run (evenly spaced).
+fn run_phase(
+    generations: &[Synopsis],
+    queries: &[Vec<(AttrId, u32, u32)>],
+    expected: &[Vec<u64>],
+    clients: usize,
+    duration: Duration,
+    swaps: bool,
+) -> (PhaseResult, EstimatorService) {
+    let service =
+        EstimatorService::start(generations[0].clone(), ServiceConfig { workers: WORKERS });
+    let start = Instant::now();
+    let answered: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let service = &service;
+                s.spawn(move || run_client(service, queries, expected, duration))
+            })
+            .collect();
+        if swaps {
+            // Two hot swaps, a third and two thirds into the window.
+            for synopsis in &generations[1..] {
+                std::thread::sleep(duration / generations.len() as u32);
+                service.swap(synopsis.clone());
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed();
+    let achieved_qps = answered as f64 / elapsed.as_secs_f64();
+    (PhaseResult { answered, elapsed, achieved_qps }, service)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
+    let readers: usize = args.next().map_or(4, |v| v.parse().expect("READERS must be a number"));
+    let duration = Duration::from_millis(
+        args.next().map_or(2_000, |v| v.parse().expect("DURATION_MS must be a number")),
+    );
+    assert!(readers >= 1, "need at least one reader");
+    let telemetry_env = std::env::var("DBHIST_TELEMETRY").is_ok_and(|v| v != "0");
+    dbhist_telemetry::set_enabled(telemetry_env);
+
+    // The offered rate is fixed by the tick: POOL queries per tick.
+    let offered_per_reader = POOL as f64 / TICK.as_secs_f64();
+
+    let rel = build_relation();
+    let mut state = 0x5E27_BEEFu64;
+    let queries = build_queries(&mut state);
+
+    // Three prebuilt generations (different budgets → distinguishable
+    // bucketizations) and their serial reference answers.
+    let generations: Vec<Synopsis> =
+        BUDGETS.iter().map(|&b| SynopsisBuilder::new(&rel).budget(b).build().unwrap()).collect();
+    let expected: Vec<Vec<u64>> = generations
+        .iter()
+        .map(|s| queries.iter().map(|q| s.estimate(q).to_bits()).collect())
+        .collect();
+    let checksum: f64 = queries.iter().map(|q| generations[0].estimate(q)).sum();
+
+    let (single, _single_service) =
+        run_phase(&generations, &queries, &expected, 1, duration, false);
+    let (concurrent, service) =
+        run_phase(&generations, &queries, &expected, readers, duration, true);
+
+    let stats = service.stats();
+    assert_eq!(stats.swaps, 2, "both hot swaps must land inside the window");
+    assert_eq!(stats.dropped_replies, 0, "swap must never drop an in-flight query");
+    assert_eq!(stats.requests, concurrent.answered, "every submitted query must be answered");
+
+    let latency = service.latency();
+    let pct = |q: f64| latency.percentile(q).unwrap_or(0.0);
+
+    let concurrent_vs_single = concurrent.achieved_qps / single.achieved_qps;
+    let per_reader = concurrent_vs_single / readers as f64;
+    if readers >= 4 {
+        assert!(
+            concurrent_vs_single >= 2.0,
+            "{readers} concurrent readers must sustain at least 2x single-reader \
+             throughput, got {concurrent_vs_single:.2}x"
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"relation\": \"synthetic_correlated_pair\", \"rows\": {ROWS}, \
+         \"domain\": {DOMAIN}, \"arity\": {ARITY}, \"pool\": {POOL}, \"tick_ms\": {}, \
+         \"workers\": {WORKERS}, \"readers\": {readers}, \"duration_ms\": {}, \
+         \"offered_qps_per_reader\": {offered_per_reader:.0}, \"generations\": {}}},",
+        TICK.as_millis(),
+        duration.as_millis(),
+        BUDGETS.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"single\": {{\"readers\": 1, \"requests\": {}, \"elapsed_ms\": {}, \
+         \"achieved_qps\": {:.1}, \"sustained\": {:.4}}},",
+        single.answered,
+        single.elapsed.as_millis(),
+        single.achieved_qps,
+        single.achieved_qps / offered_per_reader
+    );
+    let _ = writeln!(
+        json,
+        "  \"concurrent\": {{\"readers\": {readers}, \"requests\": {}, \"batches\": {}, \
+         \"swaps\": {}, \"dropped_replies\": {}, \"elapsed_ms\": {}, \
+         \"achieved_qps\": {:.1}, \"sustained\": {:.4}}},",
+        stats.requests,
+        stats.batches,
+        stats.swaps,
+        stats.dropped_replies,
+        concurrent.elapsed.as_millis(),
+        concurrent.achieved_qps,
+        concurrent.achieved_qps / (offered_per_reader * readers as f64)
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {:.0}, \"p99\": {:.0}, \
+         \"p999\": {:.0}}},",
+        latency.count,
+        latency.mean().unwrap_or(0.0),
+        pct(50.0),
+        pct(99.0),
+        pct(99.9)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup\": {{\"concurrent_vs_single\": {concurrent_vs_single:.3}, \
+         \"per_reader\": {per_reader:.3}}},"
+    );
+    let _ = writeln!(json, "  \"estimate_checksum\": {checksum:.6}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).unwrap();
+    if telemetry_env {
+        let snap = dbhist_telemetry::snapshot();
+        std::fs::write(
+            format!("{out_path}.telemetry.json"),
+            dbhist_telemetry::export::to_json(&snap),
+        )
+        .unwrap();
+        std::fs::write(
+            format!("{out_path}.telemetry.prom"),
+            dbhist_telemetry::export::to_prometheus(&snap),
+        )
+        .unwrap();
+    }
+    eprintln!(
+        "wrote {out_path}: {readers} readers sustained {:.0} qps ({:.2}x single, \
+         {:.2}x per reader), p50 {:.0}ns p99 {:.0}ns p999 {:.0}ns, \
+         2 swaps, 0 dropped, bit-identical to serial",
+        concurrent.achieved_qps,
+        concurrent_vs_single,
+        per_reader,
+        pct(50.0),
+        pct(99.0),
+        pct(99.9)
+    );
+}

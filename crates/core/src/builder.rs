@@ -282,6 +282,7 @@ pub struct SynopsisBuilder<'a> {
     selection: SelectionConfig,
     criterion: SplitCriterion,
     allocation: AllocationStrategy,
+    clique_floor: usize,
 }
 
 impl<'a> SynopsisBuilder<'a> {
@@ -296,6 +297,7 @@ impl<'a> SynopsisBuilder<'a> {
             selection: SelectionConfig::default(),
             criterion: SplitCriterion::default(),
             allocation: AllocationStrategy::default(),
+            clique_floor: crate::synopsis::MIN_PARALLEL_CLIQUES,
         }
     }
 
@@ -320,6 +322,24 @@ impl<'a> SynopsisBuilder<'a> {
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
+        self
+    }
+
+    /// Work-size floors for the parallel phases: rounds with fewer than
+    /// `candidates` addable edges score serially, and builds with fewer
+    /// than `cliques` clique histograms construct/assemble serially,
+    /// even when `threads > 1`. Defaults are
+    /// [`dbhist_model::selection::MIN_PARALLEL_CANDIDATES`] and
+    /// [`crate::synopsis::MIN_PARALLEL_CLIQUES`], below which pool
+    /// spin-up costs more than the parallelism returns
+    /// (`BENCH_build.json` records the measurements). Path choice never
+    /// affects results — serial and parallel are bit-identical. Mostly a
+    /// testing hook: equivalence suites lower the floors to force the
+    /// parallel paths on small fixtures.
+    #[must_use]
+    pub fn parallel_floors(mut self, candidates: usize, cliques: usize) -> Self {
+        self.selection.parallel_candidate_floor = candidates;
+        self.clique_floor = cliques;
         self
     }
 
@@ -415,6 +435,7 @@ impl<'a> SynopsisBuilder<'a> {
             selection,
             criterion: self.criterion,
             allocation: self.allocation,
+            parallel_clique_floor: self.clique_floor,
         })
     }
 

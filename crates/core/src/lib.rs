@@ -72,6 +72,8 @@ pub mod factor;
 pub mod maintenance;
 pub mod marginal;
 pub mod plan;
+pub mod service;
+pub mod sharded;
 pub mod snapshot;
 pub mod synopsis;
 pub mod wavelet_factor;
@@ -81,4 +83,8 @@ pub use error::SynopsisError;
 pub use estimator::SelectivityEstimator;
 pub use factor::{ExactFactor, Factor};
 pub use plan::{MarginalPlan, MassPlan, QueryEngine, QueryTrace};
+pub use service::{
+    BatchReply, BatchTicket, EstimatorService, Generation, ServeStats, ServiceConfig,
+};
+pub use sharded::ShardedLru;
 pub use synopsis::{DbConfig, DbHistogram};

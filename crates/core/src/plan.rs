@@ -33,9 +33,8 @@
 //! `tests/plan_equivalence.rs`).
 
 use std::borrow::Cow;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
-use dbhist_distribution::fxhash::FxHashMap;
 use dbhist_distribution::{AttrId, AttrSet};
 use dbhist_model::junction::{RootedJunctionTree, RootedViews};
 use dbhist_model::JunctionTree;
@@ -44,6 +43,8 @@ use dbhist_telemetry::wellknown::wellknown;
 
 use crate::error::SynopsisError;
 use crate::factor::Factor;
+pub use crate::sharded::LruCache;
+use crate::sharded::ShardedLru;
 
 /// Intermediate factors larger than this skip "tidying" (shed)
 /// projections: carrying a few extra attributes through `mass_in_box` is
@@ -650,65 +651,6 @@ pub fn execute_mass<F: Factor>(
     Ok(mass)
 }
 
-/// A small least-recently-used cache with O(1) lookups and O(capacity)
-/// eviction scans (capacities here are a few hundred at most).
-#[derive(Debug, Clone)]
-pub struct LruCache<K, V> {
-    map: FxHashMap<K, (u64, V)>,
-    capacity: usize,
-    tick: u64,
-}
-
-impl<K: std::hash::Hash + Eq + Clone, V> LruCache<K, V> {
-    /// Creates a cache retaining at most `capacity` entries (minimum 1).
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        Self { map: FxHashMap::default(), capacity: capacity.max(1), tick: 0 }
-    }
-
-    /// Number of cached entries.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// `true` when nothing is cached.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Fetches `key`, refreshing its recency.
-    pub fn get(&mut self, key: &K) -> Option<&V> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|(stamp, v)| {
-            *stamp = tick;
-            &*v
-        })
-    }
-
-    /// Inserts `key → value`, evicting the least-recently-used entry when
-    /// at capacity.
-    pub fn insert(&mut self, key: K, value: V) {
-        self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(oldest) =
-                // lint:allow-next-line(hash-iter-order): stamps are unique, so the min is order-independent; eviction never reaches estimates
-                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
-            {
-                self.map.remove(&oldest);
-            }
-        }
-        self.map.insert(key, (self.tick, value));
-    }
-
-    /// Drops every entry (capacity is retained).
-    pub fn clear(&mut self) {
-        self.map.clear();
-    }
-}
-
 /// Cache key: the canonical (sorted, deduplicated) query attribute set
 /// plus the plan variant.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -723,21 +665,22 @@ enum CachedPlan {
     Mass(Arc<MassPlan>),
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// The per-synopsis workload cache: rooted views computed once, compiled
 /// plans memoized by query shape, optionally materialized marginals, and
 /// cumulative [`QueryTrace`] counters.
 ///
-/// Interior-mutable behind mutexes so estimation keeps its `&self`
-/// signature; all methods are safe under concurrent use.
+/// Interior-mutable behind **sharded** caches ([`ShardedLru`]) so
+/// estimation keeps its `&self` signature and many reader threads can
+/// query concurrently without serializing on one cache mutex; all
+/// methods are safe under concurrent use. Cached entries are pure
+/// memoization of values recomputed from the immutable factors, so
+/// concurrency changes hit rates, never estimates.
 #[derive(Debug)]
 pub struct QueryEngine<F: Factor> {
     views: RootedViews,
-    plans: Mutex<LruCache<PlanKey, CachedPlan>>,
-    marginals: Mutex<Option<LruCache<PlanKey, F>>>,
+    plans: ShardedLru<PlanKey, CachedPlan>,
+    /// Materialized-marginal cache; capacity 0 = disabled (the default).
+    marginals: ShardedLru<PlanKey, F>,
     metrics: EngineMetrics,
 }
 
@@ -745,8 +688,8 @@ impl<F: Factor> Clone for QueryEngine<F> {
     fn clone(&self) -> Self {
         Self {
             views: self.views.clone(),
-            plans: Mutex::new(lock(&self.plans).clone()),
-            marginals: Mutex::new(lock(&self.marginals).clone()),
+            plans: self.plans.clone(),
+            marginals: self.marginals.clone(),
             metrics: self.metrics.clone(),
         }
     }
@@ -761,13 +704,13 @@ impl<F: Factor> QueryEngine<F> {
     }
 
     /// Creates an engine whose plan cache retains at most `capacity`
-    /// distinct query shapes.
+    /// distinct query shapes (split across the cache's shards).
     #[must_use]
     pub fn with_plan_capacity(tree: &JunctionTree, capacity: usize) -> Self {
         Self {
             views: tree.rooted_views(),
-            plans: Mutex::new(LruCache::new(capacity)),
-            marginals: Mutex::new(None),
+            plans: ShardedLru::new(capacity.max(1)),
+            marginals: ShardedLru::new(0),
             metrics: EngineMetrics::default(),
         }
     }
@@ -781,21 +724,20 @@ impl<F: Factor> QueryEngine<F> {
     /// Enables the materialized-marginal LRU with the given capacity,
     /// dropping any previously cached marginals.
     pub fn enable_marginal_cache(&self, capacity: usize) {
-        *lock(&self.marginals) = Some(LruCache::new(capacity));
+        self.marginals.set_capacity(capacity.max(1));
+        self.marginals.clear();
     }
 
     /// Disables (and drops) the materialized-marginal cache.
     pub fn disable_marginal_cache(&self) {
-        *lock(&self.marginals) = None;
+        self.marginals.set_capacity(0);
     }
 
     /// Drops cached materialized marginals while keeping the cache
     /// enabled. Call after mutating the underlying factors (plans stay
     /// valid — they depend only on model structure).
     pub fn invalidate_marginals(&self) {
-        if let Some(cache) = lock(&self.marginals).as_mut() {
-            cache.clear();
-        }
+        self.marginals.clear();
     }
 
     /// A snapshot of the cumulative operation counters.
@@ -828,13 +770,13 @@ impl<F: Factor> QueryEngine<F> {
         let key = PlanKey { attrs: target.clone(), loose };
         {
             let _lookup = dbhist_telemetry::span!("dbhist_query_plan_cache_lookup_latency_ns");
-            if let Some(hit) = lock(&self.plans).get(&key) {
+            if let Some(hit) = self.plans.get(&key) {
                 trace.plan_cache_hits += 1;
-                return Ok(hit.clone());
+                return Ok(hit);
             }
         }
-        // Compile outside the lock: compilation is read-only over the
-        // tree, so a racing duplicate compile is benign.
+        // Compile outside any shard lock: compilation is read-only over
+        // the tree, so a racing duplicate compile is benign.
         let _compile = dbhist_telemetry::span!("dbhist_query_plan_compile_latency_ns");
         let compiled = if loose {
             CachedPlan::Mass(Arc::new(MassPlan::compile(tree, &self.views, target)?))
@@ -842,7 +784,7 @@ impl<F: Factor> QueryEngine<F> {
             CachedPlan::Strict(Arc::new(MarginalPlan::compile(tree, &self.views, target)?))
         };
         trace.plan_cache_misses += 1;
-        lock(&self.plans).insert(key, compiled.clone());
+        self.plans.insert(key, compiled.clone());
         Ok(compiled)
     }
 
@@ -861,7 +803,7 @@ impl<F: Factor> QueryEngine<F> {
     ) -> Result<F, SynopsisError> {
         let mut t = QueryTrace::default();
         let key = PlanKey { attrs: target.clone(), loose: false };
-        if let Some(cached) = lock(&self.marginals).as_mut().and_then(|c| c.get(&key).cloned()) {
+        if let Some(cached) = self.marginals.get(&key) {
             t.marginal_cache_hits += 1;
             self.metrics.absorb(&t);
             return Ok(cached);
@@ -877,11 +819,10 @@ impl<F: Factor> QueryEngine<F> {
                 }
                 Cow::Owned(f) => f,
             };
-            let mut marginals = lock(&self.marginals);
-            if let Some(cache) = marginals.as_mut() {
+            if self.marginals.enabled() {
                 t.marginal_cache_misses += 1;
                 t.factor_clones += 1;
-                cache.insert(key, out.clone());
+                self.marginals.insert(key, out.clone());
             }
             Ok(out)
         })();
@@ -920,11 +861,8 @@ impl<F: Factor> QueryEngine<F> {
             let mut mass = total;
             for group in plan.groups() {
                 let group_key = PlanKey { attrs: group.attrs.clone(), loose: true };
-                let cache_enabled = lock(&self.marginals).is_some();
-                let group_mass = if cache_enabled {
-                    let cached =
-                        lock(&self.marginals).as_mut().and_then(|c| c.get(&group_key).cloned());
-                    if let Some(f) = cached {
+                let group_mass = if self.marginals.enabled() {
+                    if let Some(f) = self.marginals.get(&group_key) {
                         t.marginal_cache_hits += 1;
                         f.mass_in_box(ranges)
                     } else {
@@ -938,9 +876,7 @@ impl<F: Factor> QueryEngine<F> {
                             Cow::Owned(f) => f,
                         };
                         let gm = owned.mass_in_box(ranges);
-                        if let Some(cache) = lock(&self.marginals).as_mut() {
-                            cache.insert(group_key, owned);
-                        }
+                        self.marginals.insert(group_key, owned);
                         gm
                     }
                 } else {
@@ -1186,21 +1122,45 @@ mod tests {
     }
 
     #[test]
-    fn lru_cache_evicts_least_recently_used() {
-        let mut cache: LruCache<u32, u32> = LruCache::new(2);
-        cache.insert(1, 10);
-        cache.insert(2, 20);
-        assert_eq!(cache.get(&1), Some(&10)); // refresh 1
-        cache.insert(3, 30); // evicts 2
-        assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&2), None);
-        assert_eq!(cache.get(&1), Some(&10));
-        assert_eq!(cache.get(&3), Some(&30));
-        // Re-inserting an existing key must not evict.
-        cache.insert(1, 11);
-        assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&1), Some(&11));
-        cache.clear();
-        assert!(cache.is_empty());
+    fn engine_is_callable_from_many_threads_through_shared_ref() {
+        let rel = relation();
+        let m = model(&rel);
+        let factors = exact_factors(&rel, &m);
+        let tree = m.junction_tree();
+        let engine: QueryEngine<ExactFactor> = QueryEngine::new(tree);
+        engine.enable_marginal_cache(16);
+        let queries: Vec<Vec<(u16, u32, u32)>> = vec![
+            vec![(0, 0, 1)],
+            vec![(0, 0, 2), (2, 1, 3)],
+            vec![(0, 1, 2), (3, 0, 1), (4, 1, 2)],
+            vec![(1, 2, 2), (4, 0, 0)],
+        ];
+        // Serial reference answers.
+        let expected: Vec<f64> = queries
+            .iter()
+            .map(|q| {
+                let target = AttrSet::from_ids(q.iter().map(|r| r.0));
+                engine.estimate_mass(tree, &factors, &target, q).unwrap()
+            })
+            .collect();
+        // Four threads hammer the same engine through `&self`; every
+        // answer must stay bit-identical to the serial pass.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let engine = &engine;
+                let factors = &factors;
+                let queries = &queries;
+                let expected = &expected;
+                s.spawn(move || {
+                    for round in 0..25 {
+                        let i = round % queries.len();
+                        let q = &queries[i];
+                        let target = AttrSet::from_ids(q.iter().map(|r| r.0));
+                        let got = engine.estimate_mass(tree, factors, &target, q).unwrap();
+                        assert_eq!(got.to_bits(), expected[i].to_bits(), "query {i}");
+                    }
+                });
+            }
+        });
     }
 }

@@ -1,0 +1,515 @@
+//! The concurrent estimation service: one immutable synopsis shared by
+//! many reader threads, swapped out from under them with zero downtime.
+//!
+//! [`EstimatorService`] is the serving layer the ROADMAP north star
+//! ("heavy traffic from millions of users") plugs into. Clients submit
+//! *batches* of range predicates; a pool of worker threads answers them
+//! against an immutable `Arc<`[`Generation`]`>` snapshot of the current
+//! [`Synopsis`]. [`EstimatorService::swap`] installs a replacement —
+//! a drift-triggered rebuild from [`MaintainedDbHistogram`] or a
+//! [`persist` snapshot](crate::snapshot) — without dropping an in-flight
+//! query: workers that already hold the old `Arc` finish their batch on
+//! it, and the old synopsis is retired when the last holder releases it.
+//!
+//! # Swap protocol (epoch-style hot swap without `arc-swap`)
+//!
+//! The workspace forbids `unsafe` code, so a true lock-free pointer swap
+//! is off the table. The service gets the same steady-state behaviour
+//! with a generation counter:
+//!
+//! * `generation: AtomicU64` — bumped with `Release` after a new
+//!   `Arc<Generation>` is installed under the `current` mutex.
+//! * Each worker caches its own `Arc<Generation>` locally. Per batch it
+//!   does one `Acquire` load of the counter; only when the number moved
+//!   does it take the `current` lock to re-clone the `Arc`.
+//!
+//! Steady state (no swap in progress) is therefore **lock-free on the
+//! read path**: one atomic load per batch, zero mutex acquisitions. The
+//! `current` mutex is touched only on the swap edge, and is held just
+//! long enough to clone an `Arc`.
+//!
+//! Estimates are **bit-identical to the serial engine** at any reader
+//! count: workers call the same [`SelectivityEstimator::estimate`] on
+//! the same immutable synopsis, and the engine's sharded caches
+//! ([`crate::sharded`]) are pure memoization. `tests/concurrent_equivalence.rs`
+//! pins this with a proptest that hammers one service from many threads
+//! across mid-run swaps.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dbhist_distribution::{AttrId, Relation};
+use dbhist_telemetry::registry::{Counter, HistogramSnapshot, LatencyHistogram};
+use dbhist_telemetry::wellknown::wellknown;
+
+use crate::builder::{Synopsis, SynopsisBuilder};
+use crate::error::SynopsisError;
+use crate::estimator::SelectivityEstimator;
+use crate::maintenance::MaintainedDbHistogram;
+use crate::sharded::lock;
+
+/// Configuration for [`EstimatorService::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads answering batches (minimum 1).
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { workers: 2 }
+    }
+}
+
+/// One immutable, numbered snapshot of the serving synopsis. Readers
+/// hold it through an `Arc`; the synopsis inside is never mutated.
+#[derive(Debug)]
+pub struct Generation {
+    /// Monotonic generation number (the initial synopsis is 1).
+    pub number: u64,
+    /// The synopsis answering queries for this generation.
+    pub synopsis: Synopsis,
+}
+
+/// A batch of answered queries, tagged with the generation that served
+/// it (every estimate in one batch comes from the same snapshot).
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// Generation whose synopsis produced `estimates`.
+    pub generation: u64,
+    /// Per-query estimates, in submission order.
+    pub estimates: Vec<f64>,
+}
+
+/// Handle to an in-flight batch submitted via
+/// [`EstimatorService::submit`].
+#[derive(Debug)]
+pub struct BatchTicket {
+    rx: mpsc::Receiver<BatchReply>,
+}
+
+impl BatchTicket {
+    /// Blocks until the batch is answered. `None` only if the service
+    /// was torn down before the reply could be produced.
+    #[must_use]
+    pub fn wait(self) -> Option<BatchReply> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Cumulative service counters (see [`EstimatorService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Individual queries answered.
+    pub requests: u64,
+    /// Batches answered.
+    pub batches: u64,
+    /// Generations installed by [`EstimatorService::swap`] (the initial
+    /// synopsis does not count).
+    pub swaps: u64,
+    /// Replies whose client hung up before delivery. Always 0 unless a
+    /// submitter drops its [`BatchTicket`] early — `swap()` never drops
+    /// an in-flight query.
+    pub dropped_replies: u64,
+}
+
+/// Always-on service metrics, mirrored into the process-wide
+/// `dbhist_serve_*` registry handles when global telemetry is enabled.
+#[derive(Debug, Default)]
+struct ServiceMetrics {
+    requests: Counter,
+    batches: Counter,
+    swaps: Counter,
+    dropped_replies: Counter,
+    latency: LatencyHistogram,
+}
+
+struct Job {
+    queries: Vec<Vec<(AttrId, u32, u32)>>,
+    enqueued: Instant,
+    reply: mpsc::Sender<BatchReply>,
+}
+
+struct Shared {
+    /// Current generation number; `Release`-stored after the matching
+    /// `Arc` is installed in `current`, `Acquire`-loaded by workers.
+    generation: AtomicU64,
+    /// The currently serving snapshot. Locked only to swap or to
+    /// re-clone after the generation counter moved.
+    current: Mutex<Arc<Generation>>,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    metrics: ServiceMetrics,
+}
+
+impl Shared {
+    fn current_snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&lock(&self.current))
+    }
+}
+
+/// The concurrent estimation service. See the module docs for the swap
+/// protocol and concurrency guarantees.
+pub struct EstimatorService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EstimatorService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimatorService")
+            .field("workers", &self.workers.len())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+impl EstimatorService {
+    /// Starts a service answering batches against `synopsis` (installed
+    /// as generation 1) with `config.workers` worker threads.
+    #[must_use]
+    pub fn start(synopsis: Synopsis, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            generation: AtomicU64::new(1),
+            current: Mutex::new(Arc::new(Generation { number: 1, synopsis })),
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: ServiceMetrics::default(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The current generation number (1 until the first swap).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Acquire)
+    }
+
+    /// The currently serving snapshot. The returned `Arc` stays valid —
+    /// and its synopsis immutable — even across later swaps.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<Generation> {
+        self.shared.current_snapshot()
+    }
+
+    /// Batches not yet picked up by a worker.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
+
+    /// Submits a batch of conjunctive range predicates; returns a ticket
+    /// redeemable for the [`BatchReply`]. Empty batches are answered
+    /// immediately by a worker with an empty estimate list.
+    #[must_use]
+    pub fn submit(&self, queries: Vec<Vec<(AttrId, u32, u32)>>) -> BatchTicket {
+        let (tx, rx) = mpsc::channel();
+        let n = u64::try_from(queries.len()).unwrap_or(u64::MAX);
+        self.shared.metrics.requests.add(n);
+        self.shared.metrics.batches.increment();
+        if dbhist_telemetry::enabled() {
+            let w = wellknown();
+            w.serve_requests.add(n);
+            w.serve_batches.increment();
+        }
+        lock(&self.shared.queue).push_back(Job { queries, enqueued: Instant::now(), reply: tx });
+        self.shared.ready.notify_one();
+        BatchTicket { rx }
+    }
+
+    /// Submits `queries` and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the service is torn down mid-request.
+    pub fn estimate_batch(
+        &self,
+        queries: Vec<Vec<(AttrId, u32, u32)>>,
+    ) -> Result<BatchReply, SynopsisError> {
+        self.submit(queries).wait().ok_or_else(|| SynopsisError::InvalidConfig {
+            parameter: "service",
+            reason: "estimator service shut down before answering".to_string(),
+        })
+    }
+
+    /// Installs `synopsis` as the new serving generation and returns its
+    /// number. In-flight batches finish on the generation they started
+    /// with; the old synopsis is dropped when its last holder releases
+    /// it. No query is ever dropped by a swap.
+    pub fn swap(&self, synopsis: Synopsis) -> u64 {
+        let mut current = lock(&self.shared.current);
+        let number = current.number + 1;
+        *current = Arc::new(Generation { number, synopsis });
+        // Publish after the Arc is installed: a worker that sees the new
+        // number will find (at least) this generation under the lock.
+        self.shared.generation.store(number, Ordering::Release);
+        drop(current);
+        self.shared.metrics.swaps.increment();
+        if dbhist_telemetry::enabled() {
+            wellknown().serve_swaps.increment();
+        }
+        number
+    }
+
+    /// Rebuilds `maintained` from `relation` (re-persisting if it has a
+    /// snapshot path) and swaps the rebuilt synopsis in. Returns the new
+    /// generation number.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rebuild/persist failures; the serving generation is
+    /// untouched on error.
+    pub fn swap_rebuilt(
+        &self,
+        maintained: &mut MaintainedDbHistogram,
+        relation: &Relation,
+    ) -> Result<u64, SynopsisError> {
+        maintained.rebuild(relation)?;
+        Ok(self.swap(Synopsis::Mhist(maintained.synopsis().clone())))
+    }
+
+    /// Loads a persisted synopsis from `path` and swaps it in. Returns
+    /// the new generation number.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot load/validation failures; the serving
+    /// generation is untouched on error.
+    pub fn swap_from_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<u64, SynopsisError> {
+        Ok(self.swap(SynopsisBuilder::from_snapshot(path)?))
+    }
+
+    /// Cumulative request/batch/swap counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.shared.metrics.requests.value(),
+            batches: self.shared.metrics.batches.value(),
+            swaps: self.shared.metrics.swaps.value(),
+            dropped_replies: self.shared.metrics.dropped_replies.value(),
+        }
+    }
+
+    /// Snapshot of the submission-to-reply latency histogram (one record
+    /// per request), for p50/p99/p999 reporting.
+    #[must_use]
+    pub fn latency(&self) -> HistogramSnapshot {
+        self.shared.metrics.latency.snapshot()
+    }
+}
+
+impl Drop for EstimatorService {
+    /// Graceful teardown: workers drain every queued batch before
+    /// exiting, so no submitted query is lost.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut snapshot = shared.current_snapshot();
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.ready.wait(queue).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else { break };
+        // Acquire a snapshot per batch: one atomic load; the mutex is
+        // taken only when a swap actually happened.
+        if shared.generation.load(Ordering::Acquire) != snapshot.number {
+            snapshot = shared.current_snapshot();
+        }
+        let estimates: Vec<f64> =
+            job.queries.iter().map(|q| snapshot.synopsis.estimate(q)).collect();
+        let elapsed_ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let telemetry = dbhist_telemetry::enabled();
+        for _ in 0..job.queries.len() {
+            shared.metrics.latency.record(elapsed_ns);
+            if telemetry {
+                wellknown().serve_latency.record(elapsed_ns);
+            }
+        }
+        if job.reply.send(BatchReply { generation: snapshot.number, estimates }).is_err() {
+            shared.metrics.dropped_replies.increment();
+            if telemetry {
+                wellknown().serve_dropped_replies.increment();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbhist_distribution::Schema;
+
+    fn relation(seed: u64) -> Relation {
+        let schema = Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..2048)
+            .map(|i| {
+                let i = i + seed;
+                vec![(i % 8) as u32, ((i / 2) % 8) as u32, ((i / 8) % 4) as u32]
+            })
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    fn build(seed: u64, budget: usize) -> Synopsis {
+        SynopsisBuilder::new(&relation(seed)).budget(budget).build().unwrap()
+    }
+
+    fn queries() -> Vec<Vec<(AttrId, u32, u32)>> {
+        vec![
+            vec![(0, 0, 3)],
+            vec![(0, 0, 3), (2, 1, 1)],
+            vec![(1, 2, 5), (2, 0, 2)],
+            vec![(0, 1, 6), (1, 0, 7), (2, 0, 3)],
+        ]
+    }
+
+    #[test]
+    fn batches_match_direct_estimation() {
+        let synopsis = build(0, 512);
+        let expected: Vec<f64> = queries().iter().map(|q| synopsis.estimate(q)).collect();
+        let service = EstimatorService::start(synopsis, ServiceConfig { workers: 2 });
+        let reply = service.estimate_batch(queries()).unwrap();
+        assert_eq!(reply.generation, 1);
+        for (got, want) in reply.estimates.iter().zip(&expected) {
+            assert_eq!(got.to_bits(), want.to_bits(), "service must be bit-identical");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, queries().len() as u64);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.dropped_replies, 0);
+        assert_eq!(service.latency().count, queries().len() as u64);
+    }
+
+    #[test]
+    fn swap_installs_new_generation_without_dropping_queries() {
+        let old = build(0, 512);
+        let new = build(1, 768);
+        let old_expected: Vec<f64> = queries().iter().map(|q| old.estimate(q)).collect();
+        let new_expected: Vec<f64> = queries().iter().map(|q| new.estimate(q)).collect();
+
+        let service = EstimatorService::start(old, ServiceConfig { workers: 2 });
+        // Hold the old snapshot across the swap: it must stay readable.
+        let held = service.snapshot();
+        let before = service.estimate_batch(queries()).unwrap();
+        let gen2 = service.swap(new);
+        assert_eq!(gen2, 2);
+        assert_eq!(service.generation(), 2);
+        let after = service.estimate_batch(queries()).unwrap();
+
+        assert_eq!(before.generation, 1);
+        assert_eq!(after.generation, 2);
+        for ((got, want_old), want_new) in
+            before.estimates.iter().zip(&old_expected).zip(&new_expected)
+        {
+            assert_eq!(got.to_bits(), want_old.to_bits());
+            let _ = want_new;
+        }
+        for (got, want) in after.estimates.iter().zip(&new_expected) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // The retired generation is still answerable through the held Arc.
+        for (q, want) in queries().iter().zip(&old_expected) {
+            assert_eq!(held.synopsis.estimate(q).to_bits(), want.to_bits());
+        }
+        assert_eq!(service.stats().swaps, 1);
+        assert_eq!(service.stats().dropped_replies, 0);
+    }
+
+    #[test]
+    fn concurrent_submitters_get_generation_consistent_answers() {
+        let synopsis = build(0, 512);
+        let gens = [build(0, 512), build(1, 512), build(2, 768)];
+        // expected[g][q]: generation g+1 answered serially.
+        let mut expected: Vec<Vec<f64>> =
+            vec![queries().iter().map(|q| synopsis.estimate(q)).collect()];
+        for g in &gens {
+            expected.push(queries().iter().map(|q| g.estimate(q)).collect());
+        }
+        let service = EstimatorService::start(synopsis, ServiceConfig { workers: 3 });
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let service = &service;
+                let expected = &expected;
+                s.spawn(move || {
+                    for _ in 0..40 {
+                        let reply = service.estimate_batch(queries()).unwrap();
+                        let g = usize::try_from(reply.generation).unwrap_or(0);
+                        let want = &expected[g - 1];
+                        for (got, want) in reply.estimates.iter().zip(want) {
+                            assert_eq!(
+                                got.to_bits(),
+                                want.to_bits(),
+                                "generation {g} must answer bit-identically"
+                            );
+                        }
+                    }
+                });
+            }
+            for g in gens {
+                service.swap(g);
+            }
+        });
+        assert_eq!(service.stats().swaps, 3);
+        assert_eq!(service.stats().dropped_replies, 0);
+    }
+
+    #[test]
+    fn swap_from_persisted_snapshot_round_trips() {
+        let dir = std::env::temp_dir().join("dbhist-service-swap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen2.dbhs");
+        let next = build(1, 768);
+        next.save(&path).unwrap();
+        let expected: Vec<f64> = queries().iter().map(|q| next.estimate(q)).collect();
+
+        let service = EstimatorService::start(build(0, 512), ServiceConfig::default());
+        let gen = service.swap_from_snapshot(&path).unwrap();
+        assert_eq!(gen, 2);
+        let reply = service.estimate_batch(queries()).unwrap();
+        assert_eq!(reply.generation, 2);
+        for (got, want) in reply.estimates.iter().zip(&expected) {
+            assert_eq!(got.to_bits(), want.to_bits(), "loaded snapshot must be bit-identical");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drop_drains_queued_batches() {
+        let service = EstimatorService::start(build(0, 512), ServiceConfig { workers: 1 });
+        let tickets: Vec<BatchTicket> = (0..16).map(|_| service.submit(queries())).collect();
+        drop(service);
+        for t in tickets {
+            assert!(t.wait().is_some(), "teardown must drain queued batches, not drop them");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Sharded, internally synchronized LRU caches for the shared-read query
+//! path.
+//!
+//! [`QueryEngine`](crate::plan::QueryEngine) memoizes compiled plans and
+//! (optionally) materialized marginals. Under the concurrent
+//! [`EstimatorService`](crate::service::EstimatorService) many reader
+//! threads consult those caches on every query, so a single global mutex
+//! would serialize the whole read path. [`ShardedLru`] splits one logical
+//! LRU into [`DEFAULT_SHARD_COUNT`] independent shards, each behind its
+//! own mutex; a key's shard is chosen by hash, so concurrent lookups of
+//! different keys contend only when they land on the same shard.
+//!
+//! Correctness note: the caches are *memoization* — a cached value is
+//! bit-identical to the value recomputed from the immutable factors, so
+//! shard-local eviction order, racing duplicate inserts, and
+//! enable/disable races can change hit rates but never change an
+//! estimate. That is what keeps concurrent estimates bit-identical to the
+//! serial engine (pinned by `tests/concurrent_equivalence.rs`).
+//!
+//! Memory-ordering justification (this module is on the `atomic-ordering`
+//! exemption list, `dbhist-analyze`): the only raw atomic here is the
+//! advisory `capacity` cell. `Relaxed` is correct for it because every
+//! read of cached *data* happens under a shard mutex, which already
+//! provides the happens-before edge; the capacity value only steers how
+//! many entries a shard retains, and a stale read merely delays an
+//! eviction or skips one insert — it can never expose unsynchronized
+//! data. Recency ticks live entirely inside the shard mutexes.
+
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use dbhist_distribution::fxhash::{FxBuildHasher, FxHashMap};
+
+/// Number of independent shards in a [`ShardedLru`]. Eight mutexes keep
+/// contention negligible for the reader counts the service targets while
+/// costing a few hundred bytes when idle.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// Minimum entries each shard retains while the cache is enabled. Small
+/// logical capacities would otherwise give every shard capacity 1 and
+/// thrash whenever two hot keys hash to the same shard; the floor trades
+/// a bounded retention overshoot (at most `shards × floor` entries) for
+/// stable hit rates.
+pub const MIN_SHARD_CAPACITY: usize = 4;
+
+/// Locks `m`, recovering from poisoning: cache state is only ever
+/// memoized derived data, so a panicking peer cannot leave it logically
+/// corrupt.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A small least-recently-used cache with O(1) lookups and O(capacity)
+/// eviction scans (capacities here are a few hundred at most).
+///
+/// Single-threaded; [`ShardedLru`] wraps one per shard for concurrent
+/// use.
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, (u64, V)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates a cache retaining at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { map: FxHashMap::default(), capacity: capacity.max(1), tick: 0 }
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fetches `key`, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(stamp, v)| {
+            *stamp = tick;
+            &*v
+        })
+    }
+
+    /// Inserts `key → value`, evicting least-recently-used entries while
+    /// at or over capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        while self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                // lint:allow-next-line(hash-iter-order): stamps are unique, so the min is order-independent; eviction never reaches estimates
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Retargets the capacity (minimum 1), evicting down immediately if
+    /// the cache is over the new bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.map.len() > self.capacity {
+            if let Some(oldest) =
+                // lint:allow-next-line(hash-iter-order): stamps are unique, so the min is order-independent; eviction never reaches estimates
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops every entry (capacity is retained).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// A sharded LRU cache callable from many threads through `&self`.
+///
+/// The logical capacity is split evenly across [`DEFAULT_SHARD_COUNT`]
+/// shards (`ceil(capacity / shards)` each, floored at
+/// [`MIN_SHARD_CAPACITY`], so the retained total can round up — an
+/// approximation standard for sharded LRUs, where the bound matters at
+/// large capacities and hit-rate stability at small ones).
+/// Capacity `0` disables the cache: `get` misses and
+/// `insert` is a no-op, which is how the engine's optional marginal
+/// cache is switched off without a type-level `Option`.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+    /// Total advisory capacity across shards; 0 = disabled. See the
+    /// module docs for why `Relaxed` is sufficient here.
+    capacity: AtomicUsize,
+    hasher: FxBuildHasher,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache with `capacity` total entries across
+    /// [`DEFAULT_SHARD_COUNT`] shards. `capacity == 0` starts disabled.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = Self::per_shard(capacity);
+        Self {
+            shards: (0..DEFAULT_SHARD_COUNT)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            capacity: AtomicUsize::new(capacity),
+            hasher: FxBuildHasher::default(),
+        }
+    }
+
+    fn per_shard(capacity: usize) -> usize {
+        capacity.div_ceil(DEFAULT_SHARD_COUNT).max(MIN_SHARD_CAPACITY)
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        // Length is the compile-time DEFAULT_SHARD_COUNT, so the modulo
+        // index is always in range.
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// `true` when the cache currently accepts and serves entries.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.capacity.load(Ordering::Relaxed) > 0
+    }
+
+    /// The current total advisory capacity (0 = disabled).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Retargets the total capacity. `0` disables the cache and drops
+    /// every entry; a positive value re-enables it (entries are dropped
+    /// on the disable edge, kept when resizing while enabled).
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        if capacity == 0 {
+            self.clear();
+        } else {
+            let per_shard = Self::per_shard(capacity);
+            for shard in &self.shards {
+                lock(shard).set_capacity(per_shard);
+            }
+        }
+    }
+
+    /// Fetches a clone of `key`'s value, refreshing its recency. Always
+    /// `None` while disabled.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        if !self.enabled() {
+            return None;
+        }
+        lock(self.shard(key)).get(key).cloned()
+    }
+
+    /// Inserts `key → value` into its shard, evicting that shard's
+    /// least-recently-used entry at capacity. No-op while disabled.
+    pub fn insert(&self, key: K, value: V) {
+        if !self.enabled() {
+            return;
+        }
+        lock(self.shard(&key)).insert(key, value);
+    }
+
+    /// Drops every entry in every shard (capacity is retained).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            lock(shard).clear();
+        }
+    }
+
+    /// Total number of cached entries across shards. Each shard is
+    /// counted under its own lock, so under concurrent mutation the sum
+    /// has no global atomic cut.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// `true` when no shard holds an entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| lock(s).is_empty())
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Clone for ShardedLru<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            shards: self.shards.iter().map(|s| Mutex::new(lock(s).clone())).collect(),
+            capacity: AtomicUsize::new(self.capacity.load(Ordering::Relaxed)),
+            hasher: FxBuildHasher::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&1), Some(&10)); // refresh 1
+        cache.insert(3, 30); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(&10));
+        assert_eq!(cache.get(&3), Some(&30));
+        // Re-inserting an existing key must not evict.
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(&11));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_cache_shrink_evicts_down() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            cache.insert(i, i);
+        }
+        cache.set_capacity(2);
+        assert_eq!(cache.len(), 2);
+        // The two most recently inserted keys survive.
+        assert_eq!(cache.get(&3), Some(&3));
+        assert_eq!(cache.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn sharded_round_trip_and_capacity_toggle() {
+        let cache: ShardedLru<u32, String> = ShardedLru::new(16);
+        assert!(cache.enabled());
+        assert!(cache.is_empty());
+        for i in 0..10u32 {
+            cache.insert(i, format!("v{i}"));
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.get(&3), Some("v3".to_string()));
+        assert_eq!(cache.get(&99), None);
+
+        cache.set_capacity(0);
+        assert!(!cache.enabled());
+        assert!(cache.is_empty(), "disable drops entries");
+        assert_eq!(cache.get(&3), None);
+        cache.insert(3, "back".to_string());
+        assert_eq!(cache.len(), 0, "insert is a no-op while disabled");
+
+        cache.set_capacity(8);
+        assert!(cache.enabled());
+        cache.insert(3, "back".to_string());
+        assert_eq!(cache.get(&3), Some("back".to_string()));
+    }
+
+    #[test]
+    fn sharded_eviction_is_bounded_per_shard() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(DEFAULT_SHARD_COUNT);
+        // Per-shard capacity is MIN_SHARD_CAPACITY; no shard may exceed
+        // it, so the total stays ≤ shards × floor no matter how many
+        // keys stream in.
+        for i in 0..10_000u32 {
+            cache.insert(i, i);
+        }
+        let bound = DEFAULT_SHARD_COUNT * MIN_SHARD_CAPACITY;
+        assert!(cache.len() <= bound, "len {} exceeds {bound}", cache.len());
+    }
+
+    #[test]
+    fn sharded_concurrent_smoke() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let k = (t * 500 + i) % 97;
+                        cache.insert(k, k * 2);
+                        if let Some(v) = cache.get(&k) {
+                            assert_eq!(v, k * 2, "a cached value is never torn");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64 + DEFAULT_SHARD_COUNT);
+    }
+
+    #[test]
+    fn clone_carries_entries_and_capacity() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(8);
+        cache.insert(1, 10);
+        let copy = cache.clone();
+        assert_eq!(copy.get(&1), Some(10));
+        assert_eq!(copy.capacity(), 8);
+        copy.insert(2, 20);
+        assert_eq!(cache.get(&2), None, "clones are independent");
+    }
+}

@@ -52,6 +52,12 @@ pub enum AllocationStrategy {
     OptimalDp,
 }
 
+/// Default work-size floor for parallel clique-histogram construction
+/// and assembly (see [`DbConfig::parallel_clique_floor`]): builds with
+/// fewer cliques run those phases serially regardless of the configured
+/// thread count.
+pub const MIN_PARALLEL_CLIQUES: usize = 8;
+
 /// Configuration for building a [`DbHistogram`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct DbConfig {
@@ -63,6 +69,12 @@ pub struct DbConfig {
     pub criterion: SplitCriterion,
     /// Budget distribution strategy.
     pub allocation: AllocationStrategy,
+    /// Work-size floor for parallel clique-histogram construction and
+    /// assembly: builds with fewer cliques than this run those phases
+    /// serially even when `selection.threads > 1` (see
+    /// [`MIN_PARALLEL_CLIQUES`]). Serial and parallel are bit-identical;
+    /// the floor only avoids paying thread fan-out for tiny builds.
+    pub parallel_clique_floor: usize,
 }
 
 impl DbConfig {
@@ -75,6 +87,7 @@ impl DbConfig {
             selection: SelectionConfig::default(),
             criterion: SplitCriterion::default(),
             allocation: AllocationStrategy::default(),
+            parallel_clique_floor: MIN_PARALLEL_CLIQUES,
         }
     }
 }
@@ -290,20 +303,26 @@ impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
 }
 
 /// Starts one incremental builder per model clique, computing the clique
-/// marginals concurrently when `threads > 1` (each marginal is a pure
-/// projection of the relation, so results are identical to the serial
-/// loop; errors surface in clique order either way).
+/// marginals concurrently when `threads > 1` and the model has at least
+/// `clique_floor` cliques (each marginal is a pure projection of the
+/// relation, so results are identical to the serial loop; errors surface
+/// in clique order either way). Below the floor the serial loop wins:
+/// projecting a handful of small marginals is microseconds of work,
+/// while spinning a pool and distributing chunks is not
+/// (`BENCH_build.json` measured 0.91x at 4 threads on a 5-clique build
+/// before the floor existed).
 fn start_builders<B>(
     relation: &Relation,
     model: &DecomposableModel,
     threads: usize,
+    clique_floor: usize,
     start: &(impl Fn(&Distribution) -> Result<B, SynopsisError> + Sync),
 ) -> Result<Vec<B>, SynopsisError>
 where
     B: Send,
 {
     let cliques = model.cliques();
-    if threads <= 1 || cliques.len() <= 1 {
+    if threads <= 1 || cliques.len() < clique_floor.max(2) {
         return cliques
             .iter()
             .map(|c| {
@@ -375,11 +394,12 @@ where
     F: Factor + Send,
 {
     let threads = config.selection.threads.max(1);
+    let clique_floor = config.parallel_clique_floor;
     let collector = SpanCollector::install();
 
     let mut builders: Vec<B> = {
         let _span = dbhist_telemetry::span!("dbhist_build_construction_latency_us");
-        start_builders(relation, &model, threads, &start)?
+        start_builders(relation, &model, threads, clique_floor, &start)?
     };
 
     let splits_funded = {
@@ -393,7 +413,7 @@ where
                 // saturation; fresh builders are created below for the
                 // actual allocation.
                 let curves = error_curves_parallel(&mut builders, config.budget_bytes, threads);
-                builders = start_builders(relation, &model, threads, &start)?;
+                builders = start_builders(relation, &model, threads, clique_floor, &start)?;
                 let picks = optimal_dp(&curves, config.budget_bytes)?;
                 apply_allocation_parallel(&mut builders, &picks, threads);
                 picks.iter().map(|p| p.buckets.saturating_sub(1)).sum()
@@ -404,7 +424,9 @@ where
     let (bytes, factors, engine): (usize, Vec<F>, QueryEngine<F>) = {
         let _span = dbhist_telemetry::span!("dbhist_build_assembly_latency_us");
         let bytes = builders.iter().map(IncrementalBuilder::storage_bytes).sum();
-        let factors: Vec<F> = if threads <= 1 || builders.len() <= 1 {
+        // Same work-size floor as construction: finishing a few small
+        // builders serially beats paying pool fan-out for them.
+        let factors: Vec<F> = if threads <= 1 || builders.len() < clique_floor.max(2) {
             builders.iter().map(IncrementalBuilder::finish).collect()
         } else {
             with_pool(threads, || builders.par_iter().map(IncrementalBuilder::finish).collect())

@@ -64,6 +64,11 @@ pub enum SelectionAlgorithm {
     Efficient,
 }
 
+/// Default work-size floor for parallel candidate scoring (see
+/// [`SelectionConfig::parallel_candidate_floor`]): rounds with fewer
+/// addable edges run serially regardless of the configured thread count.
+pub const MIN_PARALLEL_CANDIDATES: usize = 32;
+
 /// Configuration for forward selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelectionConfig {
@@ -87,6 +92,14 @@ pub struct SelectionConfig {
     /// relation, and the greedy reduction stays serial with the
     /// deterministic edge-id tie-break).
     pub threads: usize,
+    /// Work-size floor for parallel candidate scoring: rounds with fewer
+    /// addable edges than this take the serial path even when
+    /// `threads > 1`. Scoring one candidate costs a few entropy lookups,
+    /// so small rounds lose more to pool spin-up and work distribution
+    /// than they gain (`BENCH_build.json` measured 0.85x at 4 threads on
+    /// a 15-candidate workload before this floor existed). The path
+    /// choice never affects results — both are bit-identical.
+    pub parallel_candidate_floor: usize,
 }
 
 impl Default for SelectionConfig {
@@ -98,6 +111,7 @@ impl Default for SelectionConfig {
             algorithm: SelectionAlgorithm::default(),
             max_edges: None,
             threads: 1,
+            parallel_candidate_floor: MIN_PARALLEL_CANDIDATES,
         }
     }
 }
@@ -349,7 +363,7 @@ impl<'a> ForwardSelector<'a> {
                 (sep.len() + 2 <= self.config.k_max).then_some((u, v, sep))
             })
             .collect();
-        if self.config.threads > 1 && addable.len() > 1 {
+        if self.config.threads > 1 && addable.len() >= self.config.parallel_candidate_floor.max(2) {
             self.prewarm(&addable);
             self.install(|| {
                 addable
@@ -635,8 +649,13 @@ mod tests {
                 let base =
                     SelectionConfig { algorithm, heuristic, theta: 0.0, ..Default::default() };
                 let serial = ForwardSelector::new(&rel, base).run();
-                let parallel =
-                    ForwardSelector::new(&rel, SelectionConfig { threads: 4, ..base }).run();
+                // Floor lowered to 2 so this small fixture actually
+                // exercises the parallel scoring path.
+                let parallel = ForwardSelector::new(
+                    &rel,
+                    SelectionConfig { threads: 4, parallel_candidate_floor: 2, ..base },
+                )
+                .run();
                 assert_eq!(serial.model.graph(), parallel.model.graph());
                 assert_eq!(serial.steps.len(), parallel.steps.len());
                 for (a, b) in serial.steps.iter().zip(&parallel.steps) {

@@ -42,6 +42,17 @@ pub struct WellKnown {
     // Estimator feedback.
     pub estimator_feedback: Arc<Counter>,
 
+    // Estimator service (concurrent serving path).
+    pub serve_requests: Arc<Counter>,
+    pub serve_batches: Arc<Counter>,
+    pub serve_swaps: Arc<Counter>,
+    /// Replies whose client hung up before delivery (0 in steady state;
+    /// `swap()` never drops an in-flight query).
+    pub serve_dropped_replies: Arc<Counter>,
+    /// Wall-clock nanoseconds from batch submission to reply, recorded
+    /// once per request in the batch.
+    pub serve_latency: Arc<LatencyHistogram>,
+
     // Snapshot persistence.
     pub persist_saves: Arc<Counter>,
     pub persist_loads: Arc<Counter>,
@@ -79,6 +90,11 @@ pub fn wellknown() -> &'static WellKnown {
             model_entropy_computations: r.counter("dbhist_model_entropy_computations_total"),
             model_entropy_cache_hits: r.counter("dbhist_model_entropy_cache_hits_total"),
             estimator_feedback: r.counter("dbhist_estimator_feedback_total"),
+            serve_requests: r.counter("dbhist_serve_requests_total"),
+            serve_batches: r.counter("dbhist_serve_batches_total"),
+            serve_swaps: r.counter("dbhist_serve_swaps_total"),
+            serve_dropped_replies: r.counter("dbhist_serve_dropped_replies_total"),
+            serve_latency: r.histogram("dbhist_serve_request_latency_ns"),
             persist_saves: r.counter("dbhist_persist_saves_total"),
             persist_loads: r.counter("dbhist_persist_loads_total"),
             persist_save_seconds: r.gauge("dbhist_persist_save_seconds"),
@@ -113,6 +129,9 @@ mod tests {
             "dbhist_build_splits_funded_total",
             "dbhist_model_entropy_cache_hits_total",
             "dbhist_estimator_feedback_total",
+            "dbhist_serve_requests_total",
+            "dbhist_serve_swaps_total",
+            "dbhist_serve_request_latency_ns",
             "dbhist_persist_saves_total",
             "dbhist_persist_loads_total",
             "dbhist_persist_save_seconds",

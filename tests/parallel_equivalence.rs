@@ -135,6 +135,9 @@ proptest! {
             SynopsisBuilder::new(&rel)
                 .budget(budget)
                 .threads(threads)
+                // Floors lowered so small fixtures still exercise the
+                // parallel scoring/construction paths.
+                .parallel_floors(2, 2)
                 .heuristic(heuristic)
                 .algorithm(algorithm)
                 .build()
@@ -166,7 +169,12 @@ proptest! {
         let (rel, mut state) = random_relation(arity, domain, rows, seed);
         for kind in [FactorKind::Grid, FactorKind::Wavelet] {
             let build = |threads: usize| {
-                SynopsisBuilder::new(&rel).budget(budget).threads(threads).factor(kind).build()
+                SynopsisBuilder::new(&rel)
+                    .budget(budget)
+                    .threads(threads)
+                    .parallel_floors(2, 2)
+                    .factor(kind)
+                    .build()
             };
             match (build(1), build(3)) {
                 (Ok(serial), Ok(parallel)) => {
@@ -192,7 +200,12 @@ proptest! {
     ) {
         let (rel, mut state) = random_relation(4, 5, 120, seed);
         let build = |threads: usize| {
-            SynopsisBuilder::new(&rel).budget(400).threads(threads).build().unwrap()
+            SynopsisBuilder::new(&rel)
+                .budget(400)
+                .threads(threads)
+                .parallel_floors(2, 2)
+                .build()
+                .unwrap()
         };
         let a = build(threads_a);
         let b = build(threads_b);
