@@ -14,10 +14,10 @@
 //! * `as-narrowing` — in codec / bucket arithmetic files, no bare `as`
 //!   casts to a narrower integer type; wire-format widths are a
 //!   contract, so use `try_from` and surface `HistogramError::Codec`.
-//! * `deprecated-shim` — no first-party code outside
-//!   `crates/core/src/synopsis.rs` may call the deprecated
-//!   `DbHistogram::build_*` shims; new code goes through
-//!   `SynopsisBuilder`.
+//! * `deprecated-shim` — the `DbHistogram::build_*` shims were removed
+//!   outright (construction goes through `SynopsisBuilder`); the rule
+//!   stays on as a reintroduction guard, so no first-party file may call
+//!   or re-add them.
 //! * `metric-name` — every `dbhist_`-prefixed metric literal follows
 //!   `dbhist_<subsystem>_<name>_<unit>`; the registry is a process-wide
 //!   namespace scraped by external tooling.
@@ -184,10 +184,12 @@ pub fn snapshot_io_exempt(rel_path: &str) -> bool {
     rel_path.replace('\\', "/").contains("crates/persist/")
 }
 
-/// True if this relative path may call the deprecated shims.
+/// True if this relative path may call the removed shims. Nothing is:
+/// the defining module's exemption ended when the shims were deleted, so
+/// the rule now guards against reintroduction everywhere.
 #[must_use]
-pub fn shim_exempt(rel_path: &str) -> bool {
-    rel_path.replace('\\', "/").ends_with("crates/core/src/synopsis.rs")
+pub fn shim_exempt(_rel_path: &str) -> bool {
+    false
 }
 
 /// Returns the first malformed `dbhist_`-prefixed metric-name literal on
@@ -265,8 +267,9 @@ pub fn snapshot_io(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
-/// `deprecated-shim` over the shared masked lines (defining module
-/// exempt; the engine runs this over the wide first-party file set).
+/// `deprecated-shim` over the shared masked lines (no exemptions since
+/// the shims' removal; the engine runs this over the wide first-party
+/// file set as a reintroduction guard).
 pub fn deprecated_shim(ctx: &FileCtx, out: &mut Vec<Finding>) {
     if shim_exempt(&ctx.rel_path) {
         return;
@@ -322,10 +325,12 @@ mod tests {
     }
 
     #[test]
-    fn shim_rule_exempts_defining_module() {
+    fn shim_rule_guards_reintroduction_everywhere() {
         let src = "let db = DbHistogram::build_mhist(&rel, &cfg)?;\n";
         assert_eq!(run(deprecated_shim, "examples/quickstart.rs", src).len(), 1);
-        assert!(run(deprecated_shim, "crates/core/src/synopsis.rs", src).is_empty());
+        // The former defining-module exemption ended with the shims'
+        // removal: even crates/core/src/synopsis.rs may not re-add them.
+        assert_eq!(run(deprecated_shim, "crates/core/src/synopsis.rs", src).len(), 1);
     }
 
     #[test]

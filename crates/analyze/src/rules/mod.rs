@@ -46,7 +46,9 @@ pub fn hint_for(rule: &str) -> &'static str {
         }
         "float-cmp" => "compare through an explicit epsilon or integer counts",
         "as-narrowing" => "use try_from and surface HistogramError::Codec",
-        "deprecated-shim" => "construct through SynopsisBuilder, not the DbHistogram shims",
+        "deprecated-shim" => {
+            "the DbHistogram::build_* shims were removed; construct through SynopsisBuilder"
+        }
         "metric-name" => "metric names follow dbhist_<subsystem>_<name>_<unit>",
         "snapshot-io" => "snapshot bytes enter through dbhist_persist::read_file only",
         _ => "",

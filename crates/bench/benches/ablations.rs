@@ -13,6 +13,7 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use dbhist_bench::experiments::Scale;
 use dbhist_core::alloc::{error_curve, incremental_gains, optimal_dp};
 use dbhist_core::build::MhistCliqueBuilder;
+use dbhist_core::Query;
 use dbhist_core::SelectivityEstimator;
 use dbhist_core::SynopsisBuilder;
 use dbhist_data::metrics::ErrorSummary;
@@ -121,7 +122,7 @@ fn ablation_kmax(c: &mut Criterion) {
             });
         });
         let db = SynopsisBuilder::new(&rel).budget(3 * 1024).k_max(k_max).build_mhist().unwrap();
-        let summary = ErrorSummary::evaluate(&workload, |r| db.estimate(r));
+        let summary = ErrorSummary::evaluate(&workload, |r| db.estimate(&Query::from(r)));
         eprintln!(
             "A3 k_max={k_max}: model {} | rel err {:.3}, mult err {:.2}",
             db.model().notation(),
@@ -202,7 +203,7 @@ fn ablation_clique_synopsis_family(c: &mut Criterion) {
     let gr = SynopsisBuilder::new(&rel).budget(budget).build_grid().unwrap();
     let wv = SynopsisBuilder::new(&rel).budget(budget).build_wavelet().unwrap();
     let report = |name: &str, s: &dyn SelectivityEstimator| {
-        let e = ErrorSummary::evaluate(&workload, |r| s.estimate(r));
+        let e = ErrorSummary::evaluate(&workload, |r| s.estimate(&Query::from(r)));
         eprintln!(
             "A5 {name}: rel {:.3} mult {:.2} ({} bytes)",
             e.mean_relative,

@@ -33,7 +33,7 @@ use std::time::Duration;
 
 use dbhist_core::builder::{resolve_threads, BuildTrace};
 use dbhist_core::synopsis::MIN_PARALLEL_CLIQUES;
-use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist_core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use dbhist_distribution::{Relation, Schema};
 use dbhist_model::selection::MIN_PARALLEL_CANDIDATES;
@@ -121,7 +121,8 @@ fn best_build(rel: &Relation, threads: usize, workload: &Workload) -> (BuildTrac
         if best.as_ref().is_none_or(|b| trace.total < b.total) {
             best = Some(trace);
         }
-        checksum = workload.queries.iter().map(|q| db.estimate(&q.ranges)).sum();
+        checksum =
+            workload.queries.iter().map(|q| db.estimate(&Query::from(q.ranges.as_slice()))).sum();
         factors_digest = format!("{:?}|{:?}", db.model().graph(), db.factors());
     }
     (best.unwrap(), checksum, factors_digest)

@@ -2,7 +2,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
 use dbhist_bench::experiments::Scale;
-use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist_core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use std::time::Instant;
 
@@ -33,7 +33,7 @@ fn main() {
     );
     for q in &w.queries {
         let t = Instant::now();
-        let est = db.estimate(&q.ranges);
+        let est = db.estimate(&Query::from(q.ranges.as_slice()));
         let el = t.elapsed();
         if el.as_millis() > 100 {
             println!(

@@ -7,10 +7,12 @@
 //!
 //! The workload is fixed (quick-scale census data, fixed seeds), so the
 //! numbers form a comparable perf trajectory across commits. Besides
-//! timing, the run asserts that all three paths — interpreter, plan
-//! engine, plan engine with the materialized-marginal cache — produce
-//! bit-identical estimate checksums, making it an end-to-end equivalence
-//! smoke test as well.
+//! timing, the run asserts that all four paths — interpreter, plan
+//! engine (which lowers per-clique kernels on first contact), warm
+//! kernel replay, and plan engine with the materialized-marginal cache —
+//! produce bit-identical estimate checksums, making it an end-to-end
+//! equivalence smoke test as well. A kernel micro-section reports how
+//! many cliques lowered to dense vs. CSR-sparse tree indexes.
 //!
 //! The run also measures telemetry overhead (the planned path with the
 //! process-wide registry disabled vs. enabled) and asserts it stays under
@@ -26,9 +28,9 @@ use std::time::Instant;
 use dbhist_bench::experiments::Scale;
 use dbhist_core::marginal::estimate_mass_interpreted;
 use dbhist_core::plan::{QueryEngine, QueryTrace};
-use dbhist_core::SynopsisBuilder;
+use dbhist_core::{Query, SynopsisBuilder};
 use dbhist_data::workload::{Workload, WorkloadConfig};
-use dbhist_distribution::{AttrId, AttrSet};
+use dbhist_distribution::AttrSet;
 
 /// Passes over the workload: the first compiles plans, the rest replay
 /// them (and, in the cached mode, replay materialized marginals).
@@ -36,15 +38,17 @@ const REPEATS: usize = 8;
 const QUERIES: usize = 24;
 const BUDGET: usize = 3 * 1024;
 
-/// A query shape (target attributes) plus its conjunctive box.
-type BoxQuery = (AttrSet, Vec<(AttrId, u32, u32)>);
+/// A query shape (target attributes) plus its typed conjunctive box.
+type BoxQuery = (AttrSet, Query);
 
 fn trace_json(t: &QueryTrace) -> String {
     format!(
         "{{\"products\": {}, \"projections\": {}, \"identity_projections\": {}, \
          \"sheds\": {}, \"sheds_skipped\": {}, \"clique_loads\": {}, \"factor_clones\": {}, \
          \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \
-         \"marginal_cache_hits\": {}, \"marginal_cache_misses\": {}}}",
+         \"marginal_cache_hits\": {}, \"marginal_cache_misses\": {}, \
+         \"kernel_hits\": {}, \"kernel_lowered_dense\": {}, \
+         \"kernel_lowered_sparse\": {}, \"kernel_fallbacks\": {}}}",
         t.products,
         t.projections,
         t.identity_projections,
@@ -56,6 +60,10 @@ fn trace_json(t: &QueryTrace) -> String {
         t.plan_cache_misses,
         t.marginal_cache_hits,
         t.marginal_cache_misses,
+        t.kernel_hits,
+        t.kernel_lowered_dense,
+        t.kernel_lowered_sparse,
+        t.kernel_fallbacks,
     )
 }
 
@@ -92,7 +100,9 @@ fn main() {
     let queries: Vec<BoxQuery> = workload
         .queries
         .iter()
-        .map(|q| (AttrSet::from_ids(q.ranges.iter().map(|r| r.0)), q.ranges.clone()))
+        .map(|q| {
+            (AttrSet::from_ids(q.ranges.iter().map(|r| r.0)), Query::from(q.ranges.as_slice()))
+        })
         .collect();
     let total_queries = REPEATS * queries.len();
 
@@ -101,8 +111,8 @@ fn main() {
     let start = Instant::now();
     let mut interpreted_sum = 0.0;
     for _ in 0..REPEATS {
-        for (target, ranges) in &queries {
-            interpreted_sum += estimate_mass_interpreted(tree, factors, target, ranges).unwrap();
+        for (target, query) in &queries {
+            interpreted_sum += estimate_mass_interpreted(tree, factors, target, query).unwrap();
         }
     }
     let interpreted_ns = start.elapsed().as_nanos();
@@ -113,8 +123,8 @@ fn main() {
     let start = Instant::now();
     let mut planned_sum = 0.0;
     for _ in 0..REPEATS {
-        for (target, ranges) in &queries {
-            planned_sum += engine.estimate_mass(tree, factors, target, ranges).unwrap();
+        for (target, query) in &queries {
+            planned_sum += engine.estimate_mass(tree, factors, target, query).unwrap();
         }
     }
     let planned_ns = start.elapsed().as_nanos();
@@ -127,12 +137,35 @@ fn main() {
     let start = Instant::now();
     let mut cached_sum = 0.0;
     for _ in 0..REPEATS {
-        for (target, ranges) in &queries {
-            cached_sum += cached_engine.estimate_mass(tree, factors, target, ranges).unwrap();
+        for (target, query) in &queries {
+            cached_sum += cached_engine.estimate_mass(tree, factors, target, query).unwrap();
         }
     }
     let cached_ns = start.elapsed().as_nanos();
     let cached_trace = cached_engine.trace();
+
+    // 3b. Kernel micro-benchmark: after the first pass the engine rides
+    //     the lowered per-clique kernels (dense or CSR-sparse tree
+    //     indexes), so a warm replay measures pure kernel evaluation with
+    //     pooled scratch and no plan execution at all.
+    let start = Instant::now();
+    let mut kernel_sum = 0.0;
+    for _ in 0..REPEATS {
+        for (target, query) in &queries {
+            kernel_sum += engine.estimate_mass(tree, factors, target, query).unwrap();
+        }
+    }
+    let kernel_ns = start.elapsed().as_nanos();
+    let kernel_trace = engine.trace();
+    assert_eq!(
+        kernel_sum.to_bits(),
+        planned_sum.to_bits(),
+        "warm kernel replay diverged from the first planned pass"
+    );
+    assert!(
+        kernel_trace.kernel_hits > planned_trace.kernel_hits,
+        "warm replay must ride the lowered kernels"
+    );
 
     // 4. Telemetry overhead: the same planned replay with the registry
     //    disabled (inert span guards, local-only counters) vs. enabled
@@ -147,16 +180,16 @@ fn main() {
     //    (no-op, active) back to back so clock-frequency and cache drift
     //    cancel pairwise, and the reported ratio is the WORST pair.
     let overhead_engine: QueryEngine<_> = QueryEngine::new(tree);
-    for (target, ranges) in &queries {
+    for (target, query) in &queries {
         // Compile every plan so both modes replay.
-        overhead_engine.estimate_mass(tree, factors, target, ranges).unwrap();
+        overhead_engine.estimate_mass(tree, factors, target, query).unwrap();
     }
     let measure = || {
         let start = Instant::now();
         let mut sum = 0.0;
         for _ in 0..REPEATS {
-            for (target, ranges) in &queries {
-                sum += overhead_engine.estimate_mass(tree, factors, target, ranges).unwrap();
+            for (target, query) in &queries {
+                sum += overhead_engine.estimate_mass(tree, factors, target, query).unwrap();
             }
         }
         (start.elapsed().as_nanos(), sum)
@@ -226,18 +259,32 @@ fn main() {
         json,
         "  \"latency_ns\": {{\"interpreted_total\": {interpreted_ns}, \
          \"planned_total\": {planned_ns}, \"planned_cached_total\": {cached_ns}, \
+         \"kernel_warm_total\": {kernel_ns}, \
          \"interpreted_per_query\": {}, \"planned_per_query\": {}, \
-         \"planned_cached_per_query\": {}}},",
+         \"planned_cached_per_query\": {}, \"kernel_warm_per_query\": {}}},",
         interpreted_ns / total_queries as u128,
         planned_ns / total_queries as u128,
-        cached_ns / total_queries as u128
+        cached_ns / total_queries as u128,
+        kernel_ns / total_queries as u128
     );
     let _ = writeln!(
         json,
         "  \"speedup\": {{\"planned_vs_interpreted\": {:.3}, \
-         \"planned_cached_vs_interpreted\": {:.3}}},",
+         \"planned_cached_vs_interpreted\": {:.3}, \
+         \"kernel_warm_vs_interpreted\": {:.3}}},",
         speedup(planned_ns),
-        speedup(cached_ns)
+        speedup(cached_ns),
+        speedup(kernel_ns)
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernel\": {{\"lowered_dense\": {}, \"lowered_sparse\": {}, \"hits\": {}, \
+         \"fallbacks\": {}, \"warm_hits\": {}}},",
+        planned_trace.kernel_lowered_dense,
+        planned_trace.kernel_lowered_sparse,
+        planned_trace.kernel_hits,
+        planned_trace.kernel_fallbacks,
+        kernel_trace.kernel_hits
     );
     let _ = writeln!(
         json,
@@ -271,11 +318,14 @@ fn main() {
         .unwrap();
     }
     eprintln!(
-        "wrote {out_path}: planned {:.2}x, cached {:.2}x vs interpreted \
-         (plan-cache hit rate {:.1}%, marginal-cache hit rate {:.1}%, \
-         telemetry overhead {:.2}%)",
+        "wrote {out_path}: planned {:.2}x, cached {:.2}x, warm kernels {:.2}x vs interpreted \
+         ({} dense / {} sparse lowerings, plan-cache hit rate {:.1}%, \
+         marginal-cache hit rate {:.1}%, telemetry overhead {:.2}%)",
         speedup(planned_ns),
         speedup(cached_ns),
+        speedup(kernel_ns),
+        planned_trace.kernel_lowered_dense,
+        planned_trace.kernel_lowered_sparse,
         100.0 * hit_rate(planned_trace.plan_cache_hits, planned_trace.plan_cache_misses),
         100.0 * hit_rate(cached_trace.marginal_cache_hits, cached_trace.marginal_cache_misses),
         100.0 * telemetry_overhead

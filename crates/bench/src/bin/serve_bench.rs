@@ -43,7 +43,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use dbhist_core::service::{EstimatorService, ServiceConfig};
-use dbhist_core::{SelectivityEstimator, Synopsis, SynopsisBuilder};
+use dbhist_core::{Predicate, Query, SelectivityEstimator, Synopsis, SynopsisBuilder};
 use dbhist_distribution::{AttrId, Relation, Schema};
 
 /// Clients submit one batch per tick; 20 ms is coarse enough that sleep
@@ -89,7 +89,7 @@ fn build_relation() -> Relation {
 }
 
 /// Random conjunctive boxes over random attribute subsets.
-fn build_queries(state: &mut u64) -> Vec<Vec<(AttrId, u32, u32)>> {
+fn build_queries(state: &mut u64) -> Vec<Query> {
     let mut queries = Vec::new();
     while queries.len() < POOL {
         let mask = xorshift(state) % (1u64 << ARITY);
@@ -102,9 +102,9 @@ fn build_queries(state: &mut u64) -> Vec<Vec<(AttrId, u32, u32)>> {
                 .map(|a| {
                     let lo = (xorshift(state) % u64::from(DOMAIN)) as u32;
                     let width = (xorshift(state) % u64::from(DOMAIN)) as u32;
-                    (a, lo, (lo + width).min(DOMAIN - 1))
+                    Predicate::range(a, lo, (lo + width).min(DOMAIN - 1))
                 })
-                .collect(),
+                .collect::<Query>(),
         );
     }
     queries
@@ -116,7 +116,7 @@ fn build_queries(state: &mut u64) -> Vec<Vec<(AttrId, u32, u32)>> {
 /// of queries answered.
 fn run_client(
     service: &EstimatorService,
-    queries: &[Vec<(AttrId, u32, u32)>],
+    queries: &[Query],
     expected: &[Vec<u64>],
     duration: Duration,
 ) -> u64 {
@@ -159,7 +159,7 @@ struct PhaseResult {
 /// the generations the main thread installs mid-run (evenly spaced).
 fn run_phase(
     generations: &[Synopsis],
-    queries: &[Vec<(AttrId, u32, u32)>],
+    queries: &[Query],
     expected: &[Vec<u64>],
     clients: usize,
     duration: Duration,

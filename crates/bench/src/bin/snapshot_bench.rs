@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use dbhist_core::builder::Synopsis;
-use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist_core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use dbhist_distribution::{Relation, Schema};
 
@@ -80,7 +80,7 @@ fn build_relation() -> Relation {
 }
 
 fn estimates(db: &Synopsis, workload: &Workload) -> Vec<f64> {
-    workload.queries.iter().map(|q| db.estimate(&q.ranges)).collect()
+    workload.queries.iter().map(|q| db.estimate(&Query::from(q.ranges.as_slice()))).collect()
 }
 
 fn main() {

@@ -23,7 +23,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
 use dbhist_bench::experiments::Scale;
-use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist_core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist_data::workload::{Workload, WorkloadConfig};
 use dbhist_telemetry::export::{to_json, to_prometheus};
 use dbhist_telemetry::{MetricValue, Snapshot};
@@ -57,8 +57,9 @@ fn main() {
     assert_eq!(workload.queries.len(), QUERIES, "workload generation fell short");
     let mut checksum = 0.0;
     for q in &workload.queries {
-        checksum += db.estimate(&q.ranges);
-        db.record_feedback(&q.ranges, q.exact as f64);
+        let query = Query::from(q.ranges.as_slice());
+        checksum += db.estimate(&query);
+        db.record_feedback(&query, q.exact as f64);
     }
     assert!(checksum.is_finite());
 

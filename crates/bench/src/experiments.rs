@@ -2,7 +2,7 @@
 
 use dbhist_core::baselines::{IndEstimator, MhistEstimator, SamplingEstimator};
 use dbhist_core::synopsis::DbHistogram;
-use dbhist_core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist_core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist_data::census;
 use dbhist_data::housing;
 use dbhist_data::metrics::ErrorSummary;
@@ -133,7 +133,7 @@ pub struct Figure {
 }
 
 fn summarize(workload: &Workload, estimator: &dyn SelectivityEstimator) -> ErrorSummary {
-    ErrorSummary::evaluate(workload, |ranges| estimator.estimate(ranges))
+    ErrorSummary::evaluate(workload, |ranges| estimator.estimate(&Query::from(ranges)))
 }
 
 /// **Fig. 6 — How good are decomposable models?**
@@ -329,7 +329,7 @@ pub fn sampling_zero_fraction(scale: &Scale, budget: usize) -> f64 {
     let zeros = workload
         .queries
         .iter()
-        .filter(|q| sampler.estimate(&q.ranges) == 0.0) // lint:allow(float-cmp): the experiment counts literally-zero estimates
+        .filter(|q| sampler.estimate(&Query::from(q.ranges.as_slice())) == 0.0) // lint:allow(float-cmp): the experiment counts literally-zero estimates
         .count();
     zeros as f64 / workload.len().max(1) as f64
 }

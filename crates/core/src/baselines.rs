@@ -20,6 +20,7 @@ use crate::alloc::incremental_gains;
 use crate::build::{IncrementalBuilder, OneDimCliqueBuilder, MHIST_BYTES_PER_BUCKET};
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
+use crate::query::Query;
 
 /// The `IND` baseline: per-attribute histograms + mutual independence.
 #[derive(Debug, Clone)]
@@ -60,7 +61,7 @@ impl IndEstimator {
 }
 
 impl SelectivityEstimator for IndEstimator {
-    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         // Under full independence, the joint selectivity is the product of
         // per-attribute selectivities: N · Π (f_a(range) / N).
         if self.total <= 0.0 {
@@ -70,7 +71,7 @@ impl SelectivityEstimator for IndEstimator {
         for h in &self.histograms {
             // Intersect all constraints on this attribute.
             let mut range: Option<(u32, u32)> = None;
-            for &(a, lo, hi) in ranges {
+            for &(a, lo, hi) in query.ranges() {
                 if a == h.attr() {
                     range = Some(match range {
                         None => (lo, hi),
@@ -134,8 +135,8 @@ impl MhistEstimator {
 }
 
 impl SelectivityEstimator for MhistEstimator {
-    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
-        self.tree.mass_in_box(ranges)
+    fn estimate(&self, query: &Query) -> f64 {
+        self.tree.mass_in_box(query.ranges())
     }
 
     fn storage_bytes(&self) -> usize {
@@ -191,8 +192,8 @@ impl SamplingEstimator {
 }
 
 impl SelectivityEstimator for SamplingEstimator {
-    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
-        self.sample.count_range(ranges) as f64 * self.scale
+    fn estimate(&self, query: &Query) -> f64 {
+        self.sample.count_range(query.ranges()) as f64 * self.scale
     }
 
     fn storage_bytes(&self) -> usize {
@@ -222,7 +223,7 @@ mod tests {
         let ind = IndEstimator::build(&rel, 300, SplitCriterion::MaxDiff).unwrap();
         assert!(ind.storage_bytes() <= 300);
         assert_eq!(ind.histograms().len(), 3);
-        let est = ind.estimate(&[(0, 0, 3)]);
+        let est = ind.estimate(&Query::range(0, 0, 3));
         let exact = rel.count_range(&[(0, 0, 3)]) as f64;
         assert!((est - exact).abs() / exact < 0.1, "{est} vs {exact}");
     }
@@ -232,7 +233,7 @@ mod tests {
         // The independence assumption grossly underestimates the diagonal.
         let rel = relation();
         let ind = IndEstimator::build(&rel, 300, SplitCriterion::MaxDiff).unwrap();
-        let est = ind.estimate(&[(0, 2, 2), (1, 2, 2)]);
+        let est = ind.estimate(&Query::range(0, 2, 2).and(1, 2, 2));
         let exact = rel.count_range(&[(0, 2, 2), (1, 2, 2)]) as f64;
         assert!(exact >= 8.0 * est / 2.0, "IND should underestimate: {est} vs {exact}");
     }
@@ -241,10 +242,10 @@ mod tests {
     fn ind_edge_cases() {
         let rel = relation();
         let ind = IndEstimator::build(&rel, 300, SplitCriterion::MaxDiff).unwrap();
-        assert!((ind.estimate(&[]) - 4096.0).abs() < 1e-9);
-        assert_eq!(ind.estimate(&[(0, 3, 5), (0, 6, 7)]), 0.0, "contradiction");
+        assert!((ind.estimate(&Query::all()) - 4096.0).abs() < 1e-9);
+        assert_eq!(ind.estimate(&Query::range(0, 3, 5).and(0, 6, 7)), 0.0, "contradiction");
         // Constraints on unknown attributes are ignored.
-        assert!((ind.estimate(&[(9, 0, 0)]) - 4096.0).abs() < 1e-9);
+        assert!((ind.estimate(&Query::range(9, 0, 0)) - 4096.0).abs() < 1e-9);
     }
 
     #[test]
@@ -252,7 +253,7 @@ mod tests {
         let rel = relation();
         let mh = MhistEstimator::build(&rel, 540, SplitCriterion::MaxDiff).unwrap();
         assert!(mh.storage_bytes() <= 540);
-        let est = mh.estimate(&[(0, 0, 3)]);
+        let est = mh.estimate(&Query::range(0, 0, 3));
         let exact = rel.count_range(&[(0, 0, 3)]) as f64;
         assert!((est - exact).abs() / exact < 0.25, "{est} vs {exact}");
         assert!(MhistEstimator::build(&rel, 5, SplitCriterion::MaxDiff).is_err());
@@ -265,7 +266,7 @@ mod tests {
         assert_eq!(s.sample_size(), 4096 / 12);
         assert!(s.storage_bytes() <= 4096);
         // The whole-table estimate is exact by construction.
-        assert!((s.estimate(&[]) - 4096.0).abs() < 1e-9);
+        assert!((s.estimate(&Query::all()) - 4096.0).abs() < 1e-9);
         assert!(SamplingEstimator::build(&rel, 4, 7).is_err());
     }
 
@@ -275,8 +276,9 @@ mod tests {
         // sample misses most narrow conjunctive ranges entirely.
         let rel = relation();
         let s = SamplingEstimator::build(&rel, 120, 7).unwrap(); // 10 rows
-        let zeros =
-            (0..8u32).filter(|&v| s.estimate(&[(0, v, v), (2, (v % 4), (v % 4))]) == 0.0).count();
+        let zeros = (0..8u32)
+            .filter(|&v| s.estimate(&Query::range(0, v, v).and(2, v % 4, v % 4)) == 0.0)
+            .count();
         assert!(zeros >= 5, "most narrow queries should see no sampled tuple");
     }
 

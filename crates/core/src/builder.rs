@@ -1,8 +1,8 @@
 //! The unified synopsis construction API.
 //!
 //! [`SynopsisBuilder`] is the single entry point for building DB
-//! histogram synopses, replacing the older `DbHistogram::build_mhist` /
-//! `build_wavelet` / `build_grid` triple (now deprecated shims). It folds
+//! histogram synopses (the older `DbHistogram::build_mhist` /
+//! `build_wavelet` / `build_grid` triple has been removed). It folds
 //! every construction knob — byte budget, clique-factor family, selection
 //! heuristic/algorithm, `k_max`, `θ`, split criterion, allocation
 //! strategy, and worker threads — into fluent methods, validates the
@@ -44,7 +44,7 @@
 
 use std::time::Duration;
 
-use dbhist_distribution::{AttrId, Relation};
+use dbhist_distribution::Relation;
 use dbhist_histogram::{GridHistogram, SplitCriterion, SplitTree};
 use dbhist_model::selection::{EdgeHeuristic, SelectionAlgorithm, SelectionConfig};
 use dbhist_model::DecomposableModel;
@@ -52,6 +52,7 @@ use dbhist_model::DecomposableModel;
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
 use crate::plan::QueryTrace;
+use crate::query::Query;
 use crate::synopsis::{AllocationStrategy, DbConfig, DbHistogram};
 use crate::wavelet_factor::WaveletFactor;
 
@@ -169,8 +170,8 @@ impl Synopsis {
 
     /// Feeds an observed cardinality back to the underlying histogram's
     /// accuracy-drift monitor; see [`DbHistogram::record_feedback`].
-    pub fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
-        delegate!(self, db => db.record_feedback(ranges, actual));
+    pub fn record_feedback(&self, query: &Query, actual: f64) {
+        delegate!(self, db => db.record_feedback(query, actual));
     }
 
     /// Worst per-clique rolling mean absolute relative error observed via
@@ -186,8 +187,8 @@ impl Synopsis {
     /// # Errors
     ///
     /// Propagates factor-operation failures.
-    pub fn try_estimate(&self, ranges: &[(AttrId, u32, u32)]) -> Result<f64, SynopsisError> {
-        delegate!(self, db => db.try_estimate(ranges))
+    pub fn try_estimate(&self, query: &Query) -> Result<f64, SynopsisError> {
+        delegate!(self, db => db.try_estimate(query))
     }
 
     /// The MHIST-backed histogram, if this synopsis was built with
@@ -231,8 +232,8 @@ impl Synopsis {
 }
 
 impl SelectivityEstimator for Synopsis {
-    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
-        delegate!(self, db => db.estimate(ranges))
+    fn estimate(&self, query: &Query) -> f64 {
+        delegate!(self, db => db.estimate(query))
     }
 
     fn storage_bytes(&self) -> usize {
@@ -255,8 +256,8 @@ impl SelectivityEstimator for Synopsis {
         Some(self.build_trace())
     }
 
-    fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
-        Synopsis::record_feedback(self, ranges, actual);
+    fn record_feedback(&self, query: &Query, actual: f64) {
+        Synopsis::record_feedback(self, query, actual);
     }
 
     fn feedback_drift(&self) -> Option<f64> {
@@ -586,7 +587,7 @@ mod tests {
         assert!(synopsis.as_mhist().is_some());
         assert!(synopsis.as_grid().is_none());
         assert!(synopsis.as_wavelet().is_none());
-        assert!(synopsis.try_estimate(&[(0, 0, 3)]).is_ok());
+        assert!(synopsis.try_estimate(&Query::range(0, 0, 3)).is_ok());
         assert!(SelectivityEstimator::query_trace(&synopsis).is_some());
         assert!(SelectivityEstimator::build_trace(&synopsis).is_some());
         assert!(synopsis.clone().into_mhist().is_some());

@@ -6,17 +6,20 @@
 //! in `dbhist-bench` (and any downstream query optimizer) programs
 //! against.
 
-use dbhist_distribution::AttrId;
-
 use crate::builder::BuildTrace;
 use crate::plan::QueryTrace;
+use crate::query::Query;
 
 /// An object that can estimate the result size of a conjunctive
 /// range-selection predicate.
+///
+/// Queries arrive as typed [`Query`] values (see [`crate::query`]); raw
+/// `(attr, lo, hi)` triples convert losslessly via
+/// `Query::from(&ranges[..])`.
 pub trait SelectivityEstimator {
-    /// Estimated number of tuples satisfying every `(attr, lo, hi)`
-    /// inclusive range. An empty predicate estimates the table size `N`.
-    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64;
+    /// Estimated number of tuples satisfying every predicate of `query`.
+    /// The unconstrained query estimates the table size `N`.
+    fn estimate(&self, query: &Query) -> f64;
 
     /// Bytes of synopsis storage consumed (paper §4.1 accounting).
     fn storage_bytes(&self) -> usize;
@@ -50,10 +53,10 @@ pub trait SelectivityEstimator {
         None
     }
 
-    /// Feeds an observed (actual) result cardinality for `ranges` back to
+    /// Feeds an observed (actual) result cardinality for `query` back to
     /// the estimator so it can track its own accuracy drift. Estimators
     /// without a drift monitor ignore the call (the default).
-    fn record_feedback(&self, _ranges: &[(AttrId, u32, u32)], _actual: f64) {}
+    fn record_feedback(&self, _query: &Query, _actual: f64) {}
 
     /// Worst per-clique rolling mean absolute relative error observed via
     /// [`SelectivityEstimator::record_feedback`], when the estimator

@@ -10,7 +10,7 @@
 //! [`Distribution`] to it.
 
 use dbhist_distribution::{AttrId, AttrSet, Distribution};
-use dbhist_histogram::{GridHistogram, HistogramError, MultiHistogram, SplitTree};
+use dbhist_histogram::{GridHistogram, HistogramError, MultiHistogram, SplitTree, TreeIndex};
 
 use crate::error::SynopsisError;
 
@@ -64,6 +64,14 @@ pub trait Factor: Sized + Clone {
             Ok(std::borrow::Cow::Owned(self.project(attrs)?))
         }
     }
+
+    /// Lowers the factor into a flattened [`TreeIndex`] for the dense
+    /// kernel path (see [`crate::kernel`]), or `None` when no bit-identical
+    /// lowering exists for this representation. The engine falls back to
+    /// direct plan execution on `None`.
+    fn lower_index(&self) -> Option<TreeIndex> {
+        None
+    }
 }
 
 impl Factor for SplitTree {
@@ -89,6 +97,10 @@ impl Factor for SplitTree {
 
     fn product(&self, other: &Self) -> Result<Self, SynopsisError> {
         Ok(MultiHistogram::product(self, other)?)
+    }
+
+    fn lower_index(&self) -> Option<TreeIndex> {
+        TreeIndex::lower(self)
     }
 }
 

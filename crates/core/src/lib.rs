@@ -53,8 +53,10 @@
 //! assert!(db.storage_bytes() <= 256);
 //!
 //! // Estimate the selectivity of the predicate a ∈ [0,3] ∧ c = 1.
-//! let est = db.estimate(&[(0, 0, 3), (2, 1, 1)]);
-//! let exact = rel.count_range(&[(0, 0, 3), (2, 1, 1)]) as f64;
+//! use dbhist_core::query::Query;
+//! let q = Query::range(0, 0, 3).eq(2, 1);
+//! let est = db.estimate(&q);
+//! let exact = rel.count_range(q.ranges()) as f64;
 //! assert!((est - exact).abs() / exact < 0.25);
 //! ```
 
@@ -69,9 +71,12 @@ pub mod builder;
 pub mod error;
 pub mod estimator;
 pub mod factor;
+pub mod kernel;
 pub mod maintenance;
 pub mod marginal;
 pub mod plan;
+pub mod query;
+pub mod scratch;
 pub mod service;
 pub mod sharded;
 pub mod snapshot;
@@ -82,7 +87,10 @@ pub use builder::{BuildTrace, FactorKind, Synopsis, SynopsisBuilder};
 pub use error::SynopsisError;
 pub use estimator::SelectivityEstimator;
 pub use factor::{ExactFactor, Factor};
+pub use kernel::MassKernel;
 pub use plan::{MarginalPlan, MassPlan, QueryEngine, QueryTrace};
+pub use query::{Predicate, Query};
+pub use scratch::PlanScratch;
 pub use service::{
     BatchReply, BatchTicket, EstimatorService, Generation, ServeStats, ServiceConfig,
 };

@@ -23,6 +23,7 @@ use dbhist_histogram::SplitTree;
 
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
+use crate::query::Query;
 
 use crate::synopsis::{DbConfig, DbHistogram};
 
@@ -156,9 +157,13 @@ impl MaintainedDbHistogram {
         }
         let mut sum = 0.0;
         for row in &self.reservoir {
-            let ranges: Vec<(AttrId, u32, u32)> =
-                row.iter().enumerate().map(|(a, &v)| (a as AttrId, v, v)).collect();
-            let est = self.synopsis.estimate(&ranges).max(0.0);
+            let query: Query = row
+                .iter()
+                .enumerate()
+                .filter_map(|(a, &v)| AttrId::try_from(a).ok().map(|a| (a, v, v)))
+                .collect::<Vec<_>>()
+                .into();
+            let est = self.synopsis.estimate(&query).max(0.0);
             sum += 1.0 / (1.0 + est);
         }
         sum / self.reservoir.len() as f64
@@ -169,8 +174,8 @@ impl MaintainedDbHistogram {
     /// [`DbHistogram::record_feedback`]. Feedback accumulated here is the
     /// third rebuild trigger consulted by
     /// [`MaintainedDbHistogram::needs_rebuild`].
-    pub fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
-        self.synopsis.record_feedback(ranges, actual);
+    pub fn record_feedback(&self, query: &Query, actual: f64) {
+        self.synopsis.record_feedback(query, actual);
     }
 
     /// Worst per-clique rolling mean absolute relative error reported by
@@ -241,8 +246,8 @@ impl MaintainedDbHistogram {
 }
 
 impl SelectivityEstimator for MaintainedDbHistogram {
-    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
-        self.synopsis.estimate(ranges)
+    fn estimate(&self, query: &Query) -> f64 {
+        self.synopsis.estimate(query)
     }
 
     fn storage_bytes(&self) -> usize {
@@ -261,8 +266,8 @@ impl SelectivityEstimator for MaintainedDbHistogram {
         self.synopsis.reset_query_trace();
     }
 
-    fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
-        MaintainedDbHistogram::record_feedback(self, ranges, actual);
+    fn record_feedback(&self, query: &Query, actual: f64) {
+        MaintainedDbHistogram::record_feedback(self, query, actual);
     }
 
     fn feedback_drift(&self) -> Option<f64> {
@@ -286,11 +291,11 @@ mod tests {
     fn inserts_move_estimates() {
         let rel = relation(4096);
         let mut m = MaintainedDbHistogram::build(&rel, DbConfig::new(400)).unwrap();
-        let before = m.estimate(&[(0, 3, 3)]);
+        let before = m.estimate(&Query::range(0, 3, 3));
         for _ in 0..500 {
             m.insert(&[3, 3, 0]);
         }
-        let after = m.estimate(&[(0, 3, 3)]);
+        let after = m.estimate(&Query::range(0, 3, 3));
         assert!(after > before + 400.0, "estimate should absorb the inserts: {before} → {after}");
         assert_eq!(m.churn(), 500);
         assert!((m.row_count() - 4596.0).abs() < 1e-9);
@@ -300,14 +305,14 @@ mod tests {
     fn deletes_reverse_inserts() {
         let rel = relation(4096);
         let mut m = MaintainedDbHistogram::build(&rel, DbConfig::new(400)).unwrap();
-        let baseline = m.estimate(&[(0, 2, 5)]);
+        let baseline = m.estimate(&Query::range(0, 2, 5));
         for _ in 0..100 {
             m.insert(&[4, 4, 1]);
         }
         for _ in 0..100 {
             m.delete(&[4, 4, 1]);
         }
-        let roundtrip = m.estimate(&[(0, 2, 5)]);
+        let roundtrip = m.estimate(&Query::range(0, 2, 5));
         assert!(
             (roundtrip - baseline).abs() < 1e-6 * (1.0 + baseline),
             "{baseline} vs {roundtrip}"
@@ -322,7 +327,7 @@ mod tests {
         for _ in 0..10_000 {
             m.delete(&[0, 0, 0]);
         }
-        assert!(m.estimate(&[]) >= 0.0);
+        assert!(m.estimate(&Query::all()) >= 0.0);
     }
 
     #[test]
@@ -373,11 +378,11 @@ mod tests {
         // With the materialized-marginal cache on, an update must not let
         // a stale cached marginal answer the next query.
         m.synopsis().enable_marginal_cache(8);
-        let before = m.estimate(&[(0, 3, 3)]);
+        let before = m.estimate(&Query::range(0, 3, 3));
         for _ in 0..500 {
             m.insert(&[3, 3, 0]);
         }
-        let after = m.estimate(&[(0, 3, 3)]);
+        let after = m.estimate(&Query::range(0, 3, 3));
         assert!(after > before + 400.0, "stale cached marginal served after update: {after}");
     }
 
@@ -390,7 +395,7 @@ mod tests {
         // Executed queries report actuals 10x the estimates: relative
         // error 0.9 per observation, well past the 0.5 threshold.
         for i in 0..32u32 {
-            let q = [(0, i % 8, i % 8)];
+            let q = Query::equals(0, i % 8);
             let est = m.estimate(&q).max(1.0);
             m.record_feedback(&q, est * 10.0);
         }
@@ -408,6 +413,6 @@ mod tests {
         let m = MaintainedDbHistogram::build(&rel, DbConfig::new(400)).unwrap();
         assert_eq!(m.name(), "DB-maintained");
         assert!(m.storage_bytes() > 0);
-        assert!((m.estimate(&[]) - 512.0).abs() < 1e-6);
+        assert!((m.estimate(&Query::all()) - 512.0).abs() < 1e-6);
     }
 }

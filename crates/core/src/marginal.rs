@@ -35,6 +35,7 @@ use dbhist_model::JunctionTree;
 use crate::error::SynopsisError;
 use crate::factor::Factor;
 use crate::plan::{execute_marginal, execute_mass, MarginalPlan, MassPlan, QueryTrace, SHED_LIMIT};
+use crate::query::Query;
 
 /// Operation counts of a marginal computation.
 ///
@@ -222,10 +223,10 @@ impl<'a, F: Factor> Ctx<'a, F> {
 }
 
 /// Estimates the frequency mass of the model's marginal over `target`
-/// inside the conjunctive `ranges` — the selectivity-estimation fast path.
+/// inside the conjunctive `query` — the selectivity-estimation fast path.
 ///
 /// Computes the same model estimate as
-/// `compute_marginal(tree, factors, target)?.mass_in_box(ranges)` while
+/// `compute_marginal(tree, factors, target)?.mass_in_box(query.ranges())` while
 /// (1) factorizing over independent model components (exact under the
 /// model; avoids cross-component products entirely) and (2) skipping the
 /// final projected-histogram materialization, whose overlay construction
@@ -247,14 +248,14 @@ pub fn estimate_mass<F: Factor>(
     tree: &JunctionTree,
     factors: &[F],
     target: &AttrSet,
-    ranges: &[(dbhist_distribution::AttrId, u32, u32)],
+    query: &Query,
 ) -> Result<f64, SynopsisError> {
     assert_eq!(tree.len(), factors.len(), "one factor per clique");
     assert!(!target.is_empty(), "target attribute set must be non-empty");
     let views = tree.rooted_views();
     let plan = MassPlan::compile(tree, &views, target)?;
     let mut trace = QueryTrace::default();
-    execute_mass(&plan, factors, ranges, &mut trace)
+    execute_mass(&plan, factors, query, &mut trace)
 }
 
 /// [`estimate_mass`] via the direct recursive interpreter — the executable
@@ -268,10 +269,11 @@ pub fn estimate_mass_interpreted<F: Factor>(
     tree: &JunctionTree,
     factors: &[F],
     target: &AttrSet,
-    ranges: &[(dbhist_distribution::AttrId, u32, u32)],
+    query: &Query,
 ) -> Result<f64, SynopsisError> {
     assert_eq!(tree.len(), factors.len(), "one factor per clique");
     assert!(!target.is_empty(), "target attribute set must be non-empty");
+    let ranges = query.ranges();
 
     // Model components (cliques connected by *non-empty* separators) are
     // mutually independent by construction: the estimate factorizes as

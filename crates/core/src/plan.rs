@@ -25,6 +25,13 @@
 //!    enabled, caches materialized group marginals so repeated query
 //!    shapes skip execution entirely. Every operation is counted in a
 //!    [`QueryTrace`] for tests, benches, and production introspection.
+//! 4. **Lowered kernels** — for factor representations with a
+//!    bit-identical lowering ([`Factor::lower_index`]), the first
+//!    execution of a mass-plan shape lowers each group's loose marginal
+//!    into a flattened [`MassKernel`](crate::kernel::MassKernel); every
+//!    subsequent query with that shape skips plan execution *and*
+//!    `mass_in_box` tree recursion, answering from two flat arrays with
+//!    pooled scratch ([`crate::scratch`]) — no per-query allocation.
 //!
 //! Planned execution is *operation-identical* to the recursive
 //! interpreter ([`crate::marginal::compute_marginal_interpreted`]): the
@@ -35,7 +42,8 @@
 use std::borrow::Cow;
 use std::sync::Arc;
 
-use dbhist_distribution::{AttrId, AttrSet};
+use dbhist_distribution::AttrSet;
+use dbhist_histogram::{IndexLayout, TreeIndex};
 use dbhist_model::junction::{RootedJunctionTree, RootedViews};
 use dbhist_model::JunctionTree;
 use dbhist_telemetry::registry::Counter;
@@ -43,6 +51,9 @@ use dbhist_telemetry::wellknown::wellknown;
 
 use crate::error::SynopsisError;
 use crate::factor::Factor;
+use crate::kernel::MassKernel;
+use crate::query::Query;
+use crate::scratch::ScratchPool;
 pub use crate::sharded::LruCache;
 use crate::sharded::ShardedLru;
 
@@ -90,6 +101,18 @@ pub struct QueryTrace {
     /// Group marginals executed and (when enabled) inserted into the
     /// cache.
     pub marginal_cache_misses: usize,
+    /// Queries answered entirely by a lowered [`crate::kernel::MassKernel`]
+    /// (no plan execution, no tree recursion).
+    pub kernel_hits: usize,
+    /// Group marginals lowered into dense flat indices.
+    pub kernel_lowered_dense: usize,
+    /// Group marginals lowered into sparse (zero-subtree-collapsed) flat
+    /// indices.
+    pub kernel_lowered_sparse: usize,
+    /// Mass-plan executions that could not lower every group (factor
+    /// representation has no bit-identical lowering); the engine keeps
+    /// executing those plans directly.
+    pub kernel_fallbacks: usize,
 }
 
 impl QueryTrace {
@@ -106,6 +129,10 @@ impl QueryTrace {
         self.plan_cache_misses += other.plan_cache_misses;
         self.marginal_cache_hits += other.marginal_cache_hits;
         self.marginal_cache_misses += other.marginal_cache_misses;
+        self.kernel_hits += other.kernel_hits;
+        self.kernel_lowered_dense += other.kernel_lowered_dense;
+        self.kernel_lowered_sparse += other.kernel_lowered_sparse;
+        self.kernel_fallbacks += other.kernel_fallbacks;
     }
 }
 
@@ -137,6 +164,10 @@ struct EngineMetrics {
     plan_cache_misses: Counter,
     marginal_cache_hits: Counter,
     marginal_cache_misses: Counter,
+    kernel_hits: Counter,
+    kernel_lowered_dense: Counter,
+    kernel_lowered_sparse: Counter,
+    kernel_fallbacks: Counter,
 }
 
 impl EngineMetrics {
@@ -154,6 +185,10 @@ impl EngineMetrics {
         self.plan_cache_misses.add(to_u64(t.plan_cache_misses));
         self.marginal_cache_hits.add(to_u64(t.marginal_cache_hits));
         self.marginal_cache_misses.add(to_u64(t.marginal_cache_misses));
+        self.kernel_hits.add(to_u64(t.kernel_hits));
+        self.kernel_lowered_dense.add(to_u64(t.kernel_lowered_dense));
+        self.kernel_lowered_sparse.add(to_u64(t.kernel_lowered_sparse));
+        self.kernel_fallbacks.add(to_u64(t.kernel_fallbacks));
         if dbhist_telemetry::enabled() {
             let w = wellknown();
             w.query_products.add(to_u64(t.products));
@@ -169,6 +204,10 @@ impl EngineMetrics {
             w.query_plans_compiled.add(to_u64(t.plan_cache_misses));
             w.query_marginal_cache_hits.add(to_u64(t.marginal_cache_hits));
             w.query_marginal_cache_misses.add(to_u64(t.marginal_cache_misses));
+            w.query_kernel_hits.add(to_u64(t.kernel_hits));
+            w.query_kernel_lowered_dense.add(to_u64(t.kernel_lowered_dense));
+            w.query_kernel_lowered_sparse.add(to_u64(t.kernel_lowered_sparse));
+            w.query_kernel_fallbacks.add(to_u64(t.kernel_fallbacks));
         }
     }
 
@@ -189,6 +228,10 @@ impl EngineMetrics {
             plan_cache_misses: to_usize(self.plan_cache_misses.value()),
             marginal_cache_hits: to_usize(self.marginal_cache_hits.value()),
             marginal_cache_misses: to_usize(self.marginal_cache_misses.value()),
+            kernel_hits: to_usize(self.kernel_hits.value()),
+            kernel_lowered_dense: to_usize(self.kernel_lowered_dense.value()),
+            kernel_lowered_sparse: to_usize(self.kernel_lowered_sparse.value()),
+            kernel_fallbacks: to_usize(self.kernel_fallbacks.value()),
         }
     }
 
@@ -204,6 +247,10 @@ impl EngineMetrics {
         self.plan_cache_misses.reset();
         self.marginal_cache_hits.reset();
         self.marginal_cache_misses.reset();
+        self.kernel_hits.reset();
+        self.kernel_lowered_dense.reset();
+        self.kernel_lowered_sparse.reset();
+        self.kernel_fallbacks.reset();
     }
 }
 
@@ -222,6 +269,10 @@ impl Clone for EngineMetrics {
         fresh.plan_cache_misses.add(to_u64(snap.plan_cache_misses));
         fresh.marginal_cache_hits.add(to_u64(snap.marginal_cache_hits));
         fresh.marginal_cache_misses.add(to_u64(snap.marginal_cache_misses));
+        fresh.kernel_hits.add(to_u64(snap.kernel_hits));
+        fresh.kernel_lowered_dense.add(to_u64(snap.kernel_lowered_dense));
+        fresh.kernel_lowered_sparse.add(to_u64(snap.kernel_lowered_sparse));
+        fresh.kernel_fallbacks.add(to_u64(snap.kernel_fallbacks));
         fresh
     }
 }
@@ -626,7 +677,7 @@ impl MassPlan {
     }
 }
 
-/// Executes a [`MassPlan`] for one concrete range predicate.
+/// Executes a [`MassPlan`] for one concrete [`Query`].
 ///
 /// # Errors
 ///
@@ -634,9 +685,10 @@ impl MassPlan {
 pub fn execute_mass<F: Factor>(
     plan: &MassPlan,
     factors: &[F],
-    ranges: &[(AttrId, u32, u32)],
+    query: &Query,
     trace: &mut QueryTrace,
 ) -> Result<f64, SynopsisError> {
+    let ranges = query.ranges();
     let total = factors.first().map_or(0.0, Factor::total);
     let mut mass = total;
     for group in plan.groups() {
@@ -681,6 +733,13 @@ pub struct QueryEngine<F: Factor> {
     plans: ShardedLru<PlanKey, CachedPlan>,
     /// Materialized-marginal cache; capacity 0 = disabled (the default).
     marginals: ShardedLru<PlanKey, F>,
+    /// Lowered [`MassKernel`]s keyed by loose query shape; populated on
+    /// the first execution of a shape whose factors all lower
+    /// ([`Factor::lower_index`]). Always enabled — a kernel is strictly
+    /// cheaper than the plan execution it replaces.
+    kernels: ShardedLru<PlanKey, Arc<MassKernel>>,
+    /// Pooled per-query walk scratch for kernel evaluations.
+    scratch: ScratchPool,
     metrics: EngineMetrics,
 }
 
@@ -690,6 +749,8 @@ impl<F: Factor> Clone for QueryEngine<F> {
             views: self.views.clone(),
             plans: self.plans.clone(),
             marginals: self.marginals.clone(),
+            kernels: self.kernels.clone(),
+            scratch: ScratchPool::default(),
             metrics: self.metrics.clone(),
         }
     }
@@ -711,6 +772,8 @@ impl<F: Factor> QueryEngine<F> {
             views: tree.rooted_views(),
             plans: ShardedLru::new(capacity.max(1)),
             marginals: ShardedLru::new(0),
+            kernels: ShardedLru::new(capacity.max(1)),
+            scratch: ScratchPool::default(),
             metrics: EngineMetrics::default(),
         }
     }
@@ -733,11 +796,13 @@ impl<F: Factor> QueryEngine<F> {
         self.marginals.set_capacity(0);
     }
 
-    /// Drops cached materialized marginals while keeping the cache
-    /// enabled. Call after mutating the underlying factors (plans stay
-    /// valid — they depend only on model structure).
+    /// Drops cached materialized marginals **and lowered kernels** while
+    /// keeping the caches enabled. Call after mutating the underlying
+    /// factors (plans stay valid — they depend only on model structure;
+    /// marginals and kernels are derived from factor contents).
     pub fn invalidate_marginals(&self) {
         self.marginals.clear();
+        self.kernels.clear();
     }
 
     /// A snapshot of the cumulative operation counters.
@@ -831,8 +896,14 @@ impl<F: Factor> QueryEngine<F> {
     }
 
     /// Estimates the frequency mass of the marginal over `target` inside
-    /// the conjunctive `ranges`, through the plan cache (and per-group
-    /// marginal cache, when enabled).
+    /// the conjunctive `query`, through the lowered-kernel cache, the
+    /// plan cache, and the per-group marginal cache (when enabled).
+    ///
+    /// The kernel cache is consulted first: a hit answers the query from
+    /// flat arrays with pooled scratch and touches no plan, factor, or
+    /// tree. A kernel exists only after a prior execution of the same
+    /// shape lowered every group bit-identically, so the fast path cannot
+    /// change any estimate (pinned by `tests/plan_equivalence.rs`).
     ///
     /// # Errors
     ///
@@ -843,7 +914,7 @@ impl<F: Factor> QueryEngine<F> {
         tree: &JunctionTree,
         factors: &[F],
         target: &AttrSet,
-        ranges: &[(AttrId, u32, u32)],
+        query: &Query,
     ) -> Result<f64, SynopsisError> {
         // Inert unless telemetry is on (or a span collector is
         // installed): the registry's per-query latency histogram
@@ -852,18 +923,40 @@ impl<F: Factor> QueryEngine<F> {
         if dbhist_telemetry::enabled() {
             wellknown().query_estimates.increment();
         }
+        let ranges = query.ranges();
         let mut t = QueryTrace::default();
+        let kernel_key = PlanKey { attrs: target.clone(), loose: true };
+        if let Some(kernel) = self.kernels.get(&kernel_key) {
+            t.kernel_hits += 1;
+            let mut scratch = self.scratch.acquire();
+            let mass = kernel.evaluate_ranges(ranges, &mut scratch);
+            self.scratch.release(scratch);
+            self.metrics.absorb(&t);
+            return Ok(mass);
+        }
         let result = (|| {
             let CachedPlan::Mass(plan) = self.plan_for(tree, target, true, &mut t)? else {
                 return Err(malformed("loose key resolved to a strict plan"));
             };
             let total = factors.first().map_or(0.0, Factor::total);
             let mut mass = total;
+            // Lower each group's loose marginal as it is produced; a
+            // kernel is cached only when *every* group lowers (otherwise
+            // the representation has no bit-identical flat form and the
+            // engine keeps executing this plan directly).
+            let mut lowered: Vec<TreeIndex> = Vec::with_capacity(plan.groups().len());
+            let mut lowerable = true;
             for group in plan.groups() {
                 let group_key = PlanKey { attrs: group.attrs.clone(), loose: true };
                 let group_mass = if self.marginals.enabled() {
                     if let Some(f) = self.marginals.get(&group_key) {
                         t.marginal_cache_hits += 1;
+                        if lowerable {
+                            match f.lower_index() {
+                                Some(ix) => lowered.push(ix),
+                                None => lowerable = false,
+                            }
+                        }
                         f.mass_in_box(ranges)
                     } else {
                         t.marginal_cache_misses += 1;
@@ -875,18 +968,42 @@ impl<F: Factor> QueryEngine<F> {
                             }
                             Cow::Owned(f) => f,
                         };
+                        if lowerable {
+                            match owned.lower_index() {
+                                Some(ix) => lowered.push(ix),
+                                None => lowerable = false,
+                            }
+                        }
                         let gm = owned.mass_in_box(ranges);
                         self.marginals.insert(group_key, owned);
                         gm
                     }
                 } else {
-                    execute_marginal(&group.plan, factors, &mut t)?.mass_in_box(ranges)
+                    let loose = execute_marginal(&group.plan, factors, &mut t)?;
+                    if lowerable {
+                        match loose.lower_index() {
+                            Some(ix) => lowered.push(ix),
+                            None => lowerable = false,
+                        }
+                    }
+                    loose.mass_in_box(ranges)
                 };
                 if total > 0.0 {
                     mass *= group_mass / total;
                 } else {
                     return Ok(0.0);
                 }
+            }
+            if lowerable {
+                for ix in &lowered {
+                    match ix.layout() {
+                        IndexLayout::Dense => t.kernel_lowered_dense += 1,
+                        IndexLayout::Sparse => t.kernel_lowered_sparse += 1,
+                    }
+                }
+                self.kernels.insert(kernel_key, Arc::new(MassKernel::new(total, lowered)));
+            } else {
+                t.kernel_fallbacks += 1;
             }
             Ok(mass)
         })();
@@ -986,11 +1103,12 @@ mod tests {
         ];
         for ranges in queries {
             let target = AttrSet::from_ids(ranges.iter().map(|r| r.0));
+            let query = Query::from(ranges);
             let plan = MassPlan::compile(tree, &views, &target).unwrap();
             let mut trace = QueryTrace::default();
-            let planned = execute_mass(&plan, &factors, &ranges, &mut trace).unwrap();
-            let interp = estimate_mass_interpreted(tree, &factors, &target, &ranges).unwrap();
-            assert_eq!(planned.to_bits(), interp.to_bits(), "{ranges:?}: {planned} vs {interp}");
+            let planned = execute_mass(&plan, &factors, &query, &mut trace).unwrap();
+            let interp = estimate_mass_interpreted(tree, &factors, &target, &query).unwrap();
+            assert_eq!(planned.to_bits(), interp.to_bits(), "{query:?}: {planned} vs {interp}");
         }
     }
 
@@ -1034,14 +1152,14 @@ mod tests {
         let tree = m.junction_tree();
         let engine: QueryEngine<ExactFactor> = QueryEngine::new(tree);
         let target = AttrSet::from_ids([0, 2, 4]);
-        let ranges = [(0u16, 0u32, 2u32), (2, 1, 3), (4, 0, 1)];
+        let query = Query::range(0, 0, 2).and(2, 1, 3).and(4, 0, 1);
 
-        let cold = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let cold = engine.estimate_mass(tree, &factors, &target, &query).unwrap();
         let t0 = engine.trace();
         assert_eq!(t0.plan_cache_misses, 1);
         assert_eq!(t0.plan_cache_hits, 0);
 
-        let warm = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let warm = engine.estimate_mass(tree, &factors, &target, &query).unwrap();
         let t1 = engine.trace();
         assert_eq!(t1.plan_cache_hits, 1, "second identical query must hit the plan cache");
         assert_eq!(cold.to_bits(), warm.to_bits(), "plan-cache hit must be bit-identical");
@@ -1049,10 +1167,10 @@ mod tests {
         // Enable the marginal cache: first query materializes, second
         // skips execution entirely.
         engine.enable_marginal_cache(8);
-        let seeded = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let seeded = engine.estimate_mass(tree, &factors, &target, &query).unwrap();
         let t2 = engine.trace();
         assert!(t2.marginal_cache_misses >= 1);
-        let cached = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let cached = engine.estimate_mass(tree, &factors, &target, &query).unwrap();
         let t3 = engine.trace();
         assert!(t3.marginal_cache_hits >= 1, "repeat must hit the marginal cache: {t3:?}");
         assert_eq!(
@@ -1064,7 +1182,7 @@ mod tests {
 
         // Invalidation drops materialized marginals but keeps plans.
         engine.invalidate_marginals();
-        let after = engine.estimate_mass(tree, &factors, &target, &ranges).unwrap();
+        let after = engine.estimate_mass(tree, &factors, &target, &query).unwrap();
         assert_eq!(after.to_bits(), cold.to_bits());
         let t4 = engine.trace();
         assert_eq!(t4.plan_cache_misses, 1, "plans survive marginal invalidation");
@@ -1090,7 +1208,8 @@ mod tests {
             .collect();
         for q in &workload {
             let target = AttrSet::from_ids(q.iter().map(|r| r.0));
-            engine.estimate_mass(tree, &factors, &target, q).unwrap();
+            let query = Query::from(q.as_slice());
+            engine.estimate_mass(tree, &factors, &target, &query).unwrap();
         }
         let t = engine.trace();
         assert_eq!(t.factor_clones, 0, "identity workload must not clone factors: {t:?}");
@@ -1122,6 +1241,58 @@ mod tests {
     }
 
     #[test]
+    fn engine_kernel_path_is_bit_identical_and_skips_plan_execution() {
+        use dbhist_histogram::mhist::MhistBuilder;
+        use dbhist_histogram::{SplitCriterion, SplitTree};
+        let rel = relation();
+        let m = model(&rel);
+        let tree = m.junction_tree();
+        let factors: Vec<SplitTree> = m
+            .cliques()
+            .iter()
+            .map(|c| {
+                MhistBuilder::build(&rel.marginal(c).unwrap(), 32, SplitCriterion::MaxDiff).unwrap()
+            })
+            .collect();
+        let engine: QueryEngine<SplitTree> = QueryEngine::new(tree);
+        let target = AttrSet::from_ids([0, 2, 4]);
+        let query = Query::range(0, 0, 2).and(2, 1, 3).and(4, 0, 1);
+
+        let cold = engine.estimate_mass(tree, &factors, &target, &query).unwrap();
+        let t0 = engine.trace();
+        assert_eq!(t0.kernel_hits, 0);
+        assert!(t0.kernel_lowered_dense + t0.kernel_lowered_sparse >= 1, "{t0:?}");
+        assert_eq!(t0.kernel_fallbacks, 0, "split trees always lower: {t0:?}");
+
+        let warm = engine.estimate_mass(tree, &factors, &target, &query).unwrap();
+        let t1 = engine.trace();
+        assert_eq!(t1.kernel_hits, 1, "repeat shape must hit the kernel: {t1:?}");
+        assert_eq!(t1.clique_loads, t0.clique_loads, "kernel hit must not touch factors");
+        assert_eq!(warm.to_bits(), cold.to_bits(), "kernel hit must be bit-identical");
+
+        // A *different* query over the same shape rides the kernel and
+        // still matches direct plan execution bit-for-bit.
+        let query2 = Query::range(0, 1, 3).and(2, 0, 2).and(4, 1, 2);
+        let via_kernel = engine.estimate_mass(tree, &factors, &target, &query2).unwrap();
+        let views = tree.rooted_views();
+        let plan = MassPlan::compile(tree, &views, &target).unwrap();
+        let mut trace = QueryTrace::default();
+        let direct = execute_mass(&plan, &factors, &query2, &mut trace).unwrap();
+        assert_eq!(via_kernel.to_bits(), direct.to_bits());
+
+        // Invalidation drops kernels; the next query re-lowers.
+        engine.invalidate_marginals();
+        let again = engine.estimate_mass(tree, &factors, &target, &query).unwrap();
+        assert_eq!(again.to_bits(), cold.to_bits());
+        let t2 = engine.trace();
+        assert!(
+            t2.kernel_lowered_dense + t2.kernel_lowered_sparse
+                > t1.kernel_lowered_dense + t1.kernel_lowered_sparse,
+            "invalidation must force a re-lowering: {t2:?}"
+        );
+    }
+
+    #[test]
     fn engine_is_callable_from_many_threads_through_shared_ref() {
         let rel = relation();
         let m = model(&rel);
@@ -1140,7 +1311,7 @@ mod tests {
             .iter()
             .map(|q| {
                 let target = AttrSet::from_ids(q.iter().map(|r| r.0));
-                engine.estimate_mass(tree, &factors, &target, q).unwrap()
+                engine.estimate_mass(tree, &factors, &target, &Query::from(q.as_slice())).unwrap()
             })
             .collect();
         // Four threads hammer the same engine through `&self`; every
@@ -1156,7 +1327,8 @@ mod tests {
                         let i = round % queries.len();
                         let q = &queries[i];
                         let target = AttrSet::from_ids(q.iter().map(|r| r.0));
-                        let got = engine.estimate_mass(tree, factors, &target, q).unwrap();
+                        let query = Query::from(q.as_slice());
+                        let got = engine.estimate_mass(tree, factors, &target, &query).unwrap();
                         assert_eq!(got.to_bits(), expected[i].to_bits(), "query {i}");
                     }
                 });

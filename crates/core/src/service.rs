@@ -41,7 +41,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use dbhist_distribution::{AttrId, Relation};
+use dbhist_distribution::Relation;
 use dbhist_telemetry::registry::{Counter, HistogramSnapshot, LatencyHistogram};
 use dbhist_telemetry::wellknown::wellknown;
 
@@ -49,6 +49,7 @@ use crate::builder::{Synopsis, SynopsisBuilder};
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
 use crate::maintenance::MaintainedDbHistogram;
+use crate::query::Query;
 use crate::sharded::lock;
 
 /// Configuration for [`EstimatorService::start`].
@@ -128,7 +129,7 @@ struct ServiceMetrics {
 }
 
 struct Job {
-    queries: Vec<Vec<(AttrId, u32, u32)>>,
+    queries: Vec<Query>,
     enqueued: Instant,
     reply: mpsc::Sender<BatchReply>,
 }
@@ -209,11 +210,12 @@ impl EstimatorService {
         lock(&self.shared.queue).len()
     }
 
-    /// Submits a batch of conjunctive range predicates; returns a ticket
+    /// Submits a batch of typed [`Query`] values; returns a ticket
     /// redeemable for the [`BatchReply`]. Empty batches are answered
-    /// immediately by a worker with an empty estimate list.
+    /// immediately by a worker with an empty estimate list. Raw range
+    /// triples convert via `Query::from(&ranges[..])`.
     #[must_use]
-    pub fn submit(&self, queries: Vec<Vec<(AttrId, u32, u32)>>) -> BatchTicket {
+    pub fn submit(&self, queries: Vec<Query>) -> BatchTicket {
         let (tx, rx) = mpsc::channel();
         let n = u64::try_from(queries.len()).unwrap_or(u64::MAX);
         self.shared.metrics.requests.add(n);
@@ -233,10 +235,7 @@ impl EstimatorService {
     /// # Errors
     ///
     /// Returns an error only if the service is torn down mid-request.
-    pub fn estimate_batch(
-        &self,
-        queries: Vec<Vec<(AttrId, u32, u32)>>,
-    ) -> Result<BatchReply, SynopsisError> {
+    pub fn estimate_batch(&self, queries: Vec<Query>) -> Result<BatchReply, SynopsisError> {
         self.submit(queries).wait().ok_or_else(|| SynopsisError::InvalidConfig {
             parameter: "service",
             reason: "estimator service shut down before answering".to_string(),
@@ -384,12 +383,12 @@ mod tests {
         SynopsisBuilder::new(&relation(seed)).budget(budget).build().unwrap()
     }
 
-    fn queries() -> Vec<Vec<(AttrId, u32, u32)>> {
+    fn queries() -> Vec<Query> {
         vec![
-            vec![(0, 0, 3)],
-            vec![(0, 0, 3), (2, 1, 1)],
-            vec![(1, 2, 5), (2, 0, 2)],
-            vec![(0, 1, 6), (1, 0, 7), (2, 0, 3)],
+            Query::range(0, 0, 3),
+            Query::range(0, 0, 3).eq(2, 1),
+            Query::range(1, 2, 5).and(2, 0, 2),
+            Query::range(0, 1, 6).and(1, 0, 7).and(2, 0, 3),
         ]
     }
 

@@ -22,7 +22,7 @@
 
 use std::time::Duration;
 
-use dbhist_distribution::{AttrId, AttrSet, Distribution, Relation};
+use dbhist_distribution::{AttrSet, Distribution, Relation};
 use dbhist_histogram::{GridHistogram, SplitCriterion, SplitTree};
 use dbhist_model::selection::{ForwardSelector, SelectionConfig, SelectionResult};
 use dbhist_model::DecomposableModel;
@@ -40,6 +40,7 @@ use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
 use crate::factor::{ExactFactor, Factor};
 use crate::plan::{QueryEngine, QueryTrace};
+use crate::query::Query;
 
 /// How the storage budget is distributed across clique histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,8 +123,9 @@ impl<F: Factor> DbHistogram<F> {
 
     /// Mutable access for incremental maintenance (crate-internal: bucket
     /// counts may move, but the factor set must stay aligned with the
-    /// model's cliques). Invalidates cached materialized marginals —
-    /// compiled plans survive, they depend only on the model structure.
+    /// model's cliques). Invalidates cached materialized marginals and
+    /// lowered kernels — compiled plans survive, they depend only on the
+    /// model structure.
     pub(crate) fn factors_mut(&mut self) -> &mut [F] {
         self.engine.invalidate_marginals();
         &mut self.factors
@@ -187,9 +189,10 @@ impl<F: Factor> DbHistogram<F> {
     /// # Errors
     ///
     /// Propagates factor-operation failures.
-    pub fn try_estimate(&self, ranges: &[(AttrId, u32, u32)]) -> Result<f64, SynopsisError> {
+    pub fn try_estimate(&self, query: &Query) -> Result<f64, SynopsisError> {
         let attrs = AttrSet::from_ids(
-            ranges
+            query
+                .ranges()
                 .iter()
                 .map(|&(a, _, _)| a)
                 .filter(|&a| usize::from(a) < self.model.schema().arity()),
@@ -198,7 +201,7 @@ impl<F: Factor> DbHistogram<F> {
             // No constrained attribute: the estimate is the table size.
             return Ok(self.factors.first().map_or(0.0, Factor::total));
         }
-        self.engine.estimate_mass(self.model.junction_tree(), &self.factors, &attrs, ranges)
+        self.engine.estimate_mass(self.model.junction_tree(), &self.factors, &attrs, query)
     }
 
     /// Feeds an observed cardinality back into the synopsis's
@@ -210,14 +213,15 @@ impl<F: Factor> DbHistogram<F> {
     /// Non-positive or non-finite `actual` values are ignored (relative
     /// error is undefined at zero), as are queries the synopsis cannot
     /// estimate.
-    pub fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
+    pub fn record_feedback(&self, query: &Query, actual: f64) {
         if actual <= 0.0 || !actual.is_finite() {
             return;
         }
-        let Ok(est) = self.try_estimate(ranges) else { return };
+        let Ok(est) = self.try_estimate(query) else { return };
         let err = dbhist_data::metrics::relative_error(est, actual);
         let attrs = AttrSet::from_ids(
-            ranges
+            query
+                .ranges()
                 .iter()
                 .map(|&(a, _, _)| a)
                 .filter(|&a| usize::from(a) < self.model.schema().arity()),
@@ -262,13 +266,13 @@ impl<F: Factor> DbHistogram<F> {
 }
 
 impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
-    fn estimate(&self, ranges: &[(AttrId, u32, u32)]) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         // The trait signature is infallible; a failure here means the
         // synopsis is structurally corrupt, and aborting beats silently
         // returning garbage estimates. Fallible callers should prefer
         // `try_estimate`.
         #[allow(clippy::expect_used)]
-        self.try_estimate(ranges)
+        self.try_estimate(query)
             // lint:allow-next-line(panic-surface): infallible trait contract; corrupt synopsis must not yield silent garbage
             .expect("DB-histogram estimation failed on a structurally valid synopsis")
     }
@@ -293,8 +297,8 @@ impl<F: Factor> SelectivityEstimator for DbHistogram<F> {
         Some(self.trace.clone())
     }
 
-    fn record_feedback(&self, ranges: &[(AttrId, u32, u32)], actual: f64) {
-        DbHistogram::record_feedback(self, ranges, actual);
+    fn record_feedback(&self, query: &Query, actual: f64) {
+        DbHistogram::record_feedback(self, query, actual);
     }
 
     fn feedback_drift(&self) -> Option<f64> {
@@ -460,9 +464,8 @@ where
     Ok(DbHistogram { model, factors, bytes, name: "DB".into(), engine, trace, drift })
 }
 
-/// Non-deprecated internal entry for MHIST synopses; the deprecated
-/// `DbHistogram::build_mhist` shim, [`crate::builder::SynopsisBuilder`],
-/// and incremental maintenance all funnel through here.
+/// Internal entry for MHIST synopses; [`crate::builder::SynopsisBuilder`]
+/// and incremental maintenance funnel through here.
 pub(crate) fn build_mhist_pipeline(
     relation: &Relation,
     config: &DbConfig,
@@ -477,7 +480,7 @@ pub(crate) fn build_mhist_pipeline(
     Ok(synopsis)
 }
 
-/// Non-deprecated internal entry for grid synopses.
+/// Internal entry for grid synopses.
 pub(crate) fn build_grid_pipeline(
     relation: &Relation,
     config: &DbConfig,
@@ -489,7 +492,7 @@ pub(crate) fn build_grid_pipeline(
     Ok(synopsis)
 }
 
-/// Non-deprecated internal entry for wavelet synopses.
+/// Internal entry for wavelet synopses.
 pub(crate) fn build_wavelet_pipeline(
     relation: &Relation,
     config: &DbConfig,
@@ -502,21 +505,6 @@ pub(crate) fn build_wavelet_pipeline(
 }
 
 impl DbHistogram<SplitTree> {
-    /// Builds a DB histogram with MHIST split-tree clique histograms —
-    /// the paper's flagship configuration.
-    ///
-    /// # Errors
-    ///
-    /// Fails on invalid configuration, impossible budgets, or degenerate
-    /// inputs (empty relation).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SynopsisBuilder::new(relation).budget(b).build_mhist() instead"
-    )]
-    pub fn build_mhist(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
-        build_mhist_pipeline(relation, &config)
-    }
-
     /// Builds MHIST clique histograms for an externally selected model
     /// (used by experiments that sweep model complexity).
     ///
@@ -531,40 +519,6 @@ impl DbHistogram<SplitTree> {
         build_for_model(relation, model, &config, |marginal| {
             MhistCliqueBuilder::start(marginal, config.criterion)
         })
-    }
-}
-
-impl DbHistogram<crate::wavelet_factor::WaveletFactor> {
-    /// Builds a DEPENDENCY-BASED **wavelet** synopsis: clique marginals
-    /// are compressed with truncated Haar decompositions instead of
-    /// histograms — the extension the paper's conclusions propose.
-    ///
-    /// # Errors
-    ///
-    /// Fails on invalid configuration, impossible budgets, or clique
-    /// state spaces beyond the wavelet cell cap.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SynopsisBuilder::new(relation).budget(b).factor(FactorKind::Wavelet).build() instead"
-    )]
-    pub fn build_wavelet(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
-        build_wavelet_pipeline(relation, &config)
-    }
-}
-
-impl DbHistogram<GridHistogram> {
-    /// Builds a DB histogram with grid clique histograms.
-    ///
-    /// # Errors
-    ///
-    /// Fails on invalid configuration, impossible budgets, or degenerate
-    /// inputs.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SynopsisBuilder::new(relation).budget(b).factor(FactorKind::Grid).build() instead"
-    )]
-    pub fn build_grid(relation: &Relation, config: DbConfig) -> Result<Self, SynopsisError> {
-        build_grid_pipeline(relation, &config)
     }
 }
 
@@ -634,13 +588,15 @@ mod tests {
         // diagonal are MHIST's worst case (intra-bucket uniformity spreads
         // mass over the box), so — like the paper — we evaluate range
         // queries, where the spreading averages out.
-        let est = db.estimate(&[(0, 0, 3), (1, 0, 3)]);
-        let exact = rel.count_range(&[(0, 0, 3), (1, 0, 3)]) as f64;
+        let q = Query::range(0, 0, 3).and(1, 0, 3);
+        let est = db.estimate(&q);
+        let exact = rel.count_range(q.ranges()) as f64;
         assert!(exact > 0.0);
         assert!((est - exact).abs() / exact < 0.6, "est {est} vs exact {exact}");
         // Cross-clique query (a with c) goes through the junction tree.
-        let est = db.estimate(&[(0, 0, 3), (2, 1, 1)]);
-        let exact = rel.count_range(&[(0, 0, 3), (2, 1, 1)]) as f64;
+        let q = Query::range(0, 0, 3).eq(2, 1);
+        let est = db.estimate(&q);
+        let exact = rel.count_range(q.ranges()) as f64;
         assert!((est - exact).abs() / exact < 0.5, "est {est} vs exact {exact}");
     }
 
@@ -648,9 +604,9 @@ mod tests {
     fn empty_predicate_estimates_table_size() {
         let rel = relation();
         let db = SynopsisBuilder::new(&rel).budget(300).threads(1).build_mhist().unwrap();
-        assert!((db.estimate(&[]) - 4096.0).abs() < 1e-6);
+        assert!((db.estimate(&Query::all()) - 4096.0).abs() < 1e-6);
         // Unknown attributes are ignored, falling back to N.
-        assert!((db.estimate(&[(99, 0, 1)]) - 4096.0).abs() < 1e-6);
+        assert!((db.estimate(&Query::range(99, 0, 1)) - 4096.0).abs() < 1e-6);
     }
 
     #[test]
@@ -673,7 +629,7 @@ mod tests {
         let rel = relation();
         let db = SynopsisBuilder::new(&rel).budget(300).threads(1).build_grid().unwrap();
         assert!(db.storage_bytes() <= 300);
-        let est = db.estimate(&[(2, 0, 1)]);
+        let est = db.estimate(&Query::range(2, 0, 1));
         let exact = rel.count_range(&[(2, 0, 1)]) as f64;
         assert!((est - exact).abs() / exact < 0.3);
     }
@@ -693,7 +649,7 @@ mod tests {
             vec![(0, 0, 3), (2, 1, 1)],
             vec![(1, 4, 7), (2, 0, 2)],
         ] {
-            let est = db.estimate(&ranges);
+            let est = db.estimate(&Query::from(ranges.clone()));
             let exact = rel.count_range(&ranges) as f64;
             assert!((est - exact).abs() < 1e-6 * (1.0 + exact), "{ranges:?}: {est} vs {exact}");
         }
@@ -706,46 +662,34 @@ mod tests {
         assert!(db.storage_bytes() <= 400);
         assert_eq!(db.name(), "DB-wavelet");
         assert!(db.model().graph().has_edge(0, 1));
-        let est = db.estimate(&[(0, 0, 3), (2, 1, 1)]);
-        let exact = rel.count_range(&[(0, 0, 3), (2, 1, 1)]) as f64;
+        let q = Query::range(0, 0, 3).eq(2, 1);
+        let est = db.estimate(&q);
+        let exact = rel.count_range(q.ranges()) as f64;
         assert!((est - exact).abs() / exact < 0.5, "est {est} vs exact {exact}");
     }
 
     #[test]
-    fn repeated_workload_hits_plan_cache_without_clones() {
+    fn repeated_workload_rides_the_kernel_without_clones() {
         let rel = relation();
         let db = SynopsisBuilder::new(&rel).budget(400).threads(1).build_mhist().unwrap();
         db.reset_query_trace();
         // Eight queries, one attribute-set shape {a, b} — a single clique
-        // of the discovered model. The first compiles a plan; the rest hit
-        // the cache. Execution borrows the stored clique factor, so the
-        // whole workload performs zero factor clones.
+        // of the discovered model. The first compiles a plan and lowers a
+        // kernel; the rest skip plans and factors entirely. No query
+        // clones a stored factor.
         for i in 0..8u32 {
-            db.try_estimate(&[(0, 0, 3), (1, i % 8, 7)]).unwrap();
+            db.try_estimate(&Query::range(0, 0, 3).and(1, i % 8, 7)).unwrap();
         }
         let t = db.query_trace();
         assert_eq!(t.plan_cache_misses, 1, "{t:?}");
-        assert_eq!(t.plan_cache_hits, 7, "{t:?}");
+        assert_eq!(t.kernel_hits, 7, "repeats must ride the lowered kernel: {t:?}");
+        assert!(t.kernel_lowered_dense + t.kernel_lowered_sparse >= 1, "{t:?}");
         assert_eq!(t.factor_clones, 0, "estimation must not clone stored factors: {t:?}");
-        assert!(db.query_trace().clique_loads >= 8);
+        assert!(t.clique_loads >= 1);
         db.reset_query_trace();
         assert_eq!(db.query_trace(), crate::plan::QueryTrace::default());
         // The estimator trait exposes the same counters.
         assert_eq!(db.query_trace(), SelectivityEstimator::query_trace(&db).unwrap());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder_output() {
-        // The legacy entry points must keep working (and agree with the
-        // builder) until downstream callers finish migrating.
-        let rel = relation();
-        let via_shim = DbHistogram::build_mhist(&rel, DbConfig::new(300)).unwrap();
-        let via_builder = SynopsisBuilder::new(&rel).budget(300).threads(1).build_mhist().unwrap();
-        assert_eq!(via_shim.model().graph(), via_builder.model().graph());
-        assert_eq!(via_shim.storage_bytes(), via_builder.storage_bytes());
-        assert!(DbHistogram::build_grid(&rel, DbConfig::new(300)).is_ok());
-        assert!(DbHistogram::build_wavelet(&rel, DbConfig::new(400)).is_ok());
     }
 
     #[test]
@@ -769,7 +713,7 @@ mod tests {
                 .iter()
                 .map(|q| {
                     let exact = rel.count_range(q) as f64;
-                    let est = db.estimate(q);
+                    let est = db.estimate(&Query::from(q.as_slice()));
                     if exact > 0.0 {
                         (est - exact).abs() / exact
                     } else {

@@ -27,6 +27,10 @@ pub struct WellKnown {
     pub query_plan_cache_misses: Arc<Counter>,
     pub query_marginal_cache_hits: Arc<Counter>,
     pub query_marginal_cache_misses: Arc<Counter>,
+    pub query_kernel_hits: Arc<Counter>,
+    pub query_kernel_lowered_dense: Arc<Counter>,
+    pub query_kernel_lowered_sparse: Arc<Counter>,
+    pub query_kernel_fallbacks: Arc<Counter>,
     /// Wall-clock nanoseconds per `estimate_mass` / `marginal` call.
     pub query_latency: Arc<LatencyHistogram>,
 
@@ -83,6 +87,10 @@ pub fn wellknown() -> &'static WellKnown {
             query_plan_cache_misses: r.counter("dbhist_query_plan_cache_misses_total"),
             query_marginal_cache_hits: r.counter("dbhist_query_marginal_cache_hits_total"),
             query_marginal_cache_misses: r.counter("dbhist_query_marginal_cache_misses_total"),
+            query_kernel_hits: r.counter("dbhist_query_kernel_hits_total"),
+            query_kernel_lowered_dense: r.counter("dbhist_query_kernel_lowered_dense_total"),
+            query_kernel_lowered_sparse: r.counter("dbhist_query_kernel_lowered_sparse_total"),
+            query_kernel_fallbacks: r.counter("dbhist_query_kernel_fallbacks_total"),
             query_latency: r.histogram("dbhist_query_estimate_latency_ns"),
             build_selection_rounds: r.counter("dbhist_build_selection_rounds_total"),
             build_splits_funded: r.counter("dbhist_build_splits_funded_total"),
@@ -124,6 +132,10 @@ mod tests {
         for name in [
             "dbhist_query_estimates_total",
             "dbhist_query_plan_cache_hits_total",
+            "dbhist_query_kernel_hits_total",
+            "dbhist_query_kernel_lowered_dense_total",
+            "dbhist_query_kernel_lowered_sparse_total",
+            "dbhist_query_kernel_fallbacks_total",
             "dbhist_query_estimate_latency_ns",
             "dbhist_build_selection_rounds_total",
             "dbhist_build_splits_funded_total",

@@ -13,7 +13,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
 use dbhist::core::baselines::{IndEstimator, MhistEstimator};
-use dbhist::core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist::core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist::data::census::{self, attrs};
 use dbhist::data::metrics::{multiplicative_error, relative_error};
 use dbhist::histogram::SplitCriterion;
@@ -66,13 +66,14 @@ fn main() {
     ];
 
     for (label, ranges) in queries {
+        let query = Query::from(ranges);
         let t = Instant::now();
-        let exact = rel.count_range(&ranges) as f64;
+        let exact = rel.count_range(query.ranges()) as f64;
         let scan_time = t.elapsed();
         println!("\nQ: {label}\n   exact {exact:.0} (full scan {scan_time:?})");
         for est in &estimators {
             let t = Instant::now();
-            let answer = est.estimate(&ranges);
+            let answer = est.estimate(&query);
             let elapsed = t.elapsed();
             println!(
                 "   {:<6} ≈ {answer:>9.0}  rel.err {:.3}  mult.err {:.2}  ({elapsed:?})",

@@ -13,7 +13,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
 use dbhist::core::baselines::IndEstimator;
-use dbhist::core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist::core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist::data::census::{self, attrs};
 use dbhist::histogram::SplitCriterion;
 
@@ -48,7 +48,7 @@ fn plan_order(
             .map(|(i, &p)| {
                 let mut trial: Vec<_> = result.clone();
                 trial.push(p);
-                (i, estimator.estimate(&trial))
+                (i, estimator.estimate(&Query::from(trial)))
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .expect("non-empty");
@@ -80,7 +80,7 @@ fn main() {
     for (name, est) in [("DB2", &db as &dyn SelectivityEstimator), ("IND", &ind)] {
         let order = plan_order(est, &predicates);
         let cost = pipeline_cost(&rel, &order);
-        let joint = est.estimate(&predicates);
+        let joint = est.estimate(&Query::from(predicates));
         println!(
             "{name:<5} estimated joint count {joint:>9.0} | plan {:?} | pipeline cost {cost}",
             order.iter().map(|&(a, _, _)| a).collect::<Vec<_>>()

@@ -7,7 +7,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
 
-use dbhist::core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist::core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist::data::census;
 
 fn main() {
@@ -32,27 +32,27 @@ fn main() {
             / (relation.row_count() * relation.schema().arity() * 4) as f64
     );
 
-    // 3. Estimate some selectivities and compare with the exact answers.
-    type Predicate = Vec<(u16, u32, u32)>;
-    let queries: Vec<(&str, Predicate)> = vec![
-        ("country = home", vec![(census::attrs::COUNTRY, 0, 0)]),
+    // 3. Estimate some selectivities with typed queries and compare
+    //    with the exact answers.
+    let queries: Vec<(&str, Query)> = vec![
+        ("country = home", Query::equals(census::attrs::COUNTRY, 0)),
         (
             "country = home AND mother = home",
-            vec![(census::attrs::COUNTRY, 0, 0), (census::attrs::MOTHER_COUNTRY, 0, 0)],
+            Query::equals(census::attrs::COUNTRY, 0).eq(census::attrs::MOTHER_COUNTRY, 0),
         ),
         (
             "immigrant families (country in 1..40, mother in 1..40)",
-            vec![(census::attrs::COUNTRY, 1, 40), (census::attrs::MOTHER_COUNTRY, 1, 40)],
+            Query::range(census::attrs::COUNTRY, 1, 40).and(census::attrs::MOTHER_COUNTRY, 1, 40),
         ),
         (
             "citizens aged 30-50",
-            vec![(census::attrs::CITIZENSHIP, 0, 0), (census::attrs::AGE, 30, 50)],
+            Query::equals(census::attrs::CITIZENSHIP, 0).and(census::attrs::AGE, 30, 50),
         ),
     ];
     println!("\n{:<55} {:>10} {:>10} {:>8}", "predicate", "estimate", "exact", "rel.err");
-    for (label, ranges) in queries {
-        let estimate = db.estimate(&ranges);
-        let exact = relation.count_range(&ranges) as f64;
+    for (label, query) in queries {
+        let estimate = db.estimate(&query);
+        let exact = relation.count_range(query.ranges()) as f64;
         let err = if exact > 0.0 { (estimate - exact).abs() / exact } else { estimate };
         println!("{label:<55} {estimate:>10.0} {exact:>10.0} {err:>8.3}");
     }

@@ -14,16 +14,16 @@
 
 use dbhist::core::maintenance::MaintainedDbHistogram;
 use dbhist::core::synopsis::DbConfig;
-use dbhist::core::SelectivityEstimator;
+use dbhist::core::{Query, SelectivityEstimator};
 use dbhist::data::census::{self, attrs};
 use dbhist::distribution::Relation;
 
 fn report(m: &MaintainedDbHistogram, rel: &Relation, label: &str) {
     // Probe: immigrant persons with home-born mothers — sensitive to the
     // country/mother correlation the model encodes.
-    let probe = [(attrs::COUNTRY, 1u32, 112u32), (attrs::MOTHER_COUNTRY, 0u32, 0u32)];
+    let probe = Query::range(attrs::COUNTRY, 1, 112).eq(attrs::MOTHER_COUNTRY, 0);
     let est = m.estimate(&probe);
-    let exact = rel.count_range(&probe) as f64;
+    let exact = rel.count_range(probe.ranges()) as f64;
     let err = if exact > 0.0 { (est - exact).abs() / exact } else { est };
     println!(
         "{label:<28} rows {:>7.0} | staleness {:>5.2} drift {:>5.3} | probe est {est:>8.0} exact {exact:>8.0} (rel.err {err:.2})",

@@ -14,7 +14,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
 
 use dbhist::core::service::{EstimatorService, ServiceConfig};
-use dbhist::core::{SelectivityEstimator, Synopsis, SynopsisBuilder};
+use dbhist::core::{Query, SelectivityEstimator, Synopsis, SynopsisBuilder};
 use dbhist::distribution::{AttrId, Relation, Schema};
 use proptest::prelude::*;
 
@@ -48,12 +48,7 @@ fn random_relation(arity: usize, domain: u32, rows: usize, seed: u64) -> (Relati
 }
 
 /// Random conjunctive boxes over random attribute subsets.
-fn random_queries(
-    arity: usize,
-    domain: u32,
-    state: &mut u64,
-    count: usize,
-) -> Vec<Vec<(AttrId, u32, u32)>> {
+fn random_queries(arity: usize, domain: u32, state: &mut u64, count: usize) -> Vec<Query> {
     let mut queries = Vec::new();
     while queries.len() < count {
         let mask = xorshift(state) % (1u64 << arity);
@@ -68,7 +63,8 @@ fn random_queries(
                     let width = (xorshift(state) % u64::from(domain)) as u32;
                     (a, lo, (lo + width).min(domain - 1))
                 })
-                .collect(),
+                .collect::<Vec<_>>()
+                .into(),
         );
     }
     queries

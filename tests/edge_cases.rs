@@ -6,6 +6,7 @@ use dbhist::core::baselines::{IndEstimator, MhistEstimator};
 use dbhist::core::synopsis::DbHistogram;
 use dbhist::core::SelectivityEstimator;
 use dbhist::core::SynopsisBuilder;
+use dbhist::core::{Predicate, Query};
 use dbhist::distribution::{AttrSet, Relation, Schema};
 use dbhist::histogram::codec::decode_split_tree;
 use dbhist::histogram::mhist::MhistBuilder;
@@ -21,9 +22,9 @@ fn single_value_domains() {
     let rows: Vec<Vec<u32>> = (0..256u32).map(|i| vec![0, i % 8, 0]).collect();
     let rel = Relation::from_rows(schema, rows).unwrap();
     let db = SynopsisBuilder::new(&rel).budget(256).build_mhist().unwrap();
-    assert!((db.estimate(&[]) - 256.0).abs() < 1e-6);
-    assert!((db.estimate(&[(0, 0, 0)]) - 256.0).abs() < 1e-6);
-    let est = db.estimate(&[(1, 0, 3)]);
+    assert!((db.estimate(&Query::all()) - 256.0).abs() < 1e-6);
+    assert!((db.estimate(&Query::equals(0, 0)) - 256.0).abs() < 1e-6);
+    let est = db.estimate(&Query::range(1, 0, 3));
     assert!((est - 128.0).abs() < 32.0, "got {est}");
     // Constant attributes must not be "correlated" with anything.
     assert_eq!(db.model().edge_count(), 0, "{}", db.model().notation());
@@ -34,11 +35,11 @@ fn single_row_relation() {
     let schema = Schema::new(vec![("a", 4), ("b", 4)]).unwrap();
     let rel = Relation::from_rows(schema, vec![vec![2, 3]]).unwrap();
     let db = SynopsisBuilder::new(&rel).budget(128).build_mhist().unwrap();
-    assert!((db.estimate(&[]) - 1.0).abs() < 1e-9);
-    let hit = db.estimate(&[(0, 2, 2), (1, 3, 3)]);
+    assert!((db.estimate(&Query::all()) - 1.0).abs() < 1e-9);
+    let hit = db.estimate(&Query::equals(0, 2).eq(1, 3));
     assert!(hit > 0.0);
     let ind = IndEstimator::build(&rel, 128, SplitCriterion::MaxDiff).unwrap();
-    assert!((ind.estimate(&[]) - 1.0).abs() < 1e-9);
+    assert!((ind.estimate(&Query::all()) - 1.0).abs() < 1e-9);
 }
 
 #[test]
@@ -48,10 +49,10 @@ fn all_identical_rows() {
     let db = SynopsisBuilder::new(&rel).budget(256).build_mhist().unwrap();
     // The single populated cell must be answered well: gap trimming
     // isolates it exactly.
-    let est = db.estimate(&[(0, 7, 7), (1, 7, 7)]);
+    let est = db.estimate(&Query::equals(0, 7).eq(1, 7));
     assert!((est - 500.0).abs() / 500.0 < 0.05, "got {est}");
     // Far-away boxes are empty.
-    assert!(db.estimate(&[(0, 0, 3)]) < 1.0);
+    assert!(db.estimate(&Query::range(0, 0, 3)) < 1.0);
 }
 
 #[test]
@@ -79,7 +80,8 @@ fn estimates_never_negative_or_nan() {
     for a in (0..16).step_by(3) {
         for c in 0..6 {
             let ranges = [(0u16, a, a + 2), (2u16, c, c)];
-            for est in [db.estimate(&ranges), mh.estimate(&ranges), ind.estimate(&ranges)] {
+            let query = Query::from(ranges);
+            for est in [db.estimate(&query), mh.estimate(&query), ind.estimate(&query)] {
                 assert!(est.is_finite(), "{ranges:?} -> {est}");
                 assert!(est >= 0.0, "{ranges:?} -> {est}");
             }
@@ -94,7 +96,7 @@ fn empty_range_queries_are_zero() {
     let rel = Relation::from_rows(schema, rows).unwrap();
     let db = SynopsisBuilder::new(&rel).budget(256).build_mhist().unwrap();
     // Contradictory constraints on the same attribute.
-    assert_eq!(db.estimate(&[(0, 0, 2), (0, 5, 7)]), 0.0);
+    assert_eq!(db.estimate(&Query::range(0, 0, 2).with(Predicate::range(0, 5, 7))), 0.0);
 }
 
 proptest! {
@@ -149,7 +151,7 @@ proptest! {
         .model;
         let db = DbHistogram::exact_for_model(&rel, model).unwrap();
         let ranges = [(0u16, 1u32, 4u32), (2u16, 0u32, 2u32), (3u16, 1u32, 3u32)];
-        let fast = db.estimate(&ranges);
+        let fast = db.estimate(&Query::from(ranges));
         let attrs = AttrSet::from_ids([0, 2, 3]);
         let marginal = db.marginal(&attrs).unwrap();
         use dbhist::core::Factor as _;

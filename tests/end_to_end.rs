@@ -4,8 +4,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
 
 use dbhist::core::baselines::{IndEstimator, MhistEstimator, SamplingEstimator};
-use dbhist::core::SelectivityEstimator;
-use dbhist::core::SynopsisBuilder;
+use dbhist::core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist::data::census::{self, attrs};
 use dbhist::data::metrics::ErrorSummary;
 use dbhist::data::workload::{Workload, WorkloadConfig};
@@ -24,7 +23,7 @@ fn full_pipeline_produces_reasonable_estimates() {
         WorkloadConfig { dimensionality: 2, queries: 30, min_count: 100, seed: 4 },
     );
     assert!(!workload.is_empty());
-    let summary = ErrorSummary::evaluate(&workload, |r| db.estimate(r));
+    let summary = ErrorSummary::evaluate(&workload, |r| db.estimate(&Query::from(r)));
     // The paper reports <50% average relative error on real data; allow
     // slack for the reduced scale.
     assert!(summary.mean_relative < 1.0, "rel err {}", summary.mean_relative);
@@ -59,8 +58,8 @@ fn db_beats_ind_on_correlated_multidim_queries() {
         &rel,
         WorkloadConfig { dimensionality: 3, queries: 30, min_count: 100, seed: 8 },
     );
-    let db_sum = ErrorSummary::evaluate(&workload, |r| db.estimate(r));
-    let ind_sum = ErrorSummary::evaluate(&workload, |r| ind.estimate(r));
+    let db_sum = ErrorSummary::evaluate(&workload, |r| db.estimate(&Query::from(r)));
+    let ind_sum = ErrorSummary::evaluate(&workload, |r| ind.estimate(&Query::from(r)));
     // The paper's headline: on multiplicative error, the DB histogram wins
     // on multi-dimensional workloads (IND systematically underestimates).
     assert!(
@@ -86,7 +85,7 @@ fn all_estimators_satisfy_storage_budget() {
         );
         // Whole-table estimate is close to N for everyone.
         let n = rel.row_count() as f64;
-        let whole = est.estimate(&[]);
+        let whole = est.estimate(&Query::all());
         assert!((whole - n).abs() / n < 0.01, "{}: {whole} vs {n}", est.name());
     }
 }
@@ -98,7 +97,8 @@ fn grid_and_mhist_db_histograms_agree_roughly() {
     let grid_db = SynopsisBuilder::new(&rel).budget(2 * 1024).build_grid().unwrap();
     let ranges = [(attrs::COUNTRY, 0u32, 0u32), (attrs::AGE, 20u32, 60u32)];
     let exact = rel.count_range(&ranges) as f64;
-    for est in [mhist_db.estimate(&ranges), grid_db.estimate(&ranges)] {
+    let query = Query::from(ranges);
+    for est in [mhist_db.estimate(&query), grid_db.estimate(&query)] {
         assert!((est - exact).abs() / exact < 0.75, "estimate {est} too far from exact {exact}");
     }
 }
@@ -108,7 +108,7 @@ fn estimates_are_deterministic() {
     let rel = census_small();
     let a = SynopsisBuilder::new(&rel).budget(1024).build_mhist().unwrap();
     let b = SynopsisBuilder::new(&rel).budget(1024).build_mhist().unwrap();
-    let ranges = [(attrs::COUNTRY, 0u32, 10u32), (attrs::RACE, 0u32, 1u32)];
-    assert_eq!(a.estimate(&ranges), b.estimate(&ranges));
+    let query = Query::range(attrs::COUNTRY, 0, 10).and(attrs::RACE, 0, 1);
+    assert_eq!(a.estimate(&query), b.estimate(&query));
     assert_eq!(a.model().notation(), b.model().notation());
 }

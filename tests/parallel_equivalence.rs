@@ -106,8 +106,9 @@ fn assert_synopses_identical(
         _ => panic!("factor kinds diverged"),
     }
     for ranges in queries {
-        let a = serial.try_estimate(ranges).unwrap();
-        let b = parallel.try_estimate(ranges).unwrap();
+        let query = dbhist::core::Query::from(ranges.as_slice());
+        let a = serial.try_estimate(&query).unwrap();
+        let b = parallel.try_estimate(&query).unwrap();
         assert_eq!(a.to_bits(), b.to_bits(), "ranges {ranges:?}: {a} vs {b}");
     }
 }

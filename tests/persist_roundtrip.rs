@@ -130,6 +130,7 @@ proptest! {
         prop_assert_eq!(loaded.model().cliques(), built.model().cliques());
 
         for q in workload(&rel) {
+            let q = dbhist::core::Query::from(q);
             let a = built.estimate(&q);
             let b = loaded.estimate(&q);
             prop_assert_eq!(

@@ -8,6 +8,11 @@
 //! approximate MHIST split trees alike, over randomized junction trees,
 //! factors, and query sets. Cached replays (plan cache and materialized
 //! marginal cache) must also be bit-identical to their cold runs.
+//!
+//! The dense kernel backend rides the same contract: lowered tree
+//! indices (dense or sparse layout), the engine's pooled scratch reuse
+//! across interleaved queries, and the O(log b) windowed range sums must
+//! all stay bit-identical to the recursive walks they replace.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
 
@@ -17,15 +22,16 @@ use dbhist::core::marginal::{
     estimate_mass_interpreted,
 };
 use dbhist::core::plan::QueryEngine;
+use dbhist::core::Query;
 use dbhist::distribution::{AttrId, AttrSet, Relation, Schema};
-use dbhist::histogram::mhist::MhistBuilder;
-use dbhist::histogram::SplitCriterion;
+use dbhist::histogram::mhist::{MhistBuilder, SPARSE_OCCUPANCY_THRESHOLD};
+use dbhist::histogram::{IndexLayout, OneDimHistogram, SplitCriterion, SplitTree, TreeIndex};
 use dbhist::model::chordal::addable_edge_separator;
 use dbhist::model::{DecomposableModel, MarkovGraph};
 use proptest::prelude::*;
 
 /// A query shape (target attributes) plus its conjunctive box.
-type BoxQuery = (AttrSet, Vec<(AttrId, u32, u32)>);
+type BoxQuery = (AttrSet, Query);
 
 fn xorshift(state: &mut u64) -> u64 {
     *state ^= *state << 13;
@@ -209,14 +215,15 @@ proptest! {
             .collect();
         for target in random_targets(arity, &mut state, 6) {
             let ranges = random_ranges(&target, domain, &mut state);
-            let planned = estimate_mass(tree, &factors, &target, &ranges).unwrap();
-            let interp = estimate_mass_interpreted(tree, &factors, &target, &ranges).unwrap();
+            let query = Query::from(ranges.as_slice());
+            let planned = estimate_mass(tree, &factors, &target, &query).unwrap();
+            let interp = estimate_mass_interpreted(tree, &factors, &target, &query).unwrap();
             prop_assert_eq!(
                 planned.to_bits(), interp.to_bits(),
                 "exact: target {} ranges {:?}: {} vs {}", &target, &ranges, planned, interp
             );
-            let planned_h = estimate_mass(tree, &hists, &target, &ranges).unwrap();
-            let interp_h = estimate_mass_interpreted(tree, &hists, &target, &ranges).unwrap();
+            let planned_h = estimate_mass(tree, &hists, &target, &query).unwrap();
+            let interp_h = estimate_mass_interpreted(tree, &hists, &target, &query).unwrap();
             prop_assert_eq!(
                 planned_h.to_bits(), interp_h.to_bits(),
                 "mhist: target {} ranges {:?}: {} vs {}", &target, &ranges, planned_h, interp_h
@@ -239,7 +246,7 @@ proptest! {
         let queries: Vec<BoxQuery> = random_targets(arity, &mut state, 5)
                 .into_iter()
                 .map(|t| {
-                    let r = random_ranges(&t, domain, &mut state);
+                    let r = Query::from(random_ranges(&t, domain, &mut state));
                     (t, r)
                 })
                 .collect();
@@ -277,6 +284,205 @@ proptest! {
         let (direct, _) = compute_marginal_interpreted(tree, &factors, t0).unwrap();
         for (k, v) in direct.0.iter() {
             prop_assert_eq!(via_engine.0.frequency(k).to_bits(), v.to_bits());
+        }
+    }
+
+    /// Lowered tree indices: the dense/sparse layout choice follows the
+    /// occupancy threshold (computed here independently from the source
+    /// tree's leaves), and both layouts answer `mass_in_box` bit-identical
+    /// to the recursive `SplitTree` walk — including when one scratch
+    /// buffer pair is reused across interleaved trees and queries.
+    #[test]
+    fn lowered_index_layout_and_mass_bit_identical(
+        arity in 1usize..=3,
+        domain in 4u32..=16,
+        rows in 10usize..=120,
+        buckets in 2usize..=24,
+        spiky in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let schema = Schema::new((0..arity).map(|i| (format!("a{i}"), domain))).unwrap();
+        // `spiky` concentrates mass on the two extreme values so gap
+        // buckets go to zero and the sparse layout gets exercised too.
+        let data: Vec<Vec<u32>> = (0..rows)
+            .map(|_| {
+                (0..arity)
+                    .map(|_| {
+                        if spiky {
+                            if xorshift(&mut state).is_multiple_of(2) { 0 } else { domain - 1 }
+                        } else {
+                            (xorshift(&mut state) % u64::from(domain)) as u32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let rel = Relation::from_rows(schema, data).unwrap();
+        let all = AttrSet::from_ids(0..arity as AttrId);
+        let tree = MhistBuilder::build(
+            &rel.marginal(&all).unwrap(), buckets, SplitCriterion::MaxDiff).unwrap();
+        let index = TreeIndex::lower(&tree).unwrap();
+
+        // Layout selection: recompute occupancy from the source tree.
+        let leaves = tree.leaves();
+        #[allow(clippy::cast_precision_loss)]
+        let occupancy =
+            leaves.iter().filter(|&&(_, f)| f != 0.0).count() as f64 / leaves.len() as f64;
+        let expected = if occupancy < SPARSE_OCCUPANCY_THRESHOLD {
+            IndexLayout::Sparse
+        } else {
+            IndexLayout::Dense
+        };
+        prop_assert_eq!(index.layout(), expected, "occupancy {}", occupancy);
+        prop_assert!((index.occupancy() - occupancy).abs() < 1e-12);
+        prop_assert_eq!(index.total().to_bits(), tree.total().to_bits());
+
+        // One scratch pair, reused across every query (and in the 2-attr
+        // case across a second lowered tree), stays bit-identical.
+        let other = MhistBuilder::build(
+            &rel.marginal(&AttrSet::singleton(0)).unwrap(),
+            buckets.min(4),
+            SplitCriterion::MaxDiff,
+        )
+        .unwrap();
+        let other_index = TreeIndex::lower(&other).unwrap();
+        let mut bounds = Vec::new();
+        let mut constraint = Vec::new();
+        for _ in 0..12 {
+            let ranges = random_ranges(&all, domain, &mut state);
+            let walked = tree.mass_in_box(&ranges);
+            let indexed = index.mass_in_box_with(&ranges, &mut bounds, &mut constraint);
+            prop_assert_eq!(
+                indexed.to_bits(), walked.to_bits(),
+                "{:?} on {:?}: {} vs {}", index.layout(), &ranges, indexed, walked
+            );
+            // Interleave a query against the other index through the SAME
+            // scratch buffers: reuse must not leak state between kernels.
+            let sub = &ranges[..1];
+            prop_assert_eq!(
+                other_index.mass_in_box_with(sub, &mut bounds, &mut constraint).to_bits(),
+                other.mass_in_box(sub).to_bits()
+            );
+        }
+    }
+
+    /// The engine's kernel path under an interleaved workload: queries
+    /// over several targets alternate for many rounds through one engine
+    /// (so the pooled scratch is checked out, reused, and returned across
+    /// different kernels), and every answer stays bit-identical to the
+    /// interpreter. Exact factors have no lowering and must fall back —
+    /// also bit-identically.
+    #[test]
+    fn kernel_scratch_reuse_across_interleaved_queries(
+        arity in 3usize..=5,
+        domain in 2u32..=6,
+        rows in 30usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let (rel, model, factors, mut state) = build_setup(arity, domain, rows, seed);
+        let tree = model.junction_tree();
+        let hists: Vec<_> = model
+            .cliques()
+            .iter()
+            .map(|c| {
+                MhistBuilder::build(&rel.marginal(c).unwrap(), 6, SplitCriterion::MaxDiff)
+                    .unwrap()
+            })
+            .collect();
+        let queries: Vec<BoxQuery> = random_targets(arity, &mut state, 4)
+            .into_iter()
+            .map(|t| {
+                let r = Query::from(random_ranges(&t, domain, &mut state));
+                (t, r)
+            })
+            .collect();
+
+        // Split-tree factors lower; the warm rounds ride the kernels.
+        let engine: QueryEngine<SplitTree> = QueryEngine::new(tree);
+        let mut rounds: Vec<Vec<u64>> = Vec::new();
+        for _ in 0..3 {
+            rounds.push(
+                queries
+                    .iter()
+                    .map(|(t, q)| engine.estimate_mass(tree, &hists, t, q).unwrap().to_bits())
+                    .collect(),
+            );
+        }
+        for (i, (t, q)) in queries.iter().enumerate() {
+            let interp = estimate_mass_interpreted(tree, &hists, t, q).unwrap();
+            for round in &rounds {
+                prop_assert_eq!(
+                    round[i], interp.to_bits(),
+                    "target {} diverged from the interpreter under interleaving", t
+                );
+            }
+        }
+        let trace = engine.trace();
+        prop_assert!(
+            trace.kernel_lowered_dense + trace.kernel_lowered_sparse >= 1,
+            "split-tree groups must lower: {:?}", trace
+        );
+        prop_assert!(
+            trace.kernel_hits >= queries.len(),
+            "warm rounds must ride the kernels: {:?}", trace
+        );
+        prop_assert_eq!(trace.kernel_fallbacks, 0, "{:?}", trace);
+
+        // Exact factors cannot lower: same workload, pure fallback, still
+        // bit-identical to the interpreter.
+        let exact_engine: QueryEngine<_> = QueryEngine::new(tree);
+        for _ in 0..2 {
+            for (t, q) in &queries {
+                let via_engine = exact_engine.estimate_mass(tree, &factors, t, q).unwrap();
+                let interp = estimate_mass_interpreted(tree, &factors, t, q).unwrap();
+                prop_assert_eq!(via_engine.to_bits(), interp.to_bits(), "{}", t);
+            }
+        }
+        let exact_trace = exact_engine.trace();
+        prop_assert_eq!(exact_trace.kernel_hits, 0, "{:?}", exact_trace);
+        prop_assert!(exact_trace.kernel_fallbacks >= 1, "{:?}", exact_trace);
+    }
+
+    /// The windowed (partition-point) 1-D range scan is bit-identical to
+    /// the pre-windowing linear scan for every box over random skewed
+    /// histograms — the O(log b) seek must never change a sum.
+    #[test]
+    fn windowed_range_sums_bit_identical_to_linear(
+        domain in 2u32..=48,
+        buckets in 1usize..=16,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let schema = Schema::new(vec![("x", domain)]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..200)
+            .map(|_| {
+                // Quadratic skew concentrates mass at high values, so
+                // bucket widths vary and partial overlaps are common.
+                let r = xorshift(&mut state) % u64::from(domain);
+                let v = (r * r / u64::from(domain).max(1)) as u32;
+                vec![v.min(domain - 1)]
+            })
+            .collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let h = OneDimHistogram::build(
+            &rel.distribution(), 0, buckets, SplitCriterion::MaxDiff).unwrap();
+        for lo in 0..domain {
+            for hi in 0..domain {
+                // The pre-windowing linear scan, verbatim.
+                let mut reference = 0.0;
+                if lo <= hi {
+                    for b in h.buckets() {
+                        if b.hi < lo || b.lo > hi {
+                            continue;
+                        }
+                        let olo = b.lo.max(lo);
+                        let ohi = b.hi.min(hi);
+                        reference += b.freq * ((f64::from(ohi - olo) + 1.0) / b.width() as f64);
+                    }
+                }
+                prop_assert_eq!(h.estimate_range(lo, hi).to_bits(), reference.to_bits());
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // tests assert by panicking
 
 use dbhist::core::plan::QueryTrace;
-use dbhist::core::{SelectivityEstimator, SynopsisBuilder};
+use dbhist::core::{Query, SelectivityEstimator, SynopsisBuilder};
 use dbhist::data::workload::{Workload, WorkloadConfig};
 use dbhist::distribution::{Relation, Schema};
 
@@ -25,8 +25,9 @@ fn run_pipeline(
     let db = SynopsisBuilder::new(rel).budget(2048).build_mhist().unwrap();
     let mut bits = Vec::new();
     for q in &workload.queries {
-        bits.push(db.estimate(&q.ranges).to_bits());
-        db.record_feedback(&q.ranges, q.exact as f64);
+        let query = Query::from(q.ranges.as_slice());
+        bits.push(db.estimate(&query).to_bits());
+        db.record_feedback(&query, q.exact as f64);
     }
     let digest = format!("{:?}|{:?}", db.model().graph(), db.factors());
     let build = db.build_trace();
