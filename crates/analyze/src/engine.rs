@@ -54,6 +54,7 @@ pub fn analyze_file(rel_path: &str, source: &str, class: FileClass, report: &mut
     if class.wide {
         rules::legacy::deprecated_shim(&ctx, &mut raw);
         rules::legacy::metric_name(&ctx, &mut raw);
+        rules::legacy::journal_event_name(&ctx, &mut raw);
     }
 
     for finding in raw {

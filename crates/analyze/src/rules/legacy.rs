@@ -24,6 +24,10 @@
 //! * `snapshot-io` — no library code outside `crates/persist/` reads
 //!   file bytes directly; snapshot bytes must funnel through the
 //!   validating `dbhist_persist::read_file` path.
+//! * `journal-event-name` — event-type tags rendered into the telemetry
+//!   journal's JSONL stream (`JournalEvent::Variant { .. } => "tag"`
+//!   match arms) are `snake_case`; downstream log pipelines key on the
+//!   tag, so casing is a wire contract like the metric namespace.
 
 use super::FileCtx;
 use crate::diag::Finding;
@@ -291,6 +295,47 @@ pub fn metric_name(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// Validates one journal event-type tag: lowercase `snake_case`, leading
+/// letter.
+fn event_name_ok(name: &str) -> bool {
+    let b = name.as_bytes();
+    !b.is_empty()
+        && b[0].is_ascii_lowercase()
+        && b.iter().all(|&c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
+}
+
+/// Returns the first non-`snake_case` event tag on this raw (unmasked)
+/// line. Only `=> "tag"` match arms on lines naming a `JournalEvent::`
+/// variant are tag definitions; rendering lines (`=> {` bodies) carry no
+/// arrow-literal and are ignored.
+fn bad_event_name(raw_line: &str) -> Option<&str> {
+    if !raw_line.contains("JournalEvent::") {
+        return None;
+    }
+    let mut start = 0;
+    while let Some(pos) = raw_line[start..].find("=> \"") {
+        let lit_start = start + pos + 4;
+        let rest = &raw_line[lit_start..];
+        let end = rest.find('"')?;
+        let name = &rest[..end];
+        if !event_name_ok(name) {
+            return Some(name);
+        }
+        start = lit_start + end + 1;
+    }
+    None
+}
+
+/// `journal-event-name` over *raw* lines — like `metric-name`, the tags
+/// live inside string literals that masking blanks out.
+pub fn journal_event_name(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (idx, raw) in ctx.raw_lines.iter().enumerate() {
+        if bad_event_name(raw).is_some() {
+            out.push(ctx.finding(idx + 1, 0, "journal-event-name"));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,5 +384,18 @@ mod tests {
         let good = "let c = registry.counter(\"dbhist_build_rounds_total\");\n";
         assert_eq!(run(metric_name, "crates/telemetry/src/x.rs", bad).len(), 1);
         assert!(run(metric_name, "crates/telemetry/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn journal_event_name_requires_snake_case_tags() {
+        let bad = "JournalEvent::CacheEviction { .. } => \"CacheEviction\",\n";
+        let good = "JournalEvent::CacheEviction { .. } => \"cache_eviction\",\n";
+        assert_eq!(run(journal_event_name, "crates/telemetry/src/journal.rs", bad).len(), 1);
+        assert!(run(journal_event_name, "crates/telemetry/src/journal.rs", good).is_empty());
+        // Rendering arms (`=> {`) and unrelated arrow-literals stay quiet.
+        let body = "JournalEvent::Rebuild { rows, max_drift } => {\n";
+        assert!(run(journal_event_name, "crates/telemetry/src/journal.rs", body).is_empty());
+        let unrelated = "Mode::Fast => \"Fast\",\n";
+        assert!(run(journal_event_name, "crates/core/src/x.rs", unrelated).is_empty());
     }
 }

@@ -12,7 +12,7 @@ use crate::scope::{self, Scopes};
 
 /// Every rule id, in reporting order. `lint:allow` markers must name one
 /// of these (the audit flags unknown names).
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 10] = [
     "hash-iter-order",
     "par-float-reduction",
     "atomic-ordering",
@@ -22,6 +22,7 @@ pub const RULES: [&str; 9] = [
     "deprecated-shim",
     "metric-name",
     "snapshot-io",
+    "journal-event-name",
 ];
 
 /// Fix hint attached to each rule's findings.
@@ -51,6 +52,10 @@ pub fn hint_for(rule: &str) -> &'static str {
         }
         "metric-name" => "metric names follow dbhist_<subsystem>_<name>_<unit>",
         "snapshot-io" => "snapshot bytes enter through dbhist_persist::read_file only",
+        "journal-event-name" => {
+            "journal event-type tags are snake_case wire contracts (query_sampled, \
+             generation_swap); log pipelines key on the tag string"
+        }
         _ => "",
     }
 }
@@ -84,6 +89,13 @@ pub const EXEMPTIONS: &[Exemption] = &[
               cached value moves under a per-shard mutex, so a stale capacity read \
               only delays an eviction or skips a memoization, never corrupts data",
     },
+    Exemption {
+        rule: "atomic-ordering",
+        path: "crates/telemetry/src/journal.rs",
+        why: "the journal's sequence claim is a Relaxed fetch_add: the counter only \
+              hands out distinct slot numbers, and every event payload is published \
+              and consumed under the per-slot mutex, which orders the data",
+    },
 ];
 
 /// `true` if `rule` findings in `rel_path` are sanctioned by
@@ -94,12 +106,12 @@ pub fn path_exempt(rule: &str, rel_path: &str) -> bool {
 }
 
 /// `true` if findings of `rule` inside `#[cfg(test)]` regions are
-/// dropped. `deprecated-shim` and `metric-name` deliberately apply to
-/// tests too (legacy behaviour: tests exercise the builder API and share
-/// the metric namespace).
+/// dropped. `deprecated-shim`, `metric-name`, and `journal-event-name`
+/// deliberately apply to tests too (legacy behaviour: tests exercise the
+/// builder API and share the metric and event-tag namespaces).
 #[must_use]
 pub fn test_exempt(rule: &str) -> bool {
-    !matches!(rule, "deprecated-shim" | "metric-name")
+    !matches!(rule, "deprecated-shim" | "metric-name" | "journal-event-name")
 }
 
 /// Everything the rules need to know about one file.
@@ -179,6 +191,7 @@ mod tests {
     fn path_exempt_matches_exactly() {
         assert!(path_exempt("atomic-ordering", "crates/telemetry/src/registry.rs"));
         assert!(path_exempt("atomic-ordering", "crates/core/src/sharded.rs"));
+        assert!(path_exempt("atomic-ordering", "crates/telemetry/src/journal.rs"));
         assert!(!path_exempt("atomic-ordering", "crates/core/src/service.rs"));
         assert!(!path_exempt("hash-iter-order", "crates/telemetry/src/registry.rs"));
     }

@@ -17,7 +17,7 @@ struct Fixture {
     clean: &'static str,
 }
 
-const FIXTURES: [Fixture; 9] = [
+const FIXTURES: [Fixture; 10] = [
     Fixture {
         rule: "hash-iter-order",
         path: "crates/distribution/src/distribution.rs",
@@ -71,6 +71,12 @@ const FIXTURES: [Fixture; 9] = [
         path: "crates/core/src/snapshot.rs",
         violating: "fn load(path: &Path) -> io::Result<Vec<u8>> { std::fs::read(path) }\n",
         clean: "fn load(path: &Path) -> Result<Vec<u8>, Error> { dbhist_persist::read_file(path) }\n",
+    },
+    Fixture {
+        rule: "journal-event-name",
+        path: "crates/telemetry/src/journal.rs",
+        violating: "fn tag(e: &JournalEvent) -> &'static str {\n    match e {\n        JournalEvent::CacheEviction { .. } => \"CacheEviction\",\n    }\n}\n",
+        clean: "fn tag(e: &JournalEvent) -> &'static str {\n    match e {\n        JournalEvent::CacheEviction { .. } => \"cache_eviction\",\n    }\n}\n",
     },
 ];
 

@@ -1,0 +1,45 @@
+//! Serves the observability endpoint for a smoke window so CI can probe
+//! `/health` and `/metrics` from the outside with curl.
+//!
+//! ```text
+//! observe_smoke [ADDR] [SECONDS]    (defaults: 127.0.0.1:9187 5)
+//! ```
+//!
+//! Builds a small synopsis, starts an [`EstimatorService`] with explain
+//! sampling on, answers one warm-up batch (so `/health` reports served
+//! traffic and `/explain` holds real reports), prints the bound address
+//! on stdout, and keeps serving for the window before shutting down.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
+use std::time::Duration;
+
+use dbhist_core::service::{EstimatorService, ServiceConfig};
+use dbhist_core::{Predicate, Query, SynopsisBuilder};
+use dbhist_distribution::{Relation, Schema};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:9187".into());
+    let seconds: u64 = args.next().map_or(5, |v| v.parse().expect("SECONDS must be a number"));
+    dbhist_telemetry::set_enabled(true);
+
+    let schema = Schema::new(vec![("a", 8), ("b", 8), ("c", 4)]).unwrap();
+    let rows: Vec<Vec<u32>> = (0..4096).map(|i| vec![i % 8, i % 8, (i / 8) % 4]).collect();
+    let rel = Relation::from_rows(schema, rows).unwrap();
+    let synopsis = SynopsisBuilder::new(&rel).budget(512).build().unwrap();
+
+    let service =
+        EstimatorService::start(synopsis, ServiceConfig { workers: 2, explain_sample: 1 });
+    let queries: Vec<Query> = (0..4u32)
+        .map(|i| std::iter::once(Predicate::range(0, 0, i + 1)).collect::<Query>())
+        .collect();
+    let reply = service.submit(queries).wait().expect("warm-up batch dropped");
+    assert_eq!(reply.estimates.len(), 4, "warm-up batch must be answered in full");
+
+    let server = service.serve_observability(&addr).expect("cannot bind observability endpoint");
+    println!("{}", server.addr());
+    std::thread::sleep(Duration::from_secs(seconds));
+    drop(server);
+    eprintln!("observe_smoke: served /health and friends on {addr} for {seconds}s");
+}

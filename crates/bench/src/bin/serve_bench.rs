@@ -165,8 +165,10 @@ fn run_phase(
     duration: Duration,
     swaps: bool,
 ) -> (PhaseResult, EstimatorService) {
-    let service =
-        EstimatorService::start(generations[0].clone(), ServiceConfig { workers: WORKERS });
+    let service = EstimatorService::start(
+        generations[0].clone(),
+        ServiceConfig { workers: WORKERS, ..ServiceConfig::default() },
+    );
     let start = Instant::now();
     let answered: u64 = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
@@ -226,6 +228,12 @@ fn main() {
     assert_eq!(stats.swaps, 2, "both hot swaps must land inside the window");
     assert_eq!(stats.dropped_replies, 0, "swap must never drop an in-flight query");
     assert_eq!(stats.requests, concurrent.answered, "every submitted query must be answered");
+    let per_generation_total: u64 = stats.per_generation.iter().map(|&(_, n)| n).sum();
+    assert_eq!(
+        per_generation_total, stats.requests,
+        "per-generation served counts must partition the request total"
+    );
+    assert_eq!(stats.swap_latency.count, 2, "both swaps must be timed");
 
     let latency = service.latency();
     let pct = |q: f64| latency.percentile(q).unwrap_or(0.0);
@@ -284,6 +292,20 @@ fn main() {
         pct(99.0),
         pct(99.9)
     );
+    let per_generation_json = stats
+        .per_generation
+        .iter()
+        .map(|&(g, n)| format!("[{g}, {n}]"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(json, "  \"served_per_generation\": [{per_generation_json}],");
+    let _ = writeln!(
+        json,
+        "  \"swap_latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"max\": {:.0}}},",
+        stats.swap_latency.count,
+        stats.swap_latency.mean().unwrap_or(0.0),
+        stats.swap_latency.percentile(100.0).unwrap_or(0.0)
+    );
     let _ = writeln!(
         json,
         "  \"speedup\": {{\"concurrent_vs_single\": {concurrent_vs_single:.3}, \
@@ -309,12 +331,14 @@ fn main() {
     eprintln!(
         "wrote {out_path}: {readers} readers sustained {:.0} qps ({:.2}x single, \
          {:.2}x per reader), p50 {:.0}ns p99 {:.0}ns p999 {:.0}ns, \
-         2 swaps, 0 dropped, bit-identical to serial",
+         2 swaps (mean {:.0}ns) over {} generation(s), 0 dropped, bit-identical to serial",
         concurrent.achieved_qps,
         concurrent_vs_single,
         per_reader,
         pct(50.0),
         pct(99.0),
-        pct(99.9)
+        pct(99.9),
+        stats.swap_latency.mean().unwrap_or(0.0),
+        stats.per_generation.len()
     );
 }

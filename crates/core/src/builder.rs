@@ -51,6 +51,7 @@ use dbhist_model::DecomposableModel;
 
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
+use crate::explain::ExplainReport;
 use crate::plan::QueryTrace;
 use crate::query::Query;
 use crate::synopsis::{AllocationStrategy, DbConfig, DbHistogram};
@@ -189,6 +190,29 @@ impl Synopsis {
     /// Propagates factor-operation failures.
     pub fn try_estimate(&self, query: &Query) -> Result<f64, SynopsisError> {
         delegate!(self, db => db.try_estimate(query))
+    }
+
+    /// [`Synopsis::try_estimate`] plus a per-query
+    /// [`ExplainReport`] describing the resolved execution path; see
+    /// [`DbHistogram::try_estimate_explained`]. The estimate is
+    /// bit-identical to the unexplained call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-operation failures.
+    pub fn try_estimate_explained(
+        &self,
+        query: &Query,
+    ) -> Result<(f64, ExplainReport), SynopsisError> {
+        delegate!(self, db => db.try_estimate_explained(query))
+    }
+
+    /// The per-clique accuracy-drift monitor fed by
+    /// [`Synopsis::record_feedback`]; exposes rolling means *and* full
+    /// error distributions (quantiles) per model clique.
+    #[must_use]
+    pub fn drift_monitor(&self) -> &dbhist_telemetry::DriftMonitor {
+        delegate!(self, db => db.drift_monitor())
     }
 
     /// The MHIST-backed histogram, if this synopsis was built with

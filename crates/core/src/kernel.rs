@@ -36,9 +36,12 @@
 //! product loop keeps plan order. Any future kernel optimization must
 //! preserve this or demote itself behind a new equivalence proof.
 
+use std::time::Instant;
+
 use dbhist_distribution::AttrId;
 use dbhist_histogram::TreeIndex;
 
+use crate::explain::{ExplainProbe, NoProbe};
 use crate::query::Query;
 use crate::scratch::PlanScratch;
 
@@ -84,13 +87,30 @@ impl MassKernel {
         ranges: &[(AttrId, u32, u32)],
         scratch: &mut PlanScratch,
     ) -> f64 {
+        self.evaluate_ranges_probed(ranges, scratch, &mut NoProbe)
+    }
+
+    /// [`MassKernel::evaluate_ranges`] with an [`ExplainProbe`] observing
+    /// each group walk. With [`NoProbe`] every probe site (and its clock
+    /// read) monomorphizes away, so the unprobed path is the old code.
+    pub(crate) fn evaluate_ranges_probed<P: ExplainProbe>(
+        &self,
+        ranges: &[(AttrId, u32, u32)],
+        scratch: &mut PlanScratch,
+        probe: &mut P,
+    ) -> f64 {
         // Verbatim arithmetic from `execute_mass`: start from the total,
         // multiply each group's mass ratio in plan order.
         let total = self.total;
         let mut mass = total;
-        for group in &self.groups {
+        for (index, group) in self.groups.iter().enumerate() {
+            let started = if P::ACTIVE { Some(Instant::now()) } else { None };
             let group_mass =
                 group.mass_in_box_with(ranges, &mut scratch.bounds, &mut scratch.constraint);
+            if P::ACTIVE {
+                let ns = started.map_or(0, |t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(0));
+                probe.kernel_group(index, group_mass, ns);
+            }
             if total > 0.0 {
                 mass *= group_mass / total;
             } else {

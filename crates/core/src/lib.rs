@@ -70,10 +70,12 @@ pub mod build;
 pub mod builder;
 pub mod error;
 pub mod estimator;
+pub mod explain;
 pub mod factor;
 pub mod kernel;
 pub mod maintenance;
 pub mod marginal;
+pub mod observe;
 pub mod plan;
 pub mod query;
 pub mod scratch;
@@ -86,8 +88,13 @@ pub mod wavelet_factor;
 pub use builder::{BuildTrace, FactorKind, Synopsis, SynopsisBuilder};
 pub use error::SynopsisError;
 pub use estimator::SelectivityEstimator;
+pub use explain::{
+    ExplainProbe, ExplainRecorder, ExplainReport, GroupReport, NoProbe, QueryPath, ShedSkip,
+    StepKind, StepReport,
+};
 pub use factor::{ExactFactor, Factor};
 pub use kernel::MassKernel;
+pub use observe::ObservabilityServer;
 pub use plan::{MarginalPlan, MassPlan, QueryEngine, QueryTrace};
 pub use query::{Predicate, Query};
 pub use scratch::PlanScratch;

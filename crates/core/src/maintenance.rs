@@ -18,8 +18,11 @@
 //! When [`MaintainedDbHistogram::needs_rebuild`] trips, rebuild from the
 //! current base table with [`MaintainedDbHistogram::rebuild`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use dbhist_distribution::{AttrId, Relation};
 use dbhist_histogram::SplitTree;
+use dbhist_telemetry::journal::{journal, JournalEvent};
 
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
@@ -27,8 +30,14 @@ use crate::query::Query;
 
 use crate::synopsis::{DbConfig, DbHistogram};
 
+/// Tail quantile (percentile) of the per-clique error distribution that
+/// participates in the rebuild trigger: a synopsis whose q95 error
+/// exceeds the drift threshold is rebuilt even when its rolling *mean*
+/// still looks healthy (a few catastrophic estimates hide in a mean).
+pub const TRIGGER_QUANTILE: f64 = 95.0;
+
 /// A DB histogram plus the bookkeeping to keep it fresh under updates.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MaintainedDbHistogram {
     synopsis: DbHistogram<SplitTree>,
     config: DbConfig,
@@ -45,6 +54,26 @@ pub struct MaintainedDbHistogram {
     /// drift-triggered rebuilds can happen offline and replicas restart
     /// from the snapshot instead of the base table.
     snapshot_path: Option<std::path::PathBuf>,
+    /// Set the first time [`MaintainedDbHistogram::needs_rebuild`] trips
+    /// (so the journal sees one [`JournalEvent::DriftTrip`] per episode,
+    /// not one per poll); cleared by a successful rebuild.
+    trip_latched: AtomicBool,
+}
+
+impl Clone for MaintainedDbHistogram {
+    fn clone(&self) -> Self {
+        Self {
+            synopsis: self.synopsis.clone(),
+            config: self.config.clone(),
+            row_count: self.row_count,
+            churn: self.churn,
+            built_rows: self.built_rows,
+            reservoir: self.reservoir.clone(),
+            reservoir_seen: self.reservoir_seen,
+            snapshot_path: self.snapshot_path.clone(),
+            trip_latched: AtomicBool::new(self.trip_latched.load(Ordering::Acquire)),
+        }
+    }
 }
 
 /// Size of the insert reservoir used for drift measurement.
@@ -68,6 +97,7 @@ impl MaintainedDbHistogram {
             reservoir: Vec::new(),
             reservoir_seen: 0,
             snapshot_path: None,
+            trip_latched: AtomicBool::new(false),
         })
     }
 
@@ -188,19 +218,40 @@ impl MaintainedDbHistogram {
 
     /// `true` once churn exceeds `churn_threshold` (fraction of the base
     /// table) — the simple trigger — or measured drift exceeds
-    /// `drift_threshold`. Drift is measured two ways: against the
-    /// reservoir of recent inserts ([`MaintainedDbHistogram::drift`]) and
-    /// against executed-query feedback
-    /// ([`MaintainedDbHistogram::feedback_drift`]); the feedback gauge
-    /// only participates once feedback has actually been recorded, so
-    /// feedback-free workloads behave exactly as before.
+    /// `drift_threshold`. Drift is measured three ways: against the
+    /// reservoir of recent inserts ([`MaintainedDbHistogram::drift`]),
+    /// against the rolling mean of executed-query feedback
+    /// ([`MaintainedDbHistogram::feedback_drift`]), and against the
+    /// *tail* of the per-clique feedback error distribution (the
+    /// [`TRIGGER_QUANTILE`]-th percentile) — so a clique whose worst 5%
+    /// of estimates go bad trips the trigger even while its mean stays
+    /// under the threshold. Feedback gauges only participate once
+    /// feedback has actually been recorded, so feedback-free workloads
+    /// behave exactly as before.
+    ///
+    /// The first poll that trips publishes a [`JournalEvent::DriftTrip`]
+    /// naming the worst clique; further polls of the same episode stay
+    /// silent until a rebuild resets the latch.
     #[must_use]
     pub fn needs_rebuild(&self, churn_threshold: f64, drift_threshold: f64) -> bool {
-        if self.staleness() > churn_threshold || self.drift() > drift_threshold {
-            return true;
-        }
         let monitor = self.synopsis.drift_monitor();
-        monitor.observations() > 0 && monitor.max_drift() > drift_threshold
+        let feedback_tripped = monitor.observations() > 0
+            && (monitor.max_drift() > drift_threshold
+                || monitor.max_error_quantile(TRIGGER_QUANTILE) > drift_threshold);
+        let tripped = self.staleness() > churn_threshold
+            || self.drift() > drift_threshold
+            || feedback_tripped;
+        if tripped && !self.trip_latched.swap(true, Ordering::AcqRel) {
+            // Attribute the trip to the worst clique by rolling mean.
+            let worst = (0..monitor.n_cliques())
+                .max_by(|&a, &b| monitor.drift(a).total_cmp(&monitor.drift(b)))
+                .unwrap_or(0);
+            journal().publish(JournalEvent::DriftTrip {
+                clique: worst,
+                drift: monitor.drift(worst).max(self.drift()),
+            });
+        }
+        tripped
     }
 
     /// Rebuilds the synopsis (model selection + histograms) from the
@@ -210,6 +261,7 @@ impl MaintainedDbHistogram {
     ///
     /// Propagates construction failures.
     pub fn rebuild(&mut self, relation: &Relation) -> Result<(), SynopsisError> {
+        let max_drift = self.synopsis.drift_monitor().max_drift();
         self.synopsis = crate::synopsis::build_mhist_pipeline(relation, &self.config)?;
         self.row_count = relation.row_count() as f64;
         self.built_rows = self.row_count;
@@ -219,6 +271,8 @@ impl MaintainedDbHistogram {
         if let Some(path) = &self.snapshot_path {
             crate::snapshot::save_db(&self.synopsis, path)?;
         }
+        self.trip_latched.store(false, Ordering::Release);
+        journal().publish(JournalEvent::Rebuild { rows: relation.row_count() as u64, max_drift });
         Ok(())
     }
 
@@ -405,6 +459,28 @@ mod tests {
         m.rebuild(&rel).unwrap();
         assert!(m.feedback_drift().abs() < 1e-12);
         assert!(!m.needs_rebuild(10.0, 0.5));
+    }
+
+    #[test]
+    fn tail_quantile_trips_before_the_mean() {
+        let rel = relation(4096);
+        let m = MaintainedDbHistogram::build(&rel, DbConfig::new(600)).unwrap();
+        // 29 accurate estimates and 3 catastrophic ones (relative error
+        // 0.9): the rolling mean stays well under the 0.5 threshold, but
+        // the q95 of the error distribution sits in the bad tail.
+        for i in 0..32u32 {
+            let q = Query::equals(0, i % 8);
+            let est = m.estimate(&q).max(1.0);
+            let actual = if i < 3 { est * 10.0 } else { est };
+            m.record_feedback(&q, actual);
+        }
+        assert!(m.feedback_drift() < 0.5, "mean must stay under threshold: {}", m.feedback_drift());
+        let q95 = m.synopsis().drift_monitor().max_error_quantile(TRIGGER_QUANTILE);
+        assert!(q95 > 0.5, "q95 must sit in the bad tail: {q95}");
+        assert!(
+            m.needs_rebuild(10.0, 0.5),
+            "tail quantile must trip the trigger while the mean is healthy"
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 use std::borrow::Cow;
 use std::sync::Arc;
+use std::time::Instant;
 
 use dbhist_distribution::AttrSet;
 use dbhist_histogram::{IndexLayout, TreeIndex};
@@ -50,6 +51,9 @@ use dbhist_telemetry::registry::Counter;
 use dbhist_telemetry::wellknown::wellknown;
 
 use crate::error::SynopsisError;
+use crate::explain::{
+    ExplainProbe, ExplainRecorder, ExplainReport, NoProbe, QueryPath, ShedSkip, StepKind,
+};
 use crate::factor::Factor;
 use crate::kernel::MassKernel;
 use crate::query::Query;
@@ -529,23 +533,48 @@ pub fn execute_marginal<'a, F: Factor>(
     factors: &'a [F],
     trace: &mut QueryTrace,
 ) -> Result<Cow<'a, F>, SynopsisError> {
+    execute_marginal_probed(plan, factors, trace, &mut NoProbe)
+}
+
+/// [`execute_marginal`] with an [`ExplainProbe`] observing every step.
+///
+/// With [`NoProbe`] (what [`execute_marginal`] instantiates) every probe
+/// site is compiled out — `P::ACTIVE` is a monomorphization-time
+/// constant — so the unprobed path carries no clock reads or recording.
+/// Probes observe only; operands and results are untouched, keeping
+/// explained execution bit-identical.
+///
+/// # Errors
+///
+/// Propagates factor-operation failures; rejects plans inconsistent with
+/// the factor slice (wrong clique indices or malformed stack shape).
+pub fn execute_marginal_probed<'a, F: Factor, P: ExplainProbe>(
+    plan: &MarginalPlan,
+    factors: &'a [F],
+    trace: &mut QueryTrace,
+    probe: &mut P,
+) -> Result<Cow<'a, F>, SynopsisError> {
     let _span = dbhist_telemetry::span!("dbhist_query_plan_exec_latency_ns");
     let mut stack: Vec<Cow<'a, F>> = Vec::new();
     for step in plan.steps() {
-        match step {
+        let started = if P::ACTIVE { Some(Instant::now()) } else { None };
+        let kind = match step {
             PlanStep::Load { clique } => {
                 let f =
                     factors.get(*clique).ok_or_else(|| malformed("clique index out of range"))?;
                 trace.clique_loads += 1;
                 stack.push(Cow::Borrowed(f));
+                StepKind::Load { clique: *clique }
             }
             PlanStep::Project { attrs } => {
                 let top = stack.last_mut().ok_or_else(|| malformed("project on empty stack"))?;
                 if top.attrs() == attrs {
                     trace.identity_projections += 1;
+                    StepKind::IdentityProject
                 } else {
                     trace.projections += 1;
                     *top = Cow::Owned(top.project(attrs)?);
+                    StepKind::Project
                 }
             }
             PlanStep::Product => {
@@ -553,6 +582,7 @@ pub fn execute_marginal<'a, F: Factor>(
                 let lhs = stack.pop().ok_or_else(|| malformed("product on 1-operand stack"))?;
                 trace.products += 1;
                 stack.push(Cow::Owned(lhs.product(&rhs)?));
+                StepKind::Product
             }
             PlanStep::Shed { keep } => {
                 let top = stack.last_mut().ok_or_else(|| malformed("shed on empty stack"))?;
@@ -560,11 +590,24 @@ pub fn execute_marginal<'a, F: Factor>(
                 cut.intersect_with(top.attrs());
                 if cut.is_empty() || &cut == top.attrs() || top.len_hint() > SHED_LIMIT {
                     trace.sheds_skipped += 1;
+                    StepKind::ShedSkipped(if cut.is_empty() {
+                        ShedSkip::NothingToKeep
+                    } else if &cut == top.attrs() {
+                        ShedSkip::AlreadyTidy
+                    } else {
+                        ShedSkip::TooLarge
+                    })
                 } else {
                     trace.sheds += 1;
                     *top = Cow::Owned(top.project(&cut)?);
+                    StepKind::Shed
                 }
             }
+        };
+        if P::ACTIVE {
+            let ns =
+                started.map_or(0, |t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            probe.step(kind, ns, stack.last().map_or(0, |f| f.len_hint()));
         }
     }
     let result = stack.pop().ok_or_else(|| malformed("empty plan"))?;
@@ -688,12 +731,35 @@ pub fn execute_mass<F: Factor>(
     query: &Query,
     trace: &mut QueryTrace,
 ) -> Result<f64, SynopsisError> {
+    execute_mass_probed(plan, factors, query, trace, &mut NoProbe)
+}
+
+/// [`execute_mass`] with an [`ExplainProbe`] observing per-group
+/// execution (see [`execute_marginal_probed`] for the zero-cost
+/// contract).
+///
+/// # Errors
+///
+/// Propagates factor-operation failures.
+pub fn execute_mass_probed<F: Factor, P: ExplainProbe>(
+    plan: &MassPlan,
+    factors: &[F],
+    query: &Query,
+    trace: &mut QueryTrace,
+    probe: &mut P,
+) -> Result<f64, SynopsisError> {
     let ranges = query.ranges();
     let total = factors.first().map_or(0.0, Factor::total);
     let mut mass = total;
     for group in plan.groups() {
-        let loose = execute_marginal(&group.plan, factors, trace)?;
+        if P::ACTIVE {
+            probe.group(&group.attrs);
+        }
+        let loose = execute_marginal_probed(&group.plan, factors, trace, probe)?;
         let group_mass = loose.mass_in_box(ranges);
+        if P::ACTIVE {
+            probe.group_mass(group_mass, false);
+        }
         if total > 0.0 {
             mass *= group_mass / total;
         } else {
@@ -916,6 +982,48 @@ impl<F: Factor> QueryEngine<F> {
         target: &AttrSet,
         query: &Query,
     ) -> Result<f64, SynopsisError> {
+        self.estimate_mass_probed(tree, factors, target, query, &mut NoProbe)
+    }
+
+    /// [`QueryEngine::estimate_mass`] with an [`ExplainReport`] of the
+    /// actual execution: the resolved path, per-step timings, layout and
+    /// shed decisions, and scratch reuse.
+    ///
+    /// The returned estimate is bit-identical to the plain call — the
+    /// recording probe observes without touching any operand (pinned by
+    /// a proptest in `tests/plan_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-operation failures; rejects targets the model
+    /// does not cover.
+    pub fn estimate_mass_explained(
+        &self,
+        tree: &JunctionTree,
+        factors: &[F],
+        target: &AttrSet,
+        query: &Query,
+    ) -> Result<(f64, ExplainReport), SynopsisError> {
+        let started = Instant::now();
+        let mut probe = ExplainRecorder::new(target);
+        let mass = self.estimate_mass_probed(tree, factors, target, query, &mut probe)?;
+        let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Ok((mass, probe.finish(mass, total_ns)))
+    }
+
+    /// The probed body behind [`QueryEngine::estimate_mass`] (instantiated
+    /// with [`NoProbe`]) and [`QueryEngine::estimate_mass_explained`]
+    /// (instantiated with a recorder). Probe sites are gated on
+    /// `P::ACTIVE`, so the unprobed monomorphization is the pre-explain
+    /// code.
+    fn estimate_mass_probed<P: ExplainProbe>(
+        &self,
+        tree: &JunctionTree,
+        factors: &[F],
+        target: &AttrSet,
+        query: &Query,
+        probe: &mut P,
+    ) -> Result<f64, SynopsisError> {
         // Inert unless telemetry is on (or a span collector is
         // installed): the registry's per-query latency histogram
         // (`dbhist_query_estimate_latency_ns`) is fed by this guard.
@@ -928,16 +1036,38 @@ impl<F: Factor> QueryEngine<F> {
         let kernel_key = PlanKey { attrs: target.clone(), loose: true };
         if let Some(kernel) = self.kernels.get(&kernel_key) {
             t.kernel_hits += 1;
-            let mut scratch = self.scratch.acquire();
-            let mass = kernel.evaluate_ranges(ranges, &mut scratch);
+            if P::ACTIVE {
+                probe.resolved_path(QueryPath::KernelHit);
+                probe.kernel_lowered(true);
+                for group in kernel.groups() {
+                    probe.layout(group.layout());
+                }
+            }
+            let mut scratch;
+            if P::ACTIVE {
+                let (tracked, reused) = self.scratch.acquire_tracked();
+                probe.scratch(reused);
+                scratch = tracked;
+            } else {
+                scratch = self.scratch.acquire();
+            }
+            let mass = kernel.evaluate_ranges_probed(ranges, &mut scratch, probe);
             self.scratch.release(scratch);
             self.metrics.absorb(&t);
             return Ok(mass);
         }
         let result = (|| {
+            let hits_before = t.plan_cache_hits;
             let CachedPlan::Mass(plan) = self.plan_for(tree, target, true, &mut t)? else {
                 return Err(malformed("loose key resolved to a strict plan"));
             };
+            if P::ACTIVE {
+                probe.resolved_path(if t.plan_cache_hits > hits_before {
+                    QueryPath::PlanCacheHit
+                } else {
+                    QueryPath::PlanCompiled
+                });
+            }
             let total = factors.first().map_or(0.0, Factor::total);
             let mut mass = total;
             // Lower each group's loose marginal as it is produced; a
@@ -947,10 +1077,15 @@ impl<F: Factor> QueryEngine<F> {
             let mut lowered: Vec<TreeIndex> = Vec::with_capacity(plan.groups().len());
             let mut lowerable = true;
             for group in plan.groups() {
+                if P::ACTIVE {
+                    probe.group(&group.attrs);
+                }
                 let group_key = PlanKey { attrs: group.attrs.clone(), loose: true };
+                let mut from_cache = false;
                 let group_mass = if self.marginals.enabled() {
                     if let Some(f) = self.marginals.get(&group_key) {
                         t.marginal_cache_hits += 1;
+                        from_cache = true;
                         if lowerable {
                             match f.lower_index() {
                                 Some(ix) => lowered.push(ix),
@@ -960,7 +1095,7 @@ impl<F: Factor> QueryEngine<F> {
                         f.mass_in_box(ranges)
                     } else {
                         t.marginal_cache_misses += 1;
-                        let cow = execute_marginal(&group.plan, factors, &mut t)?;
+                        let cow = execute_marginal_probed(&group.plan, factors, &mut t, probe)?;
                         let owned = match cow {
                             Cow::Borrowed(f) => {
                                 t.factor_clones += 1;
@@ -979,7 +1114,7 @@ impl<F: Factor> QueryEngine<F> {
                         gm
                     }
                 } else {
-                    let loose = execute_marginal(&group.plan, factors, &mut t)?;
+                    let loose = execute_marginal_probed(&group.plan, factors, &mut t, probe)?;
                     if lowerable {
                         match loose.lower_index() {
                             Some(ix) => lowered.push(ix),
@@ -988,6 +1123,9 @@ impl<F: Factor> QueryEngine<F> {
                     }
                     loose.mass_in_box(ranges)
                 };
+                if P::ACTIVE {
+                    probe.group_mass(group_mass, from_cache);
+                }
                 if total > 0.0 {
                     mass *= group_mass / total;
                 } else {
@@ -1000,10 +1138,16 @@ impl<F: Factor> QueryEngine<F> {
                         IndexLayout::Dense => t.kernel_lowered_dense += 1,
                         IndexLayout::Sparse => t.kernel_lowered_sparse += 1,
                     }
+                    if P::ACTIVE {
+                        probe.layout(ix.layout());
+                    }
                 }
                 self.kernels.insert(kernel_key, Arc::new(MassKernel::new(total, lowered)));
             } else {
                 t.kernel_fallbacks += 1;
+            }
+            if P::ACTIVE {
+                probe.kernel_lowered(lowerable);
             }
             Ok(mass)
         })();

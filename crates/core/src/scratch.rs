@@ -51,6 +51,16 @@ impl ScratchPool {
         lock(&self.pool).pop().unwrap_or_default()
     }
 
+    /// [`ScratchPool::acquire`] plus whether the arena was reused from
+    /// the pool (`false` = freshly allocated). Only the explain path
+    /// calls this; the plain path keeps its branch-free `acquire`.
+    pub(crate) fn acquire_tracked(&self) -> (PlanScratch, bool) {
+        match lock(&self.pool).pop() {
+            Some(scratch) => (scratch, true),
+            None => (PlanScratch::default(), false),
+        }
+    }
+
     /// Returns an arena to the pool (dropped when the pool is full).
     pub(crate) fn release(&self, scratch: PlanScratch) {
         let mut pool = lock(&self.pool);
@@ -75,6 +85,16 @@ mod tests {
         let s2 = pool.acquire();
         assert_eq!(s2.bounds.as_ptr(), ptr, "the same allocation comes back");
         assert_eq!(s2.bounds.len(), 2, "contents are cleared by the walk, not the pool");
+    }
+
+    #[test]
+    fn tracked_acquire_reports_reuse() {
+        let pool = ScratchPool::default();
+        let (s, reused) = pool.acquire_tracked();
+        assert!(!reused, "empty pool allocates fresh scratch");
+        pool.release(s);
+        let (_, reused) = pool.acquire_tracked();
+        assert!(reused, "the pooled arena is reported as reused");
     }
 
     #[test]

@@ -35,33 +35,46 @@
 //! pins this with a proptest that hammers one service from many threads
 //! across mid-run swaps.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use dbhist_distribution::Relation;
+use dbhist_telemetry::journal::{journal, JournalEvent};
 use dbhist_telemetry::registry::{Counter, HistogramSnapshot, LatencyHistogram};
 use dbhist_telemetry::wellknown::wellknown;
 
 use crate::builder::{Synopsis, SynopsisBuilder};
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
+use crate::explain::ExplainReport;
 use crate::maintenance::MaintainedDbHistogram;
 use crate::query::Query;
 use crate::sharded::lock;
+
+/// Sampled [`ExplainReport`]s retained for
+/// [`EstimatorService::recent_explains`] (older reports are evicted).
+pub const EXPLAIN_RING_CAPACITY: usize = 32;
 
 /// Configuration for [`EstimatorService::start`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Worker threads answering batches (minimum 1).
     pub workers: usize,
+    /// Explain sampling rate: every `explain_sample`-th served query is
+    /// answered through the explained path, its [`ExplainReport`]
+    /// retained for [`EstimatorService::recent_explains`] and a
+    /// [`JournalEvent::QuerySampled`] published. `0` (the default)
+    /// disables sampling entirely — the serving path is then byte-for-byte
+    /// the unprobed engine code.
+    pub explain_sample: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { workers: 2 }
+        Self { workers: 2, explain_sample: 0 }
     }
 }
 
@@ -102,7 +115,7 @@ impl BatchTicket {
 }
 
 /// Cumulative service counters (see [`EstimatorService::stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServeStats {
     /// Individual queries answered.
     pub requests: u64,
@@ -115,6 +128,14 @@ pub struct ServeStats {
     /// submitter drops its [`BatchTicket`] early — `swap()` never drops
     /// an in-flight query.
     pub dropped_replies: u64,
+    /// Queries answered per generation, as `(generation, count)` pairs in
+    /// ascending generation order. A swap never zeroes earlier entries,
+    /// so the distribution shows exactly how traffic straddled each
+    /// handover.
+    pub per_generation: Vec<(u64, u64)>,
+    /// Distribution of [`EstimatorService::swap`] install latencies
+    /// (nanoseconds from entry to the new generation being published).
+    pub swap_latency: HistogramSnapshot,
 }
 
 /// Always-on service metrics, mirrored into the process-wide
@@ -126,6 +147,7 @@ struct ServiceMetrics {
     swaps: Counter,
     dropped_replies: Counter,
     latency: LatencyHistogram,
+    swap_latency: LatencyHistogram,
 }
 
 struct Job {
@@ -134,7 +156,7 @@ struct Job {
     reply: mpsc::Sender<BatchReply>,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     /// Current generation number; `Release`-stored after the matching
     /// `Arc` is installed in `current`, `Acquire`-loaded by workers.
     generation: AtomicU64,
@@ -145,11 +167,48 @@ struct Shared {
     ready: Condvar,
     shutdown: AtomicBool,
     metrics: ServiceMetrics,
+    /// Queries served per generation; touched once per batch, not per
+    /// query.
+    per_generation: Mutex<BTreeMap<u64, u64>>,
+    /// Explain sampling rate (0 = off); see
+    /// [`ServiceConfig::explain_sample`].
+    explain_sample: usize,
+    /// Monotonic served-query sequence driving explain sampling. Workers
+    /// claim one span per batch with a single `fetch_add`.
+    served_seq: AtomicU64,
+    /// Last-N sampled explain reports, newest last.
+    explains: Mutex<VecDeque<ExplainReport>>,
 }
 
 impl Shared {
-    fn current_snapshot(&self) -> Arc<Generation> {
+    pub(crate) fn current_snapshot(&self) -> Arc<Generation> {
         Arc::clone(&lock(&self.current))
+    }
+
+    pub(crate) fn generation_number(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    pub(crate) fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.metrics.requests.value(),
+            batches: self.metrics.batches.value(),
+            swaps: self.metrics.swaps.value(),
+            dropped_replies: self.metrics.dropped_replies.value(),
+            per_generation: lock(&self.per_generation)
+                .iter()
+                .map(|(&generation, &count)| (generation, count))
+                .collect(),
+            swap_latency: self.metrics.swap_latency.snapshot(),
+        }
+    }
+
+    pub(crate) fn recent_explains(&self) -> Vec<ExplainReport> {
+        lock(&self.explains).iter().cloned().collect()
     }
 }
 
@@ -181,6 +240,10 @@ impl EstimatorService {
             ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics: ServiceMetrics::default(),
+            per_generation: Mutex::new(BTreeMap::new()),
+            explain_sample: config.explain_sample,
+            served_seq: AtomicU64::new(0),
+            explains: Mutex::new(VecDeque::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -247,6 +310,7 @@ impl EstimatorService {
     /// with; the old synopsis is dropped when its last holder releases
     /// it. No query is ever dropped by a swap.
     pub fn swap(&self, synopsis: Synopsis) -> u64 {
+        let started = Instant::now();
         let mut current = lock(&self.shared.current);
         let number = current.number + 1;
         *current = Arc::new(Generation { number, synopsis });
@@ -254,9 +318,15 @@ impl EstimatorService {
         // number will find (at least) this generation under the lock.
         self.shared.generation.store(number, Ordering::Release);
         drop(current);
+        let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.shared.metrics.swaps.increment();
+        self.shared.metrics.swap_latency.record(latency_ns);
+        journal().publish(JournalEvent::GenerationSwap { generation: number, latency_ns });
         if dbhist_telemetry::enabled() {
-            wellknown().serve_swaps.increment();
+            let w = wellknown();
+            w.serve_swaps.increment();
+            w.serve_swap_latency.record(latency_ns);
+            w.serve_journal_events.increment();
         }
         number
     }
@@ -292,15 +362,25 @@ impl EstimatorService {
         Ok(self.swap(SynopsisBuilder::from_snapshot(path)?))
     }
 
-    /// Cumulative request/batch/swap counters.
+    /// Cumulative request/batch/swap counters, the per-generation served
+    /// distribution, and the swap-latency histogram.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        ServeStats {
-            requests: self.shared.metrics.requests.value(),
-            batches: self.shared.metrics.batches.value(),
-            swaps: self.shared.metrics.swaps.value(),
-            dropped_replies: self.shared.metrics.dropped_replies.value(),
-        }
+        self.shared.stats()
+    }
+
+    /// The most recent sampled [`ExplainReport`]s (oldest first, at most
+    /// [`EXPLAIN_RING_CAPACITY`]). Empty unless
+    /// [`ServiceConfig::explain_sample`] is non-zero.
+    #[must_use]
+    pub fn recent_explains(&self) -> Vec<ExplainReport> {
+        self.shared.recent_explains()
+    }
+
+    /// The service's shared state, for the observability endpoint
+    /// ([`crate::observe`]).
+    pub(crate) fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
     }
 
     /// Snapshot of the submission-to-reply latency histogram (one record
@@ -321,6 +401,24 @@ impl Drop for EstimatorService {
             let _ = handle.join();
         }
     }
+}
+
+/// Retains a sampled explain report in the last-N ring and publishes the
+/// matching [`JournalEvent::QuerySampled`].
+fn publish_sampled(shared: &Shared, generation: u64, report: ExplainReport) {
+    journal().publish(JournalEvent::QuerySampled {
+        generation,
+        estimate: report.estimate,
+        path: report.path.as_str().to_string(),
+    });
+    if dbhist_telemetry::enabled() {
+        wellknown().serve_journal_events.increment();
+    }
+    let mut ring = lock(&shared.explains);
+    if ring.len() >= EXPLAIN_RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(report);
 }
 
 fn worker_loop(shared: &Shared) {
@@ -344,8 +442,28 @@ fn worker_loop(shared: &Shared) {
         if shared.generation.load(Ordering::Acquire) != snapshot.number {
             snapshot = shared.current_snapshot();
         }
-        let estimates: Vec<f64> =
-            job.queries.iter().map(|q| snapshot.synopsis.estimate(q)).collect();
+        let n = u64::try_from(job.queries.len()).unwrap_or(u64::MAX);
+        let sample = u64::try_from(shared.explain_sample).unwrap_or(u64::MAX);
+        // Claim this batch's span of the served-query sequence with one
+        // atomic op; individual queries are then sampled positionally.
+        let first_seq =
+            if sample > 0 { shared.served_seq.fetch_add(n, Ordering::AcqRel) } else { 0 };
+        let estimates: Vec<f64> = job
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let seq = first_seq.wrapping_add(u64::try_from(i).unwrap_or(u64::MAX));
+                if sample > 0 && seq % sample == 0 {
+                    if let Ok((est, report)) = snapshot.synopsis.try_estimate_explained(q) {
+                        publish_sampled(shared, snapshot.number, report);
+                        return est;
+                    }
+                }
+                snapshot.synopsis.estimate(q)
+            })
+            .collect();
+        *lock(&shared.per_generation).entry(snapshot.number).or_insert(0) += n;
         let elapsed_ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let telemetry = dbhist_telemetry::enabled();
         for _ in 0..job.queries.len() {
@@ -396,7 +514,10 @@ mod tests {
     fn batches_match_direct_estimation() {
         let synopsis = build(0, 512);
         let expected: Vec<f64> = queries().iter().map(|q| synopsis.estimate(q)).collect();
-        let service = EstimatorService::start(synopsis, ServiceConfig { workers: 2 });
+        let service = EstimatorService::start(
+            synopsis,
+            ServiceConfig { workers: 2, ..ServiceConfig::default() },
+        );
         let reply = service.estimate_batch(queries()).unwrap();
         assert_eq!(reply.generation, 1);
         for (got, want) in reply.estimates.iter().zip(&expected) {
@@ -416,7 +537,8 @@ mod tests {
         let old_expected: Vec<f64> = queries().iter().map(|q| old.estimate(q)).collect();
         let new_expected: Vec<f64> = queries().iter().map(|q| new.estimate(q)).collect();
 
-        let service = EstimatorService::start(old, ServiceConfig { workers: 2 });
+        let service =
+            EstimatorService::start(old, ServiceConfig { workers: 2, ..ServiceConfig::default() });
         // Hold the old snapshot across the swap: it must stay readable.
         let held = service.snapshot();
         let before = service.estimate_batch(queries()).unwrap();
@@ -454,7 +576,10 @@ mod tests {
         for g in &gens {
             expected.push(queries().iter().map(|q| g.estimate(q)).collect());
         }
-        let service = EstimatorService::start(synopsis, ServiceConfig { workers: 3 });
+        let service = EstimatorService::start(
+            synopsis,
+            ServiceConfig { workers: 3, ..ServiceConfig::default() },
+        );
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let service = &service;
@@ -503,8 +628,55 @@ mod tests {
     }
 
     #[test]
+    fn explain_sampling_collects_reports_and_per_generation_counts() {
+        use crate::explain::QueryPath;
+        let synopsis = build(0, 512);
+        let expected: Vec<f64> = queries().iter().map(|q| synopsis.estimate(q)).collect();
+        let service =
+            EstimatorService::start(synopsis, ServiceConfig { workers: 1, explain_sample: 1 });
+        let reply = service.estimate_batch(queries()).unwrap();
+        for (got, want) in reply.estimates.iter().zip(&expected) {
+            assert_eq!(got.to_bits(), want.to_bits(), "sampled answers stay bit-identical");
+        }
+        let reports = service.recent_explains();
+        assert_eq!(reports.len(), queries().len(), "sample=1 explains every query");
+        for r in &reports {
+            assert!(
+                matches!(
+                    r.path,
+                    QueryPath::KernelHit
+                        | QueryPath::PlanCacheHit
+                        | QueryPath::PlanCompiled
+                        | QueryPath::TableTotal
+                ),
+                "report must carry the resolved path"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.per_generation, vec![(1, queries().len() as u64)]);
+        assert_eq!(stats.swap_latency.count, 0);
+
+        service.swap(build(1, 768));
+        let _ = service.estimate_batch(queries()).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.per_generation.len(), 2, "traffic is split by generation");
+        assert_eq!(stats.per_generation[1].0, 2);
+        assert_eq!(stats.swap_latency.count, 1, "each swap records its install latency");
+    }
+
+    #[test]
+    fn sampling_off_keeps_explain_ring_empty() {
+        let service = EstimatorService::start(build(0, 512), ServiceConfig::default());
+        let _ = service.estimate_batch(queries()).unwrap();
+        assert!(service.recent_explains().is_empty());
+    }
+
+    #[test]
     fn drop_drains_queued_batches() {
-        let service = EstimatorService::start(build(0, 512), ServiceConfig { workers: 1 });
+        let service = EstimatorService::start(
+            build(0, 512),
+            ServiceConfig { workers: 1, ..ServiceConfig::default() },
+        );
         let tickets: Vec<BatchTicket> = (0..16).map(|_| service.submit(queries())).collect();
         drop(service);
         for t in tickets {

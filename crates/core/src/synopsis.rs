@@ -38,6 +38,7 @@ use crate::build::{GridCliqueBuilder, IncrementalBuilder, MhistCliqueBuilder};
 use crate::builder::BuildTrace;
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
+use crate::explain::{ExplainRecorder, ExplainReport};
 use crate::factor::{ExactFactor, Factor};
 use crate::plan::{QueryEngine, QueryTrace};
 use crate::query::Query;
@@ -202,6 +203,40 @@ impl<F: Factor> DbHistogram<F> {
             return Ok(self.factors.first().map_or(0.0, Factor::total));
         }
         self.engine.estimate_mass(self.model.junction_tree(), &self.factors, &attrs, query)
+    }
+
+    /// [`DbHistogram::try_estimate`] plus a per-query [`ExplainReport`]
+    /// describing how the engine resolved it. The estimate is
+    /// bit-identical to the unexplained call (probes only observe; see
+    /// [`crate::explain`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factor-operation failures.
+    pub fn try_estimate_explained(
+        &self,
+        query: &Query,
+    ) -> Result<(f64, ExplainReport), SynopsisError> {
+        let attrs = AttrSet::from_ids(
+            query
+                .ranges()
+                .iter()
+                .map(|&(a, _, _)| a)
+                .filter(|&a| usize::from(a) < self.model.schema().arity()),
+        );
+        if attrs.is_empty() {
+            // No constrained attribute: the estimate is the table size and
+            // no engine machinery runs — the report says exactly that.
+            let estimate = self.factors.first().map_or(0.0, Factor::total);
+            let recorder = ExplainRecorder::new(&attrs);
+            return Ok((estimate, recorder.finish(estimate, 0)));
+        }
+        self.engine.estimate_mass_explained(
+            self.model.junction_tree(),
+            &self.factors,
+            &attrs,
+            query,
+        )
     }
 
     /// Feeds an observed cardinality back into the synopsis's

@@ -19,8 +19,8 @@ fn split_labels(name: &str) -> (&str, &str) {
 }
 
 /// Renders an `f64` so it round-trips and stays valid JSON (no `NaN` /
-/// `inf` literals).
-fn fmt_f64(v: f64) -> String {
+/// `inf` literals). Shared with the journal's JSONL rendering.
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `{}` prints integral floats without a dot; keep a decimal point
@@ -35,7 +35,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn json_escape(text: &str) -> String {
+pub(crate) fn json_escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for c in text.chars() {
         match c {

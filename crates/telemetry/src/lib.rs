@@ -20,8 +20,13 @@
 //!   and no collector installed, entering a span is two relaxed atomic
 //!   loads and no clock read — effectively free.
 //! * [`drift`] — [`DriftMonitor`]: rolling absolute-relative-error
-//!   windows per model clique, fed by observed cardinalities, exposed as
-//!   per-clique drift gauges that maintenance policies consult.
+//!   windows *and* full error distributions per model clique, fed by
+//!   observed cardinalities, exposed as per-clique drift and
+//!   error-quantile gauges that maintenance policies consult.
+//! * [`journal`] — a bounded, mostly-lock-free ring of typed engine
+//!   events (sampled query explains, generation swaps, rebuilds, drift
+//!   trips, cache evictions) drained as JSONL by the observability
+//!   endpoint.
 //! * [`export`] — [`export::to_json`] and [`export::to_prometheus`]
 //!   render the same [`Snapshot`].
 //! * [`wellknown`] — pre-registered handles for every `dbhist_*` metric
@@ -58,11 +63,13 @@
 
 pub mod drift;
 pub mod export;
+pub mod journal;
 pub mod registry;
 pub mod span;
 pub mod wellknown;
 
 pub use drift::DriftMonitor;
+pub use journal::{journal, Journal, JournalEvent};
 pub use registry::{
     enabled, global, set_enabled, snapshot, Counter, Gauge, HistogramSnapshot, LatencyHistogram,
     MetricSnapshot, MetricValue, Registry, Snapshot,

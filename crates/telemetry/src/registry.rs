@@ -210,6 +210,35 @@ impl LatencyHistogram {
         HistogramSnapshot { count: self.count(), sum: self.sum(), histogram }
     }
 
+    /// Adds every observation of `other` into `self`. With matching
+    /// grouping powers (the only case the engine produces) the merge is
+    /// exact bucket-wise addition; under a mismatch each foreign bucket
+    /// is re-recorded at its lower bound, preserving counts but not
+    /// sub-bucket placement.
+    pub fn absorb(&self, other: &Self) {
+        if self.grouping_power == other.grouping_power {
+            for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+                let n = src.load(Ordering::Relaxed);
+                if n > 0 {
+                    dst.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        } else {
+            for (i, src) in other.buckets.iter().enumerate() {
+                let n = src.load(Ordering::Relaxed);
+                if n == 0 {
+                    continue;
+                }
+                let (lo, _) = other.bounds_of(i);
+                if let Some(dst) = self.buckets.get(self.index_of(u64::from(lo))) {
+                    dst.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+
     /// Zeroes every bucket and the running count/sum.
     pub fn reset(&self) {
         for slot in &*self.buckets {
@@ -560,6 +589,22 @@ mod tests {
         assert!((900.0..=1030.0).contains(&p99), "p99 {p99}");
         assert!(p50 < p99);
         assert!((snap.mean().unwrap_or(0.0) - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn absorb_merges_bucketwise() {
+        let a = LatencyHistogram::new(5);
+        let b = LatencyHistogram::new(5);
+        for v in [3u64, 100, 5_000] {
+            a.record(v);
+            b.record(v);
+            b.record(v + 1);
+        }
+        a.absorb(&b);
+        assert_eq!(a.count(), 9);
+        assert_eq!(a.sum(), 3 * (3 + 100 + 5_000) + 3);
+        let total: f64 = a.snapshot().histogram.buckets().iter().map(|bk| bk.freq).sum();
+        assert!((total - 9.0).abs() < 1e-9, "every bucket observation survives the merge");
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub struct WellKnown {
 
     // Estimator feedback.
     pub estimator_feedback: Arc<Counter>,
+    /// Non-finite feedback observations dropped by `DriftMonitor::record`
+    /// (never entering any window or distribution).
+    pub estimator_feedback_dropped: Arc<Counter>,
 
     // Estimator service (concurrent serving path).
     pub serve_requests: Arc<Counter>,
@@ -56,6 +59,10 @@ pub struct WellKnown {
     /// Wall-clock nanoseconds from batch submission to reply, recorded
     /// once per request in the batch.
     pub serve_latency: Arc<LatencyHistogram>,
+    /// Wall-clock nanoseconds of each generation swap's critical section.
+    pub serve_swap_latency: Arc<LatencyHistogram>,
+    /// Events published into the serving journal.
+    pub serve_journal_events: Arc<Counter>,
 
     // Snapshot persistence.
     pub persist_saves: Arc<Counter>,
@@ -98,11 +105,14 @@ pub fn wellknown() -> &'static WellKnown {
             model_entropy_computations: r.counter("dbhist_model_entropy_computations_total"),
             model_entropy_cache_hits: r.counter("dbhist_model_entropy_cache_hits_total"),
             estimator_feedback: r.counter("dbhist_estimator_feedback_total"),
+            estimator_feedback_dropped: r.counter("dbhist_estimator_feedback_dropped_total"),
             serve_requests: r.counter("dbhist_serve_requests_total"),
             serve_batches: r.counter("dbhist_serve_batches_total"),
             serve_swaps: r.counter("dbhist_serve_swaps_total"),
             serve_dropped_replies: r.counter("dbhist_serve_dropped_replies_total"),
             serve_latency: r.histogram("dbhist_serve_request_latency_ns"),
+            serve_swap_latency: r.histogram("dbhist_serve_swap_latency_ns"),
+            serve_journal_events: r.counter("dbhist_serve_journal_events_total"),
             persist_saves: r.counter("dbhist_persist_saves_total"),
             persist_loads: r.counter("dbhist_persist_loads_total"),
             persist_save_seconds: r.gauge("dbhist_persist_save_seconds"),
@@ -141,9 +151,12 @@ mod tests {
             "dbhist_build_splits_funded_total",
             "dbhist_model_entropy_cache_hits_total",
             "dbhist_estimator_feedback_total",
+            "dbhist_estimator_feedback_dropped_total",
             "dbhist_serve_requests_total",
             "dbhist_serve_swaps_total",
             "dbhist_serve_request_latency_ns",
+            "dbhist_serve_swap_latency_ns",
+            "dbhist_serve_journal_events_total",
             "dbhist_persist_saves_total",
             "dbhist_persist_loads_total",
             "dbhist_persist_save_seconds",

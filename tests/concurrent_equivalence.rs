@@ -104,7 +104,7 @@ proptest! {
 
         let mut gens = generations.into_iter();
         let service =
-            EstimatorService::start(gens.next().unwrap(), ServiceConfig { workers: 3 });
+            EstimatorService::start(gens.next().unwrap(), ServiceConfig { workers: 3, ..ServiceConfig::default() });
 
         const CLIENTS: u64 = 4;
         const BATCHES_PER_CLIENT: u64 = 12;

@@ -485,4 +485,54 @@ proptest! {
             }
         }
     }
+
+    /// EXPLAIN recording is observation-only: `estimate_mass_explained`
+    /// returns the same bits as `estimate_mass` on cold compiles, warm
+    /// kernel replays, and mixed call orders on a shared engine — the
+    /// probe may time and label, never touch an operand.
+    #[test]
+    fn explain_recording_bit_identical(
+        arity in 3usize..=6,
+        domain in 2u32..=6,
+        rows in 30usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let (_rel, model, factors, mut state) = build_setup(arity, domain, rows, seed);
+        let tree = model.junction_tree();
+        let plain: QueryEngine<ExactFactor> = QueryEngine::new(tree);
+        let explained: QueryEngine<ExactFactor> = QueryEngine::new(tree);
+        let workload: Vec<BoxQuery> = random_targets(arity, &mut state, 6)
+            .into_iter()
+            .map(|target| {
+                let ranges = random_ranges(&target, domain, &mut state);
+                (target, Query::from(ranges.as_slice()))
+            })
+            .collect();
+        // Two passes: the first compiles (and lowers kernels), the
+        // second replays warm — both must agree bit-for-bit.
+        for pass in 0..2 {
+            for (target, query) in &workload {
+                let p = plain.estimate_mass(tree, &factors, target, query).unwrap();
+                let (e, report) =
+                    explained.estimate_mass_explained(tree, &factors, target, query).unwrap();
+                prop_assert_eq!(
+                    p.to_bits(), e.to_bits(),
+                    "pass {}: target {}: plain {} vs explained {}", pass, target, p, e
+                );
+                prop_assert_eq!(report.estimate.to_bits(), e.to_bits());
+                prop_assert!(!report.path.as_str().is_empty());
+            }
+        }
+        // Mixed order on one engine: an explained call warming the cache
+        // for a plain call (and vice versa) must not perturb answers.
+        let shared: QueryEngine<ExactFactor> = QueryEngine::new(tree);
+        for (target, query) in &workload {
+            let (first, _) =
+                shared.estimate_mass_explained(tree, &factors, target, query).unwrap();
+            let second = shared.estimate_mass(tree, &factors, target, query).unwrap();
+            let expected = plain.estimate_mass(tree, &factors, target, query).unwrap();
+            prop_assert_eq!(first.to_bits(), expected.to_bits());
+            prop_assert_eq!(second.to_bits(), expected.to_bits());
+        }
+    }
 }
