@@ -13,7 +13,8 @@ use crate::suppress::Suppressions;
 pub struct FileClass {
     /// Legacy narrow set: library sources (root `src/` + each
     /// `crates/<name>/src/` minus `bin/`). Runs the ported line rules
-    /// `float-cmp`, `as-narrowing`, `snapshot-io`.
+    /// `float-cmp`, `as-narrowing`, `snapshot-io`, plus
+    /// `wal-append-order`.
     pub narrow: bool,
     /// Legacy wide set: narrow plus `bin/`, examples, integration
     /// tests, and benches. Runs `deprecated-shim` and `metric-name`.
@@ -50,6 +51,7 @@ pub fn analyze_file(rel_path: &str, source: &str, class: FileClass, report: &mut
         rules::legacy::float_cmp(&ctx, &mut raw);
         rules::legacy::as_narrowing(&ctx, &mut raw);
         rules::legacy::snapshot_io(&ctx, &mut raw);
+        rules::wal_order::check(&ctx, &mut raw);
     }
     if class.wide {
         rules::legacy::deprecated_shim(&ctx, &mut raw);

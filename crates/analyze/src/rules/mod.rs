@@ -5,6 +5,7 @@ pub mod hash_iter;
 pub mod legacy;
 pub mod panic_surface;
 pub mod par_float;
+pub mod wal_order;
 
 use crate::diag::Finding;
 use crate::lexer::{self, Lexed};
@@ -12,7 +13,7 @@ use crate::scope::{self, Scopes};
 
 /// Every rule id, in reporting order. `lint:allow` markers must name one
 /// of these (the audit flags unknown names).
-pub const RULES: [&str; 10] = [
+pub const RULES: [&str; 11] = [
     "hash-iter-order",
     "par-float-reduction",
     "atomic-ordering",
@@ -22,6 +23,7 @@ pub const RULES: [&str; 10] = [
     "deprecated-shim",
     "metric-name",
     "snapshot-io",
+    "wal-append-order",
     "journal-event-name",
 ];
 
@@ -52,6 +54,11 @@ pub fn hint_for(rule: &str) -> &'static str {
         }
         "metric-name" => "metric names follow dbhist_<subsystem>_<name>_<unit>",
         "snapshot-io" => "snapshot bytes enter through dbhist_persist::read_file only",
+        "wal-append-order" => {
+            "WAL files are mutated through dbhist_persist::wal::WalWriter only — it owns \
+             the append → fsync → apply and snapshot-before-truncate ordering that crash \
+             recovery depends on"
+        }
         "journal-event-name" => {
             "journal event-type tags are snake_case wire contracts (query_sampled, \
              generation_swap); log pipelines key on the tag string"

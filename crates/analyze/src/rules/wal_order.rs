@@ -1,0 +1,79 @@
+//! `wal-append-order` — write-ahead-log files are mutated only inside
+//! `crates/persist/src/wal`.
+//!
+//! The ingest durability contract (append → fsync → apply, snapshot
+//! before truncate) lives in `dbhist_persist::wal::WalWriter`. A direct
+//! append, fsync, or truncation anywhere else can reorder those steps —
+//! an un-fsync'd batch that moved the estimates, or a truncation racing
+//! a snapshot save — and the resulting divergence only surfaces after a
+//! crash, the one moment nothing can be debugged. So the raw mutation
+//! entry points (`OpenOptions::new(`, `.sync_data(`, `.sync_all(`,
+//! `.set_len(`) are banned outside the WAL module, mirroring how
+//! `snapshot-io` funnels snapshot reads through
+//! `dbhist_persist::read_file`.
+
+use super::FileCtx;
+use crate::diag::Finding;
+use crate::rules::legacy::find_banned;
+
+/// Raw WAL-mutation entry points banned outside `crates/persist/src/wal`.
+/// `OpenOptions::new(` covers append-mode opens; the fsync and truncate
+/// calls cover re-ordering an already-open handle.
+const WAL_ORDER_PATTERNS: [&str; 4] =
+    ["OpenOptions::new(", ".sync_data(", ".sync_all(", ".set_len("];
+
+/// True if this relative path may mutate WAL files directly: the WAL
+/// module itself (`crates/persist/src/wal.rs` or a future
+/// `crates/persist/src/wal/` subtree).
+#[must_use]
+pub fn wal_order_exempt(rel_path: &str) -> bool {
+    rel_path.replace('\\', "/").contains("crates/persist/src/wal")
+}
+
+/// `wal-append-order` over the shared masked lines (WAL module exempt).
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if wal_order_exempt(&ctx.rel_path) {
+        return;
+    }
+    for (idx, masked) in ctx.lexed.masked.iter().enumerate() {
+        if WAL_ORDER_PATTERNS.iter().any(|p| find_banned(masked, p)) {
+            out.push(ctx.finding(idx + 1, 0, "wal-append-order"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new(path, src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_direct_wal_mutation_outside_the_wal_module() {
+        let append = "let f = OpenOptions::new().append(true).open(p)?;\n";
+        assert_eq!(run("crates/core/src/ingest.rs", append).len(), 1);
+        let fsync = "file.sync_data()?;\n";
+        assert_eq!(run("crates/core/src/service.rs", fsync).len(), 1);
+        let truncate = "file.set_len(valid)?;\n";
+        assert_eq!(run("crates/persist/src/container.rs", truncate).len(), 1);
+    }
+
+    #[test]
+    fn the_wal_module_is_exempt() {
+        let src =
+            "let f = OpenOptions::new().write(true).open(p)?;\nf.set_len(n)?;\nf.sync_data()?;\n";
+        assert!(run("crates/persist/src/wal.rs", src).is_empty());
+        assert!(run("crates/persist/src/wal/writer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ordinary_io_stays_quiet() {
+        let src = "std::fs::write(path, &bytes)?;\nlet s = vec.len();\n";
+        assert!(run("crates/core/src/ingest.rs", src).is_empty());
+    }
+}

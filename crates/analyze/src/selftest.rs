@@ -17,7 +17,7 @@ struct Fixture {
     clean: &'static str,
 }
 
-const FIXTURES: [Fixture; 10] = [
+const FIXTURES: [Fixture; 11] = [
     Fixture {
         rule: "hash-iter-order",
         path: "crates/distribution/src/distribution.rs",
@@ -71,6 +71,12 @@ const FIXTURES: [Fixture; 10] = [
         path: "crates/core/src/snapshot.rs",
         violating: "fn load(path: &Path) -> io::Result<Vec<u8>> { std::fs::read(path) }\n",
         clean: "fn load(path: &Path) -> Result<Vec<u8>, Error> { dbhist_persist::read_file(path) }\n",
+    },
+    Fixture {
+        rule: "wal-append-order",
+        path: "crates/core/src/ingest.rs",
+        violating: "fn journal(path: &Path, rec: &[u8]) -> io::Result<()> {\n    let mut f = OpenOptions::new().append(true).open(path)?;\n    f.write_all(rec)\n}\n",
+        clean: "fn journal(wal: &mut WalWriter, ops: &[WalOp]) -> Result<u64, PersistError> {\n    wal.append(ops)\n}\n",
     },
     Fixture {
         rule: "journal-event-name",
@@ -193,6 +199,20 @@ fn exemption_checks() -> u32 {
     check(
         poison.findings.iter().any(|f| f.rule == "atomic-ordering"),
         "exemption grants orderings only, not .lock().unwrap()",
+    );
+
+    // The WAL module implements the append/fsync/truncate discipline the
+    // rule enforces, so it must stay exempt — everywhere else fires.
+    let wal_mutation = "fn t(f: &File) -> io::Result<()> { f.sync_data() }\n";
+    let walled = scan("crates/persist/src/wal.rs", wal_mutation);
+    check(
+        !walled.findings.iter().any(|f| f.rule == "wal-append-order"),
+        "wal-append-order exempts crates/persist/src/wal",
+    );
+    let unwalled = scan("crates/persist/src/container.rs", wal_mutation);
+    check(
+        unwalled.findings.iter().any(|f| f.rule == "wal-append-order"),
+        "wal-append-order fires outside the WAL module",
     );
 
     let plain_index = scan("crates/core/src/plan.rs", "fn g(v: &[u8]) -> u8 { v[0] }\n");

@@ -1,0 +1,283 @@
+//! Emits `BENCH_ingest.json`: streaming-ingest throughput, WAL crash
+//! recovery, and feedback-driven re-split accuracy.
+//!
+//! ```text
+//! ingest_bench [OUTPUT_PATH] [BATCHES]    (default: BENCH_ingest.json 512)
+//! ```
+//!
+//! CI smoke mode passes a small batch count; the committed baseline uses
+//! the default. Three phases:
+//!
+//! 1. **Throughput** — a durable `IngestSession` (snapshot + fsync'd
+//!    WAL) absorbing `BATCHES` × 64-op batches: batches/sec, ops/sec.
+//! 2. **Recovery** — drop the session mid-stream (files survive, like a
+//!    `kill -9`) and recover from last-snapshot-plus-tail: replay time,
+//!    and a bit-identity assertion against the uninterrupted estimates.
+//! 3. **Self-tuning** — inject a correlated hotspot the seeded
+//!    bucketization cannot resolve, feed query feedback until the q95
+//!    error trips, and let `tune()` re-split that one clique: mean
+//!    abs-rel-error before vs after (the gated
+//!    `accuracy.resplit_error_reduction`), re-split latency vs a full
+//!    rebuild.
+//!
+//! Set `DBHIST_TELEMETRY=1` to dump the registry snapshot next to the
+//! output (`<OUTPUT_PATH>.telemetry.json` / `.prom`).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // binaries/examples: abort on a broken build
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dbhist_core::ingest::{IngestConfig, IngestSession, TuneOutcome};
+use dbhist_core::maintenance::MaintainedDbHistogram;
+use dbhist_core::synopsis::DbConfig;
+use dbhist_core::{Query, SelectivityEstimator, SynopsisBuilder};
+use dbhist_distribution::{AttrId, Relation, Schema};
+use dbhist_persist::wal::WalOp;
+
+const ROWS: usize = 12_000;
+const DOMAIN: u32 = 32;
+const BUDGET: usize = 12 * 1024;
+/// Coarse budget for the self-tuning phase: few enough buckets that the
+/// seeded boundaries smear an injected hotspot, so re-splitting (same
+/// storage, new boundaries) has something to fix.
+const TUNE_BUDGET: usize = 2 * 1024;
+const OPS_PER_BATCH: usize = 64;
+const SEED: u64 = 0x001A_6E57;
+/// The injected hotspot cell (correlated, so the *model* keeps fitting
+/// and only the bucketization goes stale).
+const HOT: u32 = DOMAIN - 3;
+/// Hotspot rows injected in the tuning phase.
+const HOT_ROWS: usize = 24_000;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Deterministic 4-attribute relation: a0 ≈ a1 correlated, a2/a3 noise.
+fn seed_relation() -> Relation {
+    let mut state = SEED | 1;
+    let schema = Schema::new((0..4).map(|i| (format!("a{i}"), DOMAIN))).unwrap();
+    let rows: Vec<Vec<u32>> = (0..ROWS)
+        .map(|_| {
+            let base = (xorshift(&mut state) % u64::from(DOMAIN)) as u32;
+            vec![
+                base,
+                if xorshift(&mut state).is_multiple_of(4) {
+                    (xorshift(&mut state) % u64::from(DOMAIN)) as u32
+                } else {
+                    base
+                },
+                (xorshift(&mut state) % u64::from(DOMAIN)) as u32,
+                (xorshift(&mut state) % u64::from(DOMAIN)) as u32,
+            ]
+        })
+        .collect();
+    Relation::from_rows(schema, rows).unwrap()
+}
+
+/// Deterministic ingest batch `i` (shared with the recovery replay).
+fn batch(i: u64) -> Vec<WalOp> {
+    let mut state = SEED ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..OPS_PER_BATCH)
+        .map(|_| {
+            let base = (xorshift(&mut state) % u64::from(DOMAIN)) as u32;
+            WalOp::Insert(vec![
+                base,
+                base,
+                (xorshift(&mut state) % u64::from(DOMAIN)) as u32,
+                (xorshift(&mut state) % u64::from(DOMAIN)) as u32,
+            ])
+        })
+        .collect()
+}
+
+fn probe_queries() -> Vec<Query> {
+    vec![
+        Query::all(),
+        Query::equals(0, HOT),
+        Query::range(0, HOT - 1, HOT + 1),
+        Query::range(1, HOT, DOMAIN - 1),
+        Query::range(0, 0, DOMAIN / 2),
+    ]
+}
+
+fn checksum(est: &MaintainedDbHistogram, queries: &[Query]) -> f64 {
+    queries.iter().map(|q| est.estimate(q)).sum()
+}
+
+/// A typed query paired with the raw ranges `Relation::count_range`
+/// answers it exactly from.
+type ErrQuery = (Query, Vec<(AttrId, u32, u32)>);
+
+/// Mean abs-rel-error of `est` against true counts from `truth`.
+fn mean_error(est: &MaintainedDbHistogram, truth: &Relation, queries: &[ErrQuery]) -> f64 {
+    let mut sum = 0.0;
+    for (q, ranges) in queries {
+        let actual = truth.count_range(ranges) as f64;
+        if actual > 0.0 {
+            sum += (est.estimate(q) - actual).abs() / actual;
+        }
+    }
+    sum / queries.len() as f64
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_ingest.json".into());
+    let batches: u64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(512);
+    let telemetry_env = std::env::var("DBHIST_TELEMETRY").is_ok_and(|v| v != "0");
+    dbhist_telemetry::set_enabled(telemetry_env);
+
+    let rel = seed_relation();
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("ingestbench_{}.dbhs", std::process::id()));
+    let walp = dir.join(format!("ingestbench_{}.wal", std::process::id()));
+
+    // ── Phase 1: durable ingest throughput ─────────────────────────────
+    let built = MaintainedDbHistogram::build(&rel, DbConfig::new(BUDGET)).unwrap();
+    let mut session = IngestSession::begin(built, &rel, IngestConfig::default())
+        .unwrap()
+        .with_durability(&snap, &walp)
+        .unwrap();
+    let start = Instant::now();
+    for i in 0..batches {
+        session.apply_batch(&batch(i)).unwrap();
+    }
+    let ingest = start.elapsed();
+    let batches_per_sec = batches as f64 / ingest.as_secs_f64().max(f64::MIN_POSITIVE);
+    let ops_per_sec = batches_per_sec * OPS_PER_BATCH as f64;
+
+    // ── Phase 2: crash recovery, bit-identity asserted ─────────────────
+    let queries = probe_queries();
+    let live: Vec<u64> =
+        queries.iter().map(|q| session.estimator().estimate(q).to_bits()).collect();
+    let live_checksum = checksum(session.estimator(), &queries);
+    drop(session); // the "crash": only the per-batch fsyncs survive
+    let start = Instant::now();
+    let (recovered, report) =
+        IngestSession::recover(&snap, &walp, DbConfig::new(BUDGET), IngestConfig::default())
+            .unwrap();
+    let recovery = start.elapsed();
+    assert_eq!(report.batches_replayed, batches, "every committed batch must replay");
+    let recovered_bits: Vec<u64> =
+        queries.iter().map(|q| recovered.estimator().estimate(q).to_bits()).collect();
+    assert_eq!(live, recovered_bits, "recovered estimates must be bit-identical");
+    drop(recovered);
+    std::fs::remove_file(&snap).ok();
+    std::fs::remove_file(&walp).ok();
+
+    // ── Phase 3: feedback-driven re-split vs full rebuild ──────────────
+    let built = MaintainedDbHistogram::build(&rel, DbConfig::new(TUNE_BUDGET)).unwrap();
+    let cfg = IngestConfig { min_observations: 16, ..IngestConfig::default() };
+    let mut session = IngestSession::begin(built, &rel, cfg).unwrap();
+    // Inject a correlated hotspot: the model still fits (a0 == a1), but
+    // the seeded buckets smear the spike across their extent.
+    let hot_batch: Vec<WalOp> =
+        (0..OPS_PER_BATCH).map(|_| WalOp::Insert(vec![HOT, HOT, 1, 2])).collect();
+    for _ in 0..HOT_ROWS / OPS_PER_BATCH {
+        session.apply_batch(&hot_batch).unwrap();
+    }
+    // The true final table, for error measurement.
+    let mut final_rows: Vec<Vec<u32>> = rel.rows().map(<[u32]>::to_vec).collect();
+    for _ in 0..(HOT_ROWS / OPS_PER_BATCH) * OPS_PER_BATCH {
+        final_rows.push(vec![HOT, HOT, 1, 2]);
+    }
+    let truth = Relation::from_rows(rel.schema().clone(), final_rows).unwrap();
+    let err_queries: Vec<ErrQuery> = vec![
+        (Query::equals(0, HOT), vec![(0, HOT, HOT)]),
+        (Query::equals(0, HOT - 1), vec![(0, HOT - 1, HOT - 1)]),
+        (Query::equals(0, HOT + 1), vec![(0, HOT + 1, HOT + 1)]),
+        (Query::range(0, HOT - 2, HOT), vec![(0, HOT - 2, HOT)]),
+        (Query::range(1, HOT - 1, HOT + 1), vec![(1, HOT - 1, HOT + 1)]),
+        (Query::range(0, HOT, DOMAIN - 1), vec![(0, HOT, DOMAIN - 1)]),
+    ];
+    let pre_err = mean_error(session.estimator(), &truth, &err_queries);
+    // Feedback loop: executed queries report their actual cardinality.
+    for _ in 0..8 {
+        for (q, ranges) in &err_queries {
+            session.record_feedback(q, truth.count_range(ranges) as f64);
+        }
+    }
+    let start = Instant::now();
+    let outcome = session.tune().unwrap();
+    let resplit = start.elapsed();
+    let TuneOutcome::Resplit { clique, buckets } = outcome else {
+        panic!("hotspot feedback must trigger a re-split, got {outcome:?}");
+    };
+    let post_err = mean_error(session.estimator(), &truth, &err_queries);
+    assert!(
+        post_err < pre_err,
+        "re-split must improve the tripped clique's error: {pre_err:.4} -> {post_err:.4}"
+    );
+    let error_reduction = pre_err / post_err.max(f64::MIN_POSITIVE);
+    // The alternative remedy, for scale: a full rebuild from the table.
+    let start = Instant::now();
+    let rebuilt = SynopsisBuilder::new(&truth).budget(TUNE_BUDGET).build().unwrap();
+    let rebuild = start.elapsed();
+    let _ = rebuilt.storage_bytes();
+    let resplit_vs_rebuild = rebuild.as_secs_f64() / resplit.as_secs_f64().max(f64::MIN_POSITIVE);
+
+    // ── Report ─────────────────────────────────────────────────────────
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"relation\": \"synthetic_correlated_stream\", \"rows\": {}, \
+         \"domain\": {DOMAIN}, \"budget_bytes\": {BUDGET}, \"batches\": {batches}, \
+         \"ops_per_batch\": {OPS_PER_BATCH}, \"hot_rows\": {HOT_ROWS}, \"seed\": {SEED}}},",
+        rel.row_count(),
+    );
+    let _ = writeln!(
+        json,
+        "  \"ingest\": {{\"total_ns\": {}, \"batches_per_sec\": {batches_per_sec:.1}, \
+         \"ops_per_sec\": {ops_per_sec:.1}}},",
+        ingest.as_nanos(),
+    );
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"replay_ns\": {}, \"batches_replayed\": {}, \
+         \"bit_identical\": true}},",
+        recovery.as_nanos(),
+        report.batches_replayed,
+    );
+    let _ = writeln!(
+        json,
+        "  \"tuning\": {{\"clique\": {clique}, \"buckets\": {buckets}, \
+         \"pre_err\": {pre_err:.6}, \"post_err\": {post_err:.6}, \
+         \"resplit_ns\": {}, \"rebuild_ns\": {}}},",
+        resplit.as_nanos(),
+        rebuild.as_nanos(),
+    );
+    let _ = writeln!(json, "  \"speedup\": {{\"resplit_vs_rebuild\": {resplit_vs_rebuild:.3}}},");
+    let _ =
+        writeln!(json, "  \"accuracy\": {{\"resplit_error_reduction\": {error_reduction:.3}}},");
+    let _ = writeln!(json, "  \"estimate_checksum\": {live_checksum:.6}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).unwrap();
+
+    if telemetry_env {
+        let snap = dbhist_telemetry::snapshot();
+        std::fs::write(
+            format!("{out_path}.telemetry.json"),
+            dbhist_telemetry::export::to_json(&snap),
+        )
+        .unwrap();
+        std::fs::write(
+            format!("{out_path}.telemetry.prom"),
+            dbhist_telemetry::export::to_prometheus(&snap),
+        )
+        .unwrap();
+    }
+    eprintln!(
+        "wrote {out_path}: {batches_per_sec:.0} batches/s (fsync'd), recovery {:.1}ms \
+         ({} batches, bit-identical), re-split error {pre_err:.3} -> {post_err:.3} \
+         ({error_reduction:.1}x) in {:.1}ms vs {:.0}ms rebuild",
+        recovery.as_secs_f64() * 1e3,
+        report.batches_replayed,
+        resplit.as_secs_f64() * 1e3,
+        rebuild.as_secs_f64() * 1e3,
+    );
+}

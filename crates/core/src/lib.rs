@@ -72,6 +72,7 @@ pub mod error;
 pub mod estimator;
 pub mod explain;
 pub mod factor;
+pub mod ingest;
 pub mod kernel;
 pub mod maintenance;
 pub mod marginal;
@@ -93,6 +94,7 @@ pub use explain::{
     StepKind, StepReport,
 };
 pub use factor::{ExactFactor, Factor};
+pub use ingest::{IngestConfig, IngestSession, RecoveryReport, TuneOutcome};
 pub use kernel::MassKernel;
 pub use observe::ObservabilityServer;
 pub use plan::{MarginalPlan, MassPlan, QueryEngine, QueryTrace};

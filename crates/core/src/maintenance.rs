@@ -20,10 +20,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use dbhist_distribution::{AttrId, Relation};
+use dbhist_distribution::{AttrId, Distribution, Relation};
 use dbhist_histogram::SplitTree;
 use dbhist_telemetry::journal::{journal, JournalEvent};
 
+use crate::build::{IncrementalBuilder as _, MhistCliqueBuilder};
 use crate::error::SynopsisError;
 use crate::estimator::SelectivityEstimator;
 use crate::query::Query;
@@ -101,10 +102,55 @@ impl MaintainedDbHistogram {
         })
     }
 
+    /// Restores a maintained synopsis from a snapshot written by
+    /// [`MaintainedDbHistogram::persist_to`] (or a session checkpoint):
+    /// no model re-selection, no base-table scan. The snapshot path is
+    /// registered for future rebuild re-saves, and the row count is
+    /// recovered from the synopsis's own total mass. The reservoir and
+    /// churn counters restart empty — they inform *drift measurement*
+    /// cadence, never estimates, so recovery stays bit-identical where
+    /// it matters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot load failures;
+    /// [`SynopsisError::InvalidConfig`] if the snapshot does not hold an
+    /// MHIST synopsis.
+    pub fn from_snapshot(
+        path: impl Into<std::path::PathBuf>,
+        config: DbConfig,
+    ) -> Result<Self, SynopsisError> {
+        let path = path.into();
+        let synopsis = crate::builder::Synopsis::load(&path)?.into_mhist().ok_or(
+            SynopsisError::InvalidConfig {
+                parameter: "path",
+                reason: "snapshot does not hold an MHIST synopsis".to_string(),
+            },
+        )?;
+        let rows = synopsis.estimate(&Query::all()).max(0.0);
+        Ok(Self {
+            synopsis,
+            config,
+            row_count: rows,
+            churn: 0,
+            built_rows: rows,
+            reservoir: Vec::new(),
+            reservoir_seen: 0,
+            snapshot_path: Some(path),
+            trip_latched: AtomicBool::new(false),
+        })
+    }
+
     /// The wrapped synopsis.
     #[must_use]
     pub fn synopsis(&self) -> &DbHistogram<SplitTree> {
         &self.synopsis
+    }
+
+    /// The build configuration (criterion, budget, selection knobs).
+    #[must_use]
+    pub fn config(&self) -> &DbConfig {
+        &self.config
     }
 
     /// Tuples currently represented.
@@ -296,6 +342,70 @@ impl MaintainedDbHistogram {
     #[must_use]
     pub fn snapshot_path(&self) -> Option<&std::path::Path> {
         self.snapshot_path.as_deref()
+    }
+
+    /// Re-saves the registered snapshot so it reflects every update
+    /// applied since the last save. A no-op without a registered path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the save's failure.
+    pub fn refresh_snapshot(&self) -> Result<(), SynopsisError> {
+        if let Some(path) = &self.snapshot_path {
+            crate::snapshot::save_db(&self.synopsis, path)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds **one clique's** bucketization from `marginal` (its
+    /// up-to-date marginal distribution) through the same split-tree
+    /// allocator a full build uses, targeting the bucket count the
+    /// clique already owns — the model, every other factor, and the
+    /// storage allocation stay untouched. This is the cheap remedy when
+    /// query feedback says one clique's buckets no longer resolve the
+    /// data: `O(one clique)` instead of full re-selection.
+    ///
+    /// The replaced clique's feedback-drift statistics are reset (they
+    /// described the old buckets) and the trip latch is released, so
+    /// the next degradation journals a fresh
+    /// [`JournalEvent::DriftTrip`]. Returns the replacement factor's
+    /// bucket count.
+    ///
+    /// # Errors
+    ///
+    /// [`SynopsisError::InvalidConfig`] for an out-of-range clique
+    /// index or a marginal whose attributes are not exactly the
+    /// clique's; propagates histogram-construction failures.
+    pub fn resplit_clique(
+        &mut self,
+        clique: usize,
+        marginal: &Distribution,
+    ) -> Result<usize, SynopsisError> {
+        let cliques = self.synopsis.model().cliques();
+        let Some(attrs) = cliques.get(clique) else {
+            return Err(SynopsisError::InvalidConfig {
+                parameter: "clique",
+                reason: format!("clique index {clique} out of range ({})", cliques.len()),
+            });
+        };
+        if marginal.attrs() != attrs {
+            return Err(SynopsisError::InvalidConfig {
+                parameter: "marginal",
+                reason: format!(
+                    "marginal attrs {:?} are not the clique's {attrs:?}",
+                    marginal.attrs()
+                ),
+            });
+        }
+        let target = self.synopsis.factors().get(clique).map_or(1, SplitTree::bucket_count);
+        let mut builder = MhistCliqueBuilder::start(marginal, self.config.criterion)?;
+        while builder.bucket_count() < target && builder.split_once() {}
+        let buckets = builder.bucket_count();
+        self.synopsis.replace_factor(clique, builder.finish());
+        self.synopsis.drift_monitor().reset_clique(clique);
+        self.trip_latched.store(false, Ordering::Release);
+        journal().publish(JournalEvent::Resplit { clique, buckets: buckets as u64 });
+        Ok(buckets)
     }
 }
 

@@ -919,6 +919,45 @@ impl<F: Factor> QueryEngine<F> {
         Ok(compiled)
     }
 
+    /// The clique indices the compiled (loose) estimation plan for
+    /// `target` actually loads, sorted and deduplicated.
+    ///
+    /// This is the attribution set for executed-query feedback: an
+    /// estimate only reflects the factors its plan reads, so error
+    /// observations should land on exactly those cliques — not on every
+    /// clique that happens to share an attribute with the query. (With
+    /// cliques `{a,b}` and `{a,c}`, a query on `a` alone is answered
+    /// from whichever clique the planner rooted at; blaming the other
+    /// one would steer re-splitting toward a factor the estimate never
+    /// consulted.) The kernel fast path lowers the same plan, so the
+    /// compile-time load set is authoritative for every execution mode.
+    ///
+    /// # Errors
+    ///
+    /// Rejects targets the model does not cover.
+    pub fn loaded_cliques(
+        &self,
+        tree: &JunctionTree,
+        target: &AttrSet,
+    ) -> Result<Vec<usize>, SynopsisError> {
+        let mut t = QueryTrace::default();
+        let CachedPlan::Mass(plan) = self.plan_for(tree, target, true, &mut t)? else {
+            return Err(malformed("loose key resolved to a strict plan"));
+        };
+        let mut cliques: Vec<usize> = plan
+            .groups()
+            .iter()
+            .flat_map(|g| g.plan.steps().iter())
+            .filter_map(|s| match *s {
+                PlanStep::Load { clique } => Some(clique),
+                _ => None,
+            })
+            .collect();
+        cliques.sort_unstable();
+        cliques.dedup();
+        Ok(cliques)
+    }
+
     /// Computes the marginal factor over `target` through the plan cache
     /// (and the marginal cache, when enabled).
     ///

@@ -348,6 +348,15 @@ impl EstimatorService {
         Ok(self.swap(Synopsis::Mhist(maintained.synopsis().clone())))
     }
 
+    /// Swaps in a clone of an ingest session's current synopsis, so
+    /// readers see every batch applied so far without interrupting the
+    /// stream (the session keeps ingesting into its own copy; swap
+    /// again after further batches or a re-split). Returns the new
+    /// generation number.
+    pub fn swap_ingested(&self, session: &crate::ingest::IngestSession) -> u64 {
+        self.swap(Synopsis::Mhist(session.estimator().synopsis().clone()))
+    }
+
     /// Loads a persisted synopsis from `path` and swaps it in. Returns
     /// the new generation number.
     ///

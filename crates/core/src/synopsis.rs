@@ -132,6 +132,22 @@ impl<F: Factor> DbHistogram<F> {
         &mut self.factors
     }
 
+    /// Replaces one clique's factor wholesale (a feedback-triggered
+    /// re-split installing fresh bucket boundaries). Goes through
+    /// [`DbHistogram::factors_mut`], so cached materialized marginals
+    /// and lowered kernels are invalidated; compiled plans survive (the
+    /// model structure is unchanged). Returns `false` for an
+    /// out-of-range index, leaving the synopsis untouched.
+    pub(crate) fn replace_factor(&mut self, clique: usize, factor: F) -> bool {
+        match self.factors_mut().get_mut(clique) {
+            Some(slot) => {
+                *slot = factor;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The plan-based query engine answering this synopsis's queries.
     #[must_use]
     pub fn engine(&self) -> &QueryEngine<F> {
@@ -243,7 +259,11 @@ impl<F: Factor> DbHistogram<F> {
     /// accuracy-drift monitor: the query is re-estimated, the absolute
     /// relative error `|estimate − actual| / actual` is computed (via
     /// [`dbhist_data::metrics::relative_error`]), and the observation is
-    /// attributed to every model clique the query's attributes touch.
+    /// attributed to the cliques whose factors the query's compiled plan
+    /// actually loads ([`QueryEngine::loaded_cliques`]) — blame lands on
+    /// the factors that produced the estimate, so feedback-driven
+    /// re-splitting ([`crate::ingest::IngestSession::tune`]) targets a
+    /// clique whose boundaries the failing queries actually consult.
     ///
     /// Non-positive or non-finite `actual` values are ignored (relative
     /// error is undefined at zero), as are queries the synopsis cannot
@@ -261,9 +281,24 @@ impl<F: Factor> DbHistogram<F> {
                 .map(|&(a, _, _)| a)
                 .filter(|&a| usize::from(a) < self.model.schema().arity()),
         );
-        for (i, clique) in self.model.cliques().iter().enumerate() {
-            if !attrs.is_empty() && !clique.is_disjoint(&attrs) {
-                self.drift.record(i, err);
+        if !attrs.is_empty() {
+            match self.engine.loaded_cliques(self.model.junction_tree(), &attrs) {
+                Ok(cliques) => {
+                    for i in cliques {
+                        self.drift.record(i, err);
+                    }
+                }
+                // `try_estimate` succeeded, so the plan compiles; this
+                // arm is unreachable in practice, but attr-overlap
+                // attribution keeps the observation from vanishing if a
+                // future planner rejects a target the estimator accepts.
+                Err(_) => {
+                    for (i, clique) in self.model.cliques().iter().enumerate() {
+                        if !clique.is_disjoint(&attrs) {
+                            self.drift.record(i, err);
+                        }
+                    }
+                }
             }
         }
         if dbhist_telemetry::enabled() {

@@ -51,6 +51,12 @@ pub enum PersistError {
         /// The OS error message.
         reason: String,
     },
+    /// A write-ahead-log record's payload does not match its framing
+    /// CRC-32 — the record (and everything after it) is untrustworthy.
+    WalRecordCrc {
+        /// Sequence number the corrupted record was expected to carry.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -67,6 +73,9 @@ impl fmt::Display for PersistError {
             Self::MissingSection { kind } => write!(f, "required section {kind} is missing"),
             Self::Corrupt { reason } => write!(f, "snapshot corrupt: {reason}"),
             Self::Io { path, reason } => write!(f, "snapshot I/O failed for {path}: {reason}"),
+            Self::WalRecordCrc { seq } => {
+                write!(f, "wal record {seq} failed its CRC-32 check (corrupted payload)")
+            }
         }
     }
 }
@@ -88,6 +97,7 @@ mod tests {
         assert!(PersistError::Corrupt { reason: "bad id".into() }.to_string().contains("bad id"));
         let io = PersistError::Io { path: "/tmp/x.dbh".into(), reason: "denied".into() };
         assert!(io.to_string().contains("denied"));
+        assert!(PersistError::WalRecordCrc { seq: 7 }.to_string().contains('7'));
     }
 
     #[test]

@@ -29,11 +29,13 @@ pub mod container;
 mod crc;
 pub mod error;
 pub mod model;
+pub mod wal;
 
 pub use container::{SectionKind, Snapshot, SnapshotWriter, FORMAT_VERSION, MAGIC};
 pub use crc::crc32;
 pub use error::PersistError;
 pub use model::{decode_factors, decode_model, encode_factors, encode_model, SnapshotMeta};
+pub use wal::{WalBatch, WalOp, WalRecovery, WalWriter};
 
 use std::path::Path;
 

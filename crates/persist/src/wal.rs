@@ -1,0 +1,571 @@
+//! The "DBWL" write-ahead log: a replayable journal of ingest batches.
+//!
+//! A streaming ingester cannot afford a full snapshot per batch, so
+//! durability is split in two: an occasional `DBHS` snapshot (the
+//! container in [`crate::container`]) plus this append-only tail of
+//! every batch applied since. A crashed ingester recovers by loading
+//! the last snapshot and replaying the tail through the same update
+//! path — bit-identically, because the log records the exact row
+//! stream and tuple updates are deterministic.
+//!
+//! Layout (all integers little-endian, mirroring the snapshot format):
+//!
+//! ```text
+//! header   := "DBWL" version:u16 arity:u16                  (8 bytes)
+//! record   := len:u32 crc:u32 payload[len]
+//! payload  := seq:u64 op_count:u32 op*
+//! op       := tag:u8 value:u32 × arity      (tag 1 = insert, 2 = delete)
+//! ```
+//!
+//! Rules, matching the snapshot container's:
+//!
+//! - **Every failure is typed.** A torn or corrupted log produces a
+//!   [`PersistError`], never a panic and never a silently divergent
+//!   replay: any byte prefix of a valid log either parses to a batch
+//!   prefix (ends exactly on a record boundary) or errors.
+//! - **Batch boundaries are durable.** [`WalWriter::append`] issues
+//!   `sync_data` after every record, so an acknowledged batch survives
+//!   power loss; a batch torn mid-write is discarded by
+//!   [`recover`] as an uncommitted tail.
+//! - **Truncation is atomic.** After each snapshot the log restarts via
+//!   a fresh-header temp file renamed over the old log
+//!   ([`WalWriter::truncate`]), so a crash between snapshot and
+//!   truncation leaves a *longer* log, never a torn one — replaying the
+//!   extra batches is prevented by sequence-zero restart detection in
+//!   the caller (the session snapshots and truncates under one lock).
+//!
+//! This module is the **only** sanctioned writer of `.wal` files; the
+//! `wal-append-order` rule in `dbhist-analyze` fails the gate on
+//! append-mode file I/O anywhere else in the workspace.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::bytes::{Reader, Writer};
+use crate::crc::crc32;
+use crate::error::PersistError;
+
+/// Magic prefix of every WAL file.
+pub const WAL_MAGIC: [u8; 4] = *b"DBWL";
+
+/// WAL format version written and accepted by this build.
+pub const WAL_VERSION: u16 = 1;
+
+/// Header length in bytes: magic + version + arity.
+pub const WAL_HEADER_LEN: usize = 8;
+
+/// Per-record framing overhead: length + CRC-32.
+pub const WAL_RECORD_OVERHEAD: usize = 8;
+
+/// Upper bound on one record's payload (64 MiB): a corrupted length
+/// field must not drive a multi-gigabyte allocation.
+const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// One logged tuple operation. Values follow the schema's attribute
+/// order, exactly as fed to the maintenance `insert`/`delete` path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A tuple insert.
+    Insert(Vec<u32>),
+    /// A tuple delete.
+    Delete(Vec<u32>),
+}
+
+impl WalOp {
+    /// The operation's row values.
+    #[must_use]
+    pub fn row(&self) -> &[u32] {
+        match self {
+            WalOp::Insert(row) | WalOp::Delete(row) => row,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            WalOp::Insert(_) => 1,
+            WalOp::Delete(_) => 2,
+        }
+    }
+}
+
+/// One committed batch, as replayed from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBatch {
+    /// Zero-based sequence number within the current log generation.
+    pub seq: u64,
+    /// The batch's operations, in applied order.
+    pub ops: Vec<WalOp>,
+}
+
+/// A fully parsed log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalContents {
+    /// Row arity recorded in the header.
+    pub arity: u16,
+    /// Every committed batch, in sequence order.
+    pub batches: Vec<WalBatch>,
+}
+
+/// Outcome of tolerant tail recovery: the committed prefix plus a
+/// description of the discarded tail, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Row arity recorded in the header.
+    pub arity: u16,
+    /// Batches that were durably committed before the crash.
+    pub batches: Vec<WalBatch>,
+    /// Byte length of the valid prefix (header + committed records); a
+    /// writer reopening the log truncates to this offset.
+    pub valid_len: usize,
+    /// The typed error the torn tail produced, if the file does not end
+    /// exactly on a record boundary. `None` means a clean log.
+    pub tail_error: Option<PersistError>,
+}
+
+fn encode_header(arity: u16) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_bytes(&WAL_MAGIC);
+    w.put_u16(WAL_VERSION);
+    w.put_u16(arity);
+    w.into_inner()
+}
+
+/// Encodes one record (framing + payload) for `seq` and `ops`.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] if an op's arity disagrees with
+/// the log's, or the batch exceeds the payload bound.
+pub fn encode_record(seq: u64, arity: u16, ops: &[WalOp]) -> Result<Vec<u8>, PersistError> {
+    let mut payload = Writer::new();
+    payload.put_u64(seq);
+    payload.put_len(ops.len())?;
+    for op in ops {
+        if op.row().len() != usize::from(arity) {
+            return Err(PersistError::Corrupt {
+                reason: format!("wal op arity {} does not match log arity {arity}", op.row().len()),
+            });
+        }
+        payload.put_u8(op.tag());
+        for &v in op.row() {
+            payload.put_u32(v);
+        }
+    }
+    let payload = payload.into_inner();
+    let len = u32::try_from(payload.len()).ok().filter(|&l| l <= MAX_PAYLOAD).ok_or_else(|| {
+        PersistError::Corrupt {
+            reason: format!(
+                "wal batch payload of {} bytes exceeds the record bound",
+                payload.len()
+            ),
+        }
+    })?;
+    let mut framed = Writer::new();
+    framed.put_u32(len);
+    framed.put_u32(crc32(&payload));
+    framed.put_bytes(&payload);
+    Ok(framed.into_inner())
+}
+
+fn decode_payload(payload: &[u8], arity: u16, expected_seq: u64) -> Result<WalBatch, PersistError> {
+    let mut r = Reader::new(payload, "wal record payload");
+    let seq = r.u64()?;
+    if seq != expected_seq {
+        return Err(PersistError::Corrupt {
+            reason: format!("wal record out of order: found seq {seq}, expected {expected_seq}"),
+        });
+    }
+    let op_count = r.len(1 + usize::from(arity) * 4)?;
+    let mut ops = Vec::with_capacity(op_count);
+    for _ in 0..op_count {
+        let tag = r.u8()?;
+        let mut row = Vec::with_capacity(usize::from(arity));
+        for _ in 0..usize::from(arity) {
+            row.push(r.u32()?);
+        }
+        ops.push(match tag {
+            1 => WalOp::Insert(row),
+            2 => WalOp::Delete(row),
+            other => {
+                return Err(PersistError::Corrupt {
+                    reason: format!("wal op tag {other} is not insert(1)/delete(2)"),
+                })
+            }
+        });
+    }
+    r.expect_end()?;
+    Ok(WalBatch { seq, ops })
+}
+
+fn parse_header(bytes: &[u8]) -> Result<u16, PersistError> {
+    let mut r = Reader::new(bytes, "wal header");
+    if r.take(4)? != WAL_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != WAL_VERSION {
+        return Err(PersistError::VersionMismatch { found: version, expected: WAL_VERSION });
+    }
+    r.u16()
+}
+
+/// Strictly parses a whole log: header, then records to end of input.
+/// Any torn tail, bad CRC, or out-of-order record is an error — use
+/// [`recover`] when a crash-torn tail is an expected, tolerable state.
+///
+/// # Errors
+///
+/// [`PersistError::BadMagic`] / [`PersistError::VersionMismatch`] for a
+/// foreign file, [`PersistError::Truncated`] for a mid-record end,
+/// [`PersistError::WalRecordCrc`] for a payload/CRC mismatch, and
+/// [`PersistError::Corrupt`] for structural inconsistencies.
+pub fn read(bytes: &[u8]) -> Result<WalContents, PersistError> {
+    let recovery = scan(bytes)?;
+    match recovery.tail_error {
+        Some(err) => Err(err),
+        None => Ok(WalContents { arity: recovery.arity, batches: recovery.batches }),
+    }
+}
+
+/// Parses the committed prefix of a possibly crash-torn log. Header
+/// failures are still hard errors (the file is not a usable log at
+/// all); a torn or corrupted *tail* is reported in
+/// [`WalRecovery::tail_error`] alongside every batch committed before
+/// it. Replay never silently diverges: the returned batches are always
+/// an exact prefix of what [`WalWriter::append`] acknowledged.
+///
+/// # Errors
+///
+/// [`PersistError::BadMagic`], [`PersistError::VersionMismatch`], or
+/// [`PersistError::Truncated`] when even the 8-byte header is absent.
+pub fn recover(bytes: &[u8]) -> Result<WalRecovery, PersistError> {
+    scan(bytes)
+}
+
+fn scan(bytes: &[u8]) -> Result<WalRecovery, PersistError> {
+    let header =
+        bytes.get(..WAL_HEADER_LEN).ok_or(PersistError::Truncated { context: "wal header" })?;
+    let arity = parse_header(header)?;
+    let mut batches = Vec::new();
+    let mut offset = WAL_HEADER_LEN;
+    let mut tail_error = None;
+    while offset < bytes.len() {
+        match next_record(bytes, offset, arity, batches.len() as u64) {
+            Ok((batch, end)) => {
+                batches.push(batch);
+                offset = end;
+            }
+            Err(err) => {
+                tail_error = Some(err);
+                break;
+            }
+        }
+    }
+    Ok(WalRecovery { arity, batches, valid_len: offset, tail_error })
+}
+
+fn next_record(
+    bytes: &[u8],
+    offset: usize,
+    arity: u16,
+    expected_seq: u64,
+) -> Result<(WalBatch, usize), PersistError> {
+    let mut frame = Reader::new(
+        bytes.get(offset..).ok_or(PersistError::Truncated { context: "wal record frame" })?,
+        "wal record frame",
+    );
+    let len = frame.u32()?;
+    if len > MAX_PAYLOAD {
+        return Err(PersistError::Corrupt {
+            reason: format!("wal record declares a {len}-byte payload (bound {MAX_PAYLOAD})"),
+        });
+    }
+    let crc = frame.u32()?;
+    let payload = frame.take(len as usize)?;
+    if crc32(payload) != crc {
+        return Err(PersistError::WalRecordCrc { seq: expected_seq });
+    }
+    let batch = decode_payload(payload, arity, expected_seq)?;
+    let end = offset + WAL_RECORD_OVERHEAD + len as usize;
+    Ok((batch, end))
+}
+
+/// The append-side handle: owns the log file, assigns sequence numbers,
+/// and makes every acknowledged batch durable before returning.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    file: File,
+    arity: u16,
+    next_seq: u64,
+    appended_bytes: u64,
+}
+
+impl WalWriter {
+    fn io(path: &Path) -> impl Fn(std::io::Error) -> PersistError + '_ {
+        move |e| PersistError::Io { path: path.display().to_string(), reason: e.to_string() }
+    }
+
+    /// Creates (or truncates) the log at `path` with a fresh header and
+    /// syncs it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure.
+    pub fn create(path: impl Into<PathBuf>, arity: u16) -> Result<Self, PersistError> {
+        let path = path.into();
+        let mut file = File::create(&path).map_err(Self::io(&path))?;
+        file.write_all(&encode_header(arity)).map_err(Self::io(&path))?;
+        file.sync_data().map_err(Self::io(&path))?;
+        Ok(Self { path, file, arity, next_seq: 0, appended_bytes: 0 })
+    }
+
+    /// Opens an existing log for appending: replays its committed
+    /// prefix's bookkeeping, truncates any crash-torn tail to the last
+    /// committed boundary, and positions at the end. Creates a fresh
+    /// log if `path` does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure, or the
+    /// header's typed parse error if the file is not a WAL; a committed
+    /// arity differing from `arity` is [`PersistError::Corrupt`].
+    pub fn open(path: impl Into<PathBuf>, arity: u16) -> Result<Self, PersistError> {
+        let path = path.into();
+        if !path.exists() {
+            return Self::create(path, arity);
+        }
+        let bytes = crate::read_file(&path)?;
+        let recovery = scan(&bytes)?;
+        if recovery.arity != arity {
+            return Err(PersistError::Corrupt {
+                reason: format!(
+                    "wal arity {} does not match the schema arity {arity}",
+                    recovery.arity
+                ),
+            });
+        }
+        let file = OpenOptions::new().write(true).open(&path).map_err(Self::io(&path))?;
+        file.set_len(recovery.valid_len as u64).map_err(Self::io(&path))?;
+        file.sync_data().map_err(Self::io(&path))?;
+        let mut writer =
+            Self { path, file, arity, next_seq: recovery.batches.len() as u64, appended_bytes: 0 };
+        use std::io::Seek as _;
+        writer.file.seek(std::io::SeekFrom::End(0)).map_err(Self::io(&writer.path.clone()))?;
+        Ok(writer)
+    }
+
+    /// Appends one batch and syncs it to disk (`sync_data`). Returns
+    /// the batch's sequence number; once this returns, [`recover`]
+    /// replays the batch even across a `SIGKILL` or power loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] on an arity mismatch or
+    /// [`PersistError::Io`] on filesystem failure; the log's committed
+    /// prefix is unaffected by a failed append.
+    pub fn append(&mut self, ops: &[WalOp]) -> Result<u64, PersistError> {
+        let seq = self.next_seq;
+        let record = encode_record(seq, self.arity, ops)?;
+        self.file.write_all(&record).map_err(Self::io(&self.path))?;
+        self.file.sync_data().map_err(Self::io(&self.path))?;
+        self.next_seq += 1;
+        self.appended_bytes += record.len() as u64;
+        Ok(seq)
+    }
+
+    /// Atomically restarts the log after a snapshot: writes a fresh
+    /// header to a sibling temp file, syncs it, and renames it over the
+    /// log, so no observer ever sees a headerless or half-truncated
+    /// file. Sequence numbering restarts at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure; the old log
+    /// remains intact (and replayable) if any step fails.
+    pub fn truncate(&mut self) -> Result<(), PersistError> {
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut fresh = File::create(&tmp).map_err(Self::io(&tmp))?;
+        fresh.write_all(&encode_header(self.arity)).map_err(Self::io(&tmp))?;
+        fresh.sync_data().map_err(Self::io(&tmp))?;
+        std::fs::rename(&tmp, &self.path).map_err(Self::io(&self.path))?;
+        self.file = fresh;
+        self.next_seq = 0;
+        Ok(())
+    }
+
+    /// Sequence number the next [`WalWriter::append`] will assign (also
+    /// the number of batches committed this log generation).
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total record bytes appended through this handle.
+    #[must_use]
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Row arity this log accepts.
+    #[must_use]
+    pub fn arity(&self) -> u16 {
+        self.arity
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dbhist-wal-{}-{tag}.wal", std::process::id()))
+    }
+
+    fn sample_batches() -> Vec<Vec<WalOp>> {
+        vec![
+            vec![WalOp::Insert(vec![1, 2, 3]), WalOp::Insert(vec![4, 5, 6])],
+            vec![WalOp::Delete(vec![1, 2, 3])],
+            vec![
+                WalOp::Insert(vec![7, 8, 9]),
+                WalOp::Delete(vec![4, 5, 6]),
+                WalOp::Insert(vec![0, 0, 0]),
+            ],
+        ]
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let path = temp_path("roundtrip");
+        let mut w = WalWriter::create(&path, 3).unwrap();
+        for (i, ops) in sample_batches().iter().enumerate() {
+            assert_eq!(w.append(ops).unwrap(), i as u64);
+        }
+        let bytes = crate::read_file(&path).unwrap();
+        let contents = read(&bytes).unwrap();
+        assert_eq!(contents.arity, 3);
+        assert_eq!(contents.batches.len(), 3);
+        for (i, batch) in contents.batches.iter().enumerate() {
+            assert_eq!(batch.seq, i as u64);
+            assert_eq!(batch.ops, sample_batches()[i]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_continues_sequence() {
+        let path = temp_path("reopen");
+        let mut w = WalWriter::create(&path, 3).unwrap();
+        w.append(&sample_batches()[0]).unwrap();
+        drop(w);
+        let mut w = WalWriter::open(&path, 3).unwrap();
+        assert_eq!(w.next_seq(), 1);
+        assert_eq!(w.append(&sample_batches()[1]).unwrap(), 1);
+        let contents = read(&crate::read_file(&path).unwrap()).unwrap();
+        assert_eq!(contents.batches.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail() {
+        let path = temp_path("torn");
+        let mut w = WalWriter::create(&path, 3).unwrap();
+        w.append(&sample_batches()[0]).unwrap();
+        w.append(&sample_batches()[1]).unwrap();
+        drop(w);
+        // Tear the file mid-record (drop the last 3 bytes).
+        let bytes = crate::read_file(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let recovery = recover(&crate::read_file(&path).unwrap()).unwrap();
+        assert_eq!(recovery.batches.len(), 1, "torn second batch is discarded");
+        assert!(recovery.tail_error.is_some());
+        // Reopening truncates to the committed boundary and appends.
+        let mut w = WalWriter::open(&path, 3).unwrap();
+        assert_eq!(w.next_seq(), 1);
+        w.append(&sample_batches()[2]).unwrap();
+        let contents = read(&crate::read_file(&path).unwrap()).unwrap();
+        assert_eq!(contents.batches.len(), 2);
+        assert_eq!(contents.batches[1].ops, sample_batches()[2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_restarts_the_log() {
+        let path = temp_path("truncate");
+        let mut w = WalWriter::create(&path, 3).unwrap();
+        w.append(&sample_batches()[0]).unwrap();
+        w.truncate().unwrap();
+        assert_eq!(w.next_seq(), 0);
+        assert_eq!(w.append(&sample_batches()[1]).unwrap(), 0);
+        let contents = read(&crate::read_file(&path).unwrap()).unwrap();
+        assert_eq!(contents.batches.len(), 1);
+        assert_eq!(contents.batches[0].ops, sample_batches()[1]);
+        // No temp file lingers.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_typed_never_silent() {
+        let path = temp_path("corrupt");
+        let mut w = WalWriter::create(&path, 3).unwrap();
+        for ops in sample_batches() {
+            w.append(&ops).unwrap();
+        }
+        let bytes = crate::read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Flip one payload byte inside the first record.
+        let mut flipped = bytes.clone();
+        flipped[WAL_HEADER_LEN + WAL_RECORD_OVERHEAD + 2] ^= 0x40;
+        assert!(matches!(read(&flipped), Err(PersistError::WalRecordCrc { seq: 0 })));
+        // Tolerant recovery surfaces the same typed error with no batches.
+        let rec = recover(&flipped).unwrap();
+        assert!(rec.batches.is_empty());
+        assert!(matches!(rec.tail_error, Some(PersistError::WalRecordCrc { seq: 0 })));
+
+        // Foreign magic and version skew are hard errors for both paths.
+        let mut foreign = bytes.clone();
+        foreign[0] = b'X';
+        assert_eq!(read(&foreign).unwrap_err(), PersistError::BadMagic);
+        assert_eq!(recover(&foreign).unwrap_err(), PersistError::BadMagic);
+        let mut skewed = bytes;
+        skewed[4] = 0xFF;
+        assert!(matches!(read(&skewed), Err(PersistError::VersionMismatch { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let path = temp_path("arity");
+        let mut w = WalWriter::create(&path, 3).unwrap();
+        assert!(matches!(
+            w.append(&[WalOp::Insert(vec![1, 2])]),
+            Err(PersistError::Corrupt { .. })
+        ));
+        drop(w);
+        assert!(matches!(WalWriter::open(&path, 4), Err(PersistError::Corrupt { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_log_reads_empty() {
+        let path = temp_path("empty");
+        let w = WalWriter::create(&path, 2).unwrap();
+        drop(w);
+        let contents = read(&crate::read_file(&path).unwrap()).unwrap();
+        assert_eq!(contents.arity, 2);
+        assert!(contents.batches.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -232,18 +232,34 @@ impl DriftMonitor {
     /// the new synopsis).
     pub fn reset(&self) {
         for c in &self.cliques {
-            lock(&c.errors).clear();
-            c.mean.set(0.0);
-            c.distribution.reset();
-            if registry::enabled() {
-                c.published.set(0.0);
-                for gauge in &c.published_quantiles {
-                    gauge.set(0.0);
-                }
-            }
+            Self::reset_one(c);
         }
         self.observed.reset();
         self.dropped.reset();
+    }
+
+    /// Clears one clique's window, distribution, and gauges — used after
+    /// a feedback-triggered re-split replaces just that clique's factor,
+    /// so stale errors do not immediately re-trip the trigger. The
+    /// monitor-global [`DriftMonitor::observations`] / dropped counters
+    /// are left untouched: they describe feedback *volume*, not the
+    /// current factors. Out-of-range indices are ignored.
+    pub fn reset_clique(&self, clique: usize) {
+        if let Some(c) = self.cliques.get(clique) {
+            Self::reset_one(c);
+        }
+    }
+
+    fn reset_one(c: &CliqueDrift) {
+        lock(&c.errors).clear();
+        c.mean.set(0.0);
+        c.distribution.reset();
+        if registry::enabled() {
+            c.published.set(0.0);
+            for gauge in &c.published_quantiles {
+                gauge.set(0.0);
+            }
+        }
     }
 }
 
@@ -367,6 +383,20 @@ mod tests {
         assert_eq!(m.observations(), 0);
         assert_eq!(m.dropped(), 0);
         assert!(m.error_quantile(0, 50.0).is_none(), "distribution cleared");
+    }
+
+    #[test]
+    fn reset_clique_clears_only_that_clique() {
+        let m = DriftMonitor::new(2, 8);
+        m.record(0, 2.0);
+        m.record(1, 0.4);
+        m.reset_clique(0);
+        assert!(m.drift(0).abs() < 1e-12, "clique 0 cleared");
+        assert!(m.error_quantile(0, 95.0).is_none(), "distribution cleared");
+        assert!((m.drift(1) - 0.4).abs() < 1e-12, "clique 1 untouched");
+        assert_eq!(m.observations(), 2, "volume counters survive a per-clique reset");
+        m.reset_clique(9); // out of range: a no-op
+        assert!((m.drift(1) - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -68,6 +68,28 @@ pub enum JournalEvent {
         /// Entries resident after the eviction.
         entries: u64,
     },
+    /// An ingest batch was made durable in the write-ahead log.
+    WalAppend {
+        /// Sequence number the batch committed at.
+        seq: u64,
+        /// Tuple operations in the batch.
+        ops: u64,
+        /// Encoded record bytes appended (framing included).
+        bytes: u64,
+    },
+    /// The write-ahead log was atomically restarted after a snapshot.
+    WalTruncate {
+        /// Batches the discarded log generation held.
+        batches: u64,
+    },
+    /// A feedback-triggered re-split replaced one clique's factor
+    /// without a full rebuild.
+    Resplit {
+        /// Index of the re-split clique.
+        clique: usize,
+        /// Buckets in the replacement factor.
+        buckets: u64,
+    },
 }
 
 impl JournalEvent {
@@ -80,6 +102,9 @@ impl JournalEvent {
             JournalEvent::Rebuild { .. } => "rebuild",
             JournalEvent::DriftTrip { .. } => "drift_trip",
             JournalEvent::CacheEviction { .. } => "cache_eviction",
+            JournalEvent::WalAppend { .. } => "wal_append",
+            JournalEvent::WalTruncate { .. } => "wal_truncate",
+            JournalEvent::Resplit { .. } => "resplit",
         }
     }
 
@@ -108,6 +133,15 @@ impl JournalEvent {
             }
             JournalEvent::CacheEviction { cache, entries } => {
                 let _ = write!(s, ",\"cache\":\"{}\",\"entries\":{entries}", json_escape(cache));
+            }
+            JournalEvent::WalAppend { seq: batch_seq, ops, bytes } => {
+                let _ = write!(s, ",\"batch_seq\":{batch_seq},\"ops\":{ops},\"bytes\":{bytes}");
+            }
+            JournalEvent::WalTruncate { batches } => {
+                let _ = write!(s, ",\"batches\":{batches}");
+            }
+            JournalEvent::Resplit { clique, buckets } => {
+                let _ = write!(s, ",\"clique\":{clique},\"buckets\":{buckets}");
             }
         }
         s.push('}');
@@ -288,8 +322,11 @@ mod tests {
         j.publish(JournalEvent::Rebuild { rows: 4096, max_drift: 0.25 });
         j.publish(JournalEvent::DriftTrip { clique: 3, drift: 0.6 });
         j.publish(JournalEvent::CacheEviction { cache: "plan".to_string(), entries: 64 });
+        j.publish(JournalEvent::WalAppend { seq: 9, ops: 128, bytes: 1664 });
+        j.publish(JournalEvent::WalTruncate { batches: 10 });
+        j.publish(JournalEvent::Resplit { clique: 2, buckets: 48 });
         let jsonl = j.drain_jsonl();
-        assert_eq!(jsonl.lines().count(), 5);
+        assert_eq!(jsonl.lines().count(), 8);
         assert!(jsonl.contains("\"event\":\"query_sampled\""));
         assert!(jsonl.contains("\"path\":\"kernel_hit\""));
         assert!(jsonl.contains("\"event\":\"generation_swap\""));
@@ -297,6 +334,11 @@ mod tests {
         assert!(jsonl.contains("\"event\":\"rebuild\""));
         assert!(jsonl.contains("\"event\":\"drift_trip\""));
         assert!(jsonl.contains("\"event\":\"cache_eviction\""));
+        assert!(jsonl.contains("\"event\":\"wal_append\""));
+        assert!(jsonl.contains("\"batch_seq\":9"));
+        assert!(jsonl.contains("\"event\":\"wal_truncate\""));
+        assert!(jsonl.contains("\"event\":\"resplit\""));
+        assert!(jsonl.contains("\"buckets\":48"));
         for line in jsonl.lines() {
             assert_eq!(line.matches('{').count(), line.matches('}').count());
         }

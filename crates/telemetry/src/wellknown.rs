@@ -64,6 +64,16 @@ pub struct WellKnown {
     /// Events published into the serving journal.
     pub serve_journal_events: Arc<Counter>,
 
+    // Streaming ingest (tuple batches + write-ahead log).
+    pub ingest_batches: Arc<Counter>,
+    pub ingest_ops: Arc<Counter>,
+    /// Feedback-triggered single-clique re-splits (rebuild avoided).
+    pub ingest_resplits: Arc<Counter>,
+    /// Crash recoveries completed (snapshot load + WAL tail replay).
+    pub ingest_recoveries: Arc<Counter>,
+    /// Record bytes appended to the write-ahead log this generation.
+    pub ingest_wal_bytes: Arc<Gauge>,
+
     // Snapshot persistence.
     pub persist_saves: Arc<Counter>,
     pub persist_loads: Arc<Counter>,
@@ -113,6 +123,11 @@ pub fn wellknown() -> &'static WellKnown {
             serve_latency: r.histogram("dbhist_serve_request_latency_ns"),
             serve_swap_latency: r.histogram("dbhist_serve_swap_latency_ns"),
             serve_journal_events: r.counter("dbhist_serve_journal_events_total"),
+            ingest_batches: r.counter("dbhist_ingest_batches_total"),
+            ingest_ops: r.counter("dbhist_ingest_ops_total"),
+            ingest_resplits: r.counter("dbhist_ingest_resplits_total"),
+            ingest_recoveries: r.counter("dbhist_ingest_recoveries_total"),
+            ingest_wal_bytes: r.gauge("dbhist_ingest_wal_bytes"),
             persist_saves: r.counter("dbhist_persist_saves_total"),
             persist_loads: r.counter("dbhist_persist_loads_total"),
             persist_save_seconds: r.gauge("dbhist_persist_save_seconds"),
@@ -157,6 +172,11 @@ mod tests {
             "dbhist_serve_request_latency_ns",
             "dbhist_serve_swap_latency_ns",
             "dbhist_serve_journal_events_total",
+            "dbhist_ingest_batches_total",
+            "dbhist_ingest_ops_total",
+            "dbhist_ingest_resplits_total",
+            "dbhist_ingest_recoveries_total",
+            "dbhist_ingest_wal_bytes",
             "dbhist_persist_saves_total",
             "dbhist_persist_loads_total",
             "dbhist_persist_save_seconds",
