@@ -8,7 +8,9 @@
 //! a snapshot save — and the resulting divergence only surfaces after a
 //! crash, the one moment nothing can be debugged. So the raw mutation
 //! entry points (`OpenOptions::new(`, `.sync_data(`, `.sync_all(`,
-//! `.set_len(`) are banned outside the WAL module, mirroring how
+//! `.set_len(`) are banned outside the WAL module and the persist
+//! crate root (whose `write_file` is the sanctioned fsync'd snapshot
+//! writer the checkpoint protocol depends on), mirroring how
 //! `snapshot-io` funnels snapshot reads through
 //! `dbhist_persist::read_file`.
 
@@ -22,12 +24,15 @@ use crate::rules::legacy::find_banned;
 const WAL_ORDER_PATTERNS: [&str; 4] =
     ["OpenOptions::new(", ".sync_data(", ".sync_all(", ".set_len("];
 
-/// True if this relative path may mutate WAL files directly: the WAL
-/// module itself (`crates/persist/src/wal.rs` or a future
-/// `crates/persist/src/wal/` subtree).
+/// True if this relative path may issue durable-I/O syscalls directly:
+/// the WAL module itself (`crates/persist/src/wal.rs` or a future
+/// `crates/persist/src/wal/` subtree), or the persist crate root —
+/// `dbhist_persist::write_file` fsyncs the snapshot temp file and its
+/// directory before the WAL is allowed to truncate.
 #[must_use]
 pub fn wal_order_exempt(rel_path: &str) -> bool {
-    rel_path.replace('\\', "/").contains("crates/persist/src/wal")
+    let rel = rel_path.replace('\\', "/");
+    rel.contains("crates/persist/src/wal") || rel.ends_with("crates/persist/src/lib.rs")
 }
 
 /// `wal-append-order` over the shared masked lines (WAL module exempt).
@@ -69,6 +74,15 @@ mod tests {
             "let f = OpenOptions::new().write(true).open(p)?;\nf.set_len(n)?;\nf.sync_data()?;\n";
         assert!(run("crates/persist/src/wal.rs", src).is_empty());
         assert!(run("crates/persist/src/wal/writer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn the_persist_crate_root_is_exempt_but_its_siblings_fire() {
+        // `write_file` fsyncs the snapshot temp file + directory.
+        let src = "file.sync_all()?;\n";
+        assert!(run("crates/persist/src/lib.rs", src).is_empty());
+        assert_eq!(run("crates/persist/src/container.rs", src).len(), 1);
+        assert_eq!(run("crates/core/src/lib.rs", src).len(), 1);
     }
 
     #[test]

@@ -111,7 +111,7 @@ fn main() {
         .expect("spawn ingest child");
 
     // Wait until the child has committed a healthy WAL tail (well past
-    // the 8-byte header), then let it run a touch longer so the kill
+    // the 20-byte header), then let it run a touch longer so the kill
     // lands mid-stream — possibly mid-record, which recovery must trim.
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {

@@ -25,9 +25,28 @@
 //! update path, and resumes appending — the recovered estimator answers
 //! every query bit-identically to an uninterrupted run, because the log
 //! records the exact op stream and tuple updates are deterministic.
-//! Every structural change (checkpoint, re-split, rebuild) re-persists
-//! the snapshot **then** atomically truncates the log, so the tail only
-//! ever contains plain data batches relative to the current snapshot.
+//!
+//! Every checkpoint (including the one a re-split triggers) saves the
+//! snapshot with an embedded [`WalPosition`] — the WAL's current
+//! generation and committed batch count — **then** atomically truncates
+//! the log to the next generation. Because the position rides inside
+//! the snapshot's own atomic write, every crash window is decidable at
+//! recovery:
+//!
+//! - crash before the snapshot save: the old snapshot names the
+//!   *previous* generation, the log is one generation newer → replay
+//!   the whole tail;
+//! - crash between the snapshot save and the truncation: snapshot and
+//!   log name the *same* generation → skip exactly the
+//!   `batches_covered` batches the snapshot absorbed (no
+//!   double-apply), replay any beyond;
+//! - crash after the truncation: the log is one generation newer than
+//!   the snapshot names → replay the (now short) tail.
+//!
+//! Any other combination — a log older or more than one generation
+//! newer than the snapshot claims, fewer committed batches than the
+//! snapshot absorbed, or a non-empty log beside a snapshot that records
+//! no position at all — is a typed error, never a silent divergence.
 //!
 //! # The re-split decision ladder
 //!
@@ -53,7 +72,7 @@
 use std::path::{Path, PathBuf};
 
 use dbhist_distribution::{Distribution, Relation};
-use dbhist_persist::wal::{WalOp, WalWriter};
+use dbhist_persist::wal::{WalOp, WalPosition, WalWriter};
 use dbhist_persist::PersistError;
 use dbhist_telemetry::journal::{journal, JournalEvent};
 use dbhist_telemetry::wellknown::wellknown;
@@ -125,12 +144,63 @@ pub enum TuneOutcome {
 pub struct RecoveryReport {
     /// Committed batches replayed from the WAL tail.
     pub batches_replayed: u64,
+    /// Committed batches the snapshot's recorded [`WalPosition`] proved
+    /// were already absorbed, so replay skipped them (non-zero exactly
+    /// when the crash landed between a checkpoint's snapshot save and
+    /// its WAL truncation).
+    pub batches_skipped: u64,
     /// Tuple operations replayed.
     pub ops_replayed: u64,
     /// The typed error describing a torn (uncommitted) tail the log
     /// carried, if any. The tail was discarded — it was never
     /// acknowledged to the writer.
     pub tail_discarded: Option<PersistError>,
+}
+
+/// How many leading WAL batches recovery must skip because the snapshot
+/// already absorbed them, per the snapshot's recorded [`WalPosition`]
+/// and the log's header generation (module docs, "Crash recovery").
+/// Errors on any snapshot/log pairing the checkpoint protocol cannot
+/// produce — replaying such a log could double- or under-apply batches.
+fn batches_to_skip(
+    snap: Option<WalPosition>,
+    recovery: &dbhist_persist::wal::WalRecovery,
+) -> Result<u64, SynopsisError> {
+    let committed = recovery.batches.len() as u64;
+    let corrupt = |reason: String| SynopsisError::Persist(PersistError::Corrupt { reason });
+    let Some(pos) = snap else {
+        if committed == 0 {
+            return Ok(0);
+        }
+        return Err(corrupt(format!(
+            "snapshot records no wal position but the log holds {committed} committed batches; \
+             replaying them cannot be proven safe (the snapshot may already contain them)"
+        )));
+    };
+    if recovery.generation == pos.generation {
+        // Crash between a checkpoint's snapshot save and its WAL
+        // truncation: the snapshot absorbed the first `batches_covered`
+        // batches of this very log.
+        if committed < pos.batches_covered {
+            return Err(corrupt(format!(
+                "snapshot absorbed {} batches of wal generation {} but the log holds only \
+                 {committed}",
+                pos.batches_covered, pos.generation
+            )));
+        }
+        Ok(pos.batches_covered)
+    } else if recovery.generation == pos.generation + 1 {
+        // The checkpoint that wrote this snapshot completed its
+        // truncation; the tail is entirely post-snapshot.
+        Ok(0)
+    } else {
+        Err(corrupt(format!(
+            "wal generation {} cannot pair with a snapshot cut at generation {} (the \
+             checkpoint protocol only ever leaves the log at the snapshot's generation or \
+             one past it)",
+            recovery.generation, pos.generation
+        )))
+    }
 }
 
 /// A streaming ingest session over a maintained synopsis. See the
@@ -185,7 +255,9 @@ impl IngestSession {
 
     /// Attaches durability: persists a snapshot to `snapshot_path`
     /// immediately (and after every rebuild/re-split) and creates a
-    /// fresh WAL at `wal_path` journaling every subsequent batch.
+    /// fresh WAL at `wal_path` journaling every subsequent batch. The
+    /// snapshot records WAL position zero — generation 0, no batches —
+    /// so recovery knows the log it sits beside starts from it.
     ///
     /// # Errors
     ///
@@ -195,26 +267,33 @@ impl IngestSession {
         snapshot_path: impl Into<PathBuf>,
         wal_path: impl Into<PathBuf>,
     ) -> Result<Self, SynopsisError> {
-        self.maintained.persist_to(snapshot_path)?;
+        self.maintained
+            .persist_to_with_wal(snapshot_path, WalPosition { generation: 0, batches_covered: 0 })?;
         let arity = self.arity_u16()?;
         self.wal = Some(WalWriter::create(wal_path.into(), arity)?);
         Ok(self)
     }
 
     /// Recovers a crashed session from its last snapshot plus the WAL
-    /// tail: loads the synopsis, replays every committed batch through
-    /// the normal update path (bit-identical to the uninterrupted run),
-    /// discards a torn tail if the crash left one, and reopens the log
-    /// for further appends. Marginal tracking does not survive a crash
-    /// (the snapshot intentionally does not carry it), so tuning
-    /// degrades to rebuild recommendations until the next full rebuild
-    /// re-seeds a session.
+    /// tail: loads the synopsis, compares the snapshot's recorded
+    /// [`WalPosition`] against the log's generation to skip every batch
+    /// the snapshot already absorbed (see the module docs' crash-window
+    /// table), replays the rest through the normal update path
+    /// (bit-identical to the uninterrupted run), discards a torn tail
+    /// if the crash left one, and reopens the log for further appends.
+    /// Marginal tracking does not survive a crash (the snapshot
+    /// intentionally does not carry it), so tuning degrades to rebuild
+    /// recommendations until the next full rebuild re-seeds a session.
     ///
     /// # Errors
     ///
     /// Propagates snapshot load failures, typed WAL header/arity
-    /// failures, and filesystem errors. A torn WAL *tail* is not an
-    /// error — it is reported in [`RecoveryReport::tail_discarded`].
+    /// failures, and filesystem errors; a snapshot/WAL pair whose
+    /// recorded position and generation cannot have come from one
+    /// checkpoint protocol run (see the module docs) is
+    /// [`PersistError::Corrupt`] — replaying it could double- or
+    /// under-apply batches. A torn WAL *tail* is not an error — it is
+    /// reported in [`RecoveryReport::tail_discarded`].
     pub fn recover(
         snapshot_path: impl AsRef<Path>,
         wal_path: impl Into<PathBuf>,
@@ -224,9 +303,14 @@ impl IngestSession {
         let snapshot_path = snapshot_path.as_ref();
         let wal_path = wal_path.into();
         let mut maintained = MaintainedDbHistogram::from_snapshot(snapshot_path, config)?;
+        let snap_pos = crate::snapshot::load_wal_position(snapshot_path)?;
         let arity = maintained.synopsis().model().schema().arity();
-        let mut report =
-            RecoveryReport { batches_replayed: 0, ops_replayed: 0, tail_discarded: None };
+        let mut report = RecoveryReport {
+            batches_replayed: 0,
+            batches_skipped: 0,
+            ops_replayed: 0,
+            tail_discarded: None,
+        };
         if wal_path.exists() {
             let bytes = dbhist_persist::read_file(&wal_path)?;
             let recovery = dbhist_persist::wal::recover(&bytes)?;
@@ -239,7 +323,10 @@ impl IngestSession {
                     ),
                 });
             }
-            for batch in &recovery.batches {
+            let skip = batches_to_skip(snap_pos, &recovery)?;
+            report.batches_skipped = skip;
+            for batch in recovery.batches.iter().skip(usize::try_from(skip).unwrap_or(usize::MAX))
+            {
                 for op in &batch.ops {
                     match op {
                         WalOp::Insert(row) => maintained.insert(row),
@@ -256,8 +343,15 @@ impl IngestSession {
             reason: format!("arity {arity} exceeds the WAL's u16 bound"),
         })?;
         // `open` truncates the torn tail (if any) and resumes the
-        // sequence right after the last committed batch.
-        let wal = WalWriter::open(wal_path, arity)?;
+        // sequence right after the last committed batch. A missing log
+        // beside a positioned snapshot restarts one generation past the
+        // snapshot's — "everything absorbed, empty tail".
+        let wal = if wal_path.exists() {
+            WalWriter::open(wal_path, arity)?
+        } else {
+            let generation = snap_pos.map_or(0, |p| p.generation + 1);
+            WalWriter::create_at(wal_path, arity, generation)?
+        };
         if dbhist_telemetry::enabled() {
             wellknown().ingest_recoveries.increment();
         }
@@ -389,27 +483,33 @@ impl IngestSession {
         Ok(TuneOutcome::Resplit { clique: worst, buckets })
     }
 
-    /// Re-persists the snapshot (if durability is attached) and
-    /// atomically truncates the WAL: the snapshot now embodies every
-    /// applied batch, so the old tail is dead weight. Crash-safe in
-    /// either order of failure — a crash *between* the snapshot save
-    /// and the truncation leaves a longer log whose replay is absorbed
-    /// by the zero-clamped update path of an already-current snapshot…
-    /// which is why the save must come first and this method does not
-    /// reorder them.
+    /// Re-persists the snapshot (if durability is attached) with the
+    /// WAL's current position embedded, then atomically truncates the
+    /// WAL to its next generation: the snapshot now embodies every
+    /// applied batch, so the old tail is dead weight. Crash-safe at
+    /// every step — the position rides inside the snapshot's own
+    /// fsync'd atomic write, so a crash *between* the save and the
+    /// truncation leaves a snapshot that names exactly the batches it
+    /// absorbed and recovery skips them instead of double-applying
+    /// (module docs, "Crash recovery"). The save must come first and
+    /// this method does not reorder the two.
     ///
     /// # Errors
     ///
     /// Propagates snapshot-save and WAL I/O failures.
     pub fn checkpoint(&mut self) -> Result<(), SynopsisError> {
-        self.maintained.refresh_snapshot()?;
-        if let Some(wal) = &mut self.wal {
-            let batches = wal.next_seq();
-            wal.truncate()?;
-            journal().publish(JournalEvent::WalTruncate { batches });
-            if dbhist_telemetry::enabled() {
-                wellknown().ingest_wal_bytes.set(0.0);
+        match &mut self.wal {
+            Some(wal) => {
+                let position = wal.position();
+                self.maintained.refresh_snapshot_with_wal(position)?;
+                let batches = wal.next_seq();
+                wal.truncate()?;
+                journal().publish(JournalEvent::WalTruncate { batches });
+                if dbhist_telemetry::enabled() {
+                    wellknown().ingest_wal_bytes.set(0.0);
+                }
             }
+            None => self.maintained.refresh_snapshot()?,
         }
         Ok(())
     }
@@ -695,6 +795,96 @@ mod tests {
             .collect();
         assert_eq!(live, recovered, "recovery must be bit-identical");
         assert!(!r.marginals_tracked(), "marginals do not survive a crash");
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_truncate_does_not_double_apply() {
+        let snap = temp("midckpt.dbhs");
+        let wal = temp("midckpt.wal");
+        let rel = relation(1024);
+        let m = MaintainedDbHistogram::build(&rel, DbConfig::new(600)).unwrap();
+        let mut s = IngestSession::begin(m, &rel, IngestConfig::default())
+            .unwrap()
+            .with_durability(&snap, &wal)
+            .unwrap();
+        for _ in 0..6 {
+            s.apply_batch(&[WalOp::Insert(vec![2, 2, 1])]).unwrap();
+        }
+        // Simulate a checkpoint that crashed after its snapshot save but
+        // before the WAL truncation: persist with the current position,
+        // leave the log untouched. The log now holds 6 batches the
+        // snapshot already absorbed.
+        let position = s.wal.as_ref().unwrap().position();
+        s.maintained.refresh_snapshot_with_wal(position).unwrap();
+        // One more batch lands after the interrupted checkpoint.
+        s.apply_batch(&[WalOp::Insert(vec![2, 2, 1])]).unwrap();
+        let q = Query::equals(0, 2);
+        let live = s.estimator().estimate(&q).to_bits();
+        drop(s);
+        let (r, report) =
+            IngestSession::recover(&snap, &wal, DbConfig::new(600), IngestConfig::default())
+                .unwrap();
+        assert_eq!(report.batches_skipped, 6, "snapshot-absorbed batches must not replay");
+        assert_eq!(report.batches_replayed, 1, "the post-save batch must replay");
+        assert_eq!(
+            r.estimator().estimate(&q).to_bits(),
+            live,
+            "skip-aware replay must be bit-identical, not double-applied"
+        );
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn mismatched_wal_generation_is_rejected() {
+        let snap = temp("genmismatch.dbhs");
+        let wal = temp("genmismatch.wal");
+        let rel = relation(512);
+        let m = MaintainedDbHistogram::build(&rel, DbConfig::new(600)).unwrap();
+        let mut s = IngestSession::begin(m, &rel, IngestConfig::default())
+            .unwrap()
+            .with_durability(&snap, &wal)
+            .unwrap();
+        s.apply_batch(&[WalOp::Insert(vec![1, 1, 1])]).unwrap();
+        drop(s);
+        // Replace the log with one from a generation the snapshot (cut
+        // at generation 0) cannot have produced.
+        let mut foreign = WalWriter::create_at(&wal, 3, 7).unwrap();
+        foreign.append(&[WalOp::Insert(vec![1, 1, 1])]).unwrap();
+        drop(foreign);
+        let err =
+            IngestSession::recover(&snap, &wal, DbConfig::new(600), IngestConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, SynopsisError::Persist(PersistError::Corrupt { .. })), "{err:?}");
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn positionless_snapshot_refuses_a_nonempty_wal() {
+        let snap = temp("nopos.dbhs");
+        let wal = temp("nopos.wal");
+        let rel = relation(512);
+        let mut m = MaintainedDbHistogram::build(&rel, DbConfig::new(600)).unwrap();
+        // A plain save (service/rebuild path) records no WAL position.
+        m.persist_to(&snap).unwrap();
+        let mut w = WalWriter::create(&wal, 3).unwrap();
+        w.append(&[WalOp::Insert(vec![1, 1, 1])]).unwrap();
+        drop(w);
+        let err =
+            IngestSession::recover(&snap, &wal, DbConfig::new(600), IngestConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, SynopsisError::Persist(PersistError::Corrupt { .. })), "{err:?}");
+        // An *empty* log beside a positionless snapshot is harmless:
+        // nothing to replay, so recovery proceeds.
+        let w = WalWriter::create(&wal, 3).unwrap();
+        drop(w);
+        let (_, report) =
+            IngestSession::recover(&snap, &wal, DbConfig::new(600), IngestConfig::default())
+                .unwrap();
+        assert_eq!(report.batches_replayed, 0);
         std::fs::remove_file(&snap).ok();
         std::fs::remove_file(&wal).ok();
     }

@@ -337,6 +337,21 @@ impl MaintainedDbHistogram {
         Ok(())
     }
 
+    /// [`MaintainedDbHistogram::persist_to`] with a WAL position
+    /// recorded atomically inside the snapshot — the durable ingest
+    /// session's entry point, so recovery can prove which WAL batches
+    /// the snapshot already absorbed.
+    pub(crate) fn persist_to_with_wal(
+        &mut self,
+        path: impl Into<std::path::PathBuf>,
+        wal: dbhist_persist::WalPosition,
+    ) -> Result<(), SynopsisError> {
+        let path = path.into();
+        crate::snapshot::save_db_with_wal(&self.synopsis, &path, Some(wal))?;
+        self.snapshot_path = Some(path);
+        Ok(())
+    }
+
     /// The snapshot path registered via
     /// [`MaintainedDbHistogram::persist_to`], if any.
     #[must_use]
@@ -353,6 +368,21 @@ impl MaintainedDbHistogram {
     pub fn refresh_snapshot(&self) -> Result<(), SynopsisError> {
         if let Some(path) = &self.snapshot_path {
             crate::snapshot::save_db(&self.synopsis, path)?;
+        }
+        Ok(())
+    }
+
+    /// [`MaintainedDbHistogram::refresh_snapshot`] with a WAL position
+    /// recorded atomically inside the snapshot. The ingest checkpoint
+    /// calls this **before** truncating the WAL: a crash between the
+    /// two leaves a snapshot that names exactly the batches it absorbed,
+    /// so recovery skips them instead of double-applying.
+    pub(crate) fn refresh_snapshot_with_wal(
+        &self,
+        wal: dbhist_persist::WalPosition,
+    ) -> Result<(), SynopsisError> {
+        if let Some(path) = &self.snapshot_path {
+            crate::snapshot::save_db_with_wal(&self.synopsis, path, Some(wal))?;
         }
         Ok(())
     }

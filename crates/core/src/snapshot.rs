@@ -32,7 +32,7 @@ use dbhist_histogram::codec::{
 use dbhist_histogram::{GridHistogram, HistogramError, SplitTree};
 use dbhist_persist::{
     decode_factors, decode_model, encode_factors, encode_model, read_file, write_file,
-    PersistError, SectionKind, Snapshot, SnapshotMeta, SnapshotWriter,
+    PersistError, SectionKind, Snapshot, SnapshotMeta, SnapshotWriter, WalPosition,
 };
 
 use crate::builder::{Synopsis, SynopsisBuilder};
@@ -108,8 +108,14 @@ impl PersistableFactor for WaveletFactor {
     }
 }
 
-/// Serializes a synopsis into container bytes (no I/O).
-fn snapshot_bytes<F: PersistableFactor>(db: &DbHistogram<F>) -> Result<Vec<u8>, PersistError> {
+/// Serializes a synopsis into container bytes (no I/O). `wal`, when
+/// present, is recorded as a [`SectionKind::WalPosition`] section — the
+/// ingest checkpoint's atomic claim of which WAL batches this snapshot
+/// absorbed.
+fn snapshot_bytes<F: PersistableFactor>(
+    db: &DbHistogram<F>,
+    wal: Option<WalPosition>,
+) -> Result<Vec<u8>, PersistError> {
     let factor_count = u32::try_from(db.factors().len()).map_err(|_| PersistError::Corrupt {
         reason: "factor count overflows the snapshot meta field".into(),
     })?;
@@ -125,17 +131,31 @@ fn snapshot_bytes<F: PersistableFactor>(db: &DbHistogram<F>) -> Result<Vec<u8>, 
     let payloads: Vec<Vec<u8>> =
         db.factors().iter().map(PersistableFactor::encode_factor).collect::<Result<_, _>>()?;
     writer.section(SectionKind::Factors, encode_factors(&payloads)?);
+    if let Some(pos) = wal {
+        writer.section(SectionKind::WalPosition, pos.encode());
+    }
     writer.finish()
 }
 
-/// Saves a synopsis to `path` (atomic write: temp file + rename).
+/// Saves a synopsis to `path` (atomic write: temp file + rename, both
+/// fsync'd).
 pub(crate) fn save_db<F: PersistableFactor>(
     db: &DbHistogram<F>,
     path: &Path,
 ) -> Result<(), SynopsisError> {
+    save_db_with_wal(db, path, None)
+}
+
+/// [`save_db`] plus an optional WAL position recorded atomically with
+/// the synopsis state — see [`snapshot_bytes`].
+pub(crate) fn save_db_with_wal<F: PersistableFactor>(
+    db: &DbHistogram<F>,
+    path: &Path,
+    wal: Option<WalPosition>,
+) -> Result<(), SynopsisError> {
     let _span = dbhist_telemetry::span!("dbhist_persist_save_latency_us");
     let start = Instant::now();
-    let bytes = snapshot_bytes(db)?;
+    let bytes = snapshot_bytes(db, wal)?;
     write_file(path, &bytes)?;
     if dbhist_telemetry::enabled() {
         let w = dbhist_telemetry::wellknown::wellknown();
@@ -144,6 +164,20 @@ pub(crate) fn save_db<F: PersistableFactor>(
         w.persist_snapshot_bytes.set(bytes.len() as f64);
     }
     Ok(())
+}
+
+/// Reads the WAL position a snapshot recorded at checkpoint time, or
+/// `None` for snapshots written outside a durable ingest session (plain
+/// saves, rebuild re-saves). Recovery treats `None` plus a non-empty
+/// WAL as an unprovable state and refuses to replay.
+pub(crate) fn load_wal_position(path: &Path) -> Result<Option<WalPosition>, SynopsisError> {
+    let bytes = read_file(path)?;
+    let snapshot = Snapshot::parse(&bytes).map_err(SynopsisError::from)?;
+    match snapshot.section(SectionKind::WalPosition) {
+        Ok(payload) => Ok(Some(WalPosition::decode(payload)?)),
+        Err(PersistError::MissingSection { .. }) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
 }
 
 /// Materializes a synopsis of factor type `F` from parsed snapshot

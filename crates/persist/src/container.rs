@@ -63,6 +63,11 @@ pub enum SectionKind {
     Junction = 4,
     /// Per-clique factor payloads, in clique order.
     Factors = 5,
+    /// The WAL position this snapshot absorbed (an encoded
+    /// [`crate::wal::WalPosition`]); present only in snapshots written
+    /// by a durable ingest checkpoint. Recovery uses it to skip WAL
+    /// batches the snapshot already contains.
+    WalPosition = 6,
 }
 
 impl SectionKind {

@@ -35,7 +35,7 @@ pub use container::{SectionKind, Snapshot, SnapshotWriter, FORMAT_VERSION, MAGIC
 pub use crc::crc32;
 pub use error::PersistError;
 pub use model::{decode_factors, decode_model, encode_factors, encode_model, SnapshotMeta};
-pub use wal::{WalBatch, WalOp, WalRecovery, WalWriter};
+pub use wal::{WalBatch, WalOp, WalPosition, WalRecovery, WalWriter};
 
 use std::path::Path;
 
@@ -49,11 +49,15 @@ pub fn read_file(path: &Path) -> Result<Vec<u8>, PersistError> {
         .map_err(|e| PersistError::Io { path: path.display().to_string(), reason: e.to_string() })
 }
 
-/// Writes snapshot bytes atomically: the bytes land in a sibling
-/// temporary file which is then renamed over `path`, so a crash mid-write
-/// can never leave a truncated snapshot where a valid one existed (the
+/// Writes snapshot bytes atomically **and durably**: the bytes land in a
+/// sibling temporary file which is fsync'd, renamed over `path`, and the
+/// parent directory is fsync'd after the rename. A crash mid-write can
+/// never leave a truncated snapshot where a valid one existed (the
 /// maintainer overwrites its snapshot in place on every drift-triggered
-/// rebuild).
+/// rebuild), and a power loss after this returns cannot roll the rename
+/// back — which the ingest checkpoint relies on before it truncates the
+/// WAL (an un-fsync'd snapshot plus a durable truncation would lose
+/// acknowledged batches).
 ///
 /// # Errors
 ///
@@ -66,8 +70,29 @@ pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, bytes).map_err(io)?;
-    std::fs::rename(&tmp, path).map_err(io)
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp).map_err(io)?;
+        file.write_all(bytes).map_err(io)?;
+        file.sync_all().map_err(io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io)?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs `path`'s parent directory so a just-created or just-renamed
+/// entry survives power loss. A path with no parent (or an empty one)
+/// is a no-op. Shared by [`write_file`] and the WAL's create/truncate.
+pub(crate) fn sync_parent_dir(path: &Path) -> Result<(), PersistError> {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    let io = |e: std::io::Error| PersistError::Io {
+        path: parent.display().to_string(),
+        reason: e.to_string(),
+    };
+    let dir = std::fs::File::open(parent).map_err(io)?;
+    dir.sync_all().map_err(io)
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@
 //! Layout (all integers little-endian, mirroring the snapshot format):
 //!
 //! ```text
-//! header   := "DBWL" version:u16 arity:u16                  (8 bytes)
+//! header   := "DBWL" version:u16 arity:u16 generation:u64 crc:u32
+//!             (20 bytes; crc is CRC-32 over version..generation)
 //! record   := len:u32 crc:u32 payload[len]
 //! payload  := seq:u64 op_count:u32 op*
 //! op       := tag:u8 value:u32 × arity      (tag 1 = insert, 2 = delete)
@@ -27,12 +28,17 @@
 //!   `sync_data` after every record, so an acknowledged batch survives
 //!   power loss; a batch torn mid-write is discarded by
 //!   [`recover`] as an uncommitted tail.
-//! - **Truncation is atomic.** After each snapshot the log restarts via
-//!   a fresh-header temp file renamed over the old log
-//!   ([`WalWriter::truncate`]), so a crash between snapshot and
-//!   truncation leaves a *longer* log, never a torn one — replaying the
-//!   extra batches is prevented by sequence-zero restart detection in
-//!   the caller (the session snapshots and truncates under one lock).
+//! - **Truncation is atomic and generation-stamped.** After each
+//!   snapshot the log restarts via a fresh-header temp file renamed
+//!   over the old log with the header's `generation` incremented, then
+//!   the parent directory is fsync'd ([`WalWriter::truncate`]) — so a
+//!   crash between snapshot and truncation leaves a *longer* log of the
+//!   **old** generation, never a torn one. The checkpointing caller
+//!   records a [`WalPosition`] (this log's generation plus the batch
+//!   count the snapshot absorbed) inside the snapshot itself, written
+//!   atomically with it; recovery compares that position against the
+//!   log's header and skips every batch the snapshot already contains
+//!   instead of double-applying it.
 //!
 //! This module is the **only** sanctioned writer of `.wal` files; the
 //! `wal-append-order` rule in `dbhist-analyze` fails the gate on
@@ -49,11 +55,16 @@ use crate::error::PersistError;
 /// Magic prefix of every WAL file.
 pub const WAL_MAGIC: [u8; 4] = *b"DBWL";
 
-/// WAL format version written and accepted by this build.
-pub const WAL_VERSION: u16 = 1;
+/// WAL format version written and accepted by this build. Version 1
+/// lacked the header generation and is rejected with
+/// [`PersistError::VersionMismatch`].
+pub const WAL_VERSION: u16 = 2;
 
-/// Header length in bytes: magic + version + arity.
-pub const WAL_HEADER_LEN: usize = 8;
+/// Header length in bytes: magic + version + arity + generation + CRC.
+/// The CRC covers the version, arity, and generation fields, so a
+/// bit-flipped generation cannot silently misdirect recovery's
+/// snapshot-position comparison.
+pub const WAL_HEADER_LEN: usize = 20;
 
 /// Per-record framing overhead: length + CRC-32.
 pub const WAL_RECORD_OVERHEAD: usize = 8;
@@ -89,6 +100,49 @@ impl WalOp {
     }
 }
 
+/// The point in a WAL's history a snapshot absorbed: everything up to
+/// (but excluding) batch `batches_covered` of log `generation` is
+/// already inside the snapshot. A checkpoint stores this inside the
+/// snapshot file itself — atomically with the synopsis state — so
+/// recovery can prove which tail batches still need replaying instead
+/// of double-applying ones the snapshot already contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalPosition {
+    /// Header generation of the log the snapshot was cut against.
+    pub generation: u64,
+    /// Batches of that generation the snapshot absorbed (== the WAL's
+    /// `next_seq` at snapshot time).
+    pub batches_covered: u64,
+}
+
+impl WalPosition {
+    /// Serialized length in bytes.
+    pub const ENCODED_LEN: usize = 16;
+
+    /// Serializes this position for the snapshot's WAL-position section.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.generation);
+        w.put_u64(self.batches_covered);
+        w.into_inner()
+    }
+
+    /// Deserializes a position written by [`WalPosition::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] / [`PersistError::Corrupt`]
+    /// if the payload is not exactly one encoded position.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::new(bytes, "wal position");
+        let generation = r.u64()?;
+        let batches_covered = r.u64()?;
+        r.expect_end()?;
+        Ok(Self { generation, batches_covered })
+    }
+}
+
 /// One committed batch, as replayed from the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalBatch {
@@ -103,6 +157,8 @@ pub struct WalBatch {
 pub struct WalContents {
     /// Row arity recorded in the header.
     pub arity: u16,
+    /// Log generation recorded in the header (bumped by truncation).
+    pub generation: u64,
     /// Every committed batch, in sequence order.
     pub batches: Vec<WalBatch>,
 }
@@ -113,6 +169,8 @@ pub struct WalContents {
 pub struct WalRecovery {
     /// Row arity recorded in the header.
     pub arity: u16,
+    /// Log generation recorded in the header (bumped by truncation).
+    pub generation: u64,
     /// Batches that were durably committed before the crash.
     pub batches: Vec<WalBatch>,
     /// Byte length of the valid prefix (header + committed records); a
@@ -123,11 +181,16 @@ pub struct WalRecovery {
     pub tail_error: Option<PersistError>,
 }
 
-fn encode_header(arity: u16) -> Vec<u8> {
+fn encode_header(arity: u16, generation: u64) -> Vec<u8> {
+    let mut body = Writer::new();
+    body.put_u16(WAL_VERSION);
+    body.put_u16(arity);
+    body.put_u64(generation);
+    let body = body.into_inner();
     let mut w = Writer::new();
     w.put_bytes(&WAL_MAGIC);
-    w.put_u16(WAL_VERSION);
-    w.put_u16(arity);
+    w.put_bytes(&body);
+    w.put_u32(crc32(&body));
     w.into_inner()
 }
 
@@ -198,7 +261,12 @@ fn decode_payload(payload: &[u8], arity: u16, expected_seq: u64) -> Result<WalBa
     Ok(WalBatch { seq, ops })
 }
 
-fn parse_header(bytes: &[u8]) -> Result<u16, PersistError> {
+/// Checks run in order of increasing assumption (as in the snapshot
+/// container): magic and version need only the first 6 bytes, so a
+/// version-1 log (whose header was 8 bytes) is reported as
+/// [`PersistError::VersionMismatch`] rather than a truncation; the
+/// header CRC is verified before the arity or generation is trusted.
+fn parse_header(bytes: &[u8]) -> Result<(u16, u64), PersistError> {
     let mut r = Reader::new(bytes, "wal header");
     if r.take(4)? != WAL_MAGIC {
         return Err(PersistError::BadMagic);
@@ -207,7 +275,14 @@ fn parse_header(bytes: &[u8]) -> Result<u16, PersistError> {
     if version != WAL_VERSION {
         return Err(PersistError::VersionMismatch { found: version, expected: WAL_VERSION });
     }
-    r.u16()
+    let arity = r.u16()?;
+    let generation = r.u64()?;
+    let crc = r.u32()?;
+    // lint:allow-next-line(panic-surface): 4..16 is in bounds — the reader consumed 20 bytes above
+    if crc32(&bytes[4..WAL_HEADER_LEN - 4]) != crc {
+        return Err(PersistError::Corrupt { reason: "wal header crc mismatch".to_string() });
+    }
+    Ok((arity, generation))
 }
 
 /// Strictly parses a whole log: header, then records to end of input.
@@ -224,7 +299,11 @@ pub fn read(bytes: &[u8]) -> Result<WalContents, PersistError> {
     let recovery = scan(bytes)?;
     match recovery.tail_error {
         Some(err) => Err(err),
-        None => Ok(WalContents { arity: recovery.arity, batches: recovery.batches }),
+        None => Ok(WalContents {
+            arity: recovery.arity,
+            generation: recovery.generation,
+            batches: recovery.batches,
+        }),
     }
 }
 
@@ -244,9 +323,19 @@ pub fn recover(bytes: &[u8]) -> Result<WalRecovery, PersistError> {
 }
 
 fn scan(bytes: &[u8]) -> Result<WalRecovery, PersistError> {
-    let header =
-        bytes.get(..WAL_HEADER_LEN).ok_or(PersistError::Truncated { context: "wal header" })?;
-    let arity = parse_header(header)?;
+    let header = match bytes.get(..WAL_HEADER_LEN) {
+        Some(header) => header,
+        None => {
+            // Short input: still grade magic/version before reporting
+            // truncation, so a foreign or version-1 file is named as
+            // such even when it is shorter than this format's header.
+            if bytes.len() >= 6 {
+                parse_header(bytes)?;
+            }
+            return Err(PersistError::Truncated { context: "wal header" });
+        }
+    };
+    let (arity, generation) = parse_header(header)?;
     let mut batches = Vec::new();
     let mut offset = WAL_HEADER_LEN;
     let mut tail_error = None;
@@ -262,7 +351,7 @@ fn scan(bytes: &[u8]) -> Result<WalRecovery, PersistError> {
             }
         }
     }
-    Ok(WalRecovery { arity, batches, valid_len: offset, tail_error })
+    Ok(WalRecovery { arity, generation, batches, valid_len: offset, tail_error })
 }
 
 fn next_record(
@@ -298,6 +387,7 @@ pub struct WalWriter {
     path: PathBuf,
     file: File,
     arity: u16,
+    generation: u64,
     next_seq: u64,
     appended_bytes: u64,
 }
@@ -307,18 +397,37 @@ impl WalWriter {
         move |e| PersistError::Io { path: path.display().to_string(), reason: e.to_string() }
     }
 
-    /// Creates (or truncates) the log at `path` with a fresh header and
-    /// syncs it to disk.
+    /// Creates (or truncates) the log at `path` with a fresh
+    /// generation-zero header and syncs it (and its directory entry) to
+    /// disk.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on filesystem failure.
     pub fn create(path: impl Into<PathBuf>, arity: u16) -> Result<Self, PersistError> {
+        Self::create_at(path, arity, 0)
+    }
+
+    /// Creates (or truncates) the log at `path` with a fresh header
+    /// carrying `generation`. Used by recovery when the log file is
+    /// missing but the snapshot records a position: the replacement log
+    /// starts at the generation *after* the snapshot's, which encodes
+    /// "the snapshot absorbed everything; the tail is empty".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure.
+    pub fn create_at(
+        path: impl Into<PathBuf>,
+        arity: u16,
+        generation: u64,
+    ) -> Result<Self, PersistError> {
         let path = path.into();
         let mut file = File::create(&path).map_err(Self::io(&path))?;
-        file.write_all(&encode_header(arity)).map_err(Self::io(&path))?;
+        file.write_all(&encode_header(arity, generation)).map_err(Self::io(&path))?;
         file.sync_data().map_err(Self::io(&path))?;
-        Ok(Self { path, file, arity, next_seq: 0, appended_bytes: 0 })
+        crate::sync_parent_dir(&path)?;
+        Ok(Self { path, file, arity, generation, next_seq: 0, appended_bytes: 0 })
     }
 
     /// Opens an existing log for appending: replays its committed
@@ -349,8 +458,14 @@ impl WalWriter {
         let file = OpenOptions::new().write(true).open(&path).map_err(Self::io(&path))?;
         file.set_len(recovery.valid_len as u64).map_err(Self::io(&path))?;
         file.sync_data().map_err(Self::io(&path))?;
-        let mut writer =
-            Self { path, file, arity, next_seq: recovery.batches.len() as u64, appended_bytes: 0 };
+        let mut writer = Self {
+            path,
+            file,
+            arity,
+            generation: recovery.generation,
+            next_seq: recovery.batches.len() as u64,
+            appended_bytes: (recovery.valid_len - WAL_HEADER_LEN) as u64,
+        };
         use std::io::Seek as _;
         writer.file.seek(std::io::SeekFrom::End(0)).map_err(Self::io(&writer.path.clone()))?;
         Ok(writer)
@@ -376,9 +491,16 @@ impl WalWriter {
     }
 
     /// Atomically restarts the log after a snapshot: writes a fresh
-    /// header to a sibling temp file, syncs it, and renames it over the
-    /// log, so no observer ever sees a headerless or half-truncated
-    /// file. Sequence numbering restarts at zero.
+    /// header carrying the **next generation** to a sibling temp file,
+    /// syncs it, renames it over the log, and syncs the parent
+    /// directory, so no observer ever sees a headerless or
+    /// half-truncated file and the rename itself survives power loss.
+    /// Sequence numbering restarts at zero.
+    ///
+    /// A crash before the rename leaves the old-generation log intact;
+    /// recovery then matches it against the snapshot's recorded
+    /// [`WalPosition`] and skips the batches the snapshot already
+    /// absorbed.
     ///
     /// # Errors
     ///
@@ -388,12 +510,16 @@ impl WalWriter {
         let mut tmp = self.path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
+        let next_generation = self.generation + 1;
         let mut fresh = File::create(&tmp).map_err(Self::io(&tmp))?;
-        fresh.write_all(&encode_header(self.arity)).map_err(Self::io(&tmp))?;
+        fresh.write_all(&encode_header(self.arity, next_generation)).map_err(Self::io(&tmp))?;
         fresh.sync_data().map_err(Self::io(&tmp))?;
         std::fs::rename(&tmp, &self.path).map_err(Self::io(&self.path))?;
+        crate::sync_parent_dir(&self.path)?;
         self.file = fresh;
+        self.generation = next_generation;
         self.next_seq = 0;
+        self.appended_bytes = 0;
         Ok(())
     }
 
@@ -404,7 +530,23 @@ impl WalWriter {
         self.next_seq
     }
 
-    /// Total record bytes appended through this handle.
+    /// Header generation of the current log (starts at the created
+    /// value, +1 per [`WalWriter::truncate`]).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The position a snapshot cut right now would absorb: the current
+    /// generation plus every batch committed so far this generation.
+    #[must_use]
+    pub fn position(&self) -> WalPosition {
+        WalPosition { generation: self.generation, batches_covered: self.next_seq }
+    }
+
+    /// Record bytes committed in the current log generation (resets on
+    /// [`WalWriter::truncate`]; reflects the on-disk committed prefix
+    /// after [`WalWriter::open`]).
     #[must_use]
     pub fn appended_bytes(&self) -> u64 {
         self.appended_bytes
@@ -502,11 +644,16 @@ mod tests {
     fn truncate_restarts_the_log() {
         let path = temp_path("truncate");
         let mut w = WalWriter::create(&path, 3).unwrap();
+        assert_eq!(w.generation(), 0);
         w.append(&sample_batches()[0]).unwrap();
+        assert!(w.appended_bytes() > 0);
         w.truncate().unwrap();
         assert_eq!(w.next_seq(), 0);
+        assert_eq!(w.generation(), 1, "truncation bumps the header generation");
+        assert_eq!(w.appended_bytes(), 0, "truncation resets the byte accounting");
         assert_eq!(w.append(&sample_batches()[1]).unwrap(), 0);
         let contents = read(&crate::read_file(&path).unwrap()).unwrap();
+        assert_eq!(contents.generation, 1);
         assert_eq!(contents.batches.len(), 1);
         assert_eq!(contents.batches[0].ops, sample_batches()[1]);
         // No temp file lingers.
@@ -514,6 +661,67 @@ mod tests {
         tmp.push(".tmp");
         assert!(!Path::new(&tmp).exists());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_generation_and_byte_accounting() {
+        let path = temp_path("generation");
+        let mut w = WalWriter::create(&path, 3).unwrap();
+        w.append(&sample_batches()[0]).unwrap();
+        w.truncate().unwrap();
+        w.truncate().unwrap();
+        w.append(&sample_batches()[1]).unwrap();
+        let record_bytes = w.appended_bytes();
+        drop(w);
+        let w = WalWriter::open(&path, 3).unwrap();
+        assert_eq!(w.generation(), 2);
+        assert_eq!(w.next_seq(), 1);
+        assert_eq!(w.appended_bytes(), record_bytes, "open reflects the committed prefix");
+        assert_eq!(w.position(), WalPosition { generation: 2, batches_covered: 1 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_at_seeds_the_generation() {
+        let path = temp_path("create-at");
+        let w = WalWriter::create_at(&path, 3, 7).unwrap();
+        assert_eq!(w.generation(), 7);
+        drop(w);
+        let contents = read(&crate::read_file(&path).unwrap()).unwrap();
+        assert_eq!(contents.generation, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_generation_flips_are_detected() {
+        let path = temp_path("header-crc");
+        let mut w = WalWriter::create_at(&path, 3, 3).unwrap();
+        w.append(&sample_batches()[0]).unwrap();
+        let bytes = crate::read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Flip one generation byte (offsets 8..16): the header CRC must
+        // reject it — a silently altered generation would misdirect the
+        // recovery position comparison.
+        for pos in 8..16 {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x10;
+            assert!(
+                matches!(read(&flipped), Err(PersistError::Corrupt { .. })),
+                "generation byte {pos} flip must fail the header crc"
+            );
+        }
+    }
+
+    #[test]
+    fn wal_position_round_trips() {
+        let pos = WalPosition { generation: 42, batches_covered: 7 };
+        let bytes = pos.encode();
+        assert_eq!(bytes.len(), WalPosition::ENCODED_LEN);
+        assert_eq!(WalPosition::decode(&bytes).unwrap(), pos);
+        assert!(WalPosition::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes;
+        long.push(0);
+        assert!(WalPosition::decode(&long).is_err());
     }
 
     #[test]
